@@ -1,0 +1,109 @@
+// A2 — ablation: cost of the descriptor pipeline (real time, not virtual).
+// XML parsing, schema validation, plane assembly and full store loading —
+// the design-time machinery of the M-Proxy model.
+//
+//   ./build/bench/bench_a2_descriptor
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/descriptor/proxy_descriptor.h"
+#include "core/descriptor/schemas.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+using namespace mobivine;
+
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+const std::string& SemanticSource() {
+  static const std::string source =
+      ReadFile(std::string(MOBIVINE_DESCRIPTOR_DIR) +
+               "/location/semantic.xml");
+  return source;
+}
+
+const std::string& BindingSource() {
+  static const std::string source =
+      ReadFile(std::string(MOBIVINE_DESCRIPTOR_DIR) +
+               "/location/binding-s60.xml");
+  return source;
+}
+
+void BM_XmlParseSemantic(benchmark::State& state) {
+  for (auto _ : state) {
+    xml::Document doc = xml::Parse(SemanticSource());
+    benchmark::DoNotOptimize(doc.root);
+  }
+  state.SetBytesProcessed(state.iterations() * SemanticSource().size());
+}
+BENCHMARK(BM_XmlParseSemantic);
+
+void BM_SchemaValidateSemantic(benchmark::State& state) {
+  xml::Document doc = xml::Parse(SemanticSource());
+  for (auto _ : state) {
+    auto violations = core::SemanticSchema().Validate(*doc.root);
+    benchmark::DoNotOptimize(violations);
+  }
+}
+BENCHMARK(BM_SchemaValidateSemantic);
+
+void BM_ParseSemanticPlane(benchmark::State& state) {
+  xml::Document doc = xml::Parse(SemanticSource());
+  for (auto _ : state) {
+    core::SemanticPlane plane = core::ParseSemantic(*doc.root);
+    benchmark::DoNotOptimize(plane);
+  }
+}
+BENCHMARK(BM_ParseSemanticPlane);
+
+void BM_ParseBindingPlane(benchmark::State& state) {
+  xml::Document doc = xml::Parse(BindingSource());
+  for (auto _ : state) {
+    core::BindingPlane plane = core::ParseBinding(*doc.root);
+    benchmark::DoNotOptimize(plane);
+  }
+}
+BENCHMARK(BM_ParseBindingPlane);
+
+void BM_SerializeSemanticPlane(benchmark::State& state) {
+  xml::Document doc = xml::Parse(SemanticSource());
+  core::SemanticPlane plane = core::ParseSemantic(*doc.root);
+  for (auto _ : state) {
+    std::string out = xml::WriteNode(*core::ToXml(plane));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SerializeSemanticPlane);
+
+void BM_LoadFullDescriptorStore(benchmark::State& state) {
+  for (auto _ : state) {
+    core::DescriptorStore store =
+        core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+    benchmark::DoNotOptimize(store.size());
+  }
+}
+BENCHMARK(BM_LoadFullDescriptorStore)->Unit(benchmark::kMicrosecond);
+
+void BM_CrossPlaneValidation(benchmark::State& state) {
+  core::DescriptorStore store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  const core::ProxyDescriptor* descriptor = store.Find("Location");
+  for (auto _ : state) {
+    auto problems = descriptor->Validate();
+    benchmark::DoNotOptimize(problems);
+  }
+}
+BENCHMARK(BM_CrossPlaneValidation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

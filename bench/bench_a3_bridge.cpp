@@ -1,0 +1,120 @@
+// A3 — ablation: real-time microbenchmarks of the de-fragmentation
+// machinery itself (the paper's proxy overhead, measured in host
+// nanoseconds rather than calibrated virtual time):
+//   * MiniJS: script statements, script->host crossings, function calls
+//   * property bag set/lookup with descriptor validation
+//   * native exception -> ProxyError mapping
+//
+//   ./build/bench/bench_a3_bridge
+#include <benchmark/benchmark.h>
+
+#include "android/exceptions.h"
+#include "core/descriptor/proxy_descriptor.h"
+#include "core/errors.h"
+#include "core/property.h"
+#include "minijs/interpreter.h"
+
+using namespace mobivine;
+
+namespace {
+
+void BM_MiniJsArithmeticStatement(benchmark::State& state) {
+  minijs::Interpreter interp;
+  interp.Run("var x = 0;");
+  interp.Run("function tick() { x = x + 1; return x; }");
+  minijs::Value tick = interp.GetGlobal("tick");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.Call(tick, minijs::Value::Undefined(), {}));
+  }
+  state.counters["steps/call"] = benchmark::Counter(
+      static_cast<double>(interp.steps()) / state.iterations());
+}
+BENCHMARK(BM_MiniJsArithmeticStatement);
+
+void BM_MiniJsHostCrossing(benchmark::State& state) {
+  minijs::Interpreter interp;
+  interp.SetGlobal("native",
+                   minijs::MakeHostFunction(
+                       "native", [](minijs::Interpreter&, const minijs::Value&,
+                                    std::vector<minijs::Value>& args) {
+                         return minijs::Value::Number(
+                             args.empty() ? 0 : args[0].ToNumber() + 1);
+                       }));
+  interp.Run("function cross(v) { return native(v); }");
+  minijs::Value cross = interp.GetGlobal("cross");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        interp.Call(cross, minijs::Value::Undefined(),
+                    {minijs::Value::Number(1)}));
+  }
+}
+BENCHMARK(BM_MiniJsHostCrossing);
+
+void BM_MiniJsObjectConstruction(benchmark::State& state) {
+  minijs::Interpreter interp;
+  interp.Run(R"(
+    function Proxy() {
+      this.setProperty = function(k, v) { return v; };
+      this.invoke = function(a, b) { return a + b; };
+    }
+    function make() { var p = new Proxy(); return p.invoke(1, 2); }
+  )");
+  minijs::Value make = interp.GetGlobal("make");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.Call(make, minijs::Value::Undefined(), {}));
+  }
+}
+BENCHMARK(BM_MiniJsObjectConstruction);
+
+void BM_PropertyBagSetGet(benchmark::State& state) {
+  core::PropertyBag bag;
+  for (auto _ : state) {
+    bag.Set("preferredResponseTime", 100LL);
+    benchmark::DoNotOptimize(bag.Get<long long>("preferredResponseTime"));
+  }
+}
+BENCHMARK(BM_PropertyBagSetGet);
+
+void BM_PropertyValidationAgainstDescriptor(benchmark::State& state) {
+  core::DescriptorStore store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  const core::BindingPlane* binding =
+      store.Find("Location")->FindBinding("s60");
+  for (auto _ : state) {
+    const core::PropertySpec* spec = binding->FindProperty("powerConsumption");
+    bool allowed = false;
+    for (const auto& value : spec->allowed_values) {
+      if (value == "medium") allowed = true;
+    }
+    benchmark::DoNotOptimize(allowed);
+  }
+}
+BENCHMARK(BM_PropertyValidationAgainstDescriptor);
+
+void BM_ExceptionMapping(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ErrorCode code = core::ErrorCode::kUnknown;
+    try {
+      try {
+        throw android::SecurityException("no permission");
+      } catch (...) {
+        core::RethrowAsProxyError("android");
+      }
+    } catch (const core::ProxyError& error) {
+      code = error.code();
+    }
+    benchmark::DoNotOptimize(code);
+  }
+}
+BENCHMARK(BM_ExceptionMapping);
+
+void BM_UniformErrorCodeFromWebView(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FromWebViewErrorCode(101));
+  }
+}
+BENCHMARK(BM_UniformErrorCodeFromWebView);
+
+}  // namespace
+
+BENCHMARK_MAIN();

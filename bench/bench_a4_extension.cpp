@@ -1,0 +1,161 @@
+// A4 — the extension experiment: Figure-10-style invocation latencies on
+// the iPhone platform (no paper column exists — these are the predictions
+// the calibrated substrate makes for the §7 future-work platform), plus
+// the Pim proxy's cost across all four platforms.
+//
+//   ./build/bench/bench_a4_extension
+#include <cstdio>
+#include <memory>
+
+#include "core/registry.h"
+#include "iphone/iphone_platform.h"
+#include "s60/midlet.h"
+#include "sim/geo_track.h"
+#include "webview/webview.h"
+#include "core/bindings/webview_proxies.h"
+
+using namespace mobivine;
+
+namespace {
+
+constexpr double kLat = 28.5245;
+constexpr double kLon = 77.1855;
+constexpr int kRuns = 10;
+
+const core::DescriptorStore& Store() {
+  static const core::DescriptorStore store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+std::unique_ptr<device::MobileDevice> MakeDevice(std::uint64_t seed) {
+  device::DeviceConfig config;
+  config.seed = seed;
+  auto dev = std::make_unique<device::MobileDevice>(config);
+  dev->gps().set_track(sim::GeoTrack::Stationary(kLat, kLon, 210));
+  dev->modem().RegisterSubscriber("+15550123");
+  for (int i = 0; i < 25; ++i) {
+    dev->contacts().Add("Contact " + std::to_string(i),
+                        "+1555" + std::to_string(1000 + i), "");
+  }
+  return dev;
+}
+
+// ---------------------------------------------------------------------------
+// iPhone invocation latencies (prediction, no paper baseline)
+// ---------------------------------------------------------------------------
+
+class SilentProximity : public core::ProximityListener {
+ public:
+  void proximityEvent(double, double, double, const core::Location&,
+                      bool) override {}
+};
+
+void PrintIPhoneRows() {
+  core::ProxyRegistry registry(&Store());
+  std::printf(
+      "iPhone OS (extension platform) — proxy invocation latency, avg of %d "
+      "runs\n",
+      kRuns);
+  std::printf("(getLocation spans the authorization prompt + first CoreLocation "
+              "fix; sendSMS returns at openURL handoff)\n\n");
+  std::printf("%-20s | %14s\n", "API", "with proxy (ms)");
+  std::printf("%s\n", std::string(40, '-').c_str());
+
+  static SilentProximity listener;
+  for (const char* api : {"addProximityAlert", "getLocation", "sendSMS",
+                          "listContacts"}) {
+    double total = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      auto dev = MakeDevice(4000 + run);
+      iphone::IPhonePlatform platform(*dev);
+      auto location = registry.CreateLocationProxy(platform);
+      auto sms = registry.CreateSmsProxy(platform);
+      auto pim = registry.CreatePimProxy(platform);
+      const sim::SimTime before = dev->scheduler().now();
+      const std::string name = api;
+      if (name == "addProximityAlert") {
+        location->addProximityAlert(kLat, kLon, 0, 200.0f, -1, &listener);
+      } else if (name == "getLocation") {
+        (void)location->getLocation();
+      } else if (name == "sendSMS") {
+        sms->sendTextMessage("+15550123", "ping", nullptr);
+      } else {
+        (void)pim->listContacts();
+      }
+      total += (dev->scheduler().now() - before).millis();
+    }
+    std::printf("%-20s | %14.1f\n", api, total / kRuns);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pim proxy across all four platforms (25 contacts)
+// ---------------------------------------------------------------------------
+
+void PrintPimRows() {
+  core::ProxyRegistry registry(&Store());
+  std::printf("\nPim.listContacts, 25 contacts — virtual ms and "
+              "de-fragmentation ops, avg of %d runs\n\n",
+              kRuns);
+  std::printf("%-10s | %10s | %12s\n", "platform", "time (ms)", "defrag ops");
+  std::printf("%s\n", std::string(40, '-').c_str());
+
+  for (const char* platform_name : {"android", "s60", "iphone", "webview"}) {
+    double total_ms = 0;
+    double total_ops = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      auto dev = MakeDevice(5000 + run);
+      const std::string name = platform_name;
+      if (name == "android") {
+        android::AndroidPlatform platform(*dev);
+        platform.grantPermission(android::permissions::kReadContacts);
+        auto pim = registry.CreatePimProxy(platform);
+        const sim::SimTime before = dev->scheduler().now();
+        (void)pim->listContacts();
+        total_ms += (dev->scheduler().now() - before).millis();
+        total_ops += static_cast<double>(pim->meter().total_ops());
+      } else if (name == "s60") {
+        s60::S60Platform platform(*dev);
+        platform.grantPermission(s60::permissions::kPimRead);
+        auto pim = registry.CreatePimProxy(platform);
+        const sim::SimTime before = dev->scheduler().now();
+        (void)pim->listContacts();
+        total_ms += (dev->scheduler().now() - before).millis();
+        total_ops += static_cast<double>(pim->meter().total_ops());
+      } else if (name == "iphone") {
+        iphone::IPhonePlatform platform(*dev);
+        auto pim = registry.CreatePimProxy(platform);
+        const sim::SimTime before = dev->scheduler().now();
+        (void)pim->listContacts();
+        total_ms += (dev->scheduler().now() - before).millis();
+        total_ops += static_cast<double>(pim->meter().total_ops());
+      } else {
+        android::AndroidPlatform platform(*dev);
+        platform.grantPermission(android::permissions::kReadContacts);
+        webview::WebView webview(platform);
+        core::InstallWebViewProxies(webview);
+        webview.loadScript("var pim = new PimProxyImpl();");
+        const sim::SimTime before = dev->scheduler().now();
+        webview.loadScript("pim.listContacts();");
+        total_ms += (dev->scheduler().now() - before).millis();
+        total_ops += 0;  // JS path: ops live in the bridge, not the meter
+      }
+    }
+    std::printf("%-10s | %10.1f | %12.0f\n", platform_name, total_ms / kRuns,
+                total_ops / kRuns);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A4 — extension experiment (paper §7: iPhone platform + "
+              "contact-list interface)\n\n");
+  PrintIPhoneRows();
+  PrintPimRows();
+  std::printf("\nextension invariant: added via binding planes + objc "
+              "syntactic planes only (see tests: "
+              "ShippedDescriptors.IPhoneExtensionUsesObjCPlanes)\n");
+  return 0;
+}

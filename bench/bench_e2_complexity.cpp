@@ -1,0 +1,111 @@
+// E2 — code complexity (paper §5 "Complexity", Figures 2 vs 8/9): the same
+// configured functionality generated as raw native code and as M-Proxy
+// code, measured in non-blank LoC, lexical tokens and branch points.
+//
+//   ./build/bench/bench_e2_complexity
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "plugin/codegen.h"
+#include "plugin/configuration.h"
+#include "plugin/metrics.h"
+
+using namespace mobivine;
+using namespace mobivine::plugin;
+
+namespace {
+
+ProxyConfiguration Configure(const core::DescriptorStore& store,
+                             const std::string& proxy,
+                             const std::string& method,
+                             const std::string& platform) {
+  ProxyConfiguration config =
+      ProxyConfiguration::For(*store.Find(proxy), method, platform);
+  config.SetVariable("latitude", "28.5245");
+  config.SetVariable("longitude", "77.1855");
+  config.SetVariable("altitude", "210");
+  config.SetVariable("radius", "200");
+  config.SetVariable("timer", "-1");
+  config.SetVariable("destination", "\"+15550199\"");
+  config.SetVariable("text", "\"on site\"");
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const auto store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  CodeGenerator generator(store);
+
+  struct Case {
+    const char* proxy;
+    const char* method;
+    bool callback_api;  // event plumbing dominates the raw code
+  };
+  const std::vector<Case> cases = {{"Location", "addProximityAlert", true},
+                                   {"Location", "getLocation", false},
+                                   {"Sms", "sendTextMessage", true}};
+  // "iphone" is the §7 extension platform (objc codegen).
+  const std::vector<std::string> platforms = {"android", "s60", "webview",
+                                              "iphone"};
+
+  std::printf("E2 — application-fragment complexity, raw vs M-Proxy\n\n");
+  std::printf("%-26s %-9s | %11s %11s | %13s %13s | %9s %9s | %7s\n",
+              "API", "platform", "raw LoC", "proxy LoC", "raw tokens",
+              "proxy tokens", "raw br", "proxy br", "LoC red.");
+  std::printf("%s\n", std::string(128, '-').c_str());
+
+  bool shape_holds = true;
+  double total_reduction = 0;
+  int measured = 0;
+  for (const Case& c : cases) {
+    for (const std::string& platform : platforms) {
+      ProxyConfiguration config = Configure(store, c.proxy, c.method, platform);
+      // Callback APIs drag class-level event plumbing into the raw code, so
+      // both styles are compared as full application fragments; the
+      // synchronous getLocation compares as plain invocation snippets.
+      // Exception: raw iPhone SMS cannot observe delivery AT ALL (openURL
+      // handoff), so the functionally comparable unit is the bare
+      // invocation snippet, not the callback-carrying fragment.
+      const bool callback_comparison =
+          c.callback_api &&
+          !(platform == "iphone" && std::string(c.proxy) == "Sms");
+      const CodeStyle raw_style = CodeStyle::kRaw;
+      const std::string raw_code =
+          callback_comparison
+              ? generator.ApplicationFragment(config, raw_style).code
+              : generator.InvocationSnippet(config, raw_style).code;
+      const std::string proxy_code =
+          callback_comparison
+              ? generator.ApplicationFragment(config, CodeStyle::kProxy).code
+              : generator.InvocationSnippet(config, CodeStyle::kProxy).code;
+      const CodeMetrics raw = Measure(raw_code);
+      const CodeMetrics proxy = Measure(proxy_code);
+      const double reduction =
+          100.0 * (raw.lines - proxy.lines) / std::max(raw.lines, 1);
+      std::printf("%-26s %-9s | %11d %11d | %13d %13d | %9d %9d | %6.0f%%\n",
+                  (std::string(c.proxy) + "." + c.method).c_str(),
+                  platform.c_str(), raw.lines, proxy.lines, raw.tokens,
+                  proxy.tokens, raw.branches, proxy.branches, reduction);
+      // Callback-heavy APIs must shrink decisively; synchronous /
+      // handoff-only APIs must not grow by more than a couple of
+      // boilerplate lines.
+      if (callback_comparison && proxy.lines >= raw.lines) {
+        shape_holds = false;
+      }
+      if (!callback_comparison && proxy.lines > raw.lines + 3) {
+        shape_holds = false;
+      }
+      total_reduction += reduction;
+      ++measured;
+    }
+  }
+  std::printf("\nmean LoC reduction with proxies: %.0f%%\n",
+              total_reduction / measured);
+  std::printf("paper's qualitative claim (Figure 8 'much simpler and "
+              "smaller' than Figure 2): %s\n",
+              shape_holds ? "HOLDS" : "VIOLATED");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+# Table/figure reproduction harnesses (E*) print paper-style tables and run
+# as plain executables; the ablation microbenches (A2, A3) use
+# google-benchmark. Included from the top-level CMakeLists (see note there).
+function(mobivine_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE mobivine_core mobivine_plugin)
+  target_compile_definitions(${name} PRIVATE
+    MOBIVINE_DESCRIPTOR_DIR="${MOBIVINE_DESCRIPTOR_DIR}")
+endfunction()
+
+mobivine_bench(bench_fig10_invocation)
+mobivine_bench(bench_e2_complexity)
+mobivine_bench(bench_e3_portability)
+mobivine_bench(bench_e4_maintenance)
+mobivine_bench(bench_a1_polling)
+mobivine_bench(bench_a4_extension)
+mobivine_bench(bench_a5_detection)
+
+mobivine_bench(bench_a2_descriptor)
+target_link_libraries(bench_a2_descriptor PRIVATE benchmark::benchmark)
+mobivine_bench(bench_a3_bridge)
+target_link_libraries(bench_a3_bridge PRIVATE benchmark::benchmark)

@@ -1,0 +1,103 @@
+// Extension demo (paper §7): the Pim (contacts) proxy and the iPhone
+// platform, working together. A dispatcher app looks up the on-call
+// supervisor in the device contact list and reaches them by SMS — the
+// same application routine on Android, Nokia S60 and iPhone, three
+// completely different native PIM/messaging stacks.
+//
+//   ./build/examples/contact_dispatch
+#include <cstdio>
+
+#include "core/registry.h"
+#include "iphone/iphone_platform.h"
+#include "s60/midlet.h"
+#include "sim/geo_track.h"
+
+using namespace mobivine;
+
+namespace {
+
+void PopulateContacts(device::MobileDevice& dev) {
+  dev.contacts().Add("Asha Verma (Supervisor)", "+15550199",
+                     "asha@example.com");
+  dev.contacts().Add("Ravi Kumar", "+15550123", "ravi@example.com");
+  dev.contacts().Add("Depot Hotline", "+15550777", "");
+  dev.modem().RegisterSubscriber("+15550199");
+  dev.modem().RegisterSubscriber("+15550123");
+}
+
+/// Identical on every platform: find the supervisor, message them.
+void DispatchToSupervisor(core::PimProxy& pim, core::SmsProxy& sms,
+                          const char* platform_name) {
+  auto matches = pim.findByName("supervisor");
+  if (matches.empty()) {
+    std::printf("[%s] no supervisor in the contact list\n", platform_name);
+    return;
+  }
+  const core::Contact& supervisor = matches.front();
+  std::printf("[%s] supervisor: %s <%s>\n", platform_name,
+              supervisor.display_name.c_str(),
+              supervisor.phone_number.c_str());
+  const long long id = sms.sendTextMessage(
+      supervisor.phone_number, "site inspection complete", nullptr);
+  std::printf("[%s] dispatched message #%lld (%d contact(s) on device)\n",
+              platform_name, id,
+              static_cast<int>(pim.listContacts().size()));
+}
+
+}  // namespace
+
+int main() {
+  const auto store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  core::ProxyRegistry registry(&store);
+
+  // --- Android: content-provider cursors underneath ------------------------
+  {
+    device::MobileDevice dev({.seed = 1});
+    PopulateContacts(dev);
+    android::AndroidPlatform platform(dev);
+    platform.grantPermission(android::permissions::kReadContacts);
+    platform.grantPermission(android::permissions::kSendSms);
+    auto pim = registry.CreatePimProxy(platform);
+    auto sms = registry.CreateSmsProxy(platform);
+    sms->setProperty("context", &platform.application_context());
+    DispatchToSupervisor(*pim, *sms, "android");
+    dev.RunAll();
+  }
+
+  // --- S60: JSR-75 PIM lists underneath ------------------------------------
+  {
+    device::MobileDevice dev({.seed = 2});
+    PopulateContacts(dev);
+    s60::S60Platform platform(dev);
+    s60::ApplicationManager manager(platform);
+    s60::MidletSuiteDescriptor suite;
+    suite.suite_name = "Dispatch";
+    suite.permissions = {s60::permissions::kPimRead,
+                         s60::permissions::kSmsSend};
+    manager.installSuite(suite);
+    auto pim = registry.CreatePimProxy(platform);
+    auto sms = registry.CreateSmsProxy(platform);
+    DispatchToSupervisor(*pim, *sms, "s60");
+    dev.RunAll();
+  }
+
+  // --- iPhone: AddressBook + sms: composer underneath ----------------------
+  {
+    device::MobileDevice dev({.seed = 3});
+    PopulateContacts(dev);
+    iphone::IPhonePlatform platform(dev);
+    auto pim = registry.CreatePimProxy(platform);
+    auto sms = registry.CreateSmsProxy(platform);
+    DispatchToSupervisor(*pim, *sms, "iphone");
+    // The user confirms the system composer a moment later.
+    dev.RunAll();
+    std::printf("[iphone] composer outcome: %s\n",
+                platform.last_composer_outcome() ==
+                        iphone::IPhonePlatform::ComposerOutcome::kSent
+                    ? "sent"
+                    : "not sent");
+  }
+
+  return 0;
+}

@@ -1,0 +1,289 @@
+// The paper's §2 motivating application, end to end: a mobile workforce
+// management solution with a Web-standard server side and a device-side
+// core written once against the MobiVine uniform interfaces — executed on
+// Android, Nokia S60 AND Android WebView (the WebView agent runs the
+// JavaScript twin through the MobiVine JS proxies).
+//
+//   ./build/examples/workforce_management
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bindings/webview_proxies.h"
+#include "core/registry.h"
+#include "iphone/iphone_platform.h"
+#include "s60/midlet.h"
+#include "sim/geo_track.h"
+#include "webview/webview.h"
+
+using namespace mobivine;
+
+namespace {
+
+constexpr double kSiteLat = 28.5245;
+constexpr double kSiteLon = 77.1855;
+
+// ---------------------------------------------------------------------------
+// Server-side application: book-keeping, request allocation, activity log.
+// ---------------------------------------------------------------------------
+
+class WorkforceServer {
+ public:
+  void AttachTo(device::SimNetwork& network) {
+    network.RegisterHost("wfm.example", [this](const device::HttpRequest& r) {
+      return Handle(r);
+    });
+  }
+
+  device::HttpResponse Handle(const device::HttpRequest& request) {
+    auto params = device::ParseQuery(request.body);
+    std::string agent;
+    for (const auto& [key, value] : params) {
+      if (key == "agent") agent = value;
+    }
+    if (request.url.path == "/checkin") {
+      Log(agent + " arrived on site");
+      return device::HttpResponse::Ok(NextTask(agent));
+    }
+    if (request.url.path == "/checkout") {
+      Log(agent + " left the site");
+      return device::HttpResponse::Ok("noted");
+    }
+    if (request.url.path == "/track") {
+      ++track_points_[agent];
+      return device::HttpResponse::Ok("ok");
+    }
+    return device::HttpResponse::NotFound();
+  }
+
+  void Log(const std::string& line) { activity_log_.push_back(line); }
+
+  std::string NextTask(const std::string& agent) {
+    static const char* kTasks[] = {"task:meter-reading", "task:repair-check",
+                                   "task:site-survey"};
+    return std::string(kTasks[assignments_++ % 3]) + " -> " + agent;
+  }
+
+  void PrintSummary() const {
+    std::printf("\n=== server-side activity log ===\n");
+    for (const auto& line : activity_log_) std::printf("  %s\n", line.c_str());
+    std::printf("=== tracking points ===\n");
+    for (const auto& [agent, count] : track_points_) {
+      std::printf("  %-16s %d position reports\n", agent.c_str(), count);
+    }
+  }
+
+ private:
+  int assignments_ = 0;
+  std::vector<std::string> activity_log_;
+  std::map<std::string, int> track_points_;
+};
+
+// ---------------------------------------------------------------------------
+// Device-side application core — ONE implementation for Android and S60.
+// ---------------------------------------------------------------------------
+
+class FieldAgentApp : public core::ProximityListener, public core::SmsListener {
+ public:
+  FieldAgentApp(std::string agent_id, core::LocationProxy& location,
+                core::SmsProxy& sms, core::HttpProxy& http)
+      : agent_id_(std::move(agent_id)),
+        location_(location),
+        sms_(sms),
+        http_(http) {}
+
+  void Start() {
+    location_.addProximityAlert(kSiteLat, kSiteLon, 210.0, 250.0f, -1, this);
+    Track();
+  }
+
+  void Track() {
+    core::Location now = location_.getLocation();
+    if (!now.valid) return;
+    std::ostringstream body;
+    body << "agent=" << agent_id_ << "&lat=" << now.latitude
+         << "&lon=" << now.longitude;
+    (void)http_.post("http://wfm.example/track", body.str(),
+                     "application/x-www-form-urlencoded");
+  }
+
+  void proximityEvent(double, double, double, const core::Location&,
+                      bool entering) override {
+    if (entering) {
+      core::HttpResult response = http_.post(
+          "http://wfm.example/checkin", "agent=" + agent_id_,
+          "application/x-www-form-urlencoded");
+      if (response.ok()) {
+        std::printf("  [%s] assigned: %s\n", agent_id_.c_str(),
+                    response.body.c_str());
+        sms_.sendTextMessage("+15550199", agent_id_ + ": " + response.body,
+                             this);
+      }
+    } else {
+      (void)http_.post("http://wfm.example/checkout", "agent=" + agent_id_,
+                       "application/x-www-form-urlencoded");
+    }
+  }
+
+  void smsStatusChanged(long long id, core::SmsDeliveryStatus status) override {
+    std::printf("  [%s] sms #%lld %s\n", agent_id_.c_str(), id,
+                core::ToString(status));
+  }
+
+ private:
+  std::string agent_id_;
+  core::LocationProxy& location_;
+  core::SmsProxy& sms_;
+  core::HttpProxy& http_;
+};
+
+/// An agent approaching the site from `offset_m` meters north, driving
+/// south through it.
+sim::GeoTrack AgentTrack(double offset_m, double speed_mps) {
+  auto start = support::MoveAlongBearing(kSiteLat, kSiteLon, 0.0, offset_m);
+  return sim::GeoTrack::StraightLine(start.latitude_deg, start.longitude_deg,
+                                     180.0, speed_mps,
+                                     sim::SimTime::Seconds(300),
+                                     sim::SimTime::Seconds(1));
+}
+
+}  // namespace
+
+int main() {
+  const auto store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  core::ProxyRegistry registry(&store);
+
+  std::printf("=== agent 1: Android handset ===\n");
+  {
+    device::MobileDevice dev({.seed = 101});
+    dev.gps().set_track(AgentTrack(900, 15.0));
+    dev.modem().RegisterSubscriber("+15550199");
+    WorkforceServer server;
+    server.AttachTo(dev.network());
+
+    android::AndroidPlatform platform(dev);
+    platform.grantPermission(android::permissions::kFineLocation);
+    platform.grantPermission(android::permissions::kSendSms);
+    platform.grantPermission(android::permissions::kInternet);
+
+    auto location = registry.CreateLocationProxy(platform);
+    location->setProperty("context", &platform.application_context());
+    auto sms = registry.CreateSmsProxy(platform);
+    sms->setProperty("context", &platform.application_context());
+    auto http = registry.CreateHttpProxy(platform);
+
+    FieldAgentApp app("agent-android", *location, *sms, *http);
+    app.Start();
+    dev.RunFor(sim::SimTime::Seconds(300));
+    server.PrintSummary();
+  }
+
+  std::printf("\n=== agent 2: Nokia S60 handset (same FieldAgentApp) ===\n");
+  {
+    device::MobileDevice dev({.seed = 202});
+    dev.gps().set_track(AgentTrack(700, 12.0));
+    dev.modem().RegisterSubscriber("+15550199");
+    WorkforceServer server;
+    server.AttachTo(dev.network());
+
+    s60::S60Platform platform(dev);
+    s60::ApplicationManager manager(platform);
+    s60::MidletSuiteDescriptor suite;
+    suite.suite_name = "WorkForce";
+    suite.permissions = {s60::permissions::kLocation,
+                         s60::permissions::kSmsSend, s60::permissions::kHttp};
+    manager.installSuite(suite);
+
+    auto location = registry.CreateLocationProxy(platform);
+    location->setProperty("verticalAccuracy", 50LL);
+    auto sms = registry.CreateSmsProxy(platform);
+    auto http = registry.CreateHttpProxy(platform);
+
+    FieldAgentApp app("agent-s60", *location, *sms, *http);
+    app.Start();
+    dev.RunFor(sim::SimTime::Seconds(300));
+    server.PrintSummary();
+  }
+
+  std::printf("\n=== agent 3: Android WebView (JavaScript twin) ===\n");
+  {
+    device::MobileDevice dev({.seed = 303});
+    dev.gps().set_track(AgentTrack(800, 14.0));
+    dev.modem().RegisterSubscriber("+15550199");
+    WorkforceServer server;
+    server.AttachTo(dev.network());
+
+    android::AndroidPlatform platform(dev);
+    platform.grantPermission(android::permissions::kFineLocation);
+    platform.grantPermission(android::permissions::kSendSms);
+    platform.grantPermission(android::permissions::kInternet);
+    webview::WebView webview(platform);
+    core::InstallWebViewProxies(webview);
+
+    webview.loadScript(R"(
+      var loc = new LocationProxyImpl();
+      loc.setProperty('provider', 'gps');
+      var sms = new SmsProxyImpl();
+      var http = new HttpProxyImpl();
+
+      function proximityEvent(refLat, refLon, refAlt, current, entering) {
+        if (entering) {
+          var r = http.post('http://wfm.example/checkin',
+                            'agent=agent-webview',
+                            'application/x-www-form-urlencoded');
+          if (r.status == 200) {
+            print('  [agent-webview] assigned: ' + r.body);
+            sms.sendTextMessage('+15550199', 'agent-webview: ' + r.body,
+                                function(id, status) {
+                                  print('  [agent-webview] sms ' + status);
+                                });
+          }
+        } else {
+          http.post('http://wfm.example/checkout', 'agent=agent-webview',
+                    'application/x-www-form-urlencoded');
+        }
+      }
+
+      loc.addProximityAlert(28.5245, 77.1855, 210, 250, -1, proximityEvent);
+      var now = loc.getLocation();
+      http.post('http://wfm.example/track',
+                'agent=agent-webview&lat=' + now.latitude,
+                'application/x-www-form-urlencoded');
+    )");
+    dev.RunFor(sim::SimTime::Seconds(300));
+    for (const auto& line : webview.interpreter().output()) {
+      std::printf("%s\n", line.c_str());
+    }
+    server.PrintSummary();
+  }
+
+  std::printf("\n=== agent 4: iPhone (same FieldAgentApp, §7 extension "
+              "platform) ===\n");
+  {
+    device::MobileDevice dev({.seed = 404});
+    dev.gps().set_track(AgentTrack(850, 13.0));
+    dev.modem().RegisterSubscriber("+15550199");
+    WorkforceServer server;
+    server.AttachTo(dev.network());
+
+    iphone::IPhonePlatform platform(dev);
+    // No manifest: location and the SMS composer are runtime user consents.
+    platform.set_user_allows_location(true);
+    platform.set_user_confirms_compose(true);
+
+    auto location = registry.CreateLocationProxy(platform);
+    location->setProperty("desiredAccuracy", 10.0);
+    auto sms = registry.CreateSmsProxy(platform);
+    auto http = registry.CreateHttpProxy(platform);
+
+    FieldAgentApp app("agent-iphone", *location, *sms, *http);
+    app.Start();
+    dev.RunFor(sim::SimTime::Seconds(300));
+    server.PrintSummary();
+  }
+
+  return 0;
+}

@@ -1,0 +1,62 @@
+// android.app.Activity analog: the deployment/lifecycle unit of an Android
+// application (the S60 counterpart is MIDlet — a different base class and
+// different lifecycle verbs, which is packaging fragmentation the paper's
+// M-Plugin extensions deal with).
+#pragma once
+
+#include "android/android_platform.h"
+#include "android/context.h"
+#include "android/exceptions.h"
+
+namespace mobivine::android {
+
+class Activity {
+ public:
+  virtual ~Activity() = default;
+
+  /// Lifecycle callbacks, 2009 names.
+  virtual void onCreate() = 0;
+  virtual void onStart() {}
+  virtual void onPause() {}
+  virtual void onDestroy() {}
+
+  /// Activities ARE contexts on Android; here the application context is
+  /// exposed through the same accessor shape.
+  Context& getApplicationContext() {
+    if (platform_ == nullptr) {
+      throw IllegalStateException("Activity not attached to a platform");
+    }
+    return platform_->application_context();
+  }
+
+  AndroidPlatform& platform() {
+    if (platform_ == nullptr) {
+      throw IllegalStateException("Activity not attached to a platform");
+    }
+    return *platform_;
+  }
+
+ private:
+  friend class ActivityManager;
+  AndroidPlatform* platform_ = nullptr;
+};
+
+/// Drives Activity lifecycles (the slice of ActivityManagerService the
+/// examples need).
+class ActivityManager {
+ public:
+  explicit ActivityManager(AndroidPlatform& platform) : platform_(platform) {}
+
+  void launch(Activity& activity) {
+    activity.platform_ = &platform_;
+    activity.onCreate();
+    activity.onStart();
+  }
+  void pause(Activity& activity) { activity.onPause(); }
+  void destroy(Activity& activity) { activity.onDestroy(); }
+
+ private:
+  AndroidPlatform& platform_;
+};
+
+}  // namespace mobivine::android

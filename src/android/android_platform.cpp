@@ -1,0 +1,50 @@
+#include "android/android_platform.h"
+
+#include "android/exceptions.h"
+#include "android/location_manager.h"
+#include "android/sms_manager.h"
+#include "android/telephony.h"
+
+namespace mobivine::android {
+
+const char* ToString(ApiLevel level) {
+  switch (level) {
+    case ApiLevel::kM5:
+      return "m5-rc15";
+    case ApiLevel::k10:
+      return "1.0";
+  }
+  return "?";
+}
+
+AndroidPlatform::AndroidPlatform(device::MobileDevice& device,
+                                 ApiLevel api_level, AndroidApiCost cost)
+    : device_(device), api_level_(api_level), cost_(cost) {
+  context_ = std::make_unique<Context>(*this);
+  location_manager_ = std::make_unique<LocationManager>(*this);
+  sms_manager_ = std::make_unique<SmsManager>(*this);
+  telephony_manager_ = std::make_unique<TelephonyManager>(*this);
+}
+
+AndroidPlatform::~AndroidPlatform() { *alive_ = false; }
+
+void AndroidPlatform::grantPermission(const std::string& permission) {
+  permissions_.insert(permission);
+}
+
+void AndroidPlatform::revokePermission(const std::string& permission) {
+  permissions_.erase(permission);
+}
+
+bool AndroidPlatform::hasPermission(const std::string& permission) const {
+  return permissions_.count(permission) > 0;
+}
+
+void AndroidPlatform::checkPermission(const std::string& permission) const {
+  if (!hasPermission(permission)) {
+    throw SecurityException("application lacks manifest permission: " +
+                            permission);
+  }
+}
+
+}  // namespace mobivine::android

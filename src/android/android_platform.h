@@ -1,0 +1,125 @@
+// The Android platform substrate (SDK m5-rc15, with a 1.0 variant for the
+// maintenance experiment E4).
+//
+// Owns the application context, the system services and the virtual API
+// cost table calibrated to Figure 10's "Without Proxy" Android column:
+//   addProximityAlert 53.6 ms | getLocation 15.5 ms | sendSMS 52.7 ms.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "android/context.h"
+#include "device/mobile_device.h"
+#include "sim/latency_model.h"
+
+namespace mobivine::android {
+
+class LocationManager;
+class SmsManager;
+class TelephonyManager;
+
+/// Which SDK contract the platform enforces. kM5 accepts the Intent-based
+/// addProximityAlert; k10 (Android 1.0) requires PendingIntent and rejects
+/// the old entry point — the API break §5 "Maintenance" discusses.
+enum class ApiLevel { kM5, k10 };
+
+[[nodiscard]] const char* ToString(ApiLevel level);
+
+/// Manifest permission strings.
+namespace permissions {
+inline constexpr const char* kFineLocation =
+    "android.permission.ACCESS_FINE_LOCATION";
+inline constexpr const char* kSendSms = "android.permission.SEND_SMS";
+inline constexpr const char* kCallPhone = "android.permission.CALL_PHONE";
+inline constexpr const char* kInternet = "android.permission.INTERNET";
+inline constexpr const char* kReadContacts = "android.permission.READ_CONTACTS";
+inline constexpr const char* kReadCalendar = "android.permission.READ_CALENDAR";
+}  // namespace permissions
+
+struct AndroidApiCost {
+  // paper: addProximityAlert 53.6 ms (binder call + region-monitor arm)
+  sim::LatencyModel add_proximity_alert =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(53.6),
+                                sim::SimTime::MillisF(2.5),
+                                sim::SimTime::MillisF(30.0));
+  // 3.5 framework + 12 low-power fix = 15.5 ms (paper: getLocation 15.5;
+  // getCurrentLocation serves from the fast cell/cached path)
+  sim::LatencyModel get_location_framework =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(3.5),
+                                sim::SimTime::MillisF(0.4),
+                                sim::SimTime::MillisF(1.5));
+  // paper: sendSMS 52.7 ms (blocking framework submit; radio is async)
+  sim::LatencyModel send_sms =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(52.7),
+                                sim::SimTime::MillisF(2.0),
+                                sim::SimTime::MillisF(30.0));
+  sim::LatencyModel place_call =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(45.0),
+                                sim::SimTime::MillisF(3.0),
+                                sim::SimTime::MillisF(20.0));
+  sim::LatencyModel http_execute_framework =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(8.0),
+                                sim::SimTime::MillisF(1.0),
+                                sim::SimTime::MillisF(4.0));
+  /// content://contacts/people query (provider binder + cursor fill).
+  sim::LatencyModel contacts_query =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(18.0),
+                                sim::SimTime::MillisF(1.5),
+                                sim::SimTime::MillisF(9.0));
+  /// content://calendar/events query.
+  sim::LatencyModel calendar_query =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(22.0),
+                                sim::SimTime::MillisF(2.0),
+                                sim::SimTime::MillisF(10.0));
+  /// Broadcast queue dispatch latency per delivered intent.
+  sim::SimTime broadcast_dispatch = sim::SimTime::MillisF(2.0);
+  /// Period of the proximity region-monitor poll.
+  sim::SimTime proximity_poll_interval = sim::SimTime::Millis(1000);
+};
+
+class AndroidPlatform {
+ public:
+  explicit AndroidPlatform(device::MobileDevice& device,
+                           ApiLevel api_level = ApiLevel::kM5,
+                           AndroidApiCost cost = {});
+  ~AndroidPlatform();
+
+  AndroidPlatform(const AndroidPlatform&) = delete;
+  AndroidPlatform& operator=(const AndroidPlatform&) = delete;
+
+  device::MobileDevice& device() { return device_; }
+  const AndroidApiCost& cost() const { return cost_; }
+  ApiLevel api_level() const { return api_level_; }
+  Context& application_context() { return *context_; }
+
+  // --- manifest permissions ------------------------------------------------
+  void grantPermission(const std::string& permission);
+  void revokePermission(const std::string& permission);
+  bool hasPermission(const std::string& permission) const;
+  /// Throws android::SecurityException when missing.
+  void checkPermission(const std::string& permission) const;
+
+  // --- services (also reachable via Context::getSystemService) ------------
+  LocationManager& location_manager() { return *location_manager_; }
+  TelephonyManager& telephony_manager() { return *telephony_manager_; }
+  /// SmsManager.getDefault() analog.
+  SmsManager& sms_manager() { return *sms_manager_; }
+
+  /// Liveness token for callbacks that may outlive the platform in tests.
+  std::shared_ptr<bool> alive_token() const { return alive_; }
+
+ private:
+  device::MobileDevice& device_;
+  ApiLevel api_level_;
+  AndroidApiCost cost_;
+  std::unordered_set<std::string> permissions_;
+  std::unique_ptr<Context> context_;
+  std::unique_ptr<LocationManager> location_manager_;
+  std::unique_ptr<SmsManager> sms_manager_;
+  std::unique_ptr<TelephonyManager> telephony_manager_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace mobivine::android

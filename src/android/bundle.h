@@ -1,0 +1,58 @@
+// android.os.Bundle analog: the typed extras map carried by Intents.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+
+namespace mobivine::android {
+
+class Bundle {
+ public:
+  using Value = std::variant<bool, int, long long, double, std::string>;
+
+  void putBoolean(const std::string& key, bool value) { map_[key] = value; }
+  void putInt(const std::string& key, int value) { map_[key] = value; }
+  void putLong(const std::string& key, long long value) { map_[key] = value; }
+  void putDouble(const std::string& key, double value) { map_[key] = value; }
+  void putString(const std::string& key, std::string value) {
+    map_[key] = std::move(value);
+  }
+
+  bool getBoolean(const std::string& key, bool fallback = false) const {
+    return Get<bool>(key, fallback);
+  }
+  int getInt(const std::string& key, int fallback = 0) const {
+    return Get<int>(key, fallback);
+  }
+  long long getLong(const std::string& key, long long fallback = 0) const {
+    return Get<long long>(key, fallback);
+  }
+  double getDouble(const std::string& key, double fallback = 0.0) const {
+    return Get<double>(key, fallback);
+  }
+  std::string getString(const std::string& key,
+                        std::string fallback = "") const {
+    return Get<std::string>(key, std::move(fallback));
+  }
+
+  bool containsKey(const std::string& key) const { return map_.count(key) > 0; }
+  std::size_t size() const { return map_.size(); }
+
+  /// Raw entries (used by Intent.fillIn-style merging and the JS bridge).
+  const std::map<std::string, Value>& entries() const { return map_; }
+  void put(const std::string& key, Value value) { map_[key] = std::move(value); }
+
+ private:
+  template <typename T>
+  T Get(const std::string& key, T fallback) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return fallback;
+    if (const T* value = std::get_if<T>(&it->second)) return *value;
+    return fallback;  // Android returns the default on type mismatch
+  }
+
+  std::map<std::string, Value> map_;
+};
+
+}  // namespace mobivine::android

@@ -1,0 +1,74 @@
+#include "android/calendar.h"
+
+#include "android/android_platform.h"
+#include "android/exceptions.h"
+
+namespace mobivine::android {
+
+bool EventCursor::moveToNext() {
+  if (closed_) throw IllegalStateException("cursor is closed");
+  if (position_ + 1 >= static_cast<int>(rows_.size())) return false;
+  ++position_;
+  return true;
+}
+
+long long EventCursor::getLong(int column) const {
+  if (closed_) throw IllegalStateException("cursor is closed");
+  if (position_ < 0 || position_ >= static_cast<int>(rows_.size())) {
+    throw IllegalStateException("cursor not positioned on a row");
+  }
+  const Row& row = rows_[position_];
+  switch (column) {
+    case COLUMN_ID:
+      return row.id;
+    case COLUMN_DTSTART:
+      return row.dtstart;
+    case COLUMN_DTEND:
+      return row.dtend;
+    default:
+      throw IllegalArgumentException("column " + std::to_string(column) +
+                                     " is not a long column");
+  }
+}
+
+std::string EventCursor::getString(int column) const {
+  if (closed_) throw IllegalStateException("cursor is closed");
+  if (position_ < 0 || position_ >= static_cast<int>(rows_.size())) {
+    throw IllegalStateException("cursor not positioned on a row");
+  }
+  const Row& row = rows_[position_];
+  switch (column) {
+    case COLUMN_TITLE:
+      return row.title;
+    case COLUMN_LOCATION:
+      return row.location;
+    default:
+      throw IllegalArgumentException("unknown string column " +
+                                     std::to_string(column));
+  }
+}
+
+EventCursor CalendarProvider::Fill(long long from_ms, long long to_ms,
+                                   bool bounded) {
+  platform_.checkPermission(permissions::kReadCalendar);
+  auto& device = platform_.device();
+  device.scheduler().AdvanceBy(
+      platform_.cost().calendar_query.Sample(device.rng()));
+  EventCursor cursor;
+  for (const auto& record : device.calendar().All()) {
+    if (bounded && !(record.start_ms < to_ms && record.end_ms > from_ms)) {
+      continue;
+    }
+    cursor.rows_.push_back({record.id, record.title, record.start_ms,
+                            record.end_ms, record.location});
+  }
+  return cursor;
+}
+
+EventCursor CalendarProvider::query() { return Fill(0, 0, /*bounded=*/false); }
+
+EventCursor CalendarProvider::queryBetween(long long from_ms, long long to_ms) {
+  return Fill(from_ms, to_ms, /*bounded=*/true);
+}
+
+}  // namespace mobivine::android

@@ -1,0 +1,59 @@
+// android.provider.Calendar (the 2009 semi-public provider) with a
+// cursor-style result, mirroring the contacts provider's access shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mobivine::android {
+
+class AndroidPlatform;
+
+/// Cursor over event rows (projection: _id, title, dtstart, dtend,
+/// eventLocation).
+class EventCursor {
+ public:
+  static constexpr int COLUMN_ID = 0;
+  static constexpr int COLUMN_TITLE = 1;
+  static constexpr int COLUMN_DTSTART = 2;
+  static constexpr int COLUMN_DTEND = 3;
+  static constexpr int COLUMN_LOCATION = 4;
+
+  int getCount() const { return static_cast<int>(rows_.size()); }
+  bool moveToNext();
+  bool isClosed() const { return closed_; }
+  void close() { closed_ = true; }
+
+  [[nodiscard]] long long getLong(int column) const;
+  [[nodiscard]] std::string getString(int column) const;
+
+ private:
+  friend class CalendarProvider;
+  struct Row {
+    long long id;
+    std::string title;
+    long long dtstart;
+    long long dtend;
+    std::string location;
+  };
+  std::vector<Row> rows_;
+  int position_ = -1;
+  bool closed_ = false;
+};
+
+/// content://calendar/events access.
+class CalendarProvider {
+ public:
+  explicit CalendarProvider(AndroidPlatform& platform) : platform_(platform) {}
+
+  /// All events. Throws SecurityException without READ_CALENDAR.
+  [[nodiscard]] EventCursor query();
+  /// Events overlapping [from_ms, to_ms) — the Instances query.
+  [[nodiscard]] EventCursor queryBetween(long long from_ms, long long to_ms);
+
+ private:
+  EventCursor Fill(long long from_ms, long long to_ms, bool bounded);
+  AndroidPlatform& platform_;
+};
+
+}  // namespace mobivine::android

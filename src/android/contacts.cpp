@@ -1,0 +1,70 @@
+#include "android/contacts.h"
+
+#include "android/android_platform.h"
+#include "android/exceptions.h"
+
+namespace mobivine::android {
+
+bool Cursor::moveToNext() {
+  if (closed_) throw IllegalStateException("cursor is closed");
+  if (position_ + 1 >= static_cast<int>(rows_.size())) return false;
+  ++position_;
+  return true;
+}
+
+long long Cursor::getLong(int column) const {
+  if (closed_) throw IllegalStateException("cursor is closed");
+  if (position_ < 0 || position_ >= static_cast<int>(rows_.size())) {
+    throw IllegalStateException("cursor not positioned on a row");
+  }
+  if (column != COLUMN_ID) {
+    throw IllegalArgumentException("column " + std::to_string(column) +
+                                   " is not a long column");
+  }
+  return rows_[position_].id;
+}
+
+std::string Cursor::getString(int column) const {
+  if (closed_) throw IllegalStateException("cursor is closed");
+  if (position_ < 0 || position_ >= static_cast<int>(rows_.size())) {
+    throw IllegalStateException("cursor not positioned on a row");
+  }
+  const Row& row = rows_[position_];
+  switch (column) {
+    case COLUMN_ID:
+      return std::to_string(row.id);
+    case COLUMN_DISPLAY_NAME:
+      return row.display_name;
+    case COLUMN_NUMBER:
+      return row.number;
+    case COLUMN_EMAIL:
+      return row.email;
+    default:
+      throw IllegalArgumentException("unknown column " +
+                                     std::to_string(column));
+  }
+}
+
+Cursor ContactsProvider::Fill(const std::string& number_filter) {
+  platform_.checkPermission(permissions::kReadContacts);
+  auto& device = platform_.device();
+  device.scheduler().AdvanceBy(
+      platform_.cost().contacts_query.Sample(device.rng()));
+  Cursor cursor;
+  for (const auto& record : device.contacts().All()) {
+    if (!number_filter.empty() && record.phone_number != number_filter) {
+      continue;
+    }
+    cursor.rows_.push_back({record.id, record.display_name,
+                            record.phone_number, record.email});
+  }
+  return cursor;
+}
+
+Cursor ContactsProvider::query() { return Fill(""); }
+
+Cursor ContactsProvider::queryByNumber(const std::string& number) {
+  return Fill(number);
+}
+
+}  // namespace mobivine::android

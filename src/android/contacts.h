@@ -1,0 +1,62 @@
+// android.provider.Contacts (the 2009, pre-ContactsContract provider) with
+// a android.database.Cursor-style result — row/column iteration, typed
+// getters, explicit close. A third PIM access shape next to J2ME's item
+// lists and iPhone's AddressBook copies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mobivine::android {
+
+class AndroidPlatform;
+
+/// android.database.Cursor-lite over contact rows.
+class Cursor {
+ public:
+  /// Column indices (the provider's projection).
+  static constexpr int COLUMN_ID = 0;
+  static constexpr int COLUMN_DISPLAY_NAME = 1;
+  static constexpr int COLUMN_NUMBER = 2;
+  static constexpr int COLUMN_EMAIL = 3;
+
+  int getCount() const { return static_cast<int>(rows_.size()); }
+  /// Advance; returns false past the last row. Starts before the first.
+  bool moveToNext();
+  bool isClosed() const { return closed_; }
+  void close() { closed_ = true; }
+
+  /// Throws IllegalStateException when closed or not positioned on a row;
+  /// IllegalArgumentException for a bad column.
+  [[nodiscard]] long long getLong(int column) const;
+  [[nodiscard]] std::string getString(int column) const;
+
+ private:
+  friend class ContactsProvider;
+  struct Row {
+    long long id;
+    std::string display_name;
+    std::string number;
+    std::string email;
+  };
+  std::vector<Row> rows_;
+  int position_ = -1;
+  bool closed_ = false;
+};
+
+/// content://contacts/people access.
+class ContactsProvider {
+ public:
+  explicit ContactsProvider(AndroidPlatform& platform) : platform_(platform) {}
+
+  /// All people. Throws SecurityException without READ_CONTACTS.
+  [[nodiscard]] Cursor query();
+  /// Phone-number lookup (the Contacts.Phones filter URI).
+  [[nodiscard]] Cursor queryByNumber(const std::string& number);
+
+ private:
+  Cursor Fill(const std::string& number_filter);
+  AndroidPlatform& platform_;
+};
+
+}  // namespace mobivine::android

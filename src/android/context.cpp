@@ -1,0 +1,58 @@
+#include "android/context.h"
+
+#include <algorithm>
+
+#include "android/android_platform.h"
+
+namespace mobivine::android {
+
+void* Context::getSystemService(const std::string& name) {
+  if (name == LOCATION_SERVICE) {
+    return &platform_.location_manager();
+  }
+  if (name == TELEPHONY_SERVICE) {
+    return &platform_.telephony_manager();
+  }
+  return nullptr;  // Android's contract: unknown service name -> null
+}
+
+void Context::registerReceiver(IntentReceiver* receiver, IntentFilter filter) {
+  if (receiver == nullptr) return;
+  receivers_.push_back({receiver, std::move(filter)});
+}
+
+void Context::unregisterReceiver(IntentReceiver* receiver) {
+  receivers_.erase(std::remove_if(receivers_.begin(), receivers_.end(),
+                                  [receiver](const Registration& reg) {
+                                    return reg.receiver == receiver;
+                                  }),
+                   receivers_.end());
+}
+
+void Context::broadcastIntent(const Intent& intent) {
+  // Snapshot matching receivers now; deliver through the main-thread queue
+  // with one dispatch latency each. A receiver unregistered between
+  // broadcast and dispatch is NOT delivered to (checked at fire time).
+  std::vector<IntentReceiver*> matched;
+  for (const auto& reg : receivers_) {
+    if (reg.filter.matches(intent)) matched.push_back(reg.receiver);
+  }
+  auto& scheduler = platform_.device().scheduler();
+  std::weak_ptr<bool> alive = platform_.alive_token();
+  sim::SimTime delay = platform_.cost().broadcast_dispatch;
+  for (IntentReceiver* receiver : matched) {
+    scheduler.ScheduleAfter(delay, [this, receiver, intent, alive] {
+      auto locked = alive.lock();
+      if (!locked || !*locked) return;
+      const bool still_registered =
+          std::any_of(receivers_.begin(), receivers_.end(),
+                      [receiver](const Registration& reg) {
+                        return reg.receiver == receiver;
+                      });
+      if (still_registered) receiver->onReceiveIntent(*this, intent);
+    });
+    delay += platform_.cost().broadcast_dispatch;
+  }
+}
+
+}  // namespace mobivine::android

@@ -1,0 +1,58 @@
+// android.content.Context analog.
+//
+// The application context is the handle through which 2009 Android code
+// reaches everything: system services by name, receiver registration and
+// intent broadcast. This "context-threading" requirement is one of the
+// platform-mandated attributes MobiVine moves into the binding plane via
+// setProperty("context", ...).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/intent.h"
+
+namespace mobivine::android {
+
+class AndroidPlatform;
+class LocationManager;
+class SmsManager;
+class TelephonyManager;
+
+/// Service-name constants (Context.LOCATION_SERVICE etc.).
+inline constexpr const char* LOCATION_SERVICE = "location";
+inline constexpr const char* TELEPHONY_SERVICE = "phone";
+
+class Context {
+ public:
+  explicit Context(AndroidPlatform& platform) : platform_(platform) {}
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  AndroidPlatform& platform() { return platform_; }
+
+  /// getSystemService: returns the raw service pointer (lifetime = the
+  /// platform's), or nullptr for unknown names — Android's own contract.
+  void* getSystemService(const std::string& name);
+
+  /// Register a receiver for intents matching `filter`. The caller keeps
+  /// ownership of the receiver and must unregister before destroying it.
+  void registerReceiver(IntentReceiver* receiver, IntentFilter filter);
+  void unregisterReceiver(IntentReceiver* receiver);
+  std::size_t receiver_count() const { return receivers_.size(); }
+
+  /// Broadcast: deliver `intent` to every matching receiver, asynchronously
+  /// through the main-thread queue (one dispatch latency per receiver).
+  void broadcastIntent(const Intent& intent);
+
+ private:
+  AndroidPlatform& platform_;
+  struct Registration {
+    IntentReceiver* receiver;
+    IntentFilter filter;
+  };
+  std::vector<Registration> receivers_;
+};
+
+}  // namespace mobivine::android

@@ -1,0 +1,70 @@
+// The Android (m5-rc15 era) exception set.
+//
+// Deliberately a DIFFERENT hierarchy from s60::* — same design note as
+// src/s60/exceptions.h: the substrates mirror the 2009 platform APIs,
+// heterogeneity included, because absorbing it is MobiVine's job.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mobivine::android {
+
+/// Base for everything thrown by the Android substrate.
+class AndroidException : public std::runtime_error {
+ public:
+  explicit AndroidException(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// java.lang.SecurityException (missing manifest permission).
+class SecurityException : public AndroidException {
+ public:
+  explicit SecurityException(const std::string& what)
+      : AndroidException(what) {}
+};
+
+/// java.lang.IllegalArgumentException
+class IllegalArgumentException : public AndroidException {
+ public:
+  explicit IllegalArgumentException(const std::string& what)
+      : AndroidException(what) {}
+};
+
+/// java.lang.IllegalStateException
+class IllegalStateException : public AndroidException {
+ public:
+  explicit IllegalStateException(const std::string& what)
+      : AndroidException(what) {}
+};
+
+/// java.lang.UnsupportedOperationException — thrown when code written for
+/// one API level calls an entry point the running level removed (the
+/// Intent-based addProximityAlert on Android 1.0).
+class UnsupportedOperationException : public AndroidException {
+ public:
+  explicit UnsupportedOperationException(const std::string& what)
+      : AndroidException(what) {}
+};
+
+/// android.os.RemoteException (binder failure talking to a system service).
+class RemoteException : public AndroidException {
+ public:
+  explicit RemoteException(const std::string& what) : AndroidException(what) {}
+};
+
+/// java.io.IOException as surfaced by org.apache.http.
+class ClientProtocolException : public AndroidException {
+ public:
+  explicit ClientProtocolException(const std::string& what)
+      : AndroidException(what) {}
+};
+
+/// org.apache.http connect/read timeout.
+class ConnectTimeoutException : public ClientProtocolException {
+ public:
+  explicit ConnectTimeoutException(const std::string& what)
+      : ClientProtocolException(what) {}
+};
+
+}  // namespace mobivine::android

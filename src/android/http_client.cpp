@@ -1,0 +1,41 @@
+#include "android/http_client.h"
+
+#include "android/android_platform.h"
+#include "android/exceptions.h"
+
+namespace mobivine::android {
+
+ApacheHttpResponse DefaultHttpClient::execute(const HttpUriRequest& request) {
+  platform_.checkPermission(permissions::kInternet);
+  auto url = device::ParseUrl(request.getURI());
+  if (!url) {
+    throw IllegalArgumentException("malformed URI: " + request.getURI());
+  }
+
+  auto& device = platform_.device();
+  device.scheduler().AdvanceBy(
+      platform_.cost().http_execute_framework.Sample(device.rng()));
+
+  device::HttpRequest wire;
+  wire.method = request.getMethod();
+  wire.url = *url;
+  for (const auto& [name, value] : request.headers().entries()) {
+    wire.headers.Set(name, value);
+  }
+  if (const auto* post = dynamic_cast<const HttpPost*>(&request)) {
+    wire.body = post->entity();
+  }
+
+  const device::NetResult result = device.network().BlockingSend(wire);
+  switch (result.error) {
+    case device::NetError::kHostUnreachable:
+      throw ClientProtocolException("unable to resolve host: " + url->host);
+    case device::NetError::kTimeout:
+      throw ConnectTimeoutException("connect to " + url->host + " timed out");
+    case device::NetError::kNone:
+      break;
+  }
+  return ApacheHttpResponse(result.response);
+}
+
+}  // namespace mobivine::android

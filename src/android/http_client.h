@@ -1,0 +1,86 @@
+// org.apache.http analog: request objects (HttpGet/HttpPost) executed by a
+// DefaultHttpClient. Blocking, like the 2009 stack; failures surface as
+// ClientProtocolException / ConnectTimeoutException — a third error style
+// after S60's IOException and WebView's error codes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "device/http_message.h"
+
+namespace mobivine::android {
+
+class AndroidPlatform;
+
+/// Base of HttpGet/HttpPost (org.apache.http.client.methods.HttpUriRequest).
+class HttpUriRequest {
+ public:
+  virtual ~HttpUriRequest() = default;
+  explicit HttpUriRequest(std::string uri) : uri_(std::move(uri)) {}
+
+  virtual const char* getMethod() const = 0;
+  const std::string& getURI() const { return uri_; }
+
+  void addHeader(const std::string& name, const std::string& value) {
+    headers_.Set(name, value);
+  }
+  const device::HeaderMap& headers() const { return headers_; }
+
+ private:
+  std::string uri_;
+  device::HeaderMap headers_;
+};
+
+class HttpGet : public HttpUriRequest {
+ public:
+  explicit HttpGet(std::string uri) : HttpUriRequest(std::move(uri)) {}
+  const char* getMethod() const override { return "GET"; }
+};
+
+class HttpPost : public HttpUriRequest {
+ public:
+  explicit HttpPost(std::string uri) : HttpUriRequest(std::move(uri)) {}
+  const char* getMethod() const override { return "POST"; }
+
+  void setEntity(std::string body) { body_ = std::move(body); }
+  const std::string& entity() const { return body_; }
+
+ private:
+  std::string body_;
+};
+
+/// org.apache.http.HttpResponse analog.
+class ApacheHttpResponse {
+ public:
+  ApacheHttpResponse() = default;
+  explicit ApacheHttpResponse(device::HttpResponse response)
+      : response_(std::move(response)) {}
+
+  int getStatusCode() const { return response_.status; }
+  const std::string& getReasonPhrase() const { return response_.reason; }
+  std::optional<std::string> getFirstHeader(const std::string& name) const {
+    return response_.headers.Get(name);
+  }
+  const std::string& getEntity() const { return response_.body; }
+
+ private:
+  device::HttpResponse response_;
+};
+
+/// org.apache.http.impl.client.DefaultHttpClient analog.
+class DefaultHttpClient {
+ public:
+  explicit DefaultHttpClient(AndroidPlatform& platform) : platform_(platform) {}
+
+  /// Blocking execute. Throws SecurityException (no INTERNET permission),
+  /// IllegalArgumentException (malformed URI), ClientProtocolException
+  /// (unreachable host) or ConnectTimeoutException (network timeout).
+  ApacheHttpResponse execute(const HttpUriRequest& request);
+
+ private:
+  AndroidPlatform& platform_;
+};
+
+}  // namespace mobivine::android

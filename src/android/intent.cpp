@@ -1,0 +1,26 @@
+#include "android/intent.h"
+
+#include "android/context.h"
+
+namespace mobivine::android {
+
+std::shared_ptr<PendingIntent> PendingIntent::getBroadcast(Context& context,
+                                                           int request_code,
+                                                           Intent intent,
+                                                           int flags) {
+  (void)flags;  // FLAG_UPDATE_CURRENT etc. — no duplicate tracking modeled
+  return std::shared_ptr<PendingIntent>(
+      new PendingIntent(context, request_code, std::move(intent)));
+}
+
+void PendingIntent::send(const Intent& fill_in) const {
+  Intent merged = intent_;
+  // Merge fill-in extras (fill-in wins, matching Intent.fillIn semantics
+  // for extras).
+  for (const auto& [key, value] : fill_in.getExtras().entries()) {
+    merged.extras().put(key, value);
+  }
+  context_->broadcastIntent(merged);
+}
+
+}  // namespace mobivine::android

@@ -1,0 +1,130 @@
+// android.content.Intent / IntentFilter / IntentReceiver / PendingIntent
+// analogs.
+//
+// The Intent broadcast mechanism is Android's callback style circa 2009:
+// code registers an IntentReceiver for an action string and system services
+// deliver events as broadcast Intents. Android 1.0 replaced raw Intents in
+// several system APIs with PendingIntent handles — the API evolution the
+// maintenance experiment (E4) replays.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/bundle.h"
+
+namespace mobivine::android {
+
+class Context;
+
+/// android.content.Intent
+class Intent {
+ public:
+  Intent() = default;
+  explicit Intent(std::string action) : action_(std::move(action)) {}
+
+  const std::string& getAction() const { return action_; }
+  void setAction(std::string action) { action_ = std::move(action); }
+
+  Intent& putExtra(const std::string& key, bool value) {
+    extras_.putBoolean(key, value);
+    return *this;
+  }
+  Intent& putExtra(const std::string& key, int value) {
+    extras_.putInt(key, value);
+    return *this;
+  }
+  Intent& putExtra(const std::string& key, long long value) {
+    extras_.putLong(key, value);
+    return *this;
+  }
+  Intent& putExtra(const std::string& key, double value) {
+    extras_.putDouble(key, value);
+    return *this;
+  }
+  Intent& putExtra(const std::string& key, std::string value) {
+    extras_.putString(key, std::move(value));
+    return *this;
+  }
+
+  bool getBooleanExtra(const std::string& key, bool fallback) const {
+    return extras_.getBoolean(key, fallback);
+  }
+  int getIntExtra(const std::string& key, int fallback) const {
+    return extras_.getInt(key, fallback);
+  }
+  long long getLongExtra(const std::string& key, long long fallback) const {
+    return extras_.getLong(key, fallback);
+  }
+  double getDoubleExtra(const std::string& key, double fallback) const {
+    return extras_.getDouble(key, fallback);
+  }
+  std::string getStringExtra(const std::string& key) const {
+    return extras_.getString(key);
+  }
+
+  const Bundle& getExtras() const { return extras_; }
+  Bundle& extras() { return extras_; }
+
+ private:
+  std::string action_;
+  Bundle extras_;
+};
+
+/// android.content.IntentFilter (action matching only, as the 2009 location
+/// examples use).
+class IntentFilter {
+ public:
+  IntentFilter() = default;
+  explicit IntentFilter(std::string action) { addAction(std::move(action)); }
+
+  void addAction(std::string action) { actions_.push_back(std::move(action)); }
+
+  bool matches(const Intent& intent) const {
+    for (const auto& action : actions_) {
+      if (action == intent.getAction()) return true;
+    }
+    return false;
+  }
+
+  const std::vector<std::string>& actions() const { return actions_; }
+
+ private:
+  std::vector<std::string> actions_;
+};
+
+/// android.content.IntentReceiver (m5 name; later BroadcastReceiver).
+class IntentReceiver {
+ public:
+  virtual ~IntentReceiver() = default;
+  virtual void onReceiveIntent(Context& context, const Intent& intent) = 0;
+};
+
+/// android.app.PendingIntent (Android 1.0): an opaque handle the system
+/// fires later. Only the broadcast flavor is modeled.
+class PendingIntent {
+ public:
+  static std::shared_ptr<PendingIntent> getBroadcast(Context& context,
+                                                     int request_code,
+                                                     Intent intent, int flags);
+
+  const Intent& intent() const { return intent_; }
+  int request_code() const { return request_code_; }
+
+  /// System-side: deliver the wrapped intent (with `fill_in` extras merged)
+  /// as a broadcast through the owning context.
+  void send(const Intent& fill_in) const;
+
+ private:
+  PendingIntent(Context& context, int request_code, Intent intent)
+      : context_(&context),
+        request_code_(request_code),
+        intent_(std::move(intent)) {}
+
+  Context* context_;
+  int request_code_;
+  Intent intent_;
+};
+
+}  // namespace mobivine::android

@@ -1,0 +1,51 @@
+// android.location.Location analog. A flat record with Android's accessor
+// names — intentionally shaped differently from s60::Location (no nested
+// QualifiedCoordinates, milliseconds timestamp, provider string).
+#pragma once
+
+#include <string>
+
+#include "sim/clock.h"
+
+namespace mobivine::android {
+
+class Location {
+ public:
+  Location() = default;
+  explicit Location(std::string provider) : provider_(std::move(provider)) {}
+
+  double getLatitude() const { return latitude_; }
+  double getLongitude() const { return longitude_; }
+  bool hasAltitude() const { return has_altitude_; }
+  double getAltitude() const { return altitude_; }
+  float getAccuracy() const { return accuracy_m_; }
+  float getSpeed() const { return speed_mps_; }
+  float getBearing() const { return bearing_deg_; }
+  /// Milliseconds since the epoch of the simulation.
+  long long getTime() const { return time_ms_; }
+  const std::string& getProvider() const { return provider_; }
+
+  void setLatitude(double v) { latitude_ = v; }
+  void setLongitude(double v) { longitude_ = v; }
+  void setAltitude(double v) {
+    altitude_ = v;
+    has_altitude_ = true;
+  }
+  void setAccuracy(float v) { accuracy_m_ = v; }
+  void setSpeed(float v) { speed_mps_ = v; }
+  void setBearing(float v) { bearing_deg_ = v; }
+  void setTime(long long ms) { time_ms_ = ms; }
+
+ private:
+  std::string provider_ = "gps";
+  double latitude_ = 0.0;
+  double longitude_ = 0.0;
+  double altitude_ = 0.0;
+  bool has_altitude_ = false;
+  float accuracy_m_ = 0.0f;
+  float speed_mps_ = 0.0f;
+  float bearing_deg_ = 0.0f;
+  long long time_ms_ = 0;
+};
+
+}  // namespace mobivine::android

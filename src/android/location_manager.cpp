@@ -1,0 +1,201 @@
+#include "android/location_manager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "android/android_platform.h"
+#include "android/exceptions.h"
+#include "support/geo_units.h"
+
+namespace mobivine::android {
+
+LocationManager::LocationManager(AndroidPlatform& platform)
+    : platform_(platform) {}
+
+std::vector<std::string> LocationManager::getProviders() const {
+  return {GPS_PROVIDER, NETWORK_PROVIDER};
+}
+
+Location LocationManager::getCurrentLocation(const std::string& provider) {
+  platform_.checkPermission(permissions::kFineLocation);
+  if (provider != GPS_PROVIDER && provider != NETWORK_PROVIDER) {
+    throw IllegalArgumentException("unknown location provider: " + provider);
+  }
+  auto& device = platform_.device();
+  device.scheduler().AdvanceBy(
+      platform_.cost().get_location_framework.Sample(device.rng()));
+
+  // getCurrentLocation serves the fast path: low-power for "network",
+  // low-power cached fix for "gps" too (the full fix belongs to the
+  // request-updates path, which Figure 10 does not measure).
+  const device::GpsFix fix =
+      device.gps().BlockingFix(device::GpsMode::kLowPower);
+  Location location(provider);
+  if (!fix.valid) return location;  // m5 returned null; see header
+  location.setLatitude(fix.latitude_deg);
+  location.setLongitude(fix.longitude_deg);
+  location.setAltitude(fix.altitude_m);
+  location.setAccuracy(static_cast<float>(fix.horizontal_accuracy_m));
+  location.setSpeed(static_cast<float>(fix.speed_mps));
+  location.setBearing(static_cast<float>(fix.heading_deg));
+  location.setTime(fix.timestamp.micros() / 1000);
+  return location;
+}
+
+void LocationManager::Validate(double latitude, double longitude,
+                               float radius) const {
+  if (latitude < -90 || latitude > 90 || longitude < -180 || longitude > 180) {
+    throw IllegalArgumentException("latitude/longitude out of range");
+  }
+  if (!(radius > 0.0f) || std::isnan(radius)) {
+    throw IllegalArgumentException("radius must be > 0");
+  }
+}
+
+void LocationManager::addProximityAlert(double latitude, double longitude,
+                                        float radius, long long expiration_ms,
+                                        const Intent& intent) {
+  if (platform_.api_level() == ApiLevel::k10) {
+    throw UnsupportedOperationException(
+        "addProximityAlert(Intent) was removed in Android 1.0; "
+        "use the PendingIntent overload");
+  }
+  platform_.checkPermission(permissions::kFineLocation);
+  Validate(latitude, longitude, radius);
+  if (intent.getAction().empty()) {
+    throw IllegalArgumentException("proximity intent has no action");
+  }
+  Alert alert;
+  alert.latitude = latitude;
+  alert.longitude = longitude;
+  alert.radius_m = radius;
+  alert.has_expiration = expiration_ms >= 0;
+  alert.expires_at =
+      alert.has_expiration
+          ? platform_.device().scheduler().now() + sim::SimTime::Millis(expiration_ms)
+          : sim::SimTime::Max();
+  alert.use_pending = false;
+  alert.intent = intent;
+  Arm(std::move(alert));
+}
+
+void LocationManager::addProximityAlert(
+    double latitude, double longitude, float radius, long long expiration_ms,
+    std::shared_ptr<PendingIntent> pending_intent) {
+  if (platform_.api_level() == ApiLevel::kM5) {
+    throw UnsupportedOperationException(
+        "PendingIntent does not exist on SDK m5-rc15");
+  }
+  platform_.checkPermission(permissions::kFineLocation);
+  Validate(latitude, longitude, radius);
+  if (!pending_intent) {
+    throw IllegalArgumentException("pending intent is null");
+  }
+  Alert alert;
+  alert.latitude = latitude;
+  alert.longitude = longitude;
+  alert.radius_m = radius;
+  alert.has_expiration = expiration_ms >= 0;
+  alert.expires_at =
+      alert.has_expiration
+          ? platform_.device().scheduler().now() + sim::SimTime::Millis(expiration_ms)
+          : sim::SimTime::Max();
+  alert.use_pending = true;
+  alert.pending = std::move(pending_intent);
+  Arm(std::move(alert));
+}
+
+void LocationManager::Arm(Alert alert) {
+  auto& device = platform_.device();
+  device.scheduler().AdvanceBy(
+      platform_.cost().add_proximity_alert.Sample(device.rng()));
+  alerts_.push_back(std::move(alert));
+  EnsurePoll();
+}
+
+void LocationManager::removeProximityAlert(const std::string& action) {
+  alerts_.erase(std::remove_if(alerts_.begin(), alerts_.end(),
+                               [&action](const Alert& alert) {
+                                 return !alert.use_pending &&
+                                        alert.intent.getAction() == action;
+                               }),
+                alerts_.end());
+}
+
+void LocationManager::removeProximityAlert(
+    const std::shared_ptr<PendingIntent>& pending) {
+  alerts_.erase(std::remove_if(alerts_.begin(), alerts_.end(),
+                               [&pending](const Alert& alert) {
+                                 return alert.use_pending &&
+                                        alert.pending == pending;
+                               }),
+                alerts_.end());
+}
+
+void LocationManager::EnsurePoll() {
+  if (poll_running_) return;
+  poll_running_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<bool> alive = platform_.alive_token();
+  *tick = [this, tick, alive] {
+    auto locked = alive.lock();
+    if (!locked || !*locked) return;
+    PollTick();
+    if (alerts_.empty()) {
+      poll_running_ = false;
+      return;
+    }
+    platform_.device().scheduler().ScheduleAfter(
+        platform_.cost().proximity_poll_interval, *tick);
+  };
+  platform_.device().scheduler().ScheduleAfter(
+      platform_.cost().proximity_poll_interval, *tick);
+}
+
+void LocationManager::PollTick() {
+  auto& device = platform_.device();
+  const sim::SimTime now = device.scheduler().now();
+
+  // Expire first.
+  alerts_.erase(std::remove_if(alerts_.begin(), alerts_.end(),
+                               [now](const Alert& alert) {
+                                 return alert.has_expiration &&
+                                        now >= alert.expires_at;
+                               }),
+                alerts_.end());
+  if (alerts_.empty()) return;
+
+  const device::GpsFix fix = device.gps().BlockingFix(device::GpsMode::kBalanced);
+  if (!fix.valid) return;
+
+  // Compute transitions, then deliver (delivery may re-enter alerts_).
+  std::vector<std::pair<Alert, bool>> to_deliver;
+  for (Alert& alert : alerts_) {
+    const double distance = support::HaversineMeters(
+        fix.latitude_deg, fix.longitude_deg, alert.latitude, alert.longitude);
+    const bool inside_now = distance <= alert.radius_m;
+    if (inside_now != alert.inside) {
+      alert.inside = inside_now;
+      to_deliver.emplace_back(alert, inside_now);
+    }
+  }
+  for (const auto& [alert, entering] : to_deliver) {
+    Deliver(alert, entering);
+  }
+}
+
+void LocationManager::Deliver(const Alert& alert, bool entering) {
+  if (alert.use_pending) {
+    Intent fill_in;
+    fill_in.putExtra("entering", entering);
+    alert.pending->send(fill_in);
+    return;
+  }
+  Intent intent = alert.intent;
+  intent.putExtra("entering", entering);
+  platform_.application_context().broadcastIntent(intent);
+}
+
+}  // namespace mobivine::android

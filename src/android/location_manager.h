@@ -1,0 +1,89 @@
+// android.location.LocationManager analog (m5-rc15, plus the 1.0 variant).
+//
+// Contrasts with s60::LocationProvider that the Location proxy absorbs:
+//  * provider selected by NAME ("gps"/"network"), not criteria;
+//  * getCurrentLocation() is fast (serves the cached/coarse path);
+//  * proximity alerts deliver BOTH entry and exit events, repeatedly,
+//    until `expiration` elapses — via Intent broadcast (m5) or
+//    PendingIntent (1.0), not a listener object;
+//  * the documented exception set is {SecurityException} plus
+//    IllegalArgumentException for bad providers/radii.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/intent.h"
+#include "android/location.h"
+#include "sim/clock.h"
+
+namespace mobivine::android {
+
+class AndroidPlatform;
+
+class LocationManager {
+ public:
+  static constexpr const char* GPS_PROVIDER = "gps";
+  static constexpr const char* NETWORK_PROVIDER = "network";
+
+  explicit LocationManager(AndroidPlatform& platform);
+
+  /// Blocking read of the current location for a named provider.
+  /// Throws SecurityException (no ACCESS_FINE_LOCATION) or
+  /// IllegalArgumentException (unknown provider). Returns an invalid-time
+  /// location (getTime()==0, lat/lon 0) when no fix is available — m5
+  /// returned null; callers must check.
+  Location getCurrentLocation(const std::string& provider);
+
+  /// m5-rc15 signature: the alert is delivered by broadcasting `intent`.
+  /// On ApiLevel::k10 this entry point no longer exists and throws
+  /// UnsupportedOperationException — the E4 API break.
+  void addProximityAlert(double latitude, double longitude, float radius,
+                         long long expiration_ms, const Intent& intent);
+
+  /// Android 1.0 signature (PendingIntent). On kM5 it throws
+  /// UnsupportedOperationException (the class did not exist yet).
+  void addProximityAlert(double latitude, double longitude, float radius,
+                         long long expiration_ms,
+                         std::shared_ptr<PendingIntent> pending_intent);
+
+  /// Remove every alert whose broadcast action matches `action` (m5) or
+  /// that wraps `pending_intent` (1.0).
+  void removeProximityAlert(const std::string& action);
+  void removeProximityAlert(const std::shared_ptr<PendingIntent>& pending);
+
+  std::size_t alert_count() const { return alerts_.size(); }
+
+  /// Providers known to this device.
+  std::vector<std::string> getProviders() const;
+
+ private:
+  struct Alert {
+    double latitude;
+    double longitude;
+    float radius_m;
+    sim::SimTime expires_at;  // SimTime::Max() = never
+    bool has_expiration;
+    // Exactly one of the two delivery mechanisms is set.
+    bool use_pending;
+    Intent intent;                           // m5 path
+    std::shared_ptr<PendingIntent> pending;  // 1.0 path
+    // Entry/exit detection state. Registration assumes "outside", so a
+    // device already in the region fires an entering event on the first
+    // poll — matching Android's fire-immediately-if-inside behaviour.
+    bool inside = false;
+  };
+
+  void Validate(double latitude, double longitude, float radius) const;
+  void Arm(Alert alert);
+  void EnsurePoll();
+  void PollTick();
+  void Deliver(const Alert& alert, bool entering);
+
+  AndroidPlatform& platform_;
+  std::vector<Alert> alerts_;
+  bool poll_running_ = false;
+};
+
+}  // namespace mobivine::android

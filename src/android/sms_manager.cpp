@@ -1,0 +1,70 @@
+#include "android/sms_manager.h"
+
+#include "android/android_platform.h"
+#include "android/context.h"
+#include "android/exceptions.h"
+
+namespace mobivine::android {
+
+int SmsManager::divideMessage(const std::string& text) const {
+  return platform_.device().modem().SegmentCount(text);
+}
+
+long long SmsManager::sendTextMessage(const std::string& destination_address,
+                                      const std::string& sc_address,
+                                      const std::string& text,
+                                      const std::string& sent_action,
+                                      const std::string& delivered_action) {
+  (void)sc_address;  // service-center override is accepted and ignored
+  platform_.checkPermission(permissions::kSendSms);
+  if (destination_address.empty()) {
+    throw IllegalArgumentException("destination address is empty");
+  }
+  if (text.empty()) {
+    throw IllegalArgumentException("message body is empty");
+  }
+
+  auto& device = platform_.device();
+  // Blocking framework submit (Figure 10: 52.7 ms); radio transfer and the
+  // progress broadcasts are asynchronous.
+  device.scheduler().AdvanceBy(platform_.cost().send_sms.Sample(device.rng()));
+
+  std::weak_ptr<bool> alive = platform_.alive_token();
+  AndroidPlatform* platform = &platform_;
+  auto broadcast = [alive, platform](const std::string& action, int result,
+                                     long long message_id) {
+    auto locked = alive.lock();
+    if (!locked || !*locked || action.empty()) return;
+    Intent intent(action);
+    intent.putExtra("result", result);
+    intent.putExtra("messageId", message_id);
+    platform->application_context().broadcastIntent(intent);
+  };
+
+  const std::uint64_t id = device.modem().SendSms(
+      destination_address, text,
+      [broadcast, sent_action, delivered_action](
+          const device::SmsResult& result) {
+        switch (result.status) {
+          case device::SmsStatus::kSent:
+            broadcast(sent_action, RESULT_OK,
+                      static_cast<long long>(result.message_id));
+            break;
+          case device::SmsStatus::kDelivered:
+            broadcast(delivered_action, RESULT_OK,
+                      static_cast<long long>(result.message_id));
+            break;
+          case device::SmsStatus::kFailedRadio:
+            broadcast(sent_action, RESULT_ERROR_GENERIC_FAILURE,
+                      static_cast<long long>(result.message_id));
+            break;
+          case device::SmsStatus::kFailedUnreachable:
+            broadcast(sent_action, RESULT_ERROR_NO_SERVICE,
+                      static_cast<long long>(result.message_id));
+            break;
+        }
+      });
+  return static_cast<long long>(id);
+}
+
+}  // namespace mobivine::android

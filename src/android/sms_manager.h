@@ -1,0 +1,47 @@
+// android.telephony.gsm.SmsManager analog.
+//
+// Android's SMS contract vs J2ME's: sendTextMessage returns quickly after
+// the framework submit and reports progress by firing the caller-supplied
+// sent/delivered Intents (m5) with a result-code extra — there is no
+// exception on radio failure, unlike S60's blocking send().
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "android/intent.h"
+
+namespace mobivine::android {
+
+class AndroidPlatform;
+
+class SmsManager {
+ public:
+  /// Result codes carried in the "result" extra of the sent intent.
+  static constexpr int RESULT_OK = -1;  // Activity.RESULT_OK
+  static constexpr int RESULT_ERROR_GENERIC_FAILURE = 1;
+  static constexpr int RESULT_ERROR_RADIO_OFF = 2;
+  static constexpr int RESULT_ERROR_NULL_PDU = 3;
+  static constexpr int RESULT_ERROR_NO_SERVICE = 4;
+
+  explicit SmsManager(AndroidPlatform& platform) : platform_(platform) {}
+
+  /// m5 signature. `sent_action` / `delivered_action`, when non-empty, are
+  /// broadcast with extras {"result": int, "messageId": long} as the
+  /// message progresses. Throws SecurityException (no SEND_SMS) and
+  /// IllegalArgumentException (empty destination or text).
+  /// Returns the framework message id.
+  long long sendTextMessage(const std::string& destination_address,
+                            const std::string& sc_address,
+                            const std::string& text,
+                            const std::string& sent_action,
+                            const std::string& delivered_action);
+
+  /// Messages split per GSM alphabet (the framework's divideMessage).
+  int divideMessage(const std::string& text) const;
+
+ private:
+  AndroidPlatform& platform_;
+};
+
+}  // namespace mobivine::android

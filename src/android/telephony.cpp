@@ -1,0 +1,66 @@
+#include "android/telephony.h"
+
+#include <algorithm>
+
+#include "android/android_platform.h"
+#include "android/exceptions.h"
+
+namespace mobivine::android {
+
+namespace {
+int MapState(device::CallState state) {
+  switch (state) {
+    case device::CallState::kDialing:
+    case device::CallState::kRinging:
+    case device::CallState::kConnected:
+      return PhoneStateListener::CALL_STATE_OFFHOOK;
+    case device::CallState::kIdle:
+    case device::CallState::kEnded:
+    case device::CallState::kFailed:
+      return PhoneStateListener::CALL_STATE_IDLE;
+  }
+  return PhoneStateListener::CALL_STATE_IDLE;
+}
+}  // namespace
+
+bool TelephonyManager::call(const std::string& number) {
+  platform_.checkPermission(permissions::kCallPhone);
+  if (number.empty()) {
+    throw IllegalArgumentException("phone number is empty");
+  }
+  auto& device = platform_.device();
+  device.scheduler().AdvanceBy(
+      platform_.cost().place_call.Sample(device.rng()));
+  current_number_ = number;
+  return device.modem().Dial(
+      number, [this](device::CallState state) { NotifyListeners(state); });
+}
+
+void TelephonyManager::endCall() {
+  platform_.device().modem().HangUp();
+  current_number_.clear();
+}
+
+int TelephonyManager::getCallState() const {
+  return MapState(platform_.device().modem().call_state());
+}
+
+void TelephonyManager::listen(PhoneStateListener* listener) {
+  if (listener == nullptr) return;
+  listeners_.push_back(listener);
+}
+
+void TelephonyManager::stopListening(PhoneStateListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+void TelephonyManager::NotifyListeners(device::CallState state) {
+  const int mapped = MapState(state);
+  for (PhoneStateListener* listener : listeners_) {
+    listener->onCallStateChanged(mapped, current_number_);
+  }
+  if (detailed_listener_) detailed_listener_(state);
+}
+
+}  // namespace mobivine::android

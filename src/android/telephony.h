@@ -1,0 +1,63 @@
+// android.telephony analog. m5 exposed phone-call control through the
+// (semi-internal) IPhone interface; we model it as TelephonyManager with
+// call() / endCall() / a PhoneStateListener. This interface has NO S60
+// counterpart — the asymmetry behind the paper's note that the Call proxy
+// exists on Android and WebView but not S60.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "device/cellular_modem.h"
+
+namespace mobivine::android {
+
+class AndroidPlatform;
+
+/// android.telephony.PhoneStateListener analog (call-state only).
+class PhoneStateListener {
+ public:
+  static constexpr int CALL_STATE_IDLE = 0;
+  static constexpr int CALL_STATE_RINGING = 1;
+  static constexpr int CALL_STATE_OFFHOOK = 2;
+
+  virtual ~PhoneStateListener() = default;
+  virtual void onCallStateChanged(int state,
+                                  const std::string& incoming_number) = 0;
+};
+
+class TelephonyManager {
+ public:
+  explicit TelephonyManager(AndroidPlatform& platform) : platform_(platform) {}
+
+  /// Place a call (the IPhone.call path). Throws SecurityException
+  /// (no CALL_PHONE) or IllegalArgumentException (empty number).
+  /// Returns false if a call is already in progress.
+  bool call(const std::string& number);
+
+  void endCall();
+
+  /// Android call state mapped from the modem's state machine.
+  int getCallState() const;
+
+  void listen(PhoneStateListener* listener);
+  void stopListening(PhoneStateListener* listener);
+
+  /// Semi-internal IPhone surface (the paper's Call proxy was built on
+  /// android.telephony.IPhone): full-resolution call-state callback,
+  /// not the coarse IDLE/OFFHOOK of PhoneStateListener.
+  void setDetailedCallListener(std::function<void(device::CallState)> listener) {
+    detailed_listener_ = std::move(listener);
+  }
+
+ private:
+  void NotifyListeners(device::CallState state);
+
+  AndroidPlatform& platform_;
+  std::vector<PhoneStateListener*> listeners_;
+  std::function<void(device::CallState)> detailed_listener_;
+  std::string current_number_;
+};
+
+}  // namespace mobivine::android

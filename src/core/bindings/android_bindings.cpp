@@ -1,0 +1,554 @@
+#include "core/bindings/android_bindings.h"
+
+#include <algorithm>
+
+#include "android/exceptions.h"
+#include "android/http_client.h"
+#include "android/sms_manager.h"
+#include "android/telephony.h"
+#include "core/errors.h"
+#include "support/strings.h"
+
+namespace mobivine::core {
+
+namespace {
+constexpr const char* kPlatform = "android";
+
+Location ToUniform(const android::Location& native) {
+  Location out;
+  out.latitude = native.getLatitude();
+  out.longitude = native.getLongitude();
+  out.altitude = native.hasAltitude() ? native.getAltitude() : 0.0;
+  out.accuracy_m = native.getAccuracy();
+  out.speed_mps = native.getSpeed();
+  out.heading_deg = native.getBearing();
+  out.timestamp_ms = native.getTime();
+  out.valid = native.getTime() != 0;
+  return out;
+}
+}  // namespace
+
+// ===========================================================================
+// AndroidLocationProxy
+// ===========================================================================
+
+/// Receives the platform's proximity broadcast and re-expresses it as the
+/// uniform ProximityListener callback, fetching the current location the
+/// way the paper's Figure 2(a) receiver does.
+class AndroidLocationProxy::AlertReceiver : public android::IntentReceiver {
+ public:
+  AlertReceiver(AndroidLocationProxy& owner, ProximityListener* listener,
+                double ref_latitude, double ref_longitude, double ref_altitude)
+      : owner_(owner),
+        listener_(listener),
+        ref_latitude_(ref_latitude),
+        ref_longitude_(ref_longitude),
+        ref_altitude_(ref_altitude) {}
+
+  void onReceiveIntent(android::Context& context,
+                       const android::Intent& intent) override {
+    (void)context;
+    const bool entering = intent.getBooleanExtra("entering", false);
+    owner_.meter().Charge(Op::kListenerAdaptation);
+    Location current;
+    try {
+      current = owner_.ReadCurrentLocation();
+    } catch (const ProxyError&) {
+      current.valid = false;  // deliver the event even without a fix
+    }
+    listener_->proximityEvent(ref_latitude_, ref_longitude_, ref_altitude_,
+                              current, entering);
+  }
+
+ private:
+  AndroidLocationProxy& owner_;
+  ProximityListener* listener_;
+  double ref_latitude_;
+  double ref_longitude_;
+  double ref_altitude_;
+};
+
+AndroidLocationProxy::AndroidLocationProxy(android::AndroidPlatform& platform,
+                                           const BindingPlane* binding)
+    : LocationProxy(platform.device().scheduler(), binding),
+      platform_(platform) {}
+
+AndroidLocationProxy::~AndroidLocationProxy() {
+  for (auto& reg : registrations_) {
+    platform_.application_context().unregisterReceiver(reg.receiver.get());
+  }
+}
+
+android::Context& AndroidLocationProxy::RequireContext() {
+  meter().Charge(Op::kPropertyLookup);
+  auto context = getProperty<android::Context*>("context");
+  if (!context || *context == nullptr) {
+    throw ProxyError(ErrorCode::kIllegalArgument,
+                     "Location proxy on android requires "
+                     "setProperty(\"context\", <Context*>)");
+  }
+  return **context;
+}
+
+Location AndroidLocationProxy::ReadCurrentLocation() {
+  android::Context& context = RequireContext();
+  meter().Charge(Op::kPropertyLookup);
+  const std::string provider =
+      getPropertyOr<std::string>("provider", "gps");
+  auto* manager = static_cast<android::LocationManager*>(
+      context.getSystemService(android::LOCATION_SERVICE));
+  try {
+    android::Location native = manager->getCurrentLocation(provider);
+    meter().Charge(Op::kTypeConversion, 7);
+    return ConvertUnits(ToUniform(native));
+  } catch (...) {
+    meter().Charge(Op::kExceptionMap);
+    RethrowAsProxyError(kPlatform);
+  }
+}
+
+Location AndroidLocationProxy::getLocation() {
+  meter().Charge(Op::kDispatch);
+  RequireProperties();
+  return ReadCurrentLocation();
+}
+
+void AndroidLocationProxy::addProximityAlert(double latitude, double longitude,
+                                             double altitude, float radius_m,
+                                             long long timer_ms,
+                                             ProximityListener* listener) {
+  meter().Charge(Op::kDispatch);
+  meter().Charge(Op::kValidation);
+  if (listener == nullptr) {
+    throw ProxyError(ErrorCode::kIllegalArgument,
+                     "proximity listener must not be null");
+  }
+  RequireProperties();
+  android::Context& context = RequireContext();
+  auto* manager = static_cast<android::LocationManager*>(
+      context.getSystemService(android::LOCATION_SERVICE));
+
+  Registration reg;
+  reg.listener = listener;
+  reg.action = "com.ibm.proxies.android.intent.action.PROXIMITY_ALERT." +
+               std::to_string(next_alert_id_++);
+  reg.receiver = std::make_unique<AlertReceiver>(*this, listener, latitude,
+                                                 longitude, altitude);
+  // Wire the Intent mechanism onto the uniform listener object.
+  meter().Charge(Op::kListenerAdaptation);
+  context.registerReceiver(reg.receiver.get(),
+                           android::IntentFilter(reg.action));
+  try {
+    if (platform_.api_level() == android::ApiLevel::k10) {
+      // Android 1.0: the API takes a PendingIntent — absorbed here.
+      meter().Charge(Op::kTypeConversion);
+      reg.pending = android::PendingIntent::getBroadcast(
+          context, next_alert_id_, android::Intent(reg.action), 0);
+      manager->addProximityAlert(latitude, longitude, radius_m, timer_ms,
+                                 reg.pending);
+    } else {
+      manager->addProximityAlert(latitude, longitude, radius_m, timer_ms,
+                                 android::Intent(reg.action));
+    }
+  } catch (...) {
+    context.unregisterReceiver(reg.receiver.get());
+    meter().Charge(Op::kExceptionMap);
+    RethrowAsProxyError(kPlatform);
+  }
+  registrations_.push_back(std::move(reg));
+  ++active_alerts_;
+}
+
+void AndroidLocationProxy::removeProximityAlert(ProximityListener* listener) {
+  meter().Charge(Op::kDispatch);
+  android::Context& context = RequireContext();
+  auto* manager = static_cast<android::LocationManager*>(
+      context.getSystemService(android::LOCATION_SERVICE));
+  for (auto it = registrations_.begin(); it != registrations_.end();) {
+    if (it->listener == listener) {
+      if (it->pending) {
+        manager->removeProximityAlert(it->pending);
+      } else {
+        manager->removeProximityAlert(it->action);
+      }
+      context.unregisterReceiver(it->receiver.get());
+      it = registrations_.erase(it);
+      if (active_alerts_ > 0) --active_alerts_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ===========================================================================
+// AndroidSmsProxy
+// ===========================================================================
+
+/// Translates the platform's sent/delivered broadcasts into uniform
+/// SmsListener callbacks.
+class AndroidSmsProxy::StatusReceiver : public android::IntentReceiver {
+ public:
+  StatusReceiver(AndroidSmsProxy& owner, SmsListener* listener,
+                 std::string sent_action, std::string delivered_action)
+      : owner_(owner),
+        listener_(listener),
+        sent_action_(std::move(sent_action)),
+        delivered_action_(std::move(delivered_action)) {}
+
+  void onReceiveIntent(android::Context& context,
+                       const android::Intent& intent) override {
+    (void)context;
+    if (listener_ == nullptr) return;
+    owner_.meter().Charge(Op::kListenerAdaptation);
+    const long long id = intent.getLongExtra("messageId", 0);
+    const int result = intent.getIntExtra(
+        "result", android::SmsManager::RESULT_ERROR_GENERIC_FAILURE);
+    if (intent.getAction() == delivered_action_) {
+      finished_ = true;  // delivery report is the last event
+      listener_->smsStatusChanged(id, SmsDeliveryStatus::kDelivered);
+      return;
+    }
+    const bool submitted = result == android::SmsManager::RESULT_OK;
+    if (!submitted) finished_ = true;  // failures are terminal
+    listener_->smsStatusChanged(id, submitted
+                                        ? SmsDeliveryStatus::kSubmitted
+                                        : SmsDeliveryStatus::kFailed);
+  }
+
+  bool finished() const { return finished_; }
+
+ private:
+  AndroidSmsProxy& owner_;
+  SmsListener* listener_;
+  std::string sent_action_;
+  std::string delivered_action_;
+  bool finished_ = false;
+};
+
+AndroidSmsProxy::AndroidSmsProxy(android::AndroidPlatform& platform,
+                                 const BindingPlane* binding)
+    : SmsProxy(platform.device().scheduler(), binding), platform_(platform) {}
+
+AndroidSmsProxy::~AndroidSmsProxy() {
+  for (auto& receiver : receivers_) {
+    platform_.application_context().unregisterReceiver(receiver.get());
+  }
+}
+
+android::Context& AndroidSmsProxy::RequireContext() {
+  meter().Charge(Op::kPropertyLookup);
+  auto context = getProperty<android::Context*>("context");
+  if (!context || *context == nullptr) {
+    throw ProxyError(ErrorCode::kIllegalArgument,
+                     "Sms proxy on android requires "
+                     "setProperty(\"context\", <Context*>)");
+  }
+  return **context;
+}
+
+void AndroidSmsProxy::PruneFinishedReceivers() {
+  android::Context& context = platform_.application_context();
+  receivers_.erase(
+      std::remove_if(receivers_.begin(), receivers_.end(),
+                     [&context](const std::unique_ptr<StatusReceiver>& r) {
+                       if (!r->finished()) return false;
+                       context.unregisterReceiver(r.get());
+                       return true;
+                     }),
+      receivers_.end());
+}
+
+int AndroidSmsProxy::segmentCount(const std::string& text) {
+  meter().Charge(Op::kDispatch);
+  return platform_.sms_manager().divideMessage(text);
+}
+
+long long AndroidSmsProxy::sendTextMessage(const std::string& destination,
+                                           const std::string& text,
+                                           SmsListener* listener) {
+  meter().Charge(Op::kDispatch);
+  meter().Charge(Op::kValidation);
+  if (destination.empty() || text.empty()) {
+    throw ProxyError(ErrorCode::kIllegalArgument,
+                     "destination and text must be non-empty");
+  }
+  RequireProperties();
+
+  PruneFinishedReceivers();
+
+  std::string sent_action;
+  std::string delivered_action;
+  if (listener != nullptr) {
+    android::Context& context = RequireContext();
+    const int id = next_send_id_++;
+    sent_action = "com.ibm.proxies.android.intent.action.SMS_SENT." +
+                  std::to_string(id);
+    delivered_action = "com.ibm.proxies.android.intent.action.SMS_DELIVERED." +
+                       std::to_string(id);
+    auto receiver = std::make_unique<StatusReceiver>(
+        *this, listener, sent_action, delivered_action);
+    meter().Charge(Op::kListenerAdaptation);
+    android::IntentFilter filter(sent_action);
+    filter.addAction(delivered_action);
+    context.registerReceiver(receiver.get(), std::move(filter));
+    receivers_.push_back(std::move(receiver));
+  }
+
+  try {
+    return platform_.sms_manager().sendTextMessage(
+        destination, /*sc_address=*/"", text, sent_action, delivered_action);
+  } catch (...) {
+    meter().Charge(Op::kExceptionMap);
+    RethrowAsProxyError(kPlatform);
+  }
+}
+
+// ===========================================================================
+// AndroidCallProxy
+// ===========================================================================
+
+namespace {
+CallProgress ToUniform(device::CallState state) {
+  switch (state) {
+    case device::CallState::kDialing:
+      return CallProgress::kDialing;
+    case device::CallState::kRinging:
+      return CallProgress::kRinging;
+    case device::CallState::kConnected:
+      return CallProgress::kConnected;
+    case device::CallState::kFailed:
+      return CallProgress::kFailed;
+    case device::CallState::kIdle:
+    case device::CallState::kEnded:
+      return CallProgress::kEnded;
+  }
+  return CallProgress::kEnded;
+}
+}  // namespace
+
+AndroidCallProxy::AndroidCallProxy(android::AndroidPlatform& platform,
+                                   const BindingPlane* binding)
+    : CallProxy(platform.device().scheduler(), binding), platform_(platform) {
+  platform_.telephony_manager().setDetailedCallListener(
+      [this](device::CallState state) {
+        if (listener_ == nullptr) return;
+        meter().Charge(Op::kListenerAdaptation);
+        listener_->callStateChanged(ToUniform(state));
+      });
+}
+
+AndroidCallProxy::~AndroidCallProxy() {
+  platform_.telephony_manager().setDetailedCallListener(nullptr);
+}
+
+bool AndroidCallProxy::makeCall(const std::string& number,
+                                CallListener* listener) {
+  meter().Charge(Op::kDispatch);
+  meter().Charge(Op::kValidation);
+  listener_ = listener;
+  try {
+    return platform_.telephony_manager().call(number);
+  } catch (...) {
+    meter().Charge(Op::kExceptionMap);
+    RethrowAsProxyError(kPlatform);
+  }
+}
+
+void AndroidCallProxy::endCall() {
+  meter().Charge(Op::kDispatch);
+  platform_.telephony_manager().endCall();
+}
+
+CallProgress AndroidCallProxy::currentState() {
+  meter().Charge(Op::kDispatch);
+  return ToUniform(platform_.device().modem().call_state());
+}
+
+// ===========================================================================
+// AndroidPimProxy
+// ===========================================================================
+
+AndroidPimProxy::AndroidPimProxy(android::AndroidPlatform& platform,
+                                 const BindingPlane* binding)
+    : PimProxy(platform.device().scheduler(), binding), platform_(platform) {}
+
+std::vector<Contact> AndroidPimProxy::Drain(android::Cursor cursor) {
+  // Cursor-iteration style absorbed into uniform records; the cursor is
+  // closed afterwards (leaking it is the classic Android bug).
+  std::vector<Contact> out;
+  while (cursor.moveToNext()) {
+    meter().Charge(Op::kTypeConversion);
+    Contact contact;
+    contact.id = cursor.getLong(android::Cursor::COLUMN_ID);
+    contact.display_name =
+        cursor.getString(android::Cursor::COLUMN_DISPLAY_NAME);
+    contact.phone_number = cursor.getString(android::Cursor::COLUMN_NUMBER);
+    contact.email = cursor.getString(android::Cursor::COLUMN_EMAIL);
+    out.push_back(std::move(contact));
+  }
+  cursor.close();
+  return out;
+}
+
+std::vector<Contact> AndroidPimProxy::listContacts() {
+  meter().Charge(Op::kDispatch);
+  try {
+    android::ContactsProvider provider(platform_);
+    return Drain(provider.query());
+  } catch (...) {
+    meter().Charge(Op::kExceptionMap);
+    RethrowAsProxyError(kPlatform);
+  }
+}
+
+std::optional<Contact> AndroidPimProxy::findByNumber(
+    const std::string& phone_number) {
+  meter().Charge(Op::kDispatch);
+  try {
+    android::ContactsProvider provider(platform_);
+    auto matches = Drain(provider.queryByNumber(phone_number));
+    if (matches.empty()) return std::nullopt;
+    return matches.front();
+  } catch (...) {
+    meter().Charge(Op::kExceptionMap);
+    RethrowAsProxyError(kPlatform);
+  }
+}
+
+std::vector<Contact> AndroidPimProxy::findByName(const std::string& fragment) {
+  meter().Charge(Op::kDispatch);
+  meter().Charge(Op::kEnrichment);  // the 2009 provider had no name filter
+  std::vector<Contact> out;
+  for (const Contact& contact : listContacts()) {
+    std::string lower = support::ToLower(contact.display_name);
+    if (lower.find(support::ToLower(fragment)) != std::string::npos) {
+      out.push_back(contact);
+    }
+  }
+  return out;
+}
+
+// ===========================================================================
+// AndroidCalendarProxy
+// ===========================================================================
+
+AndroidCalendarProxy::AndroidCalendarProxy(android::AndroidPlatform& platform,
+                                           const BindingPlane* binding)
+    : CalendarProxy(platform.device().scheduler(), binding),
+      platform_(platform) {}
+
+std::vector<CalendarEvent> AndroidCalendarProxy::Drain(
+    android::EventCursor cursor) {
+  std::vector<CalendarEvent> out;
+  while (cursor.moveToNext()) {
+    meter().Charge(Op::kTypeConversion);
+    CalendarEvent event;
+    event.id = cursor.getLong(android::EventCursor::COLUMN_ID);
+    event.title = cursor.getString(android::EventCursor::COLUMN_TITLE);
+    event.start_ms = cursor.getLong(android::EventCursor::COLUMN_DTSTART);
+    event.end_ms = cursor.getLong(android::EventCursor::COLUMN_DTEND);
+    event.location = cursor.getString(android::EventCursor::COLUMN_LOCATION);
+    out.push_back(std::move(event));
+  }
+  cursor.close();
+  std::sort(out.begin(), out.end(),
+            [](const CalendarEvent& a, const CalendarEvent& b) {
+              return a.start_ms < b.start_ms;
+            });
+  return out;
+}
+
+std::vector<CalendarEvent> AndroidCalendarProxy::listEvents() {
+  meter().Charge(Op::kDispatch);
+  try {
+    android::CalendarProvider provider(platform_);
+    return Drain(provider.query());
+  } catch (...) {
+    meter().Charge(Op::kExceptionMap);
+    RethrowAsProxyError(kPlatform);
+  }
+}
+
+std::vector<CalendarEvent> AndroidCalendarProxy::eventsBetween(
+    long long from_ms, long long to_ms) {
+  meter().Charge(Op::kDispatch);
+  try {
+    android::CalendarProvider provider(platform_);
+    return Drain(provider.queryBetween(from_ms, to_ms));
+  } catch (...) {
+    meter().Charge(Op::kExceptionMap);
+    RethrowAsProxyError(kPlatform);
+  }
+}
+
+std::optional<CalendarEvent> AndroidCalendarProxy::nextEvent(
+    long long now_ms) {
+  meter().Charge(Op::kDispatch);
+  meter().Charge(Op::kEnrichment);
+  std::optional<CalendarEvent> best;
+  for (const CalendarEvent& event : listEvents()) {
+    if (event.start_ms >= now_ms) {
+      best = event;
+      break;  // listEvents is start-ordered
+    }
+  }
+  return best;
+}
+
+// ===========================================================================
+// AndroidHttpProxy
+// ===========================================================================
+
+AndroidHttpProxy::AndroidHttpProxy(android::AndroidPlatform& platform,
+                                   const BindingPlane* binding)
+    : HttpProxy(platform.device().scheduler(), binding), platform_(platform) {}
+
+void AndroidHttpProxy::setHeader(const std::string& name,
+                                 const std::string& value) {
+  meter().Charge(Op::kPropertySet);
+  // Replace-by-name: repeated setHeader (e.g. Authorization refresh)
+  // must not accumulate stale values.
+  for (auto& [existing, existing_value] : headers_) {
+    if (existing == name) {
+      existing_value = value;
+      return;
+    }
+  }
+  headers_.emplace_back(name, value);
+}
+
+HttpResult AndroidHttpProxy::Execute(const android::HttpUriRequest& request) {
+  try {
+    android::DefaultHttpClient client(platform_);
+    android::ApacheHttpResponse response = client.execute(request);
+    meter().Charge(Op::kTypeConversion, 3);
+    HttpResult result;
+    result.status = response.getStatusCode();
+    result.reason = response.getReasonPhrase();
+    result.body = response.getEntity();
+    return result;
+  } catch (...) {
+    meter().Charge(Op::kExceptionMap);
+    RethrowAsProxyError(kPlatform);
+  }
+}
+
+HttpResult AndroidHttpProxy::get(const std::string& url) {
+  meter().Charge(Op::kDispatch);
+  android::HttpGet request(url);
+  for (const auto& [name, value] : headers_) request.addHeader(name, value);
+  return Execute(request);
+}
+
+HttpResult AndroidHttpProxy::post(const std::string& url,
+                                  const std::string& body,
+                                  const std::string& content_type) {
+  meter().Charge(Op::kDispatch);
+  android::HttpPost request(url);
+  for (const auto& [name, value] : headers_) request.addHeader(name, value);
+  request.addHeader("Content-Type", content_type);
+  request.setEntity(body);
+  return Execute(request);
+}
+
+}  // namespace mobivine::core

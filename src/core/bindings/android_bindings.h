@@ -1,0 +1,153 @@
+// Android (m5-rc15 / 1.0) binding-plane implementations of the four
+// M-Proxies.
+//
+// What these absorb (paper §4.1):
+//  * Intent / IntentReceiver callback style — hidden behind the uniform
+//    listener objects ("the use of Intent and IntentReceiver is hidden
+//    from the application developer").
+//  * The application-context requirement — setProperty("context", ...).
+//  * The Android exception set — mapped to ProxyError.
+//  * The m5 -> 1.0 addProximityAlert signature change (Intent ->
+//    PendingIntent) — selected by the platform's ApiLevel, invisible to
+//    the application (experiment E4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/android_platform.h"
+#include "android/calendar.h"
+#include "android/contacts.h"
+#include "android/http_client.h"
+#include "android/intent.h"
+#include "android/location_manager.h"
+#include "core/calendar_proxy.h"
+#include "core/call_proxy.h"
+#include "core/http_proxy.h"
+#include "core/location_proxy.h"
+#include "core/pim_proxy.h"
+#include "core/sms_proxy.h"
+
+namespace mobivine::core {
+
+class AndroidLocationProxy : public LocationProxy {
+ public:
+  AndroidLocationProxy(android::AndroidPlatform& platform,
+                       const BindingPlane* binding);
+  ~AndroidLocationProxy() override;
+
+  void addProximityAlert(double latitude, double longitude, double altitude,
+                         float radius_m, long long timer_ms,
+                         ProximityListener* listener) override;
+  void removeProximityAlert(ProximityListener* listener) override;
+  Location getLocation() override;
+
+ private:
+  class AlertReceiver;
+  struct Registration {
+    ProximityListener* listener;
+    std::string action;
+    std::unique_ptr<AlertReceiver> receiver;
+    std::shared_ptr<android::PendingIntent> pending;  // 1.0 path only
+  };
+
+  android::Context& RequireContext();
+  Location ReadCurrentLocation();
+
+  android::AndroidPlatform& platform_;
+  std::vector<Registration> registrations_;
+  int next_alert_id_ = 1;
+};
+
+class AndroidSmsProxy : public SmsProxy {
+ public:
+  AndroidSmsProxy(android::AndroidPlatform& platform,
+                  const BindingPlane* binding);
+  ~AndroidSmsProxy() override;
+
+  long long sendTextMessage(const std::string& destination,
+                            const std::string& text,
+                            SmsListener* listener) override;
+  int segmentCount(const std::string& text) override;
+
+ private:
+  class StatusReceiver;
+
+  android::Context& RequireContext();
+  /// Unregister and drop receivers whose message reached a terminal state
+  /// (delivered or failed) — otherwise every send would leak a receiver
+  /// registration for the application's lifetime.
+  void PruneFinishedReceivers();
+
+  android::AndroidPlatform& platform_;
+  std::vector<std::unique_ptr<StatusReceiver>> receivers_;
+  int next_send_id_ = 1;
+
+ public:
+  /// Live per-send status receivers (tests assert pruning works).
+  std::size_t pending_receiver_count() const { return receivers_.size(); }
+};
+
+class AndroidCallProxy : public CallProxy {
+ public:
+  AndroidCallProxy(android::AndroidPlatform& platform,
+                   const BindingPlane* binding);
+  ~AndroidCallProxy() override;
+
+  bool makeCall(const std::string& number, CallListener* listener) override;
+  void endCall() override;
+  CallProgress currentState() override;
+
+ private:
+  android::AndroidPlatform& platform_;
+  CallListener* listener_ = nullptr;
+};
+
+class AndroidPimProxy : public PimProxy {
+ public:
+  AndroidPimProxy(android::AndroidPlatform& platform,
+                  const BindingPlane* binding);
+
+  std::vector<Contact> listContacts() override;
+  std::optional<Contact> findByNumber(const std::string& phone_number) override;
+  std::vector<Contact> findByName(const std::string& fragment) override;
+
+ private:
+  std::vector<Contact> Drain(android::Cursor cursor);
+  android::AndroidPlatform& platform_;
+};
+
+class AndroidCalendarProxy : public CalendarProxy {
+ public:
+  AndroidCalendarProxy(android::AndroidPlatform& platform,
+                       const BindingPlane* binding);
+
+  std::vector<CalendarEvent> listEvents() override;
+  std::vector<CalendarEvent> eventsBetween(long long from_ms,
+                                           long long to_ms) override;
+  std::optional<CalendarEvent> nextEvent(long long now_ms) override;
+
+ private:
+  std::vector<CalendarEvent> Drain(android::EventCursor cursor);
+  android::AndroidPlatform& platform_;
+};
+
+class AndroidHttpProxy : public HttpProxy {
+ public:
+  AndroidHttpProxy(android::AndroidPlatform& platform,
+                   const BindingPlane* binding);
+
+  HttpResult get(const std::string& url) override;
+  HttpResult post(const std::string& url, const std::string& body,
+                  const std::string& content_type) override;
+  void setHeader(const std::string& name, const std::string& value) override;
+
+ private:
+  HttpResult Execute(const android::HttpUriRequest& request);
+
+  android::AndroidPlatform& platform_;
+  std::vector<std::pair<std::string, std::string>> headers_;
+};
+
+}  // namespace mobivine::core

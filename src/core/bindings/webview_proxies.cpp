@@ -1,0 +1,975 @@
+#include "core/bindings/webview_proxies.h"
+
+#include <map>
+#include <memory>
+
+#include "android/calendar.h"
+#include "android/contacts.h"
+#include "android/exceptions.h"
+#include "android/http_client.h"
+#include "android/location_manager.h"
+#include "android/sms_manager.h"
+#include "android/telephony.h"
+#include "webview/bridge.h"
+
+namespace mobivine::core {
+
+using minijs::MakeHostFunction;
+using minijs::Object;
+using minijs::Value;
+
+namespace {
+
+// ===========================================================================
+// Wrapper state objects (the "Java side" of each JS proxy)
+// ===========================================================================
+
+/// Shared by every wrapper: a string property map (the JS proxies'
+/// setProperty travels through the wrapper, paper Figure 6 step 2).
+struct WrapperProperties {
+  std::map<std::string, std::string> values;
+  std::string GetOr(const std::string& key, std::string fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? std::move(fallback) : it->second;
+  }
+};
+
+// --- SMS -------------------------------------------------------------------
+
+struct SmsWrapperState {
+  explicit SmsWrapperState(webview::WebView& webview) : webview(webview) {}
+  webview::WebView& webview;
+  WrapperProperties properties;
+  int next_id = 1;
+  /// notification channel -> the action names whose broadcasts feed it.
+  struct Channel {
+    std::string sent_action;
+    std::string delivered_action;
+  };
+  std::map<std::int64_t, Channel> channels;
+};
+
+/// Translate a raw sent/delivered broadcast notification into the uniform
+/// {messageId, status} shape the JS callback receives.
+Value TranslateSmsNotification(const SmsWrapperState::Channel& channel,
+                               const minijs::Value& raw) {
+  auto out = Object::Make();
+  out->set_class_name("SmsStatus");
+  const auto& raw_object = raw.as_object();
+  out->Set("messageId", raw_object->Get("messageId"));
+  const std::string action = raw_object->Get("action").ToDisplayString();
+  const double result = raw_object->Get("result").ToNumber();
+  if (action == channel.delivered_action) {
+    out->Set("status", Value::String("delivered"));
+  } else if (result == android::SmsManager::RESULT_OK) {
+    out->Set("status", Value::String("submitted"));
+  } else {
+    out->Set("status", Value::String("failed"));
+  }
+  return Value::Obj(out);
+}
+
+Value MakeSmsWrapper(webview::WebView& webview) {
+  auto state = std::make_shared<SmsWrapperState>(webview);
+  auto object = Object::Make();
+  object->set_class_name("SmsWrapper");
+
+  object->Set("setProperty",
+              MakeHostFunction("setProperty",
+                               [state](minijs::Interpreter&, const Value&,
+                                       std::vector<Value>& args) {
+                                 state->webview.bridge().ChargeCall(2, false);
+                                 if (args.size() >= 2) {
+                                   state->properties
+                                       .values[args[0].ToDisplayString()] =
+                                       args[1].ToDisplayString();
+                                 }
+                                 return Value::Undefined();
+                               }));
+
+  object->Set(
+      "sendTextMsg",
+      MakeHostFunction(
+          "sendTextMsg",
+          [state](minijs::Interpreter&, const Value&,
+                  std::vector<Value>& args) -> Value {
+            auto& webview = state->webview;
+            // Three marshalled values (destination, null service center,
+            // text) plus Java-side callback registration — the wrapper
+            // builds the action strings itself.
+            webview.bridge().ChargeCall(/*primitive_count=*/3,
+                                        /*registers_callback=*/true);
+            if (args.size() < 2) {
+              throw minijs::ScriptError(Value::Obj(minijs::MakeErrorObject(
+                  "IllegalArgumentError",
+                  "sendTextMsg needs destination and text",
+                  webview::kErrorCodeIllegalArgument)));
+            }
+            const int id = state->next_id++;
+            SmsWrapperState::Channel channel;
+            channel.sent_action =
+                "com.ibm.proxies.webview.SMS_SENT." + std::to_string(id);
+            channel.delivered_action =
+                "com.ibm.proxies.webview.SMS_DELIVERED." + std::to_string(id);
+            // Both actions feed one notification channel.
+            const std::int64_t notif_id =
+                webview.ChannelForAction(channel.sent_action);
+            // Register the delivered action onto the SAME channel by
+            // reusing the per-action receiver mechanism, then remembering
+            // the mapping for translation.
+            webview.ChannelForAction(channel.delivered_action);
+            state->channels[notif_id] = channel;
+            try {
+              const long long message_id =
+                  webview.platform().sms_manager().sendTextMessage(
+                      args[0].ToDisplayString(), "", args[1].ToDisplayString(),
+                      channel.sent_action, channel.delivered_action);
+              (void)message_id;
+              return Value::Number(static_cast<double>(notif_id));
+            } catch (...) {
+              throw minijs::ScriptError(
+                  webview.bridge().MapCurrentException());
+            }
+          }));
+
+  object->Set(
+      "getNotifications",
+      MakeHostFunction(
+          "getNotifications",
+          [state](minijs::Interpreter&, const Value&,
+                  std::vector<Value>& args) -> Value {
+            auto& webview = state->webview;
+            webview.bridge().ChargeCall(1, false);
+            auto out = Object::MakeArray();
+            if (args.empty()) return Value::Obj(out);
+            const std::int64_t notif_id =
+                static_cast<std::int64_t>(args[0].ToNumber());
+            auto channel_it = state->channels.find(notif_id);
+            if (channel_it == state->channels.end()) return Value::Obj(out);
+            // Drain both action channels feeding this notification id.
+            bool terminal = false;
+            auto drain = [&](const std::string& action) {
+              const std::int64_t channel = webview.ChannelForAction(action);
+              for (Value& raw : webview.notifications().Drain(channel)) {
+                Value translated =
+                    TranslateSmsNotification(channel_it->second, raw);
+                const std::string status =
+                    translated.as_object()->Get("status").ToDisplayString();
+                if (status == "delivered" || status == "failed") {
+                  terminal = true;
+                }
+                out->elements().push_back(std::move(translated));
+              }
+            };
+            drain(channel_it->second.sent_action);
+            drain(channel_it->second.delivered_action);
+            if (terminal) {
+              // The conversation is over: release the action receivers so
+              // long-running pages do not accumulate one pair per send.
+              webview.ReleaseAction(channel_it->second.sent_action);
+              webview.ReleaseAction(channel_it->second.delivered_action);
+              state->channels.erase(channel_it);
+            }
+            return Value::Obj(out);
+          }));
+
+  object->Set("segmentCount",
+              MakeHostFunction(
+                  "segmentCount",
+                  [state](minijs::Interpreter&, const Value&,
+                          std::vector<Value>& args) -> Value {
+                    state->webview.bridge().ChargeCall(1, false);
+                    if (args.empty()) return Value::Number(1);
+                    return Value::Number(
+                        state->webview.platform().sms_manager().divideMessage(
+                            args[0].ToDisplayString()));
+                  }));
+  return Value::Obj(object);
+}
+
+// --- Location ----------------------------------------------------------
+
+/// Dedicated receiver that enriches each platform proximity broadcast with
+/// the reference point and the current location before posting it, so the
+/// JS callback receives the uniform 5-argument event of Figure 9.
+class ProximityNotifReceiver : public android::IntentReceiver {
+ public:
+  ProximityNotifReceiver(webview::WebView& webview, std::int64_t channel,
+                         double ref_latitude, double ref_longitude,
+                         double ref_altitude, std::string provider)
+      : webview_(webview),
+        channel_(channel),
+        ref_latitude_(ref_latitude),
+        ref_longitude_(ref_longitude),
+        ref_altitude_(ref_altitude),
+        provider_(std::move(provider)) {}
+
+  void onReceiveIntent(android::Context& context,
+                       const android::Intent& intent) override {
+    (void)context;
+    auto note = Object::Make();
+    note->set_class_name("ProximityEvent");
+    note->Set("entering",
+              Value::Boolean(intent.getBooleanExtra("entering", false)));
+    note->Set("refLatitude", Value::Number(ref_latitude_));
+    note->Set("refLongitude", Value::Number(ref_longitude_));
+    note->Set("refAltitude", Value::Number(ref_altitude_));
+    try {
+      android::Location location =
+          webview_.platform().location_manager().getCurrentLocation(provider_);
+      webview_.bridge().ChargeObjectMarshal(7);
+      note->Set("location", UniformLocationToJs(location));
+    } catch (...) {
+      note->Set("location", Value::Null());
+    }
+    webview_.notifications().Post(channel_, Value::Obj(note));
+  }
+
+  /// Uniform JS location object — note the MobiVine field names
+  /// (heading/timestamp/valid), not the raw Android ones (bearing/time).
+  static Value UniformLocationToJs(const android::Location& location) {
+    auto object = Object::Make();
+    object->set_class_name("Location");
+    object->Set("latitude", Value::Number(location.getLatitude()));
+    object->Set("longitude", Value::Number(location.getLongitude()));
+    object->Set("altitude", Value::Number(location.getAltitude()));
+    object->Set("accuracy", Value::Number(location.getAccuracy()));
+    object->Set("speed", Value::Number(location.getSpeed()));
+    object->Set("heading", Value::Number(location.getBearing()));
+    object->Set("timestamp",
+                Value::Number(static_cast<double>(location.getTime())));
+    object->Set("valid", Value::Boolean(location.getTime() != 0));
+    return Value::Obj(object);
+  }
+
+ private:
+  webview::WebView& webview_;
+  std::int64_t channel_;
+  double ref_latitude_;
+  double ref_longitude_;
+  double ref_altitude_;
+  std::string provider_;
+};
+
+struct LocationWrapperState {
+  explicit LocationWrapperState(webview::WebView& webview) : webview(webview) {}
+  ~LocationWrapperState() {
+    for (auto& [id, entry] : alerts) {
+      webview.platform().application_context().unregisterReceiver(
+          entry.receiver.get());
+    }
+  }
+  webview::WebView& webview;
+  WrapperProperties properties;
+  int next_id = 1;
+  struct Alert {
+    std::string action;
+    std::unique_ptr<ProximityNotifReceiver> receiver;
+  };
+  std::map<std::int64_t, Alert> alerts;
+};
+
+Value MakeLocationWrapper(webview::WebView& webview) {
+  auto state = std::make_shared<LocationWrapperState>(webview);
+  auto object = Object::Make();
+  object->set_class_name("LocationWrapper");
+
+  object->Set("setProperty",
+              MakeHostFunction("setProperty",
+                               [state](minijs::Interpreter&, const Value&,
+                                       std::vector<Value>& args) {
+                                 state->webview.bridge().ChargeCall(2, false);
+                                 if (args.size() >= 2) {
+                                   state->properties
+                                       .values[args[0].ToDisplayString()] =
+                                       args[1].ToDisplayString();
+                                 }
+                                 return Value::Undefined();
+                               }));
+
+  object->Set(
+      "getLocation",
+      MakeHostFunction(
+          "getLocation",
+          [state](minijs::Interpreter&, const Value&,
+                  std::vector<Value>&) -> Value {
+            auto& webview = state->webview;
+            // Crossing + the wrapper-side property-table consult.
+            webview.bridge().ChargeCall(2, false);
+            const std::string provider =
+                state->properties.GetOr("provider", "gps");
+            try {
+              android::Location location =
+                  webview.platform().location_manager().getCurrentLocation(
+                      provider);
+              webview.bridge().ChargeObjectMarshal(7);
+              return ProximityNotifReceiver::UniformLocationToJs(location);
+            } catch (...) {
+              throw minijs::ScriptError(
+                  webview.bridge().MapCurrentException());
+            }
+          }));
+
+  object->Set(
+      "addProximityAlert",
+      MakeHostFunction(
+          "addProximityAlert",
+          [state](minijs::Interpreter&, const Value&,
+                  std::vector<Value>& args) -> Value {
+            auto& webview = state->webview;
+            // Callback delivery is notification-table polling started on
+            // the JS side, so no Java-side callback registration is
+            // charged here (matches the raw path's cost shape).
+            webview.bridge().ChargeCall(/*primitive_count=*/5,
+                                        /*registers_callback=*/false);
+            if (args.size() < 5) {
+              throw minijs::ScriptError(Value::Obj(minijs::MakeErrorObject(
+                  "IllegalArgumentError",
+                  "addProximityAlert needs lat, lon, alt, radius, timer",
+                  webview::kErrorCodeIllegalArgument)));
+            }
+            const double latitude = args[0].ToNumber();
+            const double longitude = args[1].ToNumber();
+            const double altitude = args[2].ToNumber();
+            const float radius = static_cast<float>(args[3].ToNumber());
+            const long long timer =
+                static_cast<long long>(args[4].ToNumber());
+
+            const int id = state->next_id++;
+            LocationWrapperState::Alert alert;
+            alert.action =
+                "com.ibm.proxies.webview.PROXIMITY." + std::to_string(id);
+            const std::int64_t channel = webview.notifications().NewChannel();
+            alert.receiver = std::make_unique<ProximityNotifReceiver>(
+                webview, channel, latitude, longitude, altitude,
+                state->properties.GetOr("provider", "gps"));
+            auto& context = webview.platform().application_context();
+            context.registerReceiver(alert.receiver.get(),
+                                     android::IntentFilter(alert.action));
+            try {
+              auto& manager = webview.platform().location_manager();
+              if (webview.platform().api_level() == android::ApiLevel::k10) {
+                manager.addProximityAlert(
+                    latitude, longitude, radius, timer,
+                    android::PendingIntent::getBroadcast(
+                        context, id, android::Intent(alert.action), 0));
+              } else {
+                manager.addProximityAlert(latitude, longitude, radius, timer,
+                                          android::Intent(alert.action));
+              }
+            } catch (...) {
+              context.unregisterReceiver(alert.receiver.get());
+              throw minijs::ScriptError(
+                  webview.bridge().MapCurrentException());
+            }
+            state->alerts[channel] = std::move(alert);
+            return Value::Number(static_cast<double>(channel));
+          }));
+
+  object->Set(
+      "getNotifications",
+      MakeHostFunction("getNotifications",
+                       [state](minijs::Interpreter&, const Value&,
+                               std::vector<Value>& args) -> Value {
+                         state->webview.bridge().ChargeCall(1, false);
+                         auto out = Object::MakeArray();
+                         if (!args.empty()) {
+                           out->elements() =
+                               state->webview.notifications().Drain(
+                                   static_cast<std::int64_t>(
+                                       args[0].ToNumber()));
+                         }
+                         return Value::Obj(out);
+                       }));
+
+  object->Set(
+      "removeProximityAlert",
+      MakeHostFunction(
+          "removeProximityAlert",
+          [state](minijs::Interpreter&, const Value&,
+                  std::vector<Value>& args) -> Value {
+            auto& webview = state->webview;
+            webview.bridge().ChargeCall(1, false);
+            if (args.empty()) return Value::Undefined();
+            const std::int64_t channel =
+                static_cast<std::int64_t>(args[0].ToNumber());
+            auto it = state->alerts.find(channel);
+            if (it == state->alerts.end()) return Value::Undefined();
+            webview.platform().location_manager().removeProximityAlert(
+                it->second.action);
+            webview.platform().application_context().unregisterReceiver(
+                it->second.receiver.get());
+            webview.notifications().CloseChannel(channel);
+            state->alerts.erase(it);
+            return Value::Undefined();
+          }));
+  return Value::Obj(object);
+}
+
+// --- Call ------------------------------------------------------------------
+
+struct CallWrapperState {
+  explicit CallWrapperState(webview::WebView& webview) : webview(webview) {}
+  ~CallWrapperState() {
+    if (listening) {
+      webview.platform().telephony_manager().setDetailedCallListener(nullptr);
+    }
+  }
+  webview::WebView& webview;
+  WrapperProperties properties;
+  std::int64_t channel = 0;
+  bool listening = false;
+};
+
+const char* CallStateName(device::CallState state) {
+  switch (state) {
+    case device::CallState::kDialing:
+      return "dialing";
+    case device::CallState::kRinging:
+      return "ringing";
+    case device::CallState::kConnected:
+      return "connected";
+    case device::CallState::kFailed:
+      return "failed";
+    case device::CallState::kIdle:
+    case device::CallState::kEnded:
+      return "ended";
+  }
+  return "ended";
+}
+
+Value MakeCallWrapper(webview::WebView& webview) {
+  auto state = std::make_shared<CallWrapperState>(webview);
+  auto object = Object::Make();
+  object->set_class_name("CallWrapper");
+
+  object->Set("setProperty",
+              MakeHostFunction("setProperty",
+                               [state](minijs::Interpreter&, const Value&,
+                                       std::vector<Value>& args) {
+                                 state->webview.bridge().ChargeCall(2, false);
+                                 if (args.size() >= 2) {
+                                   state->properties
+                                       .values[args[0].ToDisplayString()] =
+                                       args[1].ToDisplayString();
+                                 }
+                                 return Value::Undefined();
+                               }));
+
+  object->Set(
+      "makeCall",
+      MakeHostFunction(
+          "makeCall",
+          [state](minijs::Interpreter&, const Value&,
+                  std::vector<Value>& args) -> Value {
+            auto& webview = state->webview;
+            webview.bridge().ChargeCall(1, true);
+            if (args.empty()) {
+              throw minijs::ScriptError(Value::Obj(minijs::MakeErrorObject(
+                  "IllegalArgumentError", "makeCall needs a number",
+                  webview::kErrorCodeIllegalArgument)));
+            }
+            if (state->channel == 0) {
+              state->channel = webview.notifications().NewChannel();
+            }
+            if (!state->listening) {
+              state->listening = true;
+              auto* table = &webview.notifications();
+              const std::int64_t channel = state->channel;
+              webview.platform().telephony_manager().setDetailedCallListener(
+                  [table, channel](device::CallState call_state) {
+                    auto note = Object::Make();
+                    note->set_class_name("CallEvent");
+                    note->Set("state",
+                              Value::String(CallStateName(call_state)));
+                    table->Post(channel, Value::Obj(note));
+                  });
+            }
+            try {
+              const bool started =
+                  webview.platform().telephony_manager().call(
+                      args[0].ToDisplayString());
+              if (!started) return Value::Number(0);
+              return Value::Number(static_cast<double>(state->channel));
+            } catch (...) {
+              throw minijs::ScriptError(
+                  webview.bridge().MapCurrentException());
+            }
+          }));
+
+  object->Set("endCall",
+              MakeHostFunction("endCall",
+                               [state](minijs::Interpreter&, const Value&,
+                                       std::vector<Value>&) {
+                                 state->webview.bridge().ChargeCall(0, false);
+                                 state->webview.platform()
+                                     .telephony_manager()
+                                     .endCall();
+                                 return Value::Undefined();
+                               }));
+
+  object->Set(
+      "getNotifications",
+      MakeHostFunction("getNotifications",
+                       [state](minijs::Interpreter&, const Value&,
+                               std::vector<Value>& args) -> Value {
+                         state->webview.bridge().ChargeCall(1, false);
+                         auto out = Object::MakeArray();
+                         if (!args.empty()) {
+                           out->elements() =
+                               state->webview.notifications().Drain(
+                                   static_cast<std::int64_t>(
+                                       args[0].ToNumber()));
+                         }
+                         return Value::Obj(out);
+                       }));
+  return Value::Obj(object);
+}
+
+// --- Http --------------------------------------------------------------
+
+Value MakeHttpWrapper(webview::WebView& webview) {
+  auto state = std::make_shared<WrapperProperties>();
+  auto headers =
+      std::make_shared<std::vector<std::pair<std::string, std::string>>>();
+  auto* webview_ptr = &webview;
+  auto object = Object::Make();
+  object->set_class_name("HttpWrapper");
+
+  object->Set("setProperty",
+              MakeHostFunction("setProperty",
+                               [state, webview_ptr](minijs::Interpreter&,
+                                                    const Value&,
+                                                    std::vector<Value>& args) {
+                                 webview_ptr->bridge().ChargeCall(2, false);
+                                 if (args.size() >= 2) {
+                                   state->values[args[0].ToDisplayString()] =
+                                       args[1].ToDisplayString();
+                                 }
+                                 return Value::Undefined();
+                               }));
+  object->Set("setHeader",
+              MakeHostFunction("setHeader",
+                               [headers, webview_ptr](minijs::Interpreter&,
+                                                      const Value&,
+                                                      std::vector<Value>& args) {
+                                 webview_ptr->bridge().ChargeCall(2, false);
+                                 if (args.size() >= 2) {
+                                   headers->emplace_back(
+                                       args[0].ToDisplayString(),
+                                       args[1].ToDisplayString());
+                                 }
+                                 return Value::Undefined();
+                               }));
+
+  auto execute = [headers, webview_ptr](const std::string& method,
+                                        std::vector<Value>& args) -> Value {
+    webview_ptr->bridge().ChargeCall(3, false);
+    if (args.empty()) {
+      throw minijs::ScriptError(Value::Obj(minijs::MakeErrorObject(
+          "IllegalArgumentError", "url required",
+          webview::kErrorCodeIllegalArgument)));
+    }
+    const std::string url = args[0].ToDisplayString();
+    try {
+      android::DefaultHttpClient client(webview_ptr->platform());
+      android::ApacheHttpResponse response = [&] {
+        if (method == "POST") {
+          android::HttpPost post(url);
+          for (const auto& [name, value] : *headers) {
+            post.addHeader(name, value);
+          }
+          if (args.size() > 1 && !args[1].is_nullish()) {
+            post.setEntity(args[1].ToDisplayString());
+          }
+          if (args.size() > 2 && !args[2].is_nullish()) {
+            post.addHeader("Content-Type", args[2].ToDisplayString());
+          }
+          return client.execute(post);
+        }
+        android::HttpGet get(url);
+        for (const auto& [name, value] : *headers) get.addHeader(name, value);
+        return client.execute(get);
+      }();
+      webview_ptr->bridge().ChargeObjectMarshal(3);
+      auto out = Object::Make();
+      out->set_class_name("HttpResult");
+      out->Set("status", Value::Number(response.getStatusCode()));
+      out->Set("reason", Value::String(response.getReasonPhrase()));
+      out->Set("body", Value::String(response.getEntity()));
+      return Value::Obj(out);
+    } catch (const minijs::ScriptError&) {
+      throw;
+    } catch (...) {
+      throw minijs::ScriptError(webview_ptr->bridge().MapCurrentException());
+    }
+  };
+
+  object->Set("get", MakeHostFunction(
+                         "get", [execute](minijs::Interpreter&, const Value&,
+                                          std::vector<Value>& args) {
+                           return execute("GET", args);
+                         }));
+  object->Set("post", MakeHostFunction(
+                          "post", [execute](minijs::Interpreter&, const Value&,
+                                            std::vector<Value>& args) {
+                            return execute("POST", args);
+                          }));
+  return Value::Obj(object);
+}
+
+// --- Contacts (Pim) ----------------------------------------------------
+
+Value MakeContactsWrapper(webview::WebView& webview) {
+  auto* webview_ptr = &webview;
+  auto object = Object::Make();
+  object->set_class_name("ContactsWrapper");
+
+  auto to_js = [](const device::ContactRecord& record) {
+    auto contact = Object::Make();
+    contact->set_class_name("Contact");
+    contact->Set("id", Value::Number(static_cast<double>(record.id)));
+    contact->Set("displayName", Value::String(record.display_name));
+    contact->Set("phoneNumber", Value::String(record.phone_number));
+    contact->Set("email", Value::String(record.email));
+    return Value::Obj(contact);
+  };
+
+  object->Set(
+      "listContacts",
+      MakeHostFunction(
+          "listContacts",
+          [webview_ptr, to_js](minijs::Interpreter&, const Value&,
+                               std::vector<Value>&) -> Value {
+            webview_ptr->bridge().ChargeCall(0, false);
+            try {
+              android::ContactsProvider provider(webview_ptr->platform());
+              android::Cursor cursor = provider.query();
+              auto out = Object::MakeArray();
+              // One row = one marshalled 4-field object.
+              while (cursor.moveToNext()) {
+                webview_ptr->bridge().ChargeObjectMarshal(4);
+                device::ContactRecord record;
+                record.id = cursor.getLong(android::Cursor::COLUMN_ID);
+                record.display_name =
+                    cursor.getString(android::Cursor::COLUMN_DISPLAY_NAME);
+                record.phone_number =
+                    cursor.getString(android::Cursor::COLUMN_NUMBER);
+                record.email = cursor.getString(android::Cursor::COLUMN_EMAIL);
+                out->elements().push_back(to_js(record));
+              }
+              cursor.close();
+              return Value::Obj(out);
+            } catch (...) {
+              throw minijs::ScriptError(
+                  webview_ptr->bridge().MapCurrentException());
+            }
+          }));
+
+  object->Set(
+      "findByNumber",
+      MakeHostFunction(
+          "findByNumber",
+          [webview_ptr, to_js](minijs::Interpreter&, const Value&,
+                               std::vector<Value>& args) -> Value {
+            webview_ptr->bridge().ChargeCall(1, false);
+            if (args.empty()) return Value::Null();
+            try {
+              android::ContactsProvider provider(webview_ptr->platform());
+              android::Cursor cursor =
+                  provider.queryByNumber(args[0].ToDisplayString());
+              if (!cursor.moveToNext()) return Value::Null();
+              webview_ptr->bridge().ChargeObjectMarshal(4);
+              device::ContactRecord record;
+              record.id = cursor.getLong(android::Cursor::COLUMN_ID);
+              record.display_name =
+                  cursor.getString(android::Cursor::COLUMN_DISPLAY_NAME);
+              record.phone_number =
+                  cursor.getString(android::Cursor::COLUMN_NUMBER);
+              record.email = cursor.getString(android::Cursor::COLUMN_EMAIL);
+              cursor.close();
+              return to_js(record);
+            } catch (...) {
+              throw minijs::ScriptError(
+                  webview_ptr->bridge().MapCurrentException());
+            }
+          }));
+  return Value::Obj(object);
+}
+
+// --- Calendar ---------------------------------------------------------
+
+Value MakeCalendarWrapper(webview::WebView& webview) {
+  auto* webview_ptr = &webview;
+  auto object = Object::Make();
+  object->set_class_name("CalendarWrapper");
+
+  auto drain = [webview_ptr](android::EventCursor cursor) {
+    auto out = Object::MakeArray();
+    while (cursor.moveToNext()) {
+      webview_ptr->bridge().ChargeObjectMarshal(5);
+      auto event = Object::Make();
+      event->set_class_name("CalendarEvent");
+      event->Set("id", Value::Number(static_cast<double>(
+                           cursor.getLong(android::EventCursor::COLUMN_ID))));
+      event->Set("title", Value::String(cursor.getString(
+                              android::EventCursor::COLUMN_TITLE)));
+      event->Set("start",
+                 Value::Number(static_cast<double>(cursor.getLong(
+                     android::EventCursor::COLUMN_DTSTART))));
+      event->Set("end", Value::Number(static_cast<double>(cursor.getLong(
+                            android::EventCursor::COLUMN_DTEND))));
+      event->Set("location", Value::String(cursor.getString(
+                                 android::EventCursor::COLUMN_LOCATION)));
+      out->elements().push_back(Value::Obj(event));
+    }
+    cursor.close();
+    return Value::Obj(out);
+  };
+
+  object->Set("listEvents",
+              MakeHostFunction(
+                  "listEvents",
+                  [webview_ptr, drain](minijs::Interpreter&, const Value&,
+                                       std::vector<Value>&) -> Value {
+                    webview_ptr->bridge().ChargeCall(0, false);
+                    try {
+                      android::CalendarProvider provider(
+                          webview_ptr->platform());
+                      return drain(provider.query());
+                    } catch (...) {
+                      throw minijs::ScriptError(
+                          webview_ptr->bridge().MapCurrentException());
+                    }
+                  }));
+  object->Set(
+      "eventsBetween",
+      MakeHostFunction(
+          "eventsBetween",
+          [webview_ptr, drain](minijs::Interpreter&, const Value&,
+                               std::vector<Value>& args) -> Value {
+            webview_ptr->bridge().ChargeCall(2, false);
+            if (args.size() < 2) {
+              throw minijs::ScriptError(Value::Obj(minijs::MakeErrorObject(
+                  "IllegalArgumentError", "eventsBetween needs from and to",
+                  webview::kErrorCodeIllegalArgument)));
+            }
+            try {
+              android::CalendarProvider provider(webview_ptr->platform());
+              return drain(provider.queryBetween(
+                  static_cast<long long>(args[0].ToNumber()),
+                  static_cast<long long>(args[1].ToNumber())));
+            } catch (...) {
+              throw minijs::ScriptError(
+                  webview_ptr->bridge().MapCurrentException());
+            }
+          }));
+  return Value::Obj(object);
+}
+
+}  // namespace
+
+// ===========================================================================
+// The JS proxy library (paper Figures 6 and 9)
+// ===========================================================================
+
+const std::string& WebViewProxyLibrarySource() {
+  static const std::string source = R"JS(
+// MobiVine JavaScript proxy library for Android WebView.
+// Mirrors the architecture of the paper's Figure 6.
+
+function notifHandler(wrapper, notifId, callBack, translate) {
+  var timerId = 0;
+  this.startPolling = function(intervalMs) {
+    timerId = setInterval(function() {
+      var notes = wrapper.getNotifications(notifId);
+      for (var i = 0; i < notes.length; i++) {
+        translate(callBack, notes[i]);
+      }
+    }, intervalMs);
+  };
+  this.stopPolling = function() {
+    if (timerId !== 0) { clearInterval(timerId); timerId = 0; }
+  };
+}
+
+function SmsProxyImpl() {
+  var swi = createSmsWrapperInstance();
+  var handlers = [];
+  this.setProperty = function(key, value) { swi.setProperty(key, value); };
+  this.sendTextMessage = function(destination, text, callBack) {
+    var id = swi.sendTextMsg(destination, text);
+    if (callBack !== null && callBack !== undefined) {
+      var nH = null;
+      nH = new notifHandler(swi, id, callBack, function(cb, n) {
+        cb(n.messageId, n.status);
+        // Delivery/failure ends the conversation: stop polling for it.
+        if (n.status === 'delivered' || n.status === 'failed') {
+          nH.stopPolling();
+        }
+      });
+      nH.startPolling(MOBIVINE_POLL_MS);
+      handlers.push(nH);
+    }
+    return id;
+  };
+  this.segmentCount = function(text) { return swi.segmentCount(text); };
+  this.stopAll = function() {
+    for (var i = 0; i < handlers.length; i++) { handlers[i].stopPolling(); }
+  };
+}
+
+function LocationProxyImpl() {
+  var lwi = createLocationWrapperInstance();
+  var handlers = [];
+  this.setProperty = function(key, value) { lwi.setProperty(key, value); };
+  this.getLocation = function() { return lwi.getLocation(); };
+  this.addProximityAlert = function(latitude, longitude, altitude, radius,
+                                    timer, callBack) {
+    var id = lwi.addProximityAlert(latitude, longitude, altitude, radius,
+                                   timer);
+    var nH = new notifHandler(lwi, id, callBack, function(cb, n) {
+      cb(n.refLatitude, n.refLongitude, n.refAltitude, n.location, n.entering);
+    });
+    nH.startPolling(MOBIVINE_POLL_MS);
+    handlers.push({ id: id, nH: nH });
+    return id;
+  };
+  this.removeProximityAlert = function(id) {
+    lwi.removeProximityAlert(id);
+    for (var i = 0; i < handlers.length; i++) {
+      if (handlers[i].id === id) { handlers[i].nH.stopPolling(); }
+    }
+  };
+}
+
+function CallProxyImpl() {
+  var cwi = createCallWrapperInstance();
+  var handler = null;
+  this.setProperty = function(key, value) { cwi.setProperty(key, value); };
+  this.makeCall = function(number, callBack) {
+    var id = cwi.makeCall(number);
+    if (id === 0) { return false; }
+    if (callBack !== null && callBack !== undefined) {
+      handler = new notifHandler(cwi, id, callBack, function(cb, n) {
+        cb(n.state);
+      });
+      handler.startPolling(MOBIVINE_POLL_MS);
+    }
+    return true;
+  };
+  this.endCall = function() {
+    cwi.endCall();
+    if (handler !== null) { handler.stopPolling(); handler = null; }
+  };
+}
+
+function HttpProxyImpl() {
+  var hwi = createHttpWrapperInstance();
+  this.setProperty = function(key, value) { hwi.setProperty(key, value); };
+  this.setHeader = function(name, value) { hwi.setHeader(name, value); };
+  this.get = function(url) { return hwi.get(url); };
+  this.post = function(url, body, contentType) {
+    return hwi.post(url, body, contentType);
+  };
+}
+
+function CalendarProxyImpl() {
+  var cwi = createCalendarWrapperInstance();
+  this.listEvents = function() { return cwi.listEvents(); };
+  this.eventsBetween = function(fromMs, toMs) {
+    return cwi.eventsBetween(fromMs, toMs);
+  };
+  this.nextEvent = function(nowMs) {
+    // Enrichment in the JS proxy: earliest event starting at/after nowMs.
+    var all = cwi.listEvents();
+    var best = null;
+    for (var i = 0; i < all.length; i++) {
+      if (all[i].start >= nowMs &&
+          (best === null || all[i].start < best.start)) {
+        best = all[i];
+      }
+    }
+    return best;
+  };
+}
+
+function PimProxyImpl() {
+  var pwi = createPimWrapperInstance();
+  this.listContacts = function() { return pwi.listContacts(); };
+  this.findByNumber = function(number) { return pwi.findByNumber(number); };
+  this.findByName = function(fragment) {
+    // Enrichment in the JS proxy: the wrapper exposes no name filter.
+    var all = pwi.listContacts();
+    var out = [];
+    for (var i = 0; i < all.length; i++) {
+      if (all[i].displayName.toLowerCase()
+              .indexOf(fragment.toLowerCase()) >= 0) {
+        out.push(all[i]);
+      }
+    }
+    return out;
+  };
+}
+)JS";
+  return source;
+}
+
+void InstallWebViewProxies(webview::WebView& webview,
+                           int polling_interval_ms) {
+  auto* webview_ptr = &webview;
+  webview.addJavascriptInterface(
+      MakeHostFunction("createSmsWrapperInstance",
+                       [webview_ptr](minijs::Interpreter&, const Value&,
+                                     std::vector<Value>&) {
+                         webview_ptr->bridge().ChargeCall(0, false);
+                         return MakeSmsWrapper(*webview_ptr);
+                       }),
+      "createSmsWrapperInstance");
+  webview.addJavascriptInterface(
+      MakeHostFunction("createLocationWrapperInstance",
+                       [webview_ptr](minijs::Interpreter&, const Value&,
+                                     std::vector<Value>&) {
+                         webview_ptr->bridge().ChargeCall(0, false);
+                         return MakeLocationWrapper(*webview_ptr);
+                       }),
+      "createLocationWrapperInstance");
+  webview.addJavascriptInterface(
+      MakeHostFunction("createCallWrapperInstance",
+                       [webview_ptr](minijs::Interpreter&, const Value&,
+                                     std::vector<Value>&) {
+                         webview_ptr->bridge().ChargeCall(0, false);
+                         return MakeCallWrapper(*webview_ptr);
+                       }),
+      "createCallWrapperInstance");
+  webview.addJavascriptInterface(
+      MakeHostFunction("createHttpWrapperInstance",
+                       [webview_ptr](minijs::Interpreter&, const Value&,
+                                     std::vector<Value>&) {
+                         webview_ptr->bridge().ChargeCall(0, false);
+                         return MakeHttpWrapper(*webview_ptr);
+                       }),
+      "createHttpWrapperInstance");
+  webview.addJavascriptInterface(
+      MakeHostFunction("createPimWrapperInstance",
+                       [webview_ptr](minijs::Interpreter&, const Value&,
+                                     std::vector<Value>&) {
+                         webview_ptr->bridge().ChargeCall(0, false);
+                         return MakeContactsWrapper(*webview_ptr);
+                       }),
+      "createPimWrapperInstance");
+  webview.addJavascriptInterface(
+      MakeHostFunction("createCalendarWrapperInstance",
+                       [webview_ptr](minijs::Interpreter&, const Value&,
+                                     std::vector<Value>&) {
+                         webview_ptr->bridge().ChargeCall(0, false);
+                         return MakeCalendarWrapper(*webview_ptr);
+                       }),
+      "createCalendarWrapperInstance");
+  webview.interpreter().SetGlobal(
+      "MOBIVINE_POLL_MS",
+      Value::Number(static_cast<double>(polling_interval_ms)));
+  webview.loadScript(WebViewProxyLibrarySource());
+}
+
+}  // namespace mobivine::core

@@ -1,0 +1,38 @@
+// MobiVine JavaScript proxies for the Android WebView platform, following
+// the paper's Figure 6 three-step procedure:
+//
+//  1. Wrapper Java classes, reachable from JS via addJavaScriptInterface —
+//     here host objects created by createSmsWrapperInstance() /
+//     createLocationWrapperInstance() / createCallWrapperInstance() /
+//     createHttpWrapperInstance().
+//  2. JS proxy interfaces (SmsProxyImpl, LocationProxyImpl, CallProxyImpl,
+//     HttpProxyImpl) that hold the wrapper handle (the paper's `swi`) and
+//     forward calls through it; native exceptions arrive as error codes.
+//  3. Callback support through the Notification Table: wrapper methods that
+//     start asynchronous work return a notification id; the JS proxy's
+//     notifHandler polls getNotifications(id) with startPolling() and
+//     invokes the JS callback function.
+//
+// The application-facing JS API matches the paper's Figure 9:
+//   var loc = new LocationProxyImpl();
+//   loc.setProperty("provider", "gps");
+//   loc.addProximityAlert(lat, lon, alt, radius, timer, proximityEvent);
+#pragma once
+
+#include <string>
+
+#include "webview/webview.h"
+
+namespace mobivine::core {
+
+/// Inject the wrapper factories and load the JS proxy library into a
+/// WebView. After this, scripts can construct the *ProxyImpl objects.
+/// `polling_interval_ms` is the notifHandler poll period (ablation A1).
+void InstallWebViewProxies(webview::WebView& webview,
+                           int polling_interval_ms = 250);
+
+/// The JS proxy library source (exposed for the plugin's packaging
+/// extension, which injects it into WebView projects).
+[[nodiscard]] const std::string& WebViewProxyLibrarySource();
+
+}  // namespace mobivine::core

@@ -1,0 +1,36 @@
+// The Calendar M-Proxy — the second §7 future-work interface.
+//
+// Bindings exist for android (content-provider cursor), s60 (JSR-75
+// EventList) and webview; iPhone OS 2009 has NO public calendar API (no
+// EventKit before iOS 4), so — like Call on S60 — the registry refuses
+// with ProxyError(kUnsupported). Proxies need not cover every platform
+// (paper §3.3: no least-common-denominator requirement).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/proxy.h"
+#include "core/uniform_types.h"
+
+namespace mobivine::core {
+
+class CalendarProxy : public MProxy {
+ public:
+  using MProxy::MProxy;
+
+  /// Every event on the device, ordered by start time.
+  [[nodiscard]] virtual std::vector<CalendarEvent> listEvents() = 0;
+
+  /// Events overlapping [from_ms, to_ms), ordered by start time.
+  [[nodiscard]] virtual std::vector<CalendarEvent> eventsBetween(
+      long long from_ms, long long to_ms) = 0;
+
+  /// The earliest event starting at or after `now_ms` (enrichment — no
+  /// 2009 platform exposes this directly).
+  [[nodiscard]] virtual std::optional<CalendarEvent> nextEvent(
+      long long now_ms) = 0;
+};
+
+}  // namespace mobivine::core

@@ -1,0 +1,32 @@
+// The Call M-Proxy (semantic plane "Call").
+//
+// Exposed on Android and WebView; the S60 platform does not expose the
+// core functionality (paper §4.1), so the registry refuses to create it
+// there with ProxyError(kUnsupported).
+//
+// Enrichment (paper §3.3): "proxy for invoking 'Call' can provide the
+// utility for coordinating the number of retries in case the callee is
+// unreachable" — the "retries" property drives automatic redial.
+#pragma once
+
+#include <string>
+
+#include "core/proxy.h"
+#include "core/uniform_types.h"
+
+namespace mobivine::core {
+
+class CallProxy : public MProxy {
+ public:
+  using MProxy::MProxy;
+
+  /// Start a call; progress arrives on `listener` as uniform CallProgress
+  /// states. Returns false when a call is already active.
+  virtual bool makeCall(const std::string& number, CallListener* listener) = 0;
+
+  virtual void endCall() = 0;
+
+  [[nodiscard]] virtual CallProgress currentState() = 0;
+};
+
+}  // namespace mobivine::core

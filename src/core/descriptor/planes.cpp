@@ -1,0 +1,237 @@
+#include "core/descriptor/planes.h"
+
+#include <stdexcept>
+
+namespace mobivine::core {
+
+// ---------------------------------------------------------------------------
+// Lookups
+// ---------------------------------------------------------------------------
+
+const MethodSpec* SemanticPlane::FindMethod(const std::string& name) const {
+  for (const auto& method : methods) {
+    if (method.name == name) return &method;
+  }
+  return nullptr;
+}
+
+const MethodSyntax* SyntacticPlane::FindMethod(const std::string& name) const {
+  for (const auto& method : methods) {
+    if (method.method == name) return &method;
+  }
+  return nullptr;
+}
+
+const PropertySpec* BindingPlane::FindProperty(const std::string& name) const {
+  for (const auto& property : properties) {
+    if (property.name == name) return &property;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+std::vector<std::string> ParseAllowedValues(const xml::Node& parent) {
+  std::vector<std::string> out;
+  for (const xml::Node* child : parent.Children("allowedValue")) {
+    out.push_back(child->InnerText());
+  }
+  return out;
+}
+}  // namespace
+
+SemanticPlane ParseSemantic(const xml::Node& root) {
+  if (root.name() != "proxy") {
+    throw std::invalid_argument("semantic plane root must be <proxy>");
+  }
+  SemanticPlane plane;
+  plane.interface_name = root.GetAttributeOr("name", "");
+  plane.category = root.GetAttributeOr("category", plane.interface_name);
+  plane.description = root.ChildTextOr("description", "");
+  for (const xml::Node* method_node : root.Children("method")) {
+    MethodSpec method;
+    method.name = method_node->GetAttributeOr("name", "");
+    method.description = method_node->ChildTextOr("description", "");
+    for (const xml::Node* param_node : method_node->Children("parameter")) {
+      ParameterSpec param;
+      param.name = param_node->GetAttributeOr("name", "");
+      param.dimension = param_node->GetAttributeOr("dimension", "");
+      param.description = param_node->ChildTextOr("description", "");
+      param.allowed_values = ParseAllowedValues(*param_node);
+      method.parameters.push_back(std::move(param));
+    }
+    if (const xml::Node* callback = method_node->FirstChild("callback")) {
+      method.callback_name = callback->GetAttributeOr("name", "");
+    }
+    if (const xml::Node* returns = method_node->FirstChild("returns")) {
+      method.return_dimension = returns->GetAttributeOr("dimension", "void");
+    } else {
+      method.return_dimension = "void";
+    }
+    plane.methods.push_back(std::move(method));
+  }
+  return plane;
+}
+
+SyntacticPlane ParseSyntactic(const xml::Node& root) {
+  if (root.name() != "syntax") {
+    throw std::invalid_argument("syntactic plane root must be <syntax>");
+  }
+  SyntacticPlane plane;
+  plane.proxy = root.GetAttributeOr("proxy", "");
+  plane.language = root.GetAttributeOr("language", "");
+  for (const xml::Node* method_node : root.Children("method")) {
+    MethodSyntax method;
+    method.method = method_node->GetAttributeOr("name", "");
+    method.return_type = method_node->GetAttributeOr("returnType", "void");
+    for (const xml::Node* param_node : method_node->Children("param")) {
+      method.parameter_types.push_back(param_node->GetAttributeOr("type", ""));
+    }
+    if (const xml::Node* callback = method_node->FirstChild("callback")) {
+      method.callback_type = callback->GetAttributeOr("type", "");
+      method.callback_method = callback->GetAttributeOr("method", "");
+    }
+    plane.methods.push_back(std::move(method));
+  }
+  return plane;
+}
+
+BindingPlane ParseBinding(const xml::Node& root) {
+  if (root.name() != "binding") {
+    throw std::invalid_argument("binding plane root must be <binding>");
+  }
+  BindingPlane plane;
+  plane.proxy = root.GetAttributeOr("proxy", "");
+  plane.platform = root.GetAttributeOr("platform", "");
+  plane.language = root.GetAttributeOr("language", "");
+  if (const xml::Node* impl = root.FirstChild("implementation")) {
+    plane.implementation_class = impl->GetAttributeOr("class", "");
+  }
+  for (const xml::Node* artifact : root.Children("artifact")) {
+    plane.artifacts.push_back(artifact->InnerText());
+  }
+  for (const xml::Node* exception : root.Children("exception")) {
+    ExceptionSpec spec;
+    spec.native_type = exception->GetAttributeOr("native", "");
+    spec.mapped_code = exception->GetAttributeOr("code", "unknown");
+    plane.exceptions.push_back(std::move(spec));
+  }
+  for (const xml::Node* property : root.Children("property")) {
+    PropertySpec spec;
+    spec.name = property->GetAttributeOr("name", "");
+    spec.type = property->GetAttributeOr("type", "string");
+    spec.default_value = property->GetAttributeOr("default", "");
+    spec.required = property->GetAttributeOr("required", "false") == "true";
+    spec.description = property->ChildTextOr("description", "");
+    spec.allowed_values = ParseAllowedValues(*property);
+    plane.properties.push_back(std::move(spec));
+  }
+  return plane;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+void AppendAllowedValues(xml::Node& parent,
+                         const std::vector<std::string>& values) {
+  for (const std::string& value : values) {
+    parent.AppendElement("allowedValue", value);
+  }
+}
+}  // namespace
+
+xml::NodePtr ToXml(const SemanticPlane& plane) {
+  auto root = xml::Node::Element("proxy");
+  root->SetAttribute("name", plane.interface_name);
+  root->SetAttribute("category", plane.category);
+  if (!plane.description.empty()) {
+    root->AppendElement("description", plane.description);
+  }
+  for (const MethodSpec& method : plane.methods) {
+    xml::Node& method_node = root->AppendChild(xml::Node::Element("method"));
+    method_node.SetAttribute("name", method.name);
+    if (!method.description.empty()) {
+      method_node.AppendElement("description", method.description);
+    }
+    for (const ParameterSpec& param : method.parameters) {
+      xml::Node& param_node =
+          method_node.AppendChild(xml::Node::Element("parameter"));
+      param_node.SetAttribute("name", param.name);
+      param_node.SetAttribute("dimension", param.dimension);
+      if (!param.description.empty()) {
+        param_node.AppendElement("description", param.description);
+      }
+      AppendAllowedValues(param_node, param.allowed_values);
+    }
+    if (!method.callback_name.empty()) {
+      xml::Node& callback =
+          method_node.AppendChild(xml::Node::Element("callback"));
+      callback.SetAttribute("name", method.callback_name);
+    }
+    xml::Node& returns = method_node.AppendChild(xml::Node::Element("returns"));
+    returns.SetAttribute("dimension", method.return_dimension);
+  }
+  return root;
+}
+
+xml::NodePtr ToXml(const SyntacticPlane& plane) {
+  auto root = xml::Node::Element("syntax");
+  root->SetAttribute("proxy", plane.proxy);
+  root->SetAttribute("language", plane.language);
+  for (const MethodSyntax& method : plane.methods) {
+    xml::Node& method_node = root->AppendChild(xml::Node::Element("method"));
+    method_node.SetAttribute("name", method.method);
+    method_node.SetAttribute("returnType", method.return_type);
+    for (const std::string& type : method.parameter_types) {
+      xml::Node& param = method_node.AppendChild(xml::Node::Element("param"));
+      param.SetAttribute("type", type);
+    }
+    if (!method.callback_type.empty() || !method.callback_method.empty()) {
+      xml::Node& callback =
+          method_node.AppendChild(xml::Node::Element("callback"));
+      callback.SetAttribute("type", method.callback_type);
+      callback.SetAttribute("method", method.callback_method);
+    }
+  }
+  return root;
+}
+
+xml::NodePtr ToXml(const BindingPlane& plane) {
+  auto root = xml::Node::Element("binding");
+  root->SetAttribute("proxy", plane.proxy);
+  root->SetAttribute("platform", plane.platform);
+  root->SetAttribute("language", plane.language);
+  if (!plane.implementation_class.empty()) {
+    xml::Node& impl = root->AppendChild(xml::Node::Element("implementation"));
+    impl.SetAttribute("class", plane.implementation_class);
+  }
+  for (const std::string& artifact : plane.artifacts) {
+    root->AppendElement("artifact", artifact);
+  }
+  for (const ExceptionSpec& exception : plane.exceptions) {
+    xml::Node& node = root->AppendChild(xml::Node::Element("exception"));
+    node.SetAttribute("native", exception.native_type);
+    node.SetAttribute("code", exception.mapped_code);
+  }
+  for (const PropertySpec& property : plane.properties) {
+    xml::Node& node = root->AppendChild(xml::Node::Element("property"));
+    node.SetAttribute("name", property.name);
+    node.SetAttribute("type", property.type);
+    if (!property.default_value.empty()) {
+      node.SetAttribute("default", property.default_value);
+    }
+    if (property.required) node.SetAttribute("required", "true");
+    if (!property.description.empty()) {
+      node.AppendElement("description", property.description);
+    }
+    AppendAllowedValues(node, property.allowed_values);
+  }
+  return root;
+}
+
+}  // namespace mobivine::core

@@ -1,0 +1,249 @@
+#include "core/descriptor/proxy_descriptor.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/descriptor/schemas.h"
+#include "core/errors.h"
+#include "support/logging.h"
+#include "xml/xml_parser.h"
+
+namespace mobivine::core {
+
+// ---------------------------------------------------------------------------
+// ProxyDescriptor
+// ---------------------------------------------------------------------------
+
+void ProxyDescriptor::AddSyntactic(SyntacticPlane plane) {
+  syntactic_.push_back(std::move(plane));
+}
+
+void ProxyDescriptor::AddBinding(BindingPlane plane) {
+  bindings_.push_back(std::move(plane));
+}
+
+const SyntacticPlane* ProxyDescriptor::FindSyntactic(
+    const std::string& language) const {
+  for (const auto& plane : syntactic_) {
+    if (plane.language == language) return &plane;
+  }
+  return nullptr;
+}
+
+const BindingPlane* ProxyDescriptor::FindBinding(
+    const std::string& platform) const {
+  for (const auto& plane : bindings_) {
+    if (plane.platform == platform) return &plane;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ProxyDescriptor::Platforms() const {
+  std::vector<std::string> out;
+  for (const auto& plane : bindings_) out.push_back(plane.platform);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+bool IsKnownErrorCode(const std::string& name) {
+  static const char* kNames[] = {
+      "security",  "illegal-argument", "location-unavailable",
+      "timeout",   "unreachable",      "radio-failure",
+      "unsupported", "invalid-state",  "network",
+      "unknown"};
+  return std::any_of(std::begin(kNames), std::end(kNames),
+                     [&name](const char* known) { return name == known; });
+}
+}  // namespace
+
+std::vector<std::string> ProxyDescriptor::Validate() const {
+  std::vector<std::string> problems;
+  const std::string& name = semantic_.interface_name;
+  if (name.empty()) problems.push_back("semantic plane has no interface name");
+  if (semantic_.methods.empty()) {
+    problems.push_back(name + ": semantic plane declares no methods");
+  }
+
+  for (const SyntacticPlane& plane : syntactic_) {
+    const std::string where = name + "/" + plane.language;
+    if (plane.proxy != name) {
+      problems.push_back(where + ": syntactic plane names proxy '" +
+                         plane.proxy + "'");
+    }
+    for (const MethodSyntax& method : plane.methods) {
+      const MethodSpec* spec = semantic_.FindMethod(method.method);
+      if (spec == nullptr) {
+        problems.push_back(where + ": method '" + method.method +
+                           "' not in semantic plane");
+        continue;
+      }
+      if (method.parameter_types.size() != spec->parameters.size()) {
+        problems.push_back(
+            where + ": method '" + method.method + "' binds " +
+            std::to_string(method.parameter_types.size()) +
+            " parameter types, semantic plane declares " +
+            std::to_string(spec->parameters.size()));
+      }
+      if (!spec->callback_name.empty() && method.callback_type.empty()) {
+        problems.push_back(where + ": method '" + method.method +
+                           "' is missing its callback type");
+      }
+    }
+  }
+
+  for (const BindingPlane& plane : bindings_) {
+    const std::string where = name + "/" + plane.platform;
+    if (plane.proxy != name) {
+      problems.push_back(where + ": binding plane names proxy '" +
+                         plane.proxy + "'");
+    }
+    if (plane.implementation_class.empty()) {
+      problems.push_back(where + ": no implementation class");
+    }
+    if (FindSyntactic(plane.language) == nullptr) {
+      problems.push_back(where + ": binds language '" + plane.language +
+                         "' but no such syntactic plane exists");
+    }
+    for (const ExceptionSpec& exception : plane.exceptions) {
+      if (!IsKnownErrorCode(exception.mapped_code)) {
+        problems.push_back(where + ": exception '" + exception.native_type +
+                           "' maps to unknown code '" + exception.mapped_code +
+                           "'");
+      }
+    }
+    for (const PropertySpec& property : plane.properties) {
+      if (property.required && !property.default_value.empty()) {
+        problems.push_back(where + ": property '" + property.name +
+                           "' is required but also has a default");
+      }
+      if (!property.default_value.empty() &&
+          !property.allowed_values.empty()) {
+        const bool default_allowed =
+            std::find(property.allowed_values.begin(),
+                      property.allowed_values.end(),
+                      property.default_value) != property.allowed_values.end();
+        if (!default_allowed) {
+          problems.push_back(where + ": property '" + property.name +
+                             "' default '" + property.default_value +
+                             "' is not among its allowed values");
+        }
+      }
+    }
+  }
+  return problems;
+}
+
+// ---------------------------------------------------------------------------
+// DescriptorStore
+// ---------------------------------------------------------------------------
+
+void DescriptorStore::AddDocument(const xml::Node& root,
+                                  const std::string& origin) {
+  const xml::Schema* schema = SchemaFor(root);
+  if (schema == nullptr) {
+    throw std::runtime_error(origin + ": unrecognized descriptor document <" +
+                             root.name() + ">");
+  }
+  auto violations = schema->Validate(root);
+  if (!violations.empty()) {
+    throw std::runtime_error(origin + ": schema '" + schema->name() +
+                             "' violations:\n" +
+                             xml::FormatViolations(violations));
+  }
+
+  if (root.name() == "proxy") {
+    SemanticPlane plane = ParseSemantic(root);
+    const std::string name = plane.interface_name;
+    if (descriptors_.count(name)) {
+      throw std::runtime_error(origin + ": duplicate semantic plane for '" +
+                               name + "'");
+    }
+    auto descriptor = std::make_unique<ProxyDescriptor>(std::move(plane));
+    // Attach planes that arrived first.
+    auto pending = pending_.find(name);
+    if (pending != pending_.end()) {
+      for (auto& syntactic : pending->second.syntactic) {
+        descriptor->AddSyntactic(std::move(syntactic));
+      }
+      for (auto& binding : pending->second.bindings) {
+        descriptor->AddBinding(std::move(binding));
+      }
+      pending_.erase(pending);
+    }
+    descriptors_[name] = std::move(descriptor);
+  } else if (root.name() == "syntax") {
+    SyntacticPlane plane = ParseSyntactic(root);
+    auto it = descriptors_.find(plane.proxy);
+    if (it != descriptors_.end()) {
+      it->second->AddSyntactic(std::move(plane));
+    } else {
+      pending_[plane.proxy].syntactic.push_back(std::move(plane));
+    }
+  } else {  // binding
+    BindingPlane plane = ParseBinding(root);
+    auto it = descriptors_.find(plane.proxy);
+    if (it != descriptors_.end()) {
+      it->second->AddBinding(std::move(plane));
+    } else {
+      pending_[plane.proxy].bindings.push_back(std::move(plane));
+    }
+  }
+}
+
+void DescriptorStore::Finalize() {
+  if (!pending_.empty()) {
+    std::string orphans;
+    for (const auto& [name, _] : pending_) orphans += " '" + name + "'";
+    throw std::runtime_error(
+        "descriptor planes reference proxies with no semantic plane:" +
+        orphans);
+  }
+  std::string report;
+  for (const auto& [name, descriptor] : descriptors_) {
+    for (const std::string& problem : descriptor->Validate()) {
+      report += problem + "\n";
+    }
+  }
+  if (!report.empty()) {
+    throw std::runtime_error("descriptor validation failed:\n" + report);
+  }
+}
+
+DescriptorStore DescriptorStore::LoadDirectory(const std::string& directory) {
+  namespace fs = std::filesystem;
+  DescriptorStore store;
+  if (!fs::exists(directory)) {
+    throw std::runtime_error("descriptor directory does not exist: " +
+                             directory);
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".xml") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    xml::Document document = xml::ParseFile(file.string());
+    store.AddDocument(*document.root, file.string());
+  }
+  store.Finalize();
+  MOBIVINE_LOG_INFO << "loaded " << store.size() << " proxy descriptors from "
+                    << directory;
+  return store;
+}
+
+const ProxyDescriptor* DescriptorStore::Find(const std::string& name) const {
+  auto it = descriptors_.find(name);
+  return it == descriptors_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> DescriptorStore::ProxyNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : descriptors_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mobivine::core

@@ -1,0 +1,85 @@
+// A complete M-Proxy descriptor: one semantic plane refined by per-language
+// syntactic planes and per-platform binding planes, plus the store that
+// loads a directory of descriptor documents (the data behind the M-Plugin's
+// Proxy Drawer).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/descriptor/planes.h"
+
+namespace mobivine::core {
+
+class ProxyDescriptor {
+ public:
+  explicit ProxyDescriptor(SemanticPlane semantic)
+      : semantic_(std::move(semantic)) {}
+
+  const SemanticPlane& semantic() const { return semantic_; }
+  const std::string& name() const { return semantic_.interface_name; }
+
+  void AddSyntactic(SyntacticPlane plane);
+  void AddBinding(BindingPlane plane);
+
+  const std::vector<SyntacticPlane>& syntactic_planes() const {
+    return syntactic_;
+  }
+  const std::vector<BindingPlane>& binding_planes() const { return bindings_; }
+
+  [[nodiscard]] const SyntacticPlane* FindSyntactic(
+      const std::string& language) const;
+  [[nodiscard]] const BindingPlane* FindBinding(
+      const std::string& platform) const;
+
+  /// True when the interface is implemented on the platform (the Call
+  /// proxy has no S60 binding, per the paper).
+  [[nodiscard]] bool SupportsPlatform(const std::string& platform) const {
+    return FindBinding(platform) != nullptr;
+  }
+  [[nodiscard]] std::vector<std::string> Platforms() const;
+
+  /// Cross-plane consistency: every syntactic/binding plane names this
+  /// proxy; syntactic methods exist in the semantic plane with matching
+  /// parameter counts; binding exception codes are valid ErrorCode names.
+  /// Returns human-readable problems (empty = consistent).
+  [[nodiscard]] std::vector<std::string> Validate() const;
+
+ private:
+  SemanticPlane semantic_;
+  std::vector<SyntacticPlane> syntactic_;
+  std::vector<BindingPlane> bindings_;
+};
+
+/// Loads and owns a set of proxy descriptors.
+class DescriptorStore {
+ public:
+  /// Load every *.xml under `directory` (one level of proxy subdirectories,
+  /// e.g. descriptors/location/semantic.xml). Each document is validated
+  /// against its schema; schema violations or cross-plane inconsistencies
+  /// throw std::runtime_error with a full report.
+  static DescriptorStore LoadDirectory(const std::string& directory);
+
+  /// Assemble from in-memory XML documents (tests).
+  void AddDocument(const xml::Node& root, const std::string& origin);
+  /// Run cross-plane validation on everything added; throws on problems.
+  void Finalize();
+
+  [[nodiscard]] const ProxyDescriptor* Find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> ProxyNames() const;
+  std::size_t size() const { return descriptors_.size(); }
+
+ private:
+  struct Pending {
+    std::vector<SyntacticPlane> syntactic;
+    std::vector<BindingPlane> bindings;
+  };
+
+  std::map<std::string, std::unique_ptr<ProxyDescriptor>> descriptors_;
+  std::map<std::string, Pending> pending_;  // planes seen before semantic
+};
+
+}  // namespace mobivine::core

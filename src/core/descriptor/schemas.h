@@ -1,0 +1,38 @@
+// The five descriptor schemas (paper §4.1: "we designed five Schemas in the
+// XML format - one for handling the semantic plane, one each for handling
+// Java and JavaScript styles at the syntactic plane, and two at the
+// implementation plane for binding Java (for S60 and Android), and
+// JavaScript (for WebView)").
+#pragma once
+
+#include "xml/xml_schema.h"
+
+namespace mobivine::core {
+
+/// Semantic plane: <proxy name category> <method> <parameter .../> ...
+[[nodiscard]] const xml::Schema& SemanticSchema();
+
+/// Syntactic plane, Java style: listener-object callbacks required.
+[[nodiscard]] const xml::Schema& SyntacticJavaSchema();
+
+/// Syntactic plane, JavaScript style: function callbacks.
+[[nodiscard]] const xml::Schema& SyntacticJavaScriptSchema();
+
+/// Binding plane for Java platforms (Android, S60): jar artifacts.
+[[nodiscard]] const xml::Schema& BindingJavaSchema();
+
+/// Binding plane for JavaScript platforms (WebView): wrapper class +
+/// JS artifacts.
+[[nodiscard]] const xml::Schema& BindingJavaScriptSchema();
+
+/// EXTENSION (paper §3.3/§7): the Objective-C pair added with the iPhone
+/// platform. The original five schemas are untouched — extending the
+/// platform set only adds schemas and binding documents.
+[[nodiscard]] const xml::Schema& SyntacticObjCSchema();
+[[nodiscard]] const xml::Schema& BindingObjCSchema();
+
+/// Pick the schema for a parsed descriptor document root. Returns nullptr
+/// for an unrecognized root/language combination.
+[[nodiscard]] const xml::Schema* SchemaFor(const xml::Node& root);
+
+}  // namespace mobivine::core

@@ -1,0 +1,207 @@
+#include "core/enrichment.h"
+
+#include "support/strings.h"
+
+namespace mobivine::core {
+
+// ---------------------------------------------------------------------------
+// RetryingCallProxy
+// ---------------------------------------------------------------------------
+
+RetryingCallProxy::RetryingCallProxy(std::unique_ptr<CallProxy> inner,
+                                     sim::Scheduler& scheduler,
+                                     int max_retries, sim::SimTime retry_delay)
+    : CallProxy(scheduler, /*binding=*/nullptr),
+      inner_(std::move(inner)),
+      scheduler_(scheduler),
+      max_retries_(max_retries),
+      retry_delay_(retry_delay) {}
+
+RetryingCallProxy::~RetryingCallProxy() { *alive_ = false; }
+
+bool RetryingCallProxy::makeCall(const std::string& number,
+                                 CallListener* listener) {
+  meter().Charge(Op::kEnrichment);
+  number_ = number;
+  client_listener_ = listener;
+  retries_used_ = 0;
+  call_abandoned_ = false;
+  return inner_->makeCall(number, this);
+}
+
+void RetryingCallProxy::endCall() {
+  call_abandoned_ = true;
+  inner_->endCall();
+}
+
+CallProgress RetryingCallProxy::currentState() {
+  return inner_->currentState();
+}
+
+void RetryingCallProxy::callStateChanged(CallProgress progress) {
+  if (client_listener_ != nullptr) {
+    client_listener_->callStateChanged(progress);
+  }
+  if (progress != CallProgress::kFailed || call_abandoned_) return;
+  if (retries_used_ >= max_retries_) return;
+  ++retries_used_;
+  meter().Charge(Op::kEnrichment);
+  std::weak_ptr<bool> alive = alive_;
+  scheduler_.ScheduleAfter(retry_delay_, [this, alive] {
+    auto locked = alive.lock();
+    if (!locked || !*locked || call_abandoned_) return;
+    inner_->makeCall(number_, this);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// AccessPolicy
+// ---------------------------------------------------------------------------
+
+bool AccessPolicy::DestinationAllowed(const std::string& number) const {
+  if (prefixes_.empty()) return true;
+  for (const std::string& prefix : prefixes_) {
+    if (support::StartsWith(number, prefix)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// AuthenticatingHttpProxy
+// ---------------------------------------------------------------------------
+
+AuthenticatingHttpProxy::AuthenticatingHttpProxy(
+    std::unique_ptr<HttpProxy> inner, std::string token_url,
+    std::string credentials, sim::Scheduler& scheduler)
+    : HttpProxy(scheduler, /*binding=*/nullptr),
+      inner_(std::move(inner)),
+      token_url_(std::move(token_url)),
+      credentials_(std::move(credentials)) {}
+
+void AuthenticatingHttpProxy::EnsureToken(bool force_refresh) {
+  if (!token_.empty() && !force_refresh) return;
+  meter().Charge(Op::kEnrichment);
+  ++token_fetches_;
+  HttpResult response = inner_->post(token_url_, "credentials=" + credentials_,
+                                     "application/x-www-form-urlencoded");
+  if (!response.ok() || response.body.empty()) {
+    throw ProxyError(ErrorCode::kSecurity,
+                     "token endpoint rejected the credentials (" +
+                         std::to_string(response.status) + ")");
+  }
+  token_ = response.body;
+  inner_->setHeader("Authorization", "Bearer " + token_);
+}
+
+HttpResult AuthenticatingHttpProxy::Exchange(
+    const std::function<HttpResult()>& send) {
+  meter().Charge(Op::kEnrichment);
+  EnsureToken(/*force_refresh=*/false);
+  HttpResult response = send();
+  if (response.status == 401) {
+    // Token expired server-side: refresh and retry exactly once.
+    EnsureToken(/*force_refresh=*/true);
+    response = send();
+  }
+  return response;
+}
+
+HttpResult AuthenticatingHttpProxy::get(const std::string& url) {
+  return Exchange([&] { return inner_->get(url); });
+}
+
+HttpResult AuthenticatingHttpProxy::post(const std::string& url,
+                                         const std::string& body,
+                                         const std::string& content_type) {
+  return Exchange([&] { return inner_->post(url, body, content_type); });
+}
+
+// ---------------------------------------------------------------------------
+// Secure decorators
+// ---------------------------------------------------------------------------
+
+SecureSmsProxy::SecureSmsProxy(std::unique_ptr<SmsProxy> inner,
+                               const AccessPolicy& policy,
+                               sim::Scheduler& scheduler)
+    : SmsProxy(scheduler, /*binding=*/nullptr),
+      inner_(std::move(inner)),
+      policy_(policy) {}
+
+long long SecureSmsProxy::sendTextMessage(const std::string& destination,
+                                          const std::string& text,
+                                          SmsListener* listener) {
+  meter().Charge(Op::kEnrichment);
+  if (!policy_.InterfaceAllowed("Sms")) {
+    throw ProxyError(ErrorCode::kSecurity,
+                     "access policy denies the Sms interface");
+  }
+  if (!policy_.DestinationAllowed(destination)) {
+    throw ProxyError(ErrorCode::kSecurity,
+                     "access policy denies SMS to " + destination);
+  }
+  return inner_->sendTextMessage(destination, text, listener);
+}
+
+int SecureSmsProxy::segmentCount(const std::string& text) {
+  return inner_->segmentCount(text);
+}
+
+SecureCallProxy::SecureCallProxy(std::unique_ptr<CallProxy> inner,
+                                 const AccessPolicy& policy,
+                                 sim::Scheduler& scheduler)
+    : CallProxy(scheduler, /*binding=*/nullptr),
+      inner_(std::move(inner)),
+      policy_(policy) {}
+
+bool SecureCallProxy::makeCall(const std::string& number,
+                               CallListener* listener) {
+  meter().Charge(Op::kEnrichment);
+  if (!policy_.InterfaceAllowed("Call")) {
+    throw ProxyError(ErrorCode::kSecurity,
+                     "access policy denies the Call interface");
+  }
+  if (!policy_.DestinationAllowed(number)) {
+    throw ProxyError(ErrorCode::kSecurity,
+                     "access policy denies calling " + number);
+  }
+  return inner_->makeCall(number, listener);
+}
+
+void SecureCallProxy::endCall() { inner_->endCall(); }
+
+CallProgress SecureCallProxy::currentState() { return inner_->currentState(); }
+
+SecureLocationProxy::SecureLocationProxy(std::unique_ptr<LocationProxy> inner,
+                                         const AccessPolicy& policy,
+                                         sim::Scheduler& scheduler)
+    : LocationProxy(scheduler, /*binding=*/nullptr),
+      inner_(std::move(inner)),
+      policy_(policy) {}
+
+void SecureLocationProxy::CheckAllowed() {
+  meter().Charge(Op::kEnrichment);
+  if (!policy_.InterfaceAllowed("Location")) {
+    throw ProxyError(ErrorCode::kSecurity,
+                     "access policy denies the Location interface");
+  }
+}
+
+void SecureLocationProxy::addProximityAlert(double latitude, double longitude,
+                                            double altitude, float radius_m,
+                                            long long timer_ms,
+                                            ProximityListener* listener) {
+  CheckAllowed();
+  inner_->addProximityAlert(latitude, longitude, altitude, radius_m, timer_ms,
+                            listener);
+}
+
+void SecureLocationProxy::removeProximityAlert(ProximityListener* listener) {
+  inner_->removeProximityAlert(listener);
+}
+
+Location SecureLocationProxy::getLocation() {
+  CheckAllowed();
+  return inner_->getLocation();
+}
+
+}  // namespace mobivine::core

@@ -1,0 +1,187 @@
+// Proxy enrichment (paper §3.3): value-add layers stacked on top of a
+// binding without touching it.
+//
+//  * Output-format enrichment for Location lives on LocationProxy itself
+//    (setAngleUnit — degrees/radians).
+//  * RetryingCallProxy — "coordinating the number of retries in case the
+//    callee is unreachable".
+//  * AccessPolicy + the Secure* decorators — "security and other policy
+//    modules can also be added to provide a layer of trust, authentication
+//    and access control".
+#pragma once
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/call_proxy.h"
+#include "core/http_proxy.h"
+#include "core/location_proxy.h"
+#include "core/sms_proxy.h"
+#include "sim/scheduler.h"
+
+namespace mobivine::core {
+
+// ---------------------------------------------------------------------------
+// Retry enrichment for Call
+// ---------------------------------------------------------------------------
+
+/// Decorator that redials automatically when the callee is unreachable
+/// (call ends in kFailed). Retries are spaced by `retry_delay`; progress —
+/// including intermediate failures — is forwarded to the caller's listener.
+class RetryingCallProxy : public CallProxy, private CallListener {
+ public:
+  RetryingCallProxy(std::unique_ptr<CallProxy> inner,
+                    sim::Scheduler& scheduler, int max_retries,
+                    sim::SimTime retry_delay = sim::SimTime::Seconds(2));
+  ~RetryingCallProxy() override;
+
+  bool makeCall(const std::string& number, CallListener* listener) override;
+  void endCall() override;
+  CallProgress currentState() override;
+  void setProperty(const std::string& name, std::any value) override {
+    inner_->setProperty(name, std::move(value));
+  }
+
+  int retries_used() const { return retries_used_; }
+
+ private:
+  void callStateChanged(CallProgress progress) override;
+
+  std::unique_ptr<CallProxy> inner_;
+  sim::Scheduler& scheduler_;
+  int max_retries_;
+  sim::SimTime retry_delay_;
+  int retries_used_ = 0;
+  std::string number_;
+  CallListener* client_listener_ = nullptr;
+  bool call_abandoned_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+// ---------------------------------------------------------------------------
+// Access-control enrichment
+// ---------------------------------------------------------------------------
+
+/// Simple ACL: which proxy interfaces may be used, and which destination
+/// prefixes (phone numbers) are permitted for Sms/Call.
+class AccessPolicy {
+ public:
+  /// Default: everything denied until allowed.
+  void AllowInterface(const std::string& name) { interfaces_.insert(name); }
+  void AllowDestinationPrefix(const std::string& prefix) {
+    prefixes_.push_back(prefix);
+  }
+
+  [[nodiscard]] bool InterfaceAllowed(const std::string& name) const {
+    return interfaces_.count(name) > 0;
+  }
+  /// True when no prefixes are configured (unconstrained) or one matches.
+  [[nodiscard]] bool DestinationAllowed(const std::string& number) const;
+
+ private:
+  std::set<std::string> interfaces_;
+  std::vector<std::string> prefixes_;
+};
+
+// ---------------------------------------------------------------------------
+// Authentication enrichment ("a layer of trust, authentication and access
+// control", paper §3.3)
+// ---------------------------------------------------------------------------
+
+/// Decorator over any platform's Http proxy that manages a bearer token:
+/// it fetches a token from `token_url` on first use, attaches it as an
+/// Authorization header, and on a 401 response refreshes the token and
+/// retries the exchange once. Application code stays token-free.
+class AuthenticatingHttpProxy : public HttpProxy {
+ public:
+  AuthenticatingHttpProxy(std::unique_ptr<HttpProxy> inner,
+                          std::string token_url, std::string credentials,
+                          sim::Scheduler& scheduler);
+
+  HttpResult get(const std::string& url) override;
+  HttpResult post(const std::string& url, const std::string& body,
+                  const std::string& content_type) override;
+  void setHeader(const std::string& name, const std::string& value) override {
+    inner_->setHeader(name, value);
+  }
+  void setProperty(const std::string& name, std::any value) override {
+    inner_->setProperty(name, std::move(value));
+  }
+
+  int token_fetches() const { return token_fetches_; }
+
+ private:
+  /// Fetch (or refresh) the bearer token. Throws ProxyError(kSecurity)
+  /// when the token endpoint rejects the credentials.
+  void EnsureToken(bool force_refresh);
+  HttpResult Exchange(const std::function<HttpResult()>& send);
+
+  std::unique_ptr<HttpProxy> inner_;
+  std::string token_url_;
+  std::string credentials_;
+  std::string token_;
+  int token_fetches_ = 0;
+};
+
+/// Decorators that enforce an AccessPolicy before delegating; violations
+/// throw ProxyError(kSecurity) with no platform interaction at all.
+class SecureSmsProxy : public SmsProxy {
+ public:
+  SecureSmsProxy(std::unique_ptr<SmsProxy> inner, const AccessPolicy& policy,
+                 sim::Scheduler& scheduler);
+
+  long long sendTextMessage(const std::string& destination,
+                            const std::string& text,
+                            SmsListener* listener) override;
+  int segmentCount(const std::string& text) override;
+  void setProperty(const std::string& name, std::any value) override {
+    inner_->setProperty(name, std::move(value));
+  }
+
+ private:
+  std::unique_ptr<SmsProxy> inner_;
+  const AccessPolicy& policy_;
+};
+
+class SecureCallProxy : public CallProxy {
+ public:
+  SecureCallProxy(std::unique_ptr<CallProxy> inner, const AccessPolicy& policy,
+                  sim::Scheduler& scheduler);
+
+  bool makeCall(const std::string& number, CallListener* listener) override;
+  void endCall() override;
+  CallProgress currentState() override;
+  void setProperty(const std::string& name, std::any value) override {
+    inner_->setProperty(name, std::move(value));
+  }
+
+ private:
+  std::unique_ptr<CallProxy> inner_;
+  const AccessPolicy& policy_;
+};
+
+class SecureLocationProxy : public LocationProxy {
+ public:
+  SecureLocationProxy(std::unique_ptr<LocationProxy> inner,
+                      const AccessPolicy& policy, sim::Scheduler& scheduler);
+
+  void addProximityAlert(double latitude, double longitude, double altitude,
+                         float radius_m, long long timer_ms,
+                         ProximityListener* listener) override;
+  void removeProximityAlert(ProximityListener* listener) override;
+  Location getLocation() override;
+  void setProperty(const std::string& name, std::any value) override {
+    inner_->setProperty(name, std::move(value));
+  }
+
+ private:
+  void CheckAllowed();
+  std::unique_ptr<LocationProxy> inner_;
+  const AccessPolicy& policy_;
+};
+
+}  // namespace mobivine::core

@@ -1,0 +1,61 @@
+// MobiVine's unified error model.
+//
+// Each platform throws its own exception hierarchy (android::*, s60::*) or
+// propagates error codes (the WebView JS bridge). The binding plane of a
+// proxy declares the platform's exception set; at runtime every native
+// failure is mapped onto one ProxyError so application code handles errors
+// identically on every platform.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mobivine::core {
+
+enum class ErrorCode {
+  kSecurity,             ///< missing permission on the underlying platform
+  kIllegalArgument,      ///< bad parameter rejected by the platform
+  kLocationUnavailable,  ///< no fix / provider cannot serve the request
+  kTimeout,              ///< operation exceeded the platform's time budget
+  kUnreachable,          ///< destination (host/subscriber) unreachable
+  kRadioFailure,         ///< transient radio-level failure
+  kUnsupported,          ///< interface not exposed on this platform/version
+  kInvalidState,         ///< call sequencing error (closed handle, busy line)
+  kNetwork,              ///< generic network-layer failure
+  kUnknown,
+};
+
+[[nodiscard]] const char* ToString(ErrorCode code);
+
+/// The single exception type the MobiVine public API throws.
+class ProxyError : public std::runtime_error {
+ public:
+  ProxyError(ErrorCode code, const std::string& message,
+             std::string platform = "", std::string native_type = "")
+      : std::runtime_error("[" + std::string(ToString(code)) + "] " + message),
+        code_(code),
+        platform_(std::move(platform)),
+        native_type_(std::move(native_type)) {}
+
+  ErrorCode code() const { return code_; }
+  /// Which binding raised it ("android", "s60", "webview"); empty when the
+  /// error originated in the MobiVine layer itself.
+  const std::string& platform() const { return platform_; }
+  /// The native exception type that was absorbed (diagnostics).
+  const std::string& native_type() const { return native_type_; }
+
+ private:
+  ErrorCode code_;
+  std::string platform_;
+  std::string native_type_;
+};
+
+/// Map the in-flight exception (rethrown internally) from a given platform
+/// to a ProxyError, which is then thrown. Must be called inside a catch
+/// block. ProxyError passes through unchanged.
+[[noreturn]] void RethrowAsProxyError(const std::string& platform);
+
+/// Map a WebView bridge error code (webview::kErrorCode*) to ErrorCode.
+[[nodiscard]] ErrorCode FromWebViewErrorCode(int code);
+
+}  // namespace mobivine::core

@@ -1,0 +1,31 @@
+// The Http M-Proxy (semantic plane "Http"): uniform blocking HTTP exchange
+// used by device-side code to reach the server-side application.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/proxy.h"
+#include "core/uniform_types.h"
+
+namespace mobivine::core {
+
+class HttpProxy : public MProxy {
+ public:
+  using MProxy::MProxy;
+
+  /// Blocking GET. Network failures surface as ProxyError
+  /// (kUnreachable / kTimeout / kNetwork) on every platform.
+  [[nodiscard]] virtual HttpResult get(const std::string& url) = 0;
+
+  /// Blocking POST with a body and content type.
+  [[nodiscard]] virtual HttpResult post(const std::string& url,
+                                        const std::string& body,
+                                        const std::string& content_type) = 0;
+
+  /// Extra request header applied to subsequent exchanges (uniform
+  /// convenience; maps to each platform's header mechanism).
+  virtual void setHeader(const std::string& name, const std::string& value) = 0;
+};
+
+}  // namespace mobivine::core

@@ -1,0 +1,16 @@
+#include "core/location_proxy.h"
+
+#include "support/geo_units.h"
+
+namespace mobivine::core {
+
+Location LocationProxy::ConvertUnits(Location location) {
+  if (angle_unit_ == AngleUnit::kRadians) {
+    meter().Charge(Op::kEnrichment);
+    location.latitude = support::DegreesToRadians(location.latitude);
+    location.longitude = support::DegreesToRadians(location.longitude);
+  }
+  return location;
+}
+
+}  // namespace mobivine::core

@@ -1,0 +1,49 @@
+// The Location M-Proxy: uniform location interface (semantic plane
+// "Location"), implemented per platform under core/bindings/.
+//
+// Platform attributes go through setProperty():
+//   android: "context" (required handle), "provider" ("gps"/"network")
+//   s60:     "preferredResponseTime", "horizontalAccuracy",
+//            "verticalAccuracy", "powerConsumption", "costAllowed"
+#pragma once
+
+#include "core/proxy.h"
+#include "core/uniform_types.h"
+
+namespace mobivine::core {
+
+class LocationProxy : public MProxy {
+ public:
+  using MProxy::MProxy;
+
+  /// Register a continuous proximity alert: `listener->proximityEvent` is
+  /// invoked with entering=true/false on every boundary crossing until
+  /// `timer_ms` elapses (timer_ms < 0 = never) or the listener is removed.
+  /// These are the Android semantics; the S60 binding emulates them on top
+  /// of the platform's one-shot listener (paper §2).
+  virtual void addProximityAlert(double latitude, double longitude,
+                                 double altitude, float radius_m,
+                                 long long timer_ms,
+                                 ProximityListener* listener) = 0;
+
+  virtual void removeProximityAlert(ProximityListener* listener) = 0;
+
+  /// Blocking read of the current location, converted to the uniform type
+  /// and to the proxy's configured angle unit.
+  [[nodiscard]] virtual Location getLocation() = 0;
+
+  /// Enrichment (paper §3.3): output angle format. Defaults to degrees.
+  void setAngleUnit(AngleUnit unit) { angle_unit_ = unit; }
+  AngleUnit angle_unit() const { return angle_unit_; }
+
+  std::size_t active_alert_count() const { return active_alerts_; }
+
+ protected:
+  /// Apply the configured angle unit to a degrees-based uniform location.
+  [[nodiscard]] Location ConvertUnits(Location location);
+
+  AngleUnit angle_unit_ = AngleUnit::kDegrees;
+  std::size_t active_alerts_ = 0;
+};
+
+}  // namespace mobivine::core

@@ -1,0 +1,29 @@
+#include "core/meter.h"
+
+namespace mobivine::core {
+
+const char* ToString(Op op) {
+  switch (op) {
+    case Op::kDispatch:
+      return "dispatch";
+    case Op::kPropertySet:
+      return "property-set";
+    case Op::kPropertyLookup:
+      return "property-lookup";
+    case Op::kValidation:
+      return "validation";
+    case Op::kTypeConversion:
+      return "type-conversion";
+    case Op::kListenerAdaptation:
+      return "listener-adaptation";
+    case Op::kExceptionMap:
+      return "exception-map";
+    case Op::kEnrichment:
+      return "enrichment";
+    case Op::kCount_:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace mobivine::core

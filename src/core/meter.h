@@ -1,0 +1,84 @@
+// Overhead accounting for the MobiVine layer.
+//
+// The proxy deltas in Figure 10 ("With Proxy" minus "Without Proxy") are
+// the cost of the de-fragmentation work itself: property handling, type
+// conversion, listener adaptation, exception mapping. Rather than charging
+// an opaque constant, every binding charges per primitive operation it
+// actually performs; the per-op virtual costs below model a 2009-class
+// handset VM (see EXPERIMENTS.md §Calibration). Benches report both the
+// virtual milliseconds and the op counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/clock.h"
+#include "sim/scheduler.h"
+
+namespace mobivine::core {
+
+enum class Op : int {
+  kDispatch = 0,         ///< uniform-API entry: argument staging + vtable hop
+  kPropertySet,          ///< setProperty() store + descriptor check
+  kPropertyLookup,       ///< binding reads a property at invocation time
+  kValidation,           ///< parameter range/shape validation
+  kTypeConversion,       ///< one field converted between type systems
+  kListenerAdaptation,   ///< wiring a callback style onto another
+  kExceptionMap,         ///< native exception -> ProxyError
+  kEnrichment,           ///< extra value-add logic (units, retries, policy)
+  kCount_,
+};
+
+[[nodiscard]] const char* ToString(Op op);
+
+/// Virtual cost per operation on the modeled 2009 handset.
+struct OpCostModel {
+  std::array<sim::SimTime, static_cast<int>(Op::kCount_)> cost = {
+      sim::SimTime::Micros(500),  // kDispatch
+      sim::SimTime::Micros(300),  // kPropertySet
+      sim::SimTime::Micros(120),  // kPropertyLookup
+      sim::SimTime::Micros(150),  // kValidation
+      sim::SimTime::Micros(100),  // kTypeConversion
+      sim::SimTime::Micros(800),  // kListenerAdaptation
+      sim::SimTime::Micros(200),  // kExceptionMap
+      sim::SimTime::Micros(250),  // kEnrichment
+  };
+};
+
+/// Charges per-op virtual time on a scheduler and counts operations.
+/// One meter per proxy instance; benches read counts() and charged().
+class OverheadMeter {
+ public:
+  OverheadMeter(sim::Scheduler& scheduler, OpCostModel model = {})
+      : scheduler_(&scheduler), model_(model) {}
+
+  void Charge(Op op, int times = 1) {
+    const int index = static_cast<int>(op);
+    counts_[index] += static_cast<std::uint64_t>(times);
+    const sim::SimTime total = model_.cost[index] * times;
+    charged_ += total;
+    scheduler_->AdvanceBy(total);
+  }
+
+  std::uint64_t count(Op op) const { return counts_[static_cast<int>(op)]; }
+  std::uint64_t total_ops() const {
+    std::uint64_t sum = 0;
+    for (auto c : counts_) sum += c;
+    return sum;
+  }
+  sim::SimTime charged() const { return charged_; }
+
+  void Reset() {
+    counts_ = {};
+    charged_ = sim::SimTime::Zero();
+  }
+
+ private:
+  sim::Scheduler* scheduler_;
+  OpCostModel model_;
+  std::array<std::uint64_t, static_cast<int>(Op::kCount_)> counts_ = {};
+  sim::SimTime charged_;
+};
+
+}  // namespace mobivine::core

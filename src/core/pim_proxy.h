@@ -1,0 +1,38 @@
+// The Pim (contacts) M-Proxy — the paper's §7 future-work interface
+// ("extend MobiVine implementation to cover other platform interfaces like
+// those related to calendaring and contact list information").
+//
+// It absorbs a third flavor of data-access fragmentation:
+//   android — content-provider cursor iteration (moveToNext/getString)
+//   s60     — JSR-75 PIM lists with field-indexed items
+//   iphone  — AddressBook C-style Copy calls
+//   webview — the JS proxy over the wrapper + bridge
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/proxy.h"
+#include "core/uniform_types.h"
+
+namespace mobivine::core {
+
+class PimProxy : public MProxy {
+ public:
+  using MProxy::MProxy;
+
+  /// Every contact on the device, as uniform records.
+  [[nodiscard]] virtual std::vector<Contact> listContacts() = 0;
+
+  /// Lookup by exact phone number.
+  [[nodiscard]] virtual std::optional<Contact> findByNumber(
+      const std::string& phone_number) = 0;
+
+  /// Case-insensitive display-name substring search (enrichment on
+  /// platforms whose native API has no filter).
+  [[nodiscard]] virtual std::vector<Contact> findByName(
+      const std::string& fragment) = 0;
+};
+
+}  // namespace mobivine::core

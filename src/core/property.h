@@ -1,0 +1,60 @@
+// The generic property mechanism of the M-Proxy model.
+//
+// "Any platform-mandated information should not form part of a common API,
+// but should still be provided to the implementation module for that
+// platform" (paper §4.1). Properties carry that information: Android's
+// application context, S60's Criteria values, the WebView provider name —
+// all set through one setProperty() surface and validated against the
+// binding plane's property list.
+#pragma once
+
+#include <any>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mobivine::core {
+
+/// A property bag with typed accessors. Values are std::any so bindings can
+/// accept opaque native handles (e.g. android::Context*) alongside scalars.
+class PropertyBag {
+ public:
+  void Set(const std::string& name, std::any value) {
+    values_[name] = std::move(value);
+  }
+
+  [[nodiscard]] bool Has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+  /// Typed get; nullopt when missing or of a different type.
+  template <typename T>
+  [[nodiscard]] std::optional<T> Get(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    if (const T* value = std::any_cast<T>(&it->second)) return *value;
+    return std::nullopt;
+  }
+
+  template <typename T>
+  [[nodiscard]] T GetOr(const std::string& name, T fallback) const {
+    auto value = Get<T>(name);
+    return value ? *value : fallback;
+  }
+
+  [[nodiscard]] std::vector<std::string> Names() const {
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& [name, _] : values_) out.push_back(name);
+    return out;
+  }
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::any> values_;
+};
+
+}  // namespace mobivine::core

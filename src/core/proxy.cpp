@@ -1,0 +1,83 @@
+#include "core/proxy.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace mobivine::core {
+
+void MProxy::ApplyDefaults() {
+  for (const PropertySpec& spec : binding_->properties) {
+    if (spec.default_value.empty()) continue;
+    if (spec.type == "int") {
+      long long value = 0;
+      if (support::ParseInt(spec.default_value, value)) {
+        properties_.Set(spec.name, value);
+      }
+    } else if (spec.type == "double") {
+      double value = 0;
+      if (support::ParseDouble(spec.default_value, value)) {
+        properties_.Set(spec.name, value);
+      }
+    } else if (spec.type == "bool") {
+      bool value = false;
+      if (support::ParseBool(spec.default_value, value)) {
+        properties_.Set(spec.name, value);
+      }
+    } else {  // string (handles have no defaults)
+      properties_.Set(spec.name, std::string(spec.default_value));
+    }
+  }
+}
+
+void MProxy::setProperty(const std::string& name, std::any value) {
+  meter_.Charge(Op::kPropertySet);
+  if (binding_ != nullptr) {
+    const PropertySpec* spec = binding_->FindProperty(name);
+    if (spec == nullptr) {
+      throw ProxyError(ErrorCode::kIllegalArgument,
+                       "property '" + name + "' is not declared for " +
+                           binding_->proxy + " on " + binding_->platform);
+    }
+    meter_.Charge(Op::kValidation);
+    if (!spec->allowed_values.empty()) {
+      // Allowed-value checks apply to the scalar property types.
+      std::string as_string;
+      bool comparable = false;
+      if (const std::string* s = std::any_cast<std::string>(&value)) {
+        as_string = *s;
+        comparable = true;
+      } else if (const long long* i = std::any_cast<long long>(&value)) {
+        as_string = std::to_string(*i);
+        comparable = true;
+      } else if (const int* i = std::any_cast<int>(&value)) {
+        as_string = std::to_string(*i);
+        comparable = true;
+      }
+      if (comparable) {
+        const bool allowed =
+            std::find(spec->allowed_values.begin(), spec->allowed_values.end(),
+                      as_string) != spec->allowed_values.end();
+        if (!allowed) {
+          throw ProxyError(ErrorCode::kIllegalArgument,
+                           "property '" + name + "' value '" + as_string +
+                               "' is not allowed on " + binding_->platform);
+        }
+      }
+    }
+  }
+  properties_.Set(name, std::move(value));
+}
+
+void MProxy::RequireProperties() const {
+  if (binding_ == nullptr) return;
+  for (const PropertySpec& spec : binding_->properties) {
+    if (spec.required && !properties_.Has(spec.name)) {
+      throw ProxyError(ErrorCode::kIllegalArgument,
+                       "required property '" + spec.name + "' not set for " +
+                           binding_->proxy + " on " + binding_->platform);
+    }
+  }
+}
+
+}  // namespace mobivine::core

@@ -1,0 +1,67 @@
+// M-Proxy runtime base class.
+//
+// Holds the property bag behind the generic setProperty() mechanism,
+// validates property names/values against the binding plane's property
+// list, applies descriptor defaults, and carries the OverheadMeter that
+// accounts for every de-fragmentation operation the binding performs.
+#pragma once
+
+#include <any>
+#include <memory>
+#include <string>
+
+#include "core/descriptor/planes.h"
+#include "core/errors.h"
+#include "core/meter.h"
+#include "core/property.h"
+
+namespace mobivine::core {
+
+class MProxy {
+ public:
+  MProxy(sim::Scheduler& scheduler, const BindingPlane* binding)
+      : meter_(scheduler), binding_(binding) {
+    if (binding_ != nullptr) ApplyDefaults();
+  }
+  virtual ~MProxy() = default;
+
+  MProxy(const MProxy&) = delete;
+  MProxy& operator=(const MProxy&) = delete;
+
+  /// The generic property mechanism (paper §4.1). When a binding plane is
+  /// attached, unknown property names and disallowed string values are
+  /// rejected with ProxyError(kIllegalArgument). Virtual so enrichment
+  /// decorators can forward properties to the wrapped binding.
+  virtual void setProperty(const std::string& name, std::any value);
+
+  template <typename T>
+  [[nodiscard]] std::optional<T> getProperty(const std::string& name) const {
+    return properties_.Get<T>(name);
+  }
+  template <typename T>
+  [[nodiscard]] T getPropertyOr(const std::string& name, T fallback) const {
+    return properties_.GetOr<T>(name, std::move(fallback));
+  }
+  [[nodiscard]] bool hasProperty(const std::string& name) const {
+    return properties_.Has(name);
+  }
+
+  const BindingPlane* binding() const { return binding_; }
+  OverheadMeter& meter() { return meter_; }
+  const OverheadMeter& meter() const { return meter_; }
+
+ protected:
+  /// Throws ProxyError(kIllegalArgument) if a property the binding plane
+  /// marks required has not been set (called by bindings before first use).
+  void RequireProperties() const;
+
+  PropertyBag properties_;
+
+ private:
+  void ApplyDefaults();
+
+  OverheadMeter meter_;
+  const BindingPlane* binding_;
+};
+
+}  // namespace mobivine::core

@@ -1,0 +1,174 @@
+#include "core/registry.h"
+
+#include "core/bindings/android_bindings.h"
+#include "core/bindings/iphone_bindings.h"
+#include "core/bindings/s60_bindings.h"
+#include "core/bindings/webview_proxies.h"
+
+namespace mobivine::core {
+
+const BindingPlane* ProxyRegistry::BindingFor(const std::string& proxy_name,
+                                              const std::string& platform,
+                                              bool required) const {
+  if (store_ == nullptr) return nullptr;
+  const ProxyDescriptor* descriptor = store_->Find(proxy_name);
+  const BindingPlane* binding =
+      descriptor ? descriptor->FindBinding(platform) : nullptr;
+  if (binding == nullptr && required) {
+    throw ProxyError(ErrorCode::kUnsupported,
+                     "proxy '" + proxy_name + "' has no binding for platform '" +
+                         platform + "'");
+  }
+  return binding;
+}
+
+bool ProxyRegistry::Supports(const std::string& proxy_name,
+                             const std::string& platform) const {
+  if (store_ == nullptr) {
+    // Without descriptors, availability follows the compiled bindings.
+    if (proxy_name == "Call" && platform == "s60") return false;
+    if (proxy_name == "Calendar" && platform == "iphone") return false;
+    return true;
+  }
+  const ProxyDescriptor* descriptor = store_->Find(proxy_name);
+  return descriptor != nullptr && descriptor->SupportsPlatform(platform);
+}
+
+std::vector<std::string> ProxyRegistry::AvailableProxies(
+    const std::string& platform) const {
+  std::vector<std::string> out;
+  if (store_ == nullptr) return out;
+  for (const std::string& name : store_->ProxyNames()) {
+    if (store_->Find(name)->SupportsPlatform(platform)) out.push_back(name);
+  }
+  return out;
+}
+
+// --- Android -------------------------------------------------------------
+
+std::unique_ptr<LocationProxy> ProxyRegistry::CreateLocationProxy(
+    android::AndroidPlatform& platform) const {
+  return std::make_unique<AndroidLocationProxy>(
+      platform, BindingFor("Location", "android", store_ != nullptr));
+}
+
+std::unique_ptr<SmsProxy> ProxyRegistry::CreateSmsProxy(
+    android::AndroidPlatform& platform) const {
+  return std::make_unique<AndroidSmsProxy>(
+      platform, BindingFor("Sms", "android", store_ != nullptr));
+}
+
+std::unique_ptr<CallProxy> ProxyRegistry::CreateCallProxy(
+    android::AndroidPlatform& platform) const {
+  return std::make_unique<AndroidCallProxy>(
+      platform, BindingFor("Call", "android", store_ != nullptr));
+}
+
+std::unique_ptr<HttpProxy> ProxyRegistry::CreateHttpProxy(
+    android::AndroidPlatform& platform) const {
+  return std::make_unique<AndroidHttpProxy>(
+      platform, BindingFor("Http", "android", store_ != nullptr));
+}
+
+std::unique_ptr<PimProxy> ProxyRegistry::CreatePimProxy(
+    android::AndroidPlatform& platform) const {
+  return std::make_unique<AndroidPimProxy>(
+      platform, BindingFor("Pim", "android", store_ != nullptr));
+}
+
+std::unique_ptr<CalendarProxy> ProxyRegistry::CreateCalendarProxy(
+    android::AndroidPlatform& platform) const {
+  return std::make_unique<AndroidCalendarProxy>(
+      platform, BindingFor("Calendar", "android", store_ != nullptr));
+}
+
+// --- S60 -----------------------------------------------------------------
+
+std::unique_ptr<LocationProxy> ProxyRegistry::CreateLocationProxy(
+    s60::S60Platform& platform) const {
+  return std::make_unique<S60LocationProxy>(
+      platform, BindingFor("Location", "s60", store_ != nullptr));
+}
+
+std::unique_ptr<SmsProxy> ProxyRegistry::CreateSmsProxy(
+    s60::S60Platform& platform) const {
+  return std::make_unique<S60SmsProxy>(
+      platform, BindingFor("Sms", "s60", store_ != nullptr));
+}
+
+std::unique_ptr<CallProxy> ProxyRegistry::CreateCallProxy(
+    s60::S60Platform& platform) const {
+  (void)platform;
+  // "Call proxy could not be created in this case because the core
+  // functionality was not exposed on the S60 platform" (paper §4.1).
+  throw ProxyError(ErrorCode::kUnsupported,
+                   "the Call interface is not exposed on S60");
+}
+
+std::unique_ptr<HttpProxy> ProxyRegistry::CreateHttpProxy(
+    s60::S60Platform& platform) const {
+  return std::make_unique<S60HttpProxy>(
+      platform, BindingFor("Http", "s60", store_ != nullptr));
+}
+
+std::unique_ptr<PimProxy> ProxyRegistry::CreatePimProxy(
+    s60::S60Platform& platform) const {
+  return std::make_unique<S60PimProxy>(
+      platform, BindingFor("Pim", "s60", store_ != nullptr));
+}
+
+std::unique_ptr<CalendarProxy> ProxyRegistry::CreateCalendarProxy(
+    s60::S60Platform& platform) const {
+  return std::make_unique<S60CalendarProxy>(
+      platform, BindingFor("Calendar", "s60", store_ != nullptr));
+}
+
+// --- iPhone ----------------------------------------------------------------
+
+std::unique_ptr<LocationProxy> ProxyRegistry::CreateLocationProxy(
+    iphone::IPhonePlatform& platform) const {
+  return std::make_unique<IPhoneLocationProxy>(
+      platform, BindingFor("Location", "iphone", store_ != nullptr));
+}
+
+std::unique_ptr<SmsProxy> ProxyRegistry::CreateSmsProxy(
+    iphone::IPhonePlatform& platform) const {
+  return std::make_unique<IPhoneSmsProxy>(
+      platform, BindingFor("Sms", "iphone", store_ != nullptr));
+}
+
+std::unique_ptr<CallProxy> ProxyRegistry::CreateCallProxy(
+    iphone::IPhonePlatform& platform) const {
+  return std::make_unique<IPhoneCallProxy>(
+      platform, BindingFor("Call", "iphone", store_ != nullptr));
+}
+
+std::unique_ptr<HttpProxy> ProxyRegistry::CreateHttpProxy(
+    iphone::IPhonePlatform& platform) const {
+  return std::make_unique<IPhoneHttpProxy>(
+      platform, BindingFor("Http", "iphone", store_ != nullptr));
+}
+
+std::unique_ptr<PimProxy> ProxyRegistry::CreatePimProxy(
+    iphone::IPhonePlatform& platform) const {
+  return std::make_unique<IPhonePimProxy>(
+      platform, BindingFor("Pim", "iphone", store_ != nullptr));
+}
+
+std::unique_ptr<CalendarProxy> ProxyRegistry::CreateCalendarProxy(
+    iphone::IPhonePlatform& platform) const {
+  (void)platform;
+  // No public calendar API on iPhone OS 2009 (pre-EventKit) — the same
+  // not-on-every-platform story as Call on S60.
+  throw ProxyError(ErrorCode::kUnsupported,
+                   "the Calendar interface is not exposed on iPhone OS");
+}
+
+// --- WebView ---------------------------------------------------------------
+
+void ProxyRegistry::InstallWebViewProxies(webview::WebView& webview,
+                                          int polling_interval_ms) const {
+  core::InstallWebViewProxies(webview, polling_interval_ms);
+}
+
+}  // namespace mobivine::core

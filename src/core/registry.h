@@ -1,0 +1,104 @@
+// The MobiVine proxy registry: the factory surface application code uses
+// to obtain proxies for a concrete platform.
+//
+// Availability is descriptor-driven: a proxy can be created for a platform
+// only when the loaded DescriptorStore has a binding plane for it ("in
+// practice, proxies should be developed for an interface that exists on
+// more than one platform, and not necessarily on 'all' platforms" — the
+// Call proxy exists for android and webview but not s60).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/android_platform.h"
+#include "core/calendar_proxy.h"
+#include "core/call_proxy.h"
+#include "core/descriptor/proxy_descriptor.h"
+#include "core/http_proxy.h"
+#include "core/location_proxy.h"
+#include "core/pim_proxy.h"
+#include "core/sms_proxy.h"
+#include "iphone/iphone_platform.h"
+#include "s60/s60_platform.h"
+#include "webview/webview.h"
+
+namespace mobivine::core {
+
+class ProxyRegistry {
+ public:
+  /// `store` may be null: proxies are then created without descriptor
+  /// validation (property names unchecked, everything assumed available).
+  explicit ProxyRegistry(const DescriptorStore* store = nullptr)
+      : store_(store) {}
+
+  // --- Android ---------------------------------------------------------
+  [[nodiscard]] std::unique_ptr<LocationProxy> CreateLocationProxy(
+      android::AndroidPlatform& platform) const;
+  [[nodiscard]] std::unique_ptr<SmsProxy> CreateSmsProxy(
+      android::AndroidPlatform& platform) const;
+  [[nodiscard]] std::unique_ptr<CallProxy> CreateCallProxy(
+      android::AndroidPlatform& platform) const;
+  [[nodiscard]] std::unique_ptr<HttpProxy> CreateHttpProxy(
+      android::AndroidPlatform& platform) const;
+  [[nodiscard]] std::unique_ptr<PimProxy> CreatePimProxy(
+      android::AndroidPlatform& platform) const;
+  [[nodiscard]] std::unique_ptr<CalendarProxy> CreateCalendarProxy(
+      android::AndroidPlatform& platform) const;
+
+  // --- S60 -----------------------------------------------------------
+  [[nodiscard]] std::unique_ptr<LocationProxy> CreateLocationProxy(
+      s60::S60Platform& platform) const;
+  [[nodiscard]] std::unique_ptr<SmsProxy> CreateSmsProxy(
+      s60::S60Platform& platform) const;
+  /// Throws ProxyError(kUnsupported): S60 exposes no call functionality.
+  [[nodiscard]] std::unique_ptr<CallProxy> CreateCallProxy(
+      s60::S60Platform& platform) const;
+  [[nodiscard]] std::unique_ptr<HttpProxy> CreateHttpProxy(
+      s60::S60Platform& platform) const;
+  [[nodiscard]] std::unique_ptr<PimProxy> CreatePimProxy(
+      s60::S60Platform& platform) const;
+  [[nodiscard]] std::unique_ptr<CalendarProxy> CreateCalendarProxy(
+      s60::S60Platform& platform) const;
+
+  // --- iPhone (the §7 future-work platform, added via new binding
+  // planes only — the semantic/syntactic machinery is untouched) ----------
+  [[nodiscard]] std::unique_ptr<LocationProxy> CreateLocationProxy(
+      iphone::IPhonePlatform& platform) const;
+  [[nodiscard]] std::unique_ptr<SmsProxy> CreateSmsProxy(
+      iphone::IPhonePlatform& platform) const;
+  [[nodiscard]] std::unique_ptr<CallProxy> CreateCallProxy(
+      iphone::IPhonePlatform& platform) const;
+  [[nodiscard]] std::unique_ptr<HttpProxy> CreateHttpProxy(
+      iphone::IPhonePlatform& platform) const;
+  [[nodiscard]] std::unique_ptr<PimProxy> CreatePimProxy(
+      iphone::IPhonePlatform& platform) const;
+  /// Throws ProxyError(kUnsupported): iPhone OS 2009 has no public
+  /// calendar API (EventKit arrived with iOS 4).
+  [[nodiscard]] std::unique_ptr<CalendarProxy> CreateCalendarProxy(
+      iphone::IPhonePlatform& platform) const;
+
+  // --- WebView -----------------------------------------------------------
+  /// Inject wrapper factories + JS proxy library (the WebView proxies are
+  /// consumed from JavaScript, not through C++ interfaces).
+  void InstallWebViewProxies(webview::WebView& webview,
+                             int polling_interval_ms = 250) const;
+
+  /// Descriptor-driven availability ("Location" on "s60", ...).
+  [[nodiscard]] bool Supports(const std::string& proxy_name,
+                              const std::string& platform) const;
+  [[nodiscard]] std::vector<std::string> AvailableProxies(
+      const std::string& platform) const;
+
+  const DescriptorStore* store() const { return store_; }
+
+ private:
+  [[nodiscard]] const BindingPlane* BindingFor(const std::string& proxy_name,
+                                               const std::string& platform,
+                                               bool required) const;
+
+  const DescriptorStore* store_;
+};
+
+}  // namespace mobivine::core

@@ -1,0 +1,34 @@
+// The SMS M-Proxy: uniform messaging interface (semantic plane "Sms").
+//
+// Uniform semantics: sendTextMessage() returns a message id immediately
+// after validation; delivery progress arrives on the optional SmsListener
+// (kSubmitted then kDelivered, or kFailed). The Android binding adapts the
+// platform's Intent broadcasts, the S60 binding adapts the blocking
+// exception-reporting send(), and the WebView binding polls the
+// notification table — three callback styles behind one surface.
+#pragma once
+
+#include <string>
+
+#include "core/proxy.h"
+#include "core/uniform_types.h"
+
+namespace mobivine::core {
+
+class SmsProxy : public MProxy {
+ public:
+  using MProxy::MProxy;
+
+  /// Send a text message. Throws ProxyError(kIllegalArgument) for an empty
+  /// destination or body; transport failures are reported via `listener`
+  /// (or, on platforms that detect them synchronously, by
+  /// ProxyError(kRadioFailure / kUnreachable)).
+  virtual long long sendTextMessage(const std::string& destination,
+                                    const std::string& text,
+                                    SmsListener* listener) = 0;
+
+  /// Number of transport segments `text` would use (uniform helper).
+  [[nodiscard]] virtual int segmentCount(const std::string& text) = 0;
+};
+
+}  // namespace mobivine::core

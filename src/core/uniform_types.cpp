@@ -1,0 +1,33 @@
+#include "core/uniform_types.h"
+
+namespace mobivine::core {
+
+const char* ToString(SmsDeliveryStatus status) {
+  switch (status) {
+    case SmsDeliveryStatus::kSubmitted:
+      return "submitted";
+    case SmsDeliveryStatus::kDelivered:
+      return "delivered";
+    case SmsDeliveryStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+const char* ToString(CallProgress progress) {
+  switch (progress) {
+    case CallProgress::kDialing:
+      return "dialing";
+    case CallProgress::kRinging:
+      return "ringing";
+    case CallProgress::kConnected:
+      return "connected";
+    case CallProgress::kEnded:
+      return "ended";
+    case CallProgress::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace mobivine::core

@@ -1,0 +1,94 @@
+// The uniform data types of the semantic plane.
+//
+// Application code written against M-Proxies sees ONLY these types — e.g.
+// the `currentLocation` object in proximityEvent() "is of the same type on
+// both Android and S60 platforms" (paper §5). Bindings convert the native
+// android::Location / s60::Location / JS objects into these.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace mobivine::core {
+
+/// Angle unit selector for the Location proxy's enrichment feature
+/// ("proxy for fetching location information can be made to offer output in
+/// various formats - radians, degrees", paper §3.3).
+enum class AngleUnit { kDegrees, kRadians };
+
+/// Uniform location fix.
+struct Location {
+  double latitude = 0.0;   ///< in the proxy's configured AngleUnit
+  double longitude = 0.0;  ///< in the proxy's configured AngleUnit
+  double altitude = 0.0;   ///< meters
+  double accuracy_m = 0.0;
+  double speed_mps = 0.0;
+  double heading_deg = 0.0;
+  long long timestamp_ms = 0;
+  bool valid = false;
+};
+
+/// Uniform proximity callback — the common callback parameter the semantic
+/// plane fixes (signature mirrors the paper's Figure 8).
+class ProximityListener {
+ public:
+  virtual ~ProximityListener() = default;
+  virtual void proximityEvent(double ref_latitude, double ref_longitude,
+                              double ref_altitude,
+                              const Location& current_location,
+                              bool entering) = 0;
+};
+
+/// Uniform SMS delivery status.
+enum class SmsDeliveryStatus { kSubmitted, kDelivered, kFailed };
+
+[[nodiscard]] const char* ToString(SmsDeliveryStatus status);
+
+class SmsListener {
+ public:
+  virtual ~SmsListener() = default;
+  virtual void smsStatusChanged(long long message_id,
+                                SmsDeliveryStatus status) = 0;
+};
+
+/// Uniform call progress states.
+enum class CallProgress { kDialing, kRinging, kConnected, kEnded, kFailed };
+
+[[nodiscard]] const char* ToString(CallProgress progress);
+
+class CallListener {
+ public:
+  virtual ~CallListener() = default;
+  virtual void callStateChanged(CallProgress progress) = 0;
+};
+
+/// Uniform contact record (the Pim proxy's data type — paper §7 names
+/// "contact list information" as the next interface to cover).
+struct Contact {
+  long long id = 0;
+  std::string display_name;
+  std::string phone_number;
+  std::string email;
+};
+
+/// Uniform calendar event (the Calendar proxy's data type — the second
+/// half of the paper's §7 "calendaring and contact list information").
+struct CalendarEvent {
+  long long id = 0;
+  std::string title;
+  long long start_ms = 0;
+  long long end_ms = 0;
+  std::string location;
+};
+
+/// Uniform HTTP exchange result.
+struct HttpResult {
+  int status = 0;
+  std::string reason;
+  std::string body;
+  std::map<std::string, std::string> headers;
+
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+}  // namespace mobivine::core

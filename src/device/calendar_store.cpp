@@ -1,0 +1,67 @@
+#include "device/calendar_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobivine::device {
+
+std::int64_t CalendarStore::Add(const std::string& title, long long start_ms,
+                                long long end_ms,
+                                const std::string& location) {
+  if (end_ms < start_ms) {
+    throw std::invalid_argument("event ends before it starts");
+  }
+  EventRecord record;
+  record.id = next_id_++;
+  record.title = title;
+  record.start_ms = start_ms;
+  record.end_ms = end_ms;
+  record.location = location;
+  events_.push_back(std::move(record));
+  return events_.back().id;
+}
+
+bool CalendarStore::Remove(std::int64_t id) {
+  auto it = std::remove_if(events_.begin(), events_.end(),
+                           [id](const EventRecord& e) { return e.id == id; });
+  const bool removed = it != events_.end();
+  events_.erase(it, events_.end());
+  return removed;
+}
+
+void CalendarStore::Clear() { events_.clear(); }
+
+std::optional<EventRecord> CalendarStore::FindById(std::int64_t id) const {
+  for (const auto& event : events_) {
+    if (event.id == id) return event;
+  }
+  return std::nullopt;
+}
+
+std::vector<EventRecord> CalendarStore::Between(long long from_ms,
+                                                long long to_ms) const {
+  std::vector<EventRecord> out;
+  for (const auto& event : events_) {
+    if (event.start_ms < to_ms && event.end_ms > from_ms) {
+      out.push_back(event);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EventRecord& a, const EventRecord& b) {
+              return a.start_ms < b.start_ms;
+            });
+  return out;
+}
+
+std::optional<EventRecord> CalendarStore::NextAfter(long long now_ms) const {
+  std::optional<EventRecord> best;
+  for (const auto& event : events_) {
+    if (event.start_ms >= now_ms &&
+        (!best || event.start_ms < best->start_ms)) {
+      best = event;
+    }
+  }
+  return best;
+}
+
+}  // namespace mobivine::device

@@ -1,0 +1,47 @@
+// The handset's calendar store — sibling of ContactDatabase for the
+// paper's §7 "calendaring" interface. Platform substrates expose it
+// through their own API shapes; notably, iPhone OS 2009 exposes it NOT AT
+// ALL (no public calendar API before EventKit), making Calendar the second
+// non-universal proxy after Call.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mobivine::device {
+
+struct EventRecord {
+  std::int64_t id = 0;
+  std::string title;
+  long long start_ms = 0;  ///< virtual milliseconds since simulation start
+  long long end_ms = 0;
+  std::string location;
+};
+
+class CalendarStore {
+ public:
+  /// Insert an event; returns its id. end must be >= start.
+  std::int64_t Add(const std::string& title, long long start_ms,
+                   long long end_ms, const std::string& location = "");
+
+  bool Remove(std::int64_t id);
+  void Clear();
+
+  [[nodiscard]] const std::vector<EventRecord>& All() const { return events_; }
+  [[nodiscard]] std::optional<EventRecord> FindById(std::int64_t id) const;
+  /// Events overlapping [from_ms, to_ms), ordered by start time.
+  [[nodiscard]] std::vector<EventRecord> Between(long long from_ms,
+                                                 long long to_ms) const;
+  /// The earliest event starting at or after `now_ms`.
+  [[nodiscard]] std::optional<EventRecord> NextAfter(long long now_ms) const;
+
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  std::int64_t next_id_ = 1;
+  std::vector<EventRecord> events_;
+};
+
+}  // namespace mobivine::device

@@ -1,0 +1,202 @@
+#include "device/cellular_modem.h"
+
+#include "support/logging.h"
+
+namespace mobivine::device {
+
+const char* ToString(SmsStatus status) {
+  switch (status) {
+    case SmsStatus::kSent:
+      return "sent";
+    case SmsStatus::kDelivered:
+      return "delivered";
+    case SmsStatus::kFailedRadio:
+      return "failed-radio";
+    case SmsStatus::kFailedUnreachable:
+      return "failed-unreachable";
+  }
+  return "?";
+}
+
+const char* ToString(CallState state) {
+  switch (state) {
+    case CallState::kIdle:
+      return "idle";
+    case CallState::kDialing:
+      return "dialing";
+    case CallState::kRinging:
+      return "ringing";
+    case CallState::kConnected:
+      return "connected";
+    case CallState::kEnded:
+      return "ended";
+    case CallState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+CellularModem::CellularModem(sim::Scheduler& scheduler, sim::Rng& rng,
+                             ModemConfig config)
+    : scheduler_(scheduler), rng_(rng), config_(config) {}
+
+void CellularModem::RegisterSubscriber(const std::string& number) {
+  subscribers_.insert(number);
+}
+
+bool CellularModem::IsRegistered(const std::string& number) const {
+  return subscribers_.count(number) > 0;
+}
+
+int CellularModem::SegmentCount(const std::string& text) const {
+  const int per = config_.sms_segment_chars;
+  if (text.empty()) return 1;
+  return static_cast<int>((text.size() + per - 1) / per);
+}
+
+bool CellularModem::NextTransmitFails() {
+  if (injected_failures_ > 0) {
+    --injected_failures_;
+    return true;
+  }
+  return rng_.Bernoulli(config_.sms_radio_failure_probability);
+}
+
+std::uint64_t CellularModem::SendSms(
+    const std::string& destination, const std::string& text,
+    std::function<void(const SmsResult&)> callback) {
+  const std::uint64_t id = next_message_id_++;
+  PendingSms pending;
+  pending.id = id;
+  pending.destination = destination;
+  pending.segments = SegmentCount(text);
+  pending.callback = std::move(callback);
+  sms_queue_.push_back(std::move(pending));
+  PumpSmsQueue();
+  return id;
+}
+
+SmsResult CellularModem::BlockingSubmit(
+    const std::string& destination, const std::string& text,
+    std::function<void(const SmsResult&)> delivery_callback) {
+  SmsResult result;
+  result.message_id = next_message_id_++;
+  result.segments = SegmentCount(text);
+  sim::SimTime total = sim::SimTime::Zero();
+  for (int i = 0; i < result.segments; ++i) {
+    total += config_.sms_transmit.Sample(rng_);
+  }
+  scheduler_.AdvanceBy(total);
+  if (NextTransmitFails()) {
+    result.status = SmsStatus::kFailedRadio;
+    return result;
+  }
+  if (!IsRegistered(destination)) {
+    result.status = SmsStatus::kFailedUnreachable;
+    return result;
+  }
+  result.status = SmsStatus::kSent;
+  if (delivery_callback) {
+    const sim::SimTime report = config_.delivery_report_delay.Sample(rng_);
+    scheduler_.ScheduleAfter(
+        report, [cb = std::move(delivery_callback), id = result.message_id,
+                 segments = result.segments] {
+          SmsResult delivered;
+          delivered.message_id = id;
+          delivered.segments = segments;
+          delivered.status = SmsStatus::kDelivered;
+          cb(delivered);
+        });
+  }
+  return result;
+}
+
+void CellularModem::PumpSmsQueue() {
+  if (sms_in_flight_ || sms_queue_.empty()) return;
+  sms_in_flight_ = true;
+  PendingSms message = std::move(sms_queue_.front());
+  sms_queue_.pop_front();
+
+  // Charge one transmit latency per segment.
+  sim::SimTime total = sim::SimTime::Zero();
+  for (int i = 0; i < message.segments; ++i) {
+    total += config_.sms_transmit.Sample(rng_);
+  }
+  scheduler_.ScheduleAfter(total, [this, message = std::move(message)] {
+    SmsResult result;
+    result.message_id = message.id;
+    result.segments = message.segments;
+    if (NextTransmitFails()) {
+      result.status = SmsStatus::kFailedRadio;
+      if (message.callback) message.callback(result);
+    } else if (!IsRegistered(message.destination)) {
+      result.status = SmsStatus::kFailedUnreachable;
+      if (message.callback) message.callback(result);
+    } else {
+      result.status = SmsStatus::kSent;
+      if (message.callback) message.callback(result);
+      // Delivery report arrives later.
+      const sim::SimTime report = config_.delivery_report_delay.Sample(rng_);
+      scheduler_.ScheduleAfter(
+          report, [cb = message.callback, id = message.id,
+                   segments = message.segments] {
+            if (!cb) return;
+            SmsResult delivered;
+            delivered.message_id = id;
+            delivered.segments = segments;
+            delivered.status = SmsStatus::kDelivered;
+            cb(delivered);
+          });
+    }
+    sms_in_flight_ = false;
+    PumpSmsQueue();
+  });
+}
+
+void CellularModem::TransitionCall(CallState next) {
+  call_state_ = next;
+  if (call_listener_) call_listener_(next);
+}
+
+bool CellularModem::Dial(const std::string& number, CallListener listener) {
+  if (call_state_ == CallState::kDialing || call_state_ == CallState::kRinging ||
+      call_state_ == CallState::kConnected) {
+    return false;  // busy
+  }
+  call_listener_ = std::move(listener);
+  const std::uint64_t generation = ++call_generation_;
+  TransitionCall(CallState::kDialing);
+
+  scheduler_.ScheduleAfter(
+      config_.dial_latency.Sample(rng_), [this, number, generation] {
+        if (generation != call_generation_ ||
+            call_state_ != CallState::kDialing) {
+          return;
+        }
+        if (!IsRegistered(number)) {
+          TransitionCall(CallState::kFailed);
+          return;
+        }
+        TransitionCall(CallState::kRinging);
+        scheduler_.ScheduleAfter(config_.ring_to_answer.Sample(rng_),
+                                 [this, generation] {
+                                   if (generation != call_generation_ ||
+                                       call_state_ != CallState::kRinging) {
+                                     return;
+                                   }
+                                   TransitionCall(CallState::kConnected);
+                                 });
+      });
+  return true;
+}
+
+void CellularModem::HangUp() {
+  if (call_state_ == CallState::kIdle || call_state_ == CallState::kEnded ||
+      call_state_ == CallState::kFailed) {
+    return;
+  }
+  ++call_generation_;  // cancel any in-flight transitions
+  TransitionCall(CallState::kEnded);
+}
+
+}  // namespace mobivine::device

@@ -1,0 +1,149 @@
+// Simulated cellular modem: SMS transmit queue and a voice-call state
+// machine.
+//
+// SMS: messages are serialized through a single radio channel; each send
+// charges a transmit latency, may fail with a configurable probability,
+// and produces an asynchronous delivery report. Messages longer than one
+// GSM segment (160 chars) are split and charged per segment.
+//
+// Voice: Dial() walks Idle -> Dialing -> Ringing -> Connected (or
+// -> Failed if the callee is unreachable), reporting each transition to a
+// listener; HangUp() ends the call from either side.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "sim/clock.h"
+#include "sim/latency_model.h"
+#include "sim/random.h"
+#include "sim/scheduler.h"
+
+namespace mobivine::device {
+
+// ---------------------------------------------------------------------------
+// SMS
+// ---------------------------------------------------------------------------
+
+enum class SmsStatus {
+  kSent,              ///< accepted by the network
+  kDelivered,         ///< delivery report from the recipient
+  kFailedRadio,       ///< radio-level transmit failure
+  kFailedUnreachable  ///< destination not registered on the network
+};
+
+[[nodiscard]] const char* ToString(SmsStatus status);
+
+struct SmsResult {
+  std::uint64_t message_id = 0;
+  SmsStatus status = SmsStatus::kFailedRadio;
+  int segments = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Voice calls
+// ---------------------------------------------------------------------------
+
+enum class CallState { kIdle, kDialing, kRinging, kConnected, kEnded, kFailed };
+
+[[nodiscard]] const char* ToString(CallState state);
+
+/// Observer for call progress; every transition is reported once.
+using CallListener = std::function<void(CallState)>;
+
+struct ModemConfig {
+  /// Per-segment SMS transmit latency (paper's S60 sendSMS ~15.6 ms points
+  /// at a fast modem path; Android's 52.7 ms includes framework cost, which
+  /// the platform substrate charges separately).
+  sim::LatencyModel sms_transmit =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(12.0),
+                                sim::SimTime::MillisF(1.0),
+                                sim::SimTime::MillisF(6.0));
+  sim::LatencyModel delivery_report_delay =
+      sim::LatencyModel::UniformIn(sim::SimTime::Millis(400),
+                                   sim::SimTime::Millis(1500));
+  double sms_radio_failure_probability = 0.0;
+  int sms_segment_chars = 160;
+
+  sim::LatencyModel dial_latency =
+      sim::LatencyModel::UniformIn(sim::SimTime::Millis(300),
+                                   sim::SimTime::Millis(800));
+  sim::LatencyModel ring_to_answer =
+      sim::LatencyModel::UniformIn(sim::SimTime::Seconds(1),
+                                   sim::SimTime::Seconds(4));
+};
+
+class CellularModem {
+ public:
+  CellularModem(sim::Scheduler& scheduler, sim::Rng& rng,
+                ModemConfig config = {});
+
+  // --- network population --------------------------------------------------
+  /// Numbers registered on the simulated network; unknown numbers are
+  /// unreachable for both SMS delivery and calls.
+  void RegisterSubscriber(const std::string& number);
+  bool IsRegistered(const std::string& number) const;
+
+  // --- SMS -------------------------------------------------------------
+  /// Queue a message. The callback fires once with kSent/kFailed*, then —
+  /// for registered destinations — a second time with kDelivered.
+  /// Returns the message id.
+  std::uint64_t SendSms(const std::string& destination, const std::string& text,
+                        std::function<void(const SmsResult&)> callback);
+
+  /// Blocking submit for platforms whose SMS API is synchronous (J2ME's
+  /// MessageConnection.send): advances the virtual clock by the transmit
+  /// time and returns the submit outcome (kSent / kFailedRadio /
+  /// kFailedUnreachable). On success a delivery report is still scheduled
+  /// asynchronously and reported via `delivery_callback` if provided.
+  SmsResult BlockingSubmit(
+      const std::string& destination, const std::string& text,
+      std::function<void(const SmsResult&)> delivery_callback = nullptr);
+
+  /// Number of GSM segments `text` occupies.
+  [[nodiscard]] int SegmentCount(const std::string& text) const;
+
+  std::size_t pending_sms_count() const { return sms_queue_.size(); }
+
+  // --- Voice -----------------------------------------------------------
+  /// Start a call. Only one call at a time; returns false if busy.
+  bool Dial(const std::string& number, CallListener listener);
+  /// End the active call (no-op when idle).
+  void HangUp();
+  CallState call_state() const { return call_state_; }
+
+  /// Test hook: make the next `n` radio transmissions fail regardless of
+  /// the configured probability.
+  void InjectRadioFailures(int n) { injected_failures_ = n; }
+
+ private:
+  struct PendingSms {
+    std::uint64_t id;
+    std::string destination;
+    int segments;
+    std::function<void(const SmsResult&)> callback;
+  };
+
+  void PumpSmsQueue();
+  bool NextTransmitFails();
+  void TransitionCall(CallState next);
+
+  sim::Scheduler& scheduler_;
+  sim::Rng& rng_;
+  ModemConfig config_;
+  std::unordered_set<std::string> subscribers_;
+
+  std::deque<PendingSms> sms_queue_;
+  bool sms_in_flight_ = false;
+  std::uint64_t next_message_id_ = 1;
+  int injected_failures_ = 0;
+
+  CallState call_state_ = CallState::kIdle;
+  CallListener call_listener_;
+  std::uint64_t call_generation_ = 0;  // invalidates in-flight transitions
+};
+
+}  // namespace mobivine::device

@@ -1,0 +1,61 @@
+#include "device/contact_database.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace mobivine::device {
+
+std::int64_t ContactDatabase::Add(const std::string& display_name,
+                                  const std::string& phone_number,
+                                  const std::string& email) {
+  ContactRecord record;
+  record.id = next_id_++;
+  record.display_name = display_name;
+  record.phone_number = phone_number;
+  record.email = email;
+  records_.push_back(std::move(record));
+  return records_.back().id;
+}
+
+bool ContactDatabase::Remove(std::int64_t id) {
+  auto it = std::remove_if(records_.begin(), records_.end(),
+                           [id](const ContactRecord& record) {
+                             return record.id == id;
+                           });
+  const bool removed = it != records_.end();
+  records_.erase(it, records_.end());
+  return removed;
+}
+
+void ContactDatabase::Clear() { records_.clear(); }
+
+std::optional<ContactRecord> ContactDatabase::FindById(std::int64_t id) const {
+  for (const auto& record : records_) {
+    if (record.id == id) return record;
+  }
+  return std::nullopt;
+}
+
+std::optional<ContactRecord> ContactDatabase::FindByNumber(
+    const std::string& phone_number) const {
+  for (const auto& record : records_) {
+    if (record.phone_number == phone_number) return record;
+  }
+  return std::nullopt;
+}
+
+std::vector<ContactRecord> ContactDatabase::FindByName(
+    const std::string& fragment) const {
+  std::vector<ContactRecord> out;
+  const std::string needle = support::ToLower(fragment);
+  for (const auto& record : records_) {
+    if (support::ToLower(record.display_name).find(needle) !=
+        std::string::npos) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+}  // namespace mobivine::device

@@ -1,0 +1,48 @@
+// The handset's contact store — shared hardware-level data that each
+// platform substrate exposes through its own (deliberately different)
+// PIM API: Android's content-provider cursors, J2ME's JSR-75 PIM lists,
+// iPhone's AddressBook C-style calls.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mobivine::device {
+
+struct ContactRecord {
+  std::int64_t id = 0;
+  std::string display_name;
+  std::string phone_number;
+  std::string email;
+};
+
+class ContactDatabase {
+ public:
+  /// Insert a contact; returns its id.
+  std::int64_t Add(const std::string& display_name,
+                   const std::string& phone_number,
+                   const std::string& email = "");
+
+  bool Remove(std::int64_t id);
+  void Clear();
+
+  [[nodiscard]] const std::vector<ContactRecord>& All() const {
+    return records_;
+  }
+  [[nodiscard]] std::optional<ContactRecord> FindById(std::int64_t id) const;
+  [[nodiscard]] std::optional<ContactRecord> FindByNumber(
+      const std::string& phone_number) const;
+  /// Case-insensitive substring match on the display name.
+  [[nodiscard]] std::vector<ContactRecord> FindByName(
+      const std::string& fragment) const;
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::int64_t next_id_ = 1;
+  std::vector<ContactRecord> records_;
+};
+
+}  // namespace mobivine::device

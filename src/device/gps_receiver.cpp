@@ -1,0 +1,106 @@
+#include "device/gps_receiver.h"
+
+#include "support/geo_units.h"
+
+namespace mobivine::device {
+
+GpsReceiver::GpsReceiver(sim::Scheduler& scheduler, sim::Rng& rng,
+                         GpsConfig config)
+    : scheduler_(scheduler), rng_(rng), config_(config) {}
+
+const sim::LatencyModel& GpsReceiver::LatencyFor(GpsMode mode) const {
+  switch (mode) {
+    case GpsMode::kHighAccuracy:
+      return config_.fix_latency_high;
+    case GpsMode::kBalanced:
+      return config_.fix_latency_balanced;
+    case GpsMode::kLowPower:
+      return config_.fix_latency_low;
+  }
+  return config_.fix_latency_balanced;
+}
+
+double GpsReceiver::NoiseFor(GpsMode mode) const {
+  switch (mode) {
+    case GpsMode::kHighAccuracy:
+      return config_.noise_high_m;
+    case GpsMode::kBalanced:
+      return config_.noise_balanced_m;
+    case GpsMode::kLowPower:
+      return config_.noise_low_m;
+  }
+  return config_.noise_balanced_m;
+}
+
+GpsFix GpsReceiver::Measure(GpsMode mode) {
+  GpsFix fix;
+  fix.timestamp = scheduler_.now();
+  if (track_.empty() || rng_.Bernoulli(config_.fix_failure_probability)) {
+    fix.valid = false;
+    return fix;
+  }
+  const sim::TrackFix truth = track_.PositionAt(scheduler_.now());
+  const double sigma = NoiseFor(mode);
+  // Isotropic horizontal noise: displace by Normal(0, sigma) along a
+  // uniform bearing.
+  const double error_m = rng_.NormalClamped(0.0, sigma, -4 * sigma, 4 * sigma);
+  const double bearing = rng_.Uniform(0.0, 360.0);
+  auto noisy = support::MoveAlongBearing(truth.latitude_deg,
+                                         truth.longitude_deg, bearing,
+                                         std::abs(error_m));
+  fix.latitude_deg = noisy.latitude_deg;
+  fix.longitude_deg = noisy.longitude_deg;
+  fix.altitude_m = truth.altitude_m + rng_.NormalClamped(0, sigma, -50, 50);
+  fix.speed_mps = truth.speed_mps;
+  fix.heading_deg = truth.heading_deg;
+  fix.horizontal_accuracy_m = sigma;
+  fix.valid = true;
+  return fix;
+}
+
+void GpsReceiver::RequestFix(GpsMode mode,
+                             std::function<void(const GpsFix&)> callback) {
+  const sim::SimTime delay = LatencyFor(mode).Sample(rng_);
+  scheduler_.ScheduleAfter(delay, [this, mode, cb = std::move(callback)] {
+    cb(Measure(mode));
+  });
+}
+
+GpsFix GpsReceiver::BlockingFix(GpsMode mode) {
+  scheduler_.AdvanceBy(LatencyFor(mode).Sample(rng_));
+  return Measure(mode);
+}
+
+std::uint64_t GpsReceiver::StartPeriodicFixes(
+    GpsMode mode, sim::SimTime interval,
+    std::function<void(const GpsFix&)> callback) {
+  const std::uint64_t id = next_subscription_++;
+  auto cancelled = std::make_shared<bool>(false);
+  subscriptions_[id] = cancelled;
+  // Self-rescheduling tick; stops silently once cancelled.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, mode, interval, cb = std::move(callback), cancelled, tick] {
+    if (*cancelled) return;
+    cb(Measure(mode));
+    scheduler_.ScheduleAfter(interval, *tick);
+  };
+  scheduler_.ScheduleAfter(interval, *tick);
+  return id;
+}
+
+void GpsReceiver::StopPeriodicFixes(std::uint64_t subscription_id) {
+  auto it = subscriptions_.find(subscription_id);
+  if (it == subscriptions_.end()) return;
+  *it->second = true;
+  subscriptions_.erase(it);
+}
+
+sim::TrackFix GpsReceiver::TruePositionNow() const {
+  return track_.PositionAt(scheduler_.now());
+}
+
+sim::SimTime GpsReceiver::ExpectedFixLatency(GpsMode mode) const {
+  return LatencyFor(mode).Mean();
+}
+
+}  // namespace mobivine::device

@@ -1,0 +1,107 @@
+// Simulated GPS receiver.
+//
+// The receiver plays back a GeoTrack (the device's true movement), adds
+// configurable measurement noise, and charges a time-to-fix latency that
+// depends on the requested accuracy mode — this is what makes S60's
+// criteria-driven LocationProvider and Android's provider lookup behave
+// differently on top of the same hardware.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/clock.h"
+#include "sim/geo_track.h"
+#include "sim/latency_model.h"
+#include "sim/random.h"
+#include "sim/scheduler.h"
+
+namespace mobivine::device {
+
+/// A measured position as delivered by the receiver.
+struct GpsFix {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+  double altitude_m = 0.0;
+  double speed_mps = 0.0;
+  double heading_deg = 0.0;
+  double horizontal_accuracy_m = 0.0;  ///< 1-sigma error estimate
+  sim::SimTime timestamp;
+  bool valid = false;
+};
+
+/// Receiver operating mode; trades fix latency for accuracy.
+enum class GpsMode {
+  kHighAccuracy,  ///< slow first fix, small noise (assisted GPS off)
+  kBalanced,      ///< default
+  kLowPower,      ///< fast coarse fix (cell-tower quality)
+};
+
+struct GpsConfig {
+  /// Time-to-fix per mode.
+  sim::LatencyModel fix_latency_high =
+      sim::LatencyModel::Normal(sim::SimTime::Millis(120),
+                                sim::SimTime::Millis(8),
+                                sim::SimTime::Millis(60));
+  sim::LatencyModel fix_latency_balanced =
+      sim::LatencyModel::Normal(sim::SimTime::Millis(40),
+                                sim::SimTime::Millis(4),
+                                sim::SimTime::Millis(15));
+  sim::LatencyModel fix_latency_low =
+      sim::LatencyModel::Normal(sim::SimTime::Millis(12),
+                                sim::SimTime::Millis(2),
+                                sim::SimTime::Millis(4));
+  /// 1-sigma horizontal noise per mode, meters.
+  double noise_high_m = 4.0;
+  double noise_balanced_m = 12.0;
+  double noise_low_m = 60.0;
+  /// Probability a fix attempt fails (no satellites).
+  double fix_failure_probability = 0.0;
+};
+
+class GpsReceiver {
+ public:
+  GpsReceiver(sim::Scheduler& scheduler, sim::Rng& rng, GpsConfig config = {});
+
+  void set_track(sim::GeoTrack track) { track_ = std::move(track); }
+  const sim::GeoTrack& track() const { return track_; }
+
+  /// Asynchronous fix: charges the mode's time-to-fix, then invokes the
+  /// callback with a (possibly invalid) fix.
+  void RequestFix(GpsMode mode, std::function<void(const GpsFix&)> callback);
+
+  /// Synchronous fix at the current instant: advances the virtual clock by
+  /// the time-to-fix and returns the measurement. Models the blocking
+  /// getLocation()-style calls of 2009 APIs.
+  [[nodiscard]] GpsFix BlockingFix(GpsMode mode);
+
+  /// Periodic fixes every `interval` until the returned subscription id is
+  /// passed to StopPeriodicFixes.
+  std::uint64_t StartPeriodicFixes(GpsMode mode, sim::SimTime interval,
+                                   std::function<void(const GpsFix&)> callback);
+  void StopPeriodicFixes(std::uint64_t subscription_id);
+
+  /// True (noise-free) position, for test assertions.
+  [[nodiscard]] sim::TrackFix TruePositionNow() const;
+
+  /// Expected blocking-fix latency for a mode (used by Figure 10
+  /// calibration assertions).
+  [[nodiscard]] sim::SimTime ExpectedFixLatency(GpsMode mode) const;
+
+ private:
+  GpsFix Measure(GpsMode mode);
+  const sim::LatencyModel& LatencyFor(GpsMode mode) const;
+  double NoiseFor(GpsMode mode) const;
+
+  sim::Scheduler& scheduler_;
+  sim::Rng& rng_;
+  GpsConfig config_;
+  sim::GeoTrack track_;
+  std::uint64_t next_subscription_ = 1;
+  // subscription id -> cancelled flag lives in the closure; we track live
+  // ids so StopPeriodicFixes can flip them.
+  std::unordered_map<std::uint64_t, std::shared_ptr<bool>> subscriptions_;
+};
+
+}  // namespace mobivine::device

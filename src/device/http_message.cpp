@@ -1,0 +1,240 @@
+#include "device/http_message.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace mobivine::device {
+
+using support::EqualsIgnoreCase;
+
+std::string Url::ToString() const {
+  std::ostringstream out;
+  out << scheme << "://" << host;
+  if ((scheme == "http" && port != 80) || (scheme == "https" && port != 443)) {
+    out << ':' << port;
+  }
+  out << path;
+  if (!query.empty()) out << '?' << query;
+  return out.str();
+}
+
+std::optional<Url> ParseUrl(std::string_view raw) {
+  Url url;
+  size_t scheme_end = raw.find("://");
+  if (scheme_end == std::string_view::npos) return std::nullopt;
+  url.scheme = support::ToLower(raw.substr(0, scheme_end));
+  if (url.scheme != "http" && url.scheme != "https") return std::nullopt;
+  url.port = url.scheme == "https" ? 443 : 80;
+
+  std::string_view rest = raw.substr(scheme_end + 3);
+  if (rest.empty()) return std::nullopt;
+
+  size_t path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  if (authority.empty()) return std::nullopt;
+
+  size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    long long port = 0;
+    if (!support::ParseInt(authority.substr(colon + 1), port) || port <= 0 ||
+        port > 65535) {
+      return std::nullopt;
+    }
+    url.port = static_cast<int>(port);
+    url.host = std::string(authority.substr(0, colon));
+  } else {
+    url.host = std::string(authority);
+  }
+  if (url.host.empty()) return std::nullopt;
+
+  if (path_start == std::string_view::npos) {
+    url.path = "/";
+    return url;
+  }
+  std::string_view path_and_query = rest.substr(path_start);
+  size_t question = path_and_query.find('?');
+  if (question == std::string_view::npos) {
+    url.path = std::string(path_and_query);
+  } else {
+    url.path = std::string(path_and_query.substr(0, question));
+    url.query = std::string(path_and_query.substr(question + 1));
+  }
+  return url;
+}
+
+namespace {
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string UrlDecode(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '+') {
+      out += ' ';
+    } else if (raw[i] == '%' && i + 2 < raw.size() &&
+               HexValue(raw[i + 1]) >= 0 && HexValue(raw[i + 2]) >= 0) {
+      out += static_cast<char>(HexValue(raw[i + 1]) * 16 + HexValue(raw[i + 2]));
+      i += 2;
+    } else {
+      out += raw[i];
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> ParseQuery(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (query.empty()) return out;
+  for (const auto& piece : support::Split(query, '&')) {
+    if (piece.empty()) continue;
+    size_t eq = piece.find('=');
+    if (eq == std::string::npos) {
+      out.emplace_back(UrlDecode(piece), "");
+    } else {
+      out.emplace_back(UrlDecode(piece.substr(0, eq)),
+                       UrlDecode(piece.substr(eq + 1)));
+    }
+  }
+  return out;
+}
+
+std::string UrlEncode(std::string_view raw) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    if (std::isalnum(c) || c == '-' || c == '_' || c == '.' || c == '~') {
+      out += static_cast<char>(c);
+    } else if (c == ' ') {
+      out += '+';
+    } else {
+      out += '%';
+      out += hex[c >> 4];
+      out += hex[c & 0xF];
+    }
+  }
+  return out;
+}
+
+void HeaderMap::Set(std::string name, std::string value) {
+  for (auto& [existing, existing_value] : entries_) {
+    if (EqualsIgnoreCase(existing, name)) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string> HeaderMap::Get(std::string_view name) const {
+  for (const auto& [existing, value] : entries_) {
+    if (EqualsIgnoreCase(existing, name)) return value;
+  }
+  return std::nullopt;
+}
+
+std::string HeaderMap::GetOr(std::string_view name, std::string fallback) const {
+  auto value = Get(name);
+  return value ? *value : std::move(fallback);
+}
+
+bool HeaderMap::Has(std::string_view name) const {
+  return Get(name).has_value();
+}
+
+namespace {
+std::size_t HeadersWireSize(const HeaderMap& headers) {
+  std::size_t size = 0;
+  for (const auto& [name, value] : headers.entries()) {
+    size += name.size() + 2 + value.size() + 2;  // "Name: value\r\n"
+  }
+  return size;
+}
+}  // namespace
+
+std::size_t HttpRequest::WireSize() const {
+  return method.size() + 1 + url.path.size() +
+         (url.query.empty() ? 0 : url.query.size() + 1) + 11 /* " HTTP/1.1\r\n" */ +
+         HeadersWireSize(headers) + 2 + body.size();
+}
+
+std::size_t HttpResponse::WireSize() const {
+  return 9 /* "HTTP/1.1 " */ + 3 + 1 + reason.size() + 2 +
+         HeadersWireSize(headers) + 2 + body.size();
+}
+
+HttpResponse HttpResponse::Ok(std::string body, std::string content_type) {
+  HttpResponse response;
+  response.status = 200;
+  response.reason = "OK";
+  response.headers.Set("Content-Type", std::move(content_type));
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::NotFound(std::string message) {
+  HttpResponse response;
+  response.status = 404;
+  response.reason = "Not Found";
+  response.body = std::move(message);
+  return response;
+}
+
+HttpResponse HttpResponse::BadRequest(std::string message) {
+  HttpResponse response;
+  response.status = 400;
+  response.reason = "Bad Request";
+  response.body = std::move(message);
+  return response;
+}
+
+HttpResponse HttpResponse::ServerError(std::string message) {
+  HttpResponse response;
+  response.status = 500;
+  response.reason = "Internal Server Error";
+  response.body = std::move(message);
+  return response;
+}
+
+std::string ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 201:
+      return "Created";
+    case 204:
+      return "No Content";
+    case 301:
+      return "Moved Permanently";
+    case 302:
+      return "Found";
+    case 400:
+      return "Bad Request";
+    case 401:
+      return "Unauthorized";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 408:
+      return "Request Timeout";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace mobivine::device

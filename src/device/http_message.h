@@ -1,0 +1,81 @@
+// HTTP request/response value types and URL parsing, shared between the
+// simulated network, the platform HTTP stacks, and the server-side
+// application in the workforce-management example.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobivine::device {
+
+/// Parsed absolute URL: scheme://host[:port]/path[?query]
+struct Url {
+  std::string scheme;  // "http"
+  std::string host;
+  int port = 80;
+  std::string path = "/";
+  std::string query;  // without '?'
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Parse an absolute URL. Returns nullopt for anything that is not
+/// http(s)://host[:port][/path][?query].
+[[nodiscard]] std::optional<Url> ParseUrl(std::string_view url);
+
+/// Decode a query string into key/value pairs ('+' and %XX decoded).
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> ParseQuery(
+    std::string_view query);
+
+/// Percent-encode a query component.
+[[nodiscard]] std::string UrlEncode(std::string_view raw);
+
+/// Case-insensitive header map (HTTP header names compare case-insensitively).
+class HeaderMap {
+ public:
+  void Set(std::string name, std::string value);
+  [[nodiscard]] std::optional<std::string> Get(std::string_view name) const;
+  [[nodiscard]] std::string GetOr(std::string_view name,
+                                  std::string fallback) const;
+  [[nodiscard]] bool Has(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  Url url;
+  HeaderMap headers;
+  std::string body;
+
+  [[nodiscard]] std::size_t WireSize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  HeaderMap headers;
+  std::string body;
+
+  static HttpResponse Ok(std::string body,
+                         std::string content_type = "text/plain");
+  static HttpResponse NotFound(std::string message = "not found");
+  static HttpResponse BadRequest(std::string message = "bad request");
+  static HttpResponse ServerError(std::string message = "internal error");
+
+  [[nodiscard]] std::size_t WireSize() const;
+};
+
+/// Canonical reason phrase for a status code ("OK", "Not Found", ...).
+[[nodiscard]] std::string ReasonPhrase(int status);
+
+}  // namespace mobivine::device

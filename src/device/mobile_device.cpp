@@ -1,0 +1,14 @@
+#include "device/mobile_device.h"
+
+namespace mobivine::device {
+
+MobileDevice::MobileDevice(DeviceConfig config)
+    : rng_(config.seed),
+      gps_(scheduler_, rng_, config.gps),
+      modem_(scheduler_, rng_, config.modem),
+      network_(scheduler_, rng_, config.network),
+      own_number_(std::move(config.own_number)) {
+  modem_.RegisterSubscriber(own_number_);
+}
+
+}  // namespace mobivine::device

@@ -1,0 +1,88 @@
+#include "device/network.h"
+
+namespace mobivine::device {
+
+const char* ToString(NetError error) {
+  switch (error) {
+    case NetError::kNone:
+      return "none";
+    case NetError::kHostUnreachable:
+      return "host-unreachable";
+    case NetError::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+SimNetwork::SimNetwork(sim::Scheduler& scheduler, sim::Rng& rng,
+                       NetworkConfig config)
+    : scheduler_(scheduler), rng_(rng), config_(config) {}
+
+void SimNetwork::RegisterHost(const std::string& host, HttpHandler handler) {
+  hosts_[host] = std::move(handler);
+}
+
+void SimNetwork::UnregisterHost(const std::string& host) { hosts_.erase(host); }
+
+bool SimNetwork::HasHost(const std::string& host) const {
+  return hosts_.count(host) > 0;
+}
+
+sim::SimTime SimNetwork::TransferTime(std::size_t bytes) const {
+  if (config_.bandwidth_bytes_per_sec <= 0) return sim::SimTime::Zero();
+  const double seconds =
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  return sim::SimTime::Micros(static_cast<std::int64_t>(seconds * 1e6));
+}
+
+NetResult SimNetwork::Exchange(const HttpRequest& request,
+                               sim::SimTime& rtt_out) {
+  ++requests_sent_;
+  NetResult result;
+
+  const bool request_lost = rng_.Bernoulli(config_.loss_probability);
+  const bool response_lost = rng_.Bernoulli(config_.loss_probability);
+  if (request_lost || response_lost) {
+    result.error = NetError::kTimeout;
+    rtt_out = config_.timeout;
+    return result;
+  }
+
+  const sim::SimTime uplink = config_.one_way_latency.Sample(rng_) +
+                              TransferTime(request.WireSize());
+  auto it = hosts_.find(request.url.host);
+  if (it == hosts_.end()) {
+    // ICMP-style unreachable comes back after one round trip with no
+    // payload transfer on the return path.
+    result.error = NetError::kHostUnreachable;
+    rtt_out = uplink + config_.one_way_latency.Sample(rng_);
+    return result;
+  }
+
+  result.response = it->second(request);
+  result.error = NetError::kNone;
+  const sim::SimTime downlink = config_.one_way_latency.Sample(rng_) +
+                                TransferTime(result.response.WireSize());
+  rtt_out = uplink + downlink;
+  return result;
+}
+
+void SimNetwork::Send(HttpRequest request,
+                      std::function<void(const NetResult&)> callback) {
+  sim::SimTime rtt;
+  // The handler runs "on the server" but is evaluated eagerly; only the
+  // completion is deferred by the round-trip time, which preserves the
+  // observable ordering for a single-device simulation.
+  NetResult result = Exchange(request, rtt);
+  scheduler_.ScheduleAfter(rtt, [cb = std::move(callback),
+                                 result = std::move(result)] { cb(result); });
+}
+
+NetResult SimNetwork::BlockingSend(const HttpRequest& request) {
+  sim::SimTime rtt;
+  NetResult result = Exchange(request, rtt);
+  scheduler_.AdvanceBy(rtt);
+  return result;
+}
+
+}  // namespace mobivine::device

@@ -1,0 +1,84 @@
+// Simulated packet-radio network with named HTTP hosts.
+//
+// Hosts are registered by name (and optional port) with a handler function;
+// a request charges round-trip latency plus a bandwidth-proportional
+// transfer time, may be lost (-> timeout), and then delivers the handler's
+// response. This carries the workforce-management example's server side
+// and the Http proxies of all three platforms.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "device/http_message.h"
+#include "sim/clock.h"
+#include "sim/latency_model.h"
+#include "sim/random.h"
+#include "sim/scheduler.h"
+
+namespace mobivine::device {
+
+/// Outcome of a simulated HTTP exchange.
+enum class NetError { kNone, kHostUnreachable, kTimeout };
+
+[[nodiscard]] const char* ToString(NetError error);
+
+struct NetResult {
+  NetError error = NetError::kNone;
+  HttpResponse response;  ///< valid only when error == kNone
+};
+
+/// Server-side request handler.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct NetworkConfig {
+  /// One-way propagation latency (2.5G-era radio).
+  sim::LatencyModel one_way_latency =
+      sim::LatencyModel::Normal(sim::SimTime::Millis(35),
+                                sim::SimTime::Millis(5),
+                                sim::SimTime::Millis(10));
+  /// Payload transfer rate, bytes per second (~128 kbit/s EDGE).
+  double bandwidth_bytes_per_sec = 16000.0;
+  /// Probability a request or response is lost (each direction).
+  double loss_probability = 0.0;
+  /// Virtual time after which a lost exchange reports kTimeout.
+  sim::SimTime timeout = sim::SimTime::Seconds(30);
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(sim::Scheduler& scheduler, sim::Rng& rng,
+             NetworkConfig config = {});
+
+  /// Register a host. `host` matches Url::host; requests to unknown hosts
+  /// complete with kHostUnreachable after one round trip.
+  void RegisterHost(const std::string& host, HttpHandler handler);
+  void UnregisterHost(const std::string& host);
+  bool HasHost(const std::string& host) const;
+
+  /// Asynchronous exchange: latency is charged on the virtual clock and
+  /// `callback` fires when the response (or error) arrives.
+  void Send(HttpRequest request, std::function<void(const NetResult&)> callback);
+
+  /// Blocking exchange: advances the virtual clock by the full round trip
+  /// and returns the result. Models 2009 synchronous HTTP APIs
+  /// (HttpConnection on S60, DefaultHttpClient on Android).
+  [[nodiscard]] NetResult BlockingSend(const HttpRequest& request);
+
+  /// Virtual duration a payload of `bytes` takes to transfer.
+  [[nodiscard]] sim::SimTime TransferTime(std::size_t bytes) const;
+
+  std::uint64_t requests_sent() const { return requests_sent_; }
+
+ private:
+  NetResult Exchange(const HttpRequest& request, sim::SimTime& rtt_out);
+
+  sim::Scheduler& scheduler_;
+  sim::Rng& rng_;
+  NetworkConfig config_;
+  std::map<std::string, HttpHandler> hosts_;
+  std::uint64_t requests_sent_ = 0;
+};
+
+}  // namespace mobivine::device

@@ -1,0 +1,37 @@
+#include "iphone/address_book.h"
+
+#include "iphone/iphone_platform.h"
+
+namespace mobivine::iphone {
+
+std::string ABRecord::CopyValue(int property) const {
+  switch (property) {
+    case kABPersonNameProperty:
+      return name;
+    case kABPersonPhoneProperty:
+      return phone;
+    case kABPersonEmailProperty:
+      return email;
+    default:
+      throw NSInvalidArgumentException("unknown ABPerson property " +
+                                       std::to_string(property));
+  }
+}
+
+std::vector<ABRecord> ABAddressBook::CopyArrayOfAllPeople() {
+  auto& device = platform_.device();
+  device.scheduler().AdvanceBy(
+      platform_.cost().ab_copy_all.Sample(device.rng()));
+  std::vector<ABRecord> out;
+  for (const auto& record : device.contacts().All()) {
+    out.push_back(
+        {record.id, record.display_name, record.phone_number, record.email});
+  }
+  return out;
+}
+
+long ABAddressBook::GetPersonCount() {
+  return static_cast<long>(platform_.device().contacts().size());
+}
+
+}  // namespace mobivine::iphone

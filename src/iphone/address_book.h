@@ -1,0 +1,47 @@
+// AddressBook.framework analog (iPhone OS 2.x): C-style Create/Copy calls,
+// opaque record references, property constants — and, faithfully to 2009,
+// NO user-consent prompt (address-book access prompts arrived with iOS 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iphone/exceptions.h"
+
+namespace mobivine::iphone {
+
+class IPhonePlatform;
+
+/// kABPerson*Property constants.
+inline constexpr int kABPersonNameProperty = 1;
+inline constexpr int kABPersonPhoneProperty = 2;
+inline constexpr int kABPersonEmailProperty = 3;
+
+/// ABRecordRef analog: a value snapshot of one person.
+struct ABRecord {
+  long long record_id = 0;
+  std::string name;
+  std::string phone;
+  std::string email;
+
+  /// ABRecordCopyValue. Throws NSInvalidArgumentException for an unknown
+  /// property (the CF call would return NULL and the app would crash later;
+  /// we fail fast instead).
+  [[nodiscard]] std::string CopyValue(int property) const;
+};
+
+/// ABAddressBookCreate + the copy calls the 2009 apps used.
+class ABAddressBook {
+ public:
+  explicit ABAddressBook(IPhonePlatform& platform) : platform_(platform) {}
+
+  /// ABAddressBookCopyArrayOfAllPeople.
+  [[nodiscard]] std::vector<ABRecord> CopyArrayOfAllPeople();
+  /// ABAddressBookGetPersonCount.
+  [[nodiscard]] long GetPersonCount();
+
+ private:
+  IPhonePlatform& platform_;
+};
+
+}  // namespace mobivine::iphone

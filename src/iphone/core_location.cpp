@@ -1,0 +1,97 @@
+#include "iphone/core_location.h"
+
+#include "iphone/iphone_platform.h"
+
+namespace mobivine::iphone {
+
+namespace {
+device::GpsMode ModeFor(double desired_accuracy_m) {
+  if (desired_accuracy_m <= kCLLocationAccuracyNearestTenMeters) {
+    return device::GpsMode::kHighAccuracy;
+  }
+  if (desired_accuracy_m <= kCLLocationAccuracyHundredMeters) {
+    return device::GpsMode::kBalanced;
+  }
+  return device::GpsMode::kLowPower;
+}
+
+CLLocation ToCL(const device::GpsFix& fix) {
+  CLLocation out;
+  out.latitude = fix.latitude_deg;
+  out.longitude = fix.longitude_deg;
+  out.altitude = fix.altitude_m;
+  out.horizontalAccuracy = fix.valid ? fix.horizontal_accuracy_m : -1.0;
+  out.speed = fix.valid ? fix.speed_mps : -1.0;
+  out.course = fix.valid ? fix.heading_deg : -1.0;
+  out.timestamp_ms = fix.timestamp.micros() / 1000;
+  return out;
+}
+}  // namespace
+
+CLLocationManager::CLLocationManager(IPhonePlatform& platform)
+    : platform_(platform) {}
+
+CLLocationManager::~CLLocationManager() {
+  *alive_ = false;
+  stopUpdatingLocation();
+}
+
+void CLLocationManager::startUpdatingLocation() {
+  if (updating_) return;
+  updating_ = true;
+
+  auto& dev = platform_.device();
+  if (!prompted_) {
+    prompted_ = true;
+    // The system authorization dialog blocks the fix stream, not the app.
+    const sim::SimTime think =
+        platform_.cost().authorization_prompt.Sample(dev.rng());
+    std::weak_ptr<bool> alive = alive_;
+    dev.scheduler().ScheduleAfter(think, [this, alive] {
+      auto locked = alive.lock();
+      if (!locked || !*locked || !updating_) return;
+      if (!platform_.user_allows_location()) {
+        if (delegate_ != nullptr) {
+          delegate_->locationManagerDidFailWithError(
+              {kCLErrorDomain, kCLErrorDenied, "user denied location access"});
+        }
+        updating_ = false;
+        return;
+      }
+      DeliverFix();
+    });
+    return;
+  }
+  DeliverFix();
+}
+
+void CLLocationManager::DeliverFix() {
+  auto& dev = platform_.device();
+  std::weak_ptr<bool> alive = alive_;
+  subscription_ = dev.gps().StartPeriodicFixes(
+      ModeFor(desired_accuracy_m_), platform_.cost().location_update_interval,
+      [this, alive](const device::GpsFix& fix) {
+        auto locked = alive.lock();
+        if (!locked || !*locked || !updating_ || delegate_ == nullptr) return;
+        if (!fix.valid) {
+          delegate_->locationManagerDidFailWithError(
+              {kCLErrorDomain, kCLErrorLocationUnknown,
+               "location is currently unknown"});
+          return;
+        }
+        CLLocation next = ToCL(fix);
+        delegate_->locationManagerDidUpdateToLocation(next, last_);
+        last_ = next;
+      });
+}
+
+void CLLocationManager::stopUpdatingLocation() {
+  if (!updating_) return;
+  updating_ = false;
+  if (subscription_ != 0) {
+    platform_.device().gps().StopPeriodicFixes(subscription_);
+    subscription_ = 0;
+  }
+}
+
+}  // namespace mobivine::iphone

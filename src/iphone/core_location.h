@@ -1,0 +1,87 @@
+// CoreLocation analog (iPhone OS 2.x): CLLocationManager with a delegate.
+//
+// Shapes the Location proxy must absorb on this platform:
+//  * purely asynchronous: startUpdatingLocation() streams fixes to a
+//    delegate; there is NO blocking "get current location" call;
+//  * desiredAccuracy is a property on the manager, not a criteria object
+//    or a provider name;
+//  * NO region monitoring at all in 2009 (CLRegion arrived with iOS 4) —
+//    proximity alerts must be synthesized from the update stream;
+//  * the user authorizes location access through a system prompt; denial
+//    surfaces as kCLErrorDenied through the delegate, not an exception.
+#pragma once
+
+#include <memory>
+
+#include "iphone/exceptions.h"
+#include "sim/clock.h"
+
+namespace mobivine::iphone {
+
+class IPhonePlatform;
+
+/// CLLocationCoordinate2D + CLLocation (flattened).
+struct CLLocation {
+  double latitude = 0.0;
+  double longitude = 0.0;
+  double altitude = 0.0;
+  double horizontalAccuracy = -1.0;  ///< negative = invalid, Apple-style
+  double speed = -1.0;
+  double course = -1.0;
+  long long timestamp_ms = 0;
+
+  bool valid() const { return horizontalAccuracy >= 0.0; }
+};
+
+/// kCLLocationAccuracy* constants (meters; the 2009 set).
+inline constexpr double kCLLocationAccuracyBest = 5.0;
+inline constexpr double kCLLocationAccuracyNearestTenMeters = 10.0;
+inline constexpr double kCLLocationAccuracyHundredMeters = 100.0;
+inline constexpr double kCLLocationAccuracyKilometer = 1000.0;
+
+/// CLLocationManagerDelegate.
+class CLLocationManagerDelegate {
+ public:
+  virtual ~CLLocationManagerDelegate() = default;
+  virtual void locationManagerDidUpdateToLocation(
+      const CLLocation& new_location, const CLLocation& old_location) = 0;
+  virtual void locationManagerDidFailWithError(const NSError& error) = 0;
+};
+
+class CLLocationManager {
+ public:
+  explicit CLLocationManager(IPhonePlatform& platform);
+  ~CLLocationManager();
+
+  CLLocationManager(const CLLocationManager&) = delete;
+  CLLocationManager& operator=(const CLLocationManager&) = delete;
+
+  void setDelegate(CLLocationManagerDelegate* delegate) {
+    delegate_ = delegate;
+  }
+  void setDesiredAccuracy(double accuracy_m) {
+    desired_accuracy_m_ = accuracy_m;
+  }
+  double desiredAccuracy() const { return desired_accuracy_m_; }
+
+  /// Begin streaming fixes to the delegate. The first call triggers the
+  /// system authorization prompt (virtual user-think latency); a denial
+  /// delivers kCLErrorDenied to the delegate and no fixes ever arrive.
+  void startUpdatingLocation();
+  void stopUpdatingLocation();
+  bool updating() const { return updating_; }
+
+ private:
+  void DeliverFix();
+
+  IPhonePlatform& platform_;
+  CLLocationManagerDelegate* delegate_ = nullptr;
+  double desired_accuracy_m_ = kCLLocationAccuracyHundredMeters;
+  bool updating_ = false;
+  bool prompted_ = false;
+  CLLocation last_;
+  std::uint64_t subscription_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace mobivine::iphone

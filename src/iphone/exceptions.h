@@ -1,0 +1,44 @@
+// iPhone OS (2009, iPhone OS 2.x/3.0) error surface.
+//
+// Objective-C APIs of the era do not throw for expectable failures: they
+// report NSError objects through delegates or return nil/NO. The substrate
+// mirrors that — the only C++ exceptions here model programmer errors
+// (NSInvalidArgumentException-style) — and everything else is an NSError
+// value. Same design note as the other substrates: the shapes are
+// intentionally foreign; absorbing them is MobiVine's job.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mobivine::iphone {
+
+/// NSException with name NSInvalidArgumentException.
+class NSInvalidArgumentException : public std::runtime_error {
+ public:
+  explicit NSInvalidArgumentException(const std::string& reason)
+      : std::runtime_error(reason) {}
+};
+
+/// NSError analog: domain + code + localized description.
+struct NSError {
+  std::string domain;
+  int code = 0;
+  std::string localized_description;
+
+  bool ok() const { return domain.empty(); }
+  static NSError None() { return {}; }
+};
+
+/// kCLErrorDomain codes (CoreLocation).
+inline constexpr const char* kCLErrorDomain = "kCLErrorDomain";
+inline constexpr int kCLErrorLocationUnknown = 0;
+inline constexpr int kCLErrorDenied = 1;
+
+/// NSURLErrorDomain codes.
+inline constexpr const char* kNSURLErrorDomain = "NSURLErrorDomain";
+inline constexpr int kNSURLErrorCannotFindHost = -1003;
+inline constexpr int kNSURLErrorTimedOut = -1001;
+inline constexpr int kNSURLErrorBadURL = -1000;
+
+}  // namespace mobivine::iphone

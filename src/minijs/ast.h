@@ -1,0 +1,327 @@
+// MiniJS abstract syntax tree.
+//
+// Plain struct hierarchy with a `kind` discriminator; the interpreter
+// switches on kind and static_casts — no virtual evaluation methods, so
+// the AST stays a passive data structure.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mobivine::minijs {
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+enum class ExprKind {
+  kNumber,
+  kString,
+  kBool,
+  kNull,
+  kUndefined,
+  kIdentifier,
+  kThis,
+  kArray,
+  kObjectLiteral,
+  kFunction,     // function expression
+  kUnary,        // ! - typeof and prefix ++/--
+  kBinary,       // arithmetic / comparison
+  kLogical,      // && || (short-circuit)
+  kConditional,  // ?:
+  kAssign,       // = += -=
+  kCall,
+  kNew,
+  kMember,   // obj.name
+  kIndex,    // obj[expr]
+  kPostfix,  // x++ x--
+};
+
+struct Expr {
+  ExprKind kind;
+  int line;
+  virtual ~Expr() = default;
+
+ protected:
+  Expr(ExprKind k, int l) : kind(k), line(l) {}
+};
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct NumberExpr : Expr {
+  double value;
+  NumberExpr(double v, int l) : Expr(ExprKind::kNumber, l), value(v) {}
+};
+
+struct StringExpr : Expr {
+  std::string value;
+  StringExpr(std::string v, int l)
+      : Expr(ExprKind::kString, l), value(std::move(v)) {}
+};
+
+struct BoolExpr : Expr {
+  bool value;
+  BoolExpr(bool v, int l) : Expr(ExprKind::kBool, l), value(v) {}
+};
+
+struct NullExpr : Expr {
+  explicit NullExpr(int l) : Expr(ExprKind::kNull, l) {}
+};
+
+struct UndefinedExpr : Expr {
+  explicit UndefinedExpr(int l) : Expr(ExprKind::kUndefined, l) {}
+};
+
+struct IdentifierExpr : Expr {
+  std::string name;
+  IdentifierExpr(std::string n, int l)
+      : Expr(ExprKind::kIdentifier, l), name(std::move(n)) {}
+};
+
+struct ThisExpr : Expr {
+  explicit ThisExpr(int l) : Expr(ExprKind::kThis, l) {}
+};
+
+struct ArrayExpr : Expr {
+  std::vector<ExprPtr> elements;
+  explicit ArrayExpr(int l) : Expr(ExprKind::kArray, l) {}
+};
+
+struct ObjectLiteralExpr : Expr {
+  std::vector<std::pair<std::string, ExprPtr>> properties;
+  explicit ObjectLiteralExpr(int l) : Expr(ExprKind::kObjectLiteral, l) {}
+};
+
+struct FunctionExpr : Expr {
+  std::string name;  // empty for anonymous
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  explicit FunctionExpr(int l) : Expr(ExprKind::kFunction, l) {}
+};
+
+enum class UnaryOp { kNot, kNegate, kTypeof, kPreIncrement, kPreDecrement };
+
+struct UnaryExpr : Expr {
+  UnaryOp op;
+  ExprPtr operand;
+  UnaryExpr(UnaryOp o, ExprPtr e, int l)
+      : Expr(ExprKind::kUnary, l), op(o), operand(std::move(e)) {}
+};
+
+enum class BinaryOp {
+  kAdd,
+  kSubtract,
+  kMultiply,
+  kDivide,
+  kModulo,
+  kEq,
+  kStrictEq,
+  kNotEq,
+  kStrictNotEq,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+};
+
+struct BinaryExpr : Expr {
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+  BinaryExpr(BinaryOp o, ExprPtr a, ExprPtr b, int l)
+      : Expr(ExprKind::kBinary, l),
+        op(o),
+        left(std::move(a)),
+        right(std::move(b)) {}
+};
+
+enum class LogicalOp { kAnd, kOr };
+
+struct LogicalExpr : Expr {
+  LogicalOp op;
+  ExprPtr left;
+  ExprPtr right;
+  LogicalExpr(LogicalOp o, ExprPtr a, ExprPtr b, int l)
+      : Expr(ExprKind::kLogical, l),
+        op(o),
+        left(std::move(a)),
+        right(std::move(b)) {}
+};
+
+struct ConditionalExpr : Expr {
+  ExprPtr condition;
+  ExprPtr then_value;
+  ExprPtr else_value;
+  ConditionalExpr(ExprPtr c, ExprPtr t, ExprPtr e, int l)
+      : Expr(ExprKind::kConditional, l),
+        condition(std::move(c)),
+        then_value(std::move(t)),
+        else_value(std::move(e)) {}
+};
+
+enum class AssignOp { kAssign, kAddAssign, kSubtractAssign };
+
+struct AssignExpr : Expr {
+  AssignOp op;
+  ExprPtr target;  // IdentifierExpr, MemberExpr or IndexExpr
+  ExprPtr value;
+  AssignExpr(AssignOp o, ExprPtr t, ExprPtr v, int l)
+      : Expr(ExprKind::kAssign, l),
+        op(o),
+        target(std::move(t)),
+        value(std::move(v)) {}
+};
+
+struct CallExpr : Expr {
+  ExprPtr callee;
+  std::vector<ExprPtr> arguments;
+  CallExpr(ExprPtr c, int l) : Expr(ExprKind::kCall, l), callee(std::move(c)) {}
+};
+
+struct NewExpr : Expr {
+  ExprPtr callee;
+  std::vector<ExprPtr> arguments;
+  NewExpr(ExprPtr c, int l) : Expr(ExprKind::kNew, l), callee(std::move(c)) {}
+};
+
+struct MemberExpr : Expr {
+  ExprPtr object;
+  std::string property;
+  MemberExpr(ExprPtr o, std::string p, int l)
+      : Expr(ExprKind::kMember, l),
+        object(std::move(o)),
+        property(std::move(p)) {}
+};
+
+struct IndexExpr : Expr {
+  ExprPtr object;
+  ExprPtr index;
+  IndexExpr(ExprPtr o, ExprPtr i, int l)
+      : Expr(ExprKind::kIndex, l),
+        object(std::move(o)),
+        index(std::move(i)) {}
+};
+
+enum class PostfixOp { kIncrement, kDecrement };
+
+struct PostfixExpr : Expr {
+  PostfixOp op;
+  ExprPtr target;
+  PostfixExpr(PostfixOp o, ExprPtr t, int l)
+      : Expr(ExprKind::kPostfix, l), op(o), target(std::move(t)) {}
+};
+
+// --------------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------------
+
+enum class StmtKind {
+  kExpression,
+  kVar,
+  kFunctionDecl,
+  kReturn,
+  kIf,
+  kWhile,
+  kFor,
+  kBlock,
+  kBreak,
+  kContinue,
+  kThrow,
+  kTry,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line;
+  virtual ~Stmt() = default;
+
+ protected:
+  Stmt(StmtKind k, int l) : kind(k), line(l) {}
+};
+
+struct ExpressionStmt : Stmt {
+  ExprPtr expression;
+  ExpressionStmt(ExprPtr e, int l)
+      : Stmt(StmtKind::kExpression, l), expression(std::move(e)) {}
+};
+
+struct VarStmt : Stmt {
+  /// One statement may declare several variables: var a = 1, b;
+  std::vector<std::pair<std::string, ExprPtr>> declarations;
+  explicit VarStmt(int l) : Stmt(StmtKind::kVar, l) {}
+};
+
+struct FunctionDeclStmt : Stmt {
+  std::unique_ptr<FunctionExpr> function;  // carries the name
+  FunctionDeclStmt(std::unique_ptr<FunctionExpr> f, int l)
+      : Stmt(StmtKind::kFunctionDecl, l), function(std::move(f)) {}
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr value;  // may be null (return;)
+  ReturnStmt(ExprPtr v, int l) : Stmt(StmtKind::kReturn, l), value(std::move(v)) {}
+};
+
+struct IfStmt : Stmt {
+  ExprPtr condition;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  // may be null
+  IfStmt(ExprPtr c, StmtPtr t, StmtPtr e, int l)
+      : Stmt(StmtKind::kIf, l),
+        condition(std::move(c)),
+        then_branch(std::move(t)),
+        else_branch(std::move(e)) {}
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr condition;
+  StmtPtr body;
+  WhileStmt(ExprPtr c, StmtPtr b, int l)
+      : Stmt(StmtKind::kWhile, l),
+        condition(std::move(c)),
+        body(std::move(b)) {}
+};
+
+struct ForStmt : Stmt {
+  StmtPtr init;       // VarStmt or ExpressionStmt; may be null
+  ExprPtr condition;  // may be null (infinite)
+  ExprPtr update;     // may be null
+  StmtPtr body;
+  explicit ForStmt(int l) : Stmt(StmtKind::kFor, l) {}
+};
+
+struct BlockStmt : Stmt {
+  std::vector<StmtPtr> statements;
+  explicit BlockStmt(int l) : Stmt(StmtKind::kBlock, l) {}
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(int l) : Stmt(StmtKind::kBreak, l) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(int l) : Stmt(StmtKind::kContinue, l) {}
+};
+
+struct ThrowStmt : Stmt {
+  ExprPtr value;
+  ThrowStmt(ExprPtr v, int l) : Stmt(StmtKind::kThrow, l), value(std::move(v)) {}
+};
+
+struct TryStmt : Stmt {
+  StmtPtr try_block;
+  std::string catch_name;  // empty when no catch clause
+  StmtPtr catch_block;     // may be null
+  StmtPtr finally_block;   // may be null
+  explicit TryStmt(int l) : Stmt(StmtKind::kTry, l) {}
+};
+
+/// A parsed program: top-level statements.
+struct Program {
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace mobivine::minijs

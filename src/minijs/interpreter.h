@@ -1,0 +1,124 @@
+// Tree-walking interpreter for MiniJS.
+//
+// The interpreter owns the global environment and keeps every loaded
+// program's AST alive (script closures point into it). Execution counts
+// interpreter steps, which the WebView substrate converts to virtual time —
+// that is how the JS layer's extra cost shows up in Figure 10's WebView
+// column.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minijs/ast.h"
+#include "minijs/value.h"
+
+namespace mobivine::minijs {
+
+/// A thrown script value (from `throw` or a host-raised error) that escaped
+/// to the C++ caller.
+class ScriptError : public std::runtime_error {
+ public:
+  explicit ScriptError(Value thrown)
+      : std::runtime_error("MiniJS uncaught: " + thrown.ToDisplayString()),
+        thrown_(std::move(thrown)) {}
+  const Value& thrown() const { return thrown_; }
+
+ private:
+  Value thrown_;
+};
+
+/// Lexical scope chain node.
+class Environment {
+ public:
+  explicit Environment(std::shared_ptr<Environment> parent = nullptr)
+      : parent_(std::move(parent)) {}
+
+  /// Declare in THIS scope (var / parameter / function declaration).
+  void Define(const std::string& name, Value value) {
+    variables_[name] = std::move(value);
+  }
+  /// Lookup through the chain; true if found.
+  bool Get(const std::string& name, Value& out) const;
+  /// Assign through the chain; falls back to defining a global (sloppy-mode
+  /// JS behaviour) and returns false in that case.
+  bool Assign(const std::string& name, Value value);
+
+ private:
+  std::map<std::string, Value> variables_;
+  std::shared_ptr<Environment> parent_;
+};
+
+class Interpreter {
+ public:
+  Interpreter();
+
+  // --- loading and calling ----------------------------------------------
+  /// Parse + execute top-level statements in the global scope.
+  /// Returns the value of the final expression statement (undefined if the
+  /// program ends with a non-expression statement).
+  Value Run(std::string_view source);
+
+  /// Call a function value with an explicit `this` and arguments.
+  Value Call(const Value& function, const Value& this_value,
+             std::vector<Value> arguments);
+
+  /// Look up / define a global.
+  [[nodiscard]] Value GetGlobal(const std::string& name) const;
+  void SetGlobal(const std::string& name, Value value);
+
+  // --- instrumentation ----------------------------------------------------
+  /// Steps executed since construction (one per AST node evaluated).
+  std::uint64_t steps() const { return steps_; }
+  void ResetSteps() { steps_ = 0; }
+  /// Abort with ScriptError after this many steps (runaway guard).
+  void set_step_limit(std::uint64_t limit) { step_limit_ = limit; }
+
+  /// Lines printed by the built-in print()/log() functions.
+  const std::vector<std::string>& output() const { return output_; }
+  void ClearOutput() { output_.clear(); }
+
+  std::shared_ptr<Environment> globals() { return globals_; }
+
+ private:
+  friend struct EvalVisitor;
+
+  // Control-flow signals (internal C++ exceptions).
+  struct ReturnSignal {
+    Value value;
+  };
+  struct BreakSignal {};
+  struct ContinueSignal {};
+  struct ThrowSignal {
+    Value value;
+  };
+
+  void Step(int line);
+  void ExecuteBlock(const std::vector<StmtPtr>& statements,
+                    const std::shared_ptr<Environment>& env,
+                    const Value& this_value);
+  void Execute(const Stmt& stmt, const std::shared_ptr<Environment>& env,
+               const Value& this_value);
+  Value Evaluate(const Expr& expr, const std::shared_ptr<Environment>& env,
+                 const Value& this_value);
+  Value CallFunction(const std::shared_ptr<Function>& function,
+                     const Value& this_value, std::vector<Value>& arguments);
+  Value EvaluateBinary(const BinaryExpr& expr, Value left, Value right);
+  /// Built-in members on primitive values and arrays ("abc".length,
+  /// arr.push, ...). Returns true when handled.
+  bool BuiltinMember(const Value& object, const std::string& name, Value& out);
+
+  void InstallBuiltins();
+
+  std::shared_ptr<Environment> globals_;
+  std::vector<std::unique_ptr<Program>> loaded_programs_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t step_limit_ = 50'000'000;
+  std::vector<std::string> output_;
+};
+
+}  // namespace mobivine::minijs

@@ -1,0 +1,34 @@
+// Hand-written lexer for MiniJS. Supports line ('//') and block comments,
+// single- and double-quoted strings with the common escapes, and decimal
+// number literals (integer, fraction, exponent).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minijs/token.h"
+
+namespace mobivine::minijs {
+
+/// Thrown for unterminated strings/comments and unknown characters.
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, int line, int column)
+      : std::runtime_error("MiniJS lex error at " + std::to_string(line) +
+                           ":" + std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Tokenize a complete source text (final token is always kEof).
+[[nodiscard]] std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace mobivine::minijs

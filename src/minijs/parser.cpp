@@ -1,0 +1,569 @@
+#include "minijs/parser.h"
+
+#include "minijs/lexer.h"
+
+namespace mobivine::minijs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program Run() {
+    Program program;
+    while (!Check(TokenType::kEof)) {
+      program.statements.push_back(ParseStatement());
+    }
+    return program;
+  }
+
+ private:
+  // --- token plumbing ----------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t index = pos_ + ahead;
+    if (index >= tokens_.size()) index = tokens_.size() - 1;  // kEof
+    return tokens_[index];
+  }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Match(TokenType type) {
+    if (!Check(type)) return false;
+    Advance();
+    return true;
+  }
+  const Token& Expect(TokenType type, const std::string& context) {
+    if (!Check(type)) {
+      Fail("expected '" + std::string(ToString(type)) + "' " + context +
+           ", found '" +
+           (Peek().text.empty() ? ToString(Peek().type) : Peek().text) + "'");
+    }
+    return Advance();
+  }
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw SyntaxError(message, Peek().line, Peek().column);
+  }
+  int Line() const { return Peek().line; }
+
+  // --- statements ---------------------------------------------------------
+  StmtPtr ParseStatement() {
+    switch (Peek().type) {
+      case TokenType::kLeftBrace:
+        return ParseBlock();
+      case TokenType::kVar:
+        return ParseVar();
+      case TokenType::kFunction:
+        return ParseFunctionDecl();
+      case TokenType::kReturn:
+        return ParseReturn();
+      case TokenType::kIf:
+        return ParseIf();
+      case TokenType::kWhile:
+        return ParseWhile();
+      case TokenType::kFor:
+        return ParseFor();
+      case TokenType::kBreak: {
+        int line = Line();
+        Advance();
+        Expect(TokenType::kSemicolon, "after 'break'");
+        return std::make_unique<BreakStmt>(line);
+      }
+      case TokenType::kContinue: {
+        int line = Line();
+        Advance();
+        Expect(TokenType::kSemicolon, "after 'continue'");
+        return std::make_unique<ContinueStmt>(line);
+      }
+      case TokenType::kThrow: {
+        int line = Line();
+        Advance();
+        ExprPtr value = ParseExpression();
+        Expect(TokenType::kSemicolon, "after 'throw' expression");
+        return std::make_unique<ThrowStmt>(std::move(value), line);
+      }
+      case TokenType::kTry:
+        return ParseTry();
+      case TokenType::kSemicolon: {  // empty statement
+        int line = Line();
+        Advance();
+        auto block = std::make_unique<BlockStmt>(line);
+        return block;
+      }
+      default: {
+        int line = Line();
+        ExprPtr expression = ParseExpression();
+        Expect(TokenType::kSemicolon, "after expression statement");
+        return std::make_unique<ExpressionStmt>(std::move(expression), line);
+      }
+    }
+  }
+
+  StmtPtr ParseBlock() {
+    int line = Line();
+    Expect(TokenType::kLeftBrace, "to open block");
+    auto block = std::make_unique<BlockStmt>(line);
+    while (!Check(TokenType::kRightBrace)) {
+      if (Check(TokenType::kEof)) Fail("unterminated block");
+      block->statements.push_back(ParseStatement());
+    }
+    Expect(TokenType::kRightBrace, "to close block");
+    return block;
+  }
+
+  StmtPtr ParseVar() {
+    int line = Line();
+    Expect(TokenType::kVar, "");
+    auto stmt = std::make_unique<VarStmt>(line);
+    while (true) {
+      std::string name =
+          Expect(TokenType::kIdentifier, "in var declaration").text;
+      ExprPtr init;
+      if (Match(TokenType::kAssign)) init = ParseAssignment();
+      stmt->declarations.emplace_back(std::move(name), std::move(init));
+      if (!Match(TokenType::kComma)) break;
+    }
+    Expect(TokenType::kSemicolon, "after var declaration");
+    return stmt;
+  }
+
+  std::unique_ptr<FunctionExpr> ParseFunctionRest(bool require_name) {
+    int line = Line();
+    auto function = std::make_unique<FunctionExpr>(line);
+    if (Check(TokenType::kIdentifier)) {
+      function->name = Advance().text;
+    } else if (require_name) {
+      Fail("function declaration requires a name");
+    }
+    Expect(TokenType::kLeftParen, "after function name");
+    if (!Check(TokenType::kRightParen)) {
+      while (true) {
+        function->params.push_back(
+            Expect(TokenType::kIdentifier, "in parameter list").text);
+        if (!Match(TokenType::kComma)) break;
+      }
+    }
+    Expect(TokenType::kRightParen, "after parameter list");
+    Expect(TokenType::kLeftBrace, "to open function body");
+    while (!Check(TokenType::kRightBrace)) {
+      if (Check(TokenType::kEof)) Fail("unterminated function body");
+      function->body.push_back(ParseStatement());
+    }
+    Expect(TokenType::kRightBrace, "to close function body");
+    return function;
+  }
+
+  StmtPtr ParseFunctionDecl() {
+    int line = Line();
+    Expect(TokenType::kFunction, "");
+    auto function = ParseFunctionRest(/*require_name=*/true);
+    return std::make_unique<FunctionDeclStmt>(std::move(function), line);
+  }
+
+  StmtPtr ParseReturn() {
+    int line = Line();
+    Expect(TokenType::kReturn, "");
+    ExprPtr value;
+    if (!Check(TokenType::kSemicolon)) value = ParseExpression();
+    Expect(TokenType::kSemicolon, "after return");
+    return std::make_unique<ReturnStmt>(std::move(value), line);
+  }
+
+  StmtPtr ParseIf() {
+    int line = Line();
+    Expect(TokenType::kIf, "");
+    Expect(TokenType::kLeftParen, "after 'if'");
+    ExprPtr condition = ParseExpression();
+    Expect(TokenType::kRightParen, "after if condition");
+    StmtPtr then_branch = ParseStatement();
+    StmtPtr else_branch;
+    if (Match(TokenType::kElse)) else_branch = ParseStatement();
+    return std::make_unique<IfStmt>(std::move(condition),
+                                    std::move(then_branch),
+                                    std::move(else_branch), line);
+  }
+
+  StmtPtr ParseWhile() {
+    int line = Line();
+    Expect(TokenType::kWhile, "");
+    Expect(TokenType::kLeftParen, "after 'while'");
+    ExprPtr condition = ParseExpression();
+    Expect(TokenType::kRightParen, "after while condition");
+    StmtPtr body = ParseStatement();
+    return std::make_unique<WhileStmt>(std::move(condition), std::move(body),
+                                       line);
+  }
+
+  StmtPtr ParseFor() {
+    int line = Line();
+    Expect(TokenType::kFor, "");
+    Expect(TokenType::kLeftParen, "after 'for'");
+    auto stmt = std::make_unique<ForStmt>(line);
+    if (Check(TokenType::kVar)) {
+      stmt->init = ParseVar();  // consumes its ';'
+    } else if (Match(TokenType::kSemicolon)) {
+      // no init
+    } else {
+      int init_line = Line();
+      ExprPtr init = ParseExpression();
+      Expect(TokenType::kSemicolon, "after for-init");
+      stmt->init = std::make_unique<ExpressionStmt>(std::move(init), init_line);
+    }
+    if (!Check(TokenType::kSemicolon)) stmt->condition = ParseExpression();
+    Expect(TokenType::kSemicolon, "after for-condition");
+    if (!Check(TokenType::kRightParen)) stmt->update = ParseExpression();
+    Expect(TokenType::kRightParen, "after for clauses");
+    stmt->body = ParseStatement();
+    return stmt;
+  }
+
+  StmtPtr ParseTry() {
+    int line = Line();
+    Expect(TokenType::kTry, "");
+    auto stmt = std::make_unique<TryStmt>(line);
+    stmt->try_block = ParseBlock();
+    if (Match(TokenType::kCatch)) {
+      Expect(TokenType::kLeftParen, "after 'catch'");
+      stmt->catch_name =
+          Expect(TokenType::kIdentifier, "as catch binding").text;
+      Expect(TokenType::kRightParen, "after catch binding");
+      stmt->catch_block = ParseBlock();
+    }
+    if (Match(TokenType::kFinally)) {
+      stmt->finally_block = ParseBlock();
+    }
+    if (!stmt->catch_block && !stmt->finally_block) {
+      Fail("try requires catch or finally");
+    }
+    return stmt;
+  }
+
+  // --- expressions ----------------------------------------------------
+  ExprPtr ParseExpression() { return ParseAssignment(); }
+
+  ExprPtr ParseAssignment() {
+    ExprPtr left = ParseConditional();
+    AssignOp op;
+    if (Check(TokenType::kAssign)) {
+      op = AssignOp::kAssign;
+    } else if (Check(TokenType::kPlusAssign)) {
+      op = AssignOp::kAddAssign;
+    } else if (Check(TokenType::kMinusAssign)) {
+      op = AssignOp::kSubtractAssign;
+    } else {
+      return left;
+    }
+    if (left->kind != ExprKind::kIdentifier &&
+        left->kind != ExprKind::kMember && left->kind != ExprKind::kIndex) {
+      Fail("invalid assignment target");
+    }
+    int line = Line();
+    Advance();
+    ExprPtr value = ParseAssignment();
+    return std::make_unique<AssignExpr>(op, std::move(left), std::move(value),
+                                        line);
+  }
+
+  ExprPtr ParseConditional() {
+    ExprPtr condition = ParseLogicalOr();
+    if (!Match(TokenType::kQuestion)) return condition;
+    int line = Line();
+    ExprPtr then_value = ParseAssignment();
+    Expect(TokenType::kColon, "in conditional expression");
+    ExprPtr else_value = ParseAssignment();
+    return std::make_unique<ConditionalExpr>(std::move(condition),
+                                             std::move(then_value),
+                                             std::move(else_value), line);
+  }
+
+  ExprPtr ParseLogicalOr() {
+    ExprPtr left = ParseLogicalAnd();
+    while (Check(TokenType::kOrOr)) {
+      int line = Line();
+      Advance();
+      ExprPtr right = ParseLogicalAnd();
+      left = std::make_unique<LogicalExpr>(LogicalOp::kOr, std::move(left),
+                                           std::move(right), line);
+    }
+    return left;
+  }
+
+  ExprPtr ParseLogicalAnd() {
+    ExprPtr left = ParseEquality();
+    while (Check(TokenType::kAndAnd)) {
+      int line = Line();
+      Advance();
+      ExprPtr right = ParseEquality();
+      left = std::make_unique<LogicalExpr>(LogicalOp::kAnd, std::move(left),
+                                           std::move(right), line);
+    }
+    return left;
+  }
+
+  ExprPtr ParseEquality() {
+    ExprPtr left = ParseRelational();
+    while (true) {
+      BinaryOp op;
+      if (Check(TokenType::kEq)) {
+        op = BinaryOp::kEq;
+      } else if (Check(TokenType::kStrictEq)) {
+        op = BinaryOp::kStrictEq;
+      } else if (Check(TokenType::kNotEq)) {
+        op = BinaryOp::kNotEq;
+      } else if (Check(TokenType::kStrictNotEq)) {
+        op = BinaryOp::kStrictNotEq;
+      } else {
+        return left;
+      }
+      int line = Line();
+      Advance();
+      ExprPtr right = ParseRelational();
+      left = std::make_unique<BinaryExpr>(op, std::move(left),
+                                          std::move(right), line);
+    }
+  }
+
+  ExprPtr ParseRelational() {
+    ExprPtr left = ParseAdditive();
+    while (true) {
+      BinaryOp op;
+      if (Check(TokenType::kLess)) {
+        op = BinaryOp::kLess;
+      } else if (Check(TokenType::kLessEq)) {
+        op = BinaryOp::kLessEq;
+      } else if (Check(TokenType::kGreater)) {
+        op = BinaryOp::kGreater;
+      } else if (Check(TokenType::kGreaterEq)) {
+        op = BinaryOp::kGreaterEq;
+      } else {
+        return left;
+      }
+      int line = Line();
+      Advance();
+      ExprPtr right = ParseAdditive();
+      left = std::make_unique<BinaryExpr>(op, std::move(left),
+                                          std::move(right), line);
+    }
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr left = ParseMultiplicative();
+    while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+      BinaryOp op = Check(TokenType::kPlus) ? BinaryOp::kAdd
+                                            : BinaryOp::kSubtract;
+      int line = Line();
+      Advance();
+      ExprPtr right = ParseMultiplicative();
+      left = std::make_unique<BinaryExpr>(op, std::move(left),
+                                          std::move(right), line);
+    }
+    return left;
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr left = ParseUnary();
+    while (Check(TokenType::kStar) || Check(TokenType::kSlash) ||
+           Check(TokenType::kPercent)) {
+      BinaryOp op = Check(TokenType::kStar)
+                        ? BinaryOp::kMultiply
+                        : (Check(TokenType::kSlash) ? BinaryOp::kDivide
+                                                    : BinaryOp::kModulo);
+      int line = Line();
+      Advance();
+      ExprPtr right = ParseUnary();
+      left = std::make_unique<BinaryExpr>(op, std::move(left),
+                                          std::move(right), line);
+    }
+    return left;
+  }
+
+  ExprPtr ParseUnary() {
+    int line = Line();
+    if (Match(TokenType::kBang)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::kNot, ParseUnary(), line);
+    }
+    if (Match(TokenType::kMinus)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::kNegate, ParseUnary(), line);
+    }
+    if (Match(TokenType::kTypeof)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::kTypeof, ParseUnary(), line);
+    }
+    if (Match(TokenType::kPlusPlus)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::kPreIncrement, ParseUnary(),
+                                         line);
+    }
+    if (Match(TokenType::kMinusMinus)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::kPreDecrement, ParseUnary(),
+                                         line);
+    }
+    return ParsePostfix();
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr expression = ParseCallChain(ParsePrimary());
+    if (Check(TokenType::kPlusPlus) || Check(TokenType::kMinusMinus)) {
+      PostfixOp op = Check(TokenType::kPlusPlus) ? PostfixOp::kIncrement
+                                                 : PostfixOp::kDecrement;
+      int line = Line();
+      if (expression->kind != ExprKind::kIdentifier &&
+          expression->kind != ExprKind::kMember &&
+          expression->kind != ExprKind::kIndex) {
+        Fail("invalid increment/decrement target");
+      }
+      Advance();
+      expression =
+          std::make_unique<PostfixExpr>(op, std::move(expression), line);
+    }
+    return expression;
+  }
+
+  ExprPtr ParseCallChain(ExprPtr base) {
+    while (true) {
+      if (Check(TokenType::kLeftParen)) {
+        int line = Line();
+        Advance();
+        auto call = std::make_unique<CallExpr>(std::move(base), line);
+        if (!Check(TokenType::kRightParen)) {
+          while (true) {
+            call->arguments.push_back(ParseAssignment());
+            if (!Match(TokenType::kComma)) break;
+          }
+        }
+        Expect(TokenType::kRightParen, "after call arguments");
+        base = std::move(call);
+      } else if (Check(TokenType::kDot)) {
+        int line = Line();
+        Advance();
+        std::string name =
+            Expect(TokenType::kIdentifier, "after '.'").text;
+        base = std::make_unique<MemberExpr>(std::move(base), std::move(name),
+                                            line);
+      } else if (Check(TokenType::kLeftBracket)) {
+        int line = Line();
+        Advance();
+        ExprPtr index = ParseExpression();
+        Expect(TokenType::kRightBracket, "after index expression");
+        base = std::make_unique<IndexExpr>(std::move(base), std::move(index),
+                                           line);
+      } else {
+        return base;
+      }
+    }
+  }
+
+  ExprPtr ParsePrimary() {
+    int line = Line();
+    switch (Peek().type) {
+      case TokenType::kNumber: {
+        double value = Peek().number;
+        Advance();
+        return std::make_unique<NumberExpr>(value, line);
+      }
+      case TokenType::kString: {
+        std::string value = Peek().text;
+        Advance();
+        return std::make_unique<StringExpr>(std::move(value), line);
+      }
+      case TokenType::kTrue:
+        Advance();
+        return std::make_unique<BoolExpr>(true, line);
+      case TokenType::kFalse:
+        Advance();
+        return std::make_unique<BoolExpr>(false, line);
+      case TokenType::kNull:
+        Advance();
+        return std::make_unique<NullExpr>(line);
+      case TokenType::kUndefined:
+        Advance();
+        return std::make_unique<UndefinedExpr>(line);
+      case TokenType::kThis:
+        Advance();
+        return std::make_unique<ThisExpr>(line);
+      case TokenType::kIdentifier: {
+        std::string name = Peek().text;
+        Advance();
+        return std::make_unique<IdentifierExpr>(std::move(name), line);
+      }
+      case TokenType::kLeftParen: {
+        Advance();
+        ExprPtr inner = ParseExpression();
+        Expect(TokenType::kRightParen, "after parenthesized expression");
+        return inner;
+      }
+      case TokenType::kLeftBracket: {
+        Advance();
+        auto array = std::make_unique<ArrayExpr>(line);
+        if (!Check(TokenType::kRightBracket)) {
+          while (true) {
+            array->elements.push_back(ParseAssignment());
+            if (!Match(TokenType::kComma)) break;
+          }
+        }
+        Expect(TokenType::kRightBracket, "after array literal");
+        return array;
+      }
+      case TokenType::kLeftBrace: {
+        Advance();
+        auto object = std::make_unique<ObjectLiteralExpr>(line);
+        if (!Check(TokenType::kRightBrace)) {
+          while (true) {
+            std::string key;
+            if (Check(TokenType::kIdentifier) || Check(TokenType::kString)) {
+              key = Peek().text;
+              Advance();
+            } else {
+              Fail("expected property name in object literal");
+            }
+            Expect(TokenType::kColon, "after property name");
+            object->properties.emplace_back(std::move(key), ParseAssignment());
+            if (!Match(TokenType::kComma)) break;
+          }
+        }
+        Expect(TokenType::kRightBrace, "after object literal");
+        return object;
+      }
+      case TokenType::kFunction: {
+        Advance();
+        return ParseFunctionRest(/*require_name=*/false);
+      }
+      case TokenType::kNew: {
+        Advance();
+        // new Callee(args) — callee may be a member chain but the argument
+        // list binds to `new`.
+        ExprPtr callee = ParsePrimary();
+        while (Check(TokenType::kDot)) {
+          int member_line = Line();
+          Advance();
+          std::string name = Expect(TokenType::kIdentifier, "after '.'").text;
+          callee = std::make_unique<MemberExpr>(std::move(callee),
+                                                std::move(name), member_line);
+        }
+        auto expr = std::make_unique<NewExpr>(std::move(callee), line);
+        if (Match(TokenType::kLeftParen)) {
+          if (!Check(TokenType::kRightParen)) {
+            while (true) {
+              expr->arguments.push_back(ParseAssignment());
+              if (!Match(TokenType::kComma)) break;
+            }
+          }
+          Expect(TokenType::kRightParen, "after constructor arguments");
+        }
+        return expr;
+      }
+      default:
+        Fail(std::string("unexpected token '") +
+             (Peek().text.empty() ? ToString(Peek().type) : Peek().text) +
+             "'");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program ParseProgram(std::string_view source) {
+  return Parser(Tokenize(source)).Run();
+}
+
+}  // namespace mobivine::minijs

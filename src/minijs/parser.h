@@ -1,0 +1,52 @@
+// Recursive-descent parser for MiniJS. Grammar summary (highest binding
+// last):
+//
+//   program      := statement*
+//   statement    := block | var | function | return | if | while | for
+//                 | break | continue | throw | try | expression ';'
+//   expression   := assignment
+//   assignment   := conditional (('=' | '+=' | '-=') assignment)?
+//   conditional  := logical_or ('?' assignment ':' assignment)?
+//   logical_or   := logical_and ('||' logical_and)*
+//   logical_and  := equality ('&&' equality)*
+//   equality     := relational (('=='|'==='|'!='|'!==') relational)*
+//   relational   := additive (('<'|'<='|'>'|'>=') additive)*
+//   additive     := multiplicative (('+'|'-') multiplicative)*
+//   multiplicative := unary (('*'|'/'|'%') unary)*
+//   unary        := ('!'|'-'|'typeof'|'++'|'--') unary | postfix
+//   postfix      := call_chain ('++'|'--')?
+//   call_chain   := primary ( '(' args ')' | '.' name | '[' expr ']' )*
+//   primary      := literal | identifier | this | '(' expr ')'
+//                 | array | object | function_expr | 'new' call_chain
+//
+// Semicolons are required statement terminators (no ASI).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "minijs/ast.h"
+#include "minijs/token.h"
+
+namespace mobivine::minijs {
+
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& message, int line, int column)
+      : std::runtime_error("MiniJS syntax error at " + std::to_string(line) +
+                           ":" + std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Parse a full program. Throws LexError or SyntaxError.
+[[nodiscard]] Program ParseProgram(std::string_view source);
+
+}  // namespace mobivine::minijs

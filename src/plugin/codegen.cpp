@@ -1,0 +1,957 @@
+#include "plugin/codegen.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/strings.h"
+
+namespace mobivine::plugin {
+
+namespace {
+
+using support::Indent;
+
+std::string Var(const ProxyConfiguration& config, const std::string& name) {
+  for (const auto& field : config.variables()) {
+    if (field.name == name) return field.value.empty() ? name : field.value;
+  }
+  return name;
+}
+
+/// Render a property value as a source literal for its type.
+std::string PropertyLiteral(const PropertyField& field,
+                            const std::string& effective) {
+  if (field.type == "handle") return "this";
+  if (field.type == "string") return "\"" + effective + "\"";
+  return effective;  // int / double / bool
+}
+
+// ===========================================================================
+// Proxy-style generation (Figures 8 and 9)
+// ===========================================================================
+
+std::string ProxyObjectName(const std::string& proxy) {
+  std::string lower = support::ToLower(proxy);
+  return lower.substr(0, 3);  // loc, sms, cal, htt — matches Figure 8 style
+}
+
+std::string ProxySetup(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  const std::string object = ProxyObjectName(config.proxy());
+  if (config.language() == "objc") {
+    out << config.implementation_class() << " *" << object << " = [["
+        << config.implementation_class() << " alloc] init];\n";
+    for (const auto& field : config.properties()) {
+      if (field.value.empty()) continue;
+      out << "[" << object << " setProperty:@\"" << field.name
+          << "\" value:@\"" << field.value << "\"];\n";
+    }
+    return out.str();
+  }
+  if (config.language() == "javascript") {
+    out << "var " << object << " = new " << config.implementation_class()
+        << "();\n";
+  } else {
+    const std::string type = config.implementation_class().substr(
+        config.implementation_class().rfind('.') + 1);
+    out << type << " " << object << " = new " << type << "();\n";
+  }
+  for (const auto& field : config.properties()) {
+    // Only user-provided values and required handles are emitted; defaults
+    // live in the descriptor, not the application (Figure 8 shape).
+    const bool emit = !field.value.empty() ||
+                      (field.type == "handle" && field.required);
+    if (!emit) continue;
+    if (field.type == "handle" && config.language() == "javascript") {
+      continue;  // handles are wrapper-internal on WebView
+    }
+    const std::string effective =
+        field.value.empty() ? field.default_value : field.value;
+    out << object << ".setProperty(\"" << field.name << "\", "
+        << PropertyLiteral(field, effective) << ");\n";
+  }
+  return out.str();
+}
+
+std::string ProxyArguments(const ProxyConfiguration& config,
+                           const std::string& callback_expr) {
+  std::string args;
+  for (const auto& field : config.variables()) {
+    if (!args.empty()) args += ", ";
+    args += field.value.empty() ? field.name : field.value;
+  }
+  if (config.has_callback()) {
+    if (!args.empty()) args += ", ";
+    args += callback_expr;
+  }
+  return args;
+}
+
+std::string ProxyInvocationJava(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  const std::string object = ProxyObjectName(config.proxy());
+  out << "try {\n";
+  out << Indent(ProxySetup(config), 4) << "\n";
+  out << "    " << object << "." << config.method() << "("
+      << ProxyArguments(config, "this") << ");\n";
+  out << "} catch (ProxyException e) {\n";
+  out << "    // uniform MobiVine error codes on every platform\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string ProxyInvocationJs(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  const std::string object = ProxyObjectName(config.proxy());
+  out << "try {\n";
+  out << Indent(ProxySetup(config), 4) << "\n";
+  out << "    " << object << "." << config.method() << "("
+      << ProxyArguments(config, config.callback_method()) << ");\n";
+  out << "} catch (ex) {\n";
+  out << "    // uniform MobiVine error codes on every platform\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string ProxyCallbackJava(const ProxyConfiguration& config) {
+  if (!config.has_callback()) return "";
+  std::ostringstream out;
+  if (config.proxy() == "Location") {
+    out << "public void proximityEvent(double refLatitude, double "
+           "refLongitude,\n"
+           "        double refAltitude, Location currentLocation, boolean "
+           "entering) {\n"
+           "    /* business logic for handling proximity events */\n"
+           "}\n";
+  } else if (config.proxy() == "Sms") {
+    out << "public void smsStatusChanged(long messageId, SmsStatus status) "
+           "{\n"
+           "    /* business logic for delivery tracking */\n"
+           "}\n";
+  } else if (config.proxy() == "Call") {
+    out << "public void callStateChanged(CallProgress progress) {\n"
+           "    /* business logic for call progress */\n"
+           "}\n";
+  }
+  return out.str();
+}
+
+std::string ProxyCallbackJs(const ProxyConfiguration& config) {
+  if (!config.has_callback()) return "";
+  std::ostringstream out;
+  if (config.proxy() == "Location") {
+    out << "function proximityEvent(refLatitude, refLongitude, refAltitude,\n"
+           "                        currentLocation, entering) {\n"
+           "    /* business logic for handling proximity events */\n"
+           "}\n";
+  } else if (config.proxy() == "Sms") {
+    out << "function smsStatusChanged(messageId, status) {\n"
+           "    /* business logic for delivery tracking */\n"
+           "}\n";
+  } else if (config.proxy() == "Call") {
+    out << "function callStateChanged(state) {\n"
+           "    /* business logic for call progress */\n"
+           "}\n";
+  }
+  return out.str();
+}
+
+std::string ProxyApplicationAndroid(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  out << "public class GeneratedApp extends Activity";
+  if (config.proxy() == "Location") out << " implements ProximityListener";
+  if (config.proxy() == "Sms") out << " implements SmsListener";
+  if (config.proxy() == "Call") out << " implements CallListener";
+  out << " {\n";
+  out << "    public void onCreate() {\n";
+  out << Indent(ProxyInvocationJava(config), 8);
+  out << "    }\n";
+  const std::string callback = ProxyCallbackJava(config);
+  if (!callback.empty()) out << "\n" << Indent(callback, 4);
+  out << "}\n";
+  return out.str();
+}
+
+std::string ProxyApplicationS60(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  out << "public class GeneratedApp extends MIDlet";
+  if (config.proxy() == "Location") out << " implements ProximityListener";
+  if (config.proxy() == "Sms") out << " implements SmsListener";
+  out << " {\n";
+  out << "    public void startApp() {\n";
+  out << Indent(ProxyInvocationJava(config), 8);
+  out << "    }\n";
+  const std::string callback = ProxyCallbackJava(config);
+  if (!callback.empty()) out << "\n" << Indent(callback, 4);
+  out << "}\n";
+  return out.str();
+}
+
+std::string ProxyInvocationObjC(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  const std::string object = ProxyObjectName(config.proxy());
+  out << "@try {\n";
+  out << Indent(ProxySetup(config), 4) << "\n";
+  const std::string arguments = ProxyArguments(config, "self");
+  out << "    [" << object << " " << config.method();
+  if (!arguments.empty()) out << ":" << arguments;
+  out << "];\n";
+  out << "} @catch (MVProxyException *e) {\n";
+  out << "    // uniform MobiVine error codes on every platform\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string ProxyApplicationIPhone(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  out << "@implementation GeneratedAppViewController";
+  if (config.proxy() == "Location") out << " // <MVProximityListener>";
+  if (config.proxy() == "Sms") out << " // <MVSmsListener>";
+  out << "\n";
+  out << "- (void)viewDidLoad {\n";
+  out << Indent(ProxyInvocationObjC(config), 4);
+  out << "}\n";
+  if (config.proxy() == "Location" && config.has_callback()) {
+    out << "\n- (void)proximityEvent:(double)refLatitude "
+           "lon:(double)refLongitude\n"
+           "        alt:(double)refAltitude loc:(MVLocation *)current\n"
+           "        entering:(BOOL)entering {\n"
+           "    /* business logic for handling proximity events */\n"
+           "}\n";
+  }
+  if (config.proxy() == "Sms" && config.has_callback()) {
+    out << "\n- (void)smsStatusChanged:(long long)messageId "
+           "status:(MVSmsStatus)status {\n"
+           "    /* business logic for delivery tracking */\n"
+           "}\n";
+  }
+  out << "@end\n";
+  return out.str();
+}
+
+std::string ProxyApplicationWebView(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  out << "function JSInit() {\n";
+  out << Indent(ProxyInvocationJs(config), 4);
+  out << "}\n";
+  const std::string callback = ProxyCallbackJs(config);
+  if (!callback.empty()) out << "\n" << callback;
+  return out.str();
+}
+
+// ===========================================================================
+// Raw-style generation (Figure 2): the code a developer writes WITHOUT
+// MobiVine, per platform and per API.
+// ===========================================================================
+
+std::string RawLocationAlertAndroid(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  out << "public class GeneratedApp extends Activity {\n"
+         "    class ProximityIntentReceiver extends IntentReceiver {\n"
+         "        double latitude;\n"
+         "        double longitude;\n"
+         "\n"
+         "        public ProximityIntentReceiver(double latitude, double "
+         "longitude) {\n"
+         "            this.latitude = latitude;\n"
+         "            this.longitude = longitude;\n"
+         "        }\n"
+         "\n"
+         "        public void onReceiveIntent(Context ctxt, Intent i) {\n"
+         "            String action = i.getAction();\n"
+         "            if (action.equals(PROXIMITY_ALERT)) {\n"
+         "                boolean entering = "
+         "i.getBooleanExtra(\"entering\", false);\n"
+         "                LocationManager lm = (LocationManager)\n"
+         "                        "
+         "ctxt.getSystemService(Context.LOCATION_SERVICE);\n"
+         "                Location loc = lm.getCurrentLocation(\""
+      << config.EffectiveProperty("provider")
+      << "\");\n"
+         "                /* business logic for handling proximity events "
+         "*/\n"
+         "            }\n"
+         "        }\n"
+         "    }\n"
+         "\n"
+         "    static final String PROXIMITY_ALERT =\n"
+         "            "
+         "\"com.ibm.proxies.android.intent.action.PROXIMITY_ALERT\";\n"
+         "\n"
+         "    public void onCreate() {\n"
+         "        Context context = this;\n"
+         "        try {\n"
+         "            ProximityIntentReceiver proximityReceiver =\n"
+         "                    new ProximityIntentReceiver("
+      << Var(config, "latitude") << ", " << Var(config, "longitude")
+      << ");\n"
+         "            context.registerReceiver(proximityReceiver,\n"
+         "                    new IntentFilter(PROXIMITY_ALERT));\n"
+         "            LocationManager lm = (LocationManager)\n"
+         "                    "
+         "context.getSystemService(Context.LOCATION_SERVICE);\n"
+         "            Intent i = new Intent(PROXIMITY_ALERT);\n"
+         "            lm.addProximityAlert("
+      << Var(config, "latitude") << ", " << Var(config, "longitude") << ", "
+      << Var(config, "radius") << ", " << Var(config, "timer")
+      << ", i);\n"
+         "        } catch (SecurityException e) {\n"
+         "            // Handle Android specific exception\n"
+         "        }\n"
+         "    }\n"
+         "}\n";
+  return out.str();
+}
+
+std::string RawLocationAlertS60(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  out << "public class GeneratedApp extends MIDlet\n"
+         "        implements ProximityListener, LocationListener {\n"
+         "    float radius;\n"
+         "    Coordinates coordinates = null;\n"
+         "    boolean entering = false;\n"
+         "    long startTime, timeOut;\n"
+         "    LocationProvider lp;\n"
+         "\n"
+         "    public void proximityEvent(Coordinates coordinates, Location "
+         "lo) {\n"
+         "        long currentTime = System.currentTimeMillis() / 1000;\n"
+         "        if ((currentTime - startTime) > timeOut) { // time out\n"
+         "            lp.setLocationListener(null, -1, -1, -1);\n"
+         "            LocationProvider.removeProximityListener(this);\n"
+         "            return;\n"
+         "        }\n"
+         "        entering = true;\n"
+         "        // business logic for entry event\n"
+         "    }\n"
+         "\n"
+         "    public void locationUpdated(LocationProvider lp, Location lo) "
+         "{\n"
+         "        long currentTime = System.currentTimeMillis() / 1000;\n"
+         "        if ((currentTime - startTime) > timeOut) { // time out\n"
+         "            lp.setLocationListener(null, -1, -1, -1);\n"
+         "            LocationProvider.removeProximityListener(this);\n"
+         "            return;\n"
+         "        }\n"
+         "        if (entering == false) return;\n"
+         "        float distance = getDistance(coordinates, lo);\n"
+         "        if (distance > radius) {\n"
+         "            entering = false;\n"
+         "            // add business logic for exit event\n"
+         "            try { // registering for proximity events again\n"
+         "                LocationProvider.addProximityListener(this, "
+         "coordinates, radius);\n"
+         "            } catch (Exception e) {\n"
+         "                // Handle S60 specific exceptions\n"
+         "            }\n"
+         "        }\n"
+         "    }\n"
+         "\n"
+         "    public void startApp() {\n"
+         "        this.radius = "
+      << Var(config, "radius")
+      << ";\n"
+         "        this.coordinates = new Coordinates("
+      << Var(config, "latitude") << ", " << Var(config, "longitude") << ", "
+      << "(float) " << Var(config, "altitude")
+      << ");\n"
+         "        this.timeOut = "
+      << Var(config, "timer")
+      << " / 1000;\n"
+         "        this.startTime = System.currentTimeMillis() / 1000;\n"
+         "        try {\n"
+         "            Criteria criteria = new Criteria();\n"
+         "            "
+         "criteria.setPreferredResponseTime(Criteria.NO_REQUIREMENT);\n"
+         "            criteria.setVerticalAccuracy(50);\n"
+         "            lp = LocationProvider.getInstance(criteria);\n"
+         "            lp.setLocationListener(this, -1, -1, -1);\n"
+         "            LocationProvider.addProximityListener(this, "
+         "coordinates, radius);\n"
+         "        } catch (LocationException e) {\n"
+         "            // Handle S60 specific exceptions\n"
+         "        } catch (SecurityException e) {\n"
+         "            // Handle S60 specific exceptions\n"
+         "        }\n"
+         "    }\n"
+         "}\n";
+  return out.str();
+}
+
+std::string RawLocationAlertWebView(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  out << "function JSInit() {\n"
+         "    try {\n"
+         "        var action = \"raw.PROXIMITY_ALERT\";\n"
+         "        LocationManagerRaw.addProximityAlert("
+      << Var(config, "latitude") << ", " << Var(config, "longitude") << ",\n"
+      << "                " << Var(config, "radius") << ", "
+      << Var(config, "timer")
+      << ", action);\n"
+         "        // Raw WebView cannot receive Java callbacks: poll "
+         "manually.\n"
+         "        setInterval(function() {\n"
+         "            var events = "
+         "LocationManagerRaw.pollProximity(action);\n"
+         "            for (var i = 0; i < events.length; i++) {\n"
+         "                var entering = events[i].entering;\n"
+         "                var loc = LocationManagerRaw.getCurrentLocation(\""
+      << config.EffectiveProperty("provider")
+      << "\");\n"
+         "                /* business logic for handling proximity events "
+         "*/\n"
+         "            }\n"
+         "        }, 250);\n"
+         "    } catch (ex) {\n"
+         "        // inspect Android-specific error codes on ex.code\n"
+         "    }\n"
+         "}\n";
+  return out.str();
+}
+
+std::string RawGetLocation(const ProxyConfiguration& config,
+                           const std::string& platform) {
+  std::ostringstream out;
+  if (platform == "android") {
+    out << "try {\n"
+           "    LocationManager lm = (LocationManager)\n"
+           "            context.getSystemService(Context.LOCATION_SERVICE);\n"
+           "    Location loc = lm.getCurrentLocation(\""
+        << config.EffectiveProperty("provider")
+        << "\");\n"
+           "} catch (SecurityException e) {\n"
+           "    // Handle Android specific exception\n"
+           "}\n";
+  } else if (platform == "s60") {
+    out << "try {\n"
+           "    Criteria criteria = new Criteria();\n"
+           "    criteria.setVerticalAccuracy("
+        << config.EffectiveProperty("verticalAccuracy")
+        << ");\n"
+           "    criteria.setPreferredResponseTime("
+        << config.EffectiveProperty("preferredResponseTime")
+        << ");\n"
+           "    LocationProvider lp = LocationProvider.getInstance(criteria);\n"
+           "    Location lo = lp.getLocation("
+        << config.EffectiveProperty("locationTimeout")
+        << ");\n"
+           "    QualifiedCoordinates qc = lo.getQualifiedCoordinates();\n"
+           "} catch (LocationException e) {\n"
+           "    // Handle S60 specific exceptions\n"
+           "} catch (SecurityException e) {\n"
+           "    // Handle S60 specific exceptions\n"
+           "}\n";
+  } else {  // webview
+    out << "try {\n"
+           "    var loc = LocationManagerRaw.getCurrentLocation(\""
+        << config.EffectiveProperty("provider")
+        << "\");\n"
+           "    // raw object uses Android field names (bearing, time)\n"
+           "} catch (ex) {\n"
+           "    // inspect Android-specific error codes on ex.code\n"
+           "}\n";
+  }
+  return out.str();
+}
+
+std::string RawSendSms(const ProxyConfiguration& config,
+                       const std::string& platform) {
+  std::ostringstream out;
+  if (platform == "android") {
+    out << "public class GeneratedApp extends Activity {\n"
+           "    class SentReceiver extends IntentReceiver {\n"
+           "        public void onReceiveIntent(Context ctxt, Intent i) {\n"
+           "            int result = i.getIntExtra(\"result\", 1);\n"
+           "            /* business logic for delivery tracking */\n"
+           "        }\n"
+           "    }\n"
+           "\n"
+           "    static final String SMS_SENT = \"raw.SMS_SENT\";\n"
+           "    static final String SMS_DELIVERED = \"raw.SMS_DELIVERED\";\n"
+           "\n"
+           "    public void onCreate() {\n"
+           "        try {\n"
+           "            SentReceiver receiver = new SentReceiver();\n"
+           "            IntentFilter filter = new IntentFilter(SMS_SENT);\n"
+           "            filter.addAction(SMS_DELIVERED);\n"
+           "            registerReceiver(receiver, filter);\n"
+           "            SmsManager sm = SmsManager.getDefault();\n"
+           "            sm.sendTextMessage("
+        << Var(config, "destination") << ", null, " << Var(config, "text")
+        << ",\n"
+           "                    SMS_SENT, SMS_DELIVERED);\n"
+           "        } catch (IllegalArgumentException e) {\n"
+           "            // Handle Android specific exception\n"
+           "        } catch (SecurityException e) {\n"
+           "            // Handle Android specific exception\n"
+           "        }\n"
+           "    }\n"
+           "}\n";
+  } else if (platform == "s60") {
+    out << "public class GeneratedApp extends MIDlet {\n"
+           "    public void startApp() {\n"
+           "        MessageConnection conn = null;\n"
+           "        try {\n"
+           "            conn = (MessageConnection) Connector.open(\"sms://\" "
+           "+ "
+        << Var(config, "destination")
+        << ");\n"
+           "            TextMessage msg = (TextMessage)\n"
+           "                    "
+           "conn.newMessage(MessageConnection.TEXT_MESSAGE);\n"
+           "            msg.setPayloadText("
+        << Var(config, "text")
+        << ");\n"
+           "            conn.send(msg);\n"
+           "            // blocking send: no delivery reports on S60\n"
+           "        } catch (InterruptedIOException e) {\n"
+           "            // Handle S60 specific exceptions\n"
+           "        } catch (IOException e) {\n"
+           "            // Handle S60 specific exceptions\n"
+           "        } catch (SecurityException e) {\n"
+           "            // Handle S60 specific exceptions\n"
+           "        } finally {\n"
+           "            try { if (conn != null) conn.close(); } catch "
+           "(IOException e) {}\n"
+           "        }\n"
+           "    }\n"
+           "}\n";
+  } else {  // webview
+    out << "function JSInit() {\n"
+           "    try {\n"
+           "        var sentAction = \"raw.SMS_SENT\";\n"
+           "        var deliveredAction = \"raw.SMS_DELIVERED\";\n"
+           "        SmsManagerRaw.sendTextMessage("
+        << Var(config, "destination") << ", null, " << Var(config, "text")
+        << ",\n"
+           "                sentAction, deliveredAction);\n"
+           "        // Raw WebView cannot receive Java callbacks: poll.\n"
+           "        setInterval(function() {\n"
+           "            var notes = SmsManagerRaw.pollStatus(sentAction);\n"
+           "            for (var i = 0; i < notes.length; i++) {\n"
+           "                var result = notes[i].result;\n"
+           "                /* business logic for delivery tracking */\n"
+           "            }\n"
+           "        }, 250);\n"
+           "    } catch (ex) {\n"
+           "        // inspect Android-specific error codes on ex.code\n"
+           "    }\n"
+           "}\n";
+  }
+  return out.str();
+}
+
+std::string RawCall(const ProxyConfiguration& config,
+                    const std::string& platform) {
+  std::ostringstream out;
+  if (platform == "android") {
+    out << "try {\n"
+           "    TelephonyManager tm = (TelephonyManager)\n"
+           "            context.getSystemService(Context.TELEPHONY_SERVICE);\n"
+           "    // semi-internal IPhone surface\n"
+           "    tm.call("
+        << Var(config, "number")
+        << ");\n"
+           "} catch (SecurityException e) {\n"
+           "    // Handle Android specific exception\n"
+           "}\n";
+  } else if (platform == "webview") {
+    out << "try {\n"
+           "    TelephonyRaw.call("
+        << Var(config, "number")
+        << ");\n"
+           "} catch (ex) {\n"
+           "    // inspect Android-specific error codes on ex.code\n"
+           "}\n";
+  } else {
+    out << "// The Call interface is not exposed on S60.\n";
+  }
+  return out.str();
+}
+
+std::string RawHttp(const ProxyConfiguration& config,
+                    const std::string& platform, const std::string& method) {
+  std::ostringstream out;
+  const bool is_post = method == "post";
+  if (platform == "android") {
+    out << "try {\n"
+           "    DefaultHttpClient client = new DefaultHttpClient();\n";
+    if (is_post) {
+      out << "    HttpPost request = new HttpPost(" << Var(config, "url")
+          << ");\n"
+             "    request.setEntity(new StringEntity("
+          << Var(config, "body")
+          << "));\n"
+             "    request.addHeader(\"Content-Type\", "
+          << Var(config, "contentType") << ");\n";
+    } else {
+      out << "    HttpGet request = new HttpGet(" << Var(config, "url")
+          << ");\n";
+    }
+    out << "    HttpResponse response = client.execute(request);\n"
+           "    int status = response.getStatusLine().getStatusCode();\n"
+           "} catch (ClientProtocolException e) {\n"
+           "    // Handle Android specific exception\n"
+           "} catch (ConnectTimeoutException e) {\n"
+           "    // Handle Android specific exception\n"
+           "}\n";
+  } else if (platform == "s60") {
+    out << "HttpConnection conn = null;\n"
+           "try {\n"
+           "    conn = (HttpConnection) Connector.open("
+        << Var(config, "url") << ");\n";
+    if (is_post) {
+      out << "    conn.setRequestMethod(HttpConnection.POST);\n"
+             "    conn.setRequestProperty(\"Content-Type\", "
+          << Var(config, "contentType")
+          << ");\n"
+             "    OutputStream os = conn.openOutputStream();\n"
+             "    os.write("
+          << Var(config, "body") << ".getBytes());\n";
+    } else {
+      out << "    conn.setRequestMethod(HttpConnection.GET);\n";
+    }
+    out << "    int status = conn.getResponseCode();\n"
+           "} catch (InterruptedIOException e) {\n"
+           "    // Handle S60 specific exceptions\n"
+           "} catch (IOException e) {\n"
+           "    // Handle S60 specific exceptions\n"
+           "} finally {\n"
+           "    try { if (conn != null) conn.close(); } catch (IOException "
+           "e) {}\n"
+           "}\n";
+  } else {  // webview
+    out << "try {\n";
+    if (is_post) {
+      out << "    var response = HttpClientRaw.execute(\"POST\", "
+          << Var(config, "url") << ", " << Var(config, "body") << ");\n";
+    } else {
+      out << "    var response = HttpClientRaw.execute(\"GET\", "
+          << Var(config, "url") << ");\n";
+    }
+    out << "    var status = response.status;\n"
+           "} catch (ex) {\n"
+           "    // inspect Android-specific error codes on ex.code\n"
+           "}\n";
+  }
+  return out.str();
+}
+
+// --- iPhone raw templates (the verbose delegate/openURL boilerplate) -----
+
+std::string RawLocationAlertIPhone(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  out << "// iPhone OS has no region monitoring (pre-iOS 4): geofence by\n"
+         "// hand from the CoreLocation update stream.\n"
+         "@implementation GeneratedAppViewController // "
+         "<CLLocationManagerDelegate>\n"
+         "- (void)viewDidLoad {\n"
+         "    self.inside = NO;\n"
+         "    self.manager = [[CLLocationManager alloc] init];\n"
+         "    self.manager.delegate = self;\n"
+         "    self.manager.desiredAccuracy = "
+         "kCLLocationAccuracyHundredMeters;\n"
+         "    [self.manager startUpdatingLocation];\n"
+         "}\n"
+         "\n"
+         "- (void)locationManager:(CLLocationManager *)manager\n"
+         "    didUpdateToLocation:(CLLocation *)newLocation\n"
+         "           fromLocation:(CLLocation *)oldLocation {\n"
+         "    CLLocation *center = [[CLLocation alloc] initWithLatitude:"
+      << Var(config, "latitude") << "\n                    longitude:"
+      << Var(config, "longitude")
+      << "];\n"
+         "    CLLocationDistance d = [newLocation "
+         "getDistanceFrom:center];\n"
+         "    BOOL insideNow = d <= "
+      << Var(config, "radius")
+      << ";\n"
+         "    if (insideNow != self.inside) {\n"
+         "        self.inside = insideNow;\n"
+         "        /* business logic for handling proximity events */\n"
+         "    }\n"
+         "}\n"
+         "\n"
+         "- (void)locationManager:(CLLocationManager *)manager\n"
+         "       didFailWithError:(NSError *)error {\n"
+         "    if (error.code == kCLErrorDenied) {\n"
+         "        // Handle iPhone specific error\n"
+         "        [self.manager stopUpdatingLocation];\n"
+         "    }\n"
+         "}\n"
+         "@end\n";
+  return out.str();
+}
+
+std::string RawGetLocationIPhone(const ProxyConfiguration&) {
+  return "// CoreLocation is streaming-only: block on the run loop for the\n"
+         "// first fix by hand.\n"
+         "self.manager = [[CLLocationManager alloc] init];\n"
+         "self.manager.delegate = self;\n"
+         "[self.manager startUpdatingLocation];\n"
+         "while (!self.gotFix && !self.denied) {\n"
+         "    [[NSRunLoop currentRunLoop]\n"
+         "        runMode:NSDefaultRunLoopMode\n"
+         "        beforeDate:[NSDate dateWithTimeIntervalSinceNow:0.1]];\n"
+         "}\n"
+         "[self.manager stopUpdatingLocation];\n"
+         "if (self.denied) {\n"
+         "    // Handle iPhone specific error (kCLErrorDenied)\n"
+         "}\n";
+}
+
+std::string RawSendSmsIPhone(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  out << "// No programmatic SMS on iPhone OS: hand off to the system\n"
+         "// composer; the app cannot observe delivery at all.\n"
+         "NSString *url = [NSString stringWithFormat:@\"sms:%@\", "
+      << Var(config, "destination")
+      << "];\n"
+         "BOOL opened = [[UIApplication sharedApplication]\n"
+         "    openURL:[NSURL URLWithString:url]];\n"
+         "if (!opened) {\n"
+         "    // Handle iPhone specific error\n"
+         "}\n";
+  return out.str();
+}
+
+std::string RawCallIPhone(const ProxyConfiguration& config) {
+  std::ostringstream out;
+  out << "NSString *url = [NSString stringWithFormat:@\"tel:%@\", "
+      << Var(config, "number")
+      << "];\n"
+         "BOOL opened = [[UIApplication sharedApplication]\n"
+         "    openURL:[NSURL URLWithString:url]];\n"
+         "if (!opened) {\n"
+         "    // Handle iPhone specific error\n"
+         "}\n";
+  return out.str();
+}
+
+std::string RawHttpIPhone(const ProxyConfiguration& config,
+                          const std::string& method) {
+  std::ostringstream out;
+  const bool is_post = method == "post";
+  out << "NSMutableURLRequest *request = [NSMutableURLRequest\n"
+         "    requestWithURL:[NSURL URLWithString:"
+      << Var(config, "url") << "]];\n";
+  if (is_post) {
+    out << "[request setHTTPMethod:@\"POST\"];\n"
+           "[request setHTTPBody:[" << Var(config, "body")
+        << " dataUsingEncoding:NSUTF8StringEncoding]];\n"
+           "[request setValue:" << Var(config, "contentType")
+        << " forHTTPHeaderField:@\"Content-Type\"];\n";
+  }
+  out << "NSError *error = nil;\n"
+         "NSURLResponse *response = nil;\n"
+         "NSData *data = [NSURLConnection sendSynchronousRequest:request\n"
+         "    returningResponse:&response error:&error];\n"
+         "if (error != nil) {\n"
+         "    // Handle iPhone specific NSError (NSURLErrorDomain)\n"
+         "}\n";
+  return out.str();
+}
+
+// --- Pim raw templates ----------------------------------------------------
+
+std::string RawPim(const ProxyConfiguration& config,
+                   const std::string& platform) {
+  (void)config;
+  std::ostringstream out;
+  if (platform == "android") {
+    out << "Cursor cursor = null;\n"
+           "try {\n"
+           "    cursor = context.getContentResolver().query(\n"
+           "            Contacts.People.CONTENT_URI, PROJECTION, null, "
+           "null, null);\n"
+           "    while (cursor.moveToNext()) {\n"
+           "        long id = cursor.getLong(0);\n"
+           "        String name = cursor.getString(1);\n"
+           "        String number = cursor.getString(2);\n"
+           "        /* business logic per contact */\n"
+           "    }\n"
+           "} catch (SecurityException e) {\n"
+           "    // Handle Android specific exception\n"
+           "} finally {\n"
+           "    if (cursor != null) cursor.close();\n"
+           "}\n";
+  } else if (platform == "s60") {
+    out << "ContactList list = null;\n"
+           "try {\n"
+           "    list = (ContactList) PIM.getInstance()\n"
+           "            .openPIMList(PIM.CONTACT_LIST, PIM.READ_ONLY);\n"
+           "    Enumeration items = list.items();\n"
+           "    while (items.hasMoreElements()) {\n"
+           "        Contact c = (Contact) items.nextElement();\n"
+           "        String name = c.countValues(Contact.NAME) > 0\n"
+           "                ? c.getString(Contact.NAME, 0) : \"\";\n"
+           "        String tel = c.countValues(Contact.TEL) > 0\n"
+           "                ? c.getString(Contact.TEL, 0) : \"\";\n"
+           "        /* business logic per contact */\n"
+           "    }\n"
+           "} catch (PIMException e) {\n"
+           "    // Handle S60 specific exceptions\n"
+           "} catch (SecurityException e) {\n"
+           "    // Handle S60 specific exceptions\n"
+           "} finally {\n"
+           "    try { if (list != null) list.close(); } catch (PIMException "
+           "e) {}\n"
+           "}\n";
+  } else if (platform == "iphone") {
+    out << "ABAddressBookRef book = ABAddressBookCreate();\n"
+           "CFArrayRef people = "
+           "ABAddressBookCopyArrayOfAllPeople(book);\n"
+           "for (CFIndex i = 0; i < CFArrayGetCount(people); i++) {\n"
+           "    ABRecordRef person = CFArrayGetValueAtIndex(people, i);\n"
+           "    CFStringRef name = ABRecordCopyCompositeName(person);\n"
+           "    ABMultiValueRef phones = ABRecordCopyValue(person,\n"
+           "            kABPersonPhoneProperty);\n"
+           "    /* business logic per contact */\n"
+           "    CFRelease(name);\n"
+           "    CFRelease(phones);\n"
+           "}\n"
+           "CFRelease(people);\n"
+           "CFRelease(book);\n";
+  } else {  // webview
+    out << "try {\n"
+           "    var contacts = ContactsRaw.listContacts();\n"
+           "    for (var i = 0; i < contacts.length; i++) {\n"
+           "        var name = contacts[i].display_name;\n"
+           "        var number = contacts[i].number;\n"
+           "        /* business logic per contact */\n"
+           "    }\n"
+           "} catch (ex) {\n"
+           "    // inspect Android-specific error codes on ex.code\n"
+           "}\n";
+  }
+  return out.str();
+}
+
+std::string RawCalendar(const ProxyConfiguration&,
+                        const std::string& platform) {
+  std::ostringstream out;
+  if (platform == "android") {
+    out << "Cursor cursor = null;\n"
+           "try {\n"
+           "    cursor = context.getContentResolver().query(\n"
+           "            Uri.parse(\"content://calendar/events\"),\n"
+           "            PROJECTION, null, null, \"dtstart ASC\");\n"
+           "    while (cursor.moveToNext()) {\n"
+           "        String title = cursor.getString(1);\n"
+           "        long dtstart = cursor.getLong(2);\n"
+           "        /* business logic per event */\n"
+           "    }\n"
+           "} catch (SecurityException e) {\n"
+           "    // Handle Android specific exception\n"
+           "} finally {\n"
+           "    if (cursor != null) cursor.close();\n"
+           "}\n";
+  } else if (platform == "s60") {
+    out << "EventList list = null;\n"
+           "try {\n"
+           "    list = (EventList) PIM.getInstance()\n"
+           "            .openPIMList(PIM.EVENT_LIST, PIM.READ_ONLY);\n"
+           "    Enumeration items = list.items();\n"
+           "    while (items.hasMoreElements()) {\n"
+           "        Event e = (Event) items.nextElement();\n"
+           "        String summary = e.countValues(Event.SUMMARY) > 0\n"
+           "                ? e.getString(Event.SUMMARY, 0) : \"\";\n"
+           "        long start = e.getDate(Event.START, 0);\n"
+           "        /* business logic per event */\n"
+           "    }\n"
+           "} catch (PIMException e) {\n"
+           "    // Handle S60 specific exceptions\n"
+           "} catch (SecurityException e) {\n"
+           "    // Handle S60 specific exceptions\n"
+           "} finally {\n"
+           "    try { if (list != null) list.close(); } catch (PIMException "
+           "e) {}\n"
+           "}\n";
+  } else if (platform == "webview") {
+    out << "try {\n"
+           "    var events = CalendarRaw.listEvents();\n"
+           "    for (var i = 0; i < events.length; i++) {\n"
+           "        /* business logic per event */\n"
+           "    }\n"
+           "} catch (ex) {\n"
+           "    // inspect Android-specific error codes on ex.code\n"
+           "}\n";
+  } else {
+    out << "// iPhone OS exposes no public calendar API (pre-EventKit).\n";
+  }
+  return out.str();
+}
+
+std::string RawApplication(const ProxyConfiguration& config) {
+  const std::string& platform = config.platform();
+  const std::string& proxy = config.proxy();
+  const std::string& method = config.method();
+  if (proxy == "Location" && method == "addProximityAlert") {
+    if (platform == "android") return RawLocationAlertAndroid(config);
+    if (platform == "s60") return RawLocationAlertS60(config);
+    if (platform == "iphone") return RawLocationAlertIPhone(config);
+    return RawLocationAlertWebView(config);
+  }
+  if (proxy == "Location" && method == "getLocation") {
+    if (platform == "iphone") return RawGetLocationIPhone(config);
+    return RawGetLocation(config, platform);
+  }
+  if (proxy == "Sms" && method == "sendTextMessage") {
+    if (platform == "iphone") return RawSendSmsIPhone(config);
+    return RawSendSms(config, platform);
+  }
+  if (proxy == "Call") {
+    if (platform == "iphone") return RawCallIPhone(config);
+    return RawCall(config, platform);
+  }
+  if (proxy == "Http") {
+    if (platform == "iphone") return RawHttpIPhone(config, method);
+    return RawHttp(config, platform, method);
+  }
+  if (proxy == "Pim") return RawPim(config, platform);
+  if (proxy == "Calendar") return RawCalendar(config, platform);
+  throw std::invalid_argument("no raw template for " + proxy + "." + method +
+                              " on " + platform);
+}
+
+}  // namespace
+
+GeneratedCode CodeGenerator::InvocationSnippet(const ProxyConfiguration& config,
+                                               CodeStyle style) const {
+  GeneratedCode out;
+  out.language = config.language();
+  if (style == CodeStyle::kProxy) {
+    if (config.language() == "javascript") {
+      out.code = ProxyInvocationJs(config);
+    } else if (config.language() == "objc") {
+      out.code = ProxyInvocationObjC(config);
+    } else {
+      out.code = ProxyInvocationJava(config);
+    }
+  } else {
+    out.code = RawApplication(config);
+  }
+  return out;
+}
+
+GeneratedCode CodeGenerator::ApplicationFragment(
+    const ProxyConfiguration& config, CodeStyle style) const {
+  GeneratedCode out;
+  out.language = config.language();
+  if (style == CodeStyle::kRaw) {
+    out.code = RawApplication(config);
+    return out;
+  }
+  if (config.platform() == "android") {
+    out.code = ProxyApplicationAndroid(config);
+  } else if (config.platform() == "s60") {
+    out.code = ProxyApplicationS60(config);
+  } else if (config.platform() == "iphone") {
+    out.code = ProxyApplicationIPhone(config);
+  } else {
+    out.code = ProxyApplicationWebView(config);
+  }
+  return out;
+}
+
+}  // namespace mobivine::plugin

@@ -1,0 +1,47 @@
+// Code generation (paper §4.2 "Proxy Configuration and Code Generation").
+//
+// From a validated ProxyConfiguration the plugin generates the invocation
+// snippet a developer would drag-and-drop, and a complete application
+// fragment around it. Both come in two styles:
+//
+//  * kProxy — through the M-Proxy model (the paper's Figures 8 and 9);
+//  * kRaw   — directly against the native platform APIs (Figure 2).
+//
+// Generating BOTH from one configuration is what makes the complexity (E2)
+// and portability (E3) measurements honest: the same functionality, the
+// same parameter values, with and without MobiVine.
+#pragma once
+
+#include <string>
+
+#include "plugin/configuration.h"
+
+namespace mobivine::plugin {
+
+enum class CodeStyle { kProxy, kRaw };
+
+struct GeneratedCode {
+  std::string language;  // "java" | "javascript"
+  std::string code;
+};
+
+class CodeGenerator {
+ public:
+  explicit CodeGenerator(const core::DescriptorStore& store) : store_(store) {}
+
+  /// The drag-and-drop snippet (the dialog's Source preview): the
+  /// configured API invocation with surrounding error handling.
+  [[nodiscard]] GeneratedCode InvocationSnippet(
+      const ProxyConfiguration& config, CodeStyle style) const;
+
+  /// A complete minimal application exercising the configured API:
+  /// lifecycle wrapper (Activity / MIDlet / JSInit) + invocation +
+  /// callback handler. This is what the E2/E3 metrics measure.
+  [[nodiscard]] GeneratedCode ApplicationFragment(
+      const ProxyConfiguration& config, CodeStyle style) const;
+
+ private:
+  const core::DescriptorStore& store_;
+};
+
+}  // namespace mobivine::plugin

@@ -1,0 +1,129 @@
+#include "plugin/configuration.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobivine::plugin {
+
+ProxyConfiguration ProxyConfiguration::For(
+    const core::ProxyDescriptor& descriptor, const std::string& method,
+    const std::string& platform) {
+  const core::MethodSpec* spec = descriptor.semantic().FindMethod(method);
+  if (spec == nullptr) {
+    throw std::invalid_argument("proxy '" + descriptor.name() +
+                                "' has no method '" + method + "'");
+  }
+  const core::BindingPlane* binding = descriptor.FindBinding(platform);
+  if (binding == nullptr) {
+    throw std::invalid_argument("proxy '" + descriptor.name() +
+                                "' has no binding for platform '" + platform +
+                                "'");
+  }
+  const core::SyntacticPlane* syntax =
+      descriptor.FindSyntactic(binding->language);
+  const core::MethodSyntax* method_syntax =
+      syntax ? syntax->FindMethod(method) : nullptr;
+
+  ProxyConfiguration config;
+  config.proxy_ = descriptor.name();
+  config.method_ = method;
+  config.platform_ = platform;
+  config.language_ = binding->language;
+  config.implementation_class_ = binding->implementation_class;
+  config.callback_name_ = spec->callback_name;
+  if (method_syntax != nullptr) {
+    config.callback_type_ = method_syntax->callback_type;
+    config.callback_method_ = method_syntax->callback_method;
+    config.return_type_ = method_syntax->return_type;
+  }
+
+  for (size_t i = 0; i < spec->parameters.size(); ++i) {
+    const core::ParameterSpec& param = spec->parameters[i];
+    VariableField field;
+    field.name = param.name;
+    field.dimension = param.dimension;
+    field.description = param.description;
+    field.allowed_values = param.allowed_values;
+    if (method_syntax != nullptr &&
+        i < method_syntax->parameter_types.size()) {
+      field.type = method_syntax->parameter_types[i];
+    }
+    config.variables_.push_back(std::move(field));
+  }
+
+  for (const core::PropertySpec& spec_property : binding->properties) {
+    PropertyField field;
+    field.name = spec_property.name;
+    field.type = spec_property.type;
+    field.description = spec_property.description;
+    field.default_value = spec_property.default_value;
+    field.allowed_values = spec_property.allowed_values;
+    field.required = spec_property.required;
+    config.properties_.push_back(std::move(field));
+  }
+  return config;
+}
+
+bool ProxyConfiguration::SetVariable(const std::string& name,
+                                     const std::string& value) {
+  for (auto& field : variables_) {
+    if (field.name == name) {
+      field.value = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ProxyConfiguration::SetProperty(const std::string& name,
+                                     const std::string& value) {
+  for (auto& field : properties_) {
+    if (field.name == name) {
+      field.value = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ProxyConfiguration::EffectiveProperty(
+    const std::string& name) const {
+  for (const auto& field : properties_) {
+    if (field.name == name) {
+      return field.value.empty() ? field.default_value : field.value;
+    }
+  }
+  return "";
+}
+
+std::vector<std::string> ProxyConfiguration::Validate() const {
+  std::vector<std::string> problems;
+  for (const auto& field : variables_) {
+    if (field.value.empty()) {
+      problems.push_back("variable '" + field.name + "' has no value");
+      continue;
+    }
+    if (!field.allowed_values.empty() &&
+        std::find(field.allowed_values.begin(), field.allowed_values.end(),
+                  field.value) == field.allowed_values.end()) {
+      problems.push_back("variable '" + field.name + "' value '" +
+                         field.value + "' is not allowed");
+    }
+  }
+  for (const auto& field : properties_) {
+    const std::string effective =
+        field.value.empty() ? field.default_value : field.value;
+    if (field.required && effective.empty() && field.type != "handle") {
+      problems.push_back("required property '" + field.name + "' is not set");
+    }
+    if (!effective.empty() && !field.allowed_values.empty() &&
+        std::find(field.allowed_values.begin(), field.allowed_values.end(),
+                  effective) == field.allowed_values.end()) {
+      problems.push_back("property '" + field.name + "' value '" + effective +
+                         "' is not allowed");
+    }
+  }
+  return problems;
+}
+
+}  // namespace mobivine::plugin

@@ -1,0 +1,88 @@
+// The Proxy Configuration dialog model (paper §4.2, Figure 7(b)).
+//
+// For a chosen (proxy, method, platform), the dialog shows two columns:
+// Variables (the common interface's parameters, typed by the platform's
+// syntactic plane) and Properties (the binding plane's platform-specific
+// attributes with description, default and allowed values). The developer
+// fills values; Validate() reports problems; the result feeds codegen.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/descriptor/proxy_descriptor.h"
+
+namespace mobivine::plugin {
+
+struct VariableField {
+  std::string name;        // semantic parameter name
+  std::string dimension;   // semantic dimension ("degrees", ...)
+  std::string type;        // syntactic type for the platform's language
+  std::string description;
+  std::vector<std::string> allowed_values;
+  std::string value;  // the developer's input (source literal)
+};
+
+struct PropertyField {
+  std::string name;
+  std::string type;
+  std::string description;
+  std::string default_value;
+  std::vector<std::string> allowed_values;
+  bool required = false;
+  std::string value;  // empty = use default / unset
+};
+
+class ProxyConfiguration {
+ public:
+  /// Build the dialog model. Throws std::invalid_argument when the method
+  /// is unknown or the proxy has no binding for the platform.
+  static ProxyConfiguration For(const core::ProxyDescriptor& descriptor,
+                                const std::string& method,
+                                const std::string& platform);
+
+  const std::string& proxy() const { return proxy_; }
+  const std::string& method() const { return method_; }
+  const std::string& platform() const { return platform_; }
+  const std::string& language() const { return language_; }
+  const std::string& implementation_class() const {
+    return implementation_class_;
+  }
+  bool has_callback() const { return !callback_name_.empty(); }
+  const std::string& callback_name() const { return callback_name_; }
+  const std::string& callback_type() const { return callback_type_; }
+  const std::string& callback_method() const { return callback_method_; }
+  const std::string& return_type() const { return return_type_; }
+
+  std::vector<VariableField>& variables() { return variables_; }
+  const std::vector<VariableField>& variables() const { return variables_; }
+  std::vector<PropertyField>& properties() { return properties_; }
+  const std::vector<PropertyField>& properties() const { return properties_; }
+
+  /// Set a variable/property value. Returns false for unknown names.
+  bool SetVariable(const std::string& name, const std::string& value);
+  bool SetProperty(const std::string& name, const std::string& value);
+
+  /// Effective property value (explicit value, else default).
+  [[nodiscard]] std::string EffectiveProperty(const std::string& name) const;
+
+  /// Problems: required property unset, value outside allowed set, or a
+  /// variable left empty. Empty result = ready for codegen.
+  [[nodiscard]] std::vector<std::string> Validate() const;
+
+ private:
+  std::string proxy_;
+  std::string method_;
+  std::string platform_;
+  std::string language_;
+  std::string implementation_class_;
+  std::string callback_name_;
+  std::string callback_type_;
+  std::string callback_method_;
+  std::string return_type_;
+  std::vector<VariableField> variables_;
+  std::vector<PropertyField> properties_;
+};
+
+}  // namespace mobivine::plugin

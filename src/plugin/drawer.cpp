@@ -1,0 +1,63 @@
+#include "plugin/drawer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mobivine::plugin {
+
+ProxyDrawer::ProxyDrawer(const core::DescriptorStore& store,
+                         std::string platform)
+    : platform_(std::move(platform)) {
+  for (const std::string& name : store.ProxyNames()) {
+    const core::ProxyDescriptor* descriptor = store.Find(name);
+    if (!descriptor->SupportsPlatform(platform_)) continue;
+    const core::SemanticPlane& semantic = descriptor->semantic();
+
+    DrawerCategory* category = nullptr;
+    for (auto& existing : categories_) {
+      if (existing.name == semantic.category) category = &existing;
+    }
+    if (category == nullptr) {
+      categories_.push_back({semantic.category, {}});
+      category = &categories_.back();
+    }
+    for (const core::MethodSpec& method : semantic.methods) {
+      category->items.push_back(
+          {semantic.interface_name, method.name, method.description});
+    }
+  }
+  std::sort(categories_.begin(), categories_.end(),
+            [](const DrawerCategory& a, const DrawerCategory& b) {
+              return a.name < b.name;
+            });
+}
+
+const DrawerItem* ProxyDrawer::Find(const std::string& proxy,
+                                    const std::string& method) const {
+  for (const auto& category : categories_) {
+    for (const auto& item : category.items) {
+      if (item.proxy == proxy && item.method == method) return &item;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t ProxyDrawer::item_count() const {
+  std::size_t count = 0;
+  for (const auto& category : categories_) count += category.items.size();
+  return count;
+}
+
+std::string ProxyDrawer::Render() const {
+  std::ostringstream out;
+  out << "Proxy Drawer [" << platform_ << "]\n";
+  for (const auto& category : categories_) {
+    out << "  " << category.name << "\n";
+    for (const auto& item : category.items) {
+      out << "    - " << item.proxy << "." << item.method << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mobivine::plugin

@@ -1,0 +1,47 @@
+// The Proxy Drawer (paper §4.2, Figure 7(a)): a store of proxies organized
+// as categories with the proxy APIs as items, filtered to what the target
+// platform supports. The Eclipse Snippet-Contributor UI is out of scope;
+// this is the model it would render, and what the codegen consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/descriptor/proxy_descriptor.h"
+
+namespace mobivine::plugin {
+
+struct DrawerItem {
+  std::string proxy;   // "Location"
+  std::string method;  // "addProximityAlert"
+  std::string description;
+};
+
+struct DrawerCategory {
+  std::string name;  // semantic plane's category ("Location", "Messaging"…)
+  std::vector<DrawerItem> items;
+};
+
+class ProxyDrawer {
+ public:
+  /// Build the drawer for one platform: only proxies with a binding plane
+  /// for it appear (the S60 drawer has no Call category).
+  ProxyDrawer(const core::DescriptorStore& store, std::string platform);
+
+  const std::string& platform() const { return platform_; }
+  const std::vector<DrawerCategory>& categories() const { return categories_; }
+
+  [[nodiscard]] const DrawerItem* Find(const std::string& proxy,
+                                       const std::string& method) const;
+  [[nodiscard]] std::size_t item_count() const;
+
+  /// Plain-text rendering (one line per item), used by the codegen_tool
+  /// example and tests.
+  [[nodiscard]] std::string Render() const;
+
+ private:
+  std::string platform_;
+  std::vector<DrawerCategory> categories_;
+};
+
+}  // namespace mobivine::plugin

@@ -1,0 +1,152 @@
+#include "plugin/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/strings.h"
+
+namespace mobivine::plugin {
+
+namespace {
+
+/// Strip // and /* */ comments (string-literal aware, both quote styles).
+std::string StripComments(const std::string& code) {
+  std::string out;
+  out.reserve(code.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString } state =
+      State::kCode;
+  char quote = '"';
+  for (size_t i = 0; i < code.size(); ++i) {
+    char c = code[i];
+    char next = i + 1 < code.size() ? code[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"' || c == '\'') {
+          state = State::kString;
+          quote = c;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out += c;  // keep line structure
+        }
+        break;
+      case State::kString:
+        out += c;
+        if (c == '\\' && next != '\0') {
+          out += next;
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$' ||
+         c == '.';
+}
+
+}  // namespace
+
+std::vector<std::string> SignificantLines(const std::string& code) {
+  std::vector<std::string> out;
+  const std::string stripped = StripComments(code);
+  for (const std::string& raw : support::Split(stripped, '\n')) {
+    std::string line(support::Trim(raw));
+    if (!line.empty()) out.push_back(std::move(line));
+  }
+  return out;
+}
+
+CodeMetrics Measure(const std::string& code) {
+  CodeMetrics metrics;
+  const std::string stripped = StripComments(code);
+  metrics.lines = static_cast<int>(SignificantLines(code).size());
+
+  // Tokenize: identifiers/numbers (with dots), string literals, and single
+  // punctuation characters.
+  std::vector<std::string> words;
+  for (size_t i = 0; i < stripped.size();) {
+    char c = stripped[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < stripped.size() && stripped[j] != quote) {
+        if (stripped[j] == '\\') ++j;
+        ++j;
+      }
+      words.emplace_back("<string>");
+      i = std::min(j + 1, stripped.size());
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t j = i;
+      while (j < stripped.size() && IsIdentChar(stripped[j])) ++j;
+      words.emplace_back(stripped.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    words.emplace_back(1, c);
+    ++i;
+  }
+  metrics.tokens = static_cast<int>(words.size());
+
+  for (size_t i = 0; i < words.size(); ++i) {
+    const std::string& word = words[i];
+    if (word == "if" || word == "else" || word == "for" || word == "while" ||
+        word == "catch" || word == "case" || word == "?") {
+      ++metrics.branches;
+    }
+  }
+  return metrics;
+}
+
+double LineSimilarity(const std::string& a, const std::string& b) {
+  const std::vector<std::string> lines_a = SignificantLines(a);
+  const std::vector<std::string> lines_b = SignificantLines(b);
+  if (lines_a.empty() && lines_b.empty()) return 1.0;
+  if (lines_a.empty() || lines_b.empty()) return 0.0;
+
+  // Classic O(n*m) LCS on lines.
+  const size_t n = lines_a.size();
+  const size_t m = lines_b.size();
+  std::vector<std::vector<int>> dp(n + 1, std::vector<int>(m + 1, 0));
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (lines_a[i - 1] == lines_b[j - 1]) {
+        dp[i][j] = dp[i - 1][j - 1] + 1;
+      } else {
+        dp[i][j] = std::max(dp[i - 1][j], dp[i][j - 1]);
+      }
+    }
+  }
+  return 2.0 * dp[n][m] / static_cast<double>(n + m);
+}
+
+}  // namespace mobivine::plugin

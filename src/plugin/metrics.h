@@ -1,0 +1,32 @@
+// Code metrics for the software-engineering evaluation (paper §5).
+//
+// E2 (complexity) measures generated fragments with and without proxies;
+// E3 (portability) measures cross-platform similarity of the same
+// fragment. The measures are deliberately simple and language-agnostic:
+// non-blank LoC, lexical token count (comments stripped), branch-point
+// count, and a line-based LCS similarity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mobivine::plugin {
+
+struct CodeMetrics {
+  int lines = 0;     ///< non-blank, non-comment-only lines
+  int tokens = 0;    ///< lexical tokens, comments and whitespace stripped
+  int branches = 0;  ///< if / else / for / while / catch / case / ?: count
+};
+
+[[nodiscard]] CodeMetrics Measure(const std::string& code);
+
+/// Similarity in [0, 1]: 2 * LCS(lines) / (|a| + |b|) over trimmed
+/// non-blank lines. 1.0 = identical modulo whitespace.
+[[nodiscard]] double LineSimilarity(const std::string& a,
+                                    const std::string& b);
+
+/// The trimmed non-blank lines of a fragment (exposed for tests).
+[[nodiscard]] std::vector<std::string> SignificantLines(
+    const std::string& code);
+
+}  // namespace mobivine::plugin

@@ -1,0 +1,210 @@
+#include "plugin/packaging.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "android/android_platform.h"
+#include "s60/s60_platform.h"
+#include "support/strings.h"
+
+namespace mobivine::plugin {
+
+bool Jar::HasEntry(const std::string& path) const {
+  return std::any_of(entries.begin(), entries.end(),
+                     [&path](const JarEntry& entry) {
+                       return entry.path == path;
+                     });
+}
+
+std::size_t Jar::TotalSize() const {
+  std::size_t total = 0;
+  for (const auto& entry : entries) total += entry.size;
+  return total;
+}
+
+Jar ArtifactJar(const std::string& artifact_name) {
+  // Synthesized contents: class entries named after the artifact. Sizes are
+  // representative constants so merge bookkeeping is observable in tests.
+  Jar jar;
+  jar.name = artifact_name;
+  const std::string stem =
+      artifact_name.substr(0, artifact_name.rfind('.'));
+  if (support::EndsWith(artifact_name, ".js")) {
+    jar.entries.push_back({stem + ".js", 4096});
+    return jar;
+  }
+  if (support::EndsWith(artifact_name, ".a")) {
+    jar.entries.push_back({"lib/" + artifact_name, 24576});
+    return jar;
+  }
+  jar.entries.push_back({"com/ibm/proxies/" + stem + "/ProxyImpl.class", 6144});
+  jar.entries.push_back(
+      {"com/ibm/proxies/" + stem + "/Listeners.class", 2048});
+  jar.entries.push_back({"META-INF/MANIFEST.MF", 128});
+  return jar;
+}
+
+std::vector<std::string> RequiredPermissions(const std::string& proxy,
+                                             const std::string& platform) {
+  if (platform == "android" || platform == "webview") {
+    if (proxy == "Location") return {android::permissions::kFineLocation};
+    if (proxy == "Sms") return {android::permissions::kSendSms};
+    if (proxy == "Call") return {android::permissions::kCallPhone};
+    if (proxy == "Http") return {android::permissions::kInternet};
+    if (proxy == "Pim") return {android::permissions::kReadContacts};
+    if (proxy == "Calendar") return {android::permissions::kReadCalendar};
+    return {};
+  }
+  if (platform == "s60") {
+    if (proxy == "Location") return {s60::permissions::kLocation};
+    if (proxy == "Sms") return {s60::permissions::kSmsSend};
+    if (proxy == "Http") return {s60::permissions::kHttp};
+    if (proxy == "Pim") return {s60::permissions::kPimRead};
+    if (proxy == "Calendar") return {s60::permissions::kPimEventRead};
+    return {};
+  }
+  // iphone: runtime consent dialogs, nothing declared at package time.
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// S60
+// ---------------------------------------------------------------------------
+
+S60Package S60Packager::Package(
+    const Jar& application_jar, const std::vector<std::string>& used_proxies,
+    const std::string& suite_name,
+    const std::vector<std::pair<std::string, std::string>>& ota_properties)
+    const {
+  S60Package package;
+  package.suite_jar.name = suite_name + ".jar";
+  package.suite_jar.entries = application_jar.entries;
+  package.descriptor.suite_name = suite_name;
+  package.descriptor.vendor = "MobiVine";
+  package.descriptor.properties = ota_properties;
+
+  for (const std::string& proxy : used_proxies) {
+    const core::ProxyDescriptor* descriptor = store_.Find(proxy);
+    const core::BindingPlane* binding =
+        descriptor ? descriptor->FindBinding("s60") : nullptr;
+    if (binding == nullptr) {
+      throw std::invalid_argument("proxy '" + proxy +
+                                  "' has no s60 binding to package");
+    }
+    // Merge every artifact jar into the single suite jar.
+    for (const std::string& artifact : binding->artifacts) {
+      Jar artifact_jar = ArtifactJar(artifact);
+      for (JarEntry& entry : artifact_jar.entries) {
+        if (entry.path == "META-INF/MANIFEST.MF") continue;  // app's wins
+        if (package.suite_jar.HasEntry(entry.path)) {
+          package.warnings.push_back("duplicate entry skipped: " + entry.path +
+                                     " (from " + artifact + ")");
+          continue;
+        }
+        package.suite_jar.entries.push_back(std::move(entry));
+      }
+    }
+    // Descriptor permissions.
+    for (const std::string& permission : RequiredPermissions(proxy, "s60")) {
+      auto& permissions = package.descriptor.permissions;
+      if (std::find(permissions.begin(), permissions.end(), permission) ==
+          permissions.end()) {
+        permissions.push_back(permission);
+      }
+    }
+  }
+  return package;
+}
+
+// ---------------------------------------------------------------------------
+// Android
+// ---------------------------------------------------------------------------
+
+void AndroidPackager::Absorb(AndroidProject& project,
+                             const std::vector<std::string>& used_proxies)
+    const {
+  for (const std::string& proxy : used_proxies) {
+    const core::ProxyDescriptor* descriptor = store_.Find(proxy);
+    const core::BindingPlane* binding =
+        descriptor ? descriptor->FindBinding("android") : nullptr;
+    if (binding == nullptr) {
+      throw std::invalid_argument("proxy '" + proxy +
+                                  "' has no android binding to absorb");
+    }
+    for (const std::string& artifact : binding->artifacts) {
+      if (std::find(project.classpath.begin(), project.classpath.end(),
+                    artifact) == project.classpath.end()) {
+        project.classpath.push_back(artifact);
+      }
+    }
+    for (const std::string& permission :
+         RequiredPermissions(proxy, "android")) {
+      if (std::find(project.manifest_permissions.begin(),
+                    project.manifest_permissions.end(),
+                    permission) == project.manifest_permissions.end()) {
+        project.manifest_permissions.push_back(permission);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// iPhone
+// ---------------------------------------------------------------------------
+
+void IPhonePackager::Absorb(IPhoneAppBundle& bundle,
+                            const std::vector<std::string>& used_proxies)
+    const {
+  for (const std::string& proxy : used_proxies) {
+    const core::ProxyDescriptor* descriptor = store_.Find(proxy);
+    const core::BindingPlane* binding =
+        descriptor ? descriptor->FindBinding("iphone") : nullptr;
+    if (binding == nullptr) {
+      throw std::invalid_argument("proxy '" + proxy +
+                                  "' has no iphone binding to link");
+    }
+    for (const std::string& artifact : binding->artifacts) {
+      if (std::find(bundle.linked_libraries.begin(),
+                    bundle.linked_libraries.end(),
+                    artifact) == bundle.linked_libraries.end()) {
+        bundle.linked_libraries.push_back(artifact);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WebView
+// ---------------------------------------------------------------------------
+
+void WebViewPackager::Absorb(WebViewProject& project,
+                             const std::vector<std::string>& used_proxies)
+    const {
+  auto add_unique = [](std::vector<std::string>& list,
+                       const std::string& value) {
+    if (std::find(list.begin(), list.end(), value) == list.end()) {
+      list.push_back(value);
+    }
+  };
+  for (const std::string& proxy : used_proxies) {
+    const core::ProxyDescriptor* descriptor = store_.Find(proxy);
+    const core::BindingPlane* binding =
+        descriptor ? descriptor->FindBinding("webview") : nullptr;
+    if (binding == nullptr) {
+      throw std::invalid_argument("proxy '" + proxy +
+                                  "' has no webview binding to absorb");
+    }
+    for (const std::string& artifact : binding->artifacts) {
+      if (support::EndsWith(artifact, ".js")) {
+        add_unique(project.page_assets, artifact);
+      } else {
+        // Wrapper jar -> the factory to inject through
+        // addJavaScriptInterface().
+        add_unique(project.injected_wrappers,
+                   "create" + proxy + "WrapperInstance");
+      }
+    }
+  }
+}
+
+}  // namespace mobivine::plugin

@@ -1,0 +1,147 @@
+// Platform Specific Extensions (paper §4.2): packaging the proxy
+// implementation artifacts into an application the way each platform
+// demands.
+//
+//  * S60 — the whole application MUST ship as a single MIDlet-suite jar:
+//    proxy artifact jars are merged into the application jar, and the .jad
+//    descriptor carries the permissions and OTA properties.
+//  * Android — proxy jars are absorbed into the project classpath and the
+//    manifest gains the required permissions.
+//  * WebView — the JS proxy library is added to the page assets and the
+//    wrapper objects are listed for addJavaScriptInterface() injection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/descriptor/proxy_descriptor.h"
+#include "s60/midlet.h"
+
+namespace mobivine::plugin {
+
+/// In-memory jar analog: named archive with entries.
+struct JarEntry {
+  std::string path;
+  std::size_t size = 0;
+};
+
+struct Jar {
+  std::string name;
+  std::vector<JarEntry> entries;
+
+  [[nodiscard]] bool HasEntry(const std::string& path) const;
+  [[nodiscard]] std::size_t TotalSize() const;
+};
+
+/// The proxy artifact jars the plugin ships (synthesized from the binding
+/// planes' artifact lists).
+[[nodiscard]] Jar ArtifactJar(const std::string& artifact_name);
+
+// ---------------------------------------------------------------------------
+// S60
+// ---------------------------------------------------------------------------
+
+struct S60Package {
+  Jar suite_jar;  ///< single merged jar (the platform's hard requirement)
+  s60::MidletSuiteDescriptor descriptor;
+  std::vector<std::string> warnings;  ///< duplicate entries skipped, ...
+};
+
+class S60Packager {
+ public:
+  explicit S60Packager(const core::DescriptorStore& store) : store_(store) {}
+
+  /// Merge the application jar with every used proxy's S60 artifacts, and
+  /// build the .jad with the permissions those proxies need plus the given
+  /// OTA properties. Throws std::invalid_argument when a used proxy has no
+  /// s60 binding (e.g. "Call").
+  [[nodiscard]] S60Package Package(
+      const Jar& application_jar, const std::vector<std::string>& used_proxies,
+      const std::string& suite_name,
+      const std::vector<std::pair<std::string, std::string>>& ota_properties =
+          {}) const;
+
+ private:
+  const core::DescriptorStore& store_;
+};
+
+// ---------------------------------------------------------------------------
+// Android
+// ---------------------------------------------------------------------------
+
+struct AndroidProject {
+  std::string name;
+  std::vector<std::string> classpath;             ///< absorbed proxy jars
+  std::vector<std::string> manifest_permissions;  ///< uses-permission entries
+};
+
+class AndroidPackager {
+ public:
+  explicit AndroidPackager(const core::DescriptorStore& store)
+      : store_(store) {}
+
+  /// Add each used proxy's android artifacts to the classpath and the
+  /// required permissions to the manifest (idempotent).
+  void Absorb(AndroidProject& project,
+              const std::vector<std::string>& used_proxies) const;
+
+ private:
+  const core::DescriptorStore& store_;
+};
+
+// ---------------------------------------------------------------------------
+// WebView
+// ---------------------------------------------------------------------------
+
+struct WebViewProject {
+  std::string name;
+  std::vector<std::string> page_assets;       ///< html/js files
+  std::vector<std::string> injected_wrappers; ///< addJavaScriptInterface list
+};
+
+class WebViewPackager {
+ public:
+  explicit WebViewPackager(const core::DescriptorStore& store)
+      : store_(store) {}
+
+  /// Add mobivine-proxies.js to the page assets and list the wrapper
+  /// factories to inject for each used proxy (idempotent).
+  void Absorb(WebViewProject& project,
+              const std::vector<std::string>& used_proxies) const;
+
+ private:
+  const core::DescriptorStore& store_;
+};
+
+// ---------------------------------------------------------------------------
+// iPhone (extension platform)
+// ---------------------------------------------------------------------------
+
+/// An Xcode-project analog: static proxy libraries linked into the app
+/// bundle. iPhone OS 2009 has no manifest permissions — consent is
+/// runtime dialogs — so only the link set is managed.
+struct IPhoneAppBundle {
+  std::string name;
+  std::vector<std::string> linked_libraries;
+};
+
+class IPhonePackager {
+ public:
+  explicit IPhonePackager(const core::DescriptorStore& store)
+      : store_(store) {}
+
+  /// Link each used proxy's static library into the bundle (idempotent).
+  void Absorb(IPhoneAppBundle& bundle,
+              const std::vector<std::string>& used_proxies) const;
+
+ private:
+  const core::DescriptorStore& store_;
+};
+
+/// The platform permissions a proxy needs ("Location" on "android" ->
+/// ACCESS_FINE_LOCATION; on "s60" -> javax.microedition.location.Location;
+/// always empty on "iphone", whose 2009 model is runtime consent dialogs).
+[[nodiscard]] std::vector<std::string> RequiredPermissions(
+    const std::string& proxy, const std::string& platform);
+
+}  // namespace mobivine::plugin

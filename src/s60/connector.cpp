@@ -1,0 +1,74 @@
+#include "s60/connector.h"
+
+#include "s60/s60_platform.h"
+
+namespace mobivine::s60 {
+
+HttpConnection::HttpConnection(S60Platform& platform, device::Url url,
+                               std::string url_string)
+    : platform_(platform), url_(std::move(url)),
+      url_string_(std::move(url_string)) {
+  request_.url = url_;
+}
+
+void HttpConnection::setRequestMethod(const std::string& method) {
+  if (sent_) throw IOException("request already sent");
+  if (method != "GET" && method != "POST") {
+    throw IllegalArgumentException("unsupported HTTP method: " + method);
+  }
+  request_.method = method;
+}
+
+void HttpConnection::setRequestProperty(const std::string& key,
+                                        const std::string& value) {
+  if (sent_) throw IOException("request already sent");
+  request_.headers.Set(key, value);
+}
+
+void HttpConnection::setRequestBody(std::string body) {
+  if (sent_) throw IOException("request already sent");
+  request_.body = std::move(body);
+}
+
+void HttpConnection::EnsureSent() {
+  if (!open_) throw IOException("http connection is closed");
+  if (sent_) return;
+  platform_.checkPermission(permissions::kHttp);
+  sent_ = true;
+  const device::NetResult result =
+      platform_.device().network().BlockingSend(request_);
+  switch (result.error) {
+    case device::NetError::kHostUnreachable:
+      throw IOException("host unreachable: " + url_.host);
+    case device::NetError::kTimeout:
+      throw InterruptedIOException("http request timed out: " + url_string_);
+    case device::NetError::kNone:
+      response_ = result.response;
+      break;
+  }
+}
+
+int HttpConnection::getResponseCode() {
+  EnsureSent();
+  return response_.status;
+}
+
+std::string HttpConnection::getResponseMessage() {
+  EnsureSent();
+  return response_.reason;
+}
+
+std::optional<std::string> HttpConnection::getHeaderField(
+    const std::string& name) {
+  EnsureSent();
+  return response_.headers.Get(name);
+}
+
+std::string HttpConnection::readBody() {
+  EnsureSent();
+  return response_.body;
+}
+
+void HttpConnection::close() { open_ = false; }
+
+}  // namespace mobivine::s60

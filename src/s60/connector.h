@@ -1,0 +1,63 @@
+// Generic Connection Framework HTTP analog
+// (javax.microedition.io.Connector / HttpConnection).
+//
+// J2ME HTTP is lazy and blocking: open() only parses the URL; headers and
+// method are staged locally; the request is transmitted on the first call
+// that needs the response (getResponseCode / readBody). Errors surface as
+// IOException — there is no status-callback mechanism.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "device/http_message.h"
+#include "s60/exceptions.h"
+
+namespace mobivine::s60 {
+
+class S60Platform;
+
+class HttpConnection {
+ public:
+  static constexpr int HTTP_OK = 200;
+
+  /// Stage the request method ("GET" or "POST"); throws IOException once
+  /// the request has been sent.
+  void setRequestMethod(const std::string& method);
+  /// Stage a request header.
+  void setRequestProperty(const std::string& key, const std::string& value);
+  /// Stage the request body (POST).
+  void setRequestBody(std::string body);
+
+  /// Transmit (first call only) and return the HTTP status. Throws
+  /// IOException on network failure (unreachable host, timeout).
+  int getResponseCode();
+  /// Response reason phrase (transmits if needed).
+  std::string getResponseMessage();
+  /// Response header lookup (transmits if needed).
+  std::optional<std::string> getHeaderField(const std::string& name);
+  /// Full response body (transmits if needed).
+  std::string readBody();
+
+  void close();
+  bool isOpen() const { return open_; }
+  const std::string& url() const { return url_string_; }
+
+ private:
+  friend class S60Platform;
+  HttpConnection(S60Platform& platform, device::Url url,
+                 std::string url_string);
+
+  void EnsureSent();
+
+  S60Platform& platform_;
+  device::Url url_;
+  std::string url_string_;
+  bool open_ = true;
+  bool sent_ = false;
+  device::HttpRequest request_;
+  device::HttpResponse response_;
+};
+
+}  // namespace mobivine::s60

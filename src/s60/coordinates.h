@@ -1,0 +1,90 @@
+// javax.microedition.location.Coordinates / QualifiedCoordinates / Location
+// analogs. These are deliberately DIFFERENT types from android::Location —
+// MobiVine's Location proxy converts between them and its own uniform type.
+#pragma once
+
+#include "sim/clock.h"
+#include "support/geo_units.h"
+
+namespace mobivine::s60 {
+
+/// JSR-179 Coordinates: latitude/longitude in WGS-84 degrees, altitude in
+/// meters (NaN allowed in the real API; we use 0 for "unknown").
+class Coordinates {
+ public:
+  Coordinates() = default;
+  Coordinates(double latitude, double longitude, float altitude)
+      : latitude_(latitude), longitude_(longitude), altitude_(altitude) {}
+
+  double getLatitude() const { return latitude_; }
+  double getLongitude() const { return longitude_; }
+  float getAltitude() const { return altitude_; }
+  void setLatitude(double v) { latitude_ = v; }
+  void setLongitude(double v) { longitude_ = v; }
+  void setAltitude(float v) { altitude_ = v; }
+
+  /// JSR-179 Coordinates.distance(): great-circle distance in meters.
+  float distance(const Coordinates& to) const {
+    return static_cast<float>(support::HaversineMeters(
+        latitude_, longitude_, to.latitude_, to.longitude_));
+  }
+
+  /// JSR-179 Coordinates.azimuthTo(): initial bearing in degrees.
+  float azimuthTo(const Coordinates& to) const {
+    return static_cast<float>(support::InitialBearingDeg(
+        latitude_, longitude_, to.latitude_, to.longitude_));
+  }
+
+ private:
+  double latitude_ = 0.0;
+  double longitude_ = 0.0;
+  float altitude_ = 0.0f;
+};
+
+/// JSR-179 QualifiedCoordinates: Coordinates plus accuracy estimates.
+class QualifiedCoordinates : public Coordinates {
+ public:
+  QualifiedCoordinates() = default;
+  QualifiedCoordinates(double latitude, double longitude, float altitude,
+                       float horizontal_accuracy, float vertical_accuracy)
+      : Coordinates(latitude, longitude, altitude),
+        horizontal_accuracy_(horizontal_accuracy),
+        vertical_accuracy_(vertical_accuracy) {}
+
+  float getHorizontalAccuracy() const { return horizontal_accuracy_; }
+  float getVerticalAccuracy() const { return vertical_accuracy_; }
+
+ private:
+  float horizontal_accuracy_ = 0.0f;
+  float vertical_accuracy_ = 0.0f;
+};
+
+/// JSR-179 Location: a fix with validity, speed, course and timestamp.
+class Location {
+ public:
+  Location() = default;
+  Location(QualifiedCoordinates coords, float speed, float course,
+           sim::SimTime timestamp, bool valid)
+      : coordinates_(coords),
+        speed_(speed),
+        course_(course),
+        timestamp_(timestamp),
+        valid_(valid) {}
+
+  const QualifiedCoordinates& getQualifiedCoordinates() const {
+    return coordinates_;
+  }
+  float getSpeed() const { return speed_; }
+  float getCourse() const { return course_; }
+  sim::SimTime getTimestamp() const { return timestamp_; }
+  bool isValid() const { return valid_; }
+
+ private:
+  QualifiedCoordinates coordinates_;
+  float speed_ = 0.0f;
+  float course_ = 0.0f;
+  sim::SimTime timestamp_;
+  bool valid_ = false;
+};
+
+}  // namespace mobivine::s60

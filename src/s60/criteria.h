@@ -1,0 +1,50 @@
+// javax.microedition.location.Criteria analog.
+//
+// On S60 the developer obtains a LocationProvider by handing the platform a
+// Criteria object (accuracy, response time, power consumption, cost). This
+// is one of the "inherently different" platform attributes the paper's
+// binding plane absorbs via setProperty() instead of widening the common
+// proxy API.
+#pragma once
+
+namespace mobivine::s60 {
+
+class Criteria {
+ public:
+  /// JSR-179 sentinel meaning "no requirement".
+  static constexpr int NO_REQUIREMENT = 0;
+  static constexpr int POWER_USAGE_LOW = 1;
+  static constexpr int POWER_USAGE_MEDIUM = 2;
+  static constexpr int POWER_USAGE_HIGH = 3;
+
+  void setHorizontalAccuracy(int meters) { horizontal_accuracy_ = meters; }
+  int getHorizontalAccuracy() const { return horizontal_accuracy_; }
+
+  void setVerticalAccuracy(int meters) { vertical_accuracy_ = meters; }
+  int getVerticalAccuracy() const { return vertical_accuracy_; }
+
+  /// Preferred maximum response time in milliseconds.
+  void setPreferredResponseTime(int ms) { preferred_response_time_ms_ = ms; }
+  int getPreferredResponseTime() const { return preferred_response_time_ms_; }
+
+  void setPreferredPowerConsumption(int level) { power_consumption_ = level; }
+  int getPreferredPowerConsumption() const { return power_consumption_; }
+
+  void setCostAllowed(bool allowed) { cost_allowed_ = allowed; }
+  bool isAllowedToCost() const { return cost_allowed_; }
+
+  void setSpeedAndCourseRequired(bool required) {
+    speed_and_course_required_ = required;
+  }
+  bool isSpeedAndCourseRequired() const { return speed_and_course_required_; }
+
+ private:
+  int horizontal_accuracy_ = NO_REQUIREMENT;
+  int vertical_accuracy_ = NO_REQUIREMENT;
+  int preferred_response_time_ms_ = NO_REQUIREMENT;
+  int power_consumption_ = NO_REQUIREMENT;
+  bool cost_allowed_ = true;
+  bool speed_and_course_required_ = false;
+};
+
+}  // namespace mobivine::s60

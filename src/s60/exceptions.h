@@ -1,0 +1,68 @@
+// The Nokia S60 / J2ME exception set.
+//
+// NOTE ON STYLE: everything under src/s60/ deliberately mirrors the 2009
+// J2ME API surface — class names, camelCase method names, parameter order
+// and the exceptions below — because that heterogeneity is exactly what
+// MobiVine (src/core/) exists to absorb. House naming conventions resume
+// outside the platform substrates.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mobivine::s60 {
+
+/// Base for everything thrown by the S60 substrate.
+class S60Exception : public std::runtime_error {
+ public:
+  explicit S60Exception(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// javax.microedition.location.LocationException
+class LocationException : public S60Exception {
+ public:
+  explicit LocationException(const std::string& what) : S60Exception(what) {}
+};
+
+/// java.lang.SecurityException
+class SecurityException : public S60Exception {
+ public:
+  explicit SecurityException(const std::string& what) : S60Exception(what) {}
+};
+
+/// java.lang.IllegalArgumentException
+class IllegalArgumentException : public S60Exception {
+ public:
+  explicit IllegalArgumentException(const std::string& what)
+      : S60Exception(what) {}
+};
+
+/// java.lang.NullPointerException
+class NullPointerException : public S60Exception {
+ public:
+  explicit NullPointerException(const std::string& what)
+      : S60Exception(what) {}
+};
+
+/// java.io.IOException
+class IOException : public S60Exception {
+ public:
+  explicit IOException(const std::string& what) : S60Exception(what) {}
+};
+
+/// java.io.InterruptedIOException — thrown by the messaging stack when a
+/// send times out or the radio drops mid-transfer.
+class InterruptedIOException : public IOException {
+ public:
+  explicit InterruptedIOException(const std::string& what)
+      : IOException(what) {}
+};
+
+/// javax.microedition.io.ConnectionNotFoundException
+class ConnectionNotFoundException : public IOException {
+ public:
+  explicit ConnectionNotFoundException(const std::string& what)
+      : IOException(what) {}
+};
+
+}  // namespace mobivine::s60

@@ -1,0 +1,110 @@
+#include "s60/location_provider.h"
+
+#include <cmath>
+
+#include "s60/s60_platform.h"
+
+namespace mobivine::s60 {
+
+LocationProvider::LocationProvider(S60Platform& platform, Criteria criteria)
+    : platform_(platform), criteria_(criteria) {}
+
+LocationProvider::~LocationProvider() { ClearListener(); }
+
+std::shared_ptr<LocationProvider> LocationProvider::getInstance(
+    S60Platform& platform, const Criteria& criteria) {
+  platform.checkPermission(permissions::kLocation);
+  platform.device().scheduler().AdvanceBy(
+      platform.cost().get_instance.Sample(platform.device().rng()));
+  // JSR-179: getInstance may return null / throw when no provider meets the
+  // criteria. Our handset has no high-accuracy low-power provider.
+  if (criteria.getPreferredPowerConsumption() == Criteria::POWER_USAGE_LOW &&
+      criteria.getHorizontalAccuracy() != Criteria::NO_REQUIREMENT &&
+      criteria.getHorizontalAccuracy() < 25) {
+    throw LocationException(
+        "no location provider satisfies the criteria "
+        "(accuracy < 25 m requires more than POWER_USAGE_LOW)");
+  }
+  return std::shared_ptr<LocationProvider>(
+      new LocationProvider(platform, criteria));
+}
+
+Location LocationProvider::getLocation(int timeout_seconds) {
+  platform_.checkPermission(permissions::kLocation);
+  auto& device = platform_.device();
+  device.scheduler().AdvanceBy(
+      platform_.cost().get_location_framework.Sample(device.rng()));
+
+  const device::GpsMode mode = S60Platform::ModeFor(criteria_);
+  const device::GpsFix fix = device.gps().BlockingFix(mode);
+  if (!fix.valid) {
+    throw LocationException("location could not be determined" +
+                            std::string(timeout_seconds > 0
+                                            ? " within the timeout"
+                                            : ""));
+  }
+  return S60Platform::MakeLocation(fix);
+}
+
+void LocationProvider::ClearListener() {
+  if (listener_subscription_ != 0) {
+    platform_.device().gps().StopPeriodicFixes(listener_subscription_);
+    listener_subscription_ = 0;
+  }
+  listener_ = nullptr;
+}
+
+void LocationProvider::setLocationListener(LocationListener* listener,
+                                           int interval, int timeout,
+                                           int max_age) {
+  (void)timeout;
+  (void)max_age;
+  platform_.checkPermission(permissions::kLocation);
+  if (interval == 0 || interval < -1) {
+    throw IllegalArgumentException("interval must be -1 or > 0 seconds");
+  }
+  ClearListener();
+  if (listener == nullptr) return;  // JSR-179: null clears the listener
+
+  listener_ = listener;
+  const int seconds = interval == -1 ? 5 : interval;  // provider default 5 s
+  const device::GpsMode mode = S60Platform::ModeFor(criteria_);
+  listener_subscription_ = platform_.device().gps().StartPeriodicFixes(
+      mode, sim::SimTime::Seconds(seconds),
+      [this](const device::GpsFix& fix) {
+        if (listener_ == nullptr) return;
+        if (!fix.valid) {
+          listener_->providerStateChanged(*this, TEMPORARILY_UNAVAILABLE);
+          return;
+        }
+        listener_->locationUpdated(*this, S60Platform::MakeLocation(fix));
+      });
+}
+
+void LocationProvider::addProximityListener(S60Platform& platform,
+                                            ProximityListener* listener,
+                                            const Coordinates& coordinates,
+                                            float proximity_radius) {
+  platform.checkPermission(permissions::kLocation);
+  if (listener == nullptr) {
+    throw NullPointerException("proximity listener is null");
+  }
+  if (!(proximity_radius > 0.0f) || std::isnan(proximity_radius)) {
+    throw IllegalArgumentException("proximityRadius must be > 0");
+  }
+  auto& device = platform.device();
+  device.scheduler().AdvanceBy(
+      platform.cost().add_proximity_framework.Sample(device.rng()));
+  // The 2009 S60 implementation acquired an initial high-accuracy fix when
+  // arming the region monitor; that is what makes registration cost ~141 ms
+  // in Figure 10.
+  (void)device.gps().BlockingFix(device::GpsMode::kHighAccuracy);
+  platform.AddProximity(listener, coordinates, proximity_radius);
+}
+
+void LocationProvider::removeProximityListener(S60Platform& platform,
+                                               ProximityListener* listener) {
+  platform.RemoveProximity(listener);
+}
+
+}  // namespace mobivine::s60

@@ -1,0 +1,105 @@
+// JSR-179 (javax.microedition.location) analog for the S60 substrate.
+//
+// Faithful 2009 semantics that differ from Android and that MobiVine's
+// Location proxy must absorb:
+//  * providers are obtained via Criteria (accuracy / response time / power),
+//    not by provider name;
+//  * getLocation() is blocking and slow (full fix);
+//  * proximity registration is ONE-SHOT: the listener fires once on entry
+//    and the registration is removed — no exit events, no expiration;
+//  * the exception set is {LocationException, SecurityException,
+//    IllegalArgumentException, NullPointerException}.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "s60/coordinates.h"
+#include "s60/criteria.h"
+#include "s60/exceptions.h"
+#include "sim/clock.h"
+
+namespace mobivine::s60 {
+
+class S60Platform;
+class LocationProvider;
+
+/// javax.microedition.location.LocationListener
+class LocationListener {
+ public:
+  virtual ~LocationListener() = default;
+  virtual void locationUpdated(LocationProvider& provider,
+                               const Location& location) = 0;
+  virtual void providerStateChanged(LocationProvider& provider,
+                                    int new_state) {
+    (void)provider;
+    (void)new_state;
+  }
+};
+
+/// javax.microedition.location.ProximityListener
+class ProximityListener {
+ public:
+  virtual ~ProximityListener() = default;
+  /// Fired once when the device enters the registered region; the
+  /// registration is removed before this is invoked (JSR-179 semantics).
+  virtual void proximityEvent(const Coordinates& coordinates,
+                              const Location& location) = 0;
+  virtual void monitoringStateChanged(bool is_monitoring_active) {
+    (void)is_monitoring_active;
+  }
+};
+
+/// javax.microedition.location.LocationProvider
+class LocationProvider {
+ public:
+  static constexpr int AVAILABLE = 1;
+  static constexpr int TEMPORARILY_UNAVAILABLE = 2;
+  static constexpr int OUT_OF_SERVICE = 3;
+
+  /// Factory: selects a provider satisfying `criteria`. Throws
+  /// LocationException when no provider can satisfy it and
+  /// SecurityException when the MIDlet lacks the Location permission.
+  /// (In real J2ME this is static; here it hangs off the platform that
+  /// owns the hardware.)
+  static std::shared_ptr<LocationProvider> getInstance(S60Platform& platform,
+                                                       const Criteria& criteria);
+
+  /// Blocking fix. `timeout_seconds` <= 0 means the provider default.
+  /// Throws LocationException on timeout/invalid fix.
+  Location getLocation(int timeout_seconds);
+
+  /// Register (listener != nullptr) or clear (nullptr) the periodic
+  /// location listener. interval in seconds; -1 selects the provider
+  /// default; 0 is invalid per JSR-179 (IllegalArgumentException).
+  void setLocationListener(LocationListener* listener, int interval,
+                           int timeout, int max_age);
+
+  /// One-shot proximity registration (static in JSR-179; mirrored as a
+  /// static taking the platform).
+  static void addProximityListener(S60Platform& platform,
+                                   ProximityListener* listener,
+                                   const Coordinates& coordinates,
+                                   float proximity_radius);
+  static void removeProximityListener(S60Platform& platform,
+                                      ProximityListener* listener);
+
+  int getState() const { return state_; }
+  const Criteria& criteria() const { return criteria_; }
+
+  ~LocationProvider();
+
+ private:
+  friend class S60Platform;
+  LocationProvider(S60Platform& platform, Criteria criteria);
+
+  void ClearListener();
+
+  S60Platform& platform_;
+  Criteria criteria_;
+  int state_ = AVAILABLE;
+  LocationListener* listener_ = nullptr;
+  std::uint64_t listener_subscription_ = 0;
+};
+
+}  // namespace mobivine::s60

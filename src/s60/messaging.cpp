@@ -1,0 +1,52 @@
+#include "s60/messaging.h"
+
+#include "s60/s60_platform.h"
+#include "support/logging.h"
+
+namespace mobivine::s60 {
+
+MessageConnection::MessageConnection(S60Platform& platform, std::string address)
+    : platform_(platform), address_(std::move(address)) {}
+
+MessageConnection::~MessageConnection() { close(); }
+
+TextMessage MessageConnection::newTextMessage() const {
+  return TextMessage(address_);
+}
+
+void MessageConnection::send(const TextMessage& message) {
+  platform_.checkPermission(permissions::kSmsSend);
+  if (!open_) throw IOException("message connection is closed");
+  const std::string& destination =
+      message.getAddress().empty() ? address_ : message.getAddress();
+  if (destination.empty()) {
+    throw IllegalArgumentException("SMS destination address is empty");
+  }
+
+  auto& device = platform_.device();
+  device.scheduler().AdvanceBy(platform_.cost().send_sms.Sample(device.rng()));
+
+  // The blocking J2ME send() charges the radio transmit synchronously and
+  // reports failure by exception; the delivery report stays asynchronous
+  // inside the modem.
+  const device::SmsResult result =
+      device.modem().BlockingSubmit(destination, message.getPayloadText());
+  switch (result.status) {
+    case device::SmsStatus::kFailedRadio:
+      throw InterruptedIOException("SMS submit failed: radio error");
+    case device::SmsStatus::kFailedUnreachable:
+      throw IOException("SMS destination unreachable: " + destination);
+    default:
+      break;
+  }
+  ++sent_count_;
+}
+
+void MessageConnection::setMessageListener(MessageListener* listener) {
+  if (!open_) throw IOException("message connection is closed");
+  listener_ = listener;
+}
+
+void MessageConnection::close() { open_ = false; }
+
+}  // namespace mobivine::s60

@@ -1,0 +1,83 @@
+// JSR-120 (javax.wireless.messaging) analog.
+//
+// MessageConnection is obtained from the Generic Connection Framework with
+// a "sms://+number" URL; send() is blocking up to network submission and
+// throws IOException/InterruptedIOException on radio failure — a very
+// different shape from Android's SmsManager + PendingIntent callbacks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "s60/exceptions.h"
+#include "sim/clock.h"
+
+namespace mobivine::s60 {
+
+class S60Platform;
+class MessageConnection;
+
+/// javax.wireless.messaging.TextMessage
+class TextMessage {
+ public:
+  explicit TextMessage(std::string address) : address_(std::move(address)) {}
+
+  void setPayloadText(std::string text) { payload_ = std::move(text); }
+  const std::string& getPayloadText() const { return payload_; }
+  const std::string& getAddress() const { return address_; }
+  void setAddress(std::string address) { address_ = std::move(address); }
+  sim::SimTime getTimestamp() const { return timestamp_; }
+
+ private:
+  friend class MessageConnection;
+  std::string address_;
+  std::string payload_;
+  sim::SimTime timestamp_;
+};
+
+/// javax.wireless.messaging.MessageListener (incoming messages).
+class MessageListener {
+ public:
+  virtual ~MessageListener() = default;
+  virtual void notifyIncomingMessage(MessageConnection& connection) = 0;
+};
+
+/// javax.wireless.messaging.MessageConnection (client mode).
+class MessageConnection {
+ public:
+  ~MessageConnection();
+
+  /// Factory for a message bound to this connection's address.
+  [[nodiscard]] TextMessage newTextMessage() const;
+
+  /// Blocking submit to the network. Throws:
+  ///  * SecurityException        — missing sms.send permission
+  ///  * IllegalArgumentException — empty destination
+  ///  * InterruptedIOException   — radio failure during submit
+  ///  * IOException              — connection closed or destination
+  ///                               unreachable
+  void send(const TextMessage& message);
+
+  void setMessageListener(MessageListener* listener);
+
+  void close();
+  bool isOpen() const { return open_; }
+  const std::string& address() const { return address_; }
+
+  /// Messages sent so far on this connection (diagnostics/tests).
+  int sent_count() const { return sent_count_; }
+
+ private:
+  friend class S60Platform;
+  MessageConnection(S60Platform& platform, std::string address);
+
+  S60Platform& platform_;
+  std::string address_;  // "+15550123" (scheme already stripped)
+  bool open_ = true;
+  int sent_count_ = 0;
+  MessageListener* listener_ = nullptr;
+};
+
+}  // namespace mobivine::s60

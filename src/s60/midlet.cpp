@@ -1,0 +1,25 @@
+#include "s60/midlet.h"
+
+namespace mobivine::s60 {
+
+void ApplicationManager::installSuite(const MidletSuiteDescriptor& descriptor) {
+  suite_ = descriptor;
+  installed_ = true;
+  for (const auto& permission : descriptor.permissions) {
+    platform_.grantPermission(permission);
+  }
+}
+
+void ApplicationManager::start(MIDlet& midlet) {
+  midlet.platform_ = &platform_;
+  midlet.startApp();
+}
+
+void ApplicationManager::pause(MIDlet& midlet) { midlet.pauseApp(); }
+
+void ApplicationManager::terminate(MIDlet& midlet) {
+  midlet.destroyApp(/*unconditional=*/true);
+  midlet.notifyDestroyed();
+}
+
+}  // namespace mobivine::s60

@@ -1,0 +1,79 @@
+// MIDlet lifecycle analog.
+//
+// S60 applications extend MIDlet and are driven by the application manager
+// through startApp/pauseApp/destroyApp. The paper's packaging constraint —
+// the whole application ships as ONE MIDlet-suite jar with permissions in
+// the descriptor — is modeled by MidletSuite, which the M-Plugin packaging
+// extension consumes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "s60/s60_platform.h"
+
+namespace mobivine::s60 {
+
+/// javax.microedition.midlet.MIDlet
+class MIDlet {
+ public:
+  virtual ~MIDlet() = default;
+
+  virtual void startApp() = 0;
+  virtual void pauseApp() {}
+  virtual void destroyApp(bool unconditional) { (void)unconditional; }
+
+  /// MIDlet.notifyDestroyed(): the application asks the manager to exit.
+  void notifyDestroyed() { destroyed_ = true; }
+  bool isDestroyed() const { return destroyed_; }
+
+  S60Platform& platform() {
+    if (platform_ == nullptr) {
+      throw S60Exception("MIDlet not started by an application manager");
+    }
+    return *platform_;
+  }
+
+ private:
+  friend class ApplicationManager;
+  S60Platform* platform_ = nullptr;
+  bool destroyed_ = false;
+};
+
+/// Deployment descriptor (.jad analog): names, permissions, OTA properties.
+struct MidletSuiteDescriptor {
+  std::string suite_name;
+  std::string vendor;
+  std::string version = "1.0.0";
+  std::vector<std::string> permissions;
+  /// Over-The-Air install notify URL and other descriptor properties.
+  std::vector<std::pair<std::string, std::string>> properties;
+};
+
+/// The platform's application manager: installs a suite (granting its
+/// descriptor permissions) and drives MIDlet lifecycles.
+class ApplicationManager {
+ public:
+  explicit ApplicationManager(S60Platform& platform) : platform_(platform) {}
+
+  /// Install: grant every permission the descriptor requests.
+  void installSuite(const MidletSuiteDescriptor& descriptor);
+
+  /// Run the MIDlet: startApp now; destroyApp when the caller invokes
+  /// terminate() or the MIDlet notifies destruction.
+  void start(MIDlet& midlet);
+  void pause(MIDlet& midlet);
+  void terminate(MIDlet& midlet);
+
+  const MidletSuiteDescriptor* installed_suite() const {
+    return installed_ ? &suite_ : nullptr;
+  }
+
+ private:
+  S60Platform& platform_;
+  MidletSuiteDescriptor suite_;
+  bool installed_ = false;
+};
+
+}  // namespace mobivine::s60

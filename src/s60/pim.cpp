@@ -1,0 +1,179 @@
+#include "s60/pim.h"
+
+#include "s60/s60_platform.h"
+#include "support/strings.h"
+
+namespace mobivine::s60 {
+
+int PIMItem::countValues(int field) const {
+  switch (field) {
+    case Contact::NAME:
+      return name_.empty() ? 0 : 1;
+    case Contact::TEL:
+      return tel_.empty() ? 0 : 1;
+    case Contact::EMAIL:
+      return email_.empty() ? 0 : 1;
+    case Contact::UID:
+      return 1;
+    default:
+      throw IllegalArgumentException("unknown PIM field " +
+                                     std::to_string(field));
+  }
+}
+
+std::string PIMItem::getString(int field, int index) const {
+  if (index < 0 || index >= countValues(field)) {
+    throw IllegalArgumentException("value index out of bounds for field " +
+                                   std::to_string(field));
+  }
+  switch (field) {
+    case Contact::NAME:
+      return name_;
+    case Contact::TEL:
+      return tel_;
+    case Contact::EMAIL:
+      return email_;
+    case Contact::UID:
+      return std::to_string(uid_);
+    default:
+      throw IllegalArgumentException("unknown PIM field " +
+                                     std::to_string(field));
+  }
+}
+
+std::vector<PIMItem> ContactList::items() { return items(""); }
+
+std::vector<PIMItem> ContactList::items(const std::string& matching) {
+  if (!open_) throw IOException("contact list is closed");
+  auto& device = platform_.device();
+  std::vector<PIMItem> out;
+  const std::string needle = support::ToLower(matching);
+  for (const auto& record : device.contacts().All()) {
+    if (!needle.empty() &&
+        support::ToLower(record.display_name).find(needle) ==
+            std::string::npos) {
+      continue;
+    }
+    // JSR-75 materializes items one by one from the native store.
+    device.scheduler().AdvanceBy(platform_.cost().pim_item.Sample(device.rng()));
+    PIMItem item;
+    item.uid_ = record.id;
+    item.name_ = record.display_name;
+    item.tel_ = record.phone_number;
+    item.email_ = record.email;
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+int PIMEvent::countValues(int field) const {
+  switch (field) {
+    case Event::SUMMARY:
+      return summary_.empty() ? 0 : 1;
+    case Event::LOCATION:
+      return location_.empty() ? 0 : 1;
+    case Event::START:
+    case Event::END:
+    case Event::UID:
+      return 1;
+    default:
+      throw IllegalArgumentException("unknown Event field " +
+                                     std::to_string(field));
+  }
+}
+
+std::string PIMEvent::getString(int field, int index) const {
+  if (index < 0 || index >= countValues(field)) {
+    throw IllegalArgumentException("value index out of bounds for field " +
+                                   std::to_string(field));
+  }
+  switch (field) {
+    case Event::SUMMARY:
+      return summary_;
+    case Event::LOCATION:
+      return location_;
+    case Event::UID:
+      return std::to_string(uid_);
+    default:
+      throw IllegalArgumentException("field " + std::to_string(field) +
+                                     " is not a string field");
+  }
+}
+
+long long PIMEvent::getDate(int field, int index) const {
+  if (index < 0 || index >= countValues(field)) {
+    throw IllegalArgumentException("value index out of bounds for field " +
+                                   std::to_string(field));
+  }
+  switch (field) {
+    case Event::START:
+      return start_ms_;
+    case Event::END:
+      return end_ms_;
+    default:
+      throw IllegalArgumentException("field " + std::to_string(field) +
+                                     " is not a date field");
+  }
+}
+
+std::vector<PIMEvent> EventList::Materialize(long long start_ms,
+                                             long long end_ms, bool bounded) {
+  if (!open_) throw IOException("event list is closed");
+  auto& device = platform_.device();
+  std::vector<PIMEvent> out;
+  for (const auto& record : device.calendar().All()) {
+    if (bounded && !(record.start_ms < end_ms && record.end_ms > start_ms)) {
+      continue;
+    }
+    device.scheduler().AdvanceBy(
+        platform_.cost().pim_item.Sample(device.rng()));
+    PIMEvent event;
+    event.uid_ = record.id;
+    event.summary_ = record.title;
+    event.start_ms_ = record.start_ms;
+    event.end_ms_ = record.end_ms;
+    event.location_ = record.location;
+    out.push_back(std::move(event));
+  }
+  return out;
+}
+
+std::vector<PIMEvent> EventList::items() {
+  return Materialize(0, 0, /*bounded=*/false);
+}
+
+std::vector<PIMEvent> EventList::items(long long start_ms, long long end_ms) {
+  return Materialize(start_ms, end_ms, /*bounded=*/true);
+}
+
+std::shared_ptr<EventList> PIM::openEventList(S60Platform& platform,
+                                              int mode) {
+  platform.checkPermission(permissions::kPimEventRead);
+  if (mode != ContactList::READ_ONLY) {
+    throw IllegalArgumentException(
+        "only READ_ONLY event lists are provisioned");
+  }
+  auto& device = platform.device();
+  device.scheduler().AdvanceBy(
+      platform.cost().pim_open_list.Sample(device.rng()));
+  return std::shared_ptr<EventList>(new EventList(platform));
+}
+
+std::shared_ptr<ContactList> PIM::openContactList(S60Platform& platform,
+                                                  int mode) {
+  platform.checkPermission(permissions::kPimRead);
+  if (mode != ContactList::READ_ONLY) {
+    throw IllegalArgumentException(
+        "only READ_ONLY contact lists are provisioned");
+  }
+  auto& device = platform.device();
+  device.scheduler().AdvanceBy(
+      platform.cost().pim_open_list.Sample(device.rng()));
+  return std::shared_ptr<ContactList>(new ContactList(platform));
+}
+
+}  // namespace mobivine::s60

@@ -1,0 +1,125 @@
+// JSR-75 (javax.microedition.pim) analog: PIM.getInstance() opens typed
+// lists; items expose field-indexed getters and field constants — a very
+// different shape from Android's cursors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "s60/exceptions.h"
+
+namespace mobivine::s60 {
+
+class S60Platform;
+
+/// javax.microedition.pim.Contact field constants (the JSR-75 values).
+class Contact {
+ public:
+  static constexpr int NAME = 106;
+  static constexpr int TEL = 115;
+  static constexpr int EMAIL = 103;
+  static constexpr int UID = 117;
+};
+
+/// One contact item. countValues/getString mirror PIMItem's indexed
+/// accessors (a contact may hold several TEL values; our store has one).
+class PIMItem {
+ public:
+  [[nodiscard]] int countValues(int field) const;
+  /// Throws IllegalArgumentException for unknown fields,
+  /// IndexOutOfBounds-style IllegalArgumentException for bad indices.
+  [[nodiscard]] std::string getString(int field, int index) const;
+
+ private:
+  friend class ContactList;
+  long long uid_ = 0;
+  std::string name_;
+  std::string tel_;
+  std::string email_;
+};
+
+/// javax.microedition.pim.ContactList (read-only mode).
+class ContactList {
+ public:
+  static constexpr int READ_ONLY = 1;
+  static constexpr int WRITE_ONLY = 2;
+  static constexpr int READ_WRITE = 3;
+
+  /// Enumerate items (charges the list-open + per-item cost).
+  [[nodiscard]] std::vector<PIMItem> items();
+  /// JSR-75 items(matching) — substring match on NAME.
+  [[nodiscard]] std::vector<PIMItem> items(const std::string& matching);
+
+  void close() { open_ = false; }
+  bool isOpen() const { return open_; }
+
+ private:
+  friend class PIM;
+  explicit ContactList(S60Platform& platform) : platform_(platform) {}
+  S60Platform& platform_;
+  bool open_ = true;
+};
+
+/// javax.microedition.pim.Event field constants (the JSR-75 values).
+class Event {
+ public:
+  static constexpr int SUMMARY = 107;
+  static constexpr int START = 108;
+  static constexpr int END = 102;
+  static constexpr int LOCATION = 104;
+  static constexpr int UID = 109;
+};
+
+/// One calendar item with field-indexed accessors like PIMItem's.
+class PIMEvent {
+ public:
+  [[nodiscard]] int countValues(int field) const;
+  [[nodiscard]] std::string getString(int field, int index) const;
+  [[nodiscard]] long long getDate(int field, int index) const;
+
+ private:
+  friend class EventList;
+  long long uid_ = 0;
+  std::string summary_;
+  long long start_ms_ = 0;
+  long long end_ms_ = 0;
+  std::string location_;
+};
+
+/// javax.microedition.pim.EventList (read-only mode).
+class EventList {
+ public:
+  /// All events (charges list-open + per-item cost).
+  [[nodiscard]] std::vector<PIMEvent> items();
+  /// JSR-75 EventList.items(searchType, startDate, endDate): events
+  /// overlapping the window.
+  [[nodiscard]] std::vector<PIMEvent> items(long long start_ms,
+                                            long long end_ms);
+
+  void close() { open_ = false; }
+  bool isOpen() const { return open_; }
+
+ private:
+  friend class PIM;
+  explicit EventList(S60Platform& platform) : platform_(platform) {}
+  std::vector<PIMEvent> Materialize(long long start_ms, long long end_ms,
+                                    bool bounded);
+  S60Platform& platform_;
+  bool open_ = true;
+};
+
+/// javax.microedition.pim.PIM singleton entry point.
+class PIM {
+ public:
+  /// Throws SecurityException without the pim read permission;
+  /// IllegalArgumentException for write modes (not provisioned on this
+  /// MIDP configuration).
+  static std::shared_ptr<ContactList> openContactList(S60Platform& platform,
+                                                      int mode);
+  /// Same contract for the event list (calendar).
+  static std::shared_ptr<EventList> openEventList(S60Platform& platform,
+                                                  int mode);
+};
+
+}  // namespace mobivine::s60

@@ -1,0 +1,147 @@
+#include "s60/s60_platform.h"
+
+#include <algorithm>
+
+#include "device/http_message.h"
+#include "s60/connector.h"
+#include "s60/messaging.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace mobivine::s60 {
+
+S60Platform::S60Platform(device::MobileDevice& device, S60ApiCost cost)
+    : device_(device), cost_(cost) {}
+
+S60Platform::~S60Platform() { *alive_ = false; }
+
+void S60Platform::grantPermission(const std::string& permission) {
+  permissions_.insert(permission);
+}
+
+void S60Platform::revokePermission(const std::string& permission) {
+  permissions_.erase(permission);
+}
+
+bool S60Platform::hasPermission(const std::string& permission) const {
+  return permissions_.count(permission) > 0;
+}
+
+void S60Platform::checkPermission(const std::string& permission) const {
+  if (!hasPermission(permission)) {
+    throw SecurityException("MIDlet suite lacks permission: " + permission);
+  }
+}
+
+std::shared_ptr<MessageConnection> S60Platform::openMessageConnection(
+    const std::string& url) {
+  if (!support::StartsWith(url, "sms://")) {
+    throw ConnectionNotFoundException("not an sms:// URL: " + url);
+  }
+  std::string address = url.substr(6);
+  if (address.empty()) {
+    throw IllegalArgumentException("sms:// URL has no address");
+  }
+  return std::shared_ptr<MessageConnection>(
+      new MessageConnection(*this, std::move(address)));
+}
+
+std::shared_ptr<HttpConnection> S60Platform::openHttpConnection(
+    const std::string& url) {
+  auto parsed = device::ParseUrl(url);
+  if (!parsed) {
+    throw ConnectionNotFoundException("malformed http URL: " + url);
+  }
+  device_.scheduler().AdvanceBy(cost_.connector_open.Sample(device_.rng()));
+  return std::shared_ptr<HttpConnection>(
+      new HttpConnection(*this, *parsed, url));
+}
+
+device::GpsMode S60Platform::ModeFor(const Criteria& criteria) {
+  if (criteria.getPreferredPowerConsumption() == Criteria::POWER_USAGE_LOW) {
+    return device::GpsMode::kLowPower;
+  }
+  const int horizontal = criteria.getHorizontalAccuracy();
+  const int vertical = criteria.getVerticalAccuracy();
+  const bool wants_accuracy =
+      (horizontal != Criteria::NO_REQUIREMENT && horizontal <= 50) ||
+      (vertical != Criteria::NO_REQUIREMENT && vertical <= 50);
+  if (wants_accuracy ||
+      criteria.getPreferredPowerConsumption() == Criteria::POWER_USAGE_HIGH) {
+    return device::GpsMode::kHighAccuracy;
+  }
+  return device::GpsMode::kBalanced;
+}
+
+Location S60Platform::MakeLocation(const device::GpsFix& fix) {
+  QualifiedCoordinates coordinates(
+      fix.latitude_deg, fix.longitude_deg,
+      static_cast<float>(fix.altitude_m),
+      static_cast<float>(fix.horizontal_accuracy_m),
+      static_cast<float>(fix.horizontal_accuracy_m * 1.5));
+  return Location(coordinates, static_cast<float>(fix.speed_mps),
+                  static_cast<float>(fix.heading_deg), fix.timestamp,
+                  fix.valid);
+}
+
+void S60Platform::AddProximity(ProximityListener* listener,
+                               const Coordinates& center, float radius_m) {
+  proximity_.push_back({listener, center, radius_m});
+  listener->monitoringStateChanged(true);
+  EnsureProximityPoll();
+}
+
+void S60Platform::RemoveProximity(ProximityListener* listener) {
+  proximity_.erase(
+      std::remove_if(proximity_.begin(), proximity_.end(),
+                     [listener](const ProximityRegistration& reg) {
+                       return reg.listener == listener;
+                     }),
+      proximity_.end());
+}
+
+void S60Platform::EnsureProximityPoll() {
+  if (poll_running_) return;
+  poll_running_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<bool> alive = alive_;
+  *tick = [this, tick, alive] {
+    auto locked = alive.lock();
+    if (!locked || !*locked) return;
+    ProximityPollTick();
+    if (proximity_.empty()) {
+      poll_running_ = false;
+      return;
+    }
+    device_.scheduler().ScheduleAfter(cost_.proximity_poll_interval, *tick);
+  };
+  device_.scheduler().ScheduleAfter(cost_.proximity_poll_interval, *tick);
+}
+
+void S60Platform::ProximityPollTick() {
+  if (proximity_.empty()) return;
+  // One balanced fix per poll serves every registered region.
+  const device::GpsFix fix =
+      device_.gps().BlockingFix(device::GpsMode::kBalanced);
+  if (!fix.valid) return;
+  const Location location = MakeLocation(fix);
+  const Coordinates here(fix.latitude_deg, fix.longitude_deg,
+                         static_cast<float>(fix.altitude_m));
+
+  // JSR-179 one-shot semantics: collect the registrations inside the
+  // region, remove them, then fire.
+  std::vector<ProximityRegistration> fired;
+  for (auto it = proximity_.begin(); it != proximity_.end();) {
+    if (here.distance(it->center) <= it->radius_m) {
+      fired.push_back(*it);
+      it = proximity_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& reg : fired) {
+    reg.listener->proximityEvent(reg.center, location);
+  }
+}
+
+}  // namespace mobivine::s60

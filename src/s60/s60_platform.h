@@ -1,0 +1,140 @@
+// The Nokia S60 3rd Edition platform substrate.
+//
+// Owns the J2ME-style middleware state on top of a simulated handset:
+// MIDlet permission set, the location stack (JSR-179), messaging (JSR-120)
+// and the Generic Connection Framework's HTTP. Virtual API costs are
+// calibrated so the "Without Proxy" column of the paper's Figure 10 is
+// reproduced (see EXPERIMENTS.md §Calibration).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "device/mobile_device.h"
+#include "s60/coordinates.h"
+#include "s60/criteria.h"
+#include "s60/exceptions.h"
+#include "s60/location_provider.h"
+#include "sim/latency_model.h"
+
+namespace mobivine::s60 {
+
+/// J2ME permission names used by the substrate.
+namespace permissions {
+inline constexpr const char* kLocation = "javax.microedition.location.Location";
+inline constexpr const char* kSmsSend = "javax.wireless.messaging.sms.send";
+inline constexpr const char* kHttp = "javax.microedition.io.Connector.http";
+inline constexpr const char* kPimRead =
+    "javax.microedition.pim.ContactList.read";
+inline constexpr const char* kPimEventRead =
+    "javax.microedition.pim.EventList.read";
+}  // namespace permissions
+
+/// Virtual framework costs per native API (Figure 10 calibration: the
+/// getLocation / proximity paths add a high-accuracy GPS fix, mean 120 ms,
+/// on top of the framework cost listed here).
+struct S60ApiCost {
+  // Provider selection against the criteria; dominates the S60 proxy
+  // overhead in Figure 10 (getLocation delta ~7.7 ms = getInstance +
+  // de-fragmentation ops).
+  sim::LatencyModel get_instance =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(5.5),
+                                sim::SimTime::MillisF(0.5),
+                                sim::SimTime::MillisF(3.0));
+  // 20.8 + 120 (high-accuracy fix) = 140.8 ms  (paper: getLocation 140.8)
+  sim::LatencyModel get_location_framework =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(20.8),
+                                sim::SimTime::MillisF(1.5),
+                                sim::SimTime::MillisF(10.0));
+  // 21.0 + 120 (initial fix on registration) = 141 ms (paper: 141)
+  sim::LatencyModel add_proximity_framework =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(21.0),
+                                sim::SimTime::MillisF(1.5),
+                                sim::SimTime::MillisF(10.0));
+  // 3.6 framework + 12 blocking radio submit = 15.6 ms (paper: sendSMS 15.6;
+  // J2ME's send() blocks through the transmit, unlike Android's)
+  sim::LatencyModel send_sms =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(3.6),
+                                sim::SimTime::MillisF(0.4),
+                                sim::SimTime::MillisF(1.5));
+  sim::LatencyModel connector_open =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(6.0),
+                                sim::SimTime::MillisF(0.5),
+                                sim::SimTime::MillisF(3.0));
+  /// JSR-75: opening the contact list and materializing each item.
+  sim::LatencyModel pim_open_list =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(25.0),
+                                sim::SimTime::MillisF(2.0),
+                                sim::SimTime::MillisF(12.0));
+  sim::LatencyModel pim_item =
+      sim::LatencyModel::Normal(sim::SimTime::MillisF(0.8),
+                                sim::SimTime::MillisF(0.1),
+                                sim::SimTime::MillisF(0.3));
+  /// Period of the proximity-monitoring poll loop.
+  sim::SimTime proximity_poll_interval = sim::SimTime::Millis(900);
+};
+
+class MessageConnection;
+class HttpConnection;
+
+class S60Platform {
+ public:
+  explicit S60Platform(device::MobileDevice& device, S60ApiCost cost = {});
+  ~S60Platform();
+
+  S60Platform(const S60Platform&) = delete;
+  S60Platform& operator=(const S60Platform&) = delete;
+
+  device::MobileDevice& device() { return device_; }
+  const S60ApiCost& cost() const { return cost_; }
+
+  // --- MIDlet suite permissions (from the .jad descriptor) ---------------
+  void grantPermission(const std::string& permission);
+  void revokePermission(const std::string& permission);
+  bool hasPermission(const std::string& permission) const;
+  /// Throws SecurityException when the permission is missing.
+  void checkPermission(const std::string& permission) const;
+
+  // --- Generic Connection Framework ---------------------------------------
+  /// Connector.open() analog. Supports "sms://+number" (returns a
+  /// MessageConnection) and "http://host[:port]/path" (returns an
+  /// HttpConnection); anything else throws ConnectionNotFoundException.
+  std::shared_ptr<MessageConnection> openMessageConnection(
+      const std::string& url);
+  std::shared_ptr<HttpConnection> openHttpConnection(const std::string& url);
+
+  // --- internal: location stack (used by LocationProvider) ----------------
+  /// Map a Criteria to the GPS mode the provider will use.
+  static device::GpsMode ModeFor(const Criteria& criteria);
+
+  /// Convert a hardware fix to a JSR-179 Location.
+  static Location MakeLocation(const device::GpsFix& fix);
+
+  struct ProximityRegistration {
+    ProximityListener* listener;
+    Coordinates center;
+    float radius_m;
+  };
+  void AddProximity(ProximityListener* listener, const Coordinates& center,
+                    float radius_m);
+  void RemoveProximity(ProximityListener* listener);
+  std::size_t proximity_registration_count() const {
+    return proximity_.size();
+  }
+
+ private:
+  void EnsureProximityPoll();
+  void ProximityPollTick();
+
+  device::MobileDevice& device_;
+  S60ApiCost cost_;
+  std::unordered_set<std::string> permissions_;
+  std::vector<ProximityRegistration> proximity_;
+  bool poll_running_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace mobivine::s60

@@ -1,0 +1,59 @@
+// Virtual time for the discrete-event simulator.
+//
+// SimTime is a strongly typed microsecond count since simulation start.
+// All device latencies, platform API costs and timer expirations in the
+// substrates are expressed in SimTime, which makes every experiment
+// deterministic and independent of host speed.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace mobivine::sim {
+
+/// A duration or instant in virtual microseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime Micros(std::int64_t us) { return SimTime(us); }
+  static constexpr SimTime Millis(std::int64_t ms) {
+    return SimTime(ms * 1000);
+  }
+  static constexpr SimTime Seconds(std::int64_t s) {
+    return SimTime(s * 1'000'000);
+  }
+  static constexpr SimTime MillisF(double ms) {
+    return SimTime(static_cast<std::int64_t>(ms * 1000.0));
+  }
+  static constexpr SimTime Zero() { return SimTime(0); }
+  /// Sentinel larger than any schedulable time.
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t micros() const { return micros_; }
+  constexpr double millis() const { return static_cast<double>(micros_) / 1e3; }
+  constexpr double seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.micros_ + b.micros_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.micros_ - b.micros_);
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime(a.micros_ * k);
+  }
+  SimTime& operator+=(SimTime other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : micros_(us) {}
+  std::int64_t micros_ = 0;
+};
+
+}  // namespace mobivine::sim

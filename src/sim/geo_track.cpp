@@ -1,0 +1,79 @@
+#include "sim/geo_track.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mobivine::sim {
+
+using support::HaversineMeters;
+using support::InitialBearingDeg;
+using support::MoveAlongBearing;
+
+void GeoTrack::AddWaypoint(Waypoint wp) {
+  if (!waypoints_.empty() && wp.at < waypoints_.back().at) {
+    throw std::invalid_argument("GeoTrack waypoints must be time-ordered");
+  }
+  waypoints_.push_back(wp);
+}
+
+GeoTrack GeoTrack::Stationary(double lat_deg, double lon_deg, double alt_m) {
+  GeoTrack track;
+  track.AddWaypoint({SimTime::Zero(), lat_deg, lon_deg, alt_m});
+  return track;
+}
+
+GeoTrack GeoTrack::StraightLine(double lat_deg, double lon_deg,
+                                double bearing_deg, double speed_mps,
+                                SimTime duration, SimTime step) {
+  GeoTrack track;
+  if (step <= SimTime::Zero()) {
+    throw std::invalid_argument("StraightLine step must be positive");
+  }
+  for (SimTime t = SimTime::Zero(); t <= duration; t += step) {
+    const double meters = speed_mps * t.seconds();
+    auto point = MoveAlongBearing(lat_deg, lon_deg, bearing_deg, meters);
+    track.AddWaypoint({t, point.latitude_deg, point.longitude_deg, 0.0});
+  }
+  return track;
+}
+
+TrackFix GeoTrack::PositionAt(SimTime t) const {
+  TrackFix fix;
+  if (waypoints_.empty()) return fix;
+  if (t <= waypoints_.front().at || waypoints_.size() == 1) {
+    const Waypoint& wp = waypoints_.front();
+    fix.latitude_deg = wp.latitude_deg;
+    fix.longitude_deg = wp.longitude_deg;
+    fix.altitude_m = wp.altitude_m;
+    return fix;
+  }
+  if (t >= waypoints_.back().at) {
+    const Waypoint& wp = waypoints_.back();
+    fix.latitude_deg = wp.latitude_deg;
+    fix.longitude_deg = wp.longitude_deg;
+    fix.altitude_m = wp.altitude_m;
+    return fix;
+  }
+  // Find the segment containing t.
+  size_t hi = 1;
+  while (waypoints_[hi].at < t) ++hi;
+  const Waypoint& a = waypoints_[hi - 1];
+  const Waypoint& b = waypoints_[hi];
+  const double span = (b.at - a.at).seconds();
+  const double frac = span > 0 ? (t - a.at).seconds() / span : 0.0;
+
+  const double segment_m = HaversineMeters(a.latitude_deg, a.longitude_deg,
+                                           b.latitude_deg, b.longitude_deg);
+  const double bearing = InitialBearingDeg(a.latitude_deg, a.longitude_deg,
+                                           b.latitude_deg, b.longitude_deg);
+  auto point = MoveAlongBearing(a.latitude_deg, a.longitude_deg, bearing,
+                                segment_m * frac);
+  fix.latitude_deg = point.latitude_deg;
+  fix.longitude_deg = point.longitude_deg;
+  fix.altitude_m = a.altitude_m + (b.altitude_m - a.altitude_m) * frac;
+  fix.speed_mps = span > 0 ? segment_m / span : 0.0;
+  fix.heading_deg = segment_m > 0.01 ? bearing : 0.0;
+  return fix;
+}
+
+}  // namespace mobivine::sim

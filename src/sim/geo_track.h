@@ -1,0 +1,61 @@
+// Waypoint tracks for the GPS simulation.
+//
+// A GeoTrack is a sequence of timed waypoints; PositionAt() interpolates
+// along great-circle segments, giving the "true" device position the GPS
+// receiver then perturbs with measurement noise. Tracks also compute
+// instantaneous speed and heading, which the platform location objects
+// expose.
+#pragma once
+
+#include <vector>
+
+#include "sim/clock.h"
+#include "support/geo_units.h"
+
+namespace mobivine::sim {
+
+struct Waypoint {
+  SimTime at;
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+  double altitude_m = 0.0;
+};
+
+struct TrackFix {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+  double altitude_m = 0.0;
+  double speed_mps = 0.0;
+  double heading_deg = 0.0;  ///< compass bearing of travel; 0 when stationary
+};
+
+class GeoTrack {
+ public:
+  GeoTrack() = default;
+
+  /// Waypoints must be appended in non-decreasing time order; out-of-order
+  /// appends throw std::invalid_argument.
+  void AddWaypoint(Waypoint wp);
+
+  /// Convenience: a stationary track at one point.
+  static GeoTrack Stationary(double lat_deg, double lon_deg,
+                             double alt_m = 0.0);
+
+  /// Convenience: straight-line travel from `from` at constant speed along
+  /// `bearing_deg`, sampled every `step` for `duration`.
+  static GeoTrack StraightLine(double lat_deg, double lon_deg,
+                               double bearing_deg, double speed_mps,
+                               SimTime duration, SimTime step);
+
+  bool empty() const { return waypoints_.empty(); }
+  const std::vector<Waypoint>& waypoints() const { return waypoints_; }
+
+  /// True position at time t. Before the first waypoint the track holds at
+  /// the first point; after the last it holds at the last.
+  [[nodiscard]] TrackFix PositionAt(SimTime t) const;
+
+ private:
+  std::vector<Waypoint> waypoints_;
+};
+
+}  // namespace mobivine::sim

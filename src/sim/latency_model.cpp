@@ -1,0 +1,75 @@
+#include "sim/latency_model.h"
+
+#include <sstream>
+
+namespace mobivine::sim {
+
+LatencyModel LatencyModel::Fixed(SimTime value) {
+  LatencyModel model;
+  model.kind_ = LatencyKind::kFixed;
+  model.a_ = value;
+  return model;
+}
+
+LatencyModel LatencyModel::UniformIn(SimTime lo, SimTime hi) {
+  LatencyModel model;
+  model.kind_ = LatencyKind::kUniform;
+  model.a_ = lo;
+  model.b_ = hi;
+  return model;
+}
+
+LatencyModel LatencyModel::Normal(SimTime mean, SimTime stddev, SimTime min) {
+  LatencyModel model;
+  model.kind_ = LatencyKind::kNormal;
+  model.a_ = mean;
+  model.b_ = stddev;
+  model.min_ = min;
+  return model;
+}
+
+SimTime LatencyModel::Sample(Rng& rng) const {
+  switch (kind_) {
+    case LatencyKind::kFixed:
+      return a_;
+    case LatencyKind::kUniform:
+      return SimTime::Micros(rng.UniformInt(a_.micros(), b_.micros()));
+    case LatencyKind::kNormal: {
+      double sample = rng.NormalClamped(
+          static_cast<double>(a_.micros()), static_cast<double>(b_.micros()),
+          static_cast<double>(min_.micros()), 9e18);
+      return SimTime::Micros(static_cast<std::int64_t>(sample));
+    }
+  }
+  return SimTime::Zero();
+}
+
+SimTime LatencyModel::Mean() const {
+  switch (kind_) {
+    case LatencyKind::kFixed:
+      return a_;
+    case LatencyKind::kUniform:
+      return SimTime::Micros((a_.micros() + b_.micros()) / 2);
+    case LatencyKind::kNormal:
+      return a_;
+  }
+  return SimTime::Zero();
+}
+
+std::string LatencyModel::ToString() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case LatencyKind::kFixed:
+      out << "fixed(" << a_.millis() << "ms)";
+      break;
+    case LatencyKind::kUniform:
+      out << "uniform(" << a_.millis() << "ms," << b_.millis() << "ms)";
+      break;
+    case LatencyKind::kNormal:
+      out << "normal(" << a_.millis() << "ms,sd=" << b_.millis() << "ms)";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace mobivine::sim

@@ -1,0 +1,47 @@
+// Parametric latency models used to charge virtual time for device and
+// platform operations.
+//
+// Figure 10 calibration lives in the platform substrates: each native API
+// charges a LatencyModel whose mean matches the paper's "Without Proxy"
+// row (see EXPERIMENTS.md). Models are value types and cheap to copy.
+#pragma once
+
+#include <string>
+
+#include "sim/clock.h"
+#include "sim/random.h"
+
+namespace mobivine::sim {
+
+/// Distribution family for a latency sample.
+enum class LatencyKind { kFixed, kUniform, kNormal };
+
+class LatencyModel {
+ public:
+  /// Always `value`.
+  static LatencyModel Fixed(SimTime value);
+  /// Uniform in [lo, hi].
+  static LatencyModel UniformIn(SimTime lo, SimTime hi);
+  /// Normal(mean, stddev) clamped to [min, +inf).
+  static LatencyModel Normal(SimTime mean, SimTime stddev,
+                             SimTime min = SimTime::Zero());
+
+  /// Draw one latency sample.
+  [[nodiscard]] SimTime Sample(Rng& rng) const;
+
+  /// Expected value of the distribution (exact for all three families,
+  /// ignoring the clamp).
+  [[nodiscard]] SimTime Mean() const;
+
+  [[nodiscard]] std::string ToString() const;
+
+  LatencyKind kind() const { return kind_; }
+
+ private:
+  LatencyKind kind_ = LatencyKind::kFixed;
+  SimTime a_;  // fixed value / lo / mean
+  SimTime b_;  // unused    / hi / stddev
+  SimTime min_;
+};
+
+}  // namespace mobivine::sim

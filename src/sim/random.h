@@ -1,0 +1,52 @@
+// Seedable randomness for the simulator.
+//
+// Header-only thin wrapper over std::mt19937_64 with the handful of
+// distributions the device models need. Every component that needs
+// randomness takes a Rng& so an experiment is fully determined by one seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mobivine::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Normal sample clamped to [lo, hi].
+  double NormalClamped(double mean, double stddev, double lo, double hi) {
+    std::normal_distribution<double> dist(mean, stddev);
+    double sample = dist(engine_);
+    if (sample < lo) return lo;
+    if (sample > hi) return hi;
+    return sample;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mobivine::sim

@@ -1,0 +1,68 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace mobivine::sim {
+
+EventId Scheduler::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  EventId id = next_id_++;
+  pending_ids_.insert(id);
+  queue_.push(Event{when, next_sequence_++, id, std::move(fn)});
+  return id;
+}
+
+EventId Scheduler::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::Cancel(EventId id) {
+  // Only a still-pending event can be cancelled; fired or already-cancelled
+  // ids report failure.
+  if (pending_ids_.erase(id) == 0) return false;
+  // Lazy deletion: mark the id; the queued entry is skipped when popped.
+  tombstones_.insert(id);
+  return true;
+}
+
+void Scheduler::AdvanceBy(SimTime delay) {
+  if (delay > SimTime::Zero()) now_ += delay;
+}
+
+bool Scheduler::PopAndRunFront() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (tombstones_.erase(event.id)) continue;  // cancelled
+    pending_ids_.erase(event.id);
+    now_ = event.when > now_ ? event.when : now_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::Step() { return PopAndRunFront(); }
+
+std::size_t Scheduler::Run(std::size_t limit) {
+  std::size_t executed = 0;
+  while (executed < limit && PopAndRunFront()) ++executed;
+  return executed;
+}
+
+std::size_t Scheduler::RunUntil(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // Peek past tombstones.
+    while (!queue_.empty() && tombstones_.count(queue_.top().id)) {
+      tombstones_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    if (PopAndRunFront()) ++executed;
+  }
+  if (deadline > now_) now_ = deadline;
+  return executed;
+}
+
+}  // namespace mobivine::sim

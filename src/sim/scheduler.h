@@ -1,0 +1,85 @@
+// Discrete-event scheduler.
+//
+// Single-threaded by design: every platform substrate, device model and
+// application callback runs on the scheduler's virtual timeline, so runs
+// are reproducible bit-for-bit given the same seed. Events scheduled for
+// the same instant fire in scheduling order (stable FIFO).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace mobivine::sim {
+
+/// Handle for cancelling a scheduled event. Id 0 is never issued.
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `when` (clamped to >= now).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Schedule `fn` after a virtual delay.
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already fired, was
+  /// cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// Advance the clock directly (used by substrates to charge a blocking
+  /// API's latency without a callback round-trip). The clock never goes
+  /// backwards.
+  void AdvanceBy(SimTime delay);
+
+  /// Run the next pending event; returns false if the queue is empty.
+  bool Step();
+
+  /// Run until the queue drains or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::size_t Run(std::size_t limit = SIZE_MAX);
+
+  /// Run events with time <= deadline, then set the clock to the deadline.
+  std::size_t RunUntil(SimTime deadline);
+
+  /// Run events for a further `duration` of virtual time.
+  std::size_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+
+  std::size_t pending_count() const { return pending_ids_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t sequence;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  bool PopAndRunFront();
+
+  SimTime now_ = SimTime::Zero();
+  std::uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> pending_ids_;  ///< scheduled, not yet fired
+  std::unordered_set<EventId> tombstones_;   ///< cancelled, still queued
+};
+
+}  // namespace mobivine::sim

@@ -1,0 +1,61 @@
+#include "support/geo_units.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mobivine::support {
+
+double DegreesToRadians(double degrees) { return degrees * kPi / 180.0; }
+
+double RadiansToDegrees(double radians) { return radians * 180.0 / kPi; }
+
+double HaversineMeters(double lat1_deg, double lon1_deg, double lat2_deg,
+                       double lon2_deg) {
+  const double lat1 = DegreesToRadians(lat1_deg);
+  const double lat2 = DegreesToRadians(lat2_deg);
+  const double dlat = DegreesToRadians(lat2_deg - lat1_deg);
+  const double dlon = DegreesToRadians(lon2_deg - lon1_deg);
+  const double a = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  const double c = 2 * std::atan2(std::sqrt(a), std::sqrt(1 - a));
+  return kEarthRadiusMeters * c;
+}
+
+LatLon MoveAlongBearing(double lat_deg, double lon_deg, double bearing_deg,
+                        double distance_m) {
+  const double ang = distance_m / kEarthRadiusMeters;
+  const double brg = DegreesToRadians(bearing_deg);
+  const double lat1 = DegreesToRadians(lat_deg);
+  const double lon1 = DegreesToRadians(lon_deg);
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(ang) +
+                                std::cos(lat1) * std::sin(ang) * std::cos(brg));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(brg) * std::sin(ang) * std::cos(lat1),
+                        std::cos(ang) - std::sin(lat1) * std::sin(lat2));
+  return NormalizeLatLon(RadiansToDegrees(lat2), RadiansToDegrees(lon2));
+}
+
+double InitialBearingDeg(double lat1_deg, double lon1_deg, double lat2_deg,
+                         double lon2_deg) {
+  const double lat1 = DegreesToRadians(lat1_deg);
+  const double lat2 = DegreesToRadians(lat2_deg);
+  const double dlon = DegreesToRadians(lon2_deg - lon1_deg);
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  double bearing = RadiansToDegrees(std::atan2(y, x));
+  if (bearing < 0) bearing += 360.0;
+  return bearing;
+}
+
+LatLon NormalizeLatLon(double lat_deg, double lon_deg) {
+  LatLon out;
+  out.latitude_deg = std::clamp(lat_deg, -90.0, 90.0);
+  double lon = std::fmod(lon_deg + 180.0, 360.0);
+  if (lon < 0) lon += 360.0;
+  out.longitude_deg = lon - 180.0;
+  return out;
+}
+
+}  // namespace mobivine::support

@@ -1,0 +1,37 @@
+// Geodesy helpers shared by the device simulator and the platform substrates.
+//
+// All angles are WGS-84 degrees unless a name says otherwise; distances are
+// meters. The proximity-alert semantics in every platform substrate are
+// defined in terms of HaversineMeters.
+#pragma once
+
+namespace mobivine::support {
+
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+inline constexpr double kPi = 3.14159265358979323846;
+
+[[nodiscard]] double DegreesToRadians(double degrees);
+[[nodiscard]] double RadiansToDegrees(double radians);
+
+/// Great-circle distance between two (latitude, longitude) pairs in degrees.
+[[nodiscard]] double HaversineMeters(double lat1_deg, double lon1_deg,
+                                     double lat2_deg, double lon2_deg);
+
+/// Destination point after moving `distance_m` from (lat, lon) along the
+/// given compass bearing (degrees clockwise from north). Used by the GPS
+/// track interpolator.
+struct LatLon {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+[[nodiscard]] LatLon MoveAlongBearing(double lat_deg, double lon_deg,
+                                      double bearing_deg, double distance_m);
+
+/// Initial bearing (degrees in [0, 360)) from point 1 toward point 2.
+[[nodiscard]] double InitialBearingDeg(double lat1_deg, double lon1_deg,
+                                       double lat2_deg, double lon2_deg);
+
+/// Clamp latitude to [-90, 90] and wrap longitude to [-180, 180).
+[[nodiscard]] LatLon NormalizeLatLon(double lat_deg, double lon_deg);
+
+}  // namespace mobivine::support

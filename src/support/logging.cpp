@@ -1,0 +1,48 @@
+#include "support/logging.h"
+
+#include <cstdio>
+
+namespace mobivine::support {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "OFF";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[mobivine %s] %s\n", LevelName(level),
+                 message.c_str());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) sink_ = std::move(sink);
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level_) >= static_cast<int>(level) &&
+      level != LogLevel::kOff) {
+    sink_(level, message);
+  }
+}
+
+}  // namespace mobivine::support

@@ -1,0 +1,68 @@
+// Minimal leveled logger.
+//
+// The library never logs by default (Level::kOff); tests and examples turn
+// logging on when diagnosing. Output goes to a configurable sink so tests
+// can capture it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace mobivine::support {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+/// Process-wide logger configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replace the output sink (default writes to stderr).
+  void set_sink(Sink sink);
+
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+namespace internal {
+/// Stream-style log statement builder; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Instance().Log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace mobivine::support
+
+#define MOBIVINE_LOG(mobivine_level_)                                        \
+  if (static_cast<int>(::mobivine::support::Logger::Instance().level()) >=  \
+      static_cast<int>(mobivine_level_))                                    \
+  ::mobivine::support::internal::LogLine(mobivine_level_)
+
+#define MOBIVINE_LOG_ERROR MOBIVINE_LOG(::mobivine::support::LogLevel::kError)
+#define MOBIVINE_LOG_WARN MOBIVINE_LOG(::mobivine::support::LogLevel::kWarn)
+#define MOBIVINE_LOG_INFO MOBIVINE_LOG(::mobivine::support::LogLevel::kInfo)
+#define MOBIVINE_LOG_DEBUG MOBIVINE_LOG(::mobivine::support::LogLevel::kDebug)

@@ -1,0 +1,170 @@
+#include "support/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+namespace mobivine::support {
+
+namespace {
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && IsSpace(s[b])) ++b;
+  size_t e = s.size();
+  while (e > b && IsSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsSpace(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && !IsSpace(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  out.reserve(s.size());
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(s.substr(start));
+      return out;
+    }
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+bool ParseInt(std::string_view s, long long& out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool ParseDouble(std::string_view s, double& out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  // std::from_chars for double is not available everywhere; use strtod on a
+  // NUL-terminated copy.
+  std::string buf(s);
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+bool ParseBool(std::string_view s, bool& out) {
+  std::string lower = ToLower(Trim(s));
+  if (lower == "true" || lower == "1") {
+    out = true;
+    return true;
+  }
+  if (lower == "false" || lower == "0") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+int CountNonBlankLines(std::string_view text) {
+  int count = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = (end == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    if (!Trim(line).empty()) ++count;
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return count;
+}
+
+std::string Indent(std::string_view text, int spaces) {
+  std::string pad(static_cast<size_t>(spaces > 0 ? spaces : 0), ' ');
+  std::string out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = (end == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    if (!line.empty()) out += pad;
+    out.append(line);
+    if (end == std::string_view::npos) break;
+    out += '\n';
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace mobivine::support

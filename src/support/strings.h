@@ -1,0 +1,52 @@
+// String helpers shared across the MobiVine codebase.
+//
+// Small, allocation-conscious utilities; everything operates on
+// std::string_view where possible and only materializes std::string for
+// results that must own their storage.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobivine::support {
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view Trim(std::string_view s);
+
+/// Split `s` on `sep`. Empty fields are preserved ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Split `s` on any run of ASCII whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix or suffix.
+[[nodiscard]] bool StartsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Join the range with a separator.
+[[nodiscard]] std::string Join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Case-insensitive ASCII equality (used for HTTP header names).
+[[nodiscard]] bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lower-case an ASCII string.
+[[nodiscard]] std::string ToLower(std::string_view s);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string ReplaceAll(std::string_view s, std::string_view from,
+                                     std::string_view to);
+
+/// Parse helpers returning false on malformed input instead of throwing.
+bool ParseInt(std::string_view s, long long& out);
+bool ParseDouble(std::string_view s, double& out);
+bool ParseBool(std::string_view s, bool& out);  // "true"/"false" (any case)
+
+/// Count the number of lines that contain at least one non-space character.
+[[nodiscard]] int CountNonBlankLines(std::string_view text);
+
+/// Indent every non-empty line of `text` by `spaces` spaces.
+[[nodiscard]] std::string Indent(std::string_view text, int spaces);
+
+}  // namespace mobivine::support

@@ -1,0 +1,72 @@
+#include "webview/bridge.h"
+
+#include "android/exceptions.h"
+#include "android/location.h"
+
+namespace mobivine::webview {
+
+void Bridge::ChargeCall(int primitive_count, bool registers_callback) {
+  ++crossings_;
+  sim::SimTime total = cost_.crossing;
+  for (int i = 0; i < primitive_count; ++i) total += cost_.marshal_primitive;
+  if (registers_callback) total += cost_.callback_registration;
+  platform_.device().scheduler().AdvanceBy(total);
+}
+
+void Bridge::ChargeObjectMarshal(int field_count) {
+  sim::SimTime total = sim::SimTime::Zero();
+  for (int i = 0; i < field_count; ++i) total += cost_.marshal_object_field;
+  platform_.device().scheduler().AdvanceBy(total);
+}
+
+void Bridge::ChargeScriptSteps(std::uint64_t steps) {
+  platform_.device().scheduler().AdvanceBy(
+      cost_.js_step * static_cast<std::int64_t>(steps));
+}
+
+minijs::Value Bridge::MapCurrentException() const {
+  try {
+    throw;  // rethrow the in-flight exception to dispatch on its type
+  } catch (const android::SecurityException& e) {
+    return minijs::Value::Obj(minijs::MakeErrorObject(
+        "SecurityError", e.what(), kErrorCodeSecurity));
+  } catch (const android::IllegalArgumentException& e) {
+    return minijs::Value::Obj(minijs::MakeErrorObject(
+        "IllegalArgumentError", e.what(), kErrorCodeIllegalArgument));
+  } catch (const android::UnsupportedOperationException& e) {
+    return minijs::Value::Obj(minijs::MakeErrorObject(
+        "UnsupportedOperationError", e.what(), kErrorCodeUnsupportedOperation));
+  } catch (const android::IllegalStateException& e) {
+    return minijs::Value::Obj(minijs::MakeErrorObject(
+        "IllegalStateError", e.what(), kErrorCodeIllegalState));
+  } catch (const android::ConnectTimeoutException& e) {
+    return minijs::Value::Obj(minijs::MakeErrorObject(
+        "ConnectTimeoutError", e.what(), kErrorCodeConnectTimeout));
+  } catch (const android::ClientProtocolException& e) {
+    return minijs::Value::Obj(minijs::MakeErrorObject(
+        "ClientProtocolError", e.what(), kErrorCodeClientProtocol));
+  } catch (const android::RemoteException& e) {
+    return minijs::Value::Obj(
+        minijs::MakeErrorObject("RemoteError", e.what(), kErrorCodeRemote));
+  } catch (const std::exception& e) {
+    return minijs::Value::Obj(
+        minijs::MakeErrorObject("Error", e.what(), kErrorCodeUnknown));
+  }
+}
+
+minijs::Value LocationToJs(const android::Location& location) {
+  auto object = minijs::Object::Make();
+  object->set_class_name("Location");
+  object->Set("latitude", minijs::Value::Number(location.getLatitude()));
+  object->Set("longitude", minijs::Value::Number(location.getLongitude()));
+  object->Set("altitude", minijs::Value::Number(location.getAltitude()));
+  object->Set("accuracy", minijs::Value::Number(location.getAccuracy()));
+  object->Set("speed", minijs::Value::Number(location.getSpeed()));
+  object->Set("bearing", minijs::Value::Number(location.getBearing()));
+  object->Set("time",
+              minijs::Value::Number(static_cast<double>(location.getTime())));
+  object->Set("provider", minijs::Value::String(location.getProvider()));
+  return minijs::Value::Obj(object);
+}
+
+}  // namespace mobivine::webview

@@ -1,0 +1,81 @@
+// The JavaScript-to-Java bridge: cost model and error-code mapping.
+//
+// Every host call from MiniJS into the Android substrate crosses this
+// bridge. Costs are charged in virtual time, calibrated so the raw
+// ("Without Proxy") WebView column of Figure 10 reproduces:
+//   addProximityAlert = android 53.6 + crossing 19.8 + 5 primitives  ≈ 78.4
+//   getLocation       = android 15.5 + crossing 19.8 + 1 primitive
+//                       + 7 marshalled object fields (12 ms each)    ≈ 120.3
+//   sendSMS           = android 52.7 + crossing 19.8 + 5 primitives
+//                       + callback registration 14.1                 ≈ 91.6
+//
+// Exceptions: the paper propagates native exceptions to JavaScript as
+// error codes. MapException converts the Android exception set to a
+// {name, message, code} Error object per the table in kErrorCode*.
+#pragma once
+
+#include <exception>
+#include <string>
+
+#include "android/android_platform.h"
+#include "android/location.h"
+#include "minijs/value.h"
+#include "sim/clock.h"
+
+namespace mobivine::webview {
+
+/// Error codes for the Android exception set (paper §4.1 step 2).
+inline constexpr int kErrorCodeSecurity = 101;
+inline constexpr int kErrorCodeIllegalArgument = 102;
+inline constexpr int kErrorCodeUnsupportedOperation = 103;
+inline constexpr int kErrorCodeRemote = 104;
+inline constexpr int kErrorCodeClientProtocol = 105;
+inline constexpr int kErrorCodeConnectTimeout = 106;
+inline constexpr int kErrorCodeIllegalState = 107;
+inline constexpr int kErrorCodeUnknown = 199;
+
+struct BridgeCost {
+  sim::SimTime crossing = sim::SimTime::MillisF(19.8);
+  sim::SimTime marshal_primitive = sim::SimTime::MillisF(1.0);
+  sim::SimTime marshal_object_field = sim::SimTime::MillisF(12.0);
+  sim::SimTime callback_registration = sim::SimTime::MillisF(14.1);
+  /// Virtual cost of one MiniJS interpreter step on 2009-class hardware.
+  sim::SimTime js_step = sim::SimTime::Micros(30);
+};
+
+class Bridge {
+ public:
+  Bridge(android::AndroidPlatform& platform, BridgeCost cost = {})
+      : platform_(platform), cost_(cost) {}
+
+  android::AndroidPlatform& platform() { return platform_; }
+  const BridgeCost& cost() const { return cost_; }
+
+  /// Charge one host-call crossing: base + per-primitive marshalling +
+  /// optional callback registration.
+  void ChargeCall(int primitive_count, bool registers_callback);
+  /// Charge conversion of a native object with `field_count` fields into a
+  /// JS object.
+  void ChargeObjectMarshal(int field_count);
+  /// Charge `steps` interpreter steps of script execution.
+  void ChargeScriptSteps(std::uint64_t steps);
+
+  /// Convert the in-flight exception to a JS Error value with an error
+  /// code. Must be called from inside a catch block.
+  [[nodiscard]] minijs::Value MapCurrentException() const;
+
+  /// Number of bridge crossings so far (ablation A3 counts these).
+  std::uint64_t crossings() const { return crossings_; }
+
+ private:
+  android::AndroidPlatform& platform_;
+  BridgeCost cost_;
+  std::uint64_t crossings_ = 0;
+};
+
+/// Build an android::Location as a JS object (the 7 marshalled fields the
+/// cost model charges: latitude, longitude, altitude, accuracy, speed,
+/// bearing, time) plus the provider string.
+[[nodiscard]] minijs::Value LocationToJs(const android::Location& location);
+
+}  // namespace mobivine::webview

@@ -1,0 +1,32 @@
+#include "webview/notification_table.h"
+
+namespace mobivine::webview {
+
+std::int64_t NotificationTable::NewChannel() {
+  const std::int64_t id = next_channel_++;
+  channels_[id];  // create empty
+  return id;
+}
+
+void NotificationTable::Post(std::int64_t channel, minijs::Value notification) {
+  channels_[channel].push_back(std::move(notification));
+}
+
+std::vector<minijs::Value> NotificationTable::Drain(std::int64_t channel) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) return {};
+  std::vector<minijs::Value> out = std::move(it->second);
+  it->second.clear();
+  return out;
+}
+
+std::size_t NotificationTable::PendingCount(std::int64_t channel) const {
+  auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.size();
+}
+
+void NotificationTable::CloseChannel(std::int64_t channel) {
+  channels_.erase(channel);
+}
+
+}  // namespace mobivine::webview

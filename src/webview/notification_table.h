@@ -1,0 +1,43 @@
+// The Notification Table from the paper's Figure 6.
+//
+// Callback notifications received by a Java object are not visible to the
+// invoking JavaScript call (paper, footnote 8), so the WebView proxy
+// pattern stores them here, keyed by a notification id returned from the
+// wrapper invocation, and the JS side polls with startPolling(). The table
+// itself is part of the WebView context and usable by any wrapper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "minijs/value.h"
+
+namespace mobivine::webview {
+
+class NotificationTable {
+ public:
+  /// Allocate a fresh notification channel id (> 0).
+  std::int64_t NewChannel();
+
+  /// Append a notification object to a channel. Unknown channels are
+  /// created implicitly (a wrapper may post before the JS side polls).
+  void Post(std::int64_t channel, minijs::Value notification);
+
+  /// Remove and return every pending notification for the channel.
+  [[nodiscard]] std::vector<minijs::Value> Drain(std::int64_t channel);
+
+  /// Pending count for a channel (diagnostics/tests).
+  [[nodiscard]] std::size_t PendingCount(std::int64_t channel) const;
+
+  /// Drop a channel entirely (wrapper teardown).
+  void CloseChannel(std::int64_t channel);
+
+  std::size_t channel_count() const { return channels_.size(); }
+
+ private:
+  std::int64_t next_channel_ = 1;
+  std::map<std::int64_t, std::vector<minijs::Value>> channels_;
+};
+
+}  // namespace mobivine::webview

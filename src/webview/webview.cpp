@@ -1,0 +1,477 @@
+#include "webview/webview.h"
+
+#include "android/contacts.h"
+#include "android/exceptions.h"
+#include "android/http_client.h"
+#include "android/location_manager.h"
+#include "android/sms_manager.h"
+#include "android/telephony.h"
+
+namespace mobivine::webview {
+
+using minijs::MakeHostFunction;
+using minijs::Object;
+using minijs::Value;
+
+// ---------------------------------------------------------------------------
+// ActionReceiver: posts every broadcast with a given action into a channel.
+// ---------------------------------------------------------------------------
+
+class WebView::ActionReceiver : public android::IntentReceiver {
+ public:
+  ActionReceiver(NotificationTable& table, std::int64_t channel)
+      : table_(table), channel_(channel) {}
+
+  void onReceiveIntent(android::Context& context,
+                       const android::Intent& intent) override {
+    (void)context;
+    auto object = Object::Make();
+    object->set_class_name("Notification");
+    object->Set("action", Value::String(intent.getAction()));
+    for (const auto& [key, value] : intent.getExtras().entries()) {
+      std::visit(
+          [&](const auto& v) {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, bool>) {
+              object->Set(key, Value::Boolean(v));
+            } else if constexpr (std::is_same_v<T, std::string>) {
+              object->Set(key, Value::String(v));
+            } else {
+              object->Set(key, Value::Number(static_cast<double>(v)));
+            }
+          },
+          value);
+    }
+    table_.Post(channel_, Value::Obj(object));
+  }
+
+ private:
+  NotificationTable& table_;
+  std::int64_t channel_;
+};
+
+// ---------------------------------------------------------------------------
+// WebView
+// ---------------------------------------------------------------------------
+
+WebView::WebView(android::AndroidPlatform& platform, BridgeCost cost)
+    : platform_(platform), bridge_(platform, cost) {
+  InstallTimerBuiltins();
+}
+
+WebView::~WebView() {
+  *alive_ = false;
+  for (auto& [id, timer] : timers_) timer->cancelled = true;
+  for (auto& [action, receiver] : receivers_) {
+    platform_.application_context().unregisterReceiver(receiver.get());
+  }
+}
+
+void WebView::addJavascriptInterface(Value object, const std::string& name) {
+  interpreter_.SetGlobal(name, std::move(object));
+}
+
+Value WebView::loadScript(std::string_view source) {
+  const std::uint64_t before = interpreter_.steps();
+  Value result;
+  try {
+    result = interpreter_.Run(source);
+  } catch (...) {
+    bridge_.ChargeScriptSteps(interpreter_.steps() - before);
+    throw;
+  }
+  bridge_.ChargeScriptSteps(interpreter_.steps() - before);
+  return result;
+}
+
+Value WebView::callGlobal(const std::string& function_name,
+                          std::vector<Value> arguments) {
+  Value function = interpreter_.GetGlobal(function_name);
+  const std::uint64_t before = interpreter_.steps();
+  Value result;
+  try {
+    result = interpreter_.Call(function, Value::Undefined(),
+                               std::move(arguments));
+  } catch (...) {
+    bridge_.ChargeScriptSteps(interpreter_.steps() - before);
+    throw;
+  }
+  bridge_.ChargeScriptSteps(interpreter_.steps() - before);
+  return result;
+}
+
+void WebView::RunCallback(const Value& fn, std::vector<Value> args) {
+  if (!fn.is_function()) return;
+  const std::uint64_t before = interpreter_.steps();
+  try {
+    interpreter_.Call(fn, Value::Undefined(), std::move(args));
+  } catch (const minijs::ScriptError& error) {
+    console_errors_.push_back(error.what());
+  }
+  bridge_.ChargeScriptSteps(interpreter_.steps() - before);
+}
+
+std::int64_t WebView::ChannelForAction(const std::string& action) {
+  auto it = action_channels_.find(action);
+  if (it != action_channels_.end()) return it->second;
+  const std::int64_t channel = notifications_.NewChannel();
+  action_channels_[action] = channel;
+  auto receiver = std::make_unique<ActionReceiver>(notifications_, channel);
+  platform_.application_context().registerReceiver(
+      receiver.get(), android::IntentFilter(action));
+  receivers_[action] = std::move(receiver);
+  return channel;
+}
+
+void WebView::ReleaseAction(const std::string& action) {
+  auto receiver = receivers_.find(action);
+  if (receiver != receivers_.end()) {
+    platform_.application_context().unregisterReceiver(
+        receiver->second.get());
+    receivers_.erase(receiver);
+  }
+  auto channel = action_channels_.find(action);
+  if (channel != action_channels_.end()) {
+    notifications_.CloseChannel(channel->second);
+    action_channels_.erase(channel);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+Value WebView::SetTimer(std::vector<Value>& args, bool repeating) {
+  if (args.empty() || !args[0].is_function()) return Value::Number(0);
+  const double ms = args.size() > 1 ? args[1].ToNumber() : 0.0;
+  auto timer = std::make_shared<Timer>();
+  timer->repeating = repeating;
+  timer->period = sim::SimTime::MillisF(ms < 0 ? 0 : ms);
+  timer->callback = args[0];
+  const std::int64_t id = next_timer_id_++;
+  timers_[id] = timer;
+
+  auto& scheduler = platform_.device().scheduler();
+  std::weak_ptr<bool> alive = alive_;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, timer, tick, alive, id] {
+    auto locked = alive.lock();
+    if (!locked || !*locked || timer->cancelled) return;
+    RunCallback(timer->callback, {});
+    if (timer->repeating && !timer->cancelled) {
+      platform_.device().scheduler().ScheduleAfter(timer->period, *tick);
+    } else {
+      timers_.erase(id);
+    }
+  };
+  scheduler.ScheduleAfter(timer->period, *tick);
+  return Value::Number(static_cast<double>(id));
+}
+
+void WebView::InstallTimerBuiltins() {
+  interpreter_.SetGlobal(
+      "setTimeout",
+      MakeHostFunction("setTimeout",
+                       [this](minijs::Interpreter&, const Value&,
+                              std::vector<Value>& args) {
+                         return SetTimer(args, /*repeating=*/false);
+                       }));
+  interpreter_.SetGlobal(
+      "setInterval",
+      MakeHostFunction("setInterval",
+                       [this](minijs::Interpreter&, const Value&,
+                              std::vector<Value>& args) {
+                         return SetTimer(args, /*repeating=*/true);
+                       }));
+  auto clear = [this](minijs::Interpreter&, const Value&,
+                      std::vector<Value>& args) {
+    if (!args.empty()) {
+      auto it = timers_.find(static_cast<std::int64_t>(args[0].ToNumber()));
+      if (it != timers_.end()) {
+        it->second->cancelled = true;
+        timers_.erase(it);
+      }
+    }
+    return Value::Undefined();
+  };
+  interpreter_.SetGlobal("clearTimeout",
+                         MakeHostFunction("clearTimeout", clear));
+  interpreter_.SetGlobal("clearInterval",
+                         MakeHostFunction("clearInterval", clear));
+}
+
+// ---------------------------------------------------------------------------
+// Raw platform interfaces
+// ---------------------------------------------------------------------------
+
+void WebView::injectRawPlatformInterfaces() {
+  addJavascriptInterface(MakeRawSmsManager(), "SmsManagerRaw");
+  addJavascriptInterface(MakeRawLocationManager(), "LocationManagerRaw");
+  addJavascriptInterface(MakeRawHttpClient(), "HttpClientRaw");
+  addJavascriptInterface(MakeRawTelephony(), "TelephonyRaw");
+  addJavascriptInterface(MakeRawContacts(), "ContactsRaw");
+}
+
+Value WebView::MakeRawContacts() {
+  auto object = Object::Make();
+  object->set_class_name("ContactsRaw");
+  object->Set(
+      "listContacts",
+      MakeHostFunction(
+          "listContacts",
+          [this](minijs::Interpreter&, const Value&,
+                 std::vector<Value>&) -> Value {
+            bridge_.ChargeCall(0, false);
+            try {
+              android::ContactsProvider provider(platform_);
+              android::Cursor cursor = provider.query();
+              auto out = Object::MakeArray();
+              while (cursor.moveToNext()) {
+                bridge_.ChargeObjectMarshal(4);
+                // Raw Android column names, unlike the proxy's uniform
+                // shape.
+                auto row = Object::Make();
+                row->Set("_id",
+                         Value::Number(static_cast<double>(
+                             cursor.getLong(android::Cursor::COLUMN_ID))));
+                row->Set("display_name",
+                         Value::String(cursor.getString(
+                             android::Cursor::COLUMN_DISPLAY_NAME)));
+                row->Set("number",
+                         Value::String(cursor.getString(
+                             android::Cursor::COLUMN_NUMBER)));
+                row->Set("email", Value::String(cursor.getString(
+                                      android::Cursor::COLUMN_EMAIL)));
+                out->elements().push_back(Value::Obj(row));
+              }
+              cursor.close();
+              return Value::Obj(out);
+            } catch (...) {
+              throw minijs::ScriptError(bridge_.MapCurrentException());
+            }
+          }));
+  return Value::Obj(object);
+}
+
+Value WebView::MakeRawSmsManager() {
+  auto object = Object::Make();
+  object->set_class_name("SmsManagerRaw");
+  object->Set(
+      "sendTextMessage",
+      MakeHostFunction(
+          "sendTextMessage",
+          [this](minijs::Interpreter&, const Value&,
+                 std::vector<Value>& args) -> Value {
+            bridge_.ChargeCall(/*primitive_count=*/5,
+                               /*registers_callback=*/true);
+            if (args.size() < 3) {
+              throw minijs::ScriptError(Value::Obj(minijs::MakeErrorObject(
+                  "IllegalArgumentError", "sendTextMessage needs 5 arguments",
+                  kErrorCodeIllegalArgument)));
+            }
+            const std::string destination = args[0].ToDisplayString();
+            const std::string sc =
+                args[1].is_nullish() ? "" : args[1].ToDisplayString();
+            const std::string text = args[2].ToDisplayString();
+            const std::string sent_action =
+                args.size() > 3 && !args[3].is_nullish()
+                    ? args[3].ToDisplayString()
+                    : "";
+            const std::string delivered_action =
+                args.size() > 4 && !args[4].is_nullish()
+                    ? args[4].ToDisplayString()
+                    : "";
+            // Raw JS cannot receive Java callbacks (paper footnote 8):
+            // progress intents are captured into pollable channels instead.
+            if (!sent_action.empty()) ChannelForAction(sent_action);
+            if (!delivered_action.empty()) ChannelForAction(delivered_action);
+            try {
+              const long long id = platform_.sms_manager().sendTextMessage(
+                  destination, sc, text, sent_action, delivered_action);
+              return Value::Number(static_cast<double>(id));
+            } catch (...) {
+              throw minijs::ScriptError(bridge_.MapCurrentException());
+            }
+          }));
+  object->Set("pollStatus",
+              MakeHostFunction(
+                  "pollStatus",
+                  [this](minijs::Interpreter&, const Value&,
+                         std::vector<Value>& args) -> Value {
+                    bridge_.ChargeCall(1, false);
+                    if (args.empty()) return Value::Obj(Object::MakeArray());
+                    auto out = Object::MakeArray();
+                    out->elements() = notifications_.Drain(
+                        ChannelForAction(args[0].ToDisplayString()));
+                    return Value::Obj(out);
+                  }));
+  return Value::Obj(object);
+}
+
+Value WebView::MakeRawLocationManager() {
+  auto object = Object::Make();
+  object->set_class_name("LocationManagerRaw");
+  object->Set(
+      "getCurrentLocation",
+      MakeHostFunction(
+          "getCurrentLocation",
+          [this](minijs::Interpreter&, const Value&,
+                 std::vector<Value>& args) -> Value {
+            bridge_.ChargeCall(/*primitive_count=*/1,
+                               /*registers_callback=*/false);
+            const std::string provider =
+                args.empty() ? "gps" : args[0].ToDisplayString();
+            try {
+              android::Location location =
+                  platform_.location_manager().getCurrentLocation(provider);
+              bridge_.ChargeObjectMarshal(/*field_count=*/7);
+              return LocationToJs(location);
+            } catch (...) {
+              throw minijs::ScriptError(bridge_.MapCurrentException());
+            }
+          }));
+  object->Set(
+      "addProximityAlert",
+      MakeHostFunction(
+          "addProximityAlert",
+          [this](minijs::Interpreter&, const Value&,
+                 std::vector<Value>& args) -> Value {
+            bridge_.ChargeCall(/*primitive_count=*/5,
+                               /*registers_callback=*/false);
+            if (args.size() < 5) {
+              throw minijs::ScriptError(Value::Obj(minijs::MakeErrorObject(
+                  "IllegalArgumentError",
+                  "addProximityAlert needs lat, lon, radius, expiration, "
+                  "action",
+                  kErrorCodeIllegalArgument)));
+            }
+            const std::string action = args[4].ToDisplayString();
+            ChannelForAction(action);
+            try {
+              android::Intent intent(action);
+              platform_.location_manager().addProximityAlert(
+                  args[0].ToNumber(), args[1].ToNumber(),
+                  static_cast<float>(args[2].ToNumber()),
+                  static_cast<long long>(args[3].ToNumber()), intent);
+              return Value::Undefined();
+            } catch (...) {
+              throw minijs::ScriptError(bridge_.MapCurrentException());
+            }
+          }));
+  object->Set("pollProximity",
+              MakeHostFunction(
+                  "pollProximity",
+                  [this](minijs::Interpreter&, const Value&,
+                         std::vector<Value>& args) -> Value {
+                    bridge_.ChargeCall(1, false);
+                    if (args.empty()) return Value::Obj(Object::MakeArray());
+                    auto out = Object::MakeArray();
+                    out->elements() = notifications_.Drain(
+                        ChannelForAction(args[0].ToDisplayString()));
+                    return Value::Obj(out);
+                  }));
+  object->Set(
+      "removeProximityAlert",
+      MakeHostFunction("removeProximityAlert",
+                       [this](minijs::Interpreter&, const Value&,
+                              std::vector<Value>& args) -> Value {
+                         bridge_.ChargeCall(1, false);
+                         if (!args.empty()) {
+                           platform_.location_manager().removeProximityAlert(
+                               args[0].ToDisplayString());
+                         }
+                         return Value::Undefined();
+                       }));
+  return Value::Obj(object);
+}
+
+Value WebView::MakeRawHttpClient() {
+  auto object = Object::Make();
+  object->set_class_name("HttpClientRaw");
+  object->Set(
+      "execute",
+      MakeHostFunction(
+          "execute",
+          [this](minijs::Interpreter&, const Value&,
+                 std::vector<Value>& args) -> Value {
+            bridge_.ChargeCall(/*primitive_count=*/3,
+                               /*registers_callback=*/false);
+            if (args.size() < 2) {
+              throw minijs::ScriptError(Value::Obj(minijs::MakeErrorObject(
+                  "IllegalArgumentError", "execute needs method and url",
+                  kErrorCodeIllegalArgument)));
+            }
+            const std::string method = args[0].ToDisplayString();
+            const std::string url = args[1].ToDisplayString();
+            try {
+              android::DefaultHttpClient client(platform_);
+              android::ApacheHttpResponse response = [&] {
+                if (method == "POST") {
+                  android::HttpPost post(url);
+                  if (args.size() > 2 && !args[2].is_nullish()) {
+                    post.setEntity(args[2].ToDisplayString());
+                  }
+                  return client.execute(post);
+                }
+                android::HttpGet get(url);
+                return client.execute(get);
+              }();
+              bridge_.ChargeObjectMarshal(/*field_count=*/3);
+              auto out = Object::Make();
+              out->set_class_name("HttpResponse");
+              out->Set("status", Value::Number(response.getStatusCode()));
+              out->Set("reason", Value::String(response.getReasonPhrase()));
+              out->Set("body", Value::String(response.getEntity()));
+              return Value::Obj(out);
+            } catch (const minijs::ScriptError&) {
+              throw;
+            } catch (...) {
+              throw minijs::ScriptError(bridge_.MapCurrentException());
+            }
+          }));
+  return Value::Obj(object);
+}
+
+Value WebView::MakeRawTelephony() {
+  auto object = Object::Make();
+  object->set_class_name("TelephonyRaw");
+  object->Set("call",
+              MakeHostFunction(
+                  "call",
+                  [this](minijs::Interpreter&, const Value&,
+                         std::vector<Value>& args) -> Value {
+                    bridge_.ChargeCall(1, false);
+                    if (args.empty()) {
+                      throw minijs::ScriptError(
+                          Value::Obj(minijs::MakeErrorObject(
+                              "IllegalArgumentError", "call needs a number",
+                              kErrorCodeIllegalArgument)));
+                    }
+                    try {
+                      return Value::Boolean(platform_.telephony_manager().call(
+                          args[0].ToDisplayString()));
+                    } catch (...) {
+                      throw minijs::ScriptError(bridge_.MapCurrentException());
+                    }
+                  }));
+  object->Set("endCall", MakeHostFunction(
+                             "endCall",
+                             [this](minijs::Interpreter&, const Value&,
+                                    std::vector<Value>&) -> Value {
+                               bridge_.ChargeCall(0, false);
+                               platform_.telephony_manager().endCall();
+                               return Value::Undefined();
+                             }));
+  object->Set("getCallState",
+              MakeHostFunction("getCallState",
+                               [this](minijs::Interpreter&, const Value&,
+                                      std::vector<Value>&) -> Value {
+                                 bridge_.ChargeCall(0, false);
+                                 return Value::Number(
+                                     platform_.telephony_manager()
+                                         .getCallState());
+                               }));
+  return Value::Obj(object);
+}
+
+}  // namespace mobivine::webview

@@ -1,0 +1,119 @@
+// The Android WebView substrate: a MiniJS engine embedded in an Android
+// application, with addJavascriptInterface(), timers, the notification
+// table, and the RAW platform interfaces a 2009 WebView developer used
+// directly (the "Without Proxy" surface of Figure 10's WebView column).
+//
+// The MobiVine JavaScript proxies (src/core/bindings/webview_*) are layered
+// on top of this class exactly as the paper's Figure 6 describes: wrapper
+// host objects created by factories, JS proxy objects holding the wrapper
+// handle, and callbacks bridged through the notification table + polling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "android/android_platform.h"
+#include "android/intent.h"
+#include "minijs/interpreter.h"
+#include "webview/bridge.h"
+#include "webview/notification_table.h"
+
+namespace mobivine::webview {
+
+class WebView {
+ public:
+  explicit WebView(android::AndroidPlatform& platform, BridgeCost cost = {});
+  ~WebView();
+
+  WebView(const WebView&) = delete;
+  WebView& operator=(const WebView&) = delete;
+
+  android::AndroidPlatform& platform() { return platform_; }
+  minijs::Interpreter& interpreter() { return interpreter_; }
+  Bridge& bridge() { return bridge_; }
+  NotificationTable& notifications() { return notifications_; }
+
+  /// addJavaScriptInterface analog: expose a host object to scripts under
+  /// a global name.
+  void addJavascriptInterface(minijs::Value object, const std::string& name);
+
+  /// Run a script in the page's global scope, charging interpreter steps
+  /// as virtual time. ScriptError propagates to the caller.
+  minijs::Value loadScript(std::string_view source);
+
+  /// Invoke a global script function (used to deliver page events and by
+  /// tests/benches), charging steps.
+  minijs::Value callGlobal(const std::string& function_name,
+                           std::vector<minijs::Value> arguments);
+
+  // --- raw platform interfaces (the no-proxy developer surface) -----------
+  /// Inject SmsManagerRaw / LocationManagerRaw / HttpClientRaw /
+  /// TelephonyRaw host objects. Raw callbacks are NOT delivered into JS
+  /// (paper footnote 8); instead progress intents land in pollable
+  /// channels: SmsManagerRaw.pollStatus(action),
+  /// LocationManagerRaw.pollProximity(action).
+  void injectRawPlatformInterfaces();
+
+  /// Channel used for intents with this action (created on demand); the
+  /// registered IntentReceiver posts every matching broadcast's extras.
+  std::int64_t ChannelForAction(const std::string& action);
+
+  /// Tear down an action channel: unregister its receiver and drop pending
+  /// notifications. Wrappers call this when a conversation reaches a
+  /// terminal state — otherwise every send would leak a receiver.
+  void ReleaseAction(const std::string& action);
+
+  /// Live per-action receivers (tests assert boundedness).
+  std::size_t action_receiver_count() const { return receivers_.size(); }
+
+ private:
+  class ActionReceiver;
+
+  minijs::Value MakeRawSmsManager();
+  minijs::Value MakeRawLocationManager();
+  minijs::Value MakeRawHttpClient();
+  minijs::Value MakeRawTelephony();
+  minijs::Value MakeRawContacts();
+
+  /// Run `fn` (a script closure) from native code, charging steps and
+  /// swallowing script errors into the page's error log (like a browser
+  /// console).
+  void RunCallback(const minijs::Value& fn, std::vector<minijs::Value> args);
+
+  // --- timers ----------------------------------------------------------
+  minijs::Value SetTimer(std::vector<minijs::Value>& args, bool repeating);
+  void InstallTimerBuiltins();
+
+  android::AndroidPlatform& platform_;
+  minijs::Interpreter interpreter_;
+  Bridge bridge_;
+  NotificationTable notifications_;
+
+  std::map<std::string, std::int64_t> action_channels_;
+  std::map<std::string, std::unique_ptr<ActionReceiver>> receivers_;
+
+  struct Timer {
+    bool repeating;
+    sim::SimTime period;
+    minijs::Value callback;
+    bool cancelled = false;
+  };
+  std::int64_t next_timer_id_ = 1;
+  std::map<std::int64_t, std::shared_ptr<Timer>> timers_;
+
+  std::vector<std::string> console_errors_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+ public:
+  /// Uncaught errors from asynchronous callbacks (timers), like a browser
+  /// console. Tests assert on this.
+  const std::vector<std::string>& console_errors() const {
+    return console_errors_;
+  }
+};
+
+}  // namespace mobivine::webview

@@ -1,0 +1,165 @@
+#include "xml/xml_node.h"
+
+#include "support/strings.h"
+
+namespace mobivine::xml {
+
+NodePtr Node::Element(std::string name) {
+  auto node = NodePtr(new Node(NodeType::kElement));
+  node->name_ = std::move(name);
+  return node;
+}
+
+NodePtr Node::Text(std::string text) {
+  auto node = NodePtr(new Node(NodeType::kText));
+  node->text_ = std::move(text);
+  return node;
+}
+
+NodePtr Node::Comment(std::string text) {
+  auto node = NodePtr(new Node(NodeType::kComment));
+  node->text_ = std::move(text);
+  return node;
+}
+
+NodePtr Node::CData(std::string text) {
+  auto node = NodePtr(new Node(NodeType::kCData));
+  node->text_ = std::move(text);
+  return node;
+}
+
+void Node::SetAttribute(std::string name, std::string value) {
+  for (auto& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value = std::move(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::move(name), std::move(value)});
+}
+
+std::optional<std::string> Node::GetAttribute(std::string_view name) const {
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) return attr.value;
+  }
+  return std::nullopt;
+}
+
+std::string Node::GetAttributeOr(std::string_view name,
+                                 std::string fallback) const {
+  auto value = GetAttribute(name);
+  return value ? *value : std::move(fallback);
+}
+
+bool Node::HasAttribute(std::string_view name) const {
+  return GetAttribute(name).has_value();
+}
+
+Node& Node::AppendChild(NodePtr child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+Node& Node::AppendElement(std::string name, std::string text) {
+  auto element = Element(std::move(name));
+  if (!text.empty()) element->AppendChild(Text(std::move(text)));
+  return AppendChild(std::move(element));
+}
+
+const Node* Node::FirstChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->type_ == NodeType::kElement && child->name_ == name) {
+      return child.get();
+    }
+  }
+  return nullptr;
+}
+
+Node* Node::FirstChild(std::string_view name) {
+  return const_cast<Node*>(
+      static_cast<const Node*>(this)->FirstChild(name));
+}
+
+std::vector<const Node*> Node::Children(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& child : children_) {
+    if (child->type_ != NodeType::kElement) continue;
+    if (name.empty() || child->name_ == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::string Node::InnerText() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->type_ == NodeType::kText || child->type_ == NodeType::kCData) {
+      out += child->text_;
+    }
+  }
+  return std::string(support::Trim(out));
+}
+
+std::optional<std::string> Node::ChildText(std::string_view name) const {
+  const Node* child = FirstChild(name);
+  if (!child) return std::nullopt;
+  return child->InnerText();
+}
+
+std::string Node::ChildTextOr(std::string_view name,
+                              std::string fallback) const {
+  auto text = ChildText(name);
+  return text ? *text : std::move(fallback);
+}
+
+bool Node::StructurallyEquals(const Node& other) const {
+  if (type_ != other.type_) return false;
+  if (type_ == NodeType::kText) {
+    // Meaningful text compares trimmed: indentation differences between a
+    // pretty-printed source and its serialization are not structural.
+    return support::Trim(text_) == support::Trim(other.text_);
+  }
+  if (type_ != NodeType::kElement) return text_ == other.text_;
+  if (name_ != other.name_) return false;
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].value != other.attributes_[i].value) {
+      return false;
+    }
+  }
+  // Compare children, skipping comments and whitespace-only text on both
+  // sides (pretty-printing must not affect structural identity).
+  auto significant = [](const std::vector<NodePtr>& kids) {
+    std::vector<const Node*> out;
+    for (const auto& kid : kids) {
+      if (kid->type() == NodeType::kComment) continue;
+      if (kid->type() == NodeType::kText &&
+          support::Trim(kid->text()).empty()) {
+        continue;
+      }
+      out.push_back(kid.get());
+    }
+    return out;
+  };
+  auto mine = significant(children_);
+  auto theirs = significant(other.children_);
+  if (mine.size() != theirs.size()) return false;
+  for (size_t i = 0; i < mine.size(); ++i) {
+    if (!mine[i]->StructurallyEquals(*theirs[i])) return false;
+  }
+  return true;
+}
+
+NodePtr Node::Clone() const {
+  auto copy = NodePtr(new Node(type_));
+  copy->name_ = name_;
+  copy->text_ = text_;
+  copy->attributes_ = attributes_;
+  copy->children_.reserve(children_.size());
+  for (const auto& child : children_) {
+    copy->children_.push_back(child->Clone());
+  }
+  return copy;
+}
+
+}  // namespace mobivine::xml

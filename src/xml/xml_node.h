@@ -1,0 +1,95 @@
+// A small XML document object model.
+//
+// Supports the XML subset MobiVine's proxy descriptors need: elements,
+// attributes, text content, comments and CDATA. Namespaces are treated as
+// plain prefixes (descriptor schemas do not use them). Nodes own their
+// children via unique_ptr; documents are trees with single ownership.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobivine::xml {
+
+enum class NodeType { kElement, kText, kComment, kCData };
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// One node of an XML tree. Element nodes have a name, attributes and
+/// children; text/comment/CDATA nodes only carry `text`.
+class Node {
+ public:
+  static NodePtr Element(std::string name);
+  static NodePtr Text(std::string text);
+  static NodePtr Comment(std::string text);
+  static NodePtr CData(std::string text);
+
+  NodeType type() const { return type_; }
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  // --- attributes (element nodes only) ---------------------------------
+  struct Attribute {
+    std::string name;
+    std::string value;
+  };
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  void SetAttribute(std::string name, std::string value);
+  [[nodiscard]] std::optional<std::string> GetAttribute(
+      std::string_view name) const;
+  [[nodiscard]] std::string GetAttributeOr(std::string_view name,
+                                           std::string fallback) const;
+  [[nodiscard]] bool HasAttribute(std::string_view name) const;
+
+  // --- children ---------------------------------------------------------
+  const std::vector<NodePtr>& children() const { return children_; }
+  Node& AppendChild(NodePtr child);
+  /// Convenience: append `<name>text</name>` and return the new element.
+  Node& AppendElement(std::string name, std::string text = "");
+
+  /// First child element with the given name, or nullptr.
+  [[nodiscard]] const Node* FirstChild(std::string_view name) const;
+  [[nodiscard]] Node* FirstChild(std::string_view name);
+  /// All child elements with the given name (empty name = all elements).
+  [[nodiscard]] std::vector<const Node*> Children(
+      std::string_view name = "") const;
+
+  /// Concatenated text of all direct text/CDATA children, whitespace-trimmed.
+  [[nodiscard]] std::string InnerText() const;
+
+  /// Text of child element `name`, if present (trimmed).
+  [[nodiscard]] std::optional<std::string> ChildText(
+      std::string_view name) const;
+  [[nodiscard]] std::string ChildTextOr(std::string_view name,
+                                        std::string fallback) const;
+
+  /// Deep structural equality (attribute order significant, comments
+  /// ignored). Used by round-trip tests.
+  [[nodiscard]] bool StructurallyEquals(const Node& other) const;
+
+  /// Deep copy.
+  [[nodiscard]] NodePtr Clone() const;
+
+ private:
+  explicit Node(NodeType type) : type_(type) {}
+
+  NodeType type_;
+  std::string name_;
+  std::string text_;
+  std::vector<Attribute> attributes_;
+  std::vector<NodePtr> children_;
+};
+
+/// A parsed document: optional XML declaration plus one root element.
+struct Document {
+  std::string version = "1.0";
+  std::string encoding = "UTF-8";
+  NodePtr root;
+};
+
+}  // namespace mobivine::xml

@@ -1,0 +1,296 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace mobivine::xml {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Document ParseDocument() {
+    Document doc;
+    SkipProlog(doc);
+    SkipMisc();
+    if (AtEnd()) Fail("document has no root element");
+    if (Peek() != '<') Fail("expected root element");
+    doc.root = ParseElement();
+    SkipMisc();
+    if (!AtEnd()) Fail("content after root element");
+    return doc;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError(message, line_, column_);
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool PeekIs(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    Advance();
+  }
+
+  void ExpectLiteral(std::string_view s) {
+    if (!PeekIs(s)) Fail("expected '" + std::string(s) + "'");
+    for (size_t i = 0; i < s.size(); ++i) Advance();
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  /// Skip whitespace and comments between top-level constructs.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (PeekIs("<!--")) {
+        SkipComment();
+        continue;
+      }
+      return;
+    }
+  }
+
+  void SkipProlog(Document& doc) {
+    SkipWhitespace();
+    if (!PeekIs("<?xml")) return;
+    ExpectLiteral("<?xml");
+    while (!AtEnd() && !PeekIs("?>")) {
+      SkipWhitespace();
+      if (PeekIs("?>")) break;
+      std::string name = ParseName();
+      SkipWhitespace();
+      Expect('=');
+      SkipWhitespace();
+      std::string value = ParseQuotedValue();
+      if (name == "version") doc.version = value;
+      if (name == "encoding") doc.encoding = value;
+    }
+    ExpectLiteral("?>");
+  }
+
+  void SkipComment() {
+    ExpectLiteral("<!--");
+    while (!AtEnd() && !PeekIs("-->")) Advance();
+    if (AtEnd()) Fail("unterminated comment");
+    ExpectLiteral("-->");
+  }
+
+  std::string ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) Fail("expected a name");
+    std::string name;
+    name += Advance();
+    while (!AtEnd() && IsNameChar(Peek())) name += Advance();
+    return name;
+  }
+
+  std::string ParseQuotedValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      Fail("expected a quoted attribute value");
+    }
+    char quote = Advance();
+    std::string raw;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '<') Fail("'<' not allowed in attribute value");
+      raw += Advance();
+    }
+    if (AtEnd()) Fail("unterminated attribute value");
+    Advance();  // closing quote
+    return DecodeEntities(raw);
+  }
+
+  std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    size_t i = 0;
+    while (i < raw.size()) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) Fail("unterminated entity");
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "amp") {
+        out += '&';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else if (!entity.empty() && entity[0] == '#') {
+        long long code = 0;
+        bool ok;
+        if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+          ok = true;
+          code = 0;
+          for (size_t k = 2; k < entity.size(); ++k) {
+            char c = entity[k];
+            int digit;
+            if (c >= '0' && c <= '9') {
+              digit = c - '0';
+            } else if (c >= 'a' && c <= 'f') {
+              digit = c - 'a' + 10;
+            } else if (c >= 'A' && c <= 'F') {
+              digit = c - 'A' + 10;
+            } else {
+              ok = false;
+              break;
+            }
+            code = code * 16 + digit;
+          }
+          ok = ok && entity.size() > 2;
+        } else {
+          ok = support::ParseInt(entity.substr(1), code);
+        }
+        if (!ok || code <= 0 || code > 127) {
+          Fail("unsupported character reference '&" + std::string(entity) +
+               ";'");
+        }
+        out += static_cast<char>(code);
+      } else {
+        Fail("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  NodePtr ParseElement() {
+    Expect('<');
+    std::string name = ParseName();
+    NodePtr element = Node::Element(name);
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) Fail("unterminated start tag <" + name + ">");
+      if (Peek() == '>' || PeekIs("/>")) break;
+      std::string attr = ParseName();
+      if (element->HasAttribute(attr)) {
+        Fail("duplicate attribute '" + attr + "' on <" + name + ">");
+      }
+      SkipWhitespace();
+      Expect('=');
+      SkipWhitespace();
+      element->SetAttribute(attr, ParseQuotedValue());
+    }
+
+    if (PeekIs("/>")) {
+      ExpectLiteral("/>");
+      return element;
+    }
+    Expect('>');
+
+    // Content until the matching end tag.
+    std::string pending_text;
+    auto flush_text = [&] {
+      if (!pending_text.empty()) {
+        element->AppendChild(Node::Text(DecodeEntities(pending_text)));
+        pending_text.clear();
+      }
+    };
+    while (true) {
+      if (AtEnd()) Fail("missing end tag </" + name + ">");
+      if (PeekIs("</")) {
+        flush_text();
+        ExpectLiteral("</");
+        std::string end_name = ParseName();
+        if (end_name != name) {
+          Fail("mismatched end tag: expected </" + name + ">, got </" +
+               end_name + ">");
+        }
+        SkipWhitespace();
+        Expect('>');
+        return element;
+      }
+      if (PeekIs("<!--")) {
+        flush_text();
+        SkipComment();
+        continue;
+      }
+      if (PeekIs("<![CDATA[")) {
+        flush_text();
+        ExpectLiteral("<![CDATA[");
+        std::string data;
+        while (!AtEnd() && !PeekIs("]]>")) data += Advance();
+        if (AtEnd()) Fail("unterminated CDATA section");
+        ExpectLiteral("]]>");
+        element->AppendChild(Node::CData(std::move(data)));
+        continue;
+      }
+      if (PeekIs("<!") || PeekIs("<?")) {
+        Fail("DTDs and processing instructions are not supported");
+      }
+      if (Peek() == '<') {
+        flush_text();
+        element->AppendChild(ParseElement());
+        continue;
+      }
+      pending_text += Advance();
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+ParseError::ParseError(std::string message, int line, int column)
+    : std::runtime_error("XML parse error at " + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + message),
+      line_(line),
+      column_(column) {}
+
+Document Parse(std::string_view input) { return Parser(input).ParseDocument(); }
+
+Document ParseFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open XML file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Parse(buffer.str());
+}
+
+}  // namespace mobivine::xml

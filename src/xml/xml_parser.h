@@ -1,0 +1,37 @@
+// Recursive-descent parser for the XML subset used by MobiVine descriptors.
+//
+// Supported: XML declaration, elements with attributes (single- or
+// double-quoted), nested elements, text content, comments, CDATA sections,
+// the five predefined entities and numeric character references (&#NN; and
+// &#xNN;, ASCII range). Not supported (rejected with a ParseError): DTDs,
+// processing instructions other than the declaration, and mismatched tags.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "xml/xml_node.h"
+
+namespace mobivine::xml {
+
+/// Thrown on malformed input; carries 1-based line/column of the failure.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Parse a complete document. Throws ParseError on malformed input.
+[[nodiscard]] Document Parse(std::string_view input);
+
+/// Parse a file from disk. Throws ParseError (malformed) or
+/// std::runtime_error (I/O failure).
+[[nodiscard]] Document ParseFile(const std::string& path);
+
+}  // namespace mobivine::xml

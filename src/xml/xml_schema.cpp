@@ -1,0 +1,121 @@
+#include "xml/xml_schema.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace mobivine::xml {
+
+Schema& Schema::Rule(std::string element, ElementRule rule) {
+  rules_[std::move(element)] = std::move(rule);
+  return *this;
+}
+
+std::vector<Violation> Schema::Validate(const Node& root) const {
+  std::vector<Violation> out;
+  if (root.type() != NodeType::kElement) {
+    out.push_back({"/", "root node is not an element"});
+    return out;
+  }
+  if (root.name() != root_element_) {
+    out.push_back({"/" + root.name(), "expected root element <" +
+                                          root_element_ + ">, found <" +
+                                          root.name() + ">"});
+    return out;
+  }
+  ValidateElement(root, "/" + root.name(), out);
+  return out;
+}
+
+void Schema::ValidateElement(const Node& element, const std::string& path,
+                             std::vector<Violation>& out) const {
+  auto it = rules_.find(element.name());
+  if (it == rules_.end()) {
+    // No rule: nothing to check here, but still descend into children that
+    // do have rules so nested violations are not masked.
+    for (const Node* child : element.Children()) {
+      if (rules_.count(child->name())) {
+        ValidateElement(*child, path + "/" + child->name(), out);
+      }
+    }
+    return;
+  }
+  const ElementRule& rule = it->second;
+
+  // Attributes.
+  for (const auto& required : rule.required_attributes) {
+    if (!element.HasAttribute(required)) {
+      out.push_back({path, "missing required attribute '" + required + "'"});
+    }
+  }
+  for (const auto& attr : element.attributes()) {
+    bool known = false;
+    for (const auto& name : rule.required_attributes) {
+      if (name == attr.name) known = true;
+    }
+    for (const auto& name : rule.optional_attributes) {
+      if (name == attr.name) known = true;
+    }
+    if (!known) {
+      out.push_back({path, "unexpected attribute '" + attr.name + "'"});
+    }
+  }
+
+  // Text content.
+  const std::string text = element.InnerText();
+  if (rule.text == TextPolicy::kForbidden && !text.empty()) {
+    out.push_back({path, "text content not allowed"});
+  }
+  if (rule.text == TextPolicy::kRequired && text.empty()) {
+    out.push_back({path, "text content required"});
+  }
+
+  // Children: count occurrences, check bounds and unknown names.
+  std::map<std::string, int> counts;
+  std::map<std::string, int> ordinal;  // per-name index for paths
+  for (const Node* child : element.Children()) {
+    ++counts[child->name()];
+    int index = ++ordinal[child->name()];
+    auto allowed = rule.children.find(child->name());
+    if (allowed == rule.children.end()) {
+      if (!rule.open_content) {
+        out.push_back(
+            {path, "unexpected child element <" + child->name() + ">"});
+      }
+      // Descend anyway if the child has a rule of its own.
+      if (rules_.count(child->name())) {
+        ValidateElement(*child,
+                        path + "/" + child->name() + "[" +
+                            std::to_string(index) + "]",
+                        out);
+      }
+      continue;
+    }
+    ValidateElement(
+        *child,
+        path + "/" + child->name() + "[" + std::to_string(index) + "]", out);
+  }
+  for (const auto& [name, occurs] : rule.children) {
+    int count = counts.count(name) ? counts[name] : 0;
+    if (count < occurs.min) {
+      out.push_back({path, "element <" + name + "> occurs " +
+                               std::to_string(count) + " time(s), minimum " +
+                               std::to_string(occurs.min)});
+    }
+    if (occurs.max >= 0 && count > occurs.max) {
+      out.push_back({path, "element <" + name + "> occurs " +
+                               std::to_string(count) + " time(s), maximum " +
+                               std::to_string(occurs.max)});
+    }
+  }
+}
+
+std::string FormatViolations(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  for (const auto& violation : violations) {
+    out << violation.path << ": " << violation.message << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mobivine::xml

@@ -1,0 +1,130 @@
+#include "xml/xml_writer.h"
+
+#include <sstream>
+
+namespace mobivine::xml {
+
+namespace {
+
+void WriteIndent(std::ostringstream& out, int depth, int indent) {
+  if (indent <= 0) return;
+  out << '\n';
+  for (int i = 0; i < depth * indent; ++i) out << ' ';
+}
+
+bool HasElementChildren(const Node& node) {
+  for (const auto& child : node.children()) {
+    if (child->type() == NodeType::kElement ||
+        child->type() == NodeType::kComment) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void WriteNodeImpl(std::ostringstream& out, const Node& node, int depth,
+                   const WriteOptions& options) {
+  switch (node.type()) {
+    case NodeType::kText:
+      out << EscapeText(node.text());
+      return;
+    case NodeType::kComment:
+      out << "<!--" << node.text() << "-->";
+      return;
+    case NodeType::kCData:
+      out << "<![CDATA[" << node.text() << "]]>";
+      return;
+    case NodeType::kElement:
+      break;
+  }
+
+  out << '<' << node.name();
+  for (const auto& attr : node.attributes()) {
+    out << ' ' << attr.name << "=\"" << EscapeAttribute(attr.value) << '"';
+  }
+  if (node.children().empty()) {
+    out << "/>";
+    return;
+  }
+  out << '>';
+
+  const bool block = HasElementChildren(node);
+  for (const auto& child : node.children()) {
+    if (block && child->type() != NodeType::kText) {
+      WriteIndent(out, depth + 1, options.indent);
+    }
+    WriteNodeImpl(out, *child, depth + 1, options);
+  }
+  if (block) WriteIndent(out, depth, options.indent);
+  out << "</" << node.name() << '>';
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string WriteNode(const Node& node, const WriteOptions& options) {
+  std::ostringstream out;
+  WriteNodeImpl(out, node, 0, options);
+  return out.str();
+}
+
+std::string WriteDocument(const Document& doc, const WriteOptions& options) {
+  std::ostringstream out;
+  if (options.declaration) {
+    out << "<?xml version=\"" << doc.version << "\" encoding=\""
+        << doc.encoding << "\"?>";
+    if (options.indent > 0) out << '\n';
+  }
+  if (doc.root) out << WriteNode(*doc.root, options);
+  if (options.indent > 0) out << '\n';
+  return out.str();
+}
+
+}  // namespace mobivine::xml

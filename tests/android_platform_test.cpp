@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include "android/activity.h"
+#include "android/android_platform.h"
+#include "android/exceptions.h"
+#include "android/http_client.h"
+#include "android/location_manager.h"
+#include "android/sms_manager.h"
+#include "android/telephony.h"
+#include "tests/test_util.h"
+
+namespace mobivine::android {
+namespace {
+
+using mobivine::testing::ApproachTrack;
+using mobivine::testing::kBaseLat;
+using mobivine::testing::kBaseLon;
+using mobivine::testing::MakeDevice;
+
+std::unique_ptr<AndroidPlatform> MakePlatform(
+    device::MobileDevice& dev, ApiLevel level = ApiLevel::kM5) {
+  auto platform = std::make_unique<AndroidPlatform>(dev, level);
+  platform->grantPermission(permissions::kFineLocation);
+  platform->grantPermission(permissions::kSendSms);
+  platform->grantPermission(permissions::kCallPhone);
+  platform->grantPermission(permissions::kInternet);
+  return platform;
+}
+
+class RecordingReceiver : public IntentReceiver {
+ public:
+  void onReceiveIntent(Context&, const Intent& intent) override {
+    received.push_back(intent);
+  }
+  std::vector<Intent> received;
+};
+
+// ---------------------------------------------------------------------------
+// Bundle / Intent plumbing
+// ---------------------------------------------------------------------------
+
+TEST(Bundle, TypedAccessWithDefaults) {
+  Bundle bundle;
+  bundle.putBoolean("entering", true);
+  bundle.putInt("result", -1);
+  bundle.putLong("messageId", 42LL);
+  bundle.putDouble("lat", 28.5);
+  bundle.putString("s", "x");
+  EXPECT_TRUE(bundle.getBoolean("entering", false));
+  EXPECT_EQ(bundle.getInt("result", 0), -1);
+  EXPECT_EQ(bundle.getLong("messageId", 0), 42);
+  EXPECT_DOUBLE_EQ(bundle.getDouble("lat", 0), 28.5);
+  EXPECT_EQ(bundle.getString("s"), "x");
+  // Missing key and type mismatch both return the fallback.
+  EXPECT_EQ(bundle.getInt("missing", 7), 7);
+  EXPECT_EQ(bundle.getInt("s", 7), 7);
+}
+
+TEST(IntentFilter, MatchesOnAction) {
+  IntentFilter filter("A");
+  filter.addAction("B");
+  EXPECT_TRUE(filter.matches(Intent("A")));
+  EXPECT_TRUE(filter.matches(Intent("B")));
+  EXPECT_FALSE(filter.matches(Intent("C")));
+}
+
+TEST(Context, BroadcastReachesMatchingReceiversAsync) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  Context& context = platform->application_context();
+  RecordingReceiver matching, other;
+  context.registerReceiver(&matching, IntentFilter("GO"));
+  context.registerReceiver(&other, IntentFilter("STOP"));
+
+  Intent intent("GO");
+  intent.putExtra("k", 5);
+  context.broadcastIntent(intent);
+  EXPECT_TRUE(matching.received.empty());  // async via dispatch queue
+  dev->RunAll();
+  ASSERT_EQ(matching.received.size(), 1u);
+  EXPECT_EQ(matching.received[0].getIntExtra("k", 0), 5);
+  EXPECT_TRUE(other.received.empty());
+  context.unregisterReceiver(&matching);
+  context.unregisterReceiver(&other);
+}
+
+TEST(Context, UnregisteredBeforeDispatchNotDelivered) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  Context& context = platform->application_context();
+  RecordingReceiver receiver;
+  context.registerReceiver(&receiver, IntentFilter("GO"));
+  context.broadcastIntent(Intent("GO"));
+  context.unregisterReceiver(&receiver);
+  dev->RunAll();
+  EXPECT_TRUE(receiver.received.empty());
+}
+
+TEST(Context, GetSystemServiceByName) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  Context& context = platform->application_context();
+  EXPECT_EQ(context.getSystemService(LOCATION_SERVICE),
+            &platform->location_manager());
+  EXPECT_EQ(context.getSystemService(TELEPHONY_SERVICE),
+            &platform->telephony_manager());
+  EXPECT_EQ(context.getSystemService("bogus"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// LocationManager
+// ---------------------------------------------------------------------------
+
+TEST(AndroidLocation, GetCurrentLocationFastPath) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  const sim::SimTime before = dev->scheduler().now();
+  Location location =
+      platform->location_manager().getCurrentLocation("gps");
+  // Figure 10 calibration: Android getLocation ~15.5 ms.
+  EXPECT_NEAR((dev->scheduler().now() - before).millis(), 15.5, 5.0);
+  EXPECT_NEAR(location.getLatitude(), kBaseLat, 0.05);
+  EXPECT_GT(location.getTime(), 0);
+}
+
+TEST(AndroidLocation, PermissionAndProviderValidation) {
+  auto dev = MakeDevice();
+  AndroidPlatform platform(*dev);  // no permissions granted
+  EXPECT_THROW(platform.location_manager().getCurrentLocation("gps"),
+               SecurityException);
+  platform.grantPermission(permissions::kFineLocation);
+  EXPECT_THROW(platform.location_manager().getCurrentLocation("wifi"),
+               IllegalArgumentException);
+}
+
+TEST(AndroidLocation, ProximityAlertEntryAndExitEvents) {
+  auto dev = MakeDevice();
+  // Drive through the region: enter, then exit on the far side.
+  dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  auto platform = MakePlatform(*dev);
+  Context& context = platform->application_context();
+
+  RecordingReceiver receiver;
+  context.registerReceiver(&receiver, IntentFilter("PROX"));
+  platform->location_manager().addProximityAlert(kBaseLat, kBaseLon, 200.0f,
+                                                 -1, Intent("PROX"));
+  dev->RunFor(sim::SimTime::Seconds(120));
+
+  // Android semantics: entering AND exiting events (paper §2). GPS noise
+  // near the boundary may produce extra pairs, but events must alternate
+  // starting with an entry, and the pass ends outside.
+  ASSERT_GE(receiver.received.size(), 2u);
+  bool expected_entering = true;
+  for (const Intent& intent : receiver.received) {
+    EXPECT_EQ(intent.getBooleanExtra("entering", !expected_entering),
+              expected_entering);
+    expected_entering = !expected_entering;
+  }
+  EXPECT_FALSE(receiver.received.back().getBooleanExtra("entering", true));
+  context.unregisterReceiver(&receiver);
+}
+
+TEST(AndroidLocation, ProximityAlertExpires) {
+  auto dev = MakeDevice();
+  // Enters at ~30 s; expiration at 10 s kills the alert first.
+  dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  auto platform = MakePlatform(*dev);
+  Context& context = platform->application_context();
+  RecordingReceiver receiver;
+  context.registerReceiver(&receiver, IntentFilter("PROX"));
+  platform->location_manager().addProximityAlert(kBaseLat, kBaseLon, 200.0f,
+                                                 10'000, Intent("PROX"));
+  dev->RunFor(sim::SimTime::Seconds(120));
+  EXPECT_TRUE(receiver.received.empty());
+  EXPECT_EQ(platform->location_manager().alert_count(), 0u);
+  context.unregisterReceiver(&receiver);
+}
+
+TEST(AndroidLocation, RemoveProximityAlertByAction) {
+  auto dev = MakeDevice();
+  dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  auto platform = MakePlatform(*dev);
+  platform->location_manager().addProximityAlert(kBaseLat, kBaseLon, 200.0f,
+                                                 -1, Intent("PROX"));
+  EXPECT_EQ(platform->location_manager().alert_count(), 1u);
+  platform->location_manager().removeProximityAlert("PROX");
+  EXPECT_EQ(platform->location_manager().alert_count(), 0u);
+}
+
+TEST(AndroidLocation, AlertValidation) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  auto& manager = platform->location_manager();
+  EXPECT_THROW(manager.addProximityAlert(95.0, 0.0, 10.0f, -1, Intent("A")),
+               IllegalArgumentException);
+  EXPECT_THROW(manager.addProximityAlert(0.0, 0.0, -1.0f, -1, Intent("A")),
+               IllegalArgumentException);
+  EXPECT_THROW(manager.addProximityAlert(0.0, 0.0, 10.0f, -1, Intent("")),
+               IllegalArgumentException);
+}
+
+TEST(AndroidLocation, RegistrationCostMatchesFigure10) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  const sim::SimTime before = dev->scheduler().now();
+  platform->location_manager().addProximityAlert(kBaseLat, kBaseLon, 100.0f,
+                                                 -1, Intent("PROX"));
+  // Figure 10: Android addProximityAlert ~53.6 ms.
+  EXPECT_NEAR((dev->scheduler().now() - before).millis(), 53.6, 10.0);
+}
+
+// --- API evolution (E4) ------------------------------------------------
+
+TEST(AndroidApiLevels, IntentOverloadRemovedOn10) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev, ApiLevel::k10);
+  EXPECT_THROW(platform->location_manager().addProximityAlert(
+                   kBaseLat, kBaseLon, 100.0f, -1, Intent("PROX")),
+               UnsupportedOperationException);
+}
+
+TEST(AndroidApiLevels, PendingIntentUnavailableOnM5) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev, ApiLevel::kM5);
+  auto pending = PendingIntent::getBroadcast(
+      platform->application_context(), 1, Intent("PROX"), 0);
+  EXPECT_THROW(platform->location_manager().addProximityAlert(
+                   kBaseLat, kBaseLon, 100.0f, -1, pending),
+               UnsupportedOperationException);
+}
+
+TEST(AndroidApiLevels, PendingIntentPathWorksOn10) {
+  auto dev = MakeDevice();
+  dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  auto platform = MakePlatform(*dev, ApiLevel::k10);
+  Context& context = platform->application_context();
+  RecordingReceiver receiver;
+  context.registerReceiver(&receiver, IntentFilter("PROX"));
+  auto pending = PendingIntent::getBroadcast(context, 1, Intent("PROX"), 0);
+  platform->location_manager().addProximityAlert(kBaseLat, kBaseLon, 200.0f,
+                                                 -1, pending);
+  dev->RunFor(sim::SimTime::Seconds(60));
+  ASSERT_FALSE(receiver.received.empty());
+  EXPECT_TRUE(receiver.received[0].getBooleanExtra("entering", false));
+  context.unregisterReceiver(&receiver);
+}
+
+// ---------------------------------------------------------------------------
+// SmsManager
+// ---------------------------------------------------------------------------
+
+TEST(AndroidSms, SentAndDeliveredBroadcasts) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  Context& context = platform->application_context();
+  RecordingReceiver receiver;
+  IntentFilter filter("SENT");
+  filter.addAction("DELIVERED");
+  context.registerReceiver(&receiver, filter);
+
+  const sim::SimTime before = dev->scheduler().now();
+  platform->sms_manager().sendTextMessage("+15550123", "", "hi", "SENT",
+                                          "DELIVERED");
+  // Figure 10: Android sendSMS ~52.7 ms blocking.
+  EXPECT_NEAR((dev->scheduler().now() - before).millis(), 52.7, 10.0);
+
+  dev->RunAll();
+  ASSERT_EQ(receiver.received.size(), 2u);
+  EXPECT_EQ(receiver.received[0].getAction(), "SENT");
+  EXPECT_EQ(receiver.received[0].getIntExtra("result", 0),
+            SmsManager::RESULT_OK);
+  EXPECT_EQ(receiver.received[1].getAction(), "DELIVERED");
+  context.unregisterReceiver(&receiver);
+}
+
+TEST(AndroidSms, FailureResultCodes) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  Context& context = platform->application_context();
+  RecordingReceiver receiver;
+  context.registerReceiver(&receiver, IntentFilter("SENT"));
+
+  platform->sms_manager().sendTextMessage("+10000000", "", "hi", "SENT", "");
+  dev->RunAll();
+  ASSERT_EQ(receiver.received.size(), 1u);
+  EXPECT_EQ(receiver.received[0].getIntExtra("result", 0),
+            SmsManager::RESULT_ERROR_NO_SERVICE);
+
+  receiver.received.clear();
+  dev->modem().InjectRadioFailures(1);
+  platform->sms_manager().sendTextMessage("+15550123", "", "hi", "SENT", "");
+  dev->RunAll();
+  ASSERT_EQ(receiver.received.size(), 1u);
+  EXPECT_EQ(receiver.received[0].getIntExtra("result", 0),
+            SmsManager::RESULT_ERROR_GENERIC_FAILURE);
+  context.unregisterReceiver(&receiver);
+}
+
+TEST(AndroidSms, ArgumentAndPermissionChecks) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  EXPECT_THROW(
+      platform->sms_manager().sendTextMessage("", "", "x", "", ""),
+      IllegalArgumentException);
+  EXPECT_THROW(
+      platform->sms_manager().sendTextMessage("+15550123", "", "", "", ""),
+      IllegalArgumentException);
+  platform->revokePermission(permissions::kSendSms);
+  EXPECT_THROW(
+      platform->sms_manager().sendTextMessage("+15550123", "", "x", "", ""),
+      SecurityException);
+}
+
+TEST(AndroidSms, DivideMessageMatchesModem) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  EXPECT_EQ(platform->sms_manager().divideMessage(std::string(200, 'a')), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Telephony
+// ---------------------------------------------------------------------------
+
+class RecordingPhoneListener : public PhoneStateListener {
+ public:
+  void onCallStateChanged(int state, const std::string&) override {
+    states.push_back(state);
+  }
+  std::vector<int> states;
+};
+
+TEST(AndroidTelephony, CallLifecycle) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  RecordingPhoneListener listener;
+  auto& telephony = platform->telephony_manager();
+  telephony.listen(&listener);
+  EXPECT_TRUE(telephony.call("+15550123"));
+  dev->RunAll();
+  EXPECT_EQ(telephony.getCallState(), PhoneStateListener::CALL_STATE_OFFHOOK);
+  telephony.endCall();
+  EXPECT_EQ(telephony.getCallState(), PhoneStateListener::CALL_STATE_IDLE);
+  ASSERT_FALSE(listener.states.empty());
+  EXPECT_EQ(listener.states.back(), PhoneStateListener::CALL_STATE_IDLE);
+  telephony.stopListening(&listener);
+}
+
+TEST(AndroidTelephony, Validation) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  EXPECT_THROW(platform->telephony_manager().call(""),
+               IllegalArgumentException);
+  platform->revokePermission(permissions::kCallPhone);
+  EXPECT_THROW(platform->telephony_manager().call("+15550123"),
+               SecurityException);
+}
+
+// ---------------------------------------------------------------------------
+// Apache HTTP client analog
+// ---------------------------------------------------------------------------
+
+TEST(AndroidHttp, GetAndPost) {
+  auto dev = MakeDevice();
+  dev->network().RegisterHost("server", [](const device::HttpRequest& req) {
+    if (req.method == "POST") {
+      return device::HttpResponse::Ok("posted:" + req.body);
+    }
+    return device::HttpResponse::Ok("got:" + req.url.path);
+  });
+  auto platform = MakePlatform(*dev);
+  DefaultHttpClient client(*platform);
+
+  HttpGet get("http://server/a/b");
+  ApacheHttpResponse get_response = client.execute(get);
+  EXPECT_EQ(get_response.getStatusCode(), 200);
+  EXPECT_EQ(get_response.getEntity(), "got:/a/b");
+
+  HttpPost post("http://server/c");
+  post.setEntity("payload");
+  ApacheHttpResponse post_response = client.execute(post);
+  EXPECT_EQ(post_response.getEntity(), "posted:payload");
+}
+
+TEST(AndroidHttp, ErrorMapping) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  DefaultHttpClient client(*platform);
+  HttpGet bad_uri("garbage");
+  EXPECT_THROW(client.execute(bad_uri), IllegalArgumentException);
+  HttpGet unreachable("http://ghost/");
+  EXPECT_THROW(client.execute(unreachable), ClientProtocolException);
+  platform->revokePermission(permissions::kInternet);
+  HttpGet get("http://server/");
+  EXPECT_THROW(client.execute(get), SecurityException);
+}
+
+TEST(AndroidHttp, TimeoutMapsToConnectTimeout) {
+  device::DeviceConfig config;
+  config.network.loss_probability = 1.0;
+  device::MobileDevice dev(config);
+  dev.network().RegisterHost("server", [](const device::HttpRequest&) {
+    return device::HttpResponse::Ok("x");
+  });
+  auto platform = MakePlatform(dev);
+  DefaultHttpClient client(*platform);
+  HttpGet get("http://server/");
+  EXPECT_THROW(client.execute(get), ConnectTimeoutException);
+}
+
+// ---------------------------------------------------------------------------
+// Activity lifecycle
+// ---------------------------------------------------------------------------
+
+class ProbeActivity : public Activity {
+ public:
+  void onCreate() override { created = true; }
+  void onStart() override { started = true; }
+  void onDestroy() override { destroyed = true; }
+  bool created = false, started = false, destroyed = false;
+};
+
+TEST(AndroidActivity, LifecycleAndContextAccess) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  ActivityManager manager(*platform);
+  ProbeActivity activity;
+  EXPECT_THROW(activity.getApplicationContext(), IllegalStateException);
+  manager.launch(activity);
+  EXPECT_TRUE(activity.created);
+  EXPECT_TRUE(activity.started);
+  EXPECT_EQ(&activity.getApplicationContext(),
+            &platform->application_context());
+  manager.destroy(activity);
+  EXPECT_TRUE(activity.destroyed);
+}
+
+}  // namespace
+}  // namespace mobivine::android

@@ -1,0 +1,230 @@
+// Tests for the calendar stack: the device store, the Android provider and
+// S60 JSR-75 event APIs, and the uniform Calendar proxy (android, s60,
+// webview — and its principled ABSENCE on iPhone OS 2009).
+#include <gtest/gtest.h>
+
+#include "android/calendar.h"
+#include "android/exceptions.h"
+#include "core/bindings/webview_proxies.h"
+#include "core/registry.h"
+#include "plugin/drawer.h"
+#include "s60/pim.h"
+#include "tests/test_util.h"
+#include "webview/webview.h"
+
+namespace mobivine {
+namespace {
+
+using core::CalendarEvent;
+using core::DescriptorStore;
+using core::ProxyRegistry;
+using mobivine::testing::MakeDevice;
+
+const DescriptorStore& Store() {
+  static const DescriptorStore store =
+      DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+constexpr long long kHour = 3'600'000;
+
+void Populate(device::MobileDevice& dev) {
+  dev.calendar().Add("Standup", 1 * kHour, 1 * kHour + 900'000, "HQ");
+  dev.calendar().Add("Site survey", 3 * kHour, 5 * kHour, "Sector 7");
+  dev.calendar().Add("Debrief", 8 * kHour, 9 * kHour, "");
+}
+
+// ---------------------------------------------------------------------------
+// Device store
+// ---------------------------------------------------------------------------
+
+TEST(CalendarStore, CrudWindowsAndNext) {
+  device::CalendarStore store;
+  const auto id = store.Add("A", 100, 200, "x");
+  store.Add("B", 150, 300);
+  store.Add("C", 500, 600);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.FindById(id)->title, "A");
+
+  auto window = store.Between(120, 160);
+  ASSERT_EQ(window.size(), 2u);  // A and B overlap
+  EXPECT_EQ(window[0].title, "A");
+
+  auto next = store.NextAfter(250);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->title, "C");
+  EXPECT_FALSE(store.NextAfter(700).has_value());
+
+  EXPECT_TRUE(store.Remove(id));
+  EXPECT_FALSE(store.Remove(id));
+  EXPECT_THROW(store.Add("bad", 100, 50), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Android provider
+// ---------------------------------------------------------------------------
+
+TEST(AndroidCalendar, CursorIterationAndWindow) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kReadCalendar);
+  android::CalendarProvider provider(platform);
+
+  android::EventCursor all = provider.query();
+  EXPECT_EQ(all.getCount(), 3);
+  ASSERT_TRUE(all.moveToNext());
+  EXPECT_EQ(all.getString(android::EventCursor::COLUMN_TITLE), "Standup");
+  EXPECT_EQ(all.getLong(android::EventCursor::COLUMN_DTSTART), kHour);
+  EXPECT_THROW(all.getString(android::EventCursor::COLUMN_DTSTART),
+               android::IllegalArgumentException);
+  all.close();
+  EXPECT_THROW(all.moveToNext(), android::IllegalStateException);
+
+  android::EventCursor window = provider.queryBetween(2 * kHour, 6 * kHour);
+  EXPECT_EQ(window.getCount(), 1);
+}
+
+TEST(AndroidCalendar, PermissionRequired) {
+  auto dev = MakeDevice();
+  android::AndroidPlatform platform(*dev);
+  android::CalendarProvider provider(platform);
+  EXPECT_THROW((void)provider.query(), android::SecurityException);
+}
+
+// ---------------------------------------------------------------------------
+// S60 JSR-75 EventList
+// ---------------------------------------------------------------------------
+
+TEST(S60Calendar, EventFieldsAndWindow) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  s60::S60Platform platform(*dev);
+  platform.grantPermission(s60::permissions::kPimEventRead);
+  auto list = s60::PIM::openEventList(platform, s60::ContactList::READ_ONLY);
+  auto items = list->items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[1].getString(s60::Event::SUMMARY, 0), "Site survey");
+  EXPECT_EQ(items[1].getDate(s60::Event::START, 0), 3 * kHour);
+  EXPECT_EQ(items[1].getString(s60::Event::LOCATION, 0), "Sector 7");
+  EXPECT_EQ(items[2].countValues(s60::Event::LOCATION), 0);
+  EXPECT_THROW((void)items[0].getDate(s60::Event::SUMMARY, 0),
+               s60::IllegalArgumentException);
+
+  EXPECT_EQ(list->items(2 * kHour, 6 * kHour).size(), 1u);
+  list->close();
+  EXPECT_THROW((void)list->items(), s60::IOException);
+}
+
+TEST(S60Calendar, PermissionSeparateFromContacts) {
+  auto dev = MakeDevice();
+  s60::S60Platform platform(*dev);
+  platform.grantPermission(s60::permissions::kPimRead);  // contacts only
+  EXPECT_THROW(
+      (void)s60::PIM::openEventList(platform, s60::ContactList::READ_ONLY),
+      s60::SecurityException);
+}
+
+// ---------------------------------------------------------------------------
+// Uniform proxy
+// ---------------------------------------------------------------------------
+
+void CheckUniform(core::CalendarProxy& proxy) {
+  auto all = proxy.listEvents();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].title, "Standup");       // start-ordered
+  EXPECT_EQ(all[1].location, "Sector 7");
+
+  auto window = proxy.eventsBetween(2 * kHour, 6 * kHour);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].title, "Site survey");
+
+  auto next = proxy.nextEvent(4 * kHour);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->title, "Debrief");
+  EXPECT_FALSE(proxy.nextEvent(10 * kHour).has_value());
+}
+
+TEST(CalendarProxy, AndroidUniform) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kReadCalendar);
+  ProxyRegistry registry(&Store());
+  auto proxy = registry.CreateCalendarProxy(platform);
+  CheckUniform(*proxy);
+}
+
+TEST(CalendarProxy, S60Uniform) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  s60::S60Platform platform(*dev);
+  platform.grantPermission(s60::permissions::kPimEventRead);
+  ProxyRegistry registry(&Store());
+  auto proxy = registry.CreateCalendarProxy(platform);
+  CheckUniform(*proxy);
+}
+
+TEST(CalendarProxy, SecurityMappedUniformly) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  android::AndroidPlatform platform(*dev);
+  ProxyRegistry registry(&Store());
+  auto proxy = registry.CreateCalendarProxy(platform);
+  try {
+    (void)proxy->listEvents();
+    FAIL();
+  } catch (const core::ProxyError& error) {
+    EXPECT_EQ(error.code(), core::ErrorCode::kSecurity);
+  }
+}
+
+TEST(CalendarProxy, WebViewJsProxy) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kReadCalendar);
+  webview::WebView webview(platform);
+  core::InstallWebViewProxies(webview);
+
+  EXPECT_DOUBLE_EQ(webview
+                       .loadScript("var cal = new CalendarProxyImpl();"
+                                   "cal.listEvents().length;")
+                       .as_number(),
+                   3);
+  EXPECT_DOUBLE_EQ(
+      webview
+          .loadScript("cal.eventsBetween(" + std::to_string(2 * kHour) +
+                      ", " + std::to_string(6 * kHour) + ").length;")
+          .as_number(),
+      1);
+  EXPECT_EQ(webview
+                .loadScript("cal.nextEvent(" + std::to_string(4 * kHour) +
+                            ").title;")
+                .as_string(),
+            "Debrief");
+  EXPECT_TRUE(webview
+                  .loadScript("cal.nextEvent(" + std::to_string(10 * kHour) +
+                              ") === null;")
+                  .as_bool());
+}
+
+TEST(CalendarProxy, DrawerShowsCalendarUnderPersonalInformation) {
+  plugin::ProxyDrawer drawer(Store(), "android");
+  const plugin::DrawerItem* item = drawer.Find("Calendar", "listEvents");
+  ASSERT_NE(item, nullptr);
+  // Pim and Calendar share the "Personal Information" category.
+  bool found_category = false;
+  for (const auto& category : drawer.categories()) {
+    if (category.name != "Personal Information") continue;
+    found_category = true;
+    EXPECT_GE(category.items.size(), 6u);  // 3 Pim + 3 Calendar methods
+  }
+  EXPECT_TRUE(found_category);
+  // No Calendar in the iPhone drawer.
+  plugin::ProxyDrawer iphone_drawer(Store(), "iphone");
+  EXPECT_EQ(iphone_drawer.Find("Calendar", "listEvents"), nullptr);
+}
+
+}  // namespace
+}  // namespace mobivine

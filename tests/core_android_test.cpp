@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include "core/bindings/android_bindings.h"
+#include "core/descriptor/proxy_descriptor.h"
+#include "core/registry.h"
+#include "tests/test_util.h"
+
+namespace mobivine::core {
+namespace {
+
+using mobivine::testing::ApproachTrack;
+using mobivine::testing::kBaseLat;
+using mobivine::testing::kBaseLon;
+using mobivine::testing::MakeDevice;
+
+const DescriptorStore& Store() {
+  static const DescriptorStore store =
+      DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed = 42,
+                   android::ApiLevel level = android::ApiLevel::kM5)
+      : dev(MakeDevice(seed)), platform(*dev, level), registry(&Store()) {
+    platform.grantPermission(android::permissions::kFineLocation);
+    platform.grantPermission(android::permissions::kSendSms);
+    platform.grantPermission(android::permissions::kCallPhone);
+    platform.grantPermission(android::permissions::kInternet);
+  }
+  std::unique_ptr<device::MobileDevice> dev;
+  android::AndroidPlatform platform;
+  ProxyRegistry registry;
+};
+
+class RecordingProximity : public ProximityListener {
+ public:
+  struct Event {
+    double ref_lat, ref_lon, ref_alt;
+    Location location;
+    bool entering;
+  };
+  void proximityEvent(double ref_latitude, double ref_longitude,
+                      double ref_altitude, const Location& current,
+                      bool entering) override {
+    events.push_back({ref_latitude, ref_longitude, ref_altitude, current,
+                      entering});
+  }
+  std::vector<Event> events;
+};
+
+class RecordingSms : public SmsListener {
+ public:
+  void smsStatusChanged(long long id, SmsDeliveryStatus status) override {
+    events.emplace_back(id, status);
+  }
+  std::vector<std::pair<long long, SmsDeliveryStatus>> events;
+};
+
+// ---------------------------------------------------------------------------
+// Properties / MProxy base behaviour
+// ---------------------------------------------------------------------------
+
+TEST(AndroidProxyProperties, RequiredContextEnforced) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+  EXPECT_THROW(proxy->getLocation(), ProxyError);
+  try {
+    proxy->getLocation();
+  } catch (const ProxyError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kIllegalArgument);
+  }
+}
+
+TEST(AndroidProxyProperties, UnknownPropertyRejected) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+  EXPECT_THROW(proxy->setProperty("bogus", 1), ProxyError);
+}
+
+TEST(AndroidProxyProperties, AllowedValuesEnforced) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+  EXPECT_THROW(proxy->setProperty("provider", std::string("wifi")),
+               ProxyError);
+  EXPECT_NO_THROW(proxy->setProperty("provider", std::string("network")));
+}
+
+TEST(AndroidProxyProperties, DefaultsAppliedFromDescriptor) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+  EXPECT_EQ(proxy->getPropertyOr<std::string>("provider", ""), "gps");
+}
+
+// ---------------------------------------------------------------------------
+// getLocation
+// ---------------------------------------------------------------------------
+
+TEST(AndroidLocationProxy, UniformLocationReturned) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+  proxy->setProperty("context", &fx.platform.application_context());
+  Location location = proxy->getLocation();
+  EXPECT_TRUE(location.valid);
+  EXPECT_NEAR(location.latitude, kBaseLat, 0.05);
+  EXPECT_NEAR(location.longitude, kBaseLon, 0.05);
+  EXPECT_GT(location.timestamp_ms, 0);
+}
+
+TEST(AndroidLocationProxy, MetersOverheadOnTopOfNative) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+  proxy->setProperty("context", &fx.platform.application_context());
+  const sim::SimTime before = fx.dev->scheduler().now();
+  (void)proxy->getLocation();
+  const double elapsed = (fx.dev->scheduler().now() - before).millis();
+  // Figure 10 "With Proxy" Android getLocation ~17.3 ms (native 15.5 +
+  // ~1.8 proxy). Allow slack for the stochastic native part.
+  EXPECT_NEAR(elapsed, 17.3, 6.0);
+  EXPECT_GT(proxy->meter().count(Op::kDispatch), 0u);
+  EXPECT_GT(proxy->meter().count(Op::kTypeConversion), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Proximity alerts: Intent machinery hidden, uniform callback exposed
+// ---------------------------------------------------------------------------
+
+TEST(AndroidLocationProxy, ProximityEntryExitUniformEvents) {
+  Fixture fx;
+  fx.dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+  proxy->setProperty("context", &fx.platform.application_context());
+
+  RecordingProximity listener;
+  proxy->addProximityAlert(kBaseLat, kBaseLon, 210.0, 200.0f, -1, &listener);
+  EXPECT_EQ(proxy->active_alert_count(), 1u);
+  fx.dev->RunFor(sim::SimTime::Seconds(120));
+
+  ASSERT_GE(listener.events.size(), 2u);
+  EXPECT_TRUE(listener.events.front().entering);
+  EXPECT_FALSE(listener.events.back().entering);
+  // The uniform callback carries the reference point and a uniform
+  // Location (the paper's Figure 8 signature).
+  EXPECT_DOUBLE_EQ(listener.events[0].ref_lat, kBaseLat);
+  EXPECT_DOUBLE_EQ(listener.events[0].ref_alt, 210.0);
+  EXPECT_TRUE(listener.events[0].location.valid);
+}
+
+TEST(AndroidLocationProxy, RemoveProximityAlertStopsEvents) {
+  Fixture fx;
+  fx.dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+  proxy->setProperty("context", &fx.platform.application_context());
+  RecordingProximity listener;
+  proxy->addProximityAlert(kBaseLat, kBaseLon, 0, 200.0f, -1, &listener);
+  proxy->removeProximityAlert(&listener);
+  EXPECT_EQ(proxy->active_alert_count(), 0u);
+  fx.dev->RunFor(sim::SimTime::Seconds(120));
+  EXPECT_TRUE(listener.events.empty());
+}
+
+TEST(AndroidLocationProxy, NullListenerRejected) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+  proxy->setProperty("context", &fx.platform.application_context());
+  EXPECT_THROW(proxy->addProximityAlert(0, 0, 0, 10.0f, -1, nullptr),
+               ProxyError);
+}
+
+// --- E4: the same proxy call works on both API levels ----------------------
+
+TEST(AndroidLocationProxy, AbsorbsApiEvolution) {
+  for (android::ApiLevel level :
+       {android::ApiLevel::kM5, android::ApiLevel::k10}) {
+    Fixture fx(42, level);
+    fx.dev->gps().set_track(
+        ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+    auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+    proxy->setProperty("context", &fx.platform.application_context());
+    RecordingProximity listener;
+    // IDENTICAL application code on m5 and 1.0: the binding picks Intent
+    // vs PendingIntent internally.
+    proxy->addProximityAlert(kBaseLat, kBaseLon, 0, 200.0f, -1, &listener);
+    fx.dev->RunFor(sim::SimTime::Seconds(60));
+    EXPECT_FALSE(listener.events.empty())
+        << "level=" << android::ToString(level);
+    EXPECT_TRUE(listener.events.front().entering);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exception mapping
+// ---------------------------------------------------------------------------
+
+TEST(AndroidLocationProxy, SecurityMappedToUniformCode) {
+  Fixture fx;
+  fx.platform.revokePermission(android::permissions::kFineLocation);
+  auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+  proxy->setProperty("context", &fx.platform.application_context());
+  try {
+    proxy->getLocation();
+    FAIL() << "expected ProxyError";
+  } catch (const ProxyError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kSecurity);
+    EXPECT_EQ(error.platform(), "android");
+    EXPECT_EQ(error.native_type(), "android.SecurityException");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SMS proxy
+// ---------------------------------------------------------------------------
+
+TEST(AndroidSmsProxy, UniformDeliveryCallbacks) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateSmsProxy(fx.platform);
+  proxy->setProperty("context", &fx.platform.application_context());
+  RecordingSms listener;
+  proxy->sendTextMessage("+15550123", "status report", &listener);
+  fx.dev->RunAll();
+  ASSERT_EQ(listener.events.size(), 2u);
+  EXPECT_EQ(listener.events[0].second, SmsDeliveryStatus::kSubmitted);
+  EXPECT_EQ(listener.events[1].second, SmsDeliveryStatus::kDelivered);
+}
+
+TEST(AndroidSmsProxy, FailureReportedAsUniformStatus) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateSmsProxy(fx.platform);
+  proxy->setProperty("context", &fx.platform.application_context());
+  RecordingSms listener;
+  proxy->sendTextMessage("+19998887777", "x", &listener);
+  fx.dev->RunAll();
+  ASSERT_EQ(listener.events.size(), 1u);
+  EXPECT_EQ(listener.events[0].second, SmsDeliveryStatus::kFailed);
+}
+
+TEST(AndroidSmsProxy, NoListenerStillSends) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateSmsProxy(fx.platform);
+  proxy->setProperty("context", &fx.platform.application_context());
+  EXPECT_GT(proxy->sendTextMessage("+15550123", "fire and forget", nullptr),
+            0);
+  fx.dev->RunAll();
+}
+
+TEST(AndroidSmsProxy, ValidationAndSegments) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateSmsProxy(fx.platform);
+  proxy->setProperty("context", &fx.platform.application_context());
+  EXPECT_THROW(proxy->sendTextMessage("", "x", nullptr), ProxyError);
+  EXPECT_THROW(proxy->sendTextMessage("+15550123", "", nullptr), ProxyError);
+  EXPECT_EQ(proxy->segmentCount(std::string(161, 'a')), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Call proxy
+// ---------------------------------------------------------------------------
+
+class RecordingCall : public CallListener {
+ public:
+  void callStateChanged(CallProgress progress) override {
+    states.push_back(progress);
+  }
+  std::vector<CallProgress> states;
+};
+
+TEST(AndroidCallProxy, UniformProgressStates) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateCallProxy(fx.platform);
+  RecordingCall listener;
+  EXPECT_TRUE(proxy->makeCall("+15550123", &listener));
+  fx.dev->RunAll();
+  ASSERT_EQ(listener.states.size(), 3u);
+  EXPECT_EQ(listener.states[0], CallProgress::kDialing);
+  EXPECT_EQ(listener.states[1], CallProgress::kRinging);
+  EXPECT_EQ(listener.states[2], CallProgress::kConnected);
+  EXPECT_EQ(proxy->currentState(), CallProgress::kConnected);
+  proxy->endCall();
+  EXPECT_EQ(proxy->currentState(), CallProgress::kEnded);
+}
+
+TEST(AndroidCallProxy, FailedCallState) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateCallProxy(fx.platform);
+  RecordingCall listener;
+  proxy->makeCall("+10000000", &listener);
+  fx.dev->RunAll();
+  ASSERT_FALSE(listener.states.empty());
+  EXPECT_EQ(listener.states.back(), CallProgress::kFailed);
+}
+
+// ---------------------------------------------------------------------------
+// Http proxy
+// ---------------------------------------------------------------------------
+
+TEST(AndroidHttpProxy, GetPostAndHeaders) {
+  Fixture fx;
+  fx.dev->network().RegisterHost("server", [](const device::HttpRequest& req) {
+    if (req.method == "POST") {
+      EXPECT_EQ(req.headers.GetOr("Content-Type", ""), "application/json");
+      return device::HttpResponse::Ok("posted");
+    }
+    EXPECT_EQ(req.headers.GetOr("X-Agent", ""), "7");
+    return device::HttpResponse::Ok("got");
+  });
+  auto proxy = fx.registry.CreateHttpProxy(fx.platform);
+  proxy->setHeader("X-Agent", "7");
+  HttpResult get = proxy->get("http://server/tasks");
+  EXPECT_TRUE(get.ok());
+  EXPECT_EQ(get.body, "got");
+  HttpResult post =
+      proxy->post("http://server/report", "{}", "application/json");
+  EXPECT_EQ(post.body, "posted");
+}
+
+TEST(AndroidHttpProxy, ErrorsMappedUniformly) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateHttpProxy(fx.platform);
+  try {
+    (void)proxy->get("http://ghost/");
+    FAIL() << "expected ProxyError";
+  } catch (const ProxyError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kUnreachable);
+  }
+  try {
+    (void)proxy->get("totally-bogus");
+    FAIL() << "expected ProxyError";
+  } catch (const ProxyError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kIllegalArgument);
+  }
+}
+
+}  // namespace
+}  // namespace mobivine::core

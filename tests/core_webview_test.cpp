@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "core/bindings/webview_proxies.h"
+#include "core/errors.h"
+#include "tests/test_util.h"
+#include "webview/webview.h"
+
+namespace mobivine::core {
+namespace {
+
+using minijs::Value;
+using mobivine::testing::ApproachTrack;
+using mobivine::testing::kBaseLat;
+using mobivine::testing::kBaseLon;
+using mobivine::testing::MakeDevice;
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed = 42,
+                   android::ApiLevel level = android::ApiLevel::kM5,
+                   int poll_ms = 250)
+      : dev(MakeDevice(seed)), platform(*dev, level), webview(platform) {
+    platform.grantPermission(android::permissions::kFineLocation);
+    platform.grantPermission(android::permissions::kSendSms);
+    platform.grantPermission(android::permissions::kCallPhone);
+    platform.grantPermission(android::permissions::kInternet);
+    InstallWebViewProxies(webview, poll_ms);
+  }
+  std::unique_ptr<device::MobileDevice> dev;
+  android::AndroidPlatform platform;
+  webview::WebView webview;
+};
+
+// ---------------------------------------------------------------------------
+// The JS proxy API of the paper's Figure 9
+// ---------------------------------------------------------------------------
+
+TEST(WebViewProxies, LibraryDefinesAllProxyConstructors) {
+  Fixture fx;
+  for (const char* ctor : {"LocationProxyImpl", "SmsProxyImpl",
+                           "CallProxyImpl", "HttpProxyImpl", "notifHandler"}) {
+    EXPECT_TRUE(fx.webview.interpreter().GetGlobal(ctor).is_function())
+        << ctor;
+  }
+}
+
+TEST(WebViewProxies, GetLocationUniformShape) {
+  Fixture fx;
+  Value loc = fx.webview.loadScript(R"(
+    var lp = new LocationProxyImpl();
+    lp.setProperty('provider', 'gps');
+    lp.getLocation();
+  )");
+  ASSERT_TRUE(loc.is_object());
+  // Uniform MobiVine field names — heading/timestamp/valid, unlike the raw
+  // interface's bearing/time.
+  EXPECT_NEAR(loc.as_object()->Get("latitude").as_number(), kBaseLat, 0.05);
+  EXPECT_TRUE(loc.as_object()->Has("heading"));
+  EXPECT_TRUE(loc.as_object()->Has("timestamp"));
+  EXPECT_TRUE(loc.as_object()->Get("valid").as_bool());
+  EXPECT_FALSE(loc.as_object()->Has("bearing"));
+}
+
+TEST(WebViewProxies, Figure10WithProxyGetLocation) {
+  Fixture fx;
+  fx.webview.loadScript("var lp = new LocationProxyImpl();");
+  const sim::SimTime before = fx.dev->scheduler().now();
+  fx.webview.loadScript("lp.getLocation();");
+  const double elapsed = (fx.dev->scheduler().now() - before).millis();
+  // Paper: WebView getLocation with proxy ~121.7 ms.
+  EXPECT_NEAR(elapsed, 121.7, 15.0);
+}
+
+TEST(WebViewProxies, SmsCallbackThroughNotificationTablePolling) {
+  Fixture fx;
+  fx.webview.loadScript(R"(
+    var events = [];
+    var sms = new SmsProxyImpl();
+    sms.sendTextMessage('+15550123', 'field report', function(id, status) {
+      events.push(status);
+    });
+  )");
+  // The callback is polled from the notification table, so it arrives only
+  // after virtual time passes (paper Figure 6 step 3).
+  Value immediate = fx.webview.loadScript("events.length;");
+  EXPECT_DOUBLE_EQ(immediate.as_number(), 0);
+
+  fx.dev->RunFor(sim::SimTime::Seconds(5));
+  Value events = fx.webview.loadScript("events.join(',');");
+  EXPECT_EQ(events.as_string(), "submitted,delivered");
+}
+
+TEST(WebViewProxies, SmsFailureStatusPolled) {
+  Fixture fx;
+  fx.webview.loadScript(R"(
+    var statuses = [];
+    var sms = new SmsProxyImpl();
+    sms.sendTextMessage('+10000000', 'x', function(id, status) {
+      statuses.push(status);
+    });
+  )");
+  fx.dev->RunFor(sim::SimTime::Seconds(5));
+  EXPECT_EQ(fx.webview.loadScript("statuses.join(',');").as_string(),
+            "failed");
+}
+
+TEST(WebViewProxies, ProximityUniformFiveArgumentCallback) {
+  Fixture fx;
+  fx.dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  fx.webview.loadScript(
+      "var hits = [];\n"
+      "var lp = new LocationProxyImpl();\n"
+      "lp.addProximityAlert(" +
+      std::to_string(kBaseLat) + ", " + std::to_string(kBaseLon) +
+      ", 210, 200, -1, function(refLat, refLon, refAlt, loc, entering) {\n"
+      "  hits.push({refLat: refLat, entering: entering, lat: loc.latitude});\n"
+      "});");
+  fx.dev->RunFor(sim::SimTime::Seconds(120));
+  Value count = fx.webview.loadScript("hits.length;");
+  ASSERT_GE(count.as_number(), 2.0);
+  Value first = fx.webview.loadScript("hits[0].entering;");
+  EXPECT_TRUE(first.as_bool());
+  Value ref = fx.webview.loadScript("hits[0].refLat;");
+  EXPECT_NEAR(ref.as_number(), kBaseLat, 1e-9);
+  Value lat = fx.webview.loadScript("hits[0].lat;");
+  EXPECT_NEAR(lat.as_number(), kBaseLat, 0.05);
+}
+
+TEST(WebViewProxies, RemoveProximityAlertStopsPolling) {
+  Fixture fx;
+  fx.dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  fx.webview.loadScript(
+      "var hits = 0;\n"
+      "var lp = new LocationProxyImpl();\n"
+      "var id = lp.addProximityAlert(" +
+      std::to_string(kBaseLat) + ", " + std::to_string(kBaseLon) +
+      ", 0, 200, -1, function() { hits++; });\n"
+      "lp.removeProximityAlert(id);");
+  fx.dev->RunFor(sim::SimTime::Seconds(120));
+  EXPECT_DOUBLE_EQ(fx.webview.loadScript("hits;").as_number(), 0);
+}
+
+TEST(WebViewProxies, ErrorCodesReachScriptUniformly) {
+  Fixture fx;
+  fx.platform.revokePermission(android::permissions::kFineLocation);
+  Value code = fx.webview.loadScript(R"(
+    var c = 0;
+    try {
+      var lp = new LocationProxyImpl();
+      lp.getLocation();
+    } catch (e) { c = e.code; }
+    c;
+  )");
+  EXPECT_DOUBLE_EQ(code.as_number(), webview::kErrorCodeSecurity);
+  EXPECT_EQ(FromWebViewErrorCode(static_cast<int>(code.as_number())),
+            ErrorCode::kSecurity);
+}
+
+TEST(WebViewProxies, CallProxyProgressPolled) {
+  Fixture fx;
+  fx.webview.loadScript(R"(
+    var states = [];
+    var call = new CallProxyImpl();
+    call.makeCall('+15550123', function(state) { states.push(state); });
+  )");
+  fx.dev->RunFor(sim::SimTime::Seconds(10));
+  Value states = fx.webview.loadScript("states.join(',');");
+  EXPECT_EQ(states.as_string(), "dialing,ringing,connected");
+  fx.webview.loadScript("call.endCall();");
+}
+
+TEST(WebViewProxies, HttpProxyBlockingExchange) {
+  Fixture fx;
+  fx.dev->network().RegisterHost("server", [](const device::HttpRequest& req) {
+    return device::HttpResponse::Ok(req.method + ":" + req.body);
+  });
+  Value result = fx.webview.loadScript(R"(
+    var http = new HttpProxyImpl();
+    http.post('http://server/api', 'payload', 'text/plain');
+  )");
+  ASSERT_TRUE(result.is_object());
+  EXPECT_DOUBLE_EQ(result.as_object()->Get("status").as_number(), 200);
+  EXPECT_EQ(result.as_object()->Get("body").as_string(), "POST:payload");
+}
+
+TEST(WebViewProxies, ApiEvolutionAbsorbedOnWebViewToo) {
+  // Same JS on Android 1.0: the wrapper picks PendingIntent internally.
+  Fixture fx(42, android::ApiLevel::k10);
+  fx.dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  fx.webview.loadScript(
+      "var entered = false;\n"
+      "var lp = new LocationProxyImpl();\n"
+      "lp.addProximityAlert(" +
+      std::to_string(kBaseLat) + ", " + std::to_string(kBaseLon) +
+      ", 0, 200, -1, function(a, b, c, loc, entering) {\n"
+      "  if (entering) { entered = true; }\n"
+      "});");
+  fx.dev->RunFor(sim::SimTime::Seconds(60));
+  EXPECT_TRUE(fx.webview.loadScript("entered;").as_bool());
+}
+
+TEST(WebViewProxies, PollingIntervalConfigurable) {
+  // A very slow poll delays callback delivery past the modem submit time.
+  Fixture fx(42, android::ApiLevel::kM5, /*poll_ms=*/5000);
+  fx.webview.loadScript(R"(
+    var got = 0;
+    var sms = new SmsProxyImpl();
+    sms.sendTextMessage('+15550123', 'x', function() { got++; });
+  )");
+  fx.dev->RunFor(sim::SimTime::Seconds(3));
+  EXPECT_DOUBLE_EQ(fx.webview.loadScript("got;").as_number(), 0);
+  fx.dev->RunFor(sim::SimTime::Seconds(4));
+  EXPECT_GE(fx.webview.loadScript("got;").as_number(), 1);
+}
+
+}  // namespace
+}  // namespace mobivine::core

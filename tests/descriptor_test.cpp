@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "core/descriptor/proxy_descriptor.h"
+#include "core/descriptor/schemas.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace mobivine::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The shipped descriptor set
+// ---------------------------------------------------------------------------
+
+const DescriptorStore& ShippedStore() {
+  static const DescriptorStore store =
+      DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+TEST(ShippedDescriptors, LoadsAllProxies) {
+  const auto& store = ShippedStore();
+  EXPECT_EQ(store.size(), 6u);
+  EXPECT_EQ(store.ProxyNames(),
+            (std::vector<std::string>{"Calendar", "Call", "Http", "Location",
+                                      "Pim", "Sms"}));
+}
+
+TEST(ShippedDescriptors, PlatformCoverageMatchesPaper) {
+  const auto& store = ShippedStore();
+  // Location / Sms / Http / Pim on every platform (incl. the iphone
+  // extension); Call has no s60 binding.
+  for (const char* name : {"Location", "Sms", "Http", "Pim"}) {
+    const ProxyDescriptor* descriptor = store.Find(name);
+    ASSERT_NE(descriptor, nullptr) << name;
+    EXPECT_TRUE(descriptor->SupportsPlatform("android")) << name;
+    EXPECT_TRUE(descriptor->SupportsPlatform("webview")) << name;
+    EXPECT_TRUE(descriptor->SupportsPlatform("s60")) << name;
+    EXPECT_TRUE(descriptor->SupportsPlatform("iphone")) << name;
+  }
+  const ProxyDescriptor* call = store.Find("Call");
+  ASSERT_NE(call, nullptr);
+  EXPECT_TRUE(call->SupportsPlatform("android"));
+  EXPECT_TRUE(call->SupportsPlatform("webview"));
+  EXPECT_TRUE(call->SupportsPlatform("iphone"));
+  EXPECT_FALSE(call->SupportsPlatform("s60"));
+
+  // Calendar mirrors the asymmetry on the other side: everywhere except
+  // iPhone OS (no public calendar API in 2009).
+  const ProxyDescriptor* calendar = store.Find("Calendar");
+  ASSERT_NE(calendar, nullptr);
+  EXPECT_TRUE(calendar->SupportsPlatform("android"));
+  EXPECT_TRUE(calendar->SupportsPlatform("s60"));
+  EXPECT_TRUE(calendar->SupportsPlatform("webview"));
+  EXPECT_FALSE(calendar->SupportsPlatform("iphone"));
+}
+
+TEST(ShippedDescriptors, IPhoneExtensionUsesObjCPlanes) {
+  // The §3.3 extension invariant: the iphone bindings reference the new
+  // "objc" syntactic planes; the original java/javascript planes are
+  // untouched.
+  for (const char* name : {"Location", "Sms", "Http", "Call", "Pim"}) {
+    const ProxyDescriptor* descriptor = ShippedStore().Find(name);
+    const BindingPlane* binding = descriptor->FindBinding("iphone");
+    ASSERT_NE(binding, nullptr) << name;
+    EXPECT_EQ(binding->language, "objc") << name;
+    EXPECT_NE(descriptor->FindSyntactic("objc"), nullptr) << name;
+    EXPECT_NE(descriptor->FindSyntactic("java"), nullptr) << name;
+  }
+}
+
+TEST(ShippedDescriptors, AllValidate) {
+  const auto& store = ShippedStore();
+  for (const std::string& name : store.ProxyNames()) {
+    EXPECT_TRUE(store.Find(name)->Validate().empty()) << name;
+  }
+}
+
+TEST(ShippedDescriptors, S60LocationHasCriteriaProperties) {
+  const BindingPlane* binding =
+      ShippedStore().Find("Location")->FindBinding("s60");
+  ASSERT_NE(binding, nullptr);
+  for (const char* property :
+       {"preferredResponseTime", "horizontalAccuracy", "verticalAccuracy",
+        "powerConsumption", "costAllowed"}) {
+    EXPECT_NE(binding->FindProperty(property), nullptr) << property;
+  }
+  const PropertySpec* power = binding->FindProperty("powerConsumption");
+  EXPECT_EQ(power->allowed_values.size(), 3u);
+}
+
+TEST(ShippedDescriptors, AndroidBindingsRequireContext) {
+  for (const char* proxy : {"Location", "Sms"}) {
+    const BindingPlane* binding =
+        ShippedStore().Find(proxy)->FindBinding("android");
+    const PropertySpec* context = binding->FindProperty("context");
+    ASSERT_NE(context, nullptr) << proxy;
+    EXPECT_TRUE(context->required) << proxy;
+    EXPECT_EQ(context->type, "handle") << proxy;
+  }
+}
+
+TEST(ShippedDescriptors, ExceptionSetsDifferPerPlatform) {
+  const ProxyDescriptor* location = ShippedStore().Find("Location");
+  auto android_ex = location->FindBinding("android")->exceptions;
+  auto s60_ex = location->FindBinding("s60")->exceptions;
+  // S60 declares LocationException; Android does not have it.
+  auto has = [](const std::vector<ExceptionSpec>& list, const char* type) {
+    for (const auto& e : list) {
+      if (e.native_type.find(type) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(s60_ex, "LocationException"));
+  EXPECT_FALSE(has(android_ex, "LocationException"));
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip: model -> XML -> model
+// ---------------------------------------------------------------------------
+
+TEST(DescriptorRoundTrip, SemanticPlane) {
+  const SemanticPlane& original = ShippedStore().Find("Location")->semantic();
+  xml::NodePtr serialized = ToXml(original);
+  EXPECT_TRUE(SemanticSchema().Validate(*serialized).empty());
+  SemanticPlane reparsed = ParseSemantic(*serialized);
+  EXPECT_EQ(reparsed.interface_name, original.interface_name);
+  ASSERT_EQ(reparsed.methods.size(), original.methods.size());
+  for (size_t i = 0; i < original.methods.size(); ++i) {
+    EXPECT_EQ(reparsed.methods[i].name, original.methods[i].name);
+    EXPECT_EQ(reparsed.methods[i].parameters.size(),
+              original.methods[i].parameters.size());
+    EXPECT_EQ(reparsed.methods[i].callback_name,
+              original.methods[i].callback_name);
+    EXPECT_EQ(reparsed.methods[i].return_dimension,
+              original.methods[i].return_dimension);
+  }
+}
+
+TEST(DescriptorRoundTrip, BindingPlane) {
+  const BindingPlane* original =
+      ShippedStore().Find("Location")->FindBinding("s60");
+  xml::NodePtr serialized = ToXml(*original);
+  EXPECT_TRUE(BindingJavaSchema().Validate(*serialized).empty())
+      << xml::WriteNode(*serialized);
+  BindingPlane reparsed = ParseBinding(*serialized);
+  EXPECT_EQ(reparsed.platform, "s60");
+  EXPECT_EQ(reparsed.implementation_class, original->implementation_class);
+  EXPECT_EQ(reparsed.exceptions.size(), original->exceptions.size());
+  EXPECT_EQ(reparsed.properties.size(), original->properties.size());
+}
+
+TEST(DescriptorRoundTrip, SyntacticPlane) {
+  const SyntacticPlane* original =
+      ShippedStore().Find("Sms")->FindSyntactic("javascript");
+  ASSERT_NE(original, nullptr);
+  xml::NodePtr serialized = ToXml(*original);
+  EXPECT_TRUE(SyntacticJavaScriptSchema().Validate(*serialized).empty());
+  SyntacticPlane reparsed = ParseSyntactic(*serialized);
+  EXPECT_EQ(reparsed.language, "javascript");
+  ASSERT_EQ(reparsed.methods.size(), original->methods.size());
+  EXPECT_EQ(reparsed.methods[0].parameter_types,
+            original->methods[0].parameter_types);
+}
+
+// ---------------------------------------------------------------------------
+// Validation failures
+// ---------------------------------------------------------------------------
+
+DescriptorStore StoreFromDocs(const std::vector<std::string>& docs) {
+  DescriptorStore store;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    xml::Document doc = xml::Parse(docs[i]);
+    store.AddDocument(*doc.root, "doc" + std::to_string(i));
+  }
+  store.Finalize();
+  return store;
+}
+
+TEST(DescriptorValidation, OrphanPlaneRejected) {
+  EXPECT_THROW(StoreFromDocs({R"(<binding proxy="Ghost" platform="android"
+      language="java"><implementation class="X"/></binding>)"}),
+               std::runtime_error);
+}
+
+TEST(DescriptorValidation, SchemaViolationRejected) {
+  // method without name attribute.
+  EXPECT_THROW(StoreFromDocs({R"(<proxy name="P"><method/></proxy>)"}),
+               std::runtime_error);
+}
+
+TEST(DescriptorValidation, ParameterCountMismatchRejected) {
+  EXPECT_THROW(StoreFromDocs({
+                   R"(<proxy name="P"><method name="m">
+          <parameter name="a" dimension="x"/>
+          <parameter name="b" dimension="y"/>
+        </method></proxy>)",
+                   R"(<syntax proxy="P" language="java">
+          <method name="m"><param type="double"/></method></syntax>)",
+               }),
+               std::runtime_error);
+}
+
+TEST(DescriptorValidation, UnknownErrorCodeRejected) {
+  EXPECT_THROW(
+      StoreFromDocs({
+          R"(<proxy name="P"><method name="m"/></proxy>)",
+          R"(<syntax proxy="P" language="java"><method name="m"/></syntax>)",
+          R"(<binding proxy="P" platform="android" language="java">
+          <implementation class="X"/>
+          <exception native="Weird" code="not-a-code"/></binding>)",
+      }),
+      std::runtime_error);
+}
+
+TEST(DescriptorValidation, BindingWithoutSyntacticPlaneRejected) {
+  EXPECT_THROW(StoreFromDocs({
+                   R"(<proxy name="P"><method name="m"/></proxy>)",
+                   R"(<binding proxy="P" platform="android" language="java">
+          <implementation class="X"/></binding>)",
+               }),
+               std::runtime_error);
+}
+
+TEST(DescriptorValidation, DefaultOutsideAllowedValuesRejected) {
+  EXPECT_THROW(
+      StoreFromDocs({
+          R"(<proxy name="P"><method name="m"/></proxy>)",
+          R"(<syntax proxy="P" language="java"><method name="m"/></syntax>)",
+          R"(<binding proxy="P" platform="android" language="java">
+          <implementation class="X"/>
+          <property name="mode" type="string" default="zzz">
+            <allowedValue>a</allowedValue><allowedValue>b</allowedValue>
+          </property></binding>)",
+      }),
+      std::runtime_error);
+}
+
+TEST(DescriptorValidation, PlanesArrivingBeforeSemanticAreAttached) {
+  // Binding first, then syntax, then semantic: still assembles.
+  DescriptorStore store = StoreFromDocs({
+      R"(<binding proxy="P" platform="android" language="java">
+        <implementation class="X"/></binding>)",
+      R"(<syntax proxy="P" language="java"><method name="m"/></syntax>)",
+      R"(<proxy name="P"><method name="m"/></proxy>)",
+  });
+  const ProxyDescriptor* descriptor = store.Find("P");
+  ASSERT_NE(descriptor, nullptr);
+  EXPECT_TRUE(descriptor->SupportsPlatform("android"));
+  EXPECT_NE(descriptor->FindSyntactic("java"), nullptr);
+}
+
+TEST(Schemas, SchemaForDispatch) {
+  xml::Document semantic = xml::Parse("<proxy name=\"X\"/>");
+  EXPECT_EQ(SchemaFor(*semantic.root), &SemanticSchema());
+  xml::Document java = xml::Parse("<syntax proxy=\"X\" language=\"java\"/>");
+  EXPECT_EQ(SchemaFor(*java.root), &SyntacticJavaSchema());
+  xml::Document js =
+      xml::Parse("<syntax proxy=\"X\" language=\"javascript\"/>");
+  EXPECT_EQ(SchemaFor(*js.root), &SyntacticJavaScriptSchema());
+  xml::Document binding = xml::Parse(
+      "<binding proxy=\"X\" platform=\"s60\" language=\"java\"/>");
+  EXPECT_EQ(SchemaFor(*binding.root), &BindingJavaSchema());
+  xml::Document unknown = xml::Parse("<wat/>");
+  EXPECT_EQ(SchemaFor(*unknown.root), nullptr);
+}
+
+}  // namespace
+}  // namespace mobivine::core

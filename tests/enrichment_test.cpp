@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "core/bindings/android_bindings.h"
+#include "core/descriptor/proxy_descriptor.h"
+#include "core/enrichment.h"
+#include "core/registry.h"
+#include "support/geo_units.h"
+#include "tests/test_util.h"
+
+namespace mobivine::core {
+namespace {
+
+using mobivine::testing::kBaseLat;
+using mobivine::testing::MakeDevice;
+
+const DescriptorStore& Store() {
+  static const DescriptorStore store =
+      DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+struct Fixture {
+  Fixture() : dev(MakeDevice()), platform(*dev), registry(&Store()) {
+    platform.grantPermission(android::permissions::kFineLocation);
+    platform.grantPermission(android::permissions::kSendSms);
+    platform.grantPermission(android::permissions::kCallPhone);
+  }
+  std::unique_ptr<device::MobileDevice> dev;
+  android::AndroidPlatform platform;
+  ProxyRegistry registry;
+};
+
+class RecordingCall : public CallListener {
+ public:
+  void callStateChanged(CallProgress progress) override {
+    states.push_back(progress);
+  }
+  std::vector<CallProgress> states;
+};
+
+// ---------------------------------------------------------------------------
+// Output-format enrichment (degrees/radians) — paper §3.3
+// ---------------------------------------------------------------------------
+
+TEST(Enrichment, LocationUnitsRadians) {
+  Fixture fx;
+  auto proxy = fx.registry.CreateLocationProxy(fx.platform);
+  proxy->setProperty("context", &fx.platform.application_context());
+
+  Location degrees = proxy->getLocation();
+  proxy->setAngleUnit(AngleUnit::kRadians);
+  Location radians = proxy->getLocation();
+  EXPECT_NEAR(radians.latitude, support::DegreesToRadians(degrees.latitude),
+              0.01);
+  EXPECT_LT(radians.latitude, 1.0);  // ~0.5 rad vs ~28.5 deg
+  EXPECT_GT(proxy->meter().count(Op::kEnrichment), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Call retry enrichment — paper §3.3
+// ---------------------------------------------------------------------------
+
+TEST(Enrichment, RetryRedialsUnreachableCallee) {
+  Fixture fx;
+  RetryingCallProxy proxy(fx.registry.CreateCallProxy(fx.platform),
+                          fx.dev->scheduler(), /*max_retries=*/2,
+                          sim::SimTime::Seconds(1));
+  RecordingCall listener;
+  EXPECT_TRUE(proxy.makeCall("+10000000", &listener));
+  fx.dev->RunFor(sim::SimTime::Seconds(30));
+  EXPECT_EQ(proxy.retries_used(), 2);
+  int failures = 0;
+  for (CallProgress state : listener.states) {
+    if (state == CallProgress::kFailed) ++failures;
+  }
+  EXPECT_EQ(failures, 3);  // initial + 2 retries, all reported
+}
+
+TEST(Enrichment, RetrySucceedsWhenCalleeAppears) {
+  Fixture fx;
+  RetryingCallProxy proxy(fx.registry.CreateCallProxy(fx.platform),
+                          fx.dev->scheduler(), /*max_retries=*/3,
+                          sim::SimTime::Seconds(1));
+  RecordingCall listener;
+  proxy.makeCall("+17770000", &listener);
+  // Callee registers between attempts (e.g. phone switched on).
+  fx.dev->scheduler().ScheduleAfter(sim::SimTime::Millis(1500), [&] {
+    fx.dev->modem().RegisterSubscriber("+17770000");
+  });
+  fx.dev->RunFor(sim::SimTime::Seconds(30));
+  ASSERT_FALSE(listener.states.empty());
+  EXPECT_EQ(listener.states.back(), CallProgress::kConnected);
+  EXPECT_GE(proxy.retries_used(), 1);
+}
+
+TEST(Enrichment, NoRetryAfterManualEndCall) {
+  Fixture fx;
+  RetryingCallProxy proxy(fx.registry.CreateCallProxy(fx.platform),
+                          fx.dev->scheduler(), /*max_retries=*/5,
+                          sim::SimTime::Seconds(1));
+  RecordingCall listener;
+  proxy.makeCall("+10000000", &listener);
+  proxy.endCall();
+  fx.dev->RunFor(sim::SimTime::Seconds(30));
+  EXPECT_EQ(proxy.retries_used(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Access-control enrichment — paper §3.3
+// ---------------------------------------------------------------------------
+
+TEST(Enrichment, PolicyDeniesInterface) {
+  Fixture fx;
+  AccessPolicy policy;  // nothing allowed
+  SecureSmsProxy proxy(fx.registry.CreateSmsProxy(fx.platform), policy,
+                       fx.dev->scheduler());
+  try {
+    proxy.sendTextMessage("+15550123", "x", nullptr);
+    FAIL() << "expected ProxyError";
+  } catch (const ProxyError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kSecurity);
+  }
+}
+
+TEST(Enrichment, PolicyDestinationPrefixes) {
+  Fixture fx;
+  AccessPolicy policy;
+  policy.AllowInterface("Sms");
+  policy.AllowDestinationPrefix("+1555");
+  SecureSmsProxy proxy(fx.registry.CreateSmsProxy(fx.platform), policy,
+                       fx.dev->scheduler());
+  proxy.setProperty("context", &fx.platform.application_context());
+  EXPECT_GT(proxy.sendTextMessage("+15550123", "ok", nullptr), 0);
+  EXPECT_THROW(proxy.sendTextMessage("+4400000", "nope", nullptr), ProxyError);
+}
+
+TEST(Enrichment, PolicyGuardsCallAndLocation) {
+  Fixture fx;
+  AccessPolicy policy;
+  policy.AllowInterface("Location");
+  SecureCallProxy call(fx.registry.CreateCallProxy(fx.platform), policy,
+                       fx.dev->scheduler());
+  EXPECT_THROW(call.makeCall("+15550123", nullptr), ProxyError);
+
+  SecureLocationProxy location(fx.registry.CreateLocationProxy(fx.platform),
+                               policy, fx.dev->scheduler());
+  location.setProperty("context", &fx.platform.application_context());
+  EXPECT_NO_THROW((void)location.getLocation());
+}
+
+// ---------------------------------------------------------------------------
+// Authentication enrichment — paper §3.3
+// ---------------------------------------------------------------------------
+
+/// A server with a token endpoint and a protected resource; tokens can be
+/// invalidated to force the 401-refresh path.
+struct AuthServer {
+  int issued = 0;
+  std::string current_token;
+
+  void AttachTo(device::SimNetwork& network) {
+    network.RegisterHost("auth.example", [this](const device::HttpRequest& r) {
+      if (r.url.path == "/token") {
+        auto params = device::ParseQuery(r.body);
+        for (const auto& [key, value] : params) {
+          if (key == "credentials" && value == "agent:secret") {
+            current_token = "tok-" + std::to_string(++issued);
+            return device::HttpResponse::Ok(current_token);
+          }
+        }
+        return device::HttpResponse{401, "Unauthorized", {}, ""};
+      }
+      if (r.url.path == "/protected") {
+        const std::string auth = r.headers.GetOr("Authorization", "");
+        if (auth == "Bearer " + current_token && !current_token.empty()) {
+          return device::HttpResponse::Ok("secret-data");
+        }
+        return device::HttpResponse{401, "Unauthorized", {}, ""};
+      }
+      return device::HttpResponse::NotFound();
+    });
+  }
+};
+
+TEST(Enrichment, AuthFetchesTokenOnceAndAttachesIt) {
+  Fixture fx;
+  fx.platform.grantPermission(android::permissions::kInternet);
+  AuthServer server;
+  server.AttachTo(fx.dev->network());
+
+  AuthenticatingHttpProxy http(fx.registry.CreateHttpProxy(fx.platform),
+                               "http://auth.example/token", "agent:secret",
+                               fx.dev->scheduler());
+  EXPECT_EQ(http.get("http://auth.example/protected").body, "secret-data");
+  EXPECT_EQ(http.get("http://auth.example/protected").body, "secret-data");
+  EXPECT_EQ(http.token_fetches(), 1);  // token reused across requests
+}
+
+TEST(Enrichment, AuthRefreshesOn401AndRetriesOnce) {
+  Fixture fx;
+  fx.platform.grantPermission(android::permissions::kInternet);
+  AuthServer server;
+  server.AttachTo(fx.dev->network());
+  AuthenticatingHttpProxy http(fx.registry.CreateHttpProxy(fx.platform),
+                               "http://auth.example/token", "agent:secret",
+                               fx.dev->scheduler());
+  EXPECT_EQ(http.get("http://auth.example/protected").body, "secret-data");
+  // Server-side invalidation: the next exchange hits 401, refreshes and
+  // succeeds transparently.
+  server.current_token = "revoked";
+  EXPECT_EQ(http.get("http://auth.example/protected").body, "secret-data");
+  EXPECT_EQ(http.token_fetches(), 2);
+}
+
+TEST(Enrichment, AuthBadCredentialsUniformSecurityError) {
+  Fixture fx;
+  fx.platform.grantPermission(android::permissions::kInternet);
+  AuthServer server;
+  server.AttachTo(fx.dev->network());
+  AuthenticatingHttpProxy http(fx.registry.CreateHttpProxy(fx.platform),
+                               "http://auth.example/token", "agent:wrong",
+                               fx.dev->scheduler());
+  try {
+    (void)http.get("http://auth.example/protected");
+    FAIL();
+  } catch (const ProxyError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kSecurity);
+  }
+}
+
+TEST(Enrichment, AuthComposesAcrossPlatforms) {
+  // The same decorator over the S60 binding — enrichment is
+  // platform-neutral by construction.
+  auto dev = MakeDevice();
+  s60::S60Platform platform(*dev);
+  platform.grantPermission(s60::permissions::kHttp);
+  AuthServer server;
+  server.AttachTo(dev->network());
+  ProxyRegistry registry(&Store());
+  AuthenticatingHttpProxy http(registry.CreateHttpProxy(platform),
+                               "http://auth.example/token", "agent:secret",
+                               dev->scheduler());
+  EXPECT_EQ(http.get("http://auth.example/protected").body, "secret-data");
+}
+
+TEST(Enrichment, PolicyDeniesBeforePlatformTouched) {
+  Fixture fx;
+  // Even with the platform permission revoked, the policy check fires
+  // first — no android::SecurityException leaks through.
+  fx.platform.revokePermission(android::permissions::kSendSms);
+  AccessPolicy policy;
+  SecureSmsProxy proxy(fx.registry.CreateSmsProxy(fx.platform), policy,
+                       fx.dev->scheduler());
+  try {
+    proxy.sendTextMessage("+15550123", "x", nullptr);
+    FAIL();
+  } catch (const ProxyError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kSecurity);
+    EXPECT_TRUE(error.platform().empty());  // raised by the MobiVine layer
+  }
+}
+
+}  // namespace
+}  // namespace mobivine::core

@@ -1,0 +1,325 @@
+// Failure injection: degraded radio, lossy network, GPS outages and user
+// refusals, driven through the uniform MobiVine surface. The layer's
+// contract under failure is (a) every failure surfaces as a uniform
+// ProxyError or listener status — never a platform exception — and (b)
+// long-running adaptations (proximity monitoring, polling) survive
+// transient outages.
+#include <gtest/gtest.h>
+
+#include "core/bindings/webview_proxies.h"
+#include "core/registry.h"
+#include "iphone/iphone_platform.h"
+#include "s60/midlet.h"
+#include "tests/test_util.h"
+#include "webview/webview.h"
+
+namespace mobivine {
+namespace {
+
+using core::DescriptorStore;
+using core::ErrorCode;
+using core::ProxyError;
+using core::ProxyRegistry;
+using mobivine::testing::ApproachTrack;
+using mobivine::testing::kBaseLat;
+using mobivine::testing::kBaseLon;
+
+const DescriptorStore& Store() {
+  static const DescriptorStore store =
+      DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// Lossy network
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, LossyNetworkSurfacesUniformTimeouts) {
+  device::DeviceConfig config;
+  config.seed = 11;
+  config.network.loss_probability = 1.0;
+  config.network.timeout = sim::SimTime::Seconds(5);
+  device::MobileDevice dev(config);
+  dev.network().RegisterHost("server", [](const device::HttpRequest&) {
+    return device::HttpResponse::Ok("never seen");
+  });
+
+  ProxyRegistry registry(&Store());
+
+  android::AndroidPlatform android_platform(dev);
+  android_platform.grantPermission(android::permissions::kInternet);
+  auto android_http = registry.CreateHttpProxy(android_platform);
+  try {
+    (void)android_http->get("http://server/");
+    FAIL();
+  } catch (const ProxyError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kTimeout);
+  }
+
+  s60::S60Platform s60_platform(dev);
+  s60_platform.grantPermission(s60::permissions::kHttp);
+  auto s60_http = registry.CreateHttpProxy(s60_platform);
+  try {
+    (void)s60_http->get("http://server/");
+    FAIL();
+  } catch (const ProxyError& error) {
+    // J2ME surfaces HTTP timeouts as InterruptedIOException, which the
+    // unified model files under the radio-failure family.
+    EXPECT_EQ(error.code(), ErrorCode::kRadioFailure);
+  }
+
+  iphone::IPhonePlatform iphone_platform(dev);
+  auto iphone_http = registry.CreateHttpProxy(iphone_platform);
+  try {
+    (void)iphone_http->get("http://server/");
+    FAIL();
+  } catch (const ProxyError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kTimeout);
+  }
+}
+
+TEST(FailureInjection, IntermittentNetworkEventuallySucceeds) {
+  device::DeviceConfig config;
+  config.seed = 13;
+  config.network.loss_probability = 0.5;
+  config.network.timeout = sim::SimTime::Seconds(2);
+  device::MobileDevice dev(config);
+  dev.network().RegisterHost("server", [](const device::HttpRequest&) {
+    return device::HttpResponse::Ok("finally");
+  });
+  android::AndroidPlatform platform(dev);
+  platform.grantPermission(android::permissions::kInternet);
+  ProxyRegistry registry(&Store());
+  auto http = registry.CreateHttpProxy(platform);
+
+  // Application-level retry over the uniform error: must converge.
+  int attempts = 0;
+  std::string body;
+  while (attempts < 32) {
+    ++attempts;
+    try {
+      body = http->get("http://server/").body;
+      break;
+    } catch (const ProxyError& error) {
+      ASSERT_EQ(error.code(), ErrorCode::kTimeout);
+    }
+  }
+  EXPECT_EQ(body, "finally");
+  EXPECT_LT(attempts, 32);
+}
+
+// ---------------------------------------------------------------------------
+// Radio failures during SMS bursts
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, SmsBurstWithRadioFailuresAllAccountedFor) {
+  auto dev = testing::MakeDevice(17);
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kSendSms);
+  ProxyRegistry registry(&Store());
+  auto sms = registry.CreateSmsProxy(platform);
+  sms->setProperty("context", &platform.application_context());
+
+  class Counter : public core::SmsListener {
+   public:
+    void smsStatusChanged(long long, core::SmsDeliveryStatus status) override {
+      switch (status) {
+        case core::SmsDeliveryStatus::kSubmitted:
+          ++submitted;
+          break;
+        case core::SmsDeliveryStatus::kDelivered:
+          ++delivered;
+          break;
+        case core::SmsDeliveryStatus::kFailed:
+          ++failed;
+          break;
+      }
+    }
+    int submitted = 0, delivered = 0, failed = 0;
+  } counter;
+
+  dev->modem().InjectRadioFailures(3);
+  for (int i = 0; i < 10; ++i) {
+    sms->sendTextMessage("+15550123", "burst " + std::to_string(i), &counter);
+  }
+  dev->RunAll();
+  // Exactly 3 failures; the rest submitted AND delivered.
+  EXPECT_EQ(counter.failed, 3);
+  EXPECT_EQ(counter.submitted, 7);
+  EXPECT_EQ(counter.delivered, 7);
+}
+
+TEST(FailureInjection, S60BlockingSendFailureLeavesConnectionUsable) {
+  auto dev = testing::MakeDevice(19);
+  s60::S60Platform platform(*dev);
+  platform.grantPermission(s60::permissions::kSmsSend);
+  ProxyRegistry registry(&Store());
+  auto sms = registry.CreateSmsProxy(platform);
+
+  dev->modem().InjectRadioFailures(1);
+  EXPECT_THROW(sms->sendTextMessage("+15550123", "first", nullptr),
+               ProxyError);
+  // The cached MessageConnection must still work afterwards.
+  EXPECT_GT(sms->sendTextMessage("+15550123", "second", nullptr), 0);
+}
+
+// ---------------------------------------------------------------------------
+// GPS outage during long-running proximity monitoring
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, ProximityMonitoringSurvivesGpsOutage) {
+  // 40% of fixes fail; the S60 one-shot adaptation (poll + exit detection +
+  // re-arm) must still produce entry and exit events over a long pass.
+  device::DeviceConfig config;
+  config.seed = 23;
+  config.gps.fix_failure_probability = 0.4;
+  device::MobileDevice dev(config);
+  dev.gps().set_track(ApproachTrack(800, 10.0, sim::SimTime::Seconds(300)));
+  dev.modem().RegisterSubscriber("+15550123");
+
+  s60::S60Platform platform(dev);
+  platform.grantPermission(s60::permissions::kLocation);
+  ProxyRegistry registry(&Store());
+  auto proxy = registry.CreateLocationProxy(platform);
+
+  class Recorder : public core::ProximityListener {
+   public:
+    void proximityEvent(double, double, double, const core::Location&,
+                        bool entering) override {
+      entering ? ++entries : ++exits;
+    }
+    int entries = 0, exits = 0;
+  } recorder;
+
+  proxy->addProximityAlert(kBaseLat, kBaseLon, 0, 200.0f, -1, &recorder);
+  dev.RunFor(sim::SimTime::Seconds(300));
+  EXPECT_GE(recorder.entries, 1);
+  EXPECT_GE(recorder.exits, 1);
+}
+
+TEST(FailureInjection, TotalGpsOutageIsUniformlyReported) {
+  device::DeviceConfig config;
+  config.seed = 29;
+  config.gps.fix_failure_probability = 1.0;
+  device::MobileDevice dev(config);
+  dev.gps().set_track(sim::GeoTrack::Stationary(kBaseLat, kBaseLon));
+
+  ProxyRegistry registry(&Store());
+  {
+    s60::S60Platform platform(dev);
+    platform.grantPermission(s60::permissions::kLocation);
+    auto proxy = registry.CreateLocationProxy(platform);
+    try {
+      (void)proxy->getLocation();
+      FAIL();
+    } catch (const ProxyError& error) {
+      EXPECT_EQ(error.code(), ErrorCode::kLocationUnavailable);
+    }
+  }
+  {
+    iphone::IPhonePlatform platform(dev);
+    auto proxy = registry.CreateLocationProxy(platform);
+    proxy->setProperty("locationTimeout", 5LL);
+    try {
+      (void)proxy->getLocation();
+      FAIL();
+    } catch (const ProxyError& error) {
+      EXPECT_EQ(error.code(), ErrorCode::kLocationUnavailable);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WebView: errors inside polled callbacks do not kill the page
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, CallbackErrorIsolatedToConsole) {
+  auto dev = testing::MakeDevice(31);
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kSendSms);
+  webview::WebView webview(platform);
+  core::InstallWebViewProxies(webview);
+
+  webview.loadScript(R"(
+    var later = 0;
+    var sms = new SmsProxyImpl();
+    sms.sendTextMessage('+15550123', 'x', function(id, status) {
+      boom();  // ReferenceError inside the polled callback
+    });
+    setInterval(function() { later++; }, 1000);
+  )");
+  dev->RunFor(sim::SimTime::Seconds(10));
+  // The callback error landed on the console...
+  ASSERT_FALSE(webview.console_errors().empty());
+  EXPECT_NE(webview.console_errors()[0].find("boom"), std::string::npos);
+  // ...and the page's other timers kept running.
+  EXPECT_GE(webview.loadScript("later;").as_number(), 9.0);
+}
+
+TEST(FailureInjection, WorkforceAppSurvivesDegradedEverything) {
+  // The motivating application under simultaneous degradation: lossy
+  // network, occasional GPS failures, one radio failure. It must still
+  // check in eventually and never see a platform exception type.
+  device::DeviceConfig config;
+  config.seed = 37;
+  config.network.loss_probability = 0.3;
+  config.network.timeout = sim::SimTime::Seconds(2);
+  config.gps.fix_failure_probability = 0.3;
+  device::MobileDevice dev(config);
+  dev.gps().set_track(ApproachTrack(600, 10.0, sim::SimTime::Seconds(300)));
+  dev.modem().RegisterSubscriber("+15550199");
+  int checkins = 0;
+  dev.network().RegisterHost("wfm.example", [&](const device::HttpRequest&) {
+    ++checkins;
+    return device::HttpResponse::Ok("task");
+  });
+
+  android::AndroidPlatform platform(dev);
+  platform.grantPermission(android::permissions::kFineLocation);
+  platform.grantPermission(android::permissions::kSendSms);
+  platform.grantPermission(android::permissions::kInternet);
+  ProxyRegistry registry(&Store());
+  auto location = registry.CreateLocationProxy(platform);
+  location->setProperty("context", &platform.application_context());
+  auto sms = registry.CreateSmsProxy(platform);
+  sms->setProperty("context", &platform.application_context());
+  auto http = registry.CreateHttpProxy(platform);
+
+  class Agent : public core::ProximityListener {
+   public:
+    Agent(core::HttpProxy& http, core::SmsProxy& sms)
+        : http_(http), sms_(sms) {}
+    void proximityEvent(double, double, double, const core::Location&,
+                        bool entering) override {
+      if (!entering) return;
+      // Retry the check-in over the lossy network.
+      for (int attempt = 0; attempt < 12; ++attempt) {
+        try {
+          if (http_.post("http://wfm.example/checkin", "agent=1", "text/plain")
+                  .ok()) {
+            checked_in = true;
+            break;
+          }
+        } catch (const ProxyError&) {
+          // uniform, retryable
+        }
+      }
+      try {
+        sms_.sendTextMessage("+15550199", "arrived", nullptr);
+      } catch (const ProxyError&) {
+      }
+    }
+    core::HttpProxy& http_;
+    core::SmsProxy& sms_;
+    bool checked_in = false;
+  } agent(*http, *sms);
+
+  dev.modem().InjectRadioFailures(1);
+  location->addProximityAlert(kBaseLat, kBaseLon, 0, 200.0f, -1, &agent);
+  dev.RunFor(sim::SimTime::Seconds(300));
+  EXPECT_TRUE(agent.checked_in);
+  EXPECT_GE(checkins, 1);
+}
+
+}  // namespace
+}  // namespace mobivine

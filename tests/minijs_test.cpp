@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include "minijs/interpreter.h"
+#include "minijs/lexer.h"
+#include "minijs/parser.h"
+
+namespace mobivine::minijs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TokenKindsAndPositions) {
+  auto tokens = Tokenize("var x = 1.5;\nx += 2;");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].type, TokenType::kVar);
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[3].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 1.5);
+  EXPECT_EQ(tokens[5].line, 2);
+  EXPECT_EQ(tokens[6].type, TokenType::kPlusAssign);
+  EXPECT_EQ(tokens.back().type, TokenType::kEof);
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  auto tokens = Tokenize(R"('a\'b' "c\"d\n")");
+  EXPECT_EQ(tokens[0].text, "a'b");
+  EXPECT_EQ(tokens[1].text, "c\"d\n");
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto tokens = Tokenize("a // line\n/* block\nmore */ b");
+  ASSERT_EQ(tokens.size(), 3u);  // a, b, EOF
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto tokens = Tokenize("=== !== == != <= >= && || ++ --");
+  EXPECT_EQ(tokens[0].type, TokenType::kStrictEq);
+  EXPECT_EQ(tokens[1].type, TokenType::kStrictNotEq);
+  EXPECT_EQ(tokens[2].type, TokenType::kEq);
+  EXPECT_EQ(tokens[3].type, TokenType::kNotEq);
+  EXPECT_EQ(tokens[4].type, TokenType::kLessEq);
+  EXPECT_EQ(tokens[5].type, TokenType::kGreaterEq);
+  EXPECT_EQ(tokens[6].type, TokenType::kAndAnd);
+  EXPECT_EQ(tokens[7].type, TokenType::kOrOr);
+  EXPECT_EQ(tokens[8].type, TokenType::kPlusPlus);
+  EXPECT_EQ(tokens[9].type, TokenType::kMinusMinus);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(Tokenize("'unterminated"), LexError);
+  EXPECT_THROW(Tokenize("/* never closed"), LexError);
+  EXPECT_THROW(Tokenize("a # b"), LexError);
+  EXPECT_THROW(Tokenize("a & b"), LexError);
+}
+
+TEST(Lexer, NumberForms) {
+  auto tokens = Tokenize("0 42 3.25 1e3 2.5e-2");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 42);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 3.25);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 1000);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 0.025);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(Parser, SyntaxErrorsCarryLocation) {
+  try {
+    (void)ParseProgram("var = 3;");
+    FAIL() << "expected SyntaxError";
+  } catch (const SyntaxError& error) {
+    EXPECT_EQ(error.line(), 1);
+  }
+  EXPECT_THROW(ParseProgram("if (x) { "), SyntaxError);
+  EXPECT_THROW(ParseProgram("1 + ;"), SyntaxError);
+  EXPECT_THROW(ParseProgram("try {}"), SyntaxError);  // needs catch/finally
+  EXPECT_THROW(ParseProgram("1 = 2;"), SyntaxError);  // bad assign target
+}
+
+TEST(Parser, PrecedenceShape) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  Program program = ParseProgram("1 + 2 * 3;");
+  const auto& stmt = static_cast<const ExpressionStmt&>(*program.statements[0]);
+  const auto& add = static_cast<const BinaryExpr&>(*stmt.expression);
+  EXPECT_EQ(add.op, BinaryOp::kAdd);
+  EXPECT_EQ(add.right->kind, ExprKind::kBinary);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter: expression semantics
+// ---------------------------------------------------------------------------
+
+double RunNumber(const std::string& source) {
+  Interpreter interpreter;
+  Value result = interpreter.Run(source);
+  EXPECT_TRUE(result.is_number()) << source << " -> "
+                                  << result.ToDisplayString();
+  return result.is_number() ? result.as_number() : 0;
+}
+
+std::string RunString(const std::string& source) {
+  Interpreter interpreter;
+  return interpreter.Run(source).ToDisplayString();
+}
+
+TEST(Interp, Arithmetic) {
+  EXPECT_DOUBLE_EQ(RunNumber("1 + 2 * 3;"), 7);
+  EXPECT_DOUBLE_EQ(RunNumber("(1 + 2) * 3;"), 9);
+  EXPECT_DOUBLE_EQ(RunNumber("10 / 4;"), 2.5);
+  EXPECT_DOUBLE_EQ(RunNumber("10 % 3;"), 1);
+  EXPECT_DOUBLE_EQ(RunNumber("-3 + 1;"), -2);
+}
+
+TEST(Interp, StringConcatenation) {
+  EXPECT_EQ(RunString("'a' + 'b' + 1;"), "ab1");
+  EXPECT_EQ(RunString("1 + 2 + 'x';"), "3x");
+}
+
+TEST(Interp, ComparisonsAndEquality) {
+  Interpreter interp;
+  EXPECT_TRUE(interp.Run("1 < 2;").as_bool());
+  EXPECT_TRUE(interp.Run("'abc' < 'abd';").as_bool());
+  EXPECT_TRUE(interp.Run("1 == '1';").as_bool());
+  EXPECT_FALSE(interp.Run("1 === '1';").as_bool());
+  EXPECT_TRUE(interp.Run("null == undefined;").as_bool());
+  EXPECT_FALSE(interp.Run("null === undefined;").as_bool());
+  EXPECT_TRUE(interp.Run("typeof null;").as_string() == "object");
+}
+
+TEST(Interp, LogicalShortCircuit) {
+  Interpreter interp;
+  interp.Run("var called = false; function f() { called = true; return 1; }");
+  interp.Run("false && f();");
+  EXPECT_FALSE(interp.GetGlobal("called").as_bool());
+  interp.Run("true || f();");
+  EXPECT_FALSE(interp.GetGlobal("called").as_bool());
+  interp.Run("true && f();");
+  EXPECT_TRUE(interp.GetGlobal("called").as_bool());
+}
+
+TEST(Interp, Ternary) {
+  EXPECT_DOUBLE_EQ(RunNumber("1 < 2 ? 10 : 20;"), 10);
+  EXPECT_DOUBLE_EQ(RunNumber("1 > 2 ? 10 : 20;"), 20);
+}
+
+TEST(Interp, VarScopingAndClosures) {
+  Interpreter interp;
+  Value result = interp.Run(R"(
+    function counter() {
+      var n = 0;
+      return function() { n = n + 1; return n; };
+    }
+    var c1 = counter();
+    var c2 = counter();
+    c1(); c1(); c2();
+  )");
+  EXPECT_DOUBLE_EQ(result.as_number(), 1);  // c2's own state
+  EXPECT_DOUBLE_EQ(interp.Run("c1();").as_number(), 3);
+}
+
+TEST(Interp, WhileAndForLoops) {
+  EXPECT_DOUBLE_EQ(
+      RunNumber("var s = 0; var i = 0; while (i < 5) { s += i; i++; } s;"),
+      10);
+  EXPECT_DOUBLE_EQ(
+      RunNumber("var s = 0; for (var i = 0; i < 5; i++) { s += i; } s;"), 10);
+}
+
+TEST(Interp, BreakAndContinue) {
+  EXPECT_DOUBLE_EQ(RunNumber(R"(
+    var s = 0;
+    for (var i = 0; i < 10; i++) {
+      if (i == 3) { continue; }
+      if (i == 6) { break; }
+      s += i;
+    }
+    s;
+  )"),
+                   0 + 1 + 2 + 4 + 5);
+}
+
+TEST(Interp, ObjectsAndArrays) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(interp.Run("var o = {a: 1, 'b': 2}; o.a + o['b'];")
+                       .as_number(),
+                   3);
+  EXPECT_DOUBLE_EQ(interp.Run("var a = [1, 2, 3]; a[0] + a[2];").as_number(),
+                   4);
+  EXPECT_DOUBLE_EQ(interp.Run("a.push(9); a.length;").as_number(), 4);
+  EXPECT_DOUBLE_EQ(interp.Run("a.pop();").as_number(), 9);
+  EXPECT_DOUBLE_EQ(interp.Run("a.shift();").as_number(), 1);
+  EXPECT_EQ(interp.Run("[4,5,6].join('-');").as_string(), "4-5-6");
+  EXPECT_DOUBLE_EQ(interp.Run("a[10] = 1; a.length;").as_number(), 11);
+}
+
+TEST(Interp, StringBuiltins) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(interp.Run("'hello'.length;").as_number(), 5);
+  EXPECT_DOUBLE_EQ(interp.Run("'hello'.indexOf('ll');").as_number(), 2);
+  EXPECT_DOUBLE_EQ(interp.Run("'hello'.indexOf('z');").as_number(), -1);
+  EXPECT_EQ(interp.Run("'hello'.substring(1, 3);").as_string(), "el");
+  EXPECT_EQ(interp.Run("'hello'.charAt(1);").as_string(), "e");
+  EXPECT_EQ(interp.Run("'hi'.toUpperCase();").as_string(), "HI");
+  EXPECT_EQ(interp.Run("'HI'.toLowerCase();").as_string(), "hi");
+}
+
+TEST(Interp, NewAndThis) {
+  Interpreter interp;
+  Value result = interp.Run(R"(
+    function Point(x, y) {
+      this.x = x;
+      this.y = y;
+      this.norm2 = function() { return this.x * this.x + this.y * this.y; };
+    }
+    var p = new Point(3, 4);
+    p.norm2();
+  )");
+  EXPECT_DOUBLE_EQ(result.as_number(), 25);
+}
+
+TEST(Interp, ConstructorReturningObjectWins) {
+  Interpreter interp;
+  Value result = interp.Run(R"(
+    function F() { return {tag: 'explicit'}; }
+    var o = new F();
+    o.tag;
+  )");
+  EXPECT_EQ(result.as_string(), "explicit");
+}
+
+TEST(Interp, ThrowTryCatchFinally) {
+  Interpreter interp;
+  Value result = interp.Run(R"(
+    var log = [];
+    try {
+      log.push('try');
+      throw new Error('boom');
+    } catch (e) {
+      log.push('catch:' + e.message);
+    } finally {
+      log.push('finally');
+    }
+    log.join(',');
+  )");
+  EXPECT_EQ(result.as_string(), "try,catch:boom,finally");
+}
+
+TEST(Interp, FinallyRunsOnRethrow) {
+  Interpreter interp;
+  Value result = interp.Run(R"(
+    var ran = false;
+    function f() {
+      try { throw 'x'; } finally { ran = true; }
+    }
+    try { f(); } catch (e) {}
+    ran;
+  )");
+  EXPECT_TRUE(result.as_bool());
+}
+
+TEST(Interp, UncaughtThrowBecomesScriptError) {
+  Interpreter interp;
+  try {
+    interp.Run("throw new Error('kaboom');");
+    FAIL() << "expected ScriptError";
+  } catch (const ScriptError& error) {
+    EXPECT_NE(std::string(error.what()).find("kaboom"), std::string::npos);
+  }
+}
+
+TEST(Interp, RuntimeTypeErrors) {
+  Interpreter interp;
+  EXPECT_THROW(interp.Run("undefinedName;"), ScriptError);
+  EXPECT_THROW(interp.Run("null.x;"), ScriptError);
+  EXPECT_THROW(interp.Run("var x = 3; x();"), ScriptError);
+  EXPECT_THROW(interp.Run("var y = 1; y.z = 2;"), ScriptError);
+}
+
+TEST(Interp, FunctionHoisting) {
+  EXPECT_DOUBLE_EQ(RunNumber("var r = f(); function f() { return 11; } r;"),
+                   11);
+}
+
+TEST(Interp, ArgumentsObjectAndMissingParams) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(
+      interp.Run("function f(a, b) { return arguments.length; } f(1, 2, 3);")
+          .as_number(),
+      3);
+  EXPECT_EQ(interp.Run("function g(a, b) { return typeof b; } g(1);")
+                .as_string(),
+            "undefined");
+}
+
+TEST(Interp, PrefixPostfixIncrement) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(interp.Run("var i = 5; i++;").as_number(), 5);
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("i").as_number(), 6);
+  EXPECT_DOUBLE_EQ(interp.Run("++i;").as_number(), 7);
+  EXPECT_DOUBLE_EQ(interp.Run("var o = {n: 1}; o.n++; o.n;").as_number(), 2);
+}
+
+TEST(Interp, MathAndGlobalBuiltins) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(interp.Run("Math.abs(-4);").as_number(), 4);
+  EXPECT_DOUBLE_EQ(interp.Run("Math.floor(2.7);").as_number(), 2);
+  EXPECT_DOUBLE_EQ(interp.Run("Math.max(1, 9, 3);").as_number(), 9);
+  EXPECT_DOUBLE_EQ(interp.Run("Math.min(4, 2);").as_number(), 2);
+  EXPECT_DOUBLE_EQ(interp.Run("Math.pow(2, 10);").as_number(), 1024);
+  EXPECT_TRUE(interp.Run("isNaN(Number('abc'));").as_bool());
+  EXPECT_EQ(interp.Run("String(12);").as_string(), "12");
+}
+
+TEST(Interp, PrintCollectsOutput) {
+  Interpreter interp;
+  interp.Run("print('a', 1); print('b');");
+  ASSERT_EQ(interp.output().size(), 2u);
+  EXPECT_EQ(interp.output()[0], "a 1");
+  EXPECT_EQ(interp.output()[1], "b");
+}
+
+TEST(Interp, StepLimitGuardsRunaway) {
+  Interpreter interp;
+  interp.set_step_limit(10'000);
+  EXPECT_THROW(interp.Run("while (true) { var x = 1; }"), ScriptError);
+}
+
+TEST(Interp, StepsCounted) {
+  Interpreter interp;
+  interp.Run("1 + 2;");
+  const auto baseline = interp.steps();
+  EXPECT_GT(baseline, 0u);
+  interp.Run("var s = 0; for (var i = 0; i < 100; i++) { s += i; }");
+  EXPECT_GT(interp.steps(), baseline + 300);
+}
+
+TEST(Interp, HostFunctionsAndCallFromNative) {
+  Interpreter interp;
+  interp.SetGlobal("double",
+                   MakeHostFunction("double", [](Interpreter&, const Value&,
+                                                 std::vector<Value>& args) {
+                     return Value::Number(args[0].ToNumber() * 2);
+                   }));
+  EXPECT_DOUBLE_EQ(interp.Run("double(21);").as_number(), 42);
+
+  interp.Run("function add(a, b) { return a + b; }");
+  Value result = interp.Call(interp.GetGlobal("add"), Value::Undefined(),
+                             {Value::Number(2), Value::Number(3)});
+  EXPECT_DOUBLE_EQ(result.as_number(), 5);
+}
+
+TEST(Interp, HostObjectMethodsReceiveThis) {
+  Interpreter interp;
+  auto host = Object::Make();
+  host->Set("name", Value::String("wrapper"));
+  host->Set("who", MakeHostFunction("who", [](Interpreter&, const Value& self,
+                                              std::vector<Value>&) {
+              return self.as_object()->Get("name");
+            }));
+  interp.SetGlobal("hostObj", Value::Obj(host));
+  EXPECT_EQ(interp.Run("hostObj.who();").as_string(), "wrapper");
+}
+
+TEST(Interp, HostErrorsCatchableInScript) {
+  Interpreter interp;
+  interp.SetGlobal("explode",
+                   MakeHostFunction("explode", [](Interpreter&, const Value&,
+                                                  std::vector<Value>&) -> Value {
+                     throw ScriptError(Value::Obj(
+                         MakeErrorObject("SecurityError", "denied", 101)));
+                   }));
+  Value result = interp.Run(R"(
+    var code = 0;
+    try { explode(); } catch (e) { code = e.code; }
+    code;
+  )");
+  EXPECT_DOUBLE_EQ(result.as_number(), 101);
+}
+
+}  // namespace
+}  // namespace mobivine::minijs

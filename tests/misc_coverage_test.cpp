@@ -1,0 +1,231 @@
+// Coverage for corners the module-focused suites skip: logging sinks, the
+// overhead meter, property-bag typing, writer options, MiniJS runtime
+// odds-and-ends, WebView page API edges, and binding hygiene (receiver
+// pruning).
+#include <gtest/gtest.h>
+
+#include "core/bindings/android_bindings.h"
+#include "core/meter.h"
+#include "core/property.h"
+#include "core/registry.h"
+#include "minijs/interpreter.h"
+#include "support/logging.h"
+#include "tests/test_util.h"
+#include "webview/webview.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace mobivine {
+namespace {
+
+using mobivine::testing::MakeDevice;
+
+// ---------------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------------
+
+TEST(Logging, LevelsGateOutputAndSinkCaptures) {
+  auto& logger = support::Logger::Instance();
+  std::vector<std::pair<support::LogLevel, std::string>> captured;
+  logger.set_sink([&](support::LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+
+  logger.set_level(support::LogLevel::kOff);
+  MOBIVINE_LOG_ERROR << "suppressed";
+  EXPECT_TRUE(captured.empty());
+
+  logger.set_level(support::LogLevel::kWarn);
+  MOBIVINE_LOG_ERROR << "error " << 42;
+  MOBIVINE_LOG_WARN << "warn";
+  MOBIVINE_LOG_INFO << "info suppressed";
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].second, "error 42");
+  EXPECT_EQ(captured[1].first, support::LogLevel::kWarn);
+
+  logger.set_level(support::LogLevel::kDebug);
+  MOBIVINE_LOG_DEBUG << "debug";
+  EXPECT_EQ(captured.size(), 3u);
+
+  // Restore defaults for other tests.
+  logger.set_level(support::LogLevel::kOff);
+}
+
+// ---------------------------------------------------------------------------
+// OverheadMeter / PropertyBag
+// ---------------------------------------------------------------------------
+
+TEST(OverheadMeter, CountsChargesAndAdvancesClock) {
+  sim::Scheduler scheduler;
+  core::OverheadMeter meter(scheduler);
+  meter.Charge(core::Op::kDispatch);
+  meter.Charge(core::Op::kTypeConversion, 7);
+  EXPECT_EQ(meter.count(core::Op::kDispatch), 1u);
+  EXPECT_EQ(meter.count(core::Op::kTypeConversion), 7u);
+  EXPECT_EQ(meter.total_ops(), 8u);
+  EXPECT_GT(meter.charged().micros(), 0);
+  EXPECT_EQ(scheduler.now(), meter.charged());
+  meter.Reset();
+  EXPECT_EQ(meter.total_ops(), 0u);
+  EXPECT_EQ(meter.charged(), sim::SimTime::Zero());
+  // ToString is total over the op enum.
+  for (int i = 0; i < static_cast<int>(core::Op::kCount_); ++i) {
+    EXPECT_STRNE(core::ToString(static_cast<core::Op>(i)), "?");
+  }
+}
+
+TEST(PropertyBag, TypedAccessAndMismatch) {
+  core::PropertyBag bag;
+  bag.Set("i", 42LL);
+  bag.Set("s", std::string("x"));
+  bag.Set("b", true);
+  EXPECT_EQ(bag.GetOr<long long>("i", 0), 42);
+  EXPECT_EQ(bag.GetOr<std::string>("s", ""), "x");
+  EXPECT_TRUE(bag.GetOr<bool>("b", false));
+  // Type mismatch yields nullopt, not a throw.
+  EXPECT_FALSE(bag.Get<std::string>("i").has_value());
+  EXPECT_FALSE(bag.Get<long long>("missing").has_value());
+  EXPECT_EQ(bag.Names().size(), 3u);
+  // Overwrite keeps one entry.
+  bag.Set("i", 7LL);
+  EXPECT_EQ(bag.size(), 3u);
+  EXPECT_EQ(bag.GetOr<long long>("i", 0), 7);
+}
+
+// ---------------------------------------------------------------------------
+// XML writer options
+// ---------------------------------------------------------------------------
+
+TEST(XmlWriterOptions, DeclarationAndIndentControl) {
+  xml::Document doc = xml::Parse("<a><b>t</b></a>");
+  xml::WriteOptions with_decl;
+  const std::string pretty = xml::WriteDocument(doc, with_decl);
+  EXPECT_NE(pretty.find("<?xml version=\"1.0\""), std::string::npos);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+
+  xml::WriteOptions bare;
+  bare.indent = 0;
+  bare.declaration = false;
+  EXPECT_EQ(xml::WriteDocument(doc, bare), "<a><b>t</b></a>");
+}
+
+// ---------------------------------------------------------------------------
+// MiniJS runtime odds and ends
+// ---------------------------------------------------------------------------
+
+TEST(MiniJsMisc, ValueDisplayForms) {
+  using minijs::Value;
+  EXPECT_EQ(Value::Undefined().ToDisplayString(), "undefined");
+  EXPECT_EQ(Value::Null().ToDisplayString(), "null");
+  EXPECT_EQ(Value::Number(2.5).ToDisplayString(), "2.5");
+  EXPECT_EQ(Value::Number(-3).ToDisplayString(), "-3");
+  auto array = minijs::Object::MakeArray();
+  array->elements() = {Value::Number(1), Value::String("a")};
+  EXPECT_EQ(Value::Obj(array).ToDisplayString(), "1,a");
+  auto error = minijs::MakeErrorObject("TypeError", "boom", 7);
+  EXPECT_EQ(Value::Obj(error).ToDisplayString(), "TypeError: boom");
+}
+
+TEST(MiniJsMisc, TruthinessTable) {
+  using minijs::Value;
+  EXPECT_FALSE(Value::Undefined().Truthy());
+  EXPECT_FALSE(Value::Null().Truthy());
+  EXPECT_FALSE(Value::Number(0).Truthy());
+  EXPECT_FALSE(Value::String("").Truthy());
+  EXPECT_TRUE(Value::Number(-1).Truthy());
+  EXPECT_TRUE(Value::String("0").Truthy());
+  EXPECT_TRUE(Value::Obj(minijs::Object::Make()).Truthy());
+}
+
+TEST(MiniJsMisc, NestedFunctionScopesAndShadowing) {
+  minijs::Interpreter interp;
+  minijs::Value result = interp.Run(R"(
+    var x = 'outer';
+    function f() {
+      var x = 'inner';
+      function g() { return x; }
+      return g();
+    }
+    f() + '/' + x;
+  )");
+  EXPECT_EQ(result.as_string(), "inner/outer");
+}
+
+TEST(MiniJsMisc, ForLoopScopeIsolatedFromGlobals) {
+  minijs::Interpreter interp;
+  interp.Run("for (var i = 0; i < 3; i++) { }");
+  // `var` in for-init lives in the loop's scope in MiniJS (stricter than
+  // sloppy JS); globals are untouched.
+  EXPECT_TRUE(interp.GetGlobal("i").is_undefined());
+}
+
+TEST(MiniJsMisc, CallNonFunctionGlobalThrows) {
+  auto dev = MakeDevice();
+  android::AndroidPlatform platform(*dev);
+  webview::WebView webview(platform);
+  EXPECT_THROW(webview.callGlobal("doesNotExist", {}), minijs::ScriptError);
+}
+
+// ---------------------------------------------------------------------------
+// Binding hygiene: SMS status receivers are pruned after terminal states
+// ---------------------------------------------------------------------------
+
+TEST(BindingHygiene, SmsReceiversPrunedAfterDelivery) {
+  auto dev = MakeDevice();
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kSendSms);
+  static const core::DescriptorStore store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  core::ProxyRegistry registry(&store);
+  auto generic = registry.CreateSmsProxy(platform);
+  auto* proxy = dynamic_cast<core::AndroidSmsProxy*>(generic.get());
+  ASSERT_NE(proxy, nullptr);
+  proxy->setProperty("context", &platform.application_context());
+
+  class Sink : public core::SmsListener {
+   public:
+    void smsStatusChanged(long long, core::SmsDeliveryStatus) override {}
+  } sink;
+
+  for (int i = 0; i < 5; ++i) {
+    proxy->sendTextMessage("+15550123", "m", &sink);
+    dev->RunAll();  // drive each message to its delivery report
+  }
+  // One receiver may be pending (pruning happens on the NEXT send), but
+  // the other four delivered ones must be gone.
+  EXPECT_LE(proxy->pending_receiver_count(), 1u);
+  // And the context's receiver list shrank accordingly.
+  EXPECT_LE(platform.application_context().receiver_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Device odds and ends
+// ---------------------------------------------------------------------------
+
+TEST(DeviceMisc, OwnNumberRegisteredAutomatically) {
+  device::DeviceConfig config;
+  config.own_number = "+19998887766";
+  device::MobileDevice dev(config);
+  EXPECT_TRUE(dev.modem().IsRegistered("+19998887766"));
+  EXPECT_EQ(dev.own_number(), "+19998887766");
+}
+
+TEST(DeviceMisc, LatencyModelToStringNamesFamily) {
+  EXPECT_NE(sim::LatencyModel::Fixed(sim::SimTime::Millis(5))
+                .ToString()
+                .find("fixed"),
+            std::string::npos);
+  EXPECT_NE(sim::LatencyModel::UniformIn(sim::SimTime::Millis(1),
+                                         sim::SimTime::Millis(2))
+                .ToString()
+                .find("uniform"),
+            std::string::npos);
+  EXPECT_NE(sim::LatencyModel::Normal(sim::SimTime::Millis(5),
+                                      sim::SimTime::Millis(1))
+                .ToString()
+                .find("normal"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobivine

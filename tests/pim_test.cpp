@@ -1,0 +1,275 @@
+// Tests for the contacts stack: the device database, the four deliberately
+// different platform PIM APIs, and the uniform Pim proxy over each.
+#include <gtest/gtest.h>
+
+#include "android/contacts.h"
+#include "android/exceptions.h"
+#include "core/bindings/webview_proxies.h"
+#include "core/registry.h"
+#include "iphone/iphone_platform.h"
+#include "s60/pim.h"
+#include "tests/test_util.h"
+#include "webview/webview.h"
+
+namespace mobivine {
+namespace {
+
+using core::Contact;
+using core::DescriptorStore;
+using core::ErrorCode;
+using core::ProxyError;
+using core::ProxyRegistry;
+using mobivine::testing::MakeDevice;
+
+const DescriptorStore& Store() {
+  static const DescriptorStore store =
+      DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+void Populate(device::MobileDevice& dev) {
+  dev.contacts().Add("Ravi Kumar", "+15550123", "ravi@example.com");
+  dev.contacts().Add("Sunita Devi", "+15550199", "sunita@example.com");
+  dev.contacts().Add("Ravi Shankar", "+15550777", "");
+}
+
+// ---------------------------------------------------------------------------
+// Device database
+// ---------------------------------------------------------------------------
+
+TEST(ContactDatabase, CrudAndLookups) {
+  device::ContactDatabase db;
+  const auto id1 = db.Add("Alpha", "+1", "a@x");
+  const auto id2 = db.Add("Beta", "+2");
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.FindById(id1)->display_name, "Alpha");
+  EXPECT_EQ(db.FindByNumber("+2")->id, id2);
+  EXPECT_FALSE(db.FindByNumber("+3").has_value());
+  EXPECT_EQ(db.FindByName("alph").size(), 1u);
+  EXPECT_TRUE(db.Remove(id1));
+  EXPECT_FALSE(db.Remove(id1));
+  EXPECT_EQ(db.size(), 1u);
+  db.Clear();
+  EXPECT_EQ(db.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Android cursor API
+// ---------------------------------------------------------------------------
+
+TEST(AndroidContacts, CursorIteration) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kReadContacts);
+  android::ContactsProvider provider(platform);
+  android::Cursor cursor = provider.query();
+  EXPECT_EQ(cursor.getCount(), 3);
+  int seen = 0;
+  while (cursor.moveToNext()) {
+    ++seen;
+    EXPECT_FALSE(
+        cursor.getString(android::Cursor::COLUMN_DISPLAY_NAME).empty());
+  }
+  EXPECT_EQ(seen, 3);
+  cursor.close();
+  EXPECT_THROW(cursor.moveToNext(), android::IllegalStateException);
+}
+
+TEST(AndroidContacts, CursorMisuseThrows) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kReadContacts);
+  android::ContactsProvider provider(platform);
+  android::Cursor cursor = provider.query();
+  // Not positioned yet.
+  EXPECT_THROW(cursor.getString(android::Cursor::COLUMN_NUMBER),
+               android::IllegalStateException);
+  ASSERT_TRUE(cursor.moveToNext());
+  EXPECT_THROW((void)cursor.getString(42), android::IllegalArgumentException);
+  EXPECT_THROW((void)cursor.getLong(android::Cursor::COLUMN_NUMBER),
+               android::IllegalArgumentException);
+}
+
+TEST(AndroidContacts, PermissionRequired) {
+  auto dev = MakeDevice();
+  android::AndroidPlatform platform(*dev);
+  android::ContactsProvider provider(platform);
+  EXPECT_THROW((void)provider.query(), android::SecurityException);
+}
+
+// ---------------------------------------------------------------------------
+// S60 JSR-75 API
+// ---------------------------------------------------------------------------
+
+TEST(S60Pim, ItemsAndFields) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  s60::S60Platform platform(*dev);
+  platform.grantPermission(s60::permissions::kPimRead);
+  auto list = s60::PIM::openContactList(platform, s60::ContactList::READ_ONLY);
+  auto items = list->items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].getString(s60::Contact::NAME, 0), "Ravi Kumar");
+  EXPECT_EQ(items[0].countValues(s60::Contact::EMAIL), 1);
+  EXPECT_EQ(items[2].countValues(s60::Contact::EMAIL), 0);
+  EXPECT_THROW(items[0].getString(s60::Contact::EMAIL, 5),
+               s60::IllegalArgumentException);
+  EXPECT_THROW(items[0].getString(9999, 0), s60::IllegalArgumentException);
+  // Name-matching variant.
+  EXPECT_EQ(list->items("ravi").size(), 2u);
+  list->close();
+  EXPECT_THROW((void)list->items(), s60::IOException);
+}
+
+TEST(S60Pim, PermissionAndModeChecks) {
+  auto dev = MakeDevice();
+  s60::S60Platform platform(*dev);
+  EXPECT_THROW(
+      (void)s60::PIM::openContactList(platform, s60::ContactList::READ_ONLY),
+      s60::SecurityException);
+  platform.grantPermission(s60::permissions::kPimRead);
+  EXPECT_THROW(
+      (void)s60::PIM::openContactList(platform, s60::ContactList::READ_WRITE),
+      s60::IllegalArgumentException);
+}
+
+// ---------------------------------------------------------------------------
+// The uniform Pim proxy on every platform
+// ---------------------------------------------------------------------------
+
+void CheckUniform(core::PimProxy& proxy) {
+  auto contacts = proxy.listContacts();
+  ASSERT_EQ(contacts.size(), 3u);
+  EXPECT_EQ(contacts[0].display_name, "Ravi Kumar");
+  EXPECT_EQ(contacts[0].phone_number, "+15550123");
+  EXPECT_EQ(contacts[0].email, "ravi@example.com");
+
+  auto by_number = proxy.findByNumber("+15550199");
+  ASSERT_TRUE(by_number.has_value());
+  EXPECT_EQ(by_number->display_name, "Sunita Devi");
+  EXPECT_FALSE(proxy.findByNumber("+19999999").has_value());
+
+  EXPECT_EQ(proxy.findByName("RAVI").size(), 2u);
+  EXPECT_EQ(proxy.findByName("nobody").size(), 0u);
+}
+
+TEST(PimProxy, AndroidUniform) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kReadContacts);
+  ProxyRegistry registry(&Store());
+  auto proxy = registry.CreatePimProxy(platform);
+  CheckUniform(*proxy);
+}
+
+TEST(PimProxy, S60Uniform) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  s60::S60Platform platform(*dev);
+  platform.grantPermission(s60::permissions::kPimRead);
+  ProxyRegistry registry(&Store());
+  auto proxy = registry.CreatePimProxy(platform);
+  CheckUniform(*proxy);
+}
+
+TEST(PimProxy, IPhoneUniform) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  iphone::IPhonePlatform platform(*dev);
+  ProxyRegistry registry(&Store());
+  auto proxy = registry.CreatePimProxy(platform);
+  CheckUniform(*proxy);
+}
+
+TEST(PimProxy, SecurityMappedUniformly) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  // Android and S60 deny through their permission systems; the uniform
+  // code is the same kSecurity in both.
+  {
+    android::AndroidPlatform platform(*dev);
+    ProxyRegistry registry(&Store());
+    auto proxy = registry.CreatePimProxy(platform);
+    try {
+      (void)proxy->listContacts();
+      FAIL();
+    } catch (const ProxyError& error) {
+      EXPECT_EQ(error.code(), ErrorCode::kSecurity);
+    }
+  }
+  {
+    s60::S60Platform platform(*dev);
+    ProxyRegistry registry(&Store());
+    auto proxy = registry.CreatePimProxy(platform);
+    try {
+      (void)proxy->listContacts();
+      FAIL();
+    } catch (const ProxyError& error) {
+      EXPECT_EQ(error.code(), ErrorCode::kSecurity);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WebView: the JS Pim proxy
+// ---------------------------------------------------------------------------
+
+TEST(PimProxy, WebViewJsProxy) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kReadContacts);
+  webview::WebView webview(platform);
+  core::InstallWebViewProxies(webview);
+
+  minijs::Value count = webview.loadScript(R"(
+    var pim = new PimProxyImpl();
+    var all = pim.listContacts();
+    all.length;
+  )");
+  EXPECT_DOUBLE_EQ(count.as_number(), 3);
+
+  minijs::Value name = webview.loadScript(
+      "pim.findByNumber('+15550199').displayName;");
+  EXPECT_EQ(name.as_string(), "Sunita Devi");
+
+  minijs::Value matches =
+      webview.loadScript("pim.findByName('ravi').length;");
+  EXPECT_DOUBLE_EQ(matches.as_number(), 2);
+
+  minijs::Value missing = webview.loadScript(
+      "pim.findByNumber('+10000000') === null;");
+  EXPECT_TRUE(missing.as_bool());
+}
+
+TEST(PimProxy, WebViewSecurityErrorCode) {
+  auto dev = MakeDevice();
+  android::AndroidPlatform platform(*dev);  // no READ_CONTACTS
+  webview::WebView webview(platform);
+  core::InstallWebViewProxies(webview);
+  minijs::Value code = webview.loadScript(R"(
+    var c = 0;
+    try { new PimProxyImpl().listContacts(); } catch (e) { c = e.code; }
+    c;
+  )");
+  EXPECT_DOUBLE_EQ(code.as_number(), webview::kErrorCodeSecurity);
+}
+
+TEST(PimProxy, WebViewRawUsesAndroidColumnNames) {
+  auto dev = MakeDevice();
+  Populate(*dev);
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kReadContacts);
+  webview::WebView webview(platform);
+  webview.injectRawPlatformInterfaces();
+  minijs::Value row = webview.loadScript("ContactsRaw.listContacts()[0];");
+  ASSERT_TRUE(row.is_object());
+  EXPECT_TRUE(row.as_object()->Has("display_name"));   // raw shape
+  EXPECT_FALSE(row.as_object()->Has("displayName"));   // not the uniform one
+}
+
+}  // namespace
+}  // namespace mobivine

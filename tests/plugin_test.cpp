@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "plugin/codegen.h"
+#include "plugin/configuration.h"
+#include "plugin/drawer.h"
+#include "plugin/metrics.h"
+#include "plugin/packaging.h"
+
+namespace mobivine::plugin {
+namespace {
+
+const core::DescriptorStore& Store() {
+  static const core::DescriptorStore store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// Drawer
+// ---------------------------------------------------------------------------
+
+TEST(Drawer, AndroidHasAllCategories) {
+  ProxyDrawer drawer(Store(), "android");
+  EXPECT_EQ(drawer.categories().size(), 5u);
+  EXPECT_NE(drawer.Find("Location", "addProximityAlert"), nullptr);
+  EXPECT_NE(drawer.Find("Call", "makeCall"), nullptr);
+  EXPECT_NE(drawer.Find("Pim", "listContacts"), nullptr);
+  EXPECT_EQ(drawer.Find("Location", "bogus"), nullptr);
+}
+
+TEST(Drawer, S60OmitsCallCategory) {
+  ProxyDrawer drawer(Store(), "s60");
+  EXPECT_EQ(drawer.categories().size(), 4u);
+  EXPECT_EQ(drawer.Find("Call", "makeCall"), nullptr);
+  EXPECT_NE(drawer.Find("Sms", "sendTextMessage"), nullptr);
+}
+
+TEST(Drawer, IPhoneExtensionAppears) {
+  ProxyDrawer drawer(Store(), "iphone");
+  EXPECT_EQ(drawer.categories().size(), 5u);
+  EXPECT_NE(drawer.Find("Call", "makeCall"), nullptr);
+}
+
+TEST(Drawer, RenderListsItems) {
+  ProxyDrawer drawer(Store(), "webview");
+  const std::string rendered = drawer.Render();
+  EXPECT_NE(rendered.find("Location.addProximityAlert"), std::string::npos);
+  EXPECT_NE(rendered.find("Http.post"), std::string::npos);
+  EXPECT_GE(drawer.item_count(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration dialog model
+// ---------------------------------------------------------------------------
+
+ProxyConfiguration AlertConfig(const std::string& platform) {
+  ProxyConfiguration config = ProxyConfiguration::For(
+      *Store().Find("Location"), "addProximityAlert", platform);
+  config.SetVariable("latitude", "28.5245");
+  config.SetVariable("longitude", "77.1855");
+  config.SetVariable("altitude", "210");
+  config.SetVariable("radius", "200");
+  config.SetVariable("timer", "-1");
+  return config;
+}
+
+TEST(Configuration, VariablesComeFromSemanticAndSyntacticPlanes) {
+  ProxyConfiguration config = AlertConfig("android");
+  ASSERT_EQ(config.variables().size(), 5u);
+  EXPECT_EQ(config.variables()[0].name, "latitude");
+  EXPECT_EQ(config.variables()[0].dimension, "degrees");
+  EXPECT_EQ(config.variables()[0].type, "double");
+  EXPECT_EQ(config.variables()[4].type, "long");
+  EXPECT_TRUE(config.has_callback());
+  EXPECT_EQ(config.callback_method(), "proximityEvent");
+}
+
+TEST(Configuration, PropertiesComeFromBindingPlane) {
+  ProxyConfiguration android_config = AlertConfig("android");
+  ASSERT_EQ(android_config.properties().size(), 2u);  // context + provider
+  ProxyConfiguration s60_config = AlertConfig("s60");
+  EXPECT_EQ(s60_config.properties().size(), 6u);
+  EXPECT_EQ(s60_config.EffectiveProperty("locationTimeout"), "30");
+}
+
+TEST(Configuration, ValidateCatchesProblems) {
+  ProxyConfiguration config = ProxyConfiguration::For(
+      *Store().Find("Location"), "addProximityAlert", "android");
+  auto problems = config.Validate();
+  EXPECT_EQ(problems.size(), 5u);  // all five variables unset
+
+  config = AlertConfig("android");
+  EXPECT_TRUE(config.Validate().empty());
+
+  config.SetProperty("provider", "wifi");
+  problems = config.Validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("provider"), std::string::npos);
+}
+
+TEST(Configuration, UnknownMethodOrPlatformThrows) {
+  EXPECT_THROW(ProxyConfiguration::For(*Store().Find("Location"), "bogus",
+                                       "android"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ProxyConfiguration::For(*Store().Find("Call"), "makeCall", "s60"),
+      std::invalid_argument);
+}
+
+TEST(Configuration, SettersRejectUnknownNames) {
+  ProxyConfiguration config = AlertConfig("android");
+  EXPECT_FALSE(config.SetVariable("nope", "1"));
+  EXPECT_FALSE(config.SetProperty("nope", "1"));
+  EXPECT_TRUE(config.SetProperty("provider", "network"));
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+TEST(Codegen, ProxyFragmentMirrorsFigure8) {
+  CodeGenerator generator(Store());
+  GeneratedCode android_code = generator.ApplicationFragment(
+      AlertConfig("android"), CodeStyle::kProxy);
+  EXPECT_EQ(android_code.language, "java");
+  EXPECT_NE(android_code.code.find("extends Activity"), std::string::npos);
+  EXPECT_NE(android_code.code.find("setProperty(\"context\", this)"),
+            std::string::npos);
+  EXPECT_NE(android_code.code.find("loc.addProximityAlert(28.5245"),
+            std::string::npos);
+  EXPECT_NE(android_code.code.find("proximityEvent"), std::string::npos);
+  // The Intent machinery is NOT in the generated application code.
+  EXPECT_EQ(android_code.code.find("IntentReceiver"), std::string::npos);
+
+  GeneratedCode s60_code =
+      generator.ApplicationFragment(AlertConfig("s60"), CodeStyle::kProxy);
+  EXPECT_NE(s60_code.code.find("extends MIDlet"), std::string::npos);
+  EXPECT_NE(s60_code.code.find("loc.addProximityAlert(28.5245"),
+            std::string::npos);
+}
+
+TEST(Codegen, ProxyFragmentMirrorsFigure9OnWebView) {
+  CodeGenerator generator(Store());
+  GeneratedCode js = generator.ApplicationFragment(AlertConfig("webview"),
+                                                   CodeStyle::kProxy);
+  EXPECT_EQ(js.language, "javascript");
+  EXPECT_NE(js.code.find("new LocationProxyImpl()"), std::string::npos);
+  EXPECT_NE(js.code.find("function proximityEvent"), std::string::npos);
+  EXPECT_NE(js.code.find("function JSInit"), std::string::npos);
+}
+
+TEST(Codegen, RawFragmentMirrorsFigure2) {
+  CodeGenerator generator(Store());
+  GeneratedCode android_raw = generator.ApplicationFragment(
+      AlertConfig("android"), CodeStyle::kRaw);
+  EXPECT_NE(android_raw.code.find("IntentReceiver"), std::string::npos);
+  EXPECT_NE(android_raw.code.find("registerReceiver"), std::string::npos);
+
+  GeneratedCode s60_raw =
+      generator.ApplicationFragment(AlertConfig("s60"), CodeStyle::kRaw);
+  EXPECT_NE(s60_raw.code.find("addProximityListener"), std::string::npos);
+  EXPECT_NE(s60_raw.code.find("locationUpdated"), std::string::npos);
+}
+
+TEST(Codegen, GeneratedProxyCodeSmallerThanRaw) {
+  // E2's claim in unit-test form, for every platform.
+  CodeGenerator generator(Store());
+  for (const char* platform : {"android", "s60", "webview"}) {
+    GeneratedCode with_proxy = generator.ApplicationFragment(
+        AlertConfig(platform), CodeStyle::kProxy);
+    GeneratedCode raw =
+        generator.ApplicationFragment(AlertConfig(platform), CodeStyle::kRaw);
+    EXPECT_LT(Measure(with_proxy.code).lines, Measure(raw.code).lines)
+        << platform;
+  }
+}
+
+TEST(Codegen, ProxyCodeMoreSimilarAcrossPlatformsThanRaw) {
+  // E3's claim in unit-test form.
+  CodeGenerator generator(Store());
+  auto fragment = [&](const char* platform, CodeStyle style) {
+    return generator.ApplicationFragment(AlertConfig(platform), style).code;
+  };
+  const double proxy_sim =
+      LineSimilarity(fragment("android", CodeStyle::kProxy),
+                     fragment("s60", CodeStyle::kProxy));
+  const double raw_sim = LineSimilarity(fragment("android", CodeStyle::kRaw),
+                                        fragment("s60", CodeStyle::kRaw));
+  EXPECT_GT(proxy_sim, raw_sim);
+  EXPECT_GT(proxy_sim, 0.5);
+}
+
+TEST(Codegen, InvocationSnippetCompact) {
+  CodeGenerator generator(Store());
+  GeneratedCode snippet =
+      generator.InvocationSnippet(AlertConfig("android"), CodeStyle::kProxy);
+  EXPECT_NE(snippet.code.find("addProximityAlert"), std::string::npos);
+  EXPECT_LT(Measure(snippet.code).lines, 15);
+}
+
+TEST(Codegen, SmsAndHttpTemplatesExist) {
+  CodeGenerator generator(Store());
+  ProxyConfiguration sms = ProxyConfiguration::For(
+      *Store().Find("Sms"), "sendTextMessage", "s60");
+  sms.SetVariable("destination", "\"+15550123\"");
+  sms.SetVariable("text", "\"report\"");
+  EXPECT_NE(generator.ApplicationFragment(sms, CodeStyle::kRaw)
+                .code.find("MessageConnection"),
+            std::string::npos);
+
+  ProxyConfiguration http =
+      ProxyConfiguration::For(*Store().Find("Http"), "post", "android");
+  http.SetVariable("url", "\"http://server/x\"");
+  http.SetVariable("body", "\"{}\"");
+  http.SetVariable("contentType", "\"application/json\"");
+  EXPECT_NE(generator.ApplicationFragment(http, CodeStyle::kRaw)
+                .code.find("HttpPost"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, MeasureCountsLinesTokensBranches) {
+  const std::string code = R"(
+    // comment only
+    if (a > b) {
+      x = 1; /* inline */
+    } else {
+      while (y) { y--; }
+    }
+  )";
+  CodeMetrics metrics = Measure(code);
+  EXPECT_EQ(metrics.lines, 5);
+  EXPECT_EQ(metrics.branches, 3);  // if, else, while
+  EXPECT_GT(metrics.tokens, 15);
+}
+
+TEST(Metrics, CommentsAndStringsHandled) {
+  CodeMetrics metrics = Measure("var s = \"if // not a comment\"; // real");
+  EXPECT_EQ(metrics.branches, 0);
+  EXPECT_EQ(metrics.lines, 1);
+}
+
+TEST(Metrics, LineSimilarityProperties) {
+  EXPECT_DOUBLE_EQ(LineSimilarity("a;\nb;\n", "a;\nb;\n"), 1.0);
+  EXPECT_DOUBLE_EQ(LineSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LineSimilarity("a;", ""), 0.0);
+  const double partial = LineSimilarity("a;\nb;\nc;", "a;\nx;\nc;");
+  EXPECT_GT(partial, 0.5);
+  EXPECT_LT(partial, 1.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(LineSimilarity("a;\nb;", "b;"),
+                   LineSimilarity("b;", "a;\nb;"));
+}
+
+// ---------------------------------------------------------------------------
+// Packaging
+// ---------------------------------------------------------------------------
+
+TEST(Packaging, S60SingleJarMergeWithPermissions) {
+  S60Packager packager(Store());
+  Jar app;
+  app.name = "workforce.jar";
+  app.entries = {{"com/acme/WorkForce.class", 9000},
+                 {"META-INF/MANIFEST.MF", 100}};
+  S60Package package =
+      packager.Package(app, {"Location", "Sms", "Http"}, "WorkForce",
+                       {{"MIDlet-Install-Notify", "http://ota/notify"}});
+
+  // One jar, containing both the app and every proxy artifact.
+  EXPECT_TRUE(package.suite_jar.HasEntry("com/acme/WorkForce.class"));
+  EXPECT_GE(package.suite_jar.entries.size(), 7u);
+  EXPECT_EQ(package.descriptor.permissions.size(), 3u);
+  EXPECT_EQ(package.descriptor.properties[0].second, "http://ota/notify");
+  // Artifact manifests are dropped in favour of the app's.
+  int manifests = 0;
+  for (const auto& entry : package.suite_jar.entries) {
+    if (entry.path == "META-INF/MANIFEST.MF") ++manifests;
+  }
+  EXPECT_EQ(manifests, 1);
+}
+
+TEST(Packaging, S60RejectsCallProxy) {
+  S60Packager packager(Store());
+  Jar app;
+  EXPECT_THROW(packager.Package(app, {"Call"}, "X"), std::invalid_argument);
+}
+
+TEST(Packaging, AndroidClasspathAndManifestIdempotent) {
+  AndroidPackager packager(Store());
+  AndroidProject project;
+  project.name = "workforce";
+  packager.Absorb(project, {"Location", "Sms"});
+  packager.Absorb(project, {"Location"});  // again: no duplicates
+  EXPECT_EQ(project.classpath.size(), 2u);
+  ASSERT_EQ(project.manifest_permissions.size(), 2u);
+  EXPECT_EQ(project.manifest_permissions[0],
+            "android.permission.ACCESS_FINE_LOCATION");
+}
+
+TEST(Packaging, WebViewAssetsAndWrappers) {
+  WebViewPackager packager(Store());
+  WebViewProject project;
+  packager.Absorb(project, {"Location", "Sms", "Http", "Call"});
+  // The shared JS library appears once.
+  int js_count = 0;
+  for (const auto& asset : project.page_assets) {
+    if (asset == "mobivine-proxies.js") ++js_count;
+  }
+  EXPECT_EQ(js_count, 1);
+  EXPECT_EQ(project.injected_wrappers.size(), 4u);
+  EXPECT_NE(std::find(project.injected_wrappers.begin(),
+                      project.injected_wrappers.end(),
+                      "createSmsWrapperInstance"),
+            project.injected_wrappers.end());
+}
+
+TEST(Packaging, RequiredPermissionsMatrix) {
+  EXPECT_EQ(RequiredPermissions("Location", "android")[0],
+            "android.permission.ACCESS_FINE_LOCATION");
+  EXPECT_EQ(RequiredPermissions("Sms", "s60")[0],
+            "javax.wireless.messaging.sms.send");
+  EXPECT_EQ(RequiredPermissions("Pim", "android")[0],
+            "android.permission.READ_CONTACTS");
+  EXPECT_EQ(RequiredPermissions("Pim", "s60")[0],
+            "javax.microedition.pim.ContactList.read");
+  EXPECT_TRUE(RequiredPermissions("Call", "s60").empty());
+  EXPECT_TRUE(RequiredPermissions("Unknown", "android").empty());
+  // iPhone declares nothing at package time (runtime consent dialogs).
+  EXPECT_TRUE(RequiredPermissions("Location", "iphone").empty());
+}
+
+TEST(Packaging, IPhoneBundleLinksStaticLibraries) {
+  IPhonePackager packager(Store());
+  IPhoneAppBundle bundle{"Dispatch", {}};
+  packager.Absorb(bundle, {"Location", "Sms", "Pim"});
+  packager.Absorb(bundle, {"Location"});  // idempotent
+  ASSERT_EQ(bundle.linked_libraries.size(), 3u);
+  EXPECT_EQ(bundle.linked_libraries[0], "libMobiVineLocation.a");
+}
+
+TEST(Codegen, ObjCProxyFragment) {
+  CodeGenerator generator(Store());
+  ProxyConfiguration config = AlertConfig("iphone");
+  GeneratedCode proxy_code =
+      generator.ApplicationFragment(config, CodeStyle::kProxy);
+  EXPECT_EQ(proxy_code.language, "objc");
+  EXPECT_NE(proxy_code.code.find("MVLocationProxy"), std::string::npos);
+  EXPECT_NE(proxy_code.code.find("@try"), std::string::npos);
+
+  GeneratedCode raw_code =
+      generator.ApplicationFragment(config, CodeStyle::kRaw);
+  EXPECT_NE(raw_code.code.find("CLLocationManager"), std::string::npos);
+  EXPECT_NE(raw_code.code.find("didUpdateToLocation"), std::string::npos);
+  // The raw iPhone geofence-by-hand code is much bigger.
+  EXPECT_LT(Measure(proxy_code.code).lines, Measure(raw_code.code).lines);
+}
+
+TEST(Codegen, PimRawTemplatesPerPlatform) {
+  CodeGenerator generator(Store());
+  for (const char* platform : {"android", "s60", "iphone", "webview"}) {
+    ProxyConfiguration config =
+        ProxyConfiguration::For(*Store().Find("Pim"), "listContacts",
+                                platform);
+    GeneratedCode raw = generator.ApplicationFragment(config, CodeStyle::kRaw);
+    EXPECT_FALSE(raw.code.empty()) << platform;
+  }
+  // The raw shapes are platform-specific; the proxy shapes are not.
+  ProxyConfiguration android_config =
+      ProxyConfiguration::For(*Store().Find("Pim"), "listContacts", "android");
+  ProxyConfiguration s60_config =
+      ProxyConfiguration::For(*Store().Find("Pim"), "listContacts", "s60");
+  const double raw_sim = LineSimilarity(
+      generator.ApplicationFragment(android_config, CodeStyle::kRaw).code,
+      generator.ApplicationFragment(s60_config, CodeStyle::kRaw).code);
+  const double proxy_sim = LineSimilarity(
+      generator.InvocationSnippet(android_config, CodeStyle::kProxy).code,
+      generator.InvocationSnippet(s60_config, CodeStyle::kProxy).code);
+  EXPECT_GT(proxy_sim, raw_sim);
+}
+
+}  // namespace
+}  // namespace mobivine::plugin

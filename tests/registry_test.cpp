@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "tests/test_util.h"
+
+namespace mobivine::core {
+namespace {
+
+using mobivine::testing::MakeDevice;
+
+const DescriptorStore& Store() {
+  static const DescriptorStore store =
+      DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+TEST(Registry, SupportsMatrixMatchesPaper) {
+  ProxyRegistry registry(&Store());
+  EXPECT_TRUE(registry.Supports("Location", "android"));
+  EXPECT_TRUE(registry.Supports("Location", "s60"));
+  EXPECT_TRUE(registry.Supports("Location", "webview"));
+  EXPECT_TRUE(registry.Supports("Call", "android"));
+  EXPECT_TRUE(registry.Supports("Call", "webview"));
+  EXPECT_FALSE(registry.Supports("Call", "s60"));
+  EXPECT_FALSE(registry.Supports("Nonexistent", "android"));
+}
+
+TEST(Registry, AvailableProxiesPerPlatform) {
+  ProxyRegistry registry(&Store());
+  EXPECT_EQ(registry.AvailableProxies("android"),
+            (std::vector<std::string>{"Calendar", "Call", "Http", "Location",
+                                      "Pim", "Sms"}));
+  EXPECT_EQ(registry.AvailableProxies("s60"),
+            (std::vector<std::string>{"Calendar", "Http", "Location", "Pim",
+                                      "Sms"}));
+  EXPECT_EQ(registry.AvailableProxies("iphone"),
+            (std::vector<std::string>{"Call", "Http", "Location", "Pim",
+                                      "Sms"}));
+}
+
+TEST(Registry, IPhoneCalendarUnsupported) {
+  auto dev = MakeDevice();
+  iphone::IPhonePlatform platform(*dev);
+  ProxyRegistry registry(&Store());
+  try {
+    auto proxy = registry.CreateCalendarProxy(platform);
+    FAIL() << "expected ProxyError";
+  } catch (const ProxyError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kUnsupported);
+  }
+}
+
+TEST(Registry, S60CallProxyUnsupported) {
+  auto dev = MakeDevice();
+  s60::S60Platform platform(*dev);
+  ProxyRegistry registry(&Store());
+  try {
+    auto proxy = registry.CreateCallProxy(platform);
+    FAIL() << "expected ProxyError";
+  } catch (const ProxyError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kUnsupported);
+  }
+}
+
+TEST(Registry, ProxiesCarryTheirBindingPlane) {
+  auto dev = MakeDevice();
+  android::AndroidPlatform platform(*dev);
+  ProxyRegistry registry(&Store());
+  auto proxy = registry.CreateLocationProxy(platform);
+  ASSERT_NE(proxy->binding(), nullptr);
+  EXPECT_EQ(proxy->binding()->platform, "android");
+  EXPECT_EQ(proxy->binding()->proxy, "Location");
+}
+
+TEST(Registry, WorksWithoutDescriptorStore) {
+  auto dev = MakeDevice();
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kFineLocation);
+  ProxyRegistry registry;  // no store
+  auto proxy = registry.CreateLocationProxy(platform);
+  EXPECT_EQ(proxy->binding(), nullptr);
+  // Property validation is off without a binding plane.
+  EXPECT_NO_THROW(proxy->setProperty("anythingGoes", 1));
+  EXPECT_FALSE(registry.Supports("Call", "s60"));
+  EXPECT_TRUE(registry.Supports("Call", "android"));
+}
+
+}  // namespace
+}  // namespace mobivine::core

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include "s60/connector.h"
+#include "s60/location_provider.h"
+#include "s60/messaging.h"
+#include "s60/midlet.h"
+#include "s60/s60_platform.h"
+#include "tests/test_util.h"
+
+namespace mobivine::s60 {
+namespace {
+
+using mobivine::testing::ApproachTrack;
+using mobivine::testing::kBaseLat;
+using mobivine::testing::kBaseLon;
+using mobivine::testing::MakeDevice;
+
+std::unique_ptr<S60Platform> MakePlatform(device::MobileDevice& dev,
+                                          bool grant_all = true) {
+  auto platform = std::make_unique<S60Platform>(dev);
+  if (grant_all) {
+    platform->grantPermission(permissions::kLocation);
+    platform->grantPermission(permissions::kSmsSend);
+    platform->grantPermission(permissions::kHttp);
+  }
+  return platform;
+}
+
+// ---------------------------------------------------------------------------
+// Permissions
+// ---------------------------------------------------------------------------
+
+TEST(S60Permissions, MissingPermissionThrowsSecurity) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev, /*grant_all=*/false);
+  Criteria criteria;
+  EXPECT_THROW(LocationProvider::getInstance(*platform, criteria),
+               SecurityException);
+}
+
+TEST(S60Permissions, RevokeRestoresSecurityFailure) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  EXPECT_NO_THROW(platform->checkPermission(permissions::kSmsSend));
+  platform->revokePermission(permissions::kSmsSend);
+  EXPECT_THROW(platform->checkPermission(permissions::kSmsSend),
+               SecurityException);
+}
+
+// ---------------------------------------------------------------------------
+// Location
+// ---------------------------------------------------------------------------
+
+TEST(S60Location, GetLocationBlocksAndReturnsFix) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  Criteria criteria;
+  criteria.setVerticalAccuracy(50);
+  auto provider = LocationProvider::getInstance(*platform, criteria);
+  const sim::SimTime before = dev->scheduler().now();
+  Location location = provider->getLocation(30);
+  const sim::SimTime elapsed = dev->scheduler().now() - before;
+  // Figure 10 calibration: S60 getLocation ~140.8 ms.
+  EXPECT_NEAR(elapsed.millis(), 140.8, 25.0);
+  EXPECT_TRUE(location.isValid());
+  EXPECT_NEAR(location.getQualifiedCoordinates().getLatitude(), kBaseLat,
+              0.01);
+}
+
+TEST(S60Location, CriteriaSelectsGpsMode) {
+  Criteria low_power;
+  low_power.setPreferredPowerConsumption(Criteria::POWER_USAGE_LOW);
+  EXPECT_EQ(S60Platform::ModeFor(low_power), device::GpsMode::kLowPower);
+
+  Criteria accurate;
+  accurate.setVerticalAccuracy(50);
+  EXPECT_EQ(S60Platform::ModeFor(accurate), device::GpsMode::kHighAccuracy);
+
+  Criteria fallback;
+  EXPECT_EQ(S60Platform::ModeFor(fallback), device::GpsMode::kBalanced);
+}
+
+TEST(S60Location, GetInstanceRejectsImpossibleCriteria) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  Criteria impossible;
+  impossible.setPreferredPowerConsumption(Criteria::POWER_USAGE_LOW);
+  impossible.setHorizontalAccuracy(10);
+  EXPECT_THROW(LocationProvider::getInstance(*platform, impossible),
+               LocationException);
+}
+
+TEST(S60Location, GetLocationThrowsWhenNoFix) {
+  device::DeviceConfig config;
+  config.gps.fix_failure_probability = 1.0;
+  device::MobileDevice dev(config);
+  dev.gps().set_track(sim::GeoTrack::Stationary(kBaseLat, kBaseLon));
+  auto platform = MakePlatform(dev);
+  auto provider = LocationProvider::getInstance(*platform, Criteria());
+  EXPECT_THROW(provider->getLocation(30), LocationException);
+}
+
+class RecordingProximityListener : public ProximityListener {
+ public:
+  void proximityEvent(const Coordinates& coordinates,
+                      const Location& location) override {
+    (void)coordinates;
+    events.push_back(location);
+  }
+  void monitoringStateChanged(bool active) override {
+    monitoring_changes.push_back(active);
+  }
+  std::vector<Location> events;
+  std::vector<bool> monitoring_changes;
+};
+
+TEST(S60Location, ProximityListenerValidation) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  Coordinates center(kBaseLat, kBaseLon, 0);
+  EXPECT_THROW(LocationProvider::addProximityListener(*platform, nullptr,
+                                                      center, 100.0f),
+               NullPointerException);
+  RecordingProximityListener listener;
+  EXPECT_THROW(LocationProvider::addProximityListener(*platform, &listener,
+                                                      center, -5.0f),
+               IllegalArgumentException);
+  EXPECT_THROW(LocationProvider::addProximityListener(*platform, &listener,
+                                                      center, 0.0f),
+               IllegalArgumentException);
+}
+
+TEST(S60Location, ProximityIsOneShot) {
+  auto dev = MakeDevice();
+  // Start 800 m north, drive south through the region at 20 m/s.
+  dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  auto platform = MakePlatform(*dev);
+
+  RecordingProximityListener listener;
+  LocationProvider::addProximityListener(
+      *platform, &listener, Coordinates(kBaseLat, kBaseLon, 0), 200.0f);
+  EXPECT_EQ(platform->proximity_registration_count(), 1u);
+
+  dev->RunFor(sim::SimTime::Seconds(120));
+  // JSR-179: fires exactly once on entry, then the registration is gone —
+  // even though the device later exits and the poll continues.
+  ASSERT_EQ(listener.events.size(), 1u);
+  EXPECT_EQ(platform->proximity_registration_count(), 0u);
+  EXPECT_EQ(listener.monitoring_changes,
+            (std::vector<bool>{true}));
+}
+
+TEST(S60Location, RemoveProximityListenerStopsEvents) {
+  auto dev = MakeDevice();
+  dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  auto platform = MakePlatform(*dev);
+  RecordingProximityListener listener;
+  LocationProvider::addProximityListener(
+      *platform, &listener, Coordinates(kBaseLat, kBaseLon, 0), 200.0f);
+  LocationProvider::removeProximityListener(*platform, &listener);
+  dev->RunFor(sim::SimTime::Seconds(120));
+  EXPECT_TRUE(listener.events.empty());
+}
+
+class RecordingLocationListener : public LocationListener {
+ public:
+  void locationUpdated(LocationProvider&, const Location& location) override {
+    updates.push_back(location);
+  }
+  std::vector<Location> updates;
+};
+
+TEST(S60Location, PeriodicLocationListener) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  auto provider = LocationProvider::getInstance(*platform, Criteria());
+  RecordingLocationListener listener;
+  provider->setLocationListener(&listener, 2, -1, -1);
+  dev->RunFor(sim::SimTime::Seconds(10));
+  EXPECT_EQ(listener.updates.size(), 5u);
+  provider->setLocationListener(nullptr, -1, -1, -1);
+  dev->RunFor(sim::SimTime::Seconds(10));
+  EXPECT_EQ(listener.updates.size(), 5u);
+}
+
+TEST(S60Location, LocationListenerIntervalValidation) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  auto provider = LocationProvider::getInstance(*platform, Criteria());
+  RecordingLocationListener listener;
+  EXPECT_THROW(provider->setLocationListener(&listener, 0, -1, -1),
+               IllegalArgumentException);
+  EXPECT_THROW(provider->setLocationListener(&listener, -2, -1, -1),
+               IllegalArgumentException);
+}
+
+// ---------------------------------------------------------------------------
+// Messaging
+// ---------------------------------------------------------------------------
+
+TEST(S60Messaging, ConnectorParsesSmsUrl) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  auto connection = platform->openMessageConnection("sms://+15550123");
+  EXPECT_EQ(connection->address(), "+15550123");
+  EXPECT_THROW(platform->openMessageConnection("http://x"),
+               ConnectionNotFoundException);
+  EXPECT_THROW(platform->openMessageConnection("sms://"),
+               IllegalArgumentException);
+}
+
+TEST(S60Messaging, BlockingSendSucceeds) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  auto connection = platform->openMessageConnection("sms://+15550123");
+  TextMessage message = connection->newTextMessage();
+  message.setPayloadText("field report");
+  const sim::SimTime before = dev->scheduler().now();
+  connection->send(message);
+  // Figure 10 calibration: S60 sendSMS ~15.6 ms blocking.
+  EXPECT_NEAR((dev->scheduler().now() - before).millis(), 15.6, 6.0);
+  EXPECT_EQ(connection->sent_count(), 1);
+}
+
+TEST(S60Messaging, RadioFailureThrowsInterruptedIO) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  auto connection = platform->openMessageConnection("sms://+15550123");
+  dev->modem().InjectRadioFailures(1);
+  TextMessage message = connection->newTextMessage();
+  message.setPayloadText("x");
+  EXPECT_THROW(connection->send(message), InterruptedIOException);
+}
+
+TEST(S60Messaging, UnreachableDestinationThrowsIO) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  auto connection = platform->openMessageConnection("sms://+10000000");
+  TextMessage message = connection->newTextMessage();
+  message.setPayloadText("x");
+  EXPECT_THROW(connection->send(message), IOException);
+}
+
+TEST(S60Messaging, ClosedConnectionThrows) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  auto connection = platform->openMessageConnection("sms://+15550123");
+  connection->close();
+  TextMessage message = connection->newTextMessage();
+  message.setPayloadText("x");
+  EXPECT_THROW(connection->send(message), IOException);
+}
+
+TEST(S60Messaging, MissingPermissionThrowsSecurity) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev, /*grant_all=*/false);
+  platform->grantPermission(permissions::kHttp);
+  auto connection = platform->openMessageConnection("sms://+15550123");
+  TextMessage message = connection->newTextMessage();
+  message.setPayloadText("x");
+  EXPECT_THROW(connection->send(message), SecurityException);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP (Generic Connection Framework)
+// ---------------------------------------------------------------------------
+
+TEST(S60Http, LazyBlockingExchange) {
+  auto dev = MakeDevice();
+  dev->network().RegisterHost("server", [](const device::HttpRequest& request) {
+    EXPECT_EQ(request.method, "POST");
+    EXPECT_EQ(request.headers.GetOr("Content-Type", ""), "text/plain");
+    return device::HttpResponse::Ok("ack:" + request.body);
+  });
+  auto platform = MakePlatform(*dev);
+  auto connection = platform->openHttpConnection("http://server/report");
+  connection->setRequestMethod("POST");
+  connection->setRequestProperty("Content-Type", "text/plain");
+  connection->setRequestBody("status=ok");
+  EXPECT_EQ(connection->getResponseCode(), 200);
+  EXPECT_EQ(connection->readBody(), "ack:status=ok");
+  EXPECT_EQ(connection->getResponseMessage(), "OK");
+  // Request already transmitted: further staging fails.
+  EXPECT_THROW(connection->setRequestMethod("GET"), IOException);
+}
+
+TEST(S60Http, UnreachableHostThrowsIOException) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  auto connection = platform->openHttpConnection("http://ghost/x");
+  EXPECT_THROW(connection->getResponseCode(), IOException);
+}
+
+TEST(S60Http, MalformedUrlRejectedAtOpen) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  EXPECT_THROW(platform->openHttpConnection("not a url"),
+               ConnectionNotFoundException);
+}
+
+TEST(S60Http, UnsupportedMethodRejected) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev);
+  auto connection = platform->openHttpConnection("http://server/x");
+  EXPECT_THROW(connection->setRequestMethod("DELETE"),
+               IllegalArgumentException);
+}
+
+// ---------------------------------------------------------------------------
+// MIDlet lifecycle
+// ---------------------------------------------------------------------------
+
+class ProbeMidlet : public MIDlet {
+ public:
+  void startApp() override { started = true; }
+  void pauseApp() override { paused = true; }
+  void destroyApp(bool) override { destroyed = true; }
+  bool started = false, paused = false, destroyed = false;
+};
+
+TEST(S60Midlet, LifecycleAndSuiteInstall) {
+  auto dev = MakeDevice();
+  auto platform = MakePlatform(*dev, /*grant_all=*/false);
+  ApplicationManager manager(*platform);
+
+  MidletSuiteDescriptor suite;
+  suite.suite_name = "WorkForce";
+  suite.permissions = {permissions::kLocation, permissions::kSmsSend};
+  manager.installSuite(suite);
+  EXPECT_TRUE(platform->hasPermission(permissions::kLocation));
+  EXPECT_TRUE(platform->hasPermission(permissions::kSmsSend));
+  EXPECT_FALSE(platform->hasPermission(permissions::kHttp));
+
+  ProbeMidlet midlet;
+  manager.start(midlet);
+  EXPECT_TRUE(midlet.started);
+  EXPECT_EQ(&midlet.platform(), platform.get());
+  manager.pause(midlet);
+  EXPECT_TRUE(midlet.paused);
+  manager.terminate(midlet);
+  EXPECT_TRUE(midlet.destroyed);
+  EXPECT_TRUE(midlet.isDestroyed());
+}
+
+TEST(S60Midlet, UnattachedMidletThrows) {
+  ProbeMidlet midlet;
+  EXPECT_THROW(midlet.platform(), S60Exception);
+}
+
+}  // namespace
+}  // namespace mobivine::s60

@@ -1,0 +1,183 @@
+// Soak + determinism: hours of virtual time through the full stack.
+//
+// Two invariants a middleware layer must hold over long runs:
+//  * bit-for-bit reproducibility — the whole simulation is a function of
+//    the seed (same seed => identical server-side activity log), which is
+//    what makes every experiment in EXPERIMENTS.md trustworthy;
+//  * bounded state — repeated proxy use must not accumulate registrations
+//    (receivers, platform listeners) without bound.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bindings/webview_proxies.h"
+#include "core/registry.h"
+#include "tests/test_util.h"
+#include "webview/webview.h"
+
+namespace mobivine {
+namespace {
+
+using core::DescriptorStore;
+using core::ProxyRegistry;
+using mobivine::testing::kBaseLat;
+using mobivine::testing::kBaseLon;
+
+const DescriptorStore& Store() {
+  static const DescriptorStore store =
+      DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+/// Shuttle track: out 600 m north and back through the site, repeated for
+/// the whole soak window — one region entry + exit per lap.
+sim::GeoTrack ShuttleTrack(sim::SimTime total, sim::SimTime lap) {
+  sim::GeoTrack track;
+  auto far_point = support::MoveAlongBearing(kBaseLat, kBaseLon, 0.0, 600);
+  sim::SimTime t = sim::SimTime::Zero();
+  bool at_site = true;
+  while (t <= total) {
+    track.AddWaypoint({t, at_site ? kBaseLat : far_point.latitude_deg,
+                       at_site ? kBaseLon : far_point.longitude_deg, 0});
+    at_site = !at_site;
+    t += lap;
+  }
+  return track;
+}
+
+struct RunResult {
+  std::string activity_log;
+  int entries = 0;
+  int exits = 0;
+  std::size_t receiver_count = 0;
+};
+
+RunResult RunSoak(std::uint64_t seed, sim::SimTime duration) {
+  device::DeviceConfig config;
+  config.seed = seed;
+  device::MobileDevice dev(config);
+  dev.gps().set_track(ShuttleTrack(duration, sim::SimTime::Seconds(180)));
+  dev.modem().RegisterSubscriber("+15550199");
+
+  std::ostringstream log;
+  dev.network().RegisterHost("wfm.example", [&](const device::HttpRequest& r) {
+    log << dev.scheduler().now().micros() << ' ' << r.url.path << ' '
+        << r.body << '\n';
+    return device::HttpResponse::Ok("ok");
+  });
+
+  android::AndroidPlatform platform(dev);
+  platform.grantPermission(android::permissions::kFineLocation);
+  platform.grantPermission(android::permissions::kSendSms);
+  platform.grantPermission(android::permissions::kInternet);
+
+  ProxyRegistry registry(&Store());
+  auto location = registry.CreateLocationProxy(platform);
+  location->setProperty("context", &platform.application_context());
+  auto sms = registry.CreateSmsProxy(platform);
+  sms->setProperty("context", &platform.application_context());
+  auto http = registry.CreateHttpProxy(platform);
+
+  class Agent : public core::ProximityListener, public core::SmsListener {
+   public:
+    Agent(core::HttpProxy& http, core::SmsProxy& sms)
+        : http_(http), sms_(sms) {}
+    void proximityEvent(double, double, double, const core::Location&,
+                        bool entering) override {
+      entering ? ++entries : ++exits;
+      (void)http_.post("http://wfm.example/event",
+                       entering ? "k=in" : "k=out", "text/plain");
+      if (entering) {
+        sms_.sendTextMessage("+15550199", "lap done", this);
+      }
+    }
+    void smsStatusChanged(long long, core::SmsDeliveryStatus) override {}
+    core::HttpProxy& http_;
+    core::SmsProxy& sms_;
+    int entries = 0;
+    int exits = 0;
+  } agent(*http, *sms);
+
+  location->addProximityAlert(kBaseLat, kBaseLon, 0, 200.0f, -1, &agent);
+  dev.RunFor(duration);
+
+  RunResult result;
+  result.activity_log = log.str();
+  result.entries = agent.entries;
+  result.exits = agent.exits;
+  result.receiver_count = platform.application_context().receiver_count();
+  return result;
+}
+
+TEST(Soak, TwoVirtualHoursOfLapsStayConsistent) {
+  const sim::SimTime duration = sim::SimTime::Seconds(2 * 3600);
+  RunResult result = RunSoak(1234, duration);
+  // ~40 laps in 2 h at 180 s per leg: at least 15 full in/out cycles even
+  // with GPS noise near the boundary.
+  EXPECT_GE(result.entries, 15);
+  // Entries and exits interleave: they differ by at most one.
+  EXPECT_LE(std::abs(result.entries - result.exits), 1);
+  EXPECT_GT(result.activity_log.size(), 0u);
+}
+
+TEST(Soak, ReceiverStateBoundedDespiteManySends) {
+  const sim::SimTime duration = sim::SimTime::Seconds(2 * 3600);
+  RunResult result = RunSoak(1234, duration);
+  // One proximity receiver + at most a couple of in-flight SMS status
+  // receivers — NOT one per sent message.
+  EXPECT_LE(result.receiver_count, 4u);
+}
+
+TEST(Soak, IdenticalSeedsReproduceByteIdenticalLogs) {
+  const sim::SimTime duration = sim::SimTime::Seconds(3600);
+  RunResult a = RunSoak(777, duration);
+  RunResult b = RunSoak(777, duration);
+  EXPECT_EQ(a.activity_log, b.activity_log);
+  EXPECT_EQ(a.entries, b.entries);
+  EXPECT_EQ(a.exits, b.exits);
+}
+
+TEST(Soak, WebViewSmsConversationsReleaseReceivers) {
+  auto dev = testing::MakeDevice(55);
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kSendSms);
+  webview::WebView webview(platform);
+  core::InstallWebViewProxies(webview);
+
+  webview.loadScript(R"(
+    var delivered = 0;
+    var sms = new SmsProxyImpl();
+    function sendOne() {
+      sms.sendTextMessage('+15550123', 'lap', function(id, status) {
+        if (status == 'delivered') { delivered++; }
+      });
+    }
+  )");
+  for (int i = 0; i < 12; ++i) {
+    webview.callGlobal("sendOne", {});
+    dev->RunFor(sim::SimTime::Seconds(10));  // deliver + poll + release
+  }
+  EXPECT_DOUBLE_EQ(webview.loadScript("delivered;").as_number(), 12);
+  // Terminal conversations released their action receivers; at most the
+  // last one may still be mid-teardown.
+  EXPECT_LE(webview.action_receiver_count(), 2u);
+  EXPECT_LE(platform.application_context().receiver_count(), 2u);
+  // And the stopped notifHandlers stopped burning interpreter steps: a
+  // quiet stretch adds only the (possibly) last active poller.
+  const auto steps_before = webview.interpreter().steps();
+  dev->RunFor(sim::SimTime::Seconds(30));
+  const auto quiet_steps = webview.interpreter().steps() - steps_before;
+  EXPECT_LT(quiet_steps, 4000u);  // one poller max, not twelve
+}
+
+TEST(Soak, DifferentSeedsDiverge) {
+  const sim::SimTime duration = sim::SimTime::Seconds(3600);
+  RunResult a = RunSoak(777, duration);
+  RunResult b = RunSoak(778, duration);
+  // Same workload shape, different noise draws: the logs differ in the
+  // timestamps even though the structure matches.
+  EXPECT_NE(a.activity_log, b.activity_log);
+}
+
+}  // namespace
+}  // namespace mobivine

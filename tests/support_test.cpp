@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "support/geo_units.h"
+#include "support/strings.h"
+
+namespace mobivine::support {
+namespace {
+
+// ---------------------------------------------------------------------------
+// strings
+// ---------------------------------------------------------------------------
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a\t b \n c "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("sms://+155", "sms://"));
+  EXPECT_FALSE(StartsWith("sm", "sms://"));
+  EXPECT_TRUE(EndsWith("proxy.jar", ".jar"));
+  EXPECT_FALSE(EndsWith("jar", "proxy.jar"));
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,c");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(Strings, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Content-Type", "content-type"));
+  EXPECT_FALSE(EqualsIgnoreCase("Content-Type", "content-typ"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+}
+
+TEST(Strings, ParseInt) {
+  long long out = 0;
+  EXPECT_TRUE(ParseInt(" 42 ", out));
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(ParseInt("-7", out));
+  EXPECT_EQ(out, -7);
+  EXPECT_FALSE(ParseInt("4.2", out));
+  EXPECT_FALSE(ParseInt("", out));
+  EXPECT_FALSE(ParseInt("abc", out));
+}
+
+TEST(Strings, ParseDouble) {
+  double out = 0;
+  EXPECT_TRUE(ParseDouble("3.5", out));
+  EXPECT_DOUBLE_EQ(out, 3.5);
+  EXPECT_TRUE(ParseDouble("-1e3", out));
+  EXPECT_DOUBLE_EQ(out, -1000.0);
+  EXPECT_FALSE(ParseDouble("12x", out));
+  EXPECT_FALSE(ParseDouble("", out));
+}
+
+TEST(Strings, ParseBool) {
+  bool out = false;
+  EXPECT_TRUE(ParseBool("TRUE", out));
+  EXPECT_TRUE(out);
+  EXPECT_TRUE(ParseBool("false", out));
+  EXPECT_FALSE(out);
+  EXPECT_TRUE(ParseBool("1", out));
+  EXPECT_TRUE(out);
+  EXPECT_FALSE(ParseBool("yes", out));
+}
+
+TEST(Strings, CountNonBlankLines) {
+  EXPECT_EQ(CountNonBlankLines("a\n\n  \nb\n"), 2);
+  EXPECT_EQ(CountNonBlankLines(""), 0);
+  EXPECT_EQ(CountNonBlankLines("one"), 1);
+}
+
+TEST(Strings, IndentPadsNonEmptyLines) {
+  EXPECT_EQ(Indent("a\n\nb", 2), "  a\n\n  b");
+  EXPECT_EQ(Indent("x", 0), "x");
+}
+
+// ---------------------------------------------------------------------------
+// geo
+// ---------------------------------------------------------------------------
+
+TEST(Geo, DegreesRadiansRoundTrip) {
+  EXPECT_NEAR(RadiansToDegrees(DegreesToRadians(77.1855)), 77.1855, 1e-12);
+  EXPECT_NEAR(DegreesToRadians(180.0), kPi, 1e-12);
+}
+
+TEST(Geo, HaversineZeroForSamePoint) {
+  EXPECT_NEAR(HaversineMeters(28.5, 77.1, 28.5, 77.1), 0.0, 1e-9);
+}
+
+TEST(Geo, HaversineKnownDistance) {
+  // One degree of latitude is ~111.2 km.
+  const double d = HaversineMeters(28.0, 77.0, 29.0, 77.0);
+  EXPECT_NEAR(d, 111195, 100);
+}
+
+TEST(Geo, HaversineSymmetric) {
+  const double ab = HaversineMeters(28.5, 77.1, 28.9, 77.4);
+  const double ba = HaversineMeters(28.9, 77.4, 28.5, 77.1);
+  EXPECT_NEAR(ab, ba, 1e-6);
+}
+
+TEST(Geo, MoveAlongBearingDistanceConsistent) {
+  for (double bearing : {0.0, 45.0, 90.0, 135.0, 200.0, 315.0}) {
+    auto moved = MoveAlongBearing(28.5245, 77.1855, bearing, 500.0);
+    const double back = HaversineMeters(28.5245, 77.1855, moved.latitude_deg,
+                                        moved.longitude_deg);
+    EXPECT_NEAR(back, 500.0, 0.5) << "bearing " << bearing;
+  }
+}
+
+TEST(Geo, InitialBearingCardinal) {
+  EXPECT_NEAR(InitialBearingDeg(28.0, 77.0, 29.0, 77.0), 0.0, 0.01);   // north
+  EXPECT_NEAR(InitialBearingDeg(29.0, 77.0, 28.0, 77.0), 180.0, 0.01); // south
+  EXPECT_NEAR(InitialBearingDeg(28.0, 77.0, 28.0, 78.0), 90.0, 0.5);   // east
+}
+
+TEST(Geo, NormalizeLatLonWrapsLongitude) {
+  auto p = NormalizeLatLon(95.0, 190.0);
+  EXPECT_DOUBLE_EQ(p.latitude_deg, 90.0);
+  EXPECT_NEAR(p.longitude_deg, -170.0, 1e-9);
+  auto q = NormalizeLatLon(-95.0, -181.0);
+  EXPECT_DOUBLE_EQ(q.latitude_deg, -90.0);
+  EXPECT_NEAR(q.longitude_deg, 179.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mobivine::support

@@ -1,0 +1,40 @@
+// Shared helpers for the MobiVine test suite.
+#pragma once
+
+#include <memory>
+
+#include "device/mobile_device.h"
+#include "sim/geo_track.h"
+
+namespace mobivine::testing {
+
+/// IBM India Research Lab, New Delhi — the paper's venue, a natural test
+/// site coordinate.
+inline constexpr double kBaseLat = 28.5245;
+inline constexpr double kBaseLon = 77.1855;
+
+/// A device with deterministic seed, a stationary GPS track at the base
+/// coordinate, and a couple of registered peers.
+inline std::unique_ptr<device::MobileDevice> MakeDevice(
+    std::uint64_t seed = 42) {
+  device::DeviceConfig config;
+  config.seed = seed;
+  auto dev = std::make_unique<device::MobileDevice>(config);
+  dev->gps().set_track(sim::GeoTrack::Stationary(kBaseLat, kBaseLon, 210.0));
+  dev->modem().RegisterSubscriber("+15550123");
+  dev->modem().RegisterSubscriber("+15550199");
+  return dev;
+}
+
+/// Track that starts `start_offset_m` meters north of (kBaseLat, kBaseLon)
+/// and drives south through the base point at `speed_mps`.
+inline sim::GeoTrack ApproachTrack(double start_offset_m, double speed_mps,
+                                   sim::SimTime duration) {
+  auto start = support::MoveAlongBearing(kBaseLat, kBaseLon, 0.0,
+                                         start_offset_m);
+  return sim::GeoTrack::StraightLine(start.latitude_deg, start.longitude_deg,
+                                     180.0, speed_mps, duration,
+                                     sim::SimTime::Seconds(1));
+}
+
+}  // namespace mobivine::testing

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "android/android_platform.h"
+#include "tests/test_util.h"
+#include "webview/webview.h"
+
+namespace mobivine::webview {
+namespace {
+
+using minijs::Value;
+using mobivine::testing::ApproachTrack;
+using mobivine::testing::kBaseLat;
+using mobivine::testing::kBaseLon;
+using mobivine::testing::MakeDevice;
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed = 42,
+                   android::ApiLevel level = android::ApiLevel::kM5)
+      : dev(MakeDevice(seed)), platform(*dev, level), webview(platform) {
+    platform.grantPermission(android::permissions::kFineLocation);
+    platform.grantPermission(android::permissions::kSendSms);
+    platform.grantPermission(android::permissions::kCallPhone);
+    platform.grantPermission(android::permissions::kInternet);
+    webview.injectRawPlatformInterfaces();
+  }
+  std::unique_ptr<device::MobileDevice> dev;
+  android::AndroidPlatform platform;
+  WebView webview;
+};
+
+// ---------------------------------------------------------------------------
+// NotificationTable
+// ---------------------------------------------------------------------------
+
+TEST(NotificationTable, PostDrainLifecycle) {
+  NotificationTable table;
+  auto a = table.NewChannel();
+  auto b = table.NewChannel();
+  EXPECT_NE(a, b);
+  table.Post(a, Value::Number(1));
+  table.Post(a, Value::Number(2));
+  table.Post(b, Value::Number(3));
+  EXPECT_EQ(table.PendingCount(a), 2u);
+  auto drained = table.Drain(a);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_DOUBLE_EQ(drained[0].as_number(), 1);
+  EXPECT_TRUE(table.Drain(a).empty());
+  EXPECT_EQ(table.PendingCount(b), 1u);
+  table.CloseChannel(b);
+  EXPECT_TRUE(table.Drain(b).empty());
+}
+
+TEST(NotificationTable, ImplicitChannelOnPost) {
+  NotificationTable table;
+  table.Post(777, Value::String("late"));
+  EXPECT_EQ(table.PendingCount(777), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Bridge costs (Figure 10 calibration, WebView raw column)
+// ---------------------------------------------------------------------------
+
+TEST(Bridge, RawGetLocationMatchesFigure10) {
+  Fixture fx;
+  const sim::SimTime before = fx.dev->scheduler().now();
+  Value loc = fx.webview.loadScript(
+      "LocationManagerRaw.getCurrentLocation('gps');");
+  const double elapsed_ms = (fx.dev->scheduler().now() - before).millis();
+  // Paper: WebView getLocation without proxy ~120 ms.
+  EXPECT_NEAR(elapsed_ms, 120.0, 15.0);
+  ASSERT_TRUE(loc.is_object());
+  EXPECT_NEAR(loc.as_object()->Get("latitude").as_number(), kBaseLat, 0.05);
+  EXPECT_TRUE(loc.as_object()->Has("bearing"));  // raw Android field names
+}
+
+TEST(Bridge, RawSendSmsMatchesFigure10) {
+  Fixture fx;
+  const sim::SimTime before = fx.dev->scheduler().now();
+  fx.webview.loadScript(
+      "SmsManagerRaw.sendTextMessage('+15550123', null, 'hi', 'S', 'D');");
+  const double elapsed_ms = (fx.dev->scheduler().now() - before).millis();
+  // Paper: WebView sendSMS without proxy ~91.6 ms.
+  EXPECT_NEAR(elapsed_ms, 91.6, 12.0);
+}
+
+TEST(Bridge, RawAddProximityAlertMatchesFigure10) {
+  Fixture fx;
+  const sim::SimTime before = fx.dev->scheduler().now();
+  fx.webview.loadScript(
+      "LocationManagerRaw.addProximityAlert(28.52, 77.18, 150, -1, 'P');");
+  const double elapsed_ms = (fx.dev->scheduler().now() - before).millis();
+  // Paper: WebView addProximityAlert without proxy ~78.4 ms.
+  EXPECT_NEAR(elapsed_ms, 78.4, 10.0);
+}
+
+TEST(Bridge, CrossingsCounted) {
+  Fixture fx;
+  const auto before = fx.webview.bridge().crossings();
+  fx.webview.loadScript("LocationManagerRaw.getCurrentLocation('gps');");
+  EXPECT_EQ(fx.webview.bridge().crossings(), before + 1);
+}
+
+TEST(Bridge, ScriptStepsChargedAsVirtualTime) {
+  Fixture fx;
+  const sim::SimTime before = fx.dev->scheduler().now();
+  fx.webview.loadScript(
+      "var s = 0; for (var i = 0; i < 1000; i++) { s += i; }");
+  // ~30 us per step, thousands of steps -> tens of virtual ms, no bridge.
+  const double elapsed_ms = (fx.dev->scheduler().now() - before).millis();
+  EXPECT_GT(elapsed_ms, 10.0);
+  EXPECT_LT(elapsed_ms, 2000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Error propagation as codes
+// ---------------------------------------------------------------------------
+
+TEST(BridgeErrors, SecurityExceptionBecomesCode101) {
+  Fixture fx;
+  fx.platform.revokePermission(android::permissions::kFineLocation);
+  Value code = fx.webview.loadScript(R"(
+    var c = 0;
+    try { LocationManagerRaw.getCurrentLocation('gps'); }
+    catch (e) { c = e.code; }
+    c;
+  )");
+  EXPECT_DOUBLE_EQ(code.as_number(), kErrorCodeSecurity);
+}
+
+TEST(BridgeErrors, IllegalArgumentBecomesCode102) {
+  Fixture fx;
+  Value code = fx.webview.loadScript(R"(
+    var c = 0;
+    try { LocationManagerRaw.getCurrentLocation('wifi'); }
+    catch (e) { c = e.code; }
+    c;
+  )");
+  EXPECT_DOUBLE_EQ(code.as_number(), kErrorCodeIllegalArgument);
+}
+
+TEST(BridgeErrors, HttpUnreachableBecomesCode105) {
+  Fixture fx;
+  Value code = fx.webview.loadScript(R"(
+    var c = 0;
+    try { HttpClientRaw.execute('GET', 'http://ghost/'); }
+    catch (e) { c = e.code; }
+    c;
+  )");
+  EXPECT_DOUBLE_EQ(code.as_number(), kErrorCodeClientProtocol);
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+TEST(Timers, SetTimeoutFiresOnce) {
+  Fixture fx;
+  fx.webview.loadScript(
+      "var fired = 0; setTimeout(function() { fired++; }, 500);");
+  fx.dev->RunFor(sim::SimTime::Millis(400));
+  EXPECT_DOUBLE_EQ(
+      fx.webview.interpreter().GetGlobal("fired").as_number(), 0);
+  fx.dev->RunFor(sim::SimTime::Millis(200));
+  EXPECT_DOUBLE_EQ(
+      fx.webview.interpreter().GetGlobal("fired").as_number(), 1);
+  fx.dev->RunFor(sim::SimTime::Seconds(5));
+  EXPECT_DOUBLE_EQ(
+      fx.webview.interpreter().GetGlobal("fired").as_number(), 1);
+}
+
+TEST(Timers, SetIntervalRepeatsUntilCleared) {
+  Fixture fx;
+  fx.webview.loadScript(R"(
+    var n = 0;
+    var id = setInterval(function() {
+      n++;
+      if (n == 3) { clearInterval(id); }
+    }, 1000);
+  )");
+  fx.dev->RunFor(sim::SimTime::Seconds(10));
+  EXPECT_DOUBLE_EQ(fx.webview.interpreter().GetGlobal("n").as_number(), 3);
+}
+
+TEST(Timers, CallbackErrorsGoToConsole) {
+  Fixture fx;
+  fx.webview.loadScript("setTimeout(function() { missing(); }, 100);");
+  fx.dev->RunFor(sim::SimTime::Seconds(1));
+  ASSERT_EQ(fx.webview.console_errors().size(), 1u);
+  EXPECT_NE(fx.webview.console_errors()[0].find("missing"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Raw interfaces: polled callbacks (footnote 8 behaviour)
+// ---------------------------------------------------------------------------
+
+TEST(RawInterfaces, SmsStatusPolledNotPushed) {
+  Fixture fx;
+  fx.webview.loadScript(
+      "SmsManagerRaw.sendTextMessage('+15550123', null, 'hi', 'S', 'D');");
+  fx.dev->RunFor(sim::SimTime::Seconds(5));
+  Value notes = fx.webview.loadScript("SmsManagerRaw.pollStatus('S');");
+  ASSERT_TRUE(notes.is_object());
+  ASSERT_EQ(notes.as_object()->elements().size(), 1u);
+  EXPECT_DOUBLE_EQ(notes.as_object()
+                       ->elements()[0]
+                       .as_object()
+                       ->Get("result")
+                       .as_number(),
+                   -1);  // RESULT_OK
+  Value delivered = fx.webview.loadScript("SmsManagerRaw.pollStatus('D');");
+  EXPECT_EQ(delivered.as_object()->elements().size(), 1u);
+}
+
+TEST(RawInterfaces, ProximityPollSeesEntryEvent) {
+  Fixture fx;
+  fx.dev->gps().set_track(
+      ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+  fx.webview.loadScript(
+      "LocationManagerRaw.addProximityAlert(" + std::to_string(kBaseLat) +
+      ", " + std::to_string(kBaseLon) + ", 200, -1, 'P');");
+  fx.dev->RunFor(sim::SimTime::Seconds(45));
+  Value events = fx.webview.loadScript("LocationManagerRaw.pollProximity('P');");
+  ASSERT_TRUE(events.is_object());
+  ASSERT_FALSE(events.as_object()->elements().empty());
+  EXPECT_TRUE(events.as_object()
+                  ->elements()[0]
+                  .as_object()
+                  ->Get("entering")
+                  .as_bool());
+}
+
+TEST(RawInterfaces, TelephonyCallAndState) {
+  Fixture fx;
+  Value started = fx.webview.loadScript("TelephonyRaw.call('+15550123');");
+  EXPECT_TRUE(started.as_bool());
+  fx.dev->RunAll();
+  Value state = fx.webview.loadScript("TelephonyRaw.getCallState();");
+  EXPECT_DOUBLE_EQ(state.as_number(), 2);  // CALL_STATE_OFFHOOK
+  fx.webview.loadScript("TelephonyRaw.endCall();");
+  Value idle = fx.webview.loadScript("TelephonyRaw.getCallState();");
+  EXPECT_DOUBLE_EQ(idle.as_number(), 0);
+}
+
+TEST(RawInterfaces, HttpRoundTrip) {
+  Fixture fx;
+  fx.dev->network().RegisterHost("server", [](const device::HttpRequest& req) {
+    return device::HttpResponse::Ok("echo:" + req.body);
+  });
+  Value response = fx.webview.loadScript(
+      "HttpClientRaw.execute('POST', 'http://server/x', 'data');");
+  ASSERT_TRUE(response.is_object());
+  EXPECT_DOUBLE_EQ(response.as_object()->Get("status").as_number(), 200);
+  EXPECT_EQ(response.as_object()->Get("body").as_string(), "echo:data");
+}
+
+TEST(WebViewApi, CallGlobalInvokesPageFunction) {
+  Fixture fx;
+  fx.webview.loadScript("function onEvent(x) { return x * 2; }");
+  Value result = fx.webview.callGlobal("onEvent", {Value::Number(21)});
+  EXPECT_DOUBLE_EQ(result.as_number(), 42);
+}
+
+}  // namespace
+}  // namespace mobivine::webview

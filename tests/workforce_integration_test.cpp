@@ -1,0 +1,320 @@
+// End-to-end integration: the paper's §2 mobile workforce management
+// application, with its device-side core written ONCE against the MobiVine
+// uniform interfaces and executed unchanged on Android and S60 — plus the
+// JavaScript twin on Android WebView. This is the portability claim as a
+// running program.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "core/bindings/webview_proxies.h"
+#include "core/registry.h"
+#include "s60/midlet.h"
+#include "tests/test_util.h"
+#include "webview/webview.h"
+
+namespace mobivine {
+namespace {
+
+using core::DescriptorStore;
+using core::HttpProxy;
+using core::Location;
+using core::LocationProxy;
+using core::ProxyRegistry;
+using core::SmsProxy;
+using mobivine::testing::ApproachTrack;
+using mobivine::testing::kBaseLat;
+using mobivine::testing::kBaseLon;
+
+const DescriptorStore& Store() {
+  static const DescriptorStore store =
+      DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// Server-side application (paper Figure 1, right half): agent tracking,
+// request assignment, activity log — plain Web-standard handlers.
+// ---------------------------------------------------------------------------
+
+class WorkforceServer {
+ public:
+  void AttachTo(device::SimNetwork& network) {
+    network.RegisterHost("wfm.example", [this](const device::HttpRequest& req) {
+      return Handle(req);
+    });
+  }
+
+  device::HttpResponse Handle(const device::HttpRequest& request) {
+    if (request.url.path == "/checkin" && request.method == "POST") {
+      auto params = device::ParseQuery(request.body);
+      std::string agent, site;
+      for (const auto& [key, value] : params) {
+        if (key == "agent") agent = value;
+        if (key == "site") site = value;
+      }
+      if (agent.empty()) return device::HttpResponse::BadRequest("no agent");
+      checkins[agent].push_back(site);
+      activity_log.push_back(agent + " checked in at " + site);
+      return device::HttpResponse::Ok("task:inspect-" + site);
+    }
+    if (request.url.path == "/track" && request.method == "POST") {
+      auto params = device::ParseQuery(request.body);
+      for (const auto& [key, value] : params) {
+        if (key == "agent") track_points[value]++;
+      }
+      return device::HttpResponse::Ok("ok");
+    }
+    return device::HttpResponse::NotFound();
+  }
+
+  std::map<std::string, std::vector<std::string>> checkins;
+  std::map<std::string, int> track_points;
+  std::vector<std::string> activity_log;
+};
+
+// ---------------------------------------------------------------------------
+// Device-side application core — written once against the uniform API.
+// ---------------------------------------------------------------------------
+
+class WorkforceCore : public core::ProximityListener,
+                      public core::SmsListener {
+ public:
+  WorkforceCore(std::string agent_id, LocationProxy& location, SmsProxy& sms,
+                HttpProxy& http)
+      : agent_id_(std::move(agent_id)),
+        location_(location),
+        sms_(sms),
+        http_(http) {}
+
+  /// Identical on every platform (the paper's Figure 8 code shape).
+  void Start() {
+    location_.addProximityAlert(kBaseLat, kBaseLon, 210.0, 200.0f,
+                                /*timer_ms=*/-1, this);
+    ReportPosition();
+  }
+
+  void ReportPosition() {
+    Location now = location_.getLocation();
+    if (!now.valid) return;
+    std::ostringstream body;
+    body << "agent=" << agent_id_ << "&lat=" << now.latitude
+         << "&lon=" << now.longitude;
+    (void)http_.post("http://wfm.example/track", body.str(),
+                     "application/x-www-form-urlencoded");
+  }
+
+  void proximityEvent(double, double, double, const Location&,
+                      bool entering) override {
+    if (!entering) {
+      ++exits_;
+      return;
+    }
+    ++entries_;
+    core::HttpResult response =
+        http_.post("http://wfm.example/checkin",
+                   "agent=" + agent_id_ + "&site=hq",
+                   "application/x-www-form-urlencoded");
+    if (response.ok()) {
+      assigned_task_ = response.body;
+      // Notify the region supervisor by SMS (paper §2).
+      sms_.sendTextMessage("+15550199",
+                           agent_id_ + " on site, " + assigned_task_, this);
+    }
+  }
+
+  void smsStatusChanged(long long, core::SmsDeliveryStatus status) override {
+    sms_statuses_.push_back(status);
+  }
+
+  int entries() const { return entries_; }
+  int exits() const { return exits_; }
+  const std::string& assigned_task() const { return assigned_task_; }
+  const std::vector<core::SmsDeliveryStatus>& sms_statuses() const {
+    return sms_statuses_;
+  }
+
+ private:
+  std::string agent_id_;
+  LocationProxy& location_;
+  SmsProxy& sms_;
+  HttpProxy& http_;
+  int entries_ = 0;
+  int exits_ = 0;
+  std::string assigned_task_;
+  std::vector<core::SmsDeliveryStatus> sms_statuses_;
+};
+
+// ---------------------------------------------------------------------------
+// Android run
+// ---------------------------------------------------------------------------
+
+TEST(Workforce, RunsOnAndroid) {
+  auto dev = testing::MakeDevice(7);
+  dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(180)));
+  WorkforceServer server;
+  server.AttachTo(dev->network());
+
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kFineLocation);
+  platform.grantPermission(android::permissions::kSendSms);
+  platform.grantPermission(android::permissions::kInternet);
+
+  ProxyRegistry registry(&Store());
+  auto location = registry.CreateLocationProxy(platform);
+  location->setProperty("context", &platform.application_context());
+  auto sms = registry.CreateSmsProxy(platform);
+  sms->setProperty("context", &platform.application_context());
+  auto http = registry.CreateHttpProxy(platform);
+
+  WorkforceCore app("agent-android", *location, *sms, *http);
+  app.Start();
+  dev->RunFor(sim::SimTime::Seconds(180));
+
+  EXPECT_GE(app.entries(), 1);
+  EXPECT_GE(app.exits(), 1);
+  EXPECT_EQ(app.assigned_task(), "task:inspect-hq");
+  ASSERT_EQ(server.checkins.count("agent-android"), 1u);
+  EXPECT_GE(server.track_points["agent-android"], 1);
+  // Android delivers both submit and delivery callbacks.
+  ASSERT_GE(app.sms_statuses().size(), 2u);
+  EXPECT_EQ(app.sms_statuses()[0], core::SmsDeliveryStatus::kSubmitted);
+  EXPECT_EQ(app.sms_statuses()[1], core::SmsDeliveryStatus::kDelivered);
+}
+
+// ---------------------------------------------------------------------------
+// S60 run: the SAME WorkforceCore type, zero changes.
+// ---------------------------------------------------------------------------
+
+TEST(Workforce, RunsOnS60Unchanged) {
+  auto dev = testing::MakeDevice(7);
+  dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(180)));
+  WorkforceServer server;
+  server.AttachTo(dev->network());
+
+  s60::S60Platform platform(*dev);
+  s60::ApplicationManager manager(platform);
+  s60::MidletSuiteDescriptor suite;
+  suite.suite_name = "WorkForce";
+  suite.permissions = {s60::permissions::kLocation, s60::permissions::kSmsSend,
+                       s60::permissions::kHttp};
+  manager.installSuite(suite);
+
+  ProxyRegistry registry(&Store());
+  auto location = registry.CreateLocationProxy(platform);
+  location->setProperty("verticalAccuracy", 50LL);
+  auto sms = registry.CreateSmsProxy(platform);
+  auto http = registry.CreateHttpProxy(platform);
+
+  WorkforceCore app("agent-s60", *location, *sms, *http);
+  app.Start();
+  dev->RunFor(sim::SimTime::Seconds(180));
+
+  EXPECT_GE(app.entries(), 1);
+  EXPECT_GE(app.exits(), 1);
+  EXPECT_EQ(app.assigned_task(), "task:inspect-hq");
+  ASSERT_EQ(server.checkins.count("agent-s60"), 1u);
+  // S60 has no delivery reports: only kSubmitted arrives.
+  ASSERT_GE(app.sms_statuses().size(), 1u);
+  EXPECT_EQ(app.sms_statuses()[0], core::SmsDeliveryStatus::kSubmitted);
+}
+
+// ---------------------------------------------------------------------------
+// WebView run: the JavaScript twin of the same logic via the JS proxies.
+// ---------------------------------------------------------------------------
+
+TEST(Workforce, RunsOnWebView) {
+  auto dev = testing::MakeDevice(7);
+  dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(180)));
+  WorkforceServer server;
+  server.AttachTo(dev->network());
+
+  android::AndroidPlatform platform(*dev);
+  platform.grantPermission(android::permissions::kFineLocation);
+  platform.grantPermission(android::permissions::kSendSms);
+  platform.grantPermission(android::permissions::kInternet);
+  webview::WebView webview(platform);
+  core::InstallWebViewProxies(webview);
+
+  webview.loadScript(
+      std::string(R"(
+    var entries = 0;
+    var exits = 0;
+    var task = '';
+    var smsStatuses = [];
+    var loc = new LocationProxyImpl();
+    loc.setProperty('provider', 'gps');
+    var sms = new SmsProxyImpl();
+    var http = new HttpProxyImpl();
+
+    function proximityEvent(refLat, refLon, refAlt, current, entering) {
+      if (!entering) { exits++; return; }
+      entries++;
+      var r = http.post('http://wfm.example/checkin',
+                        'agent=agent-webview&site=hq',
+                        'application/x-www-form-urlencoded');
+      if (r.status == 200) {
+        task = r.body;
+        sms.sendTextMessage('+15550199', 'agent-webview on site, ' + task,
+                            function(id, status) { smsStatuses.push(status); });
+      }
+    }
+
+    function jsInit() {
+      loc.addProximityAlert()") +
+      std::to_string(kBaseLat) + ", " + std::to_string(kBaseLon) +
+      R"(, 210, 200, -1, proximityEvent);
+      var now = loc.getLocation();
+      if (now.valid) {
+        http.post('http://wfm.example/track',
+                  'agent=agent-webview&lat=' + now.latitude +
+                  '&lon=' + now.longitude,
+                  'application/x-www-form-urlencoded');
+      }
+    }
+    jsInit();
+  )");
+  dev->RunFor(sim::SimTime::Seconds(180));
+
+  EXPECT_GE(webview.loadScript("entries;").as_number(), 1);
+  EXPECT_GE(webview.loadScript("exits;").as_number(), 1);
+  EXPECT_EQ(webview.loadScript("task;").as_string(), "task:inspect-hq");
+  EXPECT_EQ(webview.loadScript("smsStatuses.join(',');").as_string(),
+            "submitted,delivered");
+  ASSERT_EQ(server.checkins.count("agent-webview"), 1u);
+  EXPECT_GE(server.track_points["agent-webview"], 1);
+}
+
+// ---------------------------------------------------------------------------
+// E4 as integration: the same WorkforceCore on Android m5 AND Android 1.0.
+// ---------------------------------------------------------------------------
+
+TEST(Workforce, SurvivesAndroidApiEvolution) {
+  for (android::ApiLevel level :
+       {android::ApiLevel::kM5, android::ApiLevel::k10}) {
+    auto dev = testing::MakeDevice(7);
+    dev->gps().set_track(ApproachTrack(800, 20.0, sim::SimTime::Seconds(120)));
+    WorkforceServer server;
+    server.AttachTo(dev->network());
+    android::AndroidPlatform platform(*dev, level);
+    platform.grantPermission(android::permissions::kFineLocation);
+    platform.grantPermission(android::permissions::kSendSms);
+    platform.grantPermission(android::permissions::kInternet);
+
+    ProxyRegistry registry(&Store());
+    auto location = registry.CreateLocationProxy(platform);
+    location->setProperty("context", &platform.application_context());
+    auto sms = registry.CreateSmsProxy(platform);
+    sms->setProperty("context", &platform.application_context());
+    auto http = registry.CreateHttpProxy(platform);
+
+    WorkforceCore app("agent", *location, *sms, *http);
+    app.Start();
+    dev->RunFor(sim::SimTime::Seconds(120));
+    EXPECT_GE(app.entries(), 1) << android::ToString(level);
+  }
+}
+
+}  // namespace
+}  // namespace mobivine
