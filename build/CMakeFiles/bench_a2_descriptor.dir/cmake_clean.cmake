@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_descriptor.dir/bench/bench_a2_descriptor.cpp.o"
+  "CMakeFiles/bench_a2_descriptor.dir/bench/bench_a2_descriptor.cpp.o.d"
+  "bench/bench_a2_descriptor"
+  "bench/bench_a2_descriptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_descriptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_bridge.dir/bench/bench_a3_bridge.cpp.o"
+  "CMakeFiles/bench_a3_bridge.dir/bench/bench_a3_bridge.cpp.o.d"
+  "bench/bench_a3_bridge"
+  "bench/bench_a3_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_extension.dir/bench/bench_a4_extension.cpp.o"
+  "CMakeFiles/bench_a4_extension.dir/bench/bench_a4_extension.cpp.o.d"
+  "bench/bench_a4_extension"
+  "bench/bench_a4_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

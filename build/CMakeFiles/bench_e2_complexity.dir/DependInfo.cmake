@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e2_complexity.cpp" "CMakeFiles/bench_e2_complexity.dir/bench/bench_e2_complexity.cpp.o" "gcc" "CMakeFiles/bench_e2_complexity.dir/bench/bench_e2_complexity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mobivine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugin/CMakeFiles/mobivine_plugin.dir/DependInfo.cmake"
+  "/root/repo/build/src/s60/CMakeFiles/mobivine_s60.dir/DependInfo.cmake"
+  "/root/repo/build/src/iphone/CMakeFiles/mobivine_iphone.dir/DependInfo.cmake"
+  "/root/repo/build/src/webview/CMakeFiles/mobivine_webview.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/mobivine_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/minijs/CMakeFiles/mobivine_minijs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mobivine_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mobivine_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mobivine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mobivine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_portability.dir/bench/bench_e3_portability.cpp.o"
+  "CMakeFiles/bench_e3_portability.dir/bench/bench_e3_portability.cpp.o.d"
+  "bench/bench_e3_portability"
+  "bench/bench_e3_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

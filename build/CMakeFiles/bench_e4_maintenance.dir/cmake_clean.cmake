@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_maintenance.dir/bench/bench_e4_maintenance.cpp.o"
+  "CMakeFiles/bench_e4_maintenance.dir/bench/bench_e4_maintenance.cpp.o.d"
+  "bench/bench_e4_maintenance"
+  "bench/bench_e4_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_invocation.dir/bench/bench_fig10_invocation.cpp.o"
+  "CMakeFiles/bench_fig10_invocation.dir/bench/bench_fig10_invocation.cpp.o.d"
+  "bench/bench_fig10_invocation"
+  "bench/bench_fig10_invocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_invocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

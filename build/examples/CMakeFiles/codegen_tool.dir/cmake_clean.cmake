@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_tool.dir/codegen_tool.cpp.o"
+  "CMakeFiles/codegen_tool.dir/codegen_tool.cpp.o.d"
+  "codegen_tool"
+  "codegen_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contact_dispatch.dir/contact_dispatch.cpp.o"
+  "CMakeFiles/contact_dispatch.dir/contact_dispatch.cpp.o.d"
+  "contact_dispatch"
+  "contact_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contact_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

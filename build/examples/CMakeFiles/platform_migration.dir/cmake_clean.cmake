@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_migration.dir/platform_migration.cpp.o"
+  "CMakeFiles/platform_migration.dir/platform_migration.cpp.o.d"
+  "platform_migration"
+  "platform_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

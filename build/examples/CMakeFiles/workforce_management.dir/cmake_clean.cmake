@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workforce_management.dir/workforce_management.cpp.o"
+  "CMakeFiles/workforce_management.dir/workforce_management.cpp.o.d"
+  "workforce_management"
+  "workforce_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workforce_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/android_platform.cpp" "src/android/CMakeFiles/mobivine_android.dir/android_platform.cpp.o" "gcc" "src/android/CMakeFiles/mobivine_android.dir/android_platform.cpp.o.d"
+  "/root/repo/src/android/calendar.cpp" "src/android/CMakeFiles/mobivine_android.dir/calendar.cpp.o" "gcc" "src/android/CMakeFiles/mobivine_android.dir/calendar.cpp.o.d"
+  "/root/repo/src/android/contacts.cpp" "src/android/CMakeFiles/mobivine_android.dir/contacts.cpp.o" "gcc" "src/android/CMakeFiles/mobivine_android.dir/contacts.cpp.o.d"
+  "/root/repo/src/android/context.cpp" "src/android/CMakeFiles/mobivine_android.dir/context.cpp.o" "gcc" "src/android/CMakeFiles/mobivine_android.dir/context.cpp.o.d"
+  "/root/repo/src/android/http_client.cpp" "src/android/CMakeFiles/mobivine_android.dir/http_client.cpp.o" "gcc" "src/android/CMakeFiles/mobivine_android.dir/http_client.cpp.o.d"
+  "/root/repo/src/android/intent.cpp" "src/android/CMakeFiles/mobivine_android.dir/intent.cpp.o" "gcc" "src/android/CMakeFiles/mobivine_android.dir/intent.cpp.o.d"
+  "/root/repo/src/android/location_manager.cpp" "src/android/CMakeFiles/mobivine_android.dir/location_manager.cpp.o" "gcc" "src/android/CMakeFiles/mobivine_android.dir/location_manager.cpp.o.d"
+  "/root/repo/src/android/sms_manager.cpp" "src/android/CMakeFiles/mobivine_android.dir/sms_manager.cpp.o" "gcc" "src/android/CMakeFiles/mobivine_android.dir/sms_manager.cpp.o.d"
+  "/root/repo/src/android/telephony.cpp" "src/android/CMakeFiles/mobivine_android.dir/telephony.cpp.o" "gcc" "src/android/CMakeFiles/mobivine_android.dir/telephony.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/mobivine_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mobivine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mobivine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

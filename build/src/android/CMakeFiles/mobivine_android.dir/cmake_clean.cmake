@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobivine_android.dir/android_platform.cpp.o"
+  "CMakeFiles/mobivine_android.dir/android_platform.cpp.o.d"
+  "CMakeFiles/mobivine_android.dir/calendar.cpp.o"
+  "CMakeFiles/mobivine_android.dir/calendar.cpp.o.d"
+  "CMakeFiles/mobivine_android.dir/contacts.cpp.o"
+  "CMakeFiles/mobivine_android.dir/contacts.cpp.o.d"
+  "CMakeFiles/mobivine_android.dir/context.cpp.o"
+  "CMakeFiles/mobivine_android.dir/context.cpp.o.d"
+  "CMakeFiles/mobivine_android.dir/http_client.cpp.o"
+  "CMakeFiles/mobivine_android.dir/http_client.cpp.o.d"
+  "CMakeFiles/mobivine_android.dir/intent.cpp.o"
+  "CMakeFiles/mobivine_android.dir/intent.cpp.o.d"
+  "CMakeFiles/mobivine_android.dir/location_manager.cpp.o"
+  "CMakeFiles/mobivine_android.dir/location_manager.cpp.o.d"
+  "CMakeFiles/mobivine_android.dir/sms_manager.cpp.o"
+  "CMakeFiles/mobivine_android.dir/sms_manager.cpp.o.d"
+  "CMakeFiles/mobivine_android.dir/telephony.cpp.o"
+  "CMakeFiles/mobivine_android.dir/telephony.cpp.o.d"
+  "libmobivine_android.a"
+  "libmobivine_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobivine_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

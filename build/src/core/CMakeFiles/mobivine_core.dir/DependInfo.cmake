@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bindings/android_bindings.cpp" "src/core/CMakeFiles/mobivine_core.dir/bindings/android_bindings.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/bindings/android_bindings.cpp.o.d"
+  "/root/repo/src/core/bindings/iphone_bindings.cpp" "src/core/CMakeFiles/mobivine_core.dir/bindings/iphone_bindings.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/bindings/iphone_bindings.cpp.o.d"
+  "/root/repo/src/core/bindings/s60_bindings.cpp" "src/core/CMakeFiles/mobivine_core.dir/bindings/s60_bindings.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/bindings/s60_bindings.cpp.o.d"
+  "/root/repo/src/core/bindings/webview_proxies.cpp" "src/core/CMakeFiles/mobivine_core.dir/bindings/webview_proxies.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/bindings/webview_proxies.cpp.o.d"
+  "/root/repo/src/core/descriptor/planes.cpp" "src/core/CMakeFiles/mobivine_core.dir/descriptor/planes.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/descriptor/planes.cpp.o.d"
+  "/root/repo/src/core/descriptor/proxy_descriptor.cpp" "src/core/CMakeFiles/mobivine_core.dir/descriptor/proxy_descriptor.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/descriptor/proxy_descriptor.cpp.o.d"
+  "/root/repo/src/core/descriptor/schemas.cpp" "src/core/CMakeFiles/mobivine_core.dir/descriptor/schemas.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/descriptor/schemas.cpp.o.d"
+  "/root/repo/src/core/enrichment.cpp" "src/core/CMakeFiles/mobivine_core.dir/enrichment.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/enrichment.cpp.o.d"
+  "/root/repo/src/core/errors.cpp" "src/core/CMakeFiles/mobivine_core.dir/errors.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/errors.cpp.o.d"
+  "/root/repo/src/core/location_proxy.cpp" "src/core/CMakeFiles/mobivine_core.dir/location_proxy.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/location_proxy.cpp.o.d"
+  "/root/repo/src/core/meter.cpp" "src/core/CMakeFiles/mobivine_core.dir/meter.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/meter.cpp.o.d"
+  "/root/repo/src/core/proxy.cpp" "src/core/CMakeFiles/mobivine_core.dir/proxy.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/proxy.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/mobivine_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/uniform_types.cpp" "src/core/CMakeFiles/mobivine_core.dir/uniform_types.cpp.o" "gcc" "src/core/CMakeFiles/mobivine_core.dir/uniform_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/android/CMakeFiles/mobivine_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/s60/CMakeFiles/mobivine_s60.dir/DependInfo.cmake"
+  "/root/repo/build/src/iphone/CMakeFiles/mobivine_iphone.dir/DependInfo.cmake"
+  "/root/repo/build/src/webview/CMakeFiles/mobivine_webview.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mobivine_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mobivine_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mobivine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/minijs/CMakeFiles/mobivine_minijs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mobivine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobivine_core.dir/bindings/android_bindings.cpp.o"
+  "CMakeFiles/mobivine_core.dir/bindings/android_bindings.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/bindings/iphone_bindings.cpp.o"
+  "CMakeFiles/mobivine_core.dir/bindings/iphone_bindings.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/bindings/s60_bindings.cpp.o"
+  "CMakeFiles/mobivine_core.dir/bindings/s60_bindings.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/bindings/webview_proxies.cpp.o"
+  "CMakeFiles/mobivine_core.dir/bindings/webview_proxies.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/descriptor/planes.cpp.o"
+  "CMakeFiles/mobivine_core.dir/descriptor/planes.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/descriptor/proxy_descriptor.cpp.o"
+  "CMakeFiles/mobivine_core.dir/descriptor/proxy_descriptor.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/descriptor/schemas.cpp.o"
+  "CMakeFiles/mobivine_core.dir/descriptor/schemas.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/enrichment.cpp.o"
+  "CMakeFiles/mobivine_core.dir/enrichment.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/errors.cpp.o"
+  "CMakeFiles/mobivine_core.dir/errors.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/location_proxy.cpp.o"
+  "CMakeFiles/mobivine_core.dir/location_proxy.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/meter.cpp.o"
+  "CMakeFiles/mobivine_core.dir/meter.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/proxy.cpp.o"
+  "CMakeFiles/mobivine_core.dir/proxy.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/registry.cpp.o"
+  "CMakeFiles/mobivine_core.dir/registry.cpp.o.d"
+  "CMakeFiles/mobivine_core.dir/uniform_types.cpp.o"
+  "CMakeFiles/mobivine_core.dir/uniform_types.cpp.o.d"
+  "libmobivine_core.a"
+  "libmobivine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobivine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/calendar_store.cpp" "src/device/CMakeFiles/mobivine_device.dir/calendar_store.cpp.o" "gcc" "src/device/CMakeFiles/mobivine_device.dir/calendar_store.cpp.o.d"
+  "/root/repo/src/device/cellular_modem.cpp" "src/device/CMakeFiles/mobivine_device.dir/cellular_modem.cpp.o" "gcc" "src/device/CMakeFiles/mobivine_device.dir/cellular_modem.cpp.o.d"
+  "/root/repo/src/device/contact_database.cpp" "src/device/CMakeFiles/mobivine_device.dir/contact_database.cpp.o" "gcc" "src/device/CMakeFiles/mobivine_device.dir/contact_database.cpp.o.d"
+  "/root/repo/src/device/gps_receiver.cpp" "src/device/CMakeFiles/mobivine_device.dir/gps_receiver.cpp.o" "gcc" "src/device/CMakeFiles/mobivine_device.dir/gps_receiver.cpp.o.d"
+  "/root/repo/src/device/http_message.cpp" "src/device/CMakeFiles/mobivine_device.dir/http_message.cpp.o" "gcc" "src/device/CMakeFiles/mobivine_device.dir/http_message.cpp.o.d"
+  "/root/repo/src/device/mobile_device.cpp" "src/device/CMakeFiles/mobivine_device.dir/mobile_device.cpp.o" "gcc" "src/device/CMakeFiles/mobivine_device.dir/mobile_device.cpp.o.d"
+  "/root/repo/src/device/network.cpp" "src/device/CMakeFiles/mobivine_device.dir/network.cpp.o" "gcc" "src/device/CMakeFiles/mobivine_device.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mobivine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mobivine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

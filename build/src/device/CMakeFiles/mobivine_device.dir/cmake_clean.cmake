@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobivine_device.dir/calendar_store.cpp.o"
+  "CMakeFiles/mobivine_device.dir/calendar_store.cpp.o.d"
+  "CMakeFiles/mobivine_device.dir/cellular_modem.cpp.o"
+  "CMakeFiles/mobivine_device.dir/cellular_modem.cpp.o.d"
+  "CMakeFiles/mobivine_device.dir/contact_database.cpp.o"
+  "CMakeFiles/mobivine_device.dir/contact_database.cpp.o.d"
+  "CMakeFiles/mobivine_device.dir/gps_receiver.cpp.o"
+  "CMakeFiles/mobivine_device.dir/gps_receiver.cpp.o.d"
+  "CMakeFiles/mobivine_device.dir/http_message.cpp.o"
+  "CMakeFiles/mobivine_device.dir/http_message.cpp.o.d"
+  "CMakeFiles/mobivine_device.dir/mobile_device.cpp.o"
+  "CMakeFiles/mobivine_device.dir/mobile_device.cpp.o.d"
+  "CMakeFiles/mobivine_device.dir/network.cpp.o"
+  "CMakeFiles/mobivine_device.dir/network.cpp.o.d"
+  "libmobivine_device.a"
+  "libmobivine_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobivine_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

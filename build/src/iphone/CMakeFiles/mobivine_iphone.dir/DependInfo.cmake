@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iphone/address_book.cpp" "src/iphone/CMakeFiles/mobivine_iphone.dir/address_book.cpp.o" "gcc" "src/iphone/CMakeFiles/mobivine_iphone.dir/address_book.cpp.o.d"
+  "/root/repo/src/iphone/core_location.cpp" "src/iphone/CMakeFiles/mobivine_iphone.dir/core_location.cpp.o" "gcc" "src/iphone/CMakeFiles/mobivine_iphone.dir/core_location.cpp.o.d"
+  "/root/repo/src/iphone/iphone_platform.cpp" "src/iphone/CMakeFiles/mobivine_iphone.dir/iphone_platform.cpp.o" "gcc" "src/iphone/CMakeFiles/mobivine_iphone.dir/iphone_platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/mobivine_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mobivine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mobivine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobivine_iphone.dir/address_book.cpp.o"
+  "CMakeFiles/mobivine_iphone.dir/address_book.cpp.o.d"
+  "CMakeFiles/mobivine_iphone.dir/core_location.cpp.o"
+  "CMakeFiles/mobivine_iphone.dir/core_location.cpp.o.d"
+  "CMakeFiles/mobivine_iphone.dir/iphone_platform.cpp.o"
+  "CMakeFiles/mobivine_iphone.dir/iphone_platform.cpp.o.d"
+  "libmobivine_iphone.a"
+  "libmobivine_iphone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobivine_iphone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

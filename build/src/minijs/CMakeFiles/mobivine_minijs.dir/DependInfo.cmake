@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minijs/interpreter.cpp" "src/minijs/CMakeFiles/mobivine_minijs.dir/interpreter.cpp.o" "gcc" "src/minijs/CMakeFiles/mobivine_minijs.dir/interpreter.cpp.o.d"
+  "/root/repo/src/minijs/lexer.cpp" "src/minijs/CMakeFiles/mobivine_minijs.dir/lexer.cpp.o" "gcc" "src/minijs/CMakeFiles/mobivine_minijs.dir/lexer.cpp.o.d"
+  "/root/repo/src/minijs/parser.cpp" "src/minijs/CMakeFiles/mobivine_minijs.dir/parser.cpp.o" "gcc" "src/minijs/CMakeFiles/mobivine_minijs.dir/parser.cpp.o.d"
+  "/root/repo/src/minijs/value.cpp" "src/minijs/CMakeFiles/mobivine_minijs.dir/value.cpp.o" "gcc" "src/minijs/CMakeFiles/mobivine_minijs.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mobivine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

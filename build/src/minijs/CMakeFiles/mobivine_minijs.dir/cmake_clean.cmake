@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobivine_minijs.dir/interpreter.cpp.o"
+  "CMakeFiles/mobivine_minijs.dir/interpreter.cpp.o.d"
+  "CMakeFiles/mobivine_minijs.dir/lexer.cpp.o"
+  "CMakeFiles/mobivine_minijs.dir/lexer.cpp.o.d"
+  "CMakeFiles/mobivine_minijs.dir/parser.cpp.o"
+  "CMakeFiles/mobivine_minijs.dir/parser.cpp.o.d"
+  "CMakeFiles/mobivine_minijs.dir/value.cpp.o"
+  "CMakeFiles/mobivine_minijs.dir/value.cpp.o.d"
+  "libmobivine_minijs.a"
+  "libmobivine_minijs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobivine_minijs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobivine_plugin.dir/codegen.cpp.o"
+  "CMakeFiles/mobivine_plugin.dir/codegen.cpp.o.d"
+  "CMakeFiles/mobivine_plugin.dir/configuration.cpp.o"
+  "CMakeFiles/mobivine_plugin.dir/configuration.cpp.o.d"
+  "CMakeFiles/mobivine_plugin.dir/drawer.cpp.o"
+  "CMakeFiles/mobivine_plugin.dir/drawer.cpp.o.d"
+  "CMakeFiles/mobivine_plugin.dir/metrics.cpp.o"
+  "CMakeFiles/mobivine_plugin.dir/metrics.cpp.o.d"
+  "CMakeFiles/mobivine_plugin.dir/packaging.cpp.o"
+  "CMakeFiles/mobivine_plugin.dir/packaging.cpp.o.d"
+  "libmobivine_plugin.a"
+  "libmobivine_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobivine_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/s60/connector.cpp" "src/s60/CMakeFiles/mobivine_s60.dir/connector.cpp.o" "gcc" "src/s60/CMakeFiles/mobivine_s60.dir/connector.cpp.o.d"
+  "/root/repo/src/s60/location_provider.cpp" "src/s60/CMakeFiles/mobivine_s60.dir/location_provider.cpp.o" "gcc" "src/s60/CMakeFiles/mobivine_s60.dir/location_provider.cpp.o.d"
+  "/root/repo/src/s60/messaging.cpp" "src/s60/CMakeFiles/mobivine_s60.dir/messaging.cpp.o" "gcc" "src/s60/CMakeFiles/mobivine_s60.dir/messaging.cpp.o.d"
+  "/root/repo/src/s60/midlet.cpp" "src/s60/CMakeFiles/mobivine_s60.dir/midlet.cpp.o" "gcc" "src/s60/CMakeFiles/mobivine_s60.dir/midlet.cpp.o.d"
+  "/root/repo/src/s60/pim.cpp" "src/s60/CMakeFiles/mobivine_s60.dir/pim.cpp.o" "gcc" "src/s60/CMakeFiles/mobivine_s60.dir/pim.cpp.o.d"
+  "/root/repo/src/s60/s60_platform.cpp" "src/s60/CMakeFiles/mobivine_s60.dir/s60_platform.cpp.o" "gcc" "src/s60/CMakeFiles/mobivine_s60.dir/s60_platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/mobivine_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mobivine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mobivine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobivine_s60.dir/connector.cpp.o"
+  "CMakeFiles/mobivine_s60.dir/connector.cpp.o.d"
+  "CMakeFiles/mobivine_s60.dir/location_provider.cpp.o"
+  "CMakeFiles/mobivine_s60.dir/location_provider.cpp.o.d"
+  "CMakeFiles/mobivine_s60.dir/messaging.cpp.o"
+  "CMakeFiles/mobivine_s60.dir/messaging.cpp.o.d"
+  "CMakeFiles/mobivine_s60.dir/midlet.cpp.o"
+  "CMakeFiles/mobivine_s60.dir/midlet.cpp.o.d"
+  "CMakeFiles/mobivine_s60.dir/pim.cpp.o"
+  "CMakeFiles/mobivine_s60.dir/pim.cpp.o.d"
+  "CMakeFiles/mobivine_s60.dir/s60_platform.cpp.o"
+  "CMakeFiles/mobivine_s60.dir/s60_platform.cpp.o.d"
+  "libmobivine_s60.a"
+  "libmobivine_s60.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobivine_s60.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobivine_sim.dir/geo_track.cpp.o"
+  "CMakeFiles/mobivine_sim.dir/geo_track.cpp.o.d"
+  "CMakeFiles/mobivine_sim.dir/latency_model.cpp.o"
+  "CMakeFiles/mobivine_sim.dir/latency_model.cpp.o.d"
+  "CMakeFiles/mobivine_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/mobivine_sim.dir/scheduler.cpp.o.d"
+  "libmobivine_sim.a"
+  "libmobivine_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobivine_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobivine_support.dir/geo_units.cpp.o"
+  "CMakeFiles/mobivine_support.dir/geo_units.cpp.o.d"
+  "CMakeFiles/mobivine_support.dir/logging.cpp.o"
+  "CMakeFiles/mobivine_support.dir/logging.cpp.o.d"
+  "CMakeFiles/mobivine_support.dir/strings.cpp.o"
+  "CMakeFiles/mobivine_support.dir/strings.cpp.o.d"
+  "libmobivine_support.a"
+  "libmobivine_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobivine_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmobivine_support.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/webview/bridge.cpp" "src/webview/CMakeFiles/mobivine_webview.dir/bridge.cpp.o" "gcc" "src/webview/CMakeFiles/mobivine_webview.dir/bridge.cpp.o.d"
+  "/root/repo/src/webview/notification_table.cpp" "src/webview/CMakeFiles/mobivine_webview.dir/notification_table.cpp.o" "gcc" "src/webview/CMakeFiles/mobivine_webview.dir/notification_table.cpp.o.d"
+  "/root/repo/src/webview/webview.cpp" "src/webview/CMakeFiles/mobivine_webview.dir/webview.cpp.o" "gcc" "src/webview/CMakeFiles/mobivine_webview.dir/webview.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/android/CMakeFiles/mobivine_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/minijs/CMakeFiles/mobivine_minijs.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mobivine_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mobivine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mobivine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

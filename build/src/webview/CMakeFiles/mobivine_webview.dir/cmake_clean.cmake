@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobivine_webview.dir/bridge.cpp.o"
+  "CMakeFiles/mobivine_webview.dir/bridge.cpp.o.d"
+  "CMakeFiles/mobivine_webview.dir/notification_table.cpp.o"
+  "CMakeFiles/mobivine_webview.dir/notification_table.cpp.o.d"
+  "CMakeFiles/mobivine_webview.dir/webview.cpp.o"
+  "CMakeFiles/mobivine_webview.dir/webview.cpp.o.d"
+  "libmobivine_webview.a"
+  "libmobivine_webview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobivine_webview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/xml_node.cpp" "src/xml/CMakeFiles/mobivine_xml.dir/xml_node.cpp.o" "gcc" "src/xml/CMakeFiles/mobivine_xml.dir/xml_node.cpp.o.d"
+  "/root/repo/src/xml/xml_parser.cpp" "src/xml/CMakeFiles/mobivine_xml.dir/xml_parser.cpp.o" "gcc" "src/xml/CMakeFiles/mobivine_xml.dir/xml_parser.cpp.o.d"
+  "/root/repo/src/xml/xml_schema.cpp" "src/xml/CMakeFiles/mobivine_xml.dir/xml_schema.cpp.o" "gcc" "src/xml/CMakeFiles/mobivine_xml.dir/xml_schema.cpp.o.d"
+  "/root/repo/src/xml/xml_writer.cpp" "src/xml/CMakeFiles/mobivine_xml.dir/xml_writer.cpp.o" "gcc" "src/xml/CMakeFiles/mobivine_xml.dir/xml_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mobivine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

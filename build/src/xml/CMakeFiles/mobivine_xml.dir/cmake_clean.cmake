@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobivine_xml.dir/xml_node.cpp.o"
+  "CMakeFiles/mobivine_xml.dir/xml_node.cpp.o.d"
+  "CMakeFiles/mobivine_xml.dir/xml_parser.cpp.o"
+  "CMakeFiles/mobivine_xml.dir/xml_parser.cpp.o.d"
+  "CMakeFiles/mobivine_xml.dir/xml_schema.cpp.o"
+  "CMakeFiles/mobivine_xml.dir/xml_schema.cpp.o.d"
+  "CMakeFiles/mobivine_xml.dir/xml_writer.cpp.o"
+  "CMakeFiles/mobivine_xml.dir/xml_writer.cpp.o.d"
+  "libmobivine_xml.a"
+  "libmobivine_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobivine_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

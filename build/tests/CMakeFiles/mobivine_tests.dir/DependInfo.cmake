@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/android_platform_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/android_platform_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/android_platform_test.cpp.o.d"
+  "/root/repo/tests/calendar_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/calendar_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/calendar_test.cpp.o.d"
+  "/root/repo/tests/codegen_sweep_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/codegen_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/codegen_sweep_test.cpp.o.d"
+  "/root/repo/tests/core_android_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/core_android_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/core_android_test.cpp.o.d"
+  "/root/repo/tests/core_iphone_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/core_iphone_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/core_iphone_test.cpp.o.d"
+  "/root/repo/tests/core_s60_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/core_s60_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/core_s60_test.cpp.o.d"
+  "/root/repo/tests/core_webview_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/core_webview_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/core_webview_test.cpp.o.d"
+  "/root/repo/tests/descriptor_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/descriptor_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/descriptor_test.cpp.o.d"
+  "/root/repo/tests/device_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/device_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/device_test.cpp.o.d"
+  "/root/repo/tests/enrichment_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/enrichment_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/enrichment_test.cpp.o.d"
+  "/root/repo/tests/failure_injection_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/iphone_platform_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/iphone_platform_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/iphone_platform_test.cpp.o.d"
+  "/root/repo/tests/minijs_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/minijs_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/minijs_test.cpp.o.d"
+  "/root/repo/tests/misc_coverage_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/misc_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/misc_coverage_test.cpp.o.d"
+  "/root/repo/tests/pim_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/pim_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/pim_test.cpp.o.d"
+  "/root/repo/tests/plugin_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/plugin_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/plugin_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/registry_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/registry_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/registry_test.cpp.o.d"
+  "/root/repo/tests/s60_platform_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/s60_platform_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/s60_platform_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/soak_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/soak_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/soak_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/webview_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/webview_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/webview_test.cpp.o.d"
+  "/root/repo/tests/workforce_integration_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/workforce_integration_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/workforce_integration_test.cpp.o.d"
+  "/root/repo/tests/xml_test.cpp" "tests/CMakeFiles/mobivine_tests.dir/xml_test.cpp.o" "gcc" "tests/CMakeFiles/mobivine_tests.dir/xml_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mobivine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugin/CMakeFiles/mobivine_plugin.dir/DependInfo.cmake"
+  "/root/repo/build/src/s60/CMakeFiles/mobivine_s60.dir/DependInfo.cmake"
+  "/root/repo/build/src/iphone/CMakeFiles/mobivine_iphone.dir/DependInfo.cmake"
+  "/root/repo/build/src/webview/CMakeFiles/mobivine_webview.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/mobivine_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/minijs/CMakeFiles/mobivine_minijs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mobivine_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mobivine_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mobivine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mobivine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
