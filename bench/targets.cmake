@@ -18,6 +18,8 @@ mobivine_bench(bench_a1_polling)
 mobivine_bench(bench_a4_extension)
 mobivine_bench(bench_a5_detection)
 
+mobivine_bench(bench_wallclock_throughput)
+
 mobivine_bench(bench_a2_descriptor)
 target_link_libraries(bench_a2_descriptor PRIVATE benchmark::benchmark)
 mobivine_bench(bench_a3_bridge)

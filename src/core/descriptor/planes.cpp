@@ -6,23 +6,48 @@ namespace mobivine::core {
 
 // ---------------------------------------------------------------------------
 // Lookups
+//
+// The indexed fast paths are inline in planes.h; here live the index
+// builders and the linear fallbacks for planes used standalone before
+// finalization. The *Linear variants stay public so the regression suite
+// can assert index/scan agreement.
 // ---------------------------------------------------------------------------
 
-const MethodSpec* SemanticPlane::FindMethod(const std::string& name) const {
+void SemanticPlane::BuildIndex() {
+  method_index.Clear();
+  for (const auto& method : methods) method_index.Add(method.name);
+  method_index.Freeze();
+}
+
+const MethodSpec* SemanticPlane::FindMethodLinear(std::string_view name) const {
   for (const auto& method : methods) {
     if (method.name == name) return &method;
   }
   return nullptr;
 }
 
-const MethodSyntax* SyntacticPlane::FindMethod(const std::string& name) const {
+void SyntacticPlane::BuildIndex() {
+  method_index.Clear();
+  for (const auto& method : methods) method_index.Add(method.method);
+  method_index.Freeze();
+}
+
+const MethodSyntax* SyntacticPlane::FindMethodLinear(
+    std::string_view name) const {
   for (const auto& method : methods) {
     if (method.method == name) return &method;
   }
   return nullptr;
 }
 
-const PropertySpec* BindingPlane::FindProperty(const std::string& name) const {
+void BindingPlane::BuildIndex() {
+  property_index.Clear();
+  for (const auto& property : properties) property_index.Add(property.name);
+  property_index.Freeze();
+}
+
+const PropertySpec* BindingPlane::FindPropertyLinear(
+    std::string_view name) const {
   for (const auto& property : properties) {
     if (property.name == name) return &property;
   }

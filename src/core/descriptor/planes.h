@@ -13,8 +13,10 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "support/name_index.h"
 #include "xml/xml_node.h"
 
 namespace mobivine::core {
@@ -47,8 +49,13 @@ struct SemanticPlane {
   std::string category;        // drawer category (usually == interface_name)
   std::string description;
   std::vector<MethodSpec> methods;
+  /// Built at DescriptorStore::Finalize() time; `methods` must not change
+  /// afterwards. Find falls back to a linear scan while unbuilt.
+  support::NameIndex method_index;
 
-  [[nodiscard]] const MethodSpec* FindMethod(const std::string& name) const;
+  void BuildIndex();
+  [[nodiscard]] const MethodSpec* FindMethod(std::string_view name) const;
+  [[nodiscard]] const MethodSpec* FindMethodLinear(std::string_view name) const;
 };
 
 // ---------------------------------------------------------------------------
@@ -70,8 +77,12 @@ struct SyntacticPlane {
   std::string proxy;     // semantic interface_name this refines
   std::string language;  // "java" | "javascript"
   std::vector<MethodSyntax> methods;
+  support::NameIndex method_index;  // see SemanticPlane::method_index
 
-  [[nodiscard]] const MethodSyntax* FindMethod(const std::string& name) const;
+  void BuildIndex();
+  [[nodiscard]] const MethodSyntax* FindMethod(std::string_view name) const;
+  [[nodiscard]] const MethodSyntax* FindMethodLinear(
+      std::string_view name) const;
 };
 
 // ---------------------------------------------------------------------------
@@ -104,9 +115,47 @@ struct BindingPlane {
   std::vector<std::string> artifacts;
   std::vector<ExceptionSpec> exceptions;
   std::vector<PropertySpec> properties;
+  support::NameIndex property_index;  // see SemanticPlane::method_index
 
-  [[nodiscard]] const PropertySpec* FindProperty(const std::string& name) const;
+  void BuildIndex();
+  [[nodiscard]] const PropertySpec* FindProperty(std::string_view name) const;
+  [[nodiscard]] const PropertySpec* FindPropertyLinear(
+      std::string_view name) const;
 };
+
+// ---------------------------------------------------------------------------
+// Lookup fast paths. Inline so the five-deep resolution chain
+// (store -> descriptor -> binding -> property/method/syntax) compiles to
+// index probes without call overhead; the *Linear fallbacks live in
+// planes.cpp and serve both pre-Finalize planes and the regression tests.
+// ---------------------------------------------------------------------------
+
+inline const MethodSpec* SemanticPlane::FindMethod(
+    std::string_view name) const {
+  if (method_index.built()) {
+    const std::uint32_t slot = method_index.Lookup(name);
+    return slot == support::NameIndex::npos ? nullptr : &methods[slot];
+  }
+  return FindMethodLinear(name);
+}
+
+inline const MethodSyntax* SyntacticPlane::FindMethod(
+    std::string_view name) const {
+  if (method_index.built()) {
+    const std::uint32_t slot = method_index.Lookup(name);
+    return slot == support::NameIndex::npos ? nullptr : &methods[slot];
+  }
+  return FindMethodLinear(name);
+}
+
+inline const PropertySpec* BindingPlane::FindProperty(
+    std::string_view name) const {
+  if (property_index.built()) {
+    const std::uint32_t slot = property_index.Lookup(name);
+    return slot == support::NameIndex::npos ? nullptr : &properties[slot];
+  }
+  return FindPropertyLinear(name);
+}
 
 // ---------------------------------------------------------------------------
 // XML conversion (formats documented in descriptors/README and checked by

@@ -17,22 +17,40 @@ namespace mobivine::core {
 
 void ProxyDescriptor::AddSyntactic(SyntacticPlane plane) {
   syntactic_.push_back(std::move(plane));
+  syntactic_index_.Clear();  // back to linear scans until BuildIndexes()
 }
 
 void ProxyDescriptor::AddBinding(BindingPlane plane) {
   bindings_.push_back(std::move(plane));
+  binding_index_.Clear();
 }
 
-const SyntacticPlane* ProxyDescriptor::FindSyntactic(
-    const std::string& language) const {
+void ProxyDescriptor::BuildIndexes() {
+  semantic_.BuildIndex();
+  syntactic_index_.Clear();
+  for (auto& plane : syntactic_) {
+    plane.BuildIndex();
+    syntactic_index_.Add(plane.language);
+  }
+  syntactic_index_.Freeze();
+  binding_index_.Clear();
+  for (auto& plane : bindings_) {
+    plane.BuildIndex();
+    binding_index_.Add(plane.platform);
+  }
+  binding_index_.Freeze();
+}
+
+const SyntacticPlane* ProxyDescriptor::FindSyntacticLinear(
+    std::string_view language) const {
   for (const auto& plane : syntactic_) {
     if (plane.language == language) return &plane;
   }
   return nullptr;
 }
 
-const BindingPlane* ProxyDescriptor::FindBinding(
-    const std::string& platform) const {
+const BindingPlane* ProxyDescriptor::FindBindingLinear(
+    std::string_view platform) const {
   for (const auto& plane : bindings_) {
     if (plane.platform == platform) return &plane;
   }
@@ -141,6 +159,7 @@ std::vector<std::string> ProxyDescriptor::Validate() const {
 
 void DescriptorStore::AddDocument(const xml::Node& root,
                                   const std::string& origin) {
+  finalized_ = false;  // indexes go stale until the next Finalize()
   const xml::Schema* schema = SchemaFor(root);
   if (schema == nullptr) {
     throw std::runtime_error(origin + ": unrecognized descriptor document <" +
@@ -193,6 +212,7 @@ void DescriptorStore::AddDocument(const xml::Node& root,
 }
 
 void DescriptorStore::Finalize() {
+  finalized_ = false;  // loading again after a prior Finalize()
   if (!pending_.empty()) {
     std::string orphans;
     for (const auto& [name, _] : pending_) orphans += " '" + name + "'";
@@ -209,6 +229,25 @@ void DescriptorStore::Finalize() {
   if (!report.empty()) {
     throw std::runtime_error("descriptor validation failed:\n" + report);
   }
+  // Build the invocation fast path: per-plane name indexes plus the
+  // store's descriptor array. Interner symbol ids, NameIndex slots, and
+  // by_symbol_ positions are all assigned in this one loop, so they
+  // coincide and any of them indexes by_symbol_ directly.
+  interner_ = support::Interner();
+  name_index_.Clear();
+  by_symbol_.clear();
+  by_symbol_.reserve(descriptors_.size());
+  for (const auto& [name, descriptor] : descriptors_) {
+    descriptor->BuildIndexes();
+    const support::Symbol symbol = interner_.Intern(name);
+    if (symbol.id() != by_symbol_.size()) {
+      throw std::logic_error("descriptor symbol ids must be dense");
+    }
+    name_index_.Add(name);
+    by_symbol_.push_back(descriptor.get());
+  }
+  name_index_.Freeze();
+  finalized_ = true;
 }
 
 DescriptorStore DescriptorStore::LoadDirectory(const std::string& directory) {
@@ -233,11 +272,6 @@ DescriptorStore DescriptorStore::LoadDirectory(const std::string& directory) {
   MOBIVINE_LOG_INFO << "loaded " << store.size() << " proxy descriptors from "
                     << directory;
   return store;
-}
-
-const ProxyDescriptor* DescriptorStore::Find(const std::string& name) const {
-  auto it = descriptors_.find(name);
-  return it == descriptors_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> DescriptorStore::ProxyNames() const {

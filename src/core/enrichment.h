@@ -42,7 +42,7 @@ class RetryingCallProxy : public CallProxy, private CallListener {
   bool makeCall(const std::string& number, CallListener* listener) override;
   void endCall() override;
   CallProgress currentState() override;
-  void setProperty(const std::string& name, std::any value) override {
+  void setProperty(const std::string& name, PropertyValue value) override {
     inner_->setProperty(name, std::move(value));
   }
 
@@ -108,7 +108,7 @@ class AuthenticatingHttpProxy : public HttpProxy {
   void setHeader(const std::string& name, const std::string& value) override {
     inner_->setHeader(name, value);
   }
-  void setProperty(const std::string& name, std::any value) override {
+  void setProperty(const std::string& name, PropertyValue value) override {
     inner_->setProperty(name, std::move(value));
   }
 
@@ -138,7 +138,7 @@ class SecureSmsProxy : public SmsProxy {
                             const std::string& text,
                             SmsListener* listener) override;
   int segmentCount(const std::string& text) override;
-  void setProperty(const std::string& name, std::any value) override {
+  void setProperty(const std::string& name, PropertyValue value) override {
     inner_->setProperty(name, std::move(value));
   }
 
@@ -155,7 +155,7 @@ class SecureCallProxy : public CallProxy {
   bool makeCall(const std::string& number, CallListener* listener) override;
   void endCall() override;
   CallProgress currentState() override;
-  void setProperty(const std::string& name, std::any value) override {
+  void setProperty(const std::string& name, PropertyValue value) override {
     inner_->setProperty(name, std::move(value));
   }
 
@@ -174,7 +174,7 @@ class SecureLocationProxy : public LocationProxy {
                          ProximityListener* listener) override;
   void removeProximityAlert(ProximityListener* listener) override;
   Location getLocation() override;
-  void setProperty(const std::string& name, std::any value) override {
+  void setProperty(const std::string& name, PropertyValue value) override {
     inner_->setProperty(name, std::move(value));
   }
 

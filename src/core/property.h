@@ -6,55 +6,192 @@
 // application context, S60's Criteria values, the WebView provider name —
 // all set through one setProperty() surface and validated against the
 // binding plane's property list.
+//
+// Fast-path layout: keys are interned Symbols (one hash per distinct
+// spelling, integer compares afterwards) held in a flat small-vector
+// apart from the values, and the four scalar types every descriptor declares
+// (string / int / double / bool) live inline in a variant. Only opaque
+// native handles (e.g. android::Context*) take the std::any fallback
+// lane, so the common setProperty/getProperty round trip never touches
+// the heap once a slot exists.
 #pragma once
 
+#include <algorithm>
 #include <any>
-#include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
 #include <vector>
+
+#include "support/interner.h"
+#include "support/small_vector.h"
 
 namespace mobivine::core {
 
-/// A property bag with typed accessors. Values are std::any so bindings can
-/// accept opaque native handles (e.g. android::Context*) alongside scalars.
+/// A value on its way into a PropertyBag: scalars ride the inline variant
+/// lanes, anything else is boxed into std::any. Implicit construction
+/// keeps the classic `setProperty("name", value)` call shape working for
+/// strings, integers, doubles, bools, and arbitrary handle types alike.
+class PropertyValue {
+ public:
+  using Stored = std::variant<std::string, long long, double, bool, std::any>;
+
+  /// One dispatching constructor rather than an overload set: overload
+  /// resolution would happily send a raw pointer down a bool conversion
+  /// or make `setProperty(name, 5)` ambiguous. Dispatching on the exact
+  /// decayed type keeps the rule simple — string-ish / long long /
+  /// double / bool ride the inline lanes, everything else (int kept as
+  /// int, native handles, float, ...) boxes into std::any so Get<T>
+  /// sees the exact caller type, as it did with the std::map<any> bag.
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<T>, PropertyValue>>>
+  PropertyValue(T&& value)  // NOLINT(google-explicit-constructor)
+      : stored_(Box(std::forward<T>(value))) {}
+
+  [[nodiscard]] const std::string* AsString() const {
+    return std::get_if<std::string>(&stored_);
+  }
+  [[nodiscard]] const long long* AsInt() const {
+    return std::get_if<long long>(&stored_);
+  }
+  [[nodiscard]] const std::any* AsAny() const {
+    return std::get_if<std::any>(&stored_);
+  }
+
+  Stored& stored() { return stored_; }
+  const Stored& stored() const { return stored_; }
+
+ private:
+  template <typename T>
+  static Stored Box(T&& value) {
+    using D = std::decay_t<T>;
+    if constexpr (std::is_same_v<D, std::string>) {
+      return Stored(std::in_place_type<std::string>, std::forward<T>(value));
+    } else if constexpr (std::is_same_v<D, const char*> ||
+                         std::is_same_v<D, char*> ||
+                         std::is_same_v<D, std::string_view>) {
+      return Stored(std::in_place_type<std::string>, value);
+    } else if constexpr (std::is_same_v<D, long long>) {
+      return Stored(std::in_place_type<long long>, value);
+    } else if constexpr (std::is_same_v<D, double>) {
+      return Stored(std::in_place_type<double>, value);
+    } else if constexpr (std::is_same_v<D, bool>) {
+      return Stored(std::in_place_type<bool>, value);
+    } else if constexpr (std::is_same_v<D, std::any>) {
+      // Unwrap so Set(name, std::any(42LL)) and Set(name, 42LL) store —
+      // and Get — identically.
+      return Unbox(std::forward<T>(value));
+    } else {
+      return Stored(std::in_place_type<std::any>,
+                    std::in_place_type<D>, std::forward<T>(value));
+    }
+  }
+
+  static Stored Unbox(std::any value) {
+    if (auto* s = std::any_cast<std::string>(&value)) return std::move(*s);
+    if (auto* i = std::any_cast<long long>(&value)) return *i;
+    if (auto* d = std::any_cast<double>(&value)) return *d;
+    if (auto* b = std::any_cast<bool>(&value)) return *b;
+    return Stored(std::in_place_type<std::any>, std::move(value));
+  }
+
+  Stored stored_;
+};
+
+/// A property bag with typed accessors, keyed by interned symbols from
+/// the global Interner.
 class PropertyBag {
  public:
-  void Set(const std::string& name, std::any value) {
-    values_[name] = std::move(value);
+  void Set(const std::string& name, PropertyValue value) {
+    Set(support::Interner::Global().Intern(name), std::move(value));
+  }
+
+  /// Symbol fast path: no hashing (MProxy resolves spec symbols once at
+  /// construction and reuses them every call).
+  void Set(support::Symbol key, PropertyValue value) {
+    const std::size_t at = FindSlot(key);
+    if (at != kNoSlot) {
+      values_[at] = std::move(value.stored());
+      return;
+    }
+    keys_.push_back(key);
+    values_.push_back(std::move(value.stored()));
   }
 
   [[nodiscard]] bool Has(const std::string& name) const {
-    return values_.count(name) > 0;
+    return FindSlot(support::Interner::Global().Lookup(name)) != kNoSlot;
+  }
+  [[nodiscard]] bool Has(support::Symbol key) const {
+    return FindSlot(key) != kNoSlot;
   }
 
   /// Typed get; nullopt when missing or of a different type.
   template <typename T>
   [[nodiscard]] std::optional<T> Get(const std::string& name) const {
-    auto it = values_.find(name);
-    if (it == values_.end()) return std::nullopt;
-    if (const T* value = std::any_cast<T>(&it->second)) return *value;
+    return Get<T>(support::Interner::Global().Lookup(name));
+  }
+
+  template <typename T>
+  [[nodiscard]] std::optional<T> Get(support::Symbol key) const {
+    const std::size_t at = FindSlot(key);
+    if (at == kNoSlot) return std::nullopt;
+    const PropertyValue::Stored& stored = values_[at];
+    if constexpr (std::is_same_v<T, std::string> ||
+                  std::is_same_v<T, long long> ||
+                  std::is_same_v<T, double> || std::is_same_v<T, bool>) {
+      if (const T* value = std::get_if<T>(&stored)) return *value;
+    } else {
+      if (const auto* box = std::get_if<std::any>(&stored)) {
+        if (const T* value = std::any_cast<T>(box)) return *value;
+      }
+    }
     return std::nullopt;
   }
 
   template <typename T>
   [[nodiscard]] T GetOr(const std::string& name, T fallback) const {
     auto value = Get<T>(name);
-    return value ? *value : fallback;
+    return value ? *value : std::move(fallback);
   }
 
+  template <typename T>
+  [[nodiscard]] T GetOr(support::Symbol key, T fallback) const {
+    auto value = Get<T>(key);
+    return value ? *value : std::move(fallback);
+  }
+
+  /// Property names, sorted alphabetically (historic std::map order).
   [[nodiscard]] std::vector<std::string> Names() const {
     std::vector<std::string> out;
-    out.reserve(values_.size());
-    for (const auto& [name, _] : values_) out.push_back(name);
+    out.reserve(keys_.size());
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      out.push_back(support::Interner::Global().NameOf(keys_[i]));
+    }
+    std::sort(out.begin(), out.end());
     return out;
   }
 
-  std::size_t size() const { return values_.size(); }
+  std::size_t size() const { return keys_.size(); }
 
  private:
-  std::map<std::string, std::any> values_;
+  static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+  /// Keys live apart from the fat variant values so the common scan
+  /// (a handful of 4-byte symbol ids) touches a single cache line.
+  [[nodiscard]] std::size_t FindSlot(support::Symbol key) const {
+    if (!key.valid()) return kNoSlot;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == key) return i;
+    }
+    return kNoSlot;
+  }
+
+  support::SmallVector<support::Symbol, 8> keys_;  // slot-parallel
+  support::SmallVector<PropertyValue::Stored, 4> values_;
 };
 
 }  // namespace mobivine::core

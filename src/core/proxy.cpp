@@ -1,78 +1,113 @@
 #include "core/proxy.h"
 
-#include <algorithm>
+#include <any>
+#include <charconv>
+#include <string_view>
 
+#include "support/fingerprint.h"
 #include "support/strings.h"
 
 namespace mobivine::core {
 
-void MProxy::ApplyDefaults() {
+void MProxy::BuildSpecTable() {
+  spec_keys_.clear();
   for (const PropertySpec& spec : binding_->properties) {
+    spec_keys_.push_back(support::Interner::Global().Intern(spec.name));
+  }
+}
+
+void MProxy::ApplyDefaults() {
+  for (std::size_t slot = 0; slot < binding_->properties.size(); ++slot) {
+    const PropertySpec& spec = binding_->properties[slot];
     if (spec.default_value.empty()) continue;
+    const support::Symbol key = spec_keys_[slot];
     if (spec.type == "int") {
       long long value = 0;
       if (support::ParseInt(spec.default_value, value)) {
-        properties_.Set(spec.name, value);
+        properties_.Set(key, value);
       }
     } else if (spec.type == "double") {
       double value = 0;
       if (support::ParseDouble(spec.default_value, value)) {
-        properties_.Set(spec.name, value);
+        properties_.Set(key, value);
       }
     } else if (spec.type == "bool") {
       bool value = false;
       if (support::ParseBool(spec.default_value, value)) {
-        properties_.Set(spec.name, value);
+        properties_.Set(key, value);
       }
     } else {  // string (handles have no defaults)
-      properties_.Set(spec.name, std::string(spec.default_value));
+      properties_.Set(key, std::string(spec.default_value));
     }
   }
 }
 
-void MProxy::setProperty(const std::string& name, std::any value) {
+void MProxy::setProperty(const std::string& name, PropertyValue value) {
   meter_.Charge(Op::kPropertySet);
-  if (binding_ != nullptr) {
-    const PropertySpec* spec = binding_->FindProperty(name);
-    if (spec == nullptr) {
-      throw ProxyError(ErrorCode::kIllegalArgument,
-                       "property '" + name + "' is not declared for " +
-                           binding_->proxy + " on " + binding_->platform);
-    }
-    meter_.Charge(Op::kValidation);
-    if (!spec->allowed_values.empty()) {
-      // Allowed-value checks apply to the scalar property types.
-      std::string as_string;
-      bool comparable = false;
-      if (const std::string* s = std::any_cast<std::string>(&value)) {
-        as_string = *s;
-        comparable = true;
-      } else if (const long long* i = std::any_cast<long long>(&value)) {
-        as_string = std::to_string(*i);
-        comparable = true;
-      } else if (const int* i = std::any_cast<int>(&value)) {
-        as_string = std::to_string(*i);
+  if (binding_ == nullptr) {
+    properties_.Set(name, std::move(value));
+    return;
+  }
+  // One fingerprint probe resolves the spec; its slot also indexes the
+  // interned bag key resolved at construction time.
+  const PropertySpec* spec = binding_->FindProperty(name);
+  if (spec == nullptr) {
+    throw ProxyError(ErrorCode::kIllegalArgument,
+                     "property '" + name + "' is not declared for " +
+                         binding_->proxy + " on " + binding_->platform);
+  }
+  const support::Symbol key =
+      spec_keys_[static_cast<std::size_t>(spec - binding_->properties.data())];
+  meter_.Charge(Op::kValidation);
+  if (!spec->allowed_values.empty()) {
+    // Allowed-value checks apply to the scalar property types. The
+    // comparison works on views into the incoming value (ints rendered
+    // into a stack buffer) — no temporary strings on the hot path.
+    char digits[24];
+    std::string_view as_view;
+    bool comparable = false;
+    if (const std::string* s = value.AsString()) {
+      as_view = *s;
+      comparable = true;
+    } else if (const long long* i = value.AsInt()) {
+      const auto result = std::to_chars(digits, digits + sizeof(digits), *i);
+      as_view = std::string_view(
+          digits, static_cast<std::size_t>(result.ptr - digits));
+      comparable = true;
+    } else if (const std::any* box = value.AsAny()) {
+      // Legacy callers may pass a plain int; it rides the any lane.
+      if (const int* boxed = std::any_cast<int>(box)) {
+        const auto result =
+            std::to_chars(digits, digits + sizeof(digits), *boxed);
+        as_view = std::string_view(
+            digits, static_cast<std::size_t>(result.ptr - digits));
         comparable = true;
       }
-      if (comparable) {
-        const bool allowed =
-            std::find(spec->allowed_values.begin(), spec->allowed_values.end(),
-                      as_string) != spec->allowed_values.end();
-        if (!allowed) {
-          throw ProxyError(ErrorCode::kIllegalArgument,
-                           "property '" + name + "' value '" + as_string +
-                               "' is not allowed on " + binding_->platform);
+    }
+    if (comparable) {
+      bool allowed = false;
+      for (const std::string& candidate : spec->allowed_values) {
+        if (support::FingerprintEquals(candidate, as_view)) {
+          allowed = true;
+          break;
         }
+      }
+      if (!allowed) {
+        throw ProxyError(ErrorCode::kIllegalArgument,
+                         "property '" + name + "' value '" +
+                             std::string(as_view) + "' is not allowed on " +
+                             binding_->platform);
       }
     }
   }
-  properties_.Set(name, std::move(value));
+  properties_.Set(key, std::move(value));
 }
 
 void MProxy::RequireProperties() const {
   if (binding_ == nullptr) return;
-  for (const PropertySpec& spec : binding_->properties) {
-    if (spec.required && !properties_.Has(spec.name)) {
+  for (std::size_t slot = 0; slot < binding_->properties.size(); ++slot) {
+    const PropertySpec& spec = binding_->properties[slot];
+    if (spec.required && !properties_.Has(spec_keys_[slot])) {
       throw ProxyError(ErrorCode::kIllegalArgument,
                        "required property '" + spec.name + "' not set for " +
                            binding_->proxy + " on " + binding_->platform);

@@ -4,9 +4,14 @@
 // validates property names/values against the binding plane's property
 // list, applies descriptor defaults, and carries the OverheadMeter that
 // accounts for every de-fragmentation operation the binding performs.
+//
+// Fast path: the binding plane's PropertySpecs are resolved to interned
+// Symbols once at construction, keyed by the plane's own property
+// NameIndex, so each setProperty() call is a single fingerprint probe
+// that yields both the spec and its bag key — no per-call string
+// hashing, interning, or std::any boxing.
 #pragma once
 
-#include <any>
 #include <memory>
 #include <string>
 
@@ -14,6 +19,8 @@
 #include "core/errors.h"
 #include "core/meter.h"
 #include "core/property.h"
+#include "support/interner.h"
+#include "support/small_vector.h"
 
 namespace mobivine::core {
 
@@ -21,7 +28,10 @@ class MProxy {
  public:
   MProxy(sim::Scheduler& scheduler, const BindingPlane* binding)
       : meter_(scheduler), binding_(binding) {
-    if (binding_ != nullptr) ApplyDefaults();
+    if (binding_ != nullptr) {
+      BuildSpecTable();
+      ApplyDefaults();
+    }
   }
   virtual ~MProxy() = default;
 
@@ -32,7 +42,7 @@ class MProxy {
   /// attached, unknown property names and disallowed string values are
   /// rejected with ProxyError(kIllegalArgument). Virtual so enrichment
   /// decorators can forward properties to the wrapped binding.
-  virtual void setProperty(const std::string& name, std::any value);
+  virtual void setProperty(const std::string& name, PropertyValue value);
 
   template <typename T>
   [[nodiscard]] std::optional<T> getProperty(const std::string& name) const {
@@ -58,10 +68,14 @@ class MProxy {
   PropertyBag properties_;
 
  private:
+  void BuildSpecTable();
   void ApplyDefaults();
 
   OverheadMeter meter_;
   const BindingPlane* binding_;
+  /// Global-interner symbol of binding_->properties[i], same order; the
+  /// plane's property NameIndex slot doubles as the index here.
+  support::SmallVector<support::Symbol, 8> spec_keys_;
 };
 
 }  // namespace mobivine::core

@@ -4,15 +4,22 @@
 // application callback runs on the scheduler's virtual timeline, so runs
 // are reproducible bit-for-bit given the same seed. Events scheduled for
 // the same instant fire in scheduling order (stable FIFO).
+//
+// Hot-path layout: callbacks live in a slab of reusable slots with
+// inline callable storage (no per-event heap allocation for typical
+// capture lists), the priority queue holds trivially copyable
+// {time, sequence, slot} records, and cancellation flips a tombstone flag
+// on the slot — popping an event is an array load, not a hash lookup.
+// EventIds encode {generation, slot} so stale ids from fired or cancelled
+// events are rejected without any bookkeeping set.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/clock.h"
+#include "support/inline_function.h"
 
 namespace mobivine::sim {
 
@@ -21,6 +28,10 @@ using EventId = std::uint64_t;
 
 class Scheduler {
  public:
+  /// Event callback with inline storage for the capture lists the
+  /// substrates use; larger closures spill to the heap transparently.
+  using Callback = support::InlineFunction<void(), 48>;
+
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -29,10 +40,10 @@ class Scheduler {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` at absolute virtual time `when` (clamped to >= now).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, Callback fn);
 
   /// Schedule `fn` after a virtual delay.
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+  EventId ScheduleAfter(SimTime delay, Callback fn);
 
   /// Cancel a pending event. Returns false if it already fired, was
   /// cancelled, or never existed.
@@ -56,30 +67,40 @@ class Scheduler {
   /// Run events for a further `duration` of virtual time.
   std::size_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
 
-  std::size_t pending_count() const { return pending_ids_.size(); }
+  std::size_t pending_count() const { return pending_count_; }
 
  private:
-  struct Event {
+  /// Callback slab entry. `generation` advances every time the slot is
+  /// released, so EventIds referring to a previous occupancy fail the
+  /// generation check in Cancel().
+  struct Slot {
+    Callback fn;
+    std::uint32_t generation = 1;
+    bool active = false;     ///< slot currently owns a queued event
+    bool cancelled = false;  ///< tombstone: skip and release when popped
+  };
+  struct QueuedEvent {
     SimTime when;
     std::uint64_t sequence;
-    EventId id;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.sequence > b.sequence;
     }
   };
 
+  std::uint32_t AcquireSlot();
+  void ReleaseSlot(std::uint32_t index);
   bool PopAndRunFront();
 
   SimTime now_ = SimTime::Zero();
   std::uint64_t next_sequence_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> pending_ids_;  ///< scheduled, not yet fired
-  std::unordered_set<EventId> tombstones_;   ///< cancelled, still queued
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t pending_count_ = 0;  ///< scheduled, not yet fired/cancelled
 };
 
 }  // namespace mobivine::sim

@@ -1,0 +1,89 @@
+// Branch-light 64-bit fingerprints over short identifier strings.
+//
+// Both lookup structures on the invocation fast path (NameIndex,
+// Interner) key their probe tables on fixed-size overlapping loads
+// instead of byte-wise hashing: a variable-length memcpy or memcmp is a
+// libc call, which costs more than the two or three mov instructions
+// these compile to.
+//
+//  * FingerprintHead — first four | last four bytes. Together with the
+//    length this is injective for names of <= 8 characters (the two
+//    windows cover every byte). For longer names the tail window reads
+//    the LAST four characters, which is where identifiers sharing a
+//    prefix ("getLocationUpdates" / "...V2") differ.
+//  * FingerprintMid — an 8-byte window over the middle. Together with
+//    head + length this is injective for names of <= 16 characters;
+//    zero for <= 8 (the head already covers them).
+//  * FingerprintThird — a further 8-byte window; head + mid + third +
+//    length is injective for names of <= 24 characters, which covers
+//    every identifier the descriptor set declares.
+//
+// Equality of (head, mid, third, length) therefore IS string equality
+// up to 24 characters — longer names need one byte-wise verification on
+// a fingerprint hit.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace mobivine::support {
+
+[[nodiscard]] inline std::uint64_t FingerprintHead(std::string_view name) {
+  const std::size_t n = name.size();
+  const char* p = name.data();
+  if (n >= 4) {
+    std::uint32_t head;
+    std::uint32_t tail;
+    std::memcpy(&head, p, 4);
+    std::memcpy(&tail, p + n - 4, 4);
+    return head | (static_cast<std::uint64_t>(tail) << 32);
+  }
+  if (n == 0) return 0;
+  // 1..3 chars: spread the bytes positionally (0, n/2, n-1 cover all).
+  return static_cast<std::uint8_t>(p[0]) |
+         (static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[n >> 1]))
+          << 8) |
+         (static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[n - 1]))
+          << 16);
+}
+
+[[nodiscard]] inline std::uint64_t FingerprintMid(std::string_view name) {
+  const std::size_t n = name.size();
+  if (n <= 8) return 0;
+  // Window start: n-8 while that is < 4, else 4. Stays in bounds and,
+  // with the head windows, covers every byte of names up to 16 chars.
+  const std::size_t start = n < 12 ? n - 8 : 4;
+  std::uint64_t mid;
+  std::memcpy(&mid, name.data() + start, 8);
+  return mid;
+}
+
+[[nodiscard]] inline std::uint64_t FingerprintThird(std::string_view name) {
+  const std::size_t n = name.size();
+  if (n <= 16) return 0;
+  // Window start: n-8 while that is < 12, else 12. In bounds for n > 16
+  // and, with the head and mid windows, covers names up to 24 chars.
+  const std::size_t start = n < 20 ? n - 8 : 12;
+  std::uint64_t third;
+  std::memcpy(&third, name.data() + start, 8);
+  return third;
+}
+
+/// String equality through the fingerprint windows: strings of <= 24
+/// characters never reach a byte-wise memcmp; longer ones verify with
+/// one compare after all three windows match. For the short constrained
+/// vocabularies on the fast path (allowed property values, platform
+/// ids) this replaces a libc call per candidate with fixed loads.
+[[nodiscard]] inline bool FingerprintEquals(std::string_view a,
+                                            std::string_view b) {
+  if (a.size() != b.size()) return false;
+  if (FingerprintHead(a) != FingerprintHead(b)) return false;
+  if (a.size() <= 8) return true;
+  if (FingerprintMid(a) != FingerprintMid(b)) return false;
+  if (a.size() <= 16) return true;
+  if (FingerprintThird(a) != FingerprintThird(b)) return false;
+  return a.size() <= 24 || a == b;
+}
+
+}  // namespace mobivine::support

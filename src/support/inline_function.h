@@ -1,0 +1,136 @@
+// A move-only callable with inline storage.
+//
+// std::function's type-erasure buffer is too small for the capture lists
+// the simulator's event callbacks carry ([this, alive, listener, ...]),
+// so the original scheduler paid a heap allocation per scheduled event.
+// InlineFunction<Sig, N> stores any callable of up to N bytes in place
+// and only falls back to the heap beyond that. Move-only by design:
+// callbacks own their captures, and the scheduler moves them from slot to
+// slot without cloning.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mobivine::support {
+
+template <typename Signature, std::size_t InlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (FitsInline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::table;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::table;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* from, void* to);  // move-construct + destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool FitsInline() {
+    return sizeof(Fn) <= InlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  struct InlineOps {
+    static R Invoke(void* storage, Args&&... args) {
+      return (*std::launder(reinterpret_cast<Fn*>(storage)))(
+          std::forward<Args>(args)...);
+    }
+    static void Relocate(void* from, void* to) {
+      Fn* source = std::launder(reinterpret_cast<Fn*>(from));
+      ::new (to) Fn(std::move(*source));
+      source->~Fn();
+    }
+    static void Destroy(void* storage) {
+      std::launder(reinterpret_cast<Fn*>(storage))->~Fn();
+    }
+    static constexpr Ops table{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Held(void* storage) {
+      return *std::launder(reinterpret_cast<Fn**>(storage));
+    }
+    static R Invoke(void* storage, Args&&... args) {
+      return (*Held(storage))(std::forward<Args>(args)...);
+    }
+    static void Relocate(void* from, void* to) {
+      ::new (to) Fn*(Held(from));  // pointer moves; the heap object stays
+    }
+    static void Destroy(void* storage) { delete Held(storage); }
+    static constexpr Ops table{&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(InlineFunction& other) {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mobivine::support

@@ -1,0 +1,38 @@
+#include "support/interner.h"
+
+namespace mobivine::support {
+
+Symbol Interner::InternSlow(std::string_view text) {
+  if ((names_.size() + 1) * 4 > table_.size() * 3) Grow();
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(text);
+  Slot& slot = table_[ProbeFor(text)];
+  slot.head = FingerprintHead(text);
+  slot.mid = FingerprintMid(text);
+  slot.third = FingerprintThird(text);
+  slot.id = id;
+  slot.size = static_cast<std::uint32_t>(text.size());
+  return Symbol(id);
+}
+
+void Interner::Grow() {
+  table_.assign(table_.size() * 2, Slot{});
+  mask_ = table_.size() - 1;
+  --shift_;
+  for (std::uint32_t id = 0; id < names_.size(); ++id) {
+    const std::string& name = names_[id];
+    Slot& slot = table_[ProbeFor(name)];
+    slot.head = FingerprintHead(name);
+    slot.mid = FingerprintMid(name);
+    slot.third = FingerprintThird(name);
+    slot.id = id;
+    slot.size = static_cast<std::uint32_t>(name.size());
+  }
+}
+
+Interner& Interner::Global() {
+  static Interner interner;
+  return interner;
+}
+
+}  // namespace mobivine::support

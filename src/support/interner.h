@@ -1,0 +1,190 @@
+// String interning for the invocation fast path.
+//
+// Every name that crosses the middleware per call — property names,
+// method names, platform ids — is a short string that is compared and
+// hashed over and over in the original design. An Interner assigns each
+// distinct string a stable, dense 32-bit Symbol id: the string is hashed
+// once at intern time, and from then on equality is a single integer
+// compare and a symbol can index a flat array directly.
+//
+// Two usage patterns, both on the Figure 10 hot path:
+//  * Interner::Global() — process-wide namespace for property names
+//    (PropertyBag keys, MProxy validation tables).
+//  * per-store instances — DescriptorStore owns one whose dense ids index
+//    its descriptor array, making Find() a hash + array load.
+//
+// Thread-safety: the interner is single-writer like the rest of the
+// simulator (the Scheduler is single-threaded by design). It is
+// thread-safe-READY: ids are stable, NameOf references are never
+// invalidated by later interns (deque storage), and Intern/Lookup are the
+// only mutating/reading entry points — wrapping them in a shared_mutex is
+// a local change when a multi-threaded host arrives.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/fingerprint.h"
+
+namespace mobivine::support {
+
+/// A stable interned-string id. Default-constructed symbols are invalid;
+/// valid ids are dense (0, 1, 2, ...) in intern order within an Interner.
+class Symbol {
+ public:
+  static constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(std::uint32_t id) : id_(id) {}
+
+  [[nodiscard]] constexpr std::uint32_t id() const { return id_; }
+  [[nodiscard]] constexpr bool valid() const { return id_ != kInvalidId; }
+  constexpr explicit operator bool() const { return valid(); }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) {
+    return a.id_ == b.id_;
+  }
+  friend constexpr bool operator!=(Symbol a, Symbol b) {
+    return a.id_ != b.id_;
+  }
+  friend constexpr bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  std::uint32_t id_ = kInvalidId;
+};
+
+/// Fast 64-bit hash tuned for the short identifiers descriptors use.
+/// Names of <= 8 chars — the common case — take one mix round over a
+/// fingerprint built from two overlapping fixed-size loads (no
+/// variable-length memcpy call); longer names mix 8-byte chunks with an
+/// overlapping final load. Inline — it sits under every interner probe
+/// on the invocation fast path.
+[[nodiscard]] inline std::uint64_t HashName(std::string_view s) {
+  constexpr std::uint64_t kMul = 0x9ddfea08eb382d69ull;
+  const std::size_t n = s.size();
+  const char* p = s.data();
+  std::uint64_t h = 0x2545f4914f6cdd1dull ^ (n * kMul);
+  if (n <= 8) {
+    std::uint64_t packed = 0;
+    if (n >= 4) {
+      std::uint32_t head;
+      std::uint32_t tail;
+      std::memcpy(&head, p, 4);
+      std::memcpy(&tail, p + n - 4, 4);
+      packed = head | (static_cast<std::uint64_t>(tail) << 32);
+    } else if (n > 0) {
+      packed =
+          static_cast<std::uint8_t>(p[0]) |
+          (static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[n >> 1]))
+           << 8) |
+          (static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[n - 1]))
+           << 16);
+    }
+    h = (h ^ packed) * kMul;
+    h ^= h >> 29;
+    return h * kMul;
+  }
+  std::size_t remaining = n;
+  while (remaining >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    h = (h ^ chunk) * kMul;
+    h ^= h >> 29;
+    p += 8;
+    remaining -= 8;
+  }
+  if (remaining > 0) {
+    std::uint64_t tail;  // overlapping 8-byte load of the final bytes
+    std::memcpy(&tail, s.data() + n - 8, 8);
+    h = (h ^ tail) * kMul;
+    h ^= h >> 29;
+  }
+  return h * kMul;
+}
+
+class Interner {
+ public:
+  Interner() : table_(kInitialSlots), mask_(kInitialSlots - 1), shift_(60) {}
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+  Interner(Interner&&) = default;
+  Interner& operator=(Interner&&) = default;
+
+  /// Find-or-insert. Ids are dense and assigned in first-intern order.
+  /// The hit path (every call after the first for a given spelling) is
+  /// inline; inserts take the out-of-line slow path.
+  Symbol Intern(std::string_view text) {
+    const Slot& slot = table_[ProbeFor(text)];
+    if (slot.id != Symbol::kInvalidId) return Symbol(slot.id);
+    return InternSlow(text);
+  }
+
+  /// Find only; invalid Symbol when the string was never interned.
+  /// Inline: this is the per-call probe on the setProperty/Find path.
+  [[nodiscard]] Symbol Lookup(std::string_view text) const {
+    return Symbol(table_[ProbeFor(text)].id);
+  }
+
+  /// The interned spelling. References stay valid for the interner's
+  /// lifetime (storage never moves). Precondition: symbol came from here.
+  [[nodiscard]] const std::string& NameOf(Symbol symbol) const {
+    return names_[symbol.id()];
+  }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  /// Process-wide namespace (property and method names).
+  static Interner& Global();
+
+ private:
+  // Open-addressing table, power-of-two sized, Fibonacci-hash indexed,
+  // linear probing, keyed on the fingerprints of support/fingerprint.h.
+  // std::unordered_map pays an integer division (modulo by a prime
+  // bucket count) plus a byte-wise hash and compare on every probe; a
+  // fingerprint key keeps the per-call hit path to three fixed-size
+  // loads, a multiply, and one slot compare — names of <= 16 chars
+  // never touch their string bytes again after interning.
+  /// 32-byte alignment keeps a slot from straddling a cache line.
+  struct alignas(32) Slot {
+    std::uint64_t head = 0;
+    std::uint64_t mid = 0;
+    std::uint64_t third = 0;
+    std::uint32_t id = Symbol::kInvalidId;  // kInvalidId marks empty
+    std::uint32_t size = 0;
+  };
+  static constexpr std::size_t kInitialSlots = 16;
+
+  /// Position whose slot either holds `text` or is empty.
+  [[nodiscard]] std::size_t ProbeFor(std::string_view text) const {
+    const std::uint64_t head = FingerprintHead(text);
+    const std::uint64_t mid = FingerprintMid(text);
+    const std::uint64_t third = FingerprintThird(text);
+    const auto n = static_cast<std::uint32_t>(text.size());
+    std::size_t at = static_cast<std::size_t>(
+        ((head ^ (mid + third) ^ n) * 0x9E3779B97F4A7C15ull) >> shift_);
+    while (true) {
+      const Slot& slot = table_[at];
+      if (slot.id == Symbol::kInvalidId ||
+          (((slot.head ^ head) | (slot.mid ^ mid) | (slot.third ^ third)) ==
+               0 &&
+           slot.size == n && (n <= 24 || names_[slot.id] == text))) {
+        return at;
+      }
+      at = (at + 1) & mask_;
+    }
+  }
+
+  Symbol InternSlow(std::string_view text);
+  void Grow();
+
+  std::vector<Slot> table_;
+  std::size_t mask_;
+  int shift_;                      // 64 - log2(table_.size())
+  std::deque<std::string> names_;  // id -> spelling; addresses stable
+};
+
+}  // namespace mobivine::support

@@ -1,0 +1,146 @@
+// Immutable name -> slot index for the small per-plane descriptor tables.
+//
+// Descriptor planes hold a handful of entries (methods, properties,
+// bindings), so a node-based map is overkill and even a short linear
+// string scan costs a libc memcmp call per candidate. A NameIndex keys
+// a small power-of-two open-addressing table on the three fingerprints
+// of support/fingerprint.h plus the length: for names of <= 24
+// characters a cell compare IS string equality and a lookup never
+// touches the string bytes at all; longer names verify with one compare
+// on a fingerprint hit. Tables of up to 16 cells — every plane in the
+// descriptor set — live inline in the object, so a probe costs no heap
+// pointer chase.
+//
+// Built once at DescriptorStore::Finalize(); the source tables must not
+// change afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/fingerprint.h"
+
+namespace mobivine::support {
+
+class NameIndex {
+ public:
+  static constexpr std::uint32_t npos = 0xffffffffu;
+
+  /// Append `name` as the next slot (0, 1, 2, ...).
+  void Add(std::string_view name) {
+    names_.emplace_back(name);
+    frozen_ = false;
+  }
+
+  /// Build the probe table; required before Lookup. Duplicate names keep
+  /// the lowest slot (matching a linear first-match scan).
+  void Freeze() {
+    std::size_t size = kInlineCells;
+    while (size * 3 < names_.size() * 4) size *= 2;
+    if (size > kInlineCells) {
+      spill_.assign(size, Cell{});
+    } else {
+      spill_.clear();
+      for (Cell& cell : inline_) cell = Cell{};
+    }
+    Cell* cells = size > kInlineCells ? spill_.data() : inline_;
+    mask_ = size - 1;
+    shift_ = 64;
+    for (std::size_t s = size; s > 1; s >>= 1) --shift_;
+    for (std::uint32_t slot = 0; slot < names_.size(); ++slot) {
+      const std::string& name = names_[slot];
+      const Cell cell = CellFor(name, slot);
+      std::size_t at = Home(cell);
+      bool duplicate = false;
+      while (SlotOf(cells[at]) != npos) {
+        if (SameKey(cells[at], cell) &&
+            (name.size() <= 24 || names_[SlotOf(cells[at])] == name)) {
+          duplicate = true;  // first occurrence (lowest slot) wins
+          break;
+        }
+        at = (at + 1) & mask_;
+      }
+      if (!duplicate) cells[at] = cell;
+    }
+    frozen_ = true;
+  }
+
+  void Clear() {
+    names_.clear();
+    spill_.clear();
+    frozen_ = false;
+  }
+
+  /// True once Freeze() has run (callers fall back to a linear scan
+  /// until then).
+  [[nodiscard]] bool built() const { return frozen_; }
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  /// Slot of `name`, or npos.
+  [[nodiscard]] std::uint32_t Lookup(std::string_view name) const {
+    const Cell probe = CellFor(name, 0);
+    const Cell* cells = spill_.empty() ? inline_ : spill_.data();
+    std::size_t at = Home(probe);
+    while (true) {
+      const Cell& cell = cells[at];
+      const std::uint32_t slot = SlotOf(cell);
+      if (SameKey(cell, probe)) {
+        if (slot == npos) return npos;  // empty cell (all-zero key)
+        // <= 24 chars: the fingerprints cover every byte. Longer: verify.
+        if (name.size() <= 24 || names_[slot] == name) return slot;
+      } else if (slot == npos) {
+        return npos;
+      }
+      at = (at + 1) & mask_;
+    }
+  }
+
+ private:
+  /// meta packs (length << 32) | slot so a whole key compares with four
+  /// 64-bit XORs; an empty cell is all-zero except the npos slot bits.
+  /// 32-byte alignment keeps a cell from straddling a cache line.
+  struct alignas(32) Cell {
+    std::uint64_t head = 0;
+    std::uint64_t mid = 0;
+    std::uint64_t third = 0;
+    std::uint64_t meta = npos;
+  };
+  static constexpr std::size_t kInlineCells = 16;
+
+  [[nodiscard]] static Cell CellFor(std::string_view name,
+                                    std::uint32_t slot) {
+    return Cell{FingerprintHead(name), FingerprintMid(name),
+                FingerprintThird(name),
+                (static_cast<std::uint64_t>(name.size()) << 32) | slot};
+  }
+
+  [[nodiscard]] static std::uint32_t SlotOf(const Cell& cell) {
+    return static_cast<std::uint32_t>(cell.meta);
+  }
+
+  /// Branchless key compare: lengths and all three fingerprints.
+  [[nodiscard]] static bool SameKey(const Cell& a, const Cell& b) {
+    return ((a.head ^ b.head) | (a.mid ^ b.mid) | (a.third ^ b.third) |
+            ((a.meta ^ b.meta) >> 32)) == 0;
+  }
+
+  /// Fibonacci hashing: one multiply spreads the key across the
+  /// power-of-two table.
+  [[nodiscard]] std::size_t Home(const Cell& cell) const {
+    return static_cast<std::size_t>(
+        ((cell.head ^ (cell.mid + cell.third) ^ (cell.meta >> 32)) *
+         0x9E3779B97F4A7C15ull) >>
+        shift_);
+  }
+
+  std::vector<std::string> names_;  // slot -> spelling
+  Cell inline_[kInlineCells];       // used when the table fits
+  std::vector<Cell> spill_;         // used when it does not
+  std::size_t mask_ = kInlineCells - 1;
+  int shift_ = 60;
+  bool frozen_ = false;
+};
+
+}  // namespace mobivine::support

@@ -1,0 +1,153 @@
+// A vector with inline storage for the first N elements.
+//
+// The property bags and per-proxy validation tables on the invocation
+// fast path hold a handful of entries; keeping them inline avoids a heap
+// allocation per proxy and keeps lookups on one cache line. Spills to the
+// heap transparently past N. Deliberately minimal: the subset of the
+// std::vector interface the middleware uses, nothing more.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace mobivine::support {
+
+template <typename T, std::size_t N>
+class SmallVector {
+ public:
+  SmallVector() = default;
+
+  SmallVector(const SmallVector& other) { AppendAll(other); }
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      AppendAll(other);
+    }
+    return *this;
+  }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      Deallocate();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { Deallocate(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(std::size_t wanted) {
+    if (wanted > capacity_) Grow(wanted);
+  }
+
+  void push_back(T value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  /// Insert before `pos` (end() appends). Returns the new element.
+  T* insert(T* pos, T value) {
+    const std::size_t index = static_cast<std::size_t>(pos - data_);
+    emplace_back(std::move(value));  // may reallocate; re-derive pos
+    T* target = data_ + index;
+    for (T* it = data_ + size_ - 1; it != target; --it) {
+      std::swap(*(it - 1), *it);
+    }
+    return target;
+  }
+
+  void erase(T* pos) {
+    for (T* it = pos; it + 1 != end(); ++it) *it = std::move(*(it + 1));
+    data_[--size_].~T();
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] bool IsInline() const {
+    return data_ == reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void Grow(std::size_t wanted) {
+    const std::size_t new_capacity = wanted > N ? wanted : N;
+    T* fresh = static_cast<T*>(
+        ::operator new(new_capacity * sizeof(T), std::align_val_t(alignof(T))));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!IsInline()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void Deallocate() {
+    clear();
+    if (!IsInline()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+      data_ = reinterpret_cast<T*>(inline_storage_);
+      capacity_ = N;
+    }
+  }
+
+  void AppendAll(const SmallVector& other) {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) emplace_back(other.data_[i]);
+  }
+
+  /// Precondition: *this holds no elements (fresh or just deallocated).
+  void MoveFrom(SmallVector&& other) {
+    if (other.IsInline()) {
+      reserve(other.size_);
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        emplace_back(std::move(other.data_[i]));
+      }
+      other.clear();
+    } else {  // steal the heap buffer
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = reinterpret_cast<T*>(other.inline_storage_);
+      other.size_ = 0;
+      other.capacity_ = N;
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = reinterpret_cast<T*>(inline_storage_);
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace mobivine::support

@@ -1,6 +1,16 @@
 #include "webview/notification_table.h"
 
+#include <utility>
+
 namespace mobivine::webview {
+
+std::vector<minijs::Value>& NotificationTable::BufferOf(std::int64_t channel) {
+  if (channel == cached_channel_) return *cached_buffer_;
+  std::vector<minijs::Value>& buffer = channels_[channel];
+  cached_channel_ = channel;
+  cached_buffer_ = &buffer;
+  return buffer;
+}
 
 std::int64_t NotificationTable::NewChannel() {
   const std::int64_t id = next_channel_++;
@@ -9,15 +19,23 @@ std::int64_t NotificationTable::NewChannel() {
 }
 
 void NotificationTable::Post(std::int64_t channel, minijs::Value notification) {
-  channels_[channel].push_back(std::move(notification));
+  if (channel <= 0 || channel >= next_channel_) return;  // never allocated
+  BufferOf(channel).push_back(std::move(notification));
 }
 
 std::vector<minijs::Value> NotificationTable::Drain(std::int64_t channel) {
+  // Hand the whole buffer to the caller; the channel entry stays (a
+  // wrapper keeps posting to it until teardown) with a fresh vector.
+  // Unlike Post, an unknown channel is NOT created here. The watermark
+  // guard also keeps an out-of-range id (notably 0, the empty-cache
+  // sentinel) away from the cache compare.
+  if (channel <= 0 || channel >= next_channel_) return {};
+  if (channel == cached_channel_) return std::exchange(*cached_buffer_, {});
   auto it = channels_.find(channel);
   if (it == channels_.end()) return {};
-  std::vector<minijs::Value> out = std::move(it->second);
-  it->second.clear();
-  return out;
+  cached_channel_ = channel;
+  cached_buffer_ = &it->second;
+  return std::exchange(it->second, {});
 }
 
 std::size_t NotificationTable::PendingCount(std::int64_t channel) const {
@@ -26,6 +44,10 @@ std::size_t NotificationTable::PendingCount(std::int64_t channel) const {
 }
 
 void NotificationTable::CloseChannel(std::int64_t channel) {
+  if (channel == cached_channel_) {
+    cached_channel_ = 0;
+    cached_buffer_ = nullptr;
+  }
   channels_.erase(channel);
 }
 

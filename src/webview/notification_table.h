@@ -5,10 +5,22 @@
 // pattern stores them here, keyed by a notification id returned from the
 // wrapper invocation, and the JS side polls with startPolling(). The table
 // itself is part of the WebView context and usable by any wrapper.
+//
+// Storage is an unordered_map (channel ids carry no ordering the polling
+// loop cares about) and Drain moves the pending vector out wholesale, so
+// a poll returns the buffer instead of copying it. Wrappers post bursts
+// to one channel at a time, so the last channel touched is cached as a
+// direct pointer (element addresses are stable in an unordered_map) and
+// repeat posts skip the hash lookup entirely. Implicit channel creation
+// on Post is bounded by the id watermark: a wrapper may re-post to a
+// channel the JS side already drained or closed (id below
+// next_channel_), but posts to ids never handed out by NewChannel() are
+// dropped — a misbehaving wrapper can no longer grow the table without
+// bound.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "minijs/value.h"
@@ -17,14 +29,26 @@ namespace mobivine::webview {
 
 class NotificationTable {
  public:
+  NotificationTable() = default;
+  // The cache pointer aliases a map node, so copying would leave the
+  // copy's cache pointing into the original. Moves transfer the nodes,
+  // keeping the pointer valid.
+  NotificationTable(const NotificationTable&) = delete;
+  NotificationTable& operator=(const NotificationTable&) = delete;
+  NotificationTable(NotificationTable&&) = default;
+  NotificationTable& operator=(NotificationTable&&) = default;
+
   /// Allocate a fresh notification channel id (> 0).
   std::int64_t NewChannel();
 
-  /// Append a notification object to a channel. Unknown channels are
-  /// created implicitly (a wrapper may post before the JS side polls).
+  /// Append a notification object to a channel. Channels below the
+  /// NewChannel() watermark are (re)created implicitly — a wrapper may
+  /// post before the JS side polls, or after a drain dropped the entry.
+  /// Posts to ids never allocated are dropped.
   void Post(std::int64_t channel, minijs::Value notification);
 
-  /// Remove and return every pending notification for the channel.
+  /// Remove and return every pending notification for the channel
+  /// (moves the buffer out; no per-element copies).
   [[nodiscard]] std::vector<minijs::Value> Drain(std::int64_t channel);
 
   /// Pending count for a channel (diagnostics/tests).
@@ -36,8 +60,16 @@ class NotificationTable {
   std::size_t channel_count() const { return channels_.size(); }
 
  private:
+  /// The channel's pending vector, via the one-entry cache when it hits.
+  /// Creates the entry if missing. Refreshes the cache.
+  std::vector<minijs::Value>& BufferOf(std::int64_t channel);
+
   std::int64_t next_channel_ = 1;
-  std::map<std::int64_t, std::vector<minijs::Value>> channels_;
+  std::unordered_map<std::int64_t, std::vector<minijs::Value>> channels_;
+  // Last channel touched; node addresses are stable, so only
+  // CloseChannel() invalidates this.
+  std::int64_t cached_channel_ = 0;
+  std::vector<minijs::Value>* cached_buffer_ = nullptr;
 };
 
 }  // namespace mobivine::webview

@@ -1,0 +1,365 @@
+// Fast-path invocation machinery: the string interner, the rewritten
+// PropertyBag (variant fast lane + std::any fallback), the tombstone-based
+// Scheduler cancellation, and a regression net asserting the indexed
+// descriptor lookups agree with straight linear scans over the full
+// descriptor directory.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/descriptor/proxy_descriptor.h"
+#include "core/property.h"
+#include "sim/scheduler.h"
+#include "support/fingerprint.h"
+#include "support/interner.h"
+#include "support/name_index.h"
+
+namespace mobivine {
+namespace {
+
+using core::DescriptorStore;
+using core::PropertyBag;
+using core::ProxyDescriptor;
+using sim::Scheduler;
+using sim::SimTime;
+using support::Interner;
+using support::NameIndex;
+using support::Symbol;
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprint, EqualsMatchesStringEqualityAcrossLengths) {
+  // Every window-boundary length (0..26 spans the 4/8/12/16/20/24
+  // transitions), plus strings that differ only in one byte at the
+  // front, middle, or back — the cases a partial-window key would miss.
+  std::vector<std::string> corpus;
+  const std::string alphabet = "abcdefghijklmnopqrstuvwxyz";
+  for (std::size_t n = 0; n <= alphabet.size(); ++n) {
+    corpus.push_back(alphabet.substr(0, n));
+  }
+  for (std::size_t n = 1; n <= alphabet.size(); ++n) {
+    for (std::size_t flip : {std::size_t{0}, n / 2, n - 1}) {
+      std::string twisted = alphabet.substr(0, n);
+      twisted[flip] = 'Z';
+      corpus.push_back(twisted);
+    }
+  }
+  for (const std::string& a : corpus) {
+    for (const std::string& b : corpus) {
+      EXPECT_EQ(support::FingerprintEquals(a, b), a == b)
+          << "a='" << a << "' b='" << b << "'";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interner
+// ---------------------------------------------------------------------------
+
+TEST(Interner, IdsAreStableDenseAndUnique) {
+  Interner interner;
+  const Symbol a = interner.Intern("alpha");
+  const Symbol b = interner.Intern("beta");
+  const Symbol c = interner.Intern("gamma");
+
+  // Dense in first-intern order.
+  EXPECT_EQ(a.id(), 0u);
+  EXPECT_EQ(b.id(), 1u);
+  EXPECT_EQ(c.id(), 2u);
+
+  // Re-interning returns the same id; size does not grow.
+  EXPECT_EQ(interner.Intern("beta"), b);
+  EXPECT_EQ(interner.size(), 3u);
+
+  // Distinct strings never collide on id.
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+
+  // Round trip.
+  EXPECT_EQ(interner.NameOf(b), "beta");
+}
+
+TEST(Interner, LookupDoesNotIntern) {
+  Interner interner;
+  interner.Intern("known");
+  EXPECT_TRUE(interner.Lookup("known").valid());
+  EXPECT_FALSE(interner.Lookup("unknown").valid());
+  EXPECT_EQ(interner.size(), 1u);  // Lookup left no trace
+  EXPECT_FALSE(Symbol().valid());
+}
+
+TEST(Interner, NameReferencesSurviveGrowth) {
+  Interner interner;
+  const std::string& first = interner.NameOf(interner.Intern("anchor"));
+  for (int i = 0; i < 2000; ++i) {
+    interner.Intern("filler-" + std::to_string(i));
+  }
+  // Deque storage: the reference taken before 2000 inserts is intact.
+  EXPECT_EQ(first, "anchor");
+  EXPECT_EQ(interner.size(), 2001u);
+}
+
+TEST(Interner, GlobalIsOneNamespace) {
+  const Symbol a = Interner::Global().Intern("fastpath-test-global-prop");
+  const Symbol b = Interner::Global().Intern("fastpath-test-global-prop");
+  EXPECT_EQ(a, b);
+}
+
+TEST(NameIndex, ShortAndLongNamesAndDuplicates) {
+  NameIndex index;
+  index.Add("get");                       // <= 7 chars: key-only match
+  index.Add("getLocationUpdates");        // > 7 chars: verified match
+  index.Add("getLocationUpdatesV2");      // shares the 7-byte prefix
+  index.Add("get");                       // duplicate: first slot wins
+  index.Freeze();
+  EXPECT_TRUE(index.built());
+  EXPECT_EQ(index.Lookup("get"), 0u);
+  EXPECT_EQ(index.Lookup("getLocationUpdates"), 1u);
+  EXPECT_EQ(index.Lookup("getLocationUpdatesV2"), 2u);
+  EXPECT_EQ(index.Lookup("getLocationUpdatesV3"), NameIndex::npos);
+  EXPECT_EQ(index.Lookup(""), NameIndex::npos);
+}
+
+// ---------------------------------------------------------------------------
+// PropertyBag: variant fast lane vs std::any fallback
+// ---------------------------------------------------------------------------
+
+TEST(PropertyBag, FastLaneRoundTrips) {
+  PropertyBag bag;
+  bag.Set("count", 42LL);
+  bag.Set("ratio", 2.5);
+  bag.Set("enabled", true);
+  bag.Set("label", std::string("gps"));
+  bag.Set("literal", "wifi");  // const char* lands in the string lane
+
+  EXPECT_EQ(bag.Get<long long>("count"), 42LL);
+  EXPECT_EQ(bag.Get<double>("ratio"), 2.5);
+  EXPECT_EQ(bag.Get<bool>("enabled"), true);
+  EXPECT_EQ(bag.Get<std::string>("label"), "gps");
+  EXPECT_EQ(bag.Get<std::string>("literal"), "wifi");
+  EXPECT_EQ(bag.size(), 5u);
+}
+
+TEST(PropertyBag, TypeMismatchIsNullopt) {
+  PropertyBag bag;
+  bag.Set("count", 42LL);
+  EXPECT_FALSE(bag.Get<std::string>("count").has_value());
+  EXPECT_FALSE(bag.Get<double>("count").has_value());
+  EXPECT_FALSE(bag.Get<int>("count").has_value());  // any lane is empty
+  EXPECT_FALSE(bag.Get<long long>("missing").has_value());
+  EXPECT_EQ(bag.GetOr<long long>("missing", -1), -1);
+}
+
+TEST(PropertyBag, AnyFallbackPreservesExactTypes) {
+  PropertyBag bag;
+  int dummy = 7;
+  bag.Set("handle", &dummy);  // pointer: not a scalar lane
+  bag.Set("plain-int", 5);    // int stays int (legacy Get<int> callers)
+  bag.Set("narrow", 1.5f);    // float stays float
+
+  ASSERT_TRUE(bag.Get<int*>("handle").has_value());
+  EXPECT_EQ(*bag.Get<int*>("handle"), &dummy);
+  EXPECT_EQ(bag.Get<int>("plain-int"), 5);
+  EXPECT_EQ(bag.Get<float>("narrow"), 1.5f);
+  // The fast lanes do not alias the any lane.
+  EXPECT_FALSE(bag.Get<long long>("plain-int").has_value());
+  EXPECT_FALSE(bag.Get<double>("narrow").has_value());
+  // And a pointer is not silently collapsed to bool.
+  EXPECT_FALSE(bag.Get<bool>("handle").has_value());
+}
+
+TEST(PropertyBag, BoxedAnyScalarsUnwrapToFastLane) {
+  PropertyBag bag;
+  bag.Set("a", std::any(42LL));
+  bag.Set("b", std::any(std::string("text")));
+  bag.Set("c", std::any(true));
+  bag.Set("d", std::any(0.25));
+  // std::any(42LL) and 42LL are indistinguishable to readers.
+  EXPECT_EQ(bag.Get<long long>("a"), 42LL);
+  EXPECT_EQ(bag.Get<std::string>("b"), "text");
+  EXPECT_EQ(bag.Get<bool>("c"), true);
+  EXPECT_EQ(bag.Get<double>("d"), 0.25);
+}
+
+TEST(PropertyBag, OverwriteAndNames) {
+  PropertyBag bag;
+  bag.Set("zeta", 1LL);
+  bag.Set("alpha", 2LL);
+  bag.Set("zeta", std::string("now a string"));
+  EXPECT_EQ(bag.size(), 2u);
+  EXPECT_EQ(bag.Get<std::string>("zeta"), "now a string");
+  const std::vector<std::string> names = bag.Names();
+  ASSERT_EQ(names.size(), 2u);  // alphabetical, like the old std::map
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(PropertyBag, SymbolKeyedAccess) {
+  PropertyBag bag;
+  const Symbol key = Interner::Global().Intern("fastpath-symbol-key");
+  bag.Set(key, 9LL);
+  EXPECT_TRUE(bag.Has(key));
+  EXPECT_TRUE(bag.Has("fastpath-symbol-key"));
+  EXPECT_EQ(bag.Get<long long>(key), 9LL);
+  EXPECT_EQ(bag.Get<long long>("fastpath-symbol-key"), 9LL);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler::Cancel tombstone edges
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerCancel, CancelAfterFireFails) {
+  Scheduler scheduler;
+  int fired = 0;
+  const sim::EventId id =
+      scheduler.ScheduleAfter(SimTime::Millis(1), [&fired] { ++fired; });
+  EXPECT_EQ(scheduler.Run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(scheduler.Cancel(id));  // already fired
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerCancel, CancelTwiceFailsSecondTime) {
+  Scheduler scheduler;
+  const sim::EventId id =
+      scheduler.ScheduleAfter(SimTime::Millis(1), [] { FAIL(); });
+  EXPECT_TRUE(scheduler.Cancel(id));
+  EXPECT_FALSE(scheduler.Cancel(id));
+  EXPECT_EQ(scheduler.pending_count(), 0u);
+  EXPECT_EQ(scheduler.Run(), 0u);  // tombstoned event never fires
+}
+
+TEST(SchedulerCancel, CancelInsideCallback) {
+  Scheduler scheduler;
+  bool second_fired = false;
+  sim::EventId self_id = 0;
+  sim::EventId second_id = scheduler.ScheduleAfter(
+      SimTime::Millis(2), [&second_fired] { second_fired = true; });
+  bool self_cancel_result = true;
+  self_id = scheduler.ScheduleAfter(SimTime::Millis(1), [&] {
+    // Cancelling yourself mid-flight is a no-op (you already fired)...
+    self_cancel_result = scheduler.Cancel(self_id);
+    // ...but cancelling a different pending event from a callback works.
+    EXPECT_TRUE(scheduler.Cancel(second_id));
+  });
+  scheduler.Run();
+  EXPECT_FALSE(self_cancel_result);
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(SchedulerCancel, GarbageIdsFail) {
+  Scheduler scheduler;
+  EXPECT_FALSE(scheduler.Cancel(0));
+  EXPECT_FALSE(scheduler.Cancel(0xdeadbeefcafeull));
+  const sim::EventId id =
+      scheduler.ScheduleAfter(SimTime::Millis(1), [] {});
+  scheduler.Run();
+  // Slot reuse after the fire: a fresh event may occupy the same slot,
+  // but the stale id carries the old generation and must not cancel it.
+  const sim::EventId fresh =
+      scheduler.ScheduleAfter(SimTime::Millis(1), [] {});
+  EXPECT_FALSE(scheduler.Cancel(id));
+  EXPECT_EQ(scheduler.pending_count(), 1u);
+  EXPECT_TRUE(scheduler.Cancel(fresh));
+}
+
+TEST(SchedulerCancel, SlotReuseKeepsFifoOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      scheduler.ScheduleAfter(SimTime::Millis(1),
+                              [&order, round, i] { order.push_back(round * 4 + i); });
+    }
+    scheduler.Run();
+  }
+  ASSERT_EQ(order.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(order[i], i);
+}
+
+// ---------------------------------------------------------------------------
+// Indexed descriptor lookups == linear scans (full descriptor directory)
+// ---------------------------------------------------------------------------
+
+TEST(DescriptorIndexes, AgreeWithLinearScansOnFullStore) {
+  const DescriptorStore store =
+      DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  ASSERT_GT(store.size(), 0u);
+
+  // Probe names: everything that exists, plus misses of various shapes.
+  const std::vector<std::string> misses = {
+      "", "x", "notAProxy", "getLocationButLonger", "zzzzzzzzzzzz"};
+
+  std::size_t methods_checked = 0;
+  std::size_t properties_checked = 0;
+  for (const std::string& proxy_name : store.ProxyNames()) {
+    const ProxyDescriptor* descriptor = store.Find(proxy_name);
+    ASSERT_NE(descriptor, nullptr) << proxy_name;
+    EXPECT_EQ(descriptor->name(), proxy_name);
+
+    // Semantic plane: method lookups.
+    const auto& semantic = descriptor->semantic();
+    std::vector<std::string> method_names;
+    for (const auto& method : semantic.methods) method_names.push_back(method.name);
+    for (const auto& probe : misses) method_names.push_back(probe);
+    for (const std::string& method_name : method_names) {
+      EXPECT_EQ(semantic.FindMethod(method_name),
+                semantic.FindMethodLinear(method_name))
+          << proxy_name << "::" << method_name;
+      ++methods_checked;
+    }
+
+    // Syntactic planes, indexed by language and per-plane by method.
+    for (const auto& plane : descriptor->syntactic_planes()) {
+      EXPECT_EQ(descriptor->FindSyntactic(plane.language),
+                descriptor->FindSyntacticLinear(plane.language));
+      for (const auto& method : plane.methods) {
+        EXPECT_EQ(plane.FindMethod(method.method),
+                  plane.FindMethodLinear(method.method))
+            << proxy_name << "/" << plane.language << "::" << method.method;
+      }
+      for (const auto& probe : misses) {
+        EXPECT_EQ(plane.FindMethod(probe), plane.FindMethodLinear(probe));
+      }
+    }
+    for (const auto& probe : misses) {
+      EXPECT_EQ(descriptor->FindSyntactic(probe),
+                descriptor->FindSyntacticLinear(probe));
+    }
+
+    // Binding planes, indexed by platform and per-plane by property.
+    for (const auto& plane : descriptor->binding_planes()) {
+      EXPECT_EQ(descriptor->FindBinding(plane.platform),
+                descriptor->FindBindingLinear(plane.platform));
+      for (const auto& property : plane.properties) {
+        EXPECT_EQ(plane.FindProperty(property.name),
+                  plane.FindPropertyLinear(property.name))
+            << proxy_name << "/" << plane.platform << "::" << property.name;
+        ++properties_checked;
+      }
+      for (const auto& probe : misses) {
+        EXPECT_EQ(plane.FindProperty(probe), plane.FindPropertyLinear(probe));
+      }
+    }
+    for (const auto& probe : misses) {
+      EXPECT_EQ(descriptor->FindBinding(probe),
+                descriptor->FindBindingLinear(probe));
+    }
+  }
+  // The directory is non-trivial; make sure the loop actually covered it.
+  EXPECT_GT(methods_checked, 20u);
+  EXPECT_GT(properties_checked, 5u);
+
+  // Store-level Find: every name resolves, misses stay misses.
+  for (const auto& probe : misses) {
+    EXPECT_EQ(store.Find(probe), nullptr) << probe;
+  }
+}
+
+}  // namespace
+}  // namespace mobivine

@@ -50,10 +50,48 @@ TEST(NotificationTable, PostDrainLifecycle) {
   EXPECT_TRUE(table.Drain(b).empty());
 }
 
-TEST(NotificationTable, ImplicitChannelOnPost) {
+TEST(NotificationTable, ImplicitChannelOnPostIsBoundedByWatermark) {
   NotificationTable table;
-  table.Post(777, Value::String("late"));
-  EXPECT_EQ(table.PendingCount(777), 1u);
+  // Posts to ids NewChannel() never handed out are dropped — a buggy
+  // wrapper cannot grow the table without bound.
+  table.Post(777, Value::String("bogus"));
+  EXPECT_EQ(table.PendingCount(777), 0u);
+  EXPECT_EQ(table.channel_count(), 0u);
+
+  // But an allocated channel may be re-posted to even after CloseChannel
+  // dropped its entry (the wrapper half doesn't know JS closed it).
+  const auto channel = table.NewChannel();
+  table.CloseChannel(channel);
+  table.Post(channel, Value::String("late"));
+  EXPECT_EQ(table.PendingCount(channel), 1u);
+  table.Post(0, Value::String("never-valid"));
+  table.Post(-5, Value::String("never-valid"));
+  EXPECT_EQ(table.channel_count(), 1u);
+}
+
+TEST(NotificationTable, ChannelCacheSurvivesCloseAndGarbageIds) {
+  NotificationTable table;
+  // Garbage ids before any channel exists (the cache is empty; 0 must
+  // not be treated as a hit).
+  EXPECT_TRUE(table.Drain(0).empty());
+  EXPECT_TRUE(table.Drain(-3).empty());
+
+  const auto a = table.NewChannel();
+  const auto b = table.NewChannel();
+  // Burst to one channel (the cached pattern), then switch channels.
+  for (int i = 0; i < 4; ++i) table.Post(a, Value::Number(i));
+  table.Post(b, Value::Number(99));
+  EXPECT_EQ(table.Drain(a).size(), 4u);
+  EXPECT_EQ(table.Drain(b).size(), 1u);
+
+  // Closing the cached channel must invalidate the cache: a re-post
+  // recreates the entry rather than writing through a stale pointer.
+  table.Post(a, Value::Number(7));
+  table.CloseChannel(a);
+  EXPECT_TRUE(table.Drain(a).empty());
+  table.Post(a, Value::Number(8));
+  ASSERT_EQ(table.PendingCount(a), 1u);
+  EXPECT_DOUBLE_EQ(table.Drain(a)[0].as_number(), 8);
 }
 
 // ---------------------------------------------------------------------------
