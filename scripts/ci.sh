@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the matrix of presets a change must survive.
+#
+#   default  RelWithDebInfo, the configuration developers and benches use
+#   asan     Debug + AddressSanitizer
+#   ubsan    Debug + UndefinedBehaviorSanitizer
+#
+# The tsan preset (gateway/interner concurrency checking) is not in the
+# default matrix because a full-suite TSan run is slow; opt in with
+#   MOBIVINE_CI_PRESETS="default asan ubsan tsan" scripts/ci.sh
+# or run it directly:
+#   cmake --preset tsan && cmake --build build-tsan -j && \
+#     ctest --test-dir build-tsan -R 'Gateway|Interner' --output-on-failure
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESETS=${MOBIVINE_CI_PRESETS:-"default asan ubsan"}
+JOBS=${MOBIVINE_CI_JOBS:-$(nproc)}
+
+# Known-by-design shared_ptr cycles in the MiniJS interpreter (see the
+# comments in scripts/lsan.supp); everything else must stay leak-clean.
+export LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp${LSAN_OPTIONS:+:$LSAN_OPTIONS}"
+
+for preset in $PRESETS; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "==== [$preset] test ===="
+  ctest --preset "$preset" -j "$JOBS" --output-on-failure
+done
+
+echo "==== all presets green: $PRESETS ===="

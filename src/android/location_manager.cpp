@@ -137,9 +137,13 @@ void LocationManager::removeProximityAlert(
 void LocationManager::EnsurePoll() {
   if (poll_running_) return;
   poll_running_ = true;
-  auto tick = std::make_shared<std::function<void()>>();
+  // The closure self-references weakly; the strong reference lives in
+  // poll_tick_ so an abandoned manager can't keep the chain alive
+  // through a shared_ptr cycle.
+  poll_tick_ = std::make_shared<std::function<void()>>();
   std::weak_ptr<bool> alive = platform_.alive_token();
-  *tick = [this, tick, alive] {
+  std::weak_ptr<std::function<void()>> weak_tick = poll_tick_;
+  *poll_tick_ = [this, weak_tick, alive] {
     auto locked = alive.lock();
     if (!locked || !*locked) return;
     PollTick();
@@ -147,11 +151,13 @@ void LocationManager::EnsurePoll() {
       poll_running_ = false;
       return;
     }
-    platform_.device().scheduler().ScheduleAfter(
-        platform_.cost().proximity_poll_interval, *tick);
+    if (auto self = weak_tick.lock()) {
+      platform_.device().scheduler().ScheduleAfter(
+          platform_.cost().proximity_poll_interval, *self);
+    }
   };
   platform_.device().scheduler().ScheduleAfter(
-      platform_.cost().proximity_poll_interval, *tick);
+      platform_.cost().proximity_poll_interval, *poll_tick_);
 }
 
 void LocationManager::PollTick() {

@@ -10,6 +10,7 @@
 //    IllegalArgumentException for bad providers/radii.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,6 +85,9 @@ class LocationManager {
   AndroidPlatform& platform_;
   std::vector<Alert> alerts_;
   bool poll_running_ = false;
+  // Sole strong reference to the polling closure (it self-captures only
+  // weakly, so dropping the manager reclaims the chain).
+  std::shared_ptr<std::function<void()>> poll_tick_;
 };
 
 }  // namespace mobivine::android

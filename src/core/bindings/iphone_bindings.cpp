@@ -58,15 +58,18 @@ struct IPhoneLocationProxy::AlertState {
 class IPhoneLocationProxy::StreamDelegate
     : public iphone::CLLocationManagerDelegate {
  public:
+  // Holds the alert weakly: the state owns the delegate (unique_ptr), so a
+  // strong back-pointer would form an unreclaimable shared_ptr cycle once
+  // the alert leaves alerts_.
   StreamDelegate(IPhoneLocationProxy& owner, std::shared_ptr<AlertState> state)
-      : owner_(owner), state_(std::move(state)) {}
+      : owner_(owner), state_(state) {}
 
   void locationManagerDidUpdateToLocation(
       const iphone::CLLocation& new_location,
       const iphone::CLLocation& old_location) override {
     (void)old_location;
-    auto state = state_;
-    if (!state->active) return;
+    auto state = state_.lock();
+    if (!state || !state->active) return;
     const double distance = support::HaversineMeters(
         new_location.latitude, new_location.longitude, state->latitude,
         state->longitude);
@@ -84,15 +87,17 @@ class IPhoneLocationProxy::StreamDelegate
   void locationManagerDidFailWithError(const iphone::NSError& error) override {
     // A denial tears the alert down; transient kCLErrorLocationUnknown is
     // ignored (the stream resumes).
-    if (error.code == iphone::kCLErrorDenied && state_->active) {
+    auto state = state_.lock();
+    if (!state) return;
+    if (error.code == iphone::kCLErrorDenied && state->active) {
       owner_.meter().Charge(Op::kExceptionMap);
-      owner_.Teardown(*state_);
+      owner_.Teardown(*state);
     }
   }
 
  private:
   IPhoneLocationProxy& owner_;
-  std::shared_ptr<AlertState> state_;
+  std::weak_ptr<AlertState> state_;
 };
 
 IPhoneLocationProxy::IPhoneLocationProxy(iphone::IPhonePlatform& platform,

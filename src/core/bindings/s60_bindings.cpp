@@ -49,14 +49,17 @@ struct S60LocationProxy::AlertState {
 /// entering=true callback, and starts exit detection.
 class S60LocationProxy::EntryListener : public s60::ProximityListener {
  public:
+  // Holds the alert weakly: the state owns the listener (unique_ptr), so a
+  // strong back-pointer would form an unreclaimable shared_ptr cycle once
+  // the alert leaves alerts_.
   EntryListener(S60LocationProxy& owner, std::shared_ptr<AlertState> state)
-      : owner_(owner), state_(std::move(state)) {}
+      : owner_(owner), state_(state) {}
 
   void proximityEvent(const s60::Coordinates& coordinates,
                       const s60::Location& location) override {
     (void)coordinates;
-    auto state = state_;
-    if (!state->active) return;
+    auto state = state_.lock();
+    if (!state || !state->active) return;
     owner_.meter().Charge(Op::kListenerAdaptation);
     owner_.meter().Charge(Op::kTypeConversion, 7);
     state->inside = true;
@@ -70,21 +73,22 @@ class S60LocationProxy::EntryListener : public s60::ProximityListener {
 
  private:
   S60LocationProxy& owner_;
-  std::shared_ptr<AlertState> state_;
+  std::weak_ptr<AlertState> state_;
 };
 
 /// Location listener that detects leaving the region (Figure 2(b)'s
 /// locationUpdated logic, inside the binding).
 class S60LocationProxy::ExitDetector : public s60::LocationListener {
  public:
+  // Weak for the same cycle-avoidance reason as EntryListener.
   ExitDetector(S60LocationProxy& owner, std::shared_ptr<AlertState> state)
-      : owner_(owner), state_(std::move(state)) {}
+      : owner_(owner), state_(state) {}
 
   void locationUpdated(s60::LocationProvider& provider,
                        const s60::Location& location) override {
     (void)provider;
-    auto state = state_;
-    if (!state->active || !state->inside) return;
+    auto state = state_.lock();
+    if (!state || !state->active || !state->inside) return;
     const s60::QualifiedCoordinates& here =
         location.getQualifiedCoordinates();
     const double distance = support::HaversineMeters(
@@ -102,7 +106,7 @@ class S60LocationProxy::ExitDetector : public s60::LocationListener {
 
  private:
   S60LocationProxy& owner_;
-  std::shared_ptr<AlertState> state_;
+  std::weak_ptr<AlertState> state_;
 };
 
 S60LocationProxy::S60LocationProxy(s60::S60Platform& platform,

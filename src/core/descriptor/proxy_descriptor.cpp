@@ -70,6 +70,7 @@ bool IsKnownErrorCode(const std::string& name) {
       "security",  "illegal-argument", "location-unavailable",
       "timeout",   "unreachable",      "radio-failure",
       "unsupported", "invalid-state",  "network",
+      "overloaded", "deadline-exceeded",
       "unknown"};
   return std::any_of(std::begin(kNames), std::end(kNames),
                      [&name](const char* known) { return name == known; });

@@ -26,6 +26,10 @@ const char* ToString(ErrorCode code) {
       return "invalid-state";
     case ErrorCode::kNetwork:
       return "network";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
     case ErrorCode::kUnknown:
       return "unknown";
   }

@@ -22,6 +22,8 @@ enum class ErrorCode {
   kUnsupported,          ///< interface not exposed on this platform/version
   kInvalidState,         ///< call sequencing error (closed handle, busy line)
   kNetwork,              ///< generic network-layer failure
+  kOverloaded,           ///< gateway shed the request (admission control)
+  kDeadlineExceeded,     ///< request deadline expired before/while serving
   kUnknown,
 };
 

@@ -76,22 +76,28 @@ std::uint64_t GpsReceiver::StartPeriodicFixes(
     std::function<void(const GpsFix&)> callback) {
   const std::uint64_t id = next_subscription_++;
   auto cancelled = std::make_shared<bool>(false);
-  subscriptions_[id] = cancelled;
-  // Self-rescheduling tick; stops silently once cancelled.
+  // Self-rescheduling tick; stops silently once cancelled. The closure
+  // captures itself weakly — the strong reference lives in
+  // subscriptions_, so an abandoned subscription is reclaimed instead of
+  // keeping itself alive through a shared_ptr cycle.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, mode, interval, cb = std::move(callback), cancelled, tick] {
+  *tick = [this, mode, interval, cb = std::move(callback), cancelled,
+           weak_tick = std::weak_ptr<std::function<void()>>(tick)] {
     if (*cancelled) return;
     cb(Measure(mode));
-    scheduler_.ScheduleAfter(interval, *tick);
+    if (auto self = weak_tick.lock()) {
+      scheduler_.ScheduleAfter(interval, *self);
+    }
   };
   scheduler_.ScheduleAfter(interval, *tick);
+  subscriptions_[id] = Subscription{std::move(cancelled), std::move(tick)};
   return id;
 }
 
 void GpsReceiver::StopPeriodicFixes(std::uint64_t subscription_id) {
   auto it = subscriptions_.find(subscription_id);
   if (it == subscriptions_.end()) return;
-  *it->second = true;
+  *it->second.cancelled = true;
   subscriptions_.erase(it);
 }
 

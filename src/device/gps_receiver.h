@@ -99,9 +99,16 @@ class GpsReceiver {
   GpsConfig config_;
   sim::GeoTrack track_;
   std::uint64_t next_subscription_ = 1;
-  // subscription id -> cancelled flag lives in the closure; we track live
-  // ids so StopPeriodicFixes can flip them.
-  std::unordered_map<std::uint64_t, std::shared_ptr<bool>> subscriptions_;
+  struct Subscription {
+    // Flipped by StopPeriodicFixes; scheduled ticks check it and bail.
+    std::shared_ptr<bool> cancelled;
+    // The sole strong reference to the self-rescheduling tick closure —
+    // the closure itself holds only a weak_ptr, so dropping this entry
+    // (stop or receiver destruction) frees the chain instead of leaving
+    // a shared_ptr cycle alive.
+    std::shared_ptr<std::function<void()>> tick;
+  };
+  std::unordered_map<std::uint64_t, Subscription> subscriptions_;
 };
 
 }  // namespace mobivine::device

@@ -1,0 +1,426 @@
+#include "gateway/gateway.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "android/android_platform.h"
+#include "core/registry.h"
+#include "gateway/mpmc_queue.h"
+#include "iphone/iphone_platform.h"
+#include "s60/s60_platform.h"
+#include "sim/geo_track.h"
+#include "support/logging.h"
+
+namespace mobivine::gateway {
+
+namespace {
+
+/// Finalizing mix so nearby client ids still spread across shards.
+[[nodiscard]] std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Errors worth re-executing: the underlying condition (lost packet,
+/// radio glitch, failed GPS fix) is sampled fresh on every attempt.
+[[nodiscard]] bool IsTransient(core::ErrorCode code) {
+  switch (code) {
+    case core::ErrorCode::kTimeout:
+    case core::ErrorCode::kRadioFailure:
+    case core::ErrorCode::kNetwork:
+    case core::ErrorCode::kUnreachable:
+    case core::ErrorCode::kLocationUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+/// A request as it sits in a shard queue: envelope + admission stamps.
+struct QueuedRequest {
+  Request request;
+  Clock::time_point submitted_at{};
+  Clock::time_point deadline = kNoDeadline;
+};
+
+void InvokeCompletion(Request& request, const Response& response) {
+  if (!request.on_complete) return;
+  try {
+    request.on_complete(response);
+  } catch (const std::exception& e) {
+    // A throwing completion callback must not take down the worker.
+    MOBIVINE_LOG_ERROR << "gateway: completion callback threw: " << e.what();
+  }
+}
+
+}  // namespace
+
+const char* ToString(Platform platform) {
+  switch (platform) {
+    case Platform::kAndroid:
+      return "android";
+    case Platform::kS60:
+      return "s60";
+    case Platform::kIphone:
+      return "iphone";
+  }
+  return "?";
+}
+
+const char* ToString(Op op) {
+  switch (op) {
+    case Op::kGetLocation:
+      return "getLocation";
+    case Op::kSendSms:
+      return "sendSms";
+    case Op::kHttpGet:
+      return "httpGet";
+    case Op::kHttpPost:
+      return "httpPost";
+    case Op::kSegmentCount:
+      return "segmentCount";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Shard: one worker thread owning a complete single-threaded MobiVine world
+// ---------------------------------------------------------------------------
+
+class Gateway::Shard {
+ public:
+  Shard(const GatewayConfig& config, std::uint32_t index)
+      : index_(index),
+        queue_(config.queue_capacity),
+        shed_watermark_(std::min(config.shed_watermark == 0
+                                     ? config.queue_capacity
+                                     : config.shed_watermark,
+                                 config.queue_capacity)),
+        default_retry_(config.default_retry),
+        registry_(config.store) {
+    device::DeviceConfig device_config = config.device_template;
+    device_config.seed += index;  // decorrelate shards, stay deterministic
+    device_ = std::make_unique<device::MobileDevice>(device_config);
+    device_->gps().set_track(
+        sim::GeoTrack::Stationary(28.5245, 77.1855, 210.0));
+    device_->modem().RegisterSubscriber(kGatewaySmsPeer);
+    device_->network().RegisterHost(
+        kGatewayHttpHost, [](const device::HttpRequest& http_request) {
+          return device::HttpResponse::Ok(http_request.body.empty()
+                                              ? "pong"
+                                              : http_request.body);
+        });
+
+    android_ = std::make_unique<android::AndroidPlatform>(*device_);
+    android_->grantPermission(android::permissions::kFineLocation);
+    android_->grantPermission(android::permissions::kSendSms);
+    android_->grantPermission(android::permissions::kInternet);
+    s60_ = std::make_unique<s60::S60Platform>(*device_);
+    s60_->grantPermission(s60::permissions::kLocation);
+    s60_->grantPermission(s60::permissions::kSmsSend);
+    s60_->grantPermission(s60::permissions::kHttp);
+    iphone_ = std::make_unique<iphone::IPhonePlatform>(*device_);
+
+    location_[PlatformIndex(Platform::kAndroid)] =
+        registry_.CreateLocationProxy(*android_);
+    location_[PlatformIndex(Platform::kAndroid)]->setProperty(
+        "context", &android_->application_context());
+    location_[PlatformIndex(Platform::kS60)] =
+        registry_.CreateLocationProxy(*s60_);
+    location_[PlatformIndex(Platform::kIphone)] =
+        registry_.CreateLocationProxy(*iphone_);
+
+    sms_[PlatformIndex(Platform::kAndroid)] = registry_.CreateSmsProxy(*android_);
+    sms_[PlatformIndex(Platform::kAndroid)]->setProperty(
+        "context", &android_->application_context());
+    sms_[PlatformIndex(Platform::kS60)] = registry_.CreateSmsProxy(*s60_);
+    sms_[PlatformIndex(Platform::kIphone)] = registry_.CreateSmsProxy(*iphone_);
+
+    http_[PlatformIndex(Platform::kAndroid)] =
+        registry_.CreateHttpProxy(*android_);
+    http_[PlatformIndex(Platform::kS60)] = registry_.CreateHttpProxy(*s60_);
+    http_[PlatformIndex(Platform::kIphone)] =
+        registry_.CreateHttpProxy(*iphone_);
+
+    // Everything above happened on the constructing thread; the thread
+    // start below is the handoff point (happens-before), after which the
+    // device, platforms and proxies are touched only by the worker.
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+
+  ~Shard() {
+    Close();
+    Join();
+  }
+
+  /// Admission control on the submitting thread. On false the request is
+  /// left intact in `queued` (TryPush only moves on success) so the
+  /// caller can shed it.
+  bool TrySubmit(QueuedRequest& queued) {
+    const std::size_t depth = queue_.size();
+    stats_.ObserveDepth(depth);
+    if (depth >= shed_watermark_ || !queue_.TryPush(std::move(queued))) {
+      return false;
+    }
+    stats_.OnAccepted();
+    return true;
+  }
+
+  void Close() { queue_.Close(); }
+
+  void Join() {
+    if (worker_.joinable()) worker_.join();
+  }
+
+  [[nodiscard]] ShardSnapshot Snapshot() const {
+    return stats_.Snapshot(queue_.size());
+  }
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  ShardStats& stats() { return stats_; }
+
+ private:
+  static constexpr std::size_t PlatformIndex(Platform platform) {
+    return static_cast<std::size_t>(platform);
+  }
+
+  void WorkerLoop() {
+    QueuedRequest queued;
+    while (queue_.Pop(queued)) Serve(queued);
+  }
+
+  void Serve(QueuedRequest& queued) {
+    Response response;
+    response.shard = index_;
+    const Clock::time_point dequeued_at = Clock::now();
+    if (dequeued_at >= queued.deadline) {
+      stats_.OnTimedOut();
+      response.error = core::ErrorCode::kDeadlineExceeded;
+      response.message = "deadline expired in queue";
+      Finish(queued, response);
+      return;
+    }
+
+    const RetryPolicy& policy = queued.request.retry.max_attempts > 0
+                                    ? queued.request.retry
+                                    : default_retry_;
+    const int max_attempts = std::max(policy.max_attempts, 1);
+    std::chrono::microseconds backoff =
+        std::max(policy.initial_backoff, std::chrono::microseconds(1));
+    while (true) {
+      ++response.attempts;
+      try {
+        response.payload = ExecuteOnce(queued.request);
+        response.ok = true;
+        stats_.OnOk();
+        break;
+      } catch (const core::ProxyError& error) {
+        const bool attempts_left = response.attempts < max_attempts;
+        const bool backoff_fits =
+            Clock::now() + backoff < queued.deadline;
+        if (!IsTransient(error.code()) || !attempts_left || !backoff_fits) {
+          stats_.OnFailed();
+          response.error = error.code();
+          response.message = error.what();
+          break;
+        }
+        stats_.OnRetry();
+        std::this_thread::sleep_for(backoff);
+        // Mirror the wait onto the shard's virtual timeline so device-side
+        // timers (delivery reports, polling) progress during the backoff.
+        device_->scheduler().AdvanceBy(
+            sim::SimTime::Micros(backoff.count()));
+        const auto grown = static_cast<std::int64_t>(
+            static_cast<double>(backoff.count()) * policy.multiplier);
+        backoff = std::min(std::chrono::microseconds(std::max<std::int64_t>(
+                               grown, backoff.count() + 1)),
+                           policy.max_backoff);
+      } catch (const std::exception& e) {
+        stats_.OnFailed();
+        response.error = core::ErrorCode::kUnknown;
+        response.message = e.what();
+        break;
+      }
+    }
+    // Drain device-side follow-ups (delivery intents, polling ticks)
+    // before the next request so per-request virtual work stays bounded.
+    device_->RunAll();
+    Finish(queued, response);
+  }
+
+  void Finish(QueuedRequest& queued, Response& response) {
+    response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - queued.submitted_at);
+    stats_.RecordLatency(
+        static_cast<std::uint64_t>(response.latency.count()));
+    InvokeCompletion(queued.request, response);
+  }
+
+  /// One attempt on the real proxy surface. Throws ProxyError on failure.
+  std::string ExecuteOnce(const Request& request) {
+    core::MProxy& proxy = ProxyFor(request.platform, request.op);
+    for (const auto& [name, value] : request.properties) {
+      proxy.setProperty(name, value);
+    }
+    switch (request.op) {
+      case Op::kGetLocation: {
+        const core::Location location =
+            static_cast<core::LocationProxy&>(proxy).getLocation();
+        return std::to_string(location.latitude) + "," +
+               std::to_string(location.longitude);
+      }
+      case Op::kSendSms:
+        return std::to_string(
+            static_cast<core::SmsProxy&>(proxy).sendTextMessage(
+                request.target, request.payload, nullptr));
+      case Op::kHttpGet:
+        return static_cast<core::HttpProxy&>(proxy).get(request.target).body;
+      case Op::kHttpPost:
+        return static_cast<core::HttpProxy&>(proxy)
+            .post(request.target, request.payload,
+                  request.content_type.empty() ? "text/plain"
+                                               : request.content_type)
+            .body;
+      case Op::kSegmentCount:
+        return std::to_string(
+            static_cast<core::SmsProxy&>(proxy).segmentCount(
+                request.payload));
+    }
+    throw core::ProxyError(core::ErrorCode::kUnsupported, "unknown op");
+  }
+
+  core::MProxy& ProxyFor(Platform platform, Op op) {
+    const std::size_t index = PlatformIndex(platform);
+    switch (op) {
+      case Op::kGetLocation:
+        return *location_[index];
+      case Op::kSendSms:
+      case Op::kSegmentCount:
+        return *sms_[index];
+      case Op::kHttpGet:
+      case Op::kHttpPost:
+        return *http_[index];
+    }
+    throw core::ProxyError(core::ErrorCode::kUnsupported, "unknown op");
+  }
+
+  const std::uint32_t index_;
+  BoundedMpmcQueue<QueuedRequest> queue_;
+  const std::size_t shed_watermark_;
+  const RetryPolicy default_retry_;
+  ShardStats stats_;
+
+  // The shard-private single-threaded MobiVine world.
+  std::unique_ptr<device::MobileDevice> device_;
+  std::unique_ptr<android::AndroidPlatform> android_;
+  std::unique_ptr<s60::S60Platform> s60_;
+  std::unique_ptr<iphone::IPhonePlatform> iphone_;
+  core::ProxyRegistry registry_;
+  std::unique_ptr<core::LocationProxy> location_[3];
+  std::unique_ptr<core::SmsProxy> sms_[3];
+  std::unique_ptr<core::HttpProxy> http_[3];
+
+  std::thread worker_;  // last member: starts after the world is built
+};
+
+// ---------------------------------------------------------------------------
+// Gateway
+// ---------------------------------------------------------------------------
+
+Gateway::Gateway(GatewayConfig config) : config_(std::move(config)) {
+  const int shard_count = std::max(config_.shards, 1);
+  shards_.reserve(static_cast<std::size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(config_, static_cast<std::uint32_t>(i)));
+  }
+}
+
+Gateway::~Gateway() { Stop(); }
+
+std::uint32_t Gateway::ShardFor(std::uint64_t client_id) const {
+  return static_cast<std::uint32_t>(Mix64(client_id) % shards_.size());
+}
+
+int Gateway::shard_count() const { return static_cast<int>(shards_.size()); }
+
+std::size_t Gateway::queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue_depth();
+  return total;
+}
+
+bool Gateway::Submit(Request request) {
+  const std::uint32_t index = ShardFor(request.client_id);
+  Shard& shard = *shards_[index];
+
+  QueuedRequest queued;
+  queued.submitted_at = Clock::now();
+  const std::chrono::microseconds timeout =
+      request.timeout.count() > 0 ? request.timeout : config_.default_timeout;
+  if (timeout.count() > 0) queued.deadline = queued.submitted_at + timeout;
+  queued.request = std::move(request);
+
+  if (!stopping_.load(std::memory_order_relaxed) && shard.TrySubmit(queued)) {
+    return true;
+  }
+  // Shed on the submitting thread: typed overload error, no queueing.
+  // (TrySubmit leaves `queued` intact on failure.)
+  shard.stats().OnShed();
+  Response response;
+  response.error = core::ErrorCode::kOverloaded;
+  response.message = stopping_.load(std::memory_order_relaxed)
+                         ? "gateway is stopping"
+                         : "shard queue above shed watermark";
+  response.shard = index;
+  InvokeCompletion(queued.request, response);
+  return false;
+}
+
+Response Gateway::Call(Request request) {
+  struct Rendezvous {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+  } rendezvous;
+  request.on_complete = [&rendezvous](const Response& response) {
+    // Notify under the lock: the waiter owns `rendezvous` on its stack, so
+    // the callback must not touch it after the waiter can observe done —
+    // holding the mutex through the notify pins the waiter in wait().
+    std::lock_guard<std::mutex> lock(rendezvous.mutex);
+    rendezvous.response = response;
+    rendezvous.done = true;
+    rendezvous.cv.notify_one();
+  };
+  Submit(std::move(request));
+  std::unique_lock<std::mutex> lock(rendezvous.mutex);
+  rendezvous.cv.wait(lock, [&rendezvous] { return rendezvous.done; });
+  return rendezvous.response;
+}
+
+void Gateway::Stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  for (auto& shard : shards_) shard->Close();
+  for (auto& shard : shards_) shard->Join();
+}
+
+GatewaySnapshot Gateway::Stats() const {
+  std::vector<ShardSnapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  for (const auto& shard : shards_) snapshots.push_back(shard->Snapshot());
+  return Aggregate(std::move(snapshots));
+}
+
+}  // namespace mobivine::gateway

@@ -1,0 +1,106 @@
+// M-Gateway: a concurrent, sharded invocation-serving runtime on top of
+// the MobiVine proxy layer.
+//
+// The paper's M-Proxy makes one app's call uniform across platforms; the
+// gateway turns that library into a serving runtime for many concurrent
+// clients. Requests are sharded N ways by a client-id hash; each shard
+// owns a worker thread and a complete single-threaded MobiVine world —
+// its own simulated MobileDevice, platform substrates, ProxyRegistry and
+// proxies — so the existing bindings, schedulers and per-store interners
+// never need a lock. Cross-shard state is confined to the read-only
+// DescriptorStore and the SharedInterner behind Interner::Global().
+//
+// Serving semantics:
+//  * Admission control — each shard queue is bounded with a shed
+//    watermark; a request arriving above it completes immediately with
+//    ProxyError-typed ErrorCode::kOverloaded instead of queueing
+//    unboundedly, which keeps served-request tail latency bounded under
+//    overload.
+//  * Deadlines — a request's wall-clock deadline is checked at dequeue
+//    (kDeadlineExceeded, the binding never runs) and between retry
+//    attempts; an in-flight blocking binding call is never interrupted.
+//  * Retries — transient binding failures (timeout, radio failure, lost
+//    GPS fix, network) re-execute under a bounded exponential backoff;
+//    the backoff is slept on the worker's wall clock and mirrored onto
+//    the shard's virtual clock. Exhaustion surfaces the last error.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/descriptor/proxy_descriptor.h"
+#include "device/mobile_device.h"
+#include "gateway/request.h"
+#include "gateway/stats.h"
+
+namespace mobivine::gateway {
+
+/// The in-sim HTTP host every shard's network serves (GET -> "pong",
+/// POST -> echoes the body). Address ops at "http://gw.example/...".
+inline constexpr const char* kGatewayHttpHost = "gw.example";
+/// A subscriber registered on every shard's modem (SMS destination).
+inline constexpr const char* kGatewaySmsPeer = "+15550123";
+
+struct GatewayConfig {
+  int shards = 4;
+  std::size_t queue_capacity = 1024;
+  /// Shed when a shard's queue depth reaches this at admission;
+  /// 0 means "at capacity" (the bounded queue itself is the watermark).
+  std::size_t shed_watermark = 0;
+  /// Applied when a request carries retry.max_attempts == 0.
+  RetryPolicy default_retry{.max_attempts = 3};
+  /// Applied when a request carries timeout == 0; zero here means no
+  /// deadline at all.
+  std::chrono::microseconds default_timeout{0};
+  /// Per-shard devices are built from this template with seed + shard
+  /// index, so failure injection (network loss, GPS outage, radio
+  /// failures) flows through every shard deterministically.
+  device::DeviceConfig device_template;
+  /// Shared read-only descriptor store (may be null: proxies are then
+  /// created without descriptor validation).
+  const core::DescriptorStore* store = nullptr;
+};
+
+class Gateway {
+ public:
+  explicit Gateway(GatewayConfig config);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Route the request to its client's shard. Returns true when admitted;
+  /// false when shed, in which case `on_complete` has already run on the
+  /// calling thread with ErrorCode::kOverloaded. Either way the callback
+  /// fires exactly once.
+  bool Submit(Request request);
+
+  /// Blocking convenience: submit and wait for the response (the
+  /// request's own on_complete, if any, is ignored).
+  Response Call(Request request);
+
+  /// Stop admitting, drain every queued request, join the workers.
+  /// Subsequent Submits shed. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Lock-free-readable view of all counters; safe while serving.
+  [[nodiscard]] GatewaySnapshot Stats() const;
+
+  /// Which shard serves a client (stable for the gateway's lifetime).
+  [[nodiscard]] std::uint32_t ShardFor(std::uint64_t client_id) const;
+
+  [[nodiscard]] int shard_count() const;
+  /// Total queued across shards right now (approximate).
+  [[nodiscard]] std::size_t queue_depth() const;
+
+ private:
+  class Shard;
+
+  GatewayConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace mobivine::gateway

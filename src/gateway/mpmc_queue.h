@@ -1,0 +1,88 @@
+// Bounded multi-producer queue feeding a shard's worker thread.
+//
+// Producers (any client thread hitting Gateway::Submit) never block: a
+// full or closed queue fails TryPush and the gateway sheds the request —
+// backpressure is an admission decision, not a stalled caller. The single
+// consumer blocks in Pop until an item or Close() arrives; after Close()
+// the consumer drains whatever is already queued, then Pop returns false.
+//
+// A mutex + condvar ring buffer is deliberate: the consumer side performs
+// simulated device I/O per item (microseconds to milliseconds), so queue
+// synchronization is nowhere near the shard's critical path, and the
+// blocking Pop gives an idle shard a real OS wait instead of a spin. The
+// depth counter is a separate relaxed atomic so admission-control
+// watermark checks never touch the lock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mobivine::gateway {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Non-blocking producer side. False when full or closed (the caller
+  /// sheds); true means the consumer will eventually pop the item.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || count_ == ring_.size()) return false;
+      ring_[(head_ + count_) % ring_.size()] = std::move(item);
+      ++count_;
+      depth_.store(count_, std::memory_order_relaxed);
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking consumer side. False only when closed and drained.
+  bool Pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return count_ > 0 || closed_; });
+    if (count_ == 0) return false;
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    depth_.store(count_, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Stop admitting; wake the consumer so it can drain and exit.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// Approximate depth for watermark checks (exact under the lock, but
+  /// read lock-free by producers deciding whether to shed).
+  [[nodiscard]] std::size_t size() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+  std::atomic<std::size_t> depth_{0};
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+};
+
+}  // namespace mobivine::gateway

@@ -1,0 +1,82 @@
+// M-Gateway request envelope.
+//
+// A Request names an operation on the uniform M-Proxy surface — which
+// platform binding to serve it on, which semantic operation, the operands,
+// optional per-request properties — plus the serving-plane metadata the
+// gateway acts on: a client id (shard affinity), a wall-clock deadline,
+// and a retry policy for transient binding failures. Every submitted
+// request receives exactly one Response through its completion callback,
+// whether it was served, shed at admission, or expired in queue.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/errors.h"
+#include "core/property.h"
+
+namespace mobivine::gateway {
+
+using Clock = std::chrono::steady_clock;
+
+/// Which platform binding serves the request. The whole point of the
+/// layer below: the request shape is identical for all of them.
+enum class Platform : std::uint8_t { kAndroid, kS60, kIphone };
+
+/// The uniform operations the gateway serves. Each maps to one semantic-
+/// plane method implemented by every platform in the request mix.
+enum class Op : std::uint8_t {
+  kGetLocation,   ///< LocationProxy::getLocation()
+  kSendSms,       ///< SmsProxy::sendTextMessage(target, payload, nullptr)
+  kHttpGet,       ///< HttpProxy::get(target)
+  kHttpPost,      ///< HttpProxy::post(target, payload, content_type)
+  kSegmentCount,  ///< SmsProxy::segmentCount(payload) — pure, no device I/O
+};
+
+[[nodiscard]] const char* ToString(Platform platform);
+[[nodiscard]] const char* ToString(Op op);
+
+/// Bounded exponential backoff for transient binding failures (timeouts,
+/// radio failures, lost fixes). max_attempts counts every execution, so
+/// max_attempts = 1 means "no retries"; 0 defers to the gateway default.
+struct RetryPolicy {
+  int max_attempts = 0;
+  std::chrono::microseconds initial_backoff{200};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_backoff{5'000};
+};
+
+struct Response {
+  bool ok = false;
+  core::ErrorCode error = core::ErrorCode::kUnknown;
+  std::string message;  ///< error detail; empty on success
+  std::string payload;  ///< op result (body, message id, "lat,lon", ...)
+  int attempts = 0;     ///< executions performed (0 when shed/expired)
+  std::uint32_t shard = 0;
+  std::chrono::microseconds latency{0};  ///< submit -> completion, wall clock
+};
+
+struct Request {
+  std::uint64_t client_id = 0;  ///< shard affinity key
+  Platform platform = Platform::kAndroid;
+  Op op = Op::kGetLocation;
+  std::string target;        ///< url / destination number
+  std::string payload;       ///< post body / sms text
+  std::string content_type;  ///< kHttpPost only
+  /// Applied via setProperty() before the op runs (descriptor-validated).
+  std::vector<std::pair<std::string, core::PropertyValue>> properties;
+  /// Wall-clock budget from submission; zero defers to the gateway
+  /// default (which may be "none"). Checked at dequeue and between retry
+  /// attempts — a blocking binding call in progress is never interrupted.
+  std::chrono::microseconds timeout{0};
+  RetryPolicy retry;  ///< max_attempts == 0 defers to the gateway default
+  /// Invoked exactly once: on the owning shard's worker thread after
+  /// service, or on the submitting thread when the request is shed.
+  std::function<void(const Response&)> on_complete;
+};
+
+}  // namespace mobivine::gateway

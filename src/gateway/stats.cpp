@@ -1,0 +1,26 @@
+#include "gateway/stats.h"
+
+#include <utility>
+
+namespace mobivine::gateway {
+
+GatewaySnapshot Aggregate(std::vector<ShardSnapshot> shards) {
+  GatewaySnapshot snap;
+  snap.shards = std::move(shards);
+  for (const ShardSnapshot& shard : snap.shards) {
+    snap.totals.accepted += shard.accepted;
+    snap.totals.shed += shard.shed;
+    snap.totals.ok += shard.ok;
+    snap.totals.failed += shard.failed;
+    snap.totals.timed_out += shard.timed_out;
+    snap.totals.retries += shard.retries;
+    snap.totals.queue_depth += shard.queue_depth;
+    if (shard.max_queue_depth > snap.totals.max_queue_depth) {
+      snap.totals.max_queue_depth = shard.max_queue_depth;
+    }
+    snap.totals.latency.Merge(shard.latency);
+  }
+  return snap;
+}
+
+}  // namespace mobivine::gateway

@@ -1,0 +1,103 @@
+// GatewayStats: the observability plane of M-Gateway.
+//
+// One ShardStats block per shard, written with relaxed atomics by exactly
+// two parties — the shard's worker (service counters, latency histogram)
+// and submitting threads (admission counters) — and snapshotted by anyone
+// at any time without stopping either. A snapshot is internally consistent
+// per counter (each is a single atomic) but not across counters; the
+// invariants tests assert (accepted == served + queue backlog, etc.) hold
+// exactly once the gateway is quiescent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gateway/histogram.h"
+
+namespace mobivine::gateway {
+
+/// Point-in-time copy of one shard's counters.
+struct ShardSnapshot {
+  std::uint64_t accepted = 0;   ///< admitted into the shard queue
+  std::uint64_t shed = 0;       ///< rejected at admission (kOverloaded)
+  std::uint64_t ok = 0;         ///< served successfully
+  std::uint64_t failed = 0;     ///< served, ended in a ProxyError
+  std::uint64_t timed_out = 0;  ///< deadline expired before service
+  std::uint64_t retries = 0;    ///< extra attempts beyond the first
+  std::uint64_t queue_depth = 0;      ///< at snapshot time
+  std::uint64_t max_queue_depth = 0;  ///< high-water mark since start
+  HistogramSnapshot latency;          ///< completions (ok + failed + timed_out)
+
+  [[nodiscard]] std::uint64_t completed() const {
+    return ok + failed + timed_out;
+  }
+};
+
+/// Aggregate view plus the per-shard breakdown.
+struct GatewaySnapshot {
+  std::vector<ShardSnapshot> shards;
+  ShardSnapshot totals;  ///< counters summed, histograms merged
+
+  [[nodiscard]] std::uint64_t p50_micros() const {
+    return totals.latency.Percentile(0.50);
+  }
+  [[nodiscard]] std::uint64_t p95_micros() const {
+    return totals.latency.Percentile(0.95);
+  }
+  [[nodiscard]] std::uint64_t p99_micros() const {
+    return totals.latency.Percentile(0.99);
+  }
+};
+
+/// The live, written-in-place side. All counters relaxed: they are
+/// independent monotonic event counts, not a synchronization protocol.
+class ShardStats {
+ public:
+  void OnAccepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void OnShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void OnOk() { ok_.fetch_add(1, std::memory_order_relaxed); }
+  void OnFailed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void OnTimedOut() { timed_out_.fetch_add(1, std::memory_order_relaxed); }
+  void OnRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+
+  void RecordLatency(std::uint64_t micros) { latency_.Record(micros); }
+
+  /// Monotonic high-water mark of the queue depth seen at admission.
+  void ObserveDepth(std::uint64_t depth) {
+    std::uint64_t seen = max_depth_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !max_depth_.compare_exchange_weak(seen, depth,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] ShardSnapshot Snapshot(std::uint64_t queue_depth) const {
+    ShardSnapshot snap;
+    snap.accepted = accepted_.load(std::memory_order_relaxed);
+    snap.shed = shed_.load(std::memory_order_relaxed);
+    snap.ok = ok_.load(std::memory_order_relaxed);
+    snap.failed = failed_.load(std::memory_order_relaxed);
+    snap.timed_out = timed_out_.load(std::memory_order_relaxed);
+    snap.retries = retries_.load(std::memory_order_relaxed);
+    snap.queue_depth = queue_depth;
+    snap.max_queue_depth = max_depth_.load(std::memory_order_relaxed);
+    snap.latency = latency_.Snapshot();
+    return snap;
+  }
+
+ private:
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> max_depth_{0};
+  LatencyHistogram latency_;
+};
+
+/// Sum shard snapshots into `totals` (histograms merged).
+[[nodiscard]] GatewaySnapshot Aggregate(std::vector<ShardSnapshot> shards);
+
+}  // namespace mobivine::gateway

@@ -1,0 +1,211 @@
+#include "gateway/traffic.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mobivine::gateway {
+
+namespace {
+
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform pick in [0, bound); bound > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+};
+
+/// Completion bookkeeping shared by all producers and worker callbacks.
+/// Tally lives on RunTraffic's stack, so Count must be safe against the
+/// waiter waking up and destroying it: the completion counter and the
+/// notify both happen inside one critical section, which pins the waiter
+/// in wait() until the callback is completely done with the Tally.
+struct Tally {
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> timed_out{0};
+  std::uint64_t completed = 0;  // guarded by mutex
+  std::uint64_t expected = 0;
+  std::mutex mutex;
+  std::condition_variable all_done;
+
+  void Count(const Response& response) {
+    if (response.ok) {
+      ok.fetch_add(1, std::memory_order_relaxed);
+    } else if (response.error == core::ErrorCode::kOverloaded) {
+      shed.fetch_add(1, std::memory_order_relaxed);
+    } else if (response.error == core::ErrorCode::kDeadlineExceeded) {
+      timed_out.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    if (++completed == expected) all_done.notify_all();
+  }
+};
+
+/// Per-producer closed-loop window.
+struct Window {
+  std::mutex mutex;
+  std::condition_variable freed;
+  int in_flight = 0;
+
+  void Acquire(int limit) {
+    std::unique_lock<std::mutex> lock(mutex);
+    freed.wait(lock, [this, limit] { return in_flight < limit; });
+    ++in_flight;
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      --in_flight;
+    }
+    freed.notify_one();
+  }
+};
+
+/// Weighted pick tables built once from the mix.
+struct PickTables {
+  std::vector<Op> ops;
+  std::vector<Platform> platforms;
+
+  explicit PickTables(const TrafficMix& mix) {
+    auto add_op = [this](Op op, int weight) {
+      for (int i = 0; i < weight; ++i) ops.push_back(op);
+    };
+    add_op(Op::kGetLocation, mix.get_location);
+    add_op(Op::kSendSms, mix.send_sms);
+    add_op(Op::kHttpGet, mix.http_get);
+    add_op(Op::kHttpPost, mix.http_post);
+    add_op(Op::kSegmentCount, mix.segment_count);
+    if (ops.empty()) ops.push_back(Op::kSegmentCount);
+
+    auto add_platform = [this](Platform platform, int weight) {
+      for (int i = 0; i < weight; ++i) platforms.push_back(platform);
+    };
+    add_platform(Platform::kAndroid, mix.android);
+    add_platform(Platform::kS60, mix.s60);
+    add_platform(Platform::kIphone, mix.iphone);
+    if (platforms.empty()) platforms.push_back(Platform::kAndroid);
+  }
+};
+
+Request BuildRequest(SplitMix64& rng, const TrafficConfig& config,
+                     const PickTables& tables) {
+  Request request;
+  request.client_id = rng.Below(config.clients > 0 ? config.clients : 1);
+  request.op = tables.ops[rng.Below(tables.ops.size())];
+  request.platform = tables.platforms[rng.Below(tables.platforms.size())];
+  request.timeout = config.timeout;
+  request.retry = config.retry;
+  switch (request.op) {
+    case Op::kHttpGet:
+      request.target = std::string("http://") + kGatewayHttpHost + "/ping";
+      break;
+    case Op::kHttpPost:
+      request.target = std::string("http://") + kGatewayHttpHost + "/ingest";
+      request.payload = "client=" + std::to_string(request.client_id);
+      break;
+    case Op::kSendSms:
+      request.target = kGatewaySmsPeer;
+      request.payload = "gw traffic";
+      break;
+    case Op::kSegmentCount:
+      request.payload = "how many GSM segments does this sentence need?";
+      break;
+    case Op::kGetLocation:
+      break;
+  }
+  return request;
+}
+
+}  // namespace
+
+TrafficReport RunTraffic(Gateway& gateway, const TrafficConfig& config) {
+  const int producers = std::max(config.producers, 1);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(producers) * config.requests_per_producer;
+  const PickTables tables(config.mix);
+
+  Tally tally;
+  tally.expected = total;
+  std::vector<std::unique_ptr<Window>> windows;
+  for (int i = 0; i < producers; ++i) {
+    windows.push_back(std::make_unique<Window>());
+  }
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      SplitMix64 rng{config.seed * 0x51d3c4fd9ull + 0x2545f491ull +
+                     static_cast<std::uint64_t>(p)};
+      Window* window = windows[static_cast<std::size_t>(p)].get();
+      const bool closed_loop = config.window > 0;
+      // Open loop: fixed inter-arrival per producer, paced on the wall
+      // clock from the common start so the aggregate rate holds.
+      const auto interval =
+          !closed_loop && config.open_loop_rps > 0
+              ? std::chrono::nanoseconds(static_cast<std::int64_t>(
+                    1e9 * producers / config.open_loop_rps))
+              : std::chrono::nanoseconds(0);
+      for (std::uint64_t i = 0; i < config.requests_per_producer; ++i) {
+        Request request = BuildRequest(rng, config, tables);
+        if (closed_loop) {
+          window->Acquire(config.window);
+          // Release before Count: Count's final increment lets RunTraffic
+          // return and destroy the windows, so the Window must not be
+          // touched after it.
+          request.on_complete = [&tally, window](const Response& response) {
+            window->Release();
+            tally.Count(response);
+          };
+        } else {
+          if (interval.count() > 0) {
+            std::this_thread::sleep_until(start + (i + 1) * interval);
+          }
+          request.on_complete = [&tally](const Response& response) {
+            tally.Count(response);
+          };
+        }
+        gateway.Submit(std::move(request));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  {
+    std::unique_lock<std::mutex> lock(tally.mutex);
+    tally.all_done.wait(
+        lock, [&tally] { return tally.completed == tally.expected; });
+  }
+  const auto end = Clock::now();
+
+  TrafficReport report;
+  report.submitted = total;
+  report.ok = tally.ok.load();
+  report.shed = tally.shed.load();
+  report.failed = tally.failed.load();
+  report.timed_out = tally.timed_out.load();
+  report.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  const std::uint64_t served = report.ok + report.failed + report.timed_out;
+  report.completed_per_sec =
+      report.wall_seconds > 0
+          ? static_cast<double>(served) / report.wall_seconds
+          : 0;
+  return report;
+}
+
+}  // namespace mobivine::gateway

@@ -103,9 +103,13 @@ void S60Platform::RemoveProximity(ProximityListener* listener) {
 void S60Platform::EnsureProximityPoll() {
   if (poll_running_) return;
   poll_running_ = true;
-  auto tick = std::make_shared<std::function<void()>>();
+  // The closure self-references weakly; the strong reference lives in
+  // poll_tick_ so an abandoned platform can't keep the chain alive
+  // through a shared_ptr cycle.
+  poll_tick_ = std::make_shared<std::function<void()>>();
   std::weak_ptr<bool> alive = alive_;
-  *tick = [this, tick, alive] {
+  std::weak_ptr<std::function<void()>> weak_tick = poll_tick_;
+  *poll_tick_ = [this, weak_tick, alive] {
     auto locked = alive.lock();
     if (!locked || !*locked) return;
     ProximityPollTick();
@@ -113,9 +117,11 @@ void S60Platform::EnsureProximityPoll() {
       poll_running_ = false;
       return;
     }
-    device_.scheduler().ScheduleAfter(cost_.proximity_poll_interval, *tick);
+    if (auto self = weak_tick.lock()) {
+      device_.scheduler().ScheduleAfter(cost_.proximity_poll_interval, *self);
+    }
   };
-  device_.scheduler().ScheduleAfter(cost_.proximity_poll_interval, *tick);
+  device_.scheduler().ScheduleAfter(cost_.proximity_poll_interval, *poll_tick_);
 }
 
 void S60Platform::ProximityPollTick() {

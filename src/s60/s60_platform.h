@@ -134,6 +134,9 @@ class S60Platform {
   std::unordered_set<std::string> permissions_;
   std::vector<ProximityRegistration> proximity_;
   bool poll_running_ = false;
+  // Sole strong reference to the polling closure (it self-captures only
+  // weakly, so dropping the platform reclaims the chain).
+  std::shared_ptr<std::function<void()>> poll_tick_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

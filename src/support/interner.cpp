@@ -30,8 +30,8 @@ void Interner::Grow() {
   }
 }
 
-Interner& Interner::Global() {
-  static Interner interner;
+SharedInterner& Interner::Global() {
+  static SharedInterner interner;
   return interner;
 }
 

@@ -13,17 +13,21 @@
 //  * per-store instances — DescriptorStore owns one whose dense ids index
 //    its descriptor array, making Find() a hash + array load.
 //
-// Thread-safety: the interner is single-writer like the rest of the
-// simulator (the Scheduler is single-threaded by design). It is
-// thread-safe-READY: ids are stable, NameOf references are never
-// invalidated by later interns (deque storage), and Intern/Lookup are the
-// only mutating/reading entry points — wrapping them in a shared_mutex is
-// a local change when a multi-threaded host arrives.
+// Thread-safety: a plain Interner is single-writer like the rest of the
+// simulator (each Scheduler is single-threaded by design), so the
+// per-store instances stay lock-free. The process-wide namespace is
+// shared across gateway shards, so Interner::Global() returns a
+// SharedInterner — the same API behind a std::shared_mutex. Ids are
+// stable and NameOf references are never invalidated by later interns
+// (deque storage), so a reference obtained under the lock stays valid
+// after it is released.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +35,8 @@
 #include "support/fingerprint.h"
 
 namespace mobivine::support {
+
+class SharedInterner;
 
 /// A stable interned-string id. Default-constructed symbols are invalid;
 /// valid ids are dense (0, 1, 2, ...) in intern order within an Interner.
@@ -137,8 +143,10 @@ class Interner {
 
   [[nodiscard]] std::size_t size() const { return names_.size(); }
 
-  /// Process-wide namespace (property and method names).
-  static Interner& Global();
+  /// Process-wide namespace (property and method names). Shared across
+  /// gateway shard threads, hence the locked facade; per-store interners
+  /// remain plain (lock-free) Interners.
+  static SharedInterner& Global();
 
  private:
   // Open-addressing table, power-of-two sized, Fibonacci-hash indexed,
@@ -185,6 +193,48 @@ class Interner {
   std::size_t mask_;
   int shift_;                      // 64 - log2(table_.size())
   std::deque<std::string> names_;  // id -> spelling; addresses stable
+};
+
+/// Thread-safe facade over an Interner: identical surface, every entry
+/// point behind a std::shared_mutex. The hit path (every call after the
+/// first for a given spelling) takes only the shared lock; an insert
+/// retries under the exclusive lock. NameOf may return its reference
+/// after unlocking because Interner's deque storage never moves a
+/// spelling once interned.
+class SharedInterner {
+ public:
+  SharedInterner() = default;
+  SharedInterner(const SharedInterner&) = delete;
+  SharedInterner& operator=(const SharedInterner&) = delete;
+
+  Symbol Intern(std::string_view text) {
+    {
+      std::shared_lock lock(mutex_);
+      const Symbol hit = inner_.Lookup(text);
+      if (hit.valid()) return hit;
+    }
+    std::unique_lock lock(mutex_);
+    return inner_.Intern(text);  // re-probes: another thread may have won
+  }
+
+  [[nodiscard]] Symbol Lookup(std::string_view text) const {
+    std::shared_lock lock(mutex_);
+    return inner_.Lookup(text);
+  }
+
+  [[nodiscard]] const std::string& NameOf(Symbol symbol) const {
+    std::shared_lock lock(mutex_);
+    return inner_.NameOf(symbol);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock lock(mutex_);
+    return inner_.size();
+  }
+
+ private:
+  Interner inner_;
+  mutable std::shared_mutex mutex_;
 };
 
 }  // namespace mobivine::support

@@ -153,18 +153,26 @@ Value WebView::SetTimer(std::vector<Value>& args, bool repeating) {
 
   auto& scheduler = platform_.device().scheduler();
   std::weak_ptr<bool> alive = alive_;
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, timer, tick, alive, id] {
+  // The closure references the timer and itself weakly; the strong
+  // references live in timers_ (Timer owns its tick), so clearing the
+  // timer reclaims everything instead of leaving a shared_ptr cycle.
+  timer->tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<Timer> weak_timer = timer;
+  std::weak_ptr<std::function<void()>> weak_tick = timer->tick;
+  *timer->tick = [this, weak_timer, weak_tick, alive, id] {
     auto locked = alive.lock();
-    if (!locked || !*locked || timer->cancelled) return;
+    auto timer = weak_timer.lock();
+    if (!locked || !*locked || !timer || timer->cancelled) return;
     RunCallback(timer->callback, {});
     if (timer->repeating && !timer->cancelled) {
-      platform_.device().scheduler().ScheduleAfter(timer->period, *tick);
+      if (auto self = weak_tick.lock()) {
+        platform_.device().scheduler().ScheduleAfter(timer->period, *self);
+      }
     } else {
       timers_.erase(id);
     }
   };
-  scheduler.ScheduleAfter(timer->period, *tick);
+  scheduler.ScheduleAfter(timer->period, *timer->tick);
   return Value::Number(static_cast<double>(id));
 }
 

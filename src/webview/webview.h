@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -101,6 +102,9 @@ class WebView {
     sim::SimTime period;
     minijs::Value callback;
     bool cancelled = false;
+    // Sole strong reference to the rescheduling closure (it captures the
+    // timer and itself weakly, so erasing the timer reclaims the chain).
+    std::shared_ptr<std::function<void()>> tick;
   };
   std::int64_t next_timer_id_ = 1;
   std::map<std::int64_t, std::shared_ptr<Timer>> timers_;

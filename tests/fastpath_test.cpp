@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <any>
+#include <array>
+#include <atomic>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/descriptor/proxy_descriptor.h"
@@ -108,6 +111,58 @@ TEST(Interner, GlobalIsOneNamespace) {
   const Symbol a = Interner::Global().Intern("fastpath-test-global-prop");
   const Symbol b = Interner::Global().Intern("fastpath-test-global-prop");
   EXPECT_EQ(a, b);
+}
+
+TEST(Interner, SharedInternerConcurrentInternAndLookup) {
+  // N threads race over a shared spelling set plus a per-thread private
+  // set, through a fresh SharedInterner. Every thread must observe the
+  // same Symbol for the same spelling, NameOf must round-trip, and the
+  // final population must be exactly |shared| + N * |private|.
+  support::SharedInterner interner;
+  constexpr int kThreads = 8;
+  constexpr int kShared = 64;
+  constexpr int kPrivate = 128;
+  constexpr int kRounds = 40;
+  std::vector<std::string> shared_names;
+  for (int i = 0; i < kShared; ++i) {
+    shared_names.push_back("shared-" + std::to_string(i));
+  }
+  std::vector<std::array<Symbol, kShared>> seen(kThreads);
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kShared; ++i) {
+          const Symbol symbol = interner.Intern(shared_names[i]);
+          if (round == 0) {
+            seen[t][i] = symbol;
+          } else if (seen[t][i] != symbol) {
+            ok = false;  // id changed across rounds
+          }
+          if (interner.NameOf(symbol) != shared_names[i]) ok = false;
+          if (interner.Lookup(shared_names[i]) != symbol) ok = false;
+        }
+        for (int i = 0; i < kPrivate; ++i) {
+          const std::string name =
+              "private-" + std::to_string(t) + "-" + std::to_string(i);
+          const Symbol symbol = interner.Intern(name);
+          if (interner.NameOf(symbol) != name) ok = false;
+        }
+        // Misses must stay misses (Lookup never interns).
+        if (interner.Lookup("never-interned").valid()) ok = false;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(interner.size(),
+            static_cast<std::size_t>(kShared + kThreads * kPrivate));
+  // All threads agreed on every shared id.
+  for (int t = 1; t < kThreads; ++t) {
+    for (int i = 0; i < kShared; ++i) EXPECT_EQ(seen[t][i], seen[0][i]);
+  }
 }
 
 TEST(NameIndex, ShortAndLongNamesAndDuplicates) {
