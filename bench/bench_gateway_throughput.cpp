@@ -21,7 +21,17 @@
 // so the warm-up's samples are included there — it is 10% of the load
 // and shifts bucketed percentiles by at most one bucket (~12.5%).
 //
+// M-Scope (EXPERIMENTS.md W3): with --trace/--metrics an additional
+// traced scenario runs after the untimed ones — tracing enabled, mixed
+// traffic with per-request properties and injected transient failures —
+// and exports Chrome trace_event JSON plus a flat metrics dump. The
+// throughput scenarios above always run with tracing disabled, so their
+// numbers measure the disabled-hook cost, not recording. --trace-only
+// skips the throughput scenarios (the CI validation leg uses this).
+//
 //   ./build/bench/bench_gateway_throughput [output.json]
+//       [--trace trace.json] [--metrics metrics.json] [--trace-only]
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -31,6 +41,9 @@
 #include "core/descriptor/proxy_descriptor.h"
 #include "gateway/gateway.h"
 #include "gateway/traffic.h"
+#include "sim/clock.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 using namespace mobivine;
 
@@ -137,10 +150,103 @@ OverloadResult RunOverload() {
   return result;
 }
 
+/// M-Scope scenario: tracing on, small gateway, mixed traffic that
+/// exercises every span source — per-request properties (core
+/// setProperty under a gateway attempt), transient failures (retry +
+/// backoff spans), tight deadlines (deadline instants) — then exports
+/// the trace and a metrics dump.
+void RunTraced(const std::string& trace_path,
+               const std::string& metrics_path) {
+  namespace trace = support::trace;
+  trace::SetPerThreadCapacity(256 * 1024);
+  trace::Reset();
+  trace::SetEnabled(true);
+
+  gateway::GatewayConfig config;
+  config.shards = 2;
+  config.store = &Store();
+  // Mild packet loss makes some attempts fail transiently, so the trace
+  // contains gateway.backoff spans and multi-attempt serves.
+  config.device_template.network.loss_probability = 0.2;
+  config.device_template.network.timeout = sim::SimTime::Seconds(1);
+  config.default_retry.max_attempts = 4;
+  config.default_retry.initial_backoff = std::chrono::microseconds(100);
+  gateway::Gateway gw(config);
+
+  support::MetricsRegistry metrics;
+  const auto registration = gw.RegisterMetrics(metrics);
+
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    gateway::Request request;
+    request.client_id = i;
+    switch (i % 4) {
+      case 0:
+        request.platform = gateway::Platform::kAndroid;
+        request.op = gateway::Op::kHttpGet;
+        request.target =
+            std::string("http://") + gateway::kGatewayHttpHost + "/ping";
+        break;
+      case 1:
+        request.platform = gateway::Platform::kS60;
+        request.op = gateway::Op::kGetLocation;
+        request.properties.emplace_back("horizontalAccuracy", 50LL);
+        request.properties.emplace_back("powerConsumption",
+                                        core::PropertyValue(std::string("low")));
+        break;
+      case 2:
+        request.platform = gateway::Platform::kIphone;
+        request.op = gateway::Op::kSendSms;
+        request.target = gateway::kGatewaySmsPeer;
+        request.payload = "traced message";
+        break;
+      default:
+        request.platform = gateway::Platform::kS60;
+        request.op = gateway::Op::kSegmentCount;
+        request.payload = std::string(200, 'x');
+        break;
+    }
+    (void)gw.Call(std::move(request));
+  }
+  gw.Stop();
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    metrics.Snapshot().WriteJson(out);
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  std::ofstream out(trace_path);
+  const trace::ExportStats stats = trace::ExportChromeTrace(out);
+  out.close();
+  trace::SetEnabled(false);
+  std::printf(
+      "wrote %s (%zu events across %zu threads, %zu dropped)\n",
+      trace_path.c_str(), stats.events, stats.threads, stats.dropped);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string output = argc > 1 ? argv[1] : "BENCH_gateway.json";
+  std::string output = "BENCH_gateway.json";
+  std::string trace_path;
+  std::string metrics_path;
+  bool trace_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--trace-only") {
+      trace_only = true;
+    } else {
+      output = arg;
+    }
+  }
+  if (trace_only) {
+    RunTraced(trace_path.empty() ? "TRACE_gateway.json" : trace_path,
+              metrics_path);
+    return 0;
+  }
   const unsigned cores = std::thread::hardware_concurrency();
 
   std::printf("M-Gateway serving benchmark (host: %u hardware threads)\n\n",
@@ -201,5 +307,10 @@ int main(int argc, char** argv) {
        << "  }\n}\n";
   json.close();
   std::printf("\nwrote %s\n", output.c_str());
+
+  if (!trace_path.empty()) {
+    std::printf("\nM-Scope traced scenario:\n");
+    RunTraced(trace_path, metrics_path);
+  }
   return 0;
 }

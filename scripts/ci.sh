@@ -31,4 +31,17 @@ for preset in $PRESETS; do
   ctest --preset "$preset" -j "$JOBS" --output-on-failure
 done
 
-echo "==== all presets green: $PRESETS ===="
+# M-Scope leg: run the trace-enabled gateway scenario and validate both
+# exporter outputs against the checked-in schema. A malformed or empty
+# export (or a trace missing either layer's spans) fails the build.
+echo "==== [mscope] traced gateway bench + export validation ===="
+MSCOPE_DIR=$(mktemp -d)
+trap 'rm -rf "$MSCOPE_DIR"' EXIT
+./build/bench/bench_gateway_throughput "$MSCOPE_DIR/bench.json" \
+  --trace-only --trace "$MSCOPE_DIR/trace.json" \
+  --metrics "$MSCOPE_DIR/metrics.json"
+python3 scripts/validate_mscope.py \
+  "$MSCOPE_DIR/trace.json" "$MSCOPE_DIR/metrics.json" \
+  scripts/mscope_schema.json
+
+echo "==== all presets green: $PRESETS (+ mscope) ===="

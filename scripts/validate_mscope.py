@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Validate M-Scope exporter output against scripts/mscope_schema.json.
+
+Usage:
+    python3 scripts/validate_mscope.py TRACE.json METRICS.json [SCHEMA.json]
+
+Stdlib-only (CI must not install packages). Two validation layers:
+
+ 1. Structural: a miniature JSON-Schema checker supporting the subset the
+    checked-in schema uses (type, required, properties, items, enum,
+    minItems, minimum, additionalProperties).
+ 2. Semantic, for the things a schema cannot express:
+      * spans from BOTH layers are present (gateway.* serving spans and
+        core.*/op.* invocation spans);
+      * at least one core invocation span nests (by time) inside a
+        gateway.attempt span on the same tid — the cross-layer
+        containment the trace exists to show;
+      * op instants carry virtual-cost attribution args;
+      * metrics counters reconcile (completions == accepted).
+
+Exit code 0 on success, 1 with a message on any failure — an empty or
+malformed export fails the build.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"validate_mscope: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+# ---------------------------------------------------------------------------
+# Mini JSON-Schema subset validator
+# ---------------------------------------------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def check_schema(value, schema, path="$"):
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        if isinstance(value, bool) and expected in ("integer", "number"):
+            fail(f"{path}: expected {expected}, got boolean")
+        if not isinstance(value, python_type):
+            fail(f"{path}: expected {expected}, got {type(value).__name__}")
+    if "enum" in schema and value not in schema["enum"]:
+        fail(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            fail(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in value:
+                check_schema(value[key], sub, f"{path}.{key}")
+        if schema.get("additionalProperties") is False:
+            extra = set(value) - set(properties)
+            if extra:
+                fail(f"{path}: unexpected keys {sorted(extra)}")
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            fail(f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                check_schema(item, items, f"{path}[{i}]")
+
+
+# ---------------------------------------------------------------------------
+# Semantic checks
+# ---------------------------------------------------------------------------
+
+
+def check_trace_semantics(trace):
+    events = trace["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    names = {e["name"] for e in events}
+
+    gateway_spans = {n for n in names if n.startswith("gateway.")}
+    core_spans = {
+        n for n in names if n.startswith("core.") or n.startswith("op.")
+    }
+    if not gateway_spans:
+        fail("no gateway.* spans in trace — serving layer not instrumented")
+    if not core_spans:
+        fail("no core.*/op.* spans in trace — core layer not instrumented")
+    for required in ("gateway.serve", "gateway.attempt", "gateway.queue_wait"):
+        if required not in names:
+            fail(f"required span {required!r} missing from trace")
+
+    # Cross-layer nesting: some core invocation event must sit inside a
+    # gateway.attempt span's [ts, ts+dur] window on the same tid.
+    attempts = [s for s in spans if s["name"] == "gateway.attempt"]
+    if not attempts:
+        fail("no gateway.attempt complete events")
+    core_events = [
+        e
+        for e in spans + instants
+        if e["name"].startswith(("core.", "op.")) and "ts" in e
+    ]
+    nested = 0
+    by_tid = {}
+    for attempt in attempts:
+        by_tid.setdefault(attempt["tid"], []).append(attempt)
+    for event in core_events:
+        for attempt in by_tid.get(event["tid"], []):
+            start = attempt["ts"]
+            end = start + attempt.get("dur", 0)
+            if start <= event["ts"] <= end:
+                nested += 1
+                break
+    if nested == 0:
+        fail("no core invocation event nests inside a gateway.attempt span")
+
+    # OverheadMeter attribution: op instants carry virtual cost.
+    op_instants = [e for e in instants if e["name"].startswith("op.")]
+    if not op_instants:
+        fail("no op.* instants — OverheadMeter attribution missing")
+    if not any(
+        "virt_cost_us" in e.get("args", {}) for e in op_instants
+    ):
+        fail("op.* instants lack virt_cost_us attribution args")
+
+    # Worker threads are labeled.
+    labels = [
+        e["args"].get("name", "")
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    if not any(label.startswith("shard-") for label in labels):
+        fail("no shard-N thread_name metadata")
+
+    print(
+        f"validate_mscope: trace ok — {len(events)} events, "
+        f"{len(gateway_spans)} gateway span names, "
+        f"{len(core_spans)} core span names, {nested} nested core events"
+    )
+
+
+def check_metrics_semantics(metrics_doc):
+    metrics = metrics_doc["metrics"]
+    for name, value in metrics.items():
+        if not isinstance(value, (int, float)) and value is not None:
+            fail(f"metric {name!r} is not numeric or null: {value!r}")
+    completed = (
+        metrics["gateway.ok"]
+        + metrics["gateway.failed"]
+        + metrics["gateway.timed_out"]
+    )
+    accepted = metrics["gateway.accepted"]
+    if completed != accepted:
+        fail(
+            f"metrics do not reconcile: ok+failed+timed_out={completed} "
+            f"!= accepted={accepted} (gateway was quiescent at export)"
+        )
+    if metrics["gateway.op.dispatch"] <= 0:
+        fail("gateway.op.dispatch is zero — meter plane not flowing")
+    print(
+        f"validate_mscope: metrics ok — {len(metrics)} series, "
+        f"{accepted} accepted reconciled"
+    )
+
+
+def main(argv):
+    if len(argv) < 3:
+        fail(f"usage: {argv[0]} TRACE.json METRICS.json [SCHEMA.json]")
+    trace_path, metrics_path = argv[1], argv[2]
+    schema_path = (
+        argv[3]
+        if len(argv) > 3
+        else str(pathlib.Path(__file__).with_name("mscope_schema.json"))
+    )
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    for label, path, key, semantic in (
+        ("trace", trace_path, "trace", check_trace_semantics),
+        ("metrics", metrics_path, "metrics", check_metrics_semantics),
+    ):
+        try:
+            with open(path) as f:
+                document = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{label} file {path}: {e}")
+        check_schema(document, schema[key], f"$({label})")
+        semantic(document)
+    print("validate_mscope: PASS")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

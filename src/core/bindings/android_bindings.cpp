@@ -8,6 +8,7 @@
 #include "android/telephony.h"
 #include "core/errors.h"
 #include "support/strings.h"
+#include "support/trace.h"
 
 namespace mobivine::core {
 
@@ -108,6 +109,7 @@ Location AndroidLocationProxy::ReadCurrentLocation() {
 }
 
 Location AndroidLocationProxy::getLocation() {
+  support::trace::Span span("android.getLocation");
   meter().Charge(Op::kDispatch);
   RequireProperties();
   return ReadCurrentLocation();
@@ -259,6 +261,7 @@ void AndroidSmsProxy::PruneFinishedReceivers() {
 }
 
 int AndroidSmsProxy::segmentCount(const std::string& text) {
+  support::trace::Span span("android.segmentCount");
   meter().Charge(Op::kDispatch);
   return platform_.sms_manager().divideMessage(text);
 }
@@ -266,6 +269,7 @@ int AndroidSmsProxy::segmentCount(const std::string& text) {
 long long AndroidSmsProxy::sendTextMessage(const std::string& destination,
                                            const std::string& text,
                                            SmsListener* listener) {
+  support::trace::Span span("android.sendTextMessage");
   meter().Charge(Op::kDispatch);
   meter().Charge(Op::kValidation);
   if (destination.empty() || text.empty()) {
@@ -534,6 +538,7 @@ HttpResult AndroidHttpProxy::Execute(const android::HttpUriRequest& request) {
 }
 
 HttpResult AndroidHttpProxy::get(const std::string& url) {
+  support::trace::Span span("android.httpGet");
   meter().Charge(Op::kDispatch);
   android::HttpGet request(url);
   for (const auto& [name, value] : headers_) request.addHeader(name, value);
@@ -543,6 +548,7 @@ HttpResult AndroidHttpProxy::get(const std::string& url) {
 HttpResult AndroidHttpProxy::post(const std::string& url,
                                   const std::string& body,
                                   const std::string& content_type) {
+  support::trace::Span span("android.httpPost");
   meter().Charge(Op::kDispatch);
   android::HttpPost request(url);
   for (const auto& [name, value] : headers_) request.addHeader(name, value);

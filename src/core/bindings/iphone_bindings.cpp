@@ -6,6 +6,7 @@
 #include "core/errors.h"
 #include "iphone/address_book.h"
 #include "support/geo_units.h"
+#include "support/trace.h"
 
 namespace mobivine::core {
 
@@ -117,6 +118,7 @@ double IPhoneLocationProxy::DesiredAccuracy() {
 }
 
 Location IPhoneLocationProxy::getLocation() {
+  support::trace::Span span("iphone.getLocation");
   meter().Charge(Op::kDispatch);
   RequireProperties();
 
@@ -251,6 +253,7 @@ IPhoneSmsProxy::~IPhoneSmsProxy() {
 }
 
 int IPhoneSmsProxy::segmentCount(const std::string& text) {
+  support::trace::Span span("iphone.segmentCount");
   meter().Charge(Op::kDispatch);
   meter().Charge(Op::kEnrichment);  // no native API for this on iPhone
   if (text.empty()) return 1;
@@ -260,6 +263,7 @@ int IPhoneSmsProxy::segmentCount(const std::string& text) {
 long long IPhoneSmsProxy::sendTextMessage(const std::string& destination,
                                           const std::string& text,
                                           SmsListener* listener) {
+  support::trace::Span span("iphone.sendTextMessage");
   meter().Charge(Op::kDispatch);
   meter().Charge(Op::kValidation);
   if (destination.empty() || text.empty()) {
@@ -427,6 +431,7 @@ HttpResult IPhoneHttpProxy::Execute(const std::string& method,
 }
 
 HttpResult IPhoneHttpProxy::get(const std::string& url) {
+  support::trace::Span span("iphone.httpGet");
   meter().Charge(Op::kDispatch);
   return Execute("GET", url, "", "");
 }
@@ -434,6 +439,7 @@ HttpResult IPhoneHttpProxy::get(const std::string& url) {
 HttpResult IPhoneHttpProxy::post(const std::string& url,
                                  const std::string& body,
                                  const std::string& content_type) {
+  support::trace::Span span("iphone.httpPost");
   meter().Charge(Op::kDispatch);
   return Execute("POST", url, body, content_type);
 }

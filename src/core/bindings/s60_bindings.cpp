@@ -6,6 +6,7 @@
 #include "s60/connector.h"
 #include "support/geo_units.h"
 #include "support/strings.h"
+#include "support/trace.h"
 
 namespace mobivine::core {
 
@@ -154,6 +155,7 @@ std::shared_ptr<s60::LocationProvider> S60LocationProxy::AcquireProvider() {
 }
 
 Location S60LocationProxy::getLocation() {
+  support::trace::Span span("s60.getLocation");
   meter().Charge(Op::kDispatch);
   RequireProperties();
   auto provider = AcquireProvider();
@@ -304,6 +306,7 @@ std::shared_ptr<s60::MessageConnection> S60SmsProxy::ConnectionFor(
 }
 
 int S60SmsProxy::segmentCount(const std::string& text) {
+  support::trace::Span span("s60.segmentCount");
   meter().Charge(Op::kDispatch);
   // JSR-120 exposes no segment computation; the proxy supplies it
   // (enrichment) with GSM 160-char segments.
@@ -315,6 +318,7 @@ int S60SmsProxy::segmentCount(const std::string& text) {
 long long S60SmsProxy::sendTextMessage(const std::string& destination,
                                        const std::string& text,
                                        SmsListener* listener) {
+  support::trace::Span span("s60.sendTextMessage");
   meter().Charge(Op::kDispatch);
   meter().Charge(Op::kValidation);
   if (destination.empty() || text.empty()) {
@@ -539,12 +543,14 @@ HttpResult S60HttpProxy::Execute(const std::string& method,
 }
 
 HttpResult S60HttpProxy::get(const std::string& url) {
+  support::trace::Span span("s60.httpGet");
   meter().Charge(Op::kDispatch);
   return Execute("GET", url, "", "");
 }
 
 HttpResult S60HttpProxy::post(const std::string& url, const std::string& body,
                               const std::string& content_type) {
+  support::trace::Span span("s60.httpPost");
   meter().Charge(Op::kDispatch);
   return Execute("POST", url, body, content_type);
 }

@@ -1,6 +1,7 @@
 #include "core/enrichment.h"
 
 #include "support/strings.h"
+#include "support/trace.h"
 
 namespace mobivine::core {
 
@@ -21,6 +22,7 @@ RetryingCallProxy::~RetryingCallProxy() { *alive_ = false; }
 
 bool RetryingCallProxy::makeCall(const std::string& number,
                                  CallListener* listener) {
+  support::trace::Span span("enrich.retryingMakeCall");
   meter().Charge(Op::kEnrichment);
   number_ = number;
   client_listener_ = listener;
@@ -107,12 +109,14 @@ HttpResult AuthenticatingHttpProxy::Exchange(
 }
 
 HttpResult AuthenticatingHttpProxy::get(const std::string& url) {
+  support::trace::Span span("enrich.authHttpGet");
   return Exchange([&] { return inner_->get(url); });
 }
 
 HttpResult AuthenticatingHttpProxy::post(const std::string& url,
                                          const std::string& body,
                                          const std::string& content_type) {
+  support::trace::Span span("enrich.authHttpPost");
   return Exchange([&] { return inner_->post(url, body, content_type); });
 }
 
@@ -130,6 +134,7 @@ SecureSmsProxy::SecureSmsProxy(std::unique_ptr<SmsProxy> inner,
 long long SecureSmsProxy::sendTextMessage(const std::string& destination,
                                           const std::string& text,
                                           SmsListener* listener) {
+  support::trace::Span span("enrich.secureSendTextMessage");
   meter().Charge(Op::kEnrichment);
   if (!policy_.InterfaceAllowed("Sms")) {
     throw ProxyError(ErrorCode::kSecurity,

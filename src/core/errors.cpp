@@ -2,6 +2,7 @@
 
 #include "android/exceptions.h"
 #include "s60/exceptions.h"
+#include "support/trace.h"
 #include "webview/bridge.h"
 
 namespace mobivine::core {
@@ -37,6 +38,9 @@ const char* ToString(ErrorCode code) {
 }
 
 void RethrowAsProxyError(const std::string& platform) {
+  // The span brackets the native -> ProxyError mapping itself; it ends
+  // when the mapped exception unwinds out of this frame.
+  support::trace::Span span("core.exceptionMap");
   try {
     throw;  // dispatch on the in-flight exception's dynamic type
   } catch (const ProxyError&) {

@@ -26,4 +26,28 @@ const char* ToString(Op op) {
   return "?";
 }
 
+const char* TraceNameOf(Op op) {
+  switch (op) {
+    case Op::kDispatch:
+      return "op.dispatch";
+    case Op::kPropertySet:
+      return "op.property-set";
+    case Op::kPropertyLookup:
+      return "op.property-lookup";
+    case Op::kValidation:
+      return "op.validation";
+    case Op::kTypeConversion:
+      return "op.type-conversion";
+    case Op::kListenerAdaptation:
+      return "op.listener-adaptation";
+    case Op::kExceptionMap:
+      return "op.exception-map";
+    case Op::kEnrichment:
+      return "op.enrichment";
+    case Op::kCount_:
+      break;
+  }
+  return "op.?";
+}
+
 }  // namespace mobivine::core

@@ -10,11 +10,13 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "sim/clock.h"
 #include "sim/scheduler.h"
+#include "support/trace.h"
 
 namespace mobivine::core {
 
@@ -32,6 +34,10 @@ enum class Op : int {
 
 [[nodiscard]] const char* ToString(Op op);
 
+/// M-Scope span name for an op charge ("op.dispatch", ...). Static
+/// storage: safe to hand to the trace recorder.
+[[nodiscard]] const char* TraceNameOf(Op op);
+
 /// Virtual cost per operation on the modeled 2009 handset.
 struct OpCostModel {
   std::array<sim::SimTime, static_cast<int>(Op::kCount_)> cost = {
@@ -48,6 +54,15 @@ struct OpCostModel {
 
 /// Charges per-op virtual time on a scheduler and counts operations.
 /// One meter per proxy instance; benches read counts() and charged().
+///
+/// Counters are single-writer (the proxy's owning thread) but readable
+/// from any thread — the M-Scope metrics plane snapshots them while a
+/// gateway shard is serving — so they are relaxed atomics written with
+/// load+store (which compiles to the same plain add as before, there is
+/// never a concurrent writer to race the increment against). Every
+/// Charge() also emits a trace instant carrying the op's virtual-cost
+/// attribution, so spans recorded around a binding call show exactly
+/// which de-fragmentation work ran underneath them.
 class OverheadMeter {
  public:
   OverheadMeter(sim::Scheduler& scheduler, OpCostModel model = {})
@@ -55,30 +70,42 @@ class OverheadMeter {
 
   void Charge(Op op, int times = 1) {
     const int index = static_cast<int>(op);
-    counts_[index] += static_cast<std::uint64_t>(times);
+    counts_[index].store(
+        counts_[index].load(std::memory_order_relaxed) +
+            static_cast<std::uint64_t>(times),
+        std::memory_order_relaxed);
     const sim::SimTime total = model_.cost[index] * times;
-    charged_ += total;
+    charged_us_.store(
+        charged_us_.load(std::memory_order_relaxed) + total.micros(),
+        std::memory_order_relaxed);
     scheduler_->AdvanceBy(total);
+    support::trace::Instant(TraceNameOf(op), "count", times, "virt_cost_us",
+                            total.micros());
   }
 
-  std::uint64_t count(Op op) const { return counts_[static_cast<int>(op)]; }
+  std::uint64_t count(Op op) const {
+    return counts_[static_cast<int>(op)].load(std::memory_order_relaxed);
+  }
   std::uint64_t total_ops() const {
     std::uint64_t sum = 0;
-    for (auto c : counts_) sum += c;
+    for (const auto& c : counts_) sum += c.load(std::memory_order_relaxed);
     return sum;
   }
-  sim::SimTime charged() const { return charged_; }
+  sim::SimTime charged() const {
+    return sim::SimTime::Micros(charged_us_.load(std::memory_order_relaxed));
+  }
 
   void Reset() {
-    counts_ = {};
-    charged_ = sim::SimTime::Zero();
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    charged_us_.store(0, std::memory_order_relaxed);
   }
 
  private:
   sim::Scheduler* scheduler_;
   OpCostModel model_;
-  std::array<std::uint64_t, static_cast<int>(Op::kCount_)> counts_ = {};
-  sim::SimTime charged_;
+  std::array<std::atomic<std::uint64_t>, static_cast<int>(Op::kCount_)>
+      counts_ = {};
+  std::atomic<std::int64_t> charged_us_{0};
 };
 
 }  // namespace mobivine::core

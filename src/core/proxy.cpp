@@ -6,6 +6,7 @@
 
 #include "support/fingerprint.h"
 #include "support/strings.h"
+#include "support/trace.h"
 
 namespace mobivine::core {
 
@@ -43,6 +44,7 @@ void MProxy::ApplyDefaults() {
 }
 
 void MProxy::setProperty(const std::string& name, PropertyValue value) {
+  support::trace::Span span("core.setProperty");
   meter_.Charge(Op::kPropertySet);
   if (binding_ == nullptr) {
     properties_.Set(name, std::move(value));

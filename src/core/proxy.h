@@ -60,6 +60,13 @@ class MProxy {
   OverheadMeter& meter() { return meter_; }
   const OverheadMeter& meter() const { return meter_; }
 
+  /// Copy of the current property state, for save/restore around callers
+  /// that apply caller-scoped properties (the gateway applies a request's
+  /// properties to a shared long-lived proxy; without restore they would
+  /// leak into the next request on that proxy).
+  [[nodiscard]] PropertyBag snapshotProperties() const { return properties_; }
+  void restoreProperties(PropertyBag saved) { properties_ = std::move(saved); }
+
  protected:
   /// Throws ProxyError(kIllegalArgument) if a property the binding plane
   /// marks required has not been set (called by bindings before first use).
@@ -76,6 +83,26 @@ class MProxy {
   /// Global-interner symbol of binding_->properties[i], same order; the
   /// plane's property NameIndex slot doubles as the index here.
   support::SmallVector<support::Symbol, 8> spec_keys_;
+};
+
+/// RAII save/restore of a proxy's property state. Snapshot at
+/// construction, restore at destruction (including on unwind), so
+/// request-scoped property overrides cannot leak into later invocations
+/// on the same proxy. Note: this guards the bag of the proxy it is given;
+/// enrichment decorators that forward setProperty to a wrapped inner
+/// proxy must be guarded on that inner proxy.
+class ScopedPropertyRestore {
+ public:
+  explicit ScopedPropertyRestore(MProxy& proxy)
+      : proxy_(proxy), saved_(proxy.snapshotProperties()) {}
+  ~ScopedPropertyRestore() { proxy_.restoreProperties(std::move(saved_)); }
+
+  ScopedPropertyRestore(const ScopedPropertyRestore&) = delete;
+  ScopedPropertyRestore& operator=(const ScopedPropertyRestore&) = delete;
+
+ private:
+  MProxy& proxy_;
+  PropertyBag saved_;
 };
 
 }  // namespace mobivine::core

@@ -1,21 +1,26 @@
 #include "gateway/gateway.h"
 
 #include <algorithm>
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "android/android_platform.h"
+#include "core/meter.h"
+#include "core/proxy.h"
 #include "core/registry.h"
-#include "gateway/mpmc_queue.h"
+#include "gateway/mpsc_queue.h"
 #include "iphone/iphone_platform.h"
 #include "s60/s60_platform.h"
 #include "sim/geo_track.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace mobivine::gateway {
 
@@ -45,6 +50,8 @@ namespace {
 }
 
 constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+constexpr int kOpCount = static_cast<int>(core::Op::kCount_);
 
 /// A request as it sits in a shard queue: envelope + admission stamps.
 struct QueuedRequest {
@@ -190,21 +197,56 @@ class Gateway::Shard {
 
   ShardStats& stats() { return stats_; }
 
+  /// Sum this shard's nine proxy meters into the caller's accumulators
+  /// (M-Scope metrics source). Meter counters are relaxed atomics, so
+  /// reading them while the worker serves is safe.
+  void AddMeterCounts(std::array<std::uint64_t, kOpCount>& counts,
+                      std::uint64_t& charged_us) const {
+    const auto add = [&](const core::MProxy& proxy) {
+      const core::OverheadMeter& meter = proxy.meter();
+      for (int op = 0; op < kOpCount; ++op) {
+        counts[static_cast<std::size_t>(op)] +=
+            meter.count(static_cast<core::Op>(op));
+      }
+      charged_us += static_cast<std::uint64_t>(meter.charged().micros());
+    };
+    for (const auto& proxy : location_) add(*proxy);
+    for (const auto& proxy : sms_) add(*proxy);
+    for (const auto& proxy : http_) add(*proxy);
+  }
+
  private:
   static constexpr std::size_t PlatformIndex(Platform platform) {
     return static_cast<std::size_t>(platform);
   }
 
+  /// M-Scope virtual clock source for this shard's worker thread: spans
+  /// recorded on it carry the shard scheduler's virtual timestamps.
+  static std::uint64_t VirtualNow(void* ctx) {
+    auto* shard = static_cast<Shard*>(ctx);
+    return static_cast<std::uint64_t>(shard->device_->scheduler().now().micros());
+  }
+
   void WorkerLoop() {
+    support::trace::SetCurrentThreadName("shard-" + std::to_string(index_));
+    support::trace::SetThreadVirtualClock(&Shard::VirtualNow, this);
     QueuedRequest queued;
     while (queue_.Pop(queued)) Serve(queued);
+    support::trace::SetThreadVirtualClock(nullptr, nullptr);
   }
 
   void Serve(QueuedRequest& queued) {
+    support::trace::Span serve_span("gateway.serve");
+    serve_span.Tag("shard", index_);
     Response response;
     response.shard = index_;
     const Clock::time_point dequeued_at = Clock::now();
+    // Queue wait starts on the submitting thread and ends here; record it
+    // as a complete event with caller-supplied bounds.
+    support::trace::CompleteEvent("gateway.queue_wait", queued.submitted_at,
+                                  dequeued_at, "shard", index_);
     if (dequeued_at >= queued.deadline) {
+      support::trace::Instant("gateway.deadline_expired", "shard", index_);
       stats_.OnTimedOut();
       response.error = core::ErrorCode::kDeadlineExceeded;
       response.message = "deadline expired in queue";
@@ -219,28 +261,59 @@ class Gateway::Shard {
     std::chrono::microseconds backoff =
         std::max(policy.initial_backoff, std::chrono::microseconds(1));
     while (true) {
+      // The backoff-fits check below predicts the deadline will survive
+      // the sleep, but sleep_for may overshoot: re-check so an expired
+      // request never starts another attempt.
+      if (response.attempts > 0 && Clock::now() >= queued.deadline) {
+        support::trace::Instant("gateway.deadline_expired", "shard", index_);
+        stats_.OnTimedOut();
+        response.error = core::ErrorCode::kDeadlineExceeded;
+        response.message = "deadline expired between retry attempts";
+        break;
+      }
       ++response.attempts;
       try {
+        support::trace::Span attempt_span("gateway.attempt");
+        attempt_span.Tag("n", response.attempts);
+        attempt_span.Tag("shard", index_);
         response.payload = ExecuteOnce(queued.request);
         response.ok = true;
         stats_.OnOk();
         break;
       } catch (const core::ProxyError& error) {
+        const bool transient = IsTransient(error.code());
         const bool attempts_left = response.attempts < max_attempts;
-        const bool backoff_fits =
-            Clock::now() + backoff < queued.deadline;
-        if (!IsTransient(error.code()) || !attempts_left || !backoff_fits) {
+        if (!transient || !attempts_left) {
           stats_.OnFailed();
           response.error = error.code();
           response.message = error.what();
           break;
         }
+        if (Clock::now() + backoff >= queued.deadline) {
+          // Transient and attempts remain, but the deadline cannot absorb
+          // the next backoff: the request ran out of time, not attempts.
+          // That is a deadline outcome, not a failure of the last error's
+          // kind — misclassifying it as the transient error both lies to
+          // the caller and double-books stats (failed vs timed_out).
+          stats_.OnTimedOut();
+          response.error = core::ErrorCode::kDeadlineExceeded;
+          response.message =
+              std::string("deadline exhausted during retry; last error: ") +
+              error.what();
+          break;
+        }
         stats_.OnRetry();
-        std::this_thread::sleep_for(backoff);
-        // Mirror the wait onto the shard's virtual timeline so device-side
-        // timers (delivery reports, polling) progress during the backoff.
-        device_->scheduler().AdvanceBy(
-            sim::SimTime::Micros(backoff.count()));
+        {
+          support::trace::Span backoff_span("gateway.backoff");
+          backoff_span.Tag("backoff_us", backoff.count());
+          backoff_span.Tag("shard", index_);
+          std::this_thread::sleep_for(backoff);
+          // Mirror the wait onto the shard's virtual timeline so
+          // device-side timers (delivery reports, polling) progress
+          // during the backoff.
+          device_->scheduler().AdvanceBy(
+              sim::SimTime::Micros(backoff.count()));
+        }
         const auto grown = static_cast<std::int64_t>(
             static_cast<double>(backoff.count()) * policy.multiplier);
         backoff = std::min(std::chrono::microseconds(std::max<std::int64_t>(
@@ -264,12 +337,21 @@ class Gateway::Shard {
         Clock::now() - queued.submitted_at);
     stats_.RecordLatency(
         static_cast<std::uint64_t>(response.latency.count()));
+    support::trace::Span complete_span("gateway.complete");
+    complete_span.Tag("shard", index_);
+    complete_span.Tag("attempts", response.attempts);
     InvokeCompletion(queued.request, response);
   }
 
   /// One attempt on the real proxy surface. Throws ProxyError on failure.
   std::string ExecuteOnce(const Request& request) {
     core::MProxy& proxy = ProxyFor(request.platform, request.op);
+    // Request-scoped properties are applied to a shard-shared, long-lived
+    // proxy; without save/restore they would leak into every later
+    // request served on it (including on throw, e.g. a property-driven
+    // LocationException). Snapshot only when there is something to apply.
+    std::optional<core::ScopedPropertyRestore> restore;
+    if (!request.properties.empty()) restore.emplace(proxy);
     for (const auto& [name, value] : request.properties) {
       proxy.setProperty(name, value);
     }
@@ -316,7 +398,7 @@ class Gateway::Shard {
   }
 
   const std::uint32_t index_;
-  BoundedMpmcQueue<QueuedRequest> queue_;
+  BoundedMpscQueue<QueuedRequest> queue_;
   const std::size_t shed_watermark_;
   const RetryPolicy default_retry_;
   ShardStats stats_;
@@ -362,7 +444,9 @@ std::size_t Gateway::queue_depth() const {
 }
 
 bool Gateway::Submit(Request request) {
+  support::trace::Span span("gateway.submit");
   const std::uint32_t index = ShardFor(request.client_id);
+  span.Tag("shard", index);
   Shard& shard = *shards_[index];
 
   QueuedRequest queued;
@@ -373,10 +457,13 @@ bool Gateway::Submit(Request request) {
   queued.request = std::move(request);
 
   if (!stopping_.load(std::memory_order_relaxed) && shard.TrySubmit(queued)) {
+    span.Tag("admitted", 1);
     return true;
   }
   // Shed on the submitting thread: typed overload error, no queueing.
   // (TrySubmit leaves `queued` intact on failure.)
+  span.Tag("admitted", 0);
+  support::trace::Instant("gateway.shed", "shard", index);
   shard.stats().OnShed();
   Response response;
   response.error = core::ErrorCode::kOverloaded;
@@ -421,6 +508,55 @@ GatewaySnapshot Gateway::Stats() const {
   snapshots.reserve(shards_.size());
   for (const auto& shard : shards_) snapshots.push_back(shard->Snapshot());
   return Aggregate(std::move(snapshots));
+}
+
+support::MetricsRegistry::Registration Gateway::RegisterMetrics(
+    support::MetricsRegistry& registry, std::string prefix) const {
+  return registry.Register(
+      std::move(prefix), [this](support::MetricsSink& sink) {
+        const GatewaySnapshot snapshot = Stats();
+        const ShardSnapshot& totals = snapshot.totals;
+        sink.Counter("accepted", totals.accepted);
+        sink.Counter("shed", totals.shed);
+        sink.Counter("ok", totals.ok);
+        sink.Counter("failed", totals.failed);
+        sink.Counter("timed_out", totals.timed_out);
+        sink.Counter("retries", totals.retries);
+        sink.Counter("queue_depth", totals.queue_depth);
+        sink.Counter("max_queue_depth", totals.max_queue_depth);
+        sink.Gauge("latency_p50_us",
+                   static_cast<double>(snapshot.p50_micros()));
+        sink.Gauge("latency_p95_us",
+                   static_cast<double>(snapshot.p95_micros()));
+        sink.Gauge("latency_p99_us",
+                   static_cast<double>(snapshot.p99_micros()));
+        for (std::size_t i = 0; i < snapshot.shards.size(); ++i) {
+          const ShardSnapshot& s = snapshot.shards[i];
+          const std::string base = "shard." + std::to_string(i) + ".";
+          sink.Counter(base + "accepted", s.accepted);
+          sink.Counter(base + "shed", s.shed);
+          sink.Counter(base + "ok", s.ok);
+          sink.Counter(base + "failed", s.failed);
+          sink.Counter(base + "timed_out", s.timed_out);
+          sink.Counter(base + "retries", s.retries);
+          sink.Counter(base + "queue_depth", s.queue_depth);
+          sink.Counter(base + "max_queue_depth", s.max_queue_depth);
+        }
+        // Per-proxy OverheadMeter counts summed across every shard's nine
+        // proxies: the paper's de-fragmentation-overhead attribution, as a
+        // live metric.
+        std::array<std::uint64_t, kOpCount> counts{};
+        std::uint64_t charged_us = 0;
+        for (const auto& shard : shards_) {
+          shard->AddMeterCounts(counts, charged_us);
+        }
+        for (int op = 0; op < kOpCount; ++op) {
+          sink.Counter(
+              std::string("op.") + core::ToString(static_cast<core::Op>(op)),
+              counts[static_cast<std::size_t>(op)]);
+        }
+        sink.Counter("op.charged_virtual_us", charged_us);
+      });
 }
 
 }  // namespace mobivine::gateway

@@ -22,18 +22,25 @@
 //  * Retries — transient binding failures (timeout, radio failure, lost
 //    GPS fix, network) re-execute under a bounded exponential backoff;
 //    the backoff is slept on the worker's wall clock and mirrored onto
-//    the shard's virtual clock. Exhaustion surfaces the last error.
+//    the shard's virtual clock. Exhausting attempts surfaces the last
+//    error; running out of deadline mid-retry surfaces kDeadlineExceeded
+//    (the request ran out of time, not attempts) and counts as timed_out.
+//  * Property isolation — a request's properties are applied to the
+//    shard's long-lived proxies under save/restore, so per-request
+//    overrides never leak into later requests on the same shard.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/descriptor/proxy_descriptor.h"
 #include "device/mobile_device.h"
 #include "gateway/request.h"
 #include "gateway/stats.h"
+#include "support/metrics.h"
 
 namespace mobivine::gateway {
 
@@ -87,6 +94,14 @@ class Gateway {
 
   /// Lock-free-readable view of all counters; safe while serving.
   [[nodiscard]] GatewaySnapshot Stats() const;
+
+  /// Register this gateway as one M-Scope metrics source under `prefix`:
+  /// totals and per-shard serving counters, latency percentiles, and the
+  /// per-proxy OverheadMeter op counts summed across shards. The returned
+  /// registration must be dropped before the gateway is destroyed.
+  [[nodiscard]] support::MetricsRegistry::Registration RegisterMetrics(
+      support::MetricsRegistry& registry,
+      std::string prefix = "gateway.") const;
 
   /// Which shard serves a client (stable for the gateway's lifetime).
   [[nodiscard]] std::uint32_t ShardFor(std::uint64_t client_id) const;

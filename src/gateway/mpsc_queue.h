@@ -1,4 +1,7 @@
-// Bounded multi-producer queue feeding a shard's worker thread.
+// Bounded multi-producer single-consumer queue feeding a shard's worker
+// thread. (Formerly misnamed BoundedMpmcQueue — the implementation was
+// always single-consumer by design; the name now matches the contract,
+// and debug builds assert it.)
 //
 // Producers (any client thread hitting Gateway::Submit) never block: a
 // full or closed queue fails TryPush and the gateway sheds the request —
@@ -15,22 +18,24 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
 namespace mobivine::gateway {
 
 template <typename T>
-class BoundedMpmcQueue {
+class BoundedMpscQueue {
  public:
-  explicit BoundedMpmcQueue(std::size_t capacity)
+  explicit BoundedMpscQueue(std::size_t capacity)
       : ring_(capacity > 0 ? capacity : 1) {}
 
-  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
-  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
 
   /// Non-blocking producer side. False when full or closed (the caller
   /// sheds); true means the consumer will eventually pop the item.
@@ -46,9 +51,12 @@ class BoundedMpmcQueue {
     return true;
   }
 
-  /// Blocking consumer side. False only when closed and drained.
+  /// Blocking consumer side. False only when closed and drained. Must be
+  /// called from exactly one thread over the queue's lifetime (the first
+  /// popping thread claims the consumer role; debug builds assert it).
   bool Pop(T& out) {
     std::unique_lock<std::mutex> lock(mutex_);
+    AssertSingleConsumer();
     not_empty_.wait(lock, [this] { return count_ > 0 || closed_; });
     if (count_ == 0) return false;
     out = std::move(ring_[head_]);
@@ -76,6 +84,19 @@ class BoundedMpmcQueue {
   [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
 
  private:
+#ifndef NDEBUG
+  // Called under mutex_; the first popper claims the consumer role and
+  // any later Pop() from a different thread trips the assert.
+  void AssertSingleConsumer() {
+    if (consumer_ == std::thread::id{}) consumer_ = std::this_thread::get_id();
+    assert(consumer_ == std::this_thread::get_id() &&
+           "BoundedMpscQueue: Pop() from more than one thread");
+  }
+  std::thread::id consumer_;
+#else
+  void AssertSingleConsumer() {}
+#endif
+
   std::vector<T> ring_;
   std::size_t head_ = 0;
   std::size_t count_ = 0;

@@ -1,0 +1,102 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace mobivine::support {
+
+void MetricsSink::Counter(std::string_view name, std::uint64_t value) {
+  Entry entry;
+  entry.name.reserve(prefix_.size() + name.size());
+  entry.name.append(prefix_).append(name);
+  entry.is_counter = true;
+  entry.count = value;
+  entries_.push_back(std::move(entry));
+}
+
+void MetricsSink::Gauge(std::string_view name, double value) {
+  Entry entry;
+  entry.name.reserve(prefix_.size() + name.size());
+  entry.name.append(prefix_).append(name);
+  entry.is_counter = false;
+  entry.gauge = value;
+  entries_.push_back(std::move(entry));
+}
+
+const MetricsSink::Entry* MetricsSnapshot::Find(std::string_view name) const {
+  for (const auto& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::WriteJson(std::ostream& out) const {
+  out << "{\"metrics\":{";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& entry = entries[i];
+    if (i > 0) out << ',';
+    out << '"' << entry.name << "\":";
+    if (entry.is_counter) {
+      out << entry.count;
+    } else if (std::isfinite(entry.gauge)) {
+      out << entry.gauge;
+    } else {
+      out << "null";
+    }
+  }
+  out << "}}";
+}
+
+MetricsRegistry::Registration MetricsRegistry::Register(std::string prefix,
+                                                        SourceFn source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  sources_.push_back(Source{id, std::move(prefix), std::move(source)});
+  return Registration(this, id);
+}
+
+void MetricsRegistry::Registration::Release() {
+  if (registry_ != nullptr) {
+    registry_->Remove(id_);
+    registry_ = nullptr;
+  }
+}
+
+void MetricsRegistry::Remove(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sources_.erase(std::remove_if(sources_.begin(), sources_.end(),
+                                [id](const Source& s) { return s.id == id; }),
+                 sources_.end());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& source : sources_) {
+      MetricsSink sink(source.prefix);
+      source.fn(sink);
+      for (auto& entry : sink.entries()) {
+        snapshot.entries.push_back(std::move(entry));
+      }
+    }
+  }
+  std::sort(snapshot.entries.begin(), snapshot.entries.end(),
+            [](const MetricsSink::Entry& a, const MetricsSink::Entry& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+std::size_t MetricsRegistry::source_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sources_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+}  // namespace mobivine::support

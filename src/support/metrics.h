@@ -1,0 +1,125 @@
+// M-Scope metrics plane: one snapshot API over every counter the system
+// keeps.
+//
+// The gateway's ShardStats, its latency histograms, and the per-proxy
+// OverheadMeter op counts each grew their own read paths; MetricsRegistry
+// unifies them behind named sources. A source is a callback that flattens
+// its counters into (name, value) pairs under a prefix; Snapshot() runs
+// every registered source and returns one sorted, queryable view that
+// WriteJson() renders as a flat JSON dump — the metrics sibling of the
+// trace exporter.
+//
+// Sources must tolerate being invoked from any thread at any time: the
+// registry only serializes registration against snapshotting, it does not
+// stop the writers (the existing stats planes are relaxed-atomic for
+// exactly this reason).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mobivine::support {
+
+/// Collects one source's metrics during a snapshot; the prefix of the
+/// owning registration is prepended to every name.
+class MetricsSink {
+ public:
+  explicit MetricsSink(const std::string& prefix) : prefix_(prefix) {}
+
+  void Counter(std::string_view name, std::uint64_t value);
+  void Gauge(std::string_view name, double value);
+
+  struct Entry {
+    std::string name;
+    bool is_counter = true;
+    std::uint64_t count = 0;  ///< valid when is_counter
+    double gauge = 0;         ///< valid when !is_counter
+  };
+
+  std::vector<Entry>& entries() { return entries_; }
+
+ private:
+  const std::string& prefix_;
+  std::vector<Entry> entries_;
+};
+
+/// Point-in-time view over every registered source, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricsSink::Entry> entries;
+
+  [[nodiscard]] const MetricsSink::Entry* Find(std::string_view name) const;
+
+  /// Flat JSON dump: {"metrics": {"<name>": <value>, ...}}.
+  void WriteJson(std::ostream& out) const;
+};
+
+class MetricsRegistry {
+ public:
+  using SourceFn = std::function<void(MetricsSink&)>;
+
+  /// RAII handle: unregisters the source on destruction. The source
+  /// callback must stay valid for the registration's lifetime.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept { MoveFrom(other); }
+    Registration& operator=(Registration&& other) noexcept {
+      if (this != &other) {
+        Release();
+        MoveFrom(other);
+      }
+      return *this;
+    }
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+    ~Registration() { Release(); }
+
+   private:
+    friend class MetricsRegistry;
+    Registration(MetricsRegistry* registry, std::uint64_t id)
+        : registry_(registry), id_(id) {}
+    void MoveFrom(Registration& other) {
+      registry_ = other.registry_;
+      id_ = other.id_;
+      other.registry_ = nullptr;
+    }
+    void Release();
+
+    MetricsRegistry* registry_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  /// Register a source whose metric names all start with `prefix`
+  /// (conventionally dot-terminated, e.g. "gateway.").
+  [[nodiscard]] Registration Register(std::string prefix, SourceFn source);
+
+  /// Run every source and return the merged, name-sorted view.
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+
+  [[nodiscard]] std::size_t source_count() const;
+
+  /// Process-wide registry for tools that want zero wiring (the demo and
+  /// benches use their own local registries).
+  static MetricsRegistry& Global();
+
+ private:
+  void Remove(std::uint64_t id);
+
+  struct Source {
+    std::uint64_t id = 0;
+    std::string prefix;
+    SourceFn fn;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Source> sources_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mobivine::support

@@ -6,13 +6,17 @@
 //  * admission control sheds above the watermark with kOverloaded and the
 //    queues stay bounded;
 //  * deadlines fire at dequeue with kDeadlineExceeded;
-//  * transient binding failures retry with bounded backoff and exhaust
-//    into the underlying typed error;
+//  * transient binding failures retry with bounded backoff; exhausting
+//    attempts surfaces the underlying typed error, while running out of
+//    deadline mid-retry surfaces kDeadlineExceeded and counts timed_out;
+//  * request-scoped properties never leak into later requests served on
+//    the same shard's proxies;
 //  * GatewayStats counters reconcile with what the callbacks observed.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <set>
 #include <string>
 #include <thread>
@@ -160,6 +164,36 @@ TEST(Gateway, PerRequestPropertiesFlowThroughSetProperty) {
   EXPECT_FALSE(bad_response.ok);
   EXPECT_EQ(bad_response.error, ErrorCode::kIllegalArgument);
   EXPECT_EQ(bad_response.attempts, 1);
+}
+
+TEST(Gateway, PerRequestPropertiesDoNotLeakAcrossRequests) {
+  Gateway gw(BaseConfig(1));
+
+  // Request A tightens the S60 location criteria past what the simulated
+  // provider can satisfy in low-power mode (horizontalAccuracy < 25 with
+  // powerConsumption "low" -> LocationException -> kLocationUnavailable).
+  Request strict;
+  strict.client_id = 1;
+  strict.platform = Platform::kS60;
+  strict.op = Op::kGetLocation;
+  strict.retry.max_attempts = 1;  // kLocationUnavailable is transient
+  strict.properties.emplace_back("horizontalAccuracy", 10LL);
+  strict.properties.emplace_back("powerConsumption", std::string("low"));
+  const Response strict_response = gw.Call(std::move(strict));
+  ASSERT_FALSE(strict_response.ok);
+  ASSERT_EQ(strict_response.error, ErrorCode::kLocationUnavailable);
+
+  // Request B carries no properties. It runs on the same shard-shared
+  // proxy; if A's criteria leaked, B inherits them and fails too.
+  Request plain;
+  plain.client_id = 1;
+  plain.platform = Platform::kS60;
+  plain.op = Op::kGetLocation;
+  plain.retry.max_attempts = 1;
+  const Response plain_response = gw.Call(std::move(plain));
+  EXPECT_TRUE(plain_response.ok)
+      << "request A's properties leaked into request B: "
+      << plain_response.message;
 }
 
 // ---------------------------------------------------------------------------
@@ -333,10 +367,47 @@ TEST(Gateway, RetryBackoffRespectsDeadline) {
   const Response response = gw.Call(std::move(request));
   const auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_FALSE(response.ok);
-  EXPECT_EQ(response.error, ErrorCode::kTimeout);  // last transient error
+  // Attempts remained but the deadline could not absorb another backoff:
+  // a deadline outcome, not a failure of the last transient error's kind.
+  EXPECT_EQ(response.error, ErrorCode::kDeadlineExceeded);
   EXPECT_LT(response.attempts, 1000);
   // Bounded by deadline + one in-flight attempt, not 1000 * 20 ms.
   EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(Gateway, RetryDeadlineExhaustionClassifiedAsDeadlineExceeded) {
+  GatewayConfig config = BaseConfig(1);
+  config.device_template.network.loss_probability = 1.0;  // always transient
+  config.device_template.network.timeout = sim::SimTime::Seconds(2);
+  config.default_retry.max_attempts = 1000;
+  config.default_retry.initial_backoff = std::chrono::milliseconds(20);
+  config.default_retry.multiplier = 1.0;
+  config.default_retry.max_backoff = std::chrono::milliseconds(20);
+  Gateway gw(config);
+
+  Request request = HttpGetRequest(3);
+  request.timeout = std::chrono::milliseconds(100);
+  const Response response = gw.Call(std::move(request));
+  ASSERT_FALSE(response.ok);
+  EXPECT_EQ(response.error, ErrorCode::kDeadlineExceeded);
+  // The message still names the transient error that was being retried.
+  EXPECT_NE(response.message.find("last error"), std::string::npos)
+      << response.message;
+
+  // Stats must book the outcome as timed_out, exactly once, and not as a
+  // failure — the double-booking the old classification produced.
+  const GatewaySnapshot stats = gw.Stats();
+  EXPECT_EQ(stats.totals.timed_out, 1u);
+  EXPECT_EQ(stats.totals.failed, 0u);
+  EXPECT_EQ(stats.totals.ok, 0u);
+  // Every attempt beyond the first was booked as a retry; when the final
+  // backoff oversleeps the deadline there is one extra booked retry whose
+  // attempt never started.
+  EXPECT_GE(stats.totals.retries,
+            static_cast<std::uint64_t>(response.attempts - 1));
+  EXPECT_LE(stats.totals.retries,
+            static_cast<std::uint64_t>(response.attempts));
+  EXPECT_EQ(stats.totals.completed(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -400,6 +471,72 @@ TEST(GatewayHistogram, BucketsAndPercentiles) {
   EXPECT_GE(p99, 900u);
   EXPECT_LE(p99, 1200u);
   EXPECT_LE(snap.Percentile(0.0), snap.Percentile(1.0));
+}
+
+TEST(GatewayHistogram, BucketBoundsAreExactBelowEightMicros) {
+  // Values 0..7 get exact buckets: zero bucketing error.
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    const std::size_t index = gateway::histogram_detail::BucketFor(v);
+    EXPECT_EQ(index, v);
+    EXPECT_EQ(gateway::histogram_detail::BucketUpperBound(index), v);
+  }
+}
+
+TEST(GatewayHistogram, RelativeErrorBoundedAcrossAllOctaves) {
+  // For every representable value the reported upper bound over-estimates
+  // by at most one sub-bucket width: ub - v <= v / 8 (~12.5%). Probe each
+  // octave at its boundaries and mid-band, where the bound is tightest
+  // and loosest respectively.
+  const auto check = [](std::uint64_t v) {
+    const std::size_t index = gateway::histogram_detail::BucketFor(v);
+    ASSERT_LT(index, gateway::histogram_detail::kBucketCount);
+    const std::uint64_t ub =
+        gateway::histogram_detail::BucketUpperBound(index);
+    EXPECT_GE(ub, v) << "value " << v << " reported below itself";
+    EXPECT_LE(ub - v, v / 8)
+        << "value " << v << " bucket ub " << ub << " exceeds 12.5% error";
+  };
+  for (int octave = 3; octave < 64; ++octave) {
+    const std::uint64_t base = 1ull << octave;
+    check(base);          // octave entry
+    check(base + 1);      // just inside
+    check(base + base / 2);  // mid-band
+    check(base + base - 1);  // last value of the octave (no overflow:
+                             // 2*base - 1 <= UINT64_MAX for octave 63)
+  }
+}
+
+TEST(GatewayHistogram, TopOctaveUpperBoundSaturatesAtMax) {
+  using gateway::histogram_detail::BucketFor;
+  using gateway::histogram_detail::BucketUpperBound;
+  // The last occupied slot is octave 63, sub-bucket 7: (63-2)*8 + 7.
+  constexpr std::size_t kTopIndex = 495;
+  EXPECT_EQ(BucketFor(UINT64_MAX), kTopIndex);
+  // base + 8*width - 1 = 2^63 + 2^63 - 1 saturates exactly at UINT64_MAX;
+  // a naive "base * 2" would have overflowed to 0.
+  EXPECT_EQ(BucketUpperBound(kTopIndex), UINT64_MAX);
+
+  gateway::LatencyHistogram histogram;
+  histogram.Record(UINT64_MAX);
+  const gateway::HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.total(), 1u);
+  EXPECT_EQ(snap.Percentile(1.0), UINT64_MAX);
+}
+
+TEST(GatewayHistogram, PercentileRanksTrackExactValuesWithinErrorBound) {
+  // 1..1000 recorded once each: the exact q-quantile is rank
+  // floor(q * 999) + 1, and the histogram's answer must sit within one
+  // sub-bucket width above it.
+  gateway::LatencyHistogram histogram;
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  const gateway::HistogramSnapshot snap = histogram.Snapshot();
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::uint64_t exact =
+        static_cast<std::uint64_t>(q * 999.0) + 1;
+    const std::uint64_t reported = snap.Percentile(q);
+    EXPECT_GE(reported, exact) << "q=" << q;
+    EXPECT_LE(reported - exact, exact / 8 + 1) << "q=" << q;
+  }
 }
 
 }  // namespace
