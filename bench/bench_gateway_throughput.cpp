@@ -29,8 +29,15 @@
 // numbers measure the disabled-hook cost, not recording. --trace-only
 // skips the throughput scenarios (the CI validation leg uses this).
 //
+// M-Failover (EXPERIMENTS.md W4): with one or more --fault-plan flags
+// the bench runs the failover availability matrix instead — each plan is
+// driven through the gateway three times (failover disabled / failover /
+// failover+hedging) with single-round retries, so recovery is entirely
+// M-Failover's doing — and writes BENCH_failover.json (or argv[1]).
+//
 //   ./build/bench/bench_gateway_throughput [output.json]
 //       [--trace trace.json] [--metrics metrics.json] [--trace-only]
+//       [--fault-plan "android:*:error=timeout:p=0.3"]...
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -42,6 +49,7 @@
 #include "gateway/gateway.h"
 #include "gateway/traffic.h"
 #include "sim/clock.h"
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -150,6 +158,126 @@ OverloadResult RunOverload() {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// W4: failover availability matrix
+// ---------------------------------------------------------------------------
+
+struct FailoverCell {
+  std::string mode;  ///< "disabled" | "failover" | "failover+hedging"
+  gateway::TrafficReport report;
+  double availability = 0;  ///< ok / submitted
+  std::uint64_t p50 = 0, p95 = 0, p99 = 0;
+  std::uint64_t failovers = 0, hedges_fired = 0, hedges_won = 0;
+  std::uint64_t breaker_opens = 0, faults_injected = 0;
+};
+
+FailoverCell RunFailoverCell(const support::FaultPlan& plan,
+                             bool failover, bool hedging) {
+  gateway::GatewayConfig config;
+  config.shards = 2;
+  config.store = &Store();
+  config.failover.failover = failover;
+  config.failover.hedging = hedging;
+  config.failover.fault_plan = plan;
+
+  gateway::Gateway gw(config);
+
+  gateway::TrafficConfig traffic;
+  traffic.producers = 2;
+  traffic.requests_per_producer = 2000;
+  traffic.clients = 512;
+  traffic.window = 16;
+  traffic.seed = 42;
+  // One retry round: whatever availability survives the faults is
+  // M-Failover's doing, not the retry plane's.
+  traffic.retry.max_attempts = 1;
+  // Every primary on android, where the shipped plans inject: the matrix
+  // measures how the faulted platform's traffic fares.
+  traffic.mix.android = 1;
+  traffic.mix.s60 = 0;
+  traffic.mix.iphone = 0;
+
+  FailoverCell cell;
+  cell.mode = !failover ? "disabled"
+                        : (hedging ? "failover+hedging" : "failover");
+  cell.report = gateway::RunTraffic(gw, traffic);
+  const gateway::GatewaySnapshot stats = gw.Stats();
+  cell.availability = cell.report.submitted > 0
+                          ? static_cast<double>(cell.report.ok) /
+                                static_cast<double>(cell.report.submitted)
+                          : 0;
+  cell.p50 = stats.p50_micros();
+  cell.p95 = stats.p95_micros();
+  cell.p99 = stats.p99_micros();
+  cell.failovers = stats.totals.failovers;
+  cell.hedges_fired = stats.totals.hedges_fired;
+  cell.hedges_won = stats.totals.hedges_won;
+  cell.breaker_opens = stats.totals.breaker_opens;
+  cell.faults_injected = stats.totals.faults_injected;
+  gw.Stop();
+  return cell;
+}
+
+int RunFailoverMatrix(const std::vector<std::string>& plan_texts,
+                      const std::string& output) {
+  std::printf("M-Failover availability matrix (2 shards, android-primary "
+              "traffic, 1 retry round)\n");
+  std::ofstream json(output);
+  json << "{\n  \"bench\": \"gateway_failover\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n  \"matrix\": [\n";
+  bool first_cell = true;
+  for (const std::string& text : plan_texts) {
+    std::string error;
+    const auto plan = support::FaultPlan::Parse(text, &error);
+    if (!plan) {
+      std::fprintf(stderr, "bad --fault-plan %s: %s\n", text.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::printf("\nplan: %s\n", plan->ToString().c_str());
+    std::printf("%-18s %12s %10s %10s %10s %10s %8s %8s %8s\n", "mode",
+                "availability", "p50(us)", "p95(us)", "p99(us)", "faults",
+                "failovr", "hedged", "brk-open");
+    std::printf("%s\n", std::string(100, '-').c_str());
+    const struct { bool failover, hedging; } modes[] = {
+        {false, false}, {true, false}, {true, true}};
+    for (const auto& mode : modes) {
+      const FailoverCell cell =
+          RunFailoverCell(*plan, mode.failover, mode.hedging);
+      std::printf("%-18s %11.2f%% %10llu %10llu %10llu %10llu %8llu %8llu "
+                  "%8llu\n",
+                  cell.mode.c_str(), cell.availability * 100.0,
+                  static_cast<unsigned long long>(cell.p50),
+                  static_cast<unsigned long long>(cell.p95),
+                  static_cast<unsigned long long>(cell.p99),
+                  static_cast<unsigned long long>(cell.faults_injected),
+                  static_cast<unsigned long long>(cell.failovers),
+                  static_cast<unsigned long long>(cell.hedges_fired),
+                  static_cast<unsigned long long>(cell.breaker_opens));
+      json << (first_cell ? "" : ",\n");
+      first_cell = false;
+      json << "    {\"plan\": \"" << plan->ToString() << "\", \"mode\": \""
+           << cell.mode << "\", \"submitted\": " << cell.report.submitted
+           << ", \"ok\": " << cell.report.ok
+           << ", \"failed\": " << cell.report.failed
+           << ", \"timed_out\": " << cell.report.timed_out
+           << ",\n     \"availability\": " << cell.availability
+           << ", \"p50_us\": " << cell.p50 << ", \"p95_us\": " << cell.p95
+           << ", \"p99_us\": " << cell.p99
+           << ",\n     \"faults_injected\": " << cell.faults_injected
+           << ", \"failovers\": " << cell.failovers
+           << ", \"hedges_fired\": " << cell.hedges_fired
+           << ", \"hedges_won\": " << cell.hedges_won
+           << ", \"breaker_opens\": " << cell.breaker_opens << "}";
+    }
+  }
+  json << "\n  ]\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", output.c_str());
+  return 0;
+}
+
 /// M-Scope scenario: tracing on, small gateway, mixed traffic that
 /// exercises every span source — per-request properties (core
 /// setProperty under a gateway attempt), transient failures (retry +
@@ -226,10 +354,11 @@ void RunTraced(const std::string& trace_path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string output = "BENCH_gateway.json";
+  std::string output;
   std::string trace_path;
   std::string metrics_path;
   bool trace_only = false;
+  std::vector<std::string> fault_plans;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
@@ -238,10 +367,17 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--trace-only") {
       trace_only = true;
+    } else if (arg == "--fault-plan" && i + 1 < argc) {
+      fault_plans.emplace_back(argv[++i]);
     } else {
       output = arg;
     }
   }
+  if (!fault_plans.empty()) {
+    return RunFailoverMatrix(
+        fault_plans, output.empty() ? "BENCH_failover.json" : output);
+  }
+  if (output.empty()) output = "BENCH_gateway.json";
   if (trace_only) {
     RunTraced(trace_path.empty() ? "TRACE_gateway.json" : trace_path,
               metrics_path);

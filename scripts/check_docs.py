@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate markdown cross-references across the repo's documentation.
+
+Checks every relative link and ``#anchor`` reference in README.md,
+DESIGN.md, EXPERIMENTS.md, CHANGES.md and docs/**/*.md:
+
+* relative link targets must exist on disk;
+* ``#anchor`` fragments (same-file or on a linked markdown file) must
+  match a heading in the target, using GitHub's slugification rules
+  (lowercase, punctuation stripped, spaces to hyphens, ``-1``/``-2``
+  suffixes for duplicates);
+* absolute URLs (http/https/mailto) are ignored — this is a
+  cross-reference check, not a dead-link crawler.
+
+Links inside fenced code blocks and inline code spans are not links.
+Exits non-zero listing every dangling reference as ``file:line``.
+
+Stdlib only; run from anywhere: python3 scripts/check_docs.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ROOT_DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGES.md"]
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, mailto:, ...
+
+
+def doc_files():
+    files = [REPO / name for name in ROOT_DOCS if (REPO / name).exists()]
+    files += sorted((REPO / "docs").glob("**/*.md"))
+    return files
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor algorithm: strip punctuation, hyphenate spaces,
+    then disambiguate repeats with -1, -2, ..."""
+    slug = heading.strip().lower()
+    slug = slug.replace("`", "")
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def scan(path):
+    """Return (anchors, links) for one markdown file; links are
+    (line_number, target) with code blocks/spans already removed."""
+    anchors = set()
+    links = []
+    seen = {}
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        heading = HEADING_RE.match(line)
+        if heading:
+            anchors.add(github_slug(heading.group(2), seen))
+            continue
+        for match in LINK_RE.finditer(INLINE_CODE_RE.sub("", line)):
+            links.append((number, match.group(1)))
+    return anchors, links
+
+
+def main():
+    scanned = {path.resolve(): scan(path) for path in doc_files()}
+    errors = []
+    total_links = 0
+
+    for path, (_, links) in sorted(scanned.items()):
+        rel = path.relative_to(REPO)
+        for number, target in links:
+            if EXTERNAL_RE.match(target):
+                continue
+            total_links += 1
+            raw_path, _, fragment = target.partition("#")
+            if raw_path:
+                resolved = (path.parent / raw_path).resolve()
+                if not resolved.exists():
+                    errors.append(f"{rel}:{number}: broken link: {target}")
+                    continue
+            else:
+                resolved = path  # pure "#anchor" reference
+            if fragment:
+                if resolved.suffix != ".md":
+                    continue  # anchors into non-markdown are out of scope
+                if resolved not in scanned:
+                    # a markdown file outside the checked set
+                    # (e.g. ROADMAP.md): scan it on demand
+                    scanned[resolved] = scan(resolved)
+                if fragment not in scanned[resolved][0]:
+                    errors.append(
+                        f"{rel}:{number}: dangling anchor: {target}")
+
+    if errors:
+        print(f"check_docs: {len(errors)} dangling reference(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"check_docs: OK — {len(scanned)} files, {total_links} relative "
+          "links, all targets and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

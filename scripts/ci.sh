@@ -5,15 +5,20 @@
 #   asan     Debug + AddressSanitizer
 #   ubsan    Debug + UndefinedBehaviorSanitizer
 #
-# The tsan preset (gateway/interner concurrency checking) is not in the
-# default matrix because a full-suite TSan run is slow; opt in with
+# The tsan preset (gateway/failover/interner concurrency checking) is not
+# in the default matrix because a full-suite TSan run is slow; opt in with
 #   MOBIVINE_CI_PRESETS="default asan ubsan tsan" scripts/ci.sh
 # or run it directly:
 #   cmake --preset tsan && cmake --build build-tsan -j && \
-#     ctest --test-dir build-tsan -R 'Gateway|Interner' --output-on-failure
+#     ctest --test-dir build-tsan -R 'Gateway|Failover|Interner' --output-on-failure
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Docs leg first: it needs no build and fails fast. Every relative link
+# and #anchor across README/DESIGN/EXPERIMENTS/CHANGES/docs must resolve.
+echo "==== [docs] markdown cross-reference check ===="
+python3 scripts/check_docs.py
 
 PRESETS=${MOBIVINE_CI_PRESETS:-"default asan ubsan"}
 JOBS=${MOBIVINE_CI_JOBS:-$(nproc)}
@@ -44,4 +49,4 @@ python3 scripts/validate_mscope.py \
   "$MSCOPE_DIR/trace.json" "$MSCOPE_DIR/metrics.json" \
   scripts/mscope_schema.json
 
-echo "==== all presets green: $PRESETS (+ mscope) ===="
+echo "==== all presets green: $PRESETS (+ docs, mscope) ===="

@@ -111,6 +111,7 @@ Location AndroidLocationProxy::ReadCurrentLocation() {
 Location AndroidLocationProxy::getLocation() {
   support::trace::Span span("android.getLocation");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("getLocation");
   RequireProperties();
   return ReadCurrentLocation();
 }
@@ -263,6 +264,7 @@ void AndroidSmsProxy::PruneFinishedReceivers() {
 int AndroidSmsProxy::segmentCount(const std::string& text) {
   support::trace::Span span("android.segmentCount");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("segmentCount");
   return platform_.sms_manager().divideMessage(text);
 }
 
@@ -271,6 +273,7 @@ long long AndroidSmsProxy::sendTextMessage(const std::string& destination,
                                            SmsListener* listener) {
   support::trace::Span span("android.sendTextMessage");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("sendTextMessage");
   meter().Charge(Op::kValidation);
   if (destination.empty() || text.empty()) {
     throw ProxyError(ErrorCode::kIllegalArgument,
@@ -540,6 +543,7 @@ HttpResult AndroidHttpProxy::Execute(const android::HttpUriRequest& request) {
 HttpResult AndroidHttpProxy::get(const std::string& url) {
   support::trace::Span span("android.httpGet");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("httpGet");
   android::HttpGet request(url);
   for (const auto& [name, value] : headers_) request.addHeader(name, value);
   return Execute(request);
@@ -550,6 +554,7 @@ HttpResult AndroidHttpProxy::post(const std::string& url,
                                   const std::string& content_type) {
   support::trace::Span span("android.httpPost");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("httpPost");
   android::HttpPost request(url);
   for (const auto& [name, value] : headers_) request.addHeader(name, value);
   request.addHeader("Content-Type", content_type);

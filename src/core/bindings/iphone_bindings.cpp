@@ -120,6 +120,7 @@ double IPhoneLocationProxy::DesiredAccuracy() {
 Location IPhoneLocationProxy::getLocation() {
   support::trace::Span span("iphone.getLocation");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("getLocation");
   RequireProperties();
 
   // Blocking facade over the streaming API: spin the run loop until the
@@ -255,6 +256,7 @@ IPhoneSmsProxy::~IPhoneSmsProxy() {
 int IPhoneSmsProxy::segmentCount(const std::string& text) {
   support::trace::Span span("iphone.segmentCount");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("segmentCount");
   meter().Charge(Op::kEnrichment);  // no native API for this on iPhone
   if (text.empty()) return 1;
   return static_cast<int>((text.size() + 159) / 160);
@@ -265,6 +267,7 @@ long long IPhoneSmsProxy::sendTextMessage(const std::string& destination,
                                           SmsListener* listener) {
   support::trace::Span span("iphone.sendTextMessage");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("sendTextMessage");
   meter().Charge(Op::kValidation);
   if (destination.empty() || text.empty()) {
     throw ProxyError(ErrorCode::kIllegalArgument,
@@ -433,6 +436,7 @@ HttpResult IPhoneHttpProxy::Execute(const std::string& method,
 HttpResult IPhoneHttpProxy::get(const std::string& url) {
   support::trace::Span span("iphone.httpGet");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("httpGet");
   return Execute("GET", url, "", "");
 }
 
@@ -441,6 +445,7 @@ HttpResult IPhoneHttpProxy::post(const std::string& url,
                                  const std::string& content_type) {
   support::trace::Span span("iphone.httpPost");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("httpPost");
   return Execute("POST", url, body, content_type);
 }
 

@@ -157,6 +157,7 @@ std::shared_ptr<s60::LocationProvider> S60LocationProxy::AcquireProvider() {
 Location S60LocationProxy::getLocation() {
   support::trace::Span span("s60.getLocation");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("getLocation");
   RequireProperties();
   auto provider = AcquireProvider();
   meter().Charge(Op::kPropertyLookup);
@@ -308,6 +309,7 @@ std::shared_ptr<s60::MessageConnection> S60SmsProxy::ConnectionFor(
 int S60SmsProxy::segmentCount(const std::string& text) {
   support::trace::Span span("s60.segmentCount");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("segmentCount");
   // JSR-120 exposes no segment computation; the proxy supplies it
   // (enrichment) with GSM 160-char segments.
   meter().Charge(Op::kEnrichment);
@@ -320,6 +322,7 @@ long long S60SmsProxy::sendTextMessage(const std::string& destination,
                                        SmsListener* listener) {
   support::trace::Span span("s60.sendTextMessage");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("sendTextMessage");
   meter().Charge(Op::kValidation);
   if (destination.empty() || text.empty()) {
     throw ProxyError(ErrorCode::kIllegalArgument,
@@ -545,6 +548,7 @@ HttpResult S60HttpProxy::Execute(const std::string& method,
 HttpResult S60HttpProxy::get(const std::string& url) {
   support::trace::Span span("s60.httpGet");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("httpGet");
   return Execute("GET", url, "", "");
 }
 
@@ -552,6 +556,7 @@ HttpResult S60HttpProxy::post(const std::string& url, const std::string& body,
                               const std::string& content_type) {
   support::trace::Span span("s60.httpPost");
   meter().Charge(Op::kDispatch);
+  AdmitDispatch("httpPost");
   return Execute("POST", url, body, content_type);
 }
 

@@ -31,10 +31,29 @@ const char* ToString(ErrorCode code) {
       return "overloaded";
     case ErrorCode::kDeadlineExceeded:
       return "deadline-exceeded";
+    case ErrorCode::kAllBackendsFailed:
+      return "all-backends-failed";
     case ErrorCode::kUnknown:
       return "unknown";
   }
   return "?";
+}
+
+ErrorCode ErrorCodeFromName(std::string_view name) {
+  // A dozen codes; linear probe against the canonical names keeps the
+  // two directions trivially in sync.
+  constexpr ErrorCode kAll[] = {
+      ErrorCode::kSecurity,         ErrorCode::kIllegalArgument,
+      ErrorCode::kLocationUnavailable, ErrorCode::kTimeout,
+      ErrorCode::kUnreachable,      ErrorCode::kRadioFailure,
+      ErrorCode::kUnsupported,      ErrorCode::kInvalidState,
+      ErrorCode::kNetwork,          ErrorCode::kOverloaded,
+      ErrorCode::kDeadlineExceeded, ErrorCode::kAllBackendsFailed,
+  };
+  for (ErrorCode code : kAll) {
+    if (name == ToString(code)) return code;
+  }
+  return ErrorCode::kUnknown;
 }
 
 void RethrowAsProxyError(const std::string& platform) {

@@ -9,6 +9,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace mobivine::core {
 
@@ -24,10 +25,16 @@ enum class ErrorCode {
   kNetwork,              ///< generic network-layer failure
   kOverloaded,           ///< gateway shed the request (admission control)
   kDeadlineExceeded,     ///< request deadline expired before/while serving
+  kAllBackendsFailed,    ///< failover exhausted every healthy platform
   kUnknown,
 };
 
 [[nodiscard]] const char* ToString(ErrorCode code);
+
+/// Inverse of ToString: "timeout" -> kTimeout, etc. Unrecognised names map
+/// to kUnknown. Lets layers below core/ (support::FaultPlan) name error
+/// codes as strings without depending on this enum.
+[[nodiscard]] ErrorCode ErrorCodeFromName(std::string_view name);
 
 /// The single exception type the MobiVine public API throws.
 class ProxyError : public std::runtime_error {

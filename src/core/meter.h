@@ -100,6 +100,10 @@ class OverheadMeter {
     charged_us_.store(0, std::memory_order_relaxed);
   }
 
+  /// The virtual clock this meter charges against; the fault plane uses
+  /// it to charge injected latency on the same timeline.
+  sim::Scheduler& scheduler() const { return *scheduler_; }
+
  private:
   sim::Scheduler* scheduler_;
   OpCostModel model_;

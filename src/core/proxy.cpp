@@ -105,6 +105,40 @@ void MProxy::setProperty(const std::string& name, PropertyValue value) {
   properties_.Set(key, std::move(value));
 }
 
+void MProxy::ApplyFault(const char* op) {
+  const support::FaultDecision decision = fault_gate_->Admit(fault_platform_, op);
+  switch (decision.action) {
+    case support::FaultAction::kNone:
+      return;
+    case support::FaultAction::kLatency:
+      // Slow backend: charge the injected cost on the shard's virtual
+      // clock, then let the real dispatch proceed.
+      support::trace::Instant("core.faultInject", "virt_cost_us",
+                              static_cast<std::int64_t>(decision.latency_us));
+      meter_.scheduler().AdvanceBy(
+          sim::SimTime::Micros(static_cast<std::int64_t>(decision.latency_us)));
+      return;
+    case support::FaultAction::kError:
+      support::trace::Instant("core.faultInject");
+      throw ProxyError(ErrorCodeFromName(decision.error),
+                       "injected fault: " + std::string(decision.error),
+                       fault_platform_, "fault.error");
+    case support::FaultAction::kHang: {
+      // Hanging backend: the gate has already sized latency_us to the
+      // caller's patience budget (hedge threshold or remaining deadline);
+      // burn it on the virtual clock, then surface as a timeout the
+      // gateway can recognise by native_type.
+      support::trace::Instant("core.faultInject", "virt_cost_us",
+                              static_cast<std::int64_t>(decision.latency_us));
+      meter_.scheduler().AdvanceBy(
+          sim::SimTime::Micros(static_cast<std::int64_t>(decision.latency_us)));
+      throw ProxyError(ErrorCode::kTimeout,
+                       "injected hang exceeded patience budget",
+                       fault_platform_, "fault.hang");
+    }
+  }
+}
+
 void MProxy::RequireProperties() const {
   if (binding_ == nullptr) return;
   for (std::size_t slot = 0; slot < binding_->properties.size(); ++slot) {

@@ -19,6 +19,7 @@
 #include "core/errors.h"
 #include "core/meter.h"
 #include "core/property.h"
+#include "support/fault.h"
 #include "support/interner.h"
 #include "support/small_vector.h"
 
@@ -67,19 +68,40 @@ class MProxy {
   [[nodiscard]] PropertyBag snapshotProperties() const { return properties_; }
   void restoreProperties(PropertyBag saved) { properties_ = std::move(saved); }
 
+  /// Attach a fault gate (M-Failover's injection plane). Every gateway-
+  /// served binding method consults it via AdmitDispatch() right after
+  /// charging the dispatch cost; a null gate (the default) keeps the
+  /// fast path to a single pointer test. `platform_tag` must outlive the
+  /// proxy ("android"/"s60"/"iphone" string literals in practice).
+  void installFaultGate(support::FaultGate* gate, const char* platform_tag) {
+    fault_gate_ = gate;
+    fault_platform_ = platform_tag;
+  }
+
  protected:
   /// Throws ProxyError(kIllegalArgument) if a property the binding plane
   /// marks required has not been set (called by bindings before first use).
   void RequireProperties() const;
+
+  /// Fault hook for gateway-served binding methods. Inlined null test on
+  /// the ungated path; with a gate installed, defers to ApplyFault which
+  /// charges injected latency on the virtual clock or throws the
+  /// injected ProxyError (native_type "fault.error" / "fault.hang").
+  void AdmitDispatch(const char* op) {
+    if (fault_gate_ != nullptr) ApplyFault(op);
+  }
 
   PropertyBag properties_;
 
  private:
   void BuildSpecTable();
   void ApplyDefaults();
+  void ApplyFault(const char* op);
 
   OverheadMeter meter_;
   const BindingPlane* binding_;
+  support::FaultGate* fault_gate_ = nullptr;
+  const char* fault_platform_ = "";
   /// Global-interner symbol of binding_->properties[i], same order; the
   /// plane's property NameIndex slot doubles as the index here.
   support::SmallVector<support::Symbol, 8> spec_keys_;

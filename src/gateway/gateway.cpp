@@ -137,6 +137,10 @@ class Gateway::Shard {
     s60_->grantPermission(s60::permissions::kSmsSend);
     s60_->grantPermission(s60::permissions::kHttp);
     iphone_ = std::make_unique<iphone::IPhonePlatform>(*device_);
+    if (config.failover.enabled()) {
+      failover_ =
+          std::make_unique<FailoverEngine>(config.failover, stats_, index);
+    }
 
     location_[PlatformIndex(Platform::kAndroid)] =
         registry_.CreateLocationProxy(*android_);
@@ -158,6 +162,20 @@ class Gateway::Shard {
     http_[PlatformIndex(Platform::kS60)] = registry_.CreateHttpProxy(*s60_);
     http_[PlatformIndex(Platform::kIphone)] =
         registry_.CreateHttpProxy(*iphone_);
+
+    if (failover_ != nullptr) {
+      // The engine is every proxy's fault gate, so injected faults
+      // surface through the same binding-dispatch path as real ones.
+      static constexpr Platform kAll[] = {Platform::kAndroid, Platform::kS60,
+                                          Platform::kIphone};
+      for (Platform platform : kAll) {
+        const char* tag = ToString(platform);
+        const std::size_t i = PlatformIndex(platform);
+        location_[i]->installFaultGate(failover_.get(), tag);
+        sms_[i]->installFaultGate(failover_.get(), tag);
+        http_[i]->installFaultGate(failover_.get(), tag);
+      }
+    }
 
     // Everything above happened on the constructing thread; the thread
     // start below is the handoff point (happens-before), after which the
@@ -227,6 +245,12 @@ class Gateway::Shard {
     return static_cast<std::uint64_t>(shard->device_->scheduler().now().micros());
   }
 
+  /// The shard's virtual clock, as the µs the breakers and hedge
+  /// profiles run on.
+  [[nodiscard]] std::uint64_t VirtualNowUs() const {
+    return static_cast<std::uint64_t>(device_->scheduler().now().micros());
+  }
+
   void WorkerLoop() {
     support::trace::SetCurrentThreadName("shard-" + std::to_string(index_));
     support::trace::SetThreadVirtualClock(&Shard::VirtualNow, this);
@@ -257,9 +281,14 @@ class Gateway::Shard {
     const RetryPolicy& policy = queued.request.retry.max_attempts > 0
                                     ? queued.request.retry
                                     : default_retry_;
-    const int max_attempts = std::max(policy.max_attempts, 1);
+    // max_attempts bounds retry ROUNDS. Without M-Failover a round is
+    // exactly one dispatch, so this is the pre-failover contract; with it
+    // a round is one failover sweep across the shard's platforms, and
+    // Response::attempts reports the total dispatches issued.
+    const int max_rounds = std::max(policy.max_attempts, 1);
     std::chrono::microseconds backoff =
         std::max(policy.initial_backoff, std::chrono::microseconds(1));
+    int round = 0;
     while (true) {
       // The backoff-fits check below predicts the deadline will survive
       // the sleep, but sleep_for may overshoot: re-check so an expired
@@ -271,60 +300,56 @@ class Gateway::Shard {
         response.message = "deadline expired between retry attempts";
         break;
       }
-      ++response.attempts;
-      try {
-        support::trace::Span attempt_span("gateway.attempt");
-        attempt_span.Tag("n", response.attempts);
-        attempt_span.Tag("shard", index_);
-        response.payload = ExecuteOnce(queued.request);
-        response.ok = true;
-        stats_.OnOk();
-        break;
-      } catch (const core::ProxyError& error) {
-        const bool transient = IsTransient(error.code());
-        const bool attempts_left = response.attempts < max_attempts;
-        if (!transient || !attempts_left) {
-          stats_.OnFailed();
-          response.error = error.code();
-          response.message = error.what();
-          break;
-        }
-        if (Clock::now() + backoff >= queued.deadline) {
-          // Transient and attempts remain, but the deadline cannot absorb
-          // the next backoff: the request ran out of time, not attempts.
-          // That is a deadline outcome, not a failure of the last error's
-          // kind — misclassifying it as the transient error both lies to
-          // the caller and double-books stats (failed vs timed_out).
-          stats_.OnTimedOut();
-          response.error = core::ErrorCode::kDeadlineExceeded;
-          response.message =
-              std::string("deadline exhausted during retry; last error: ") +
-              error.what();
-          break;
-        }
-        stats_.OnRetry();
-        {
-          support::trace::Span backoff_span("gateway.backoff");
-          backoff_span.Tag("backoff_us", backoff.count());
-          backoff_span.Tag("shard", index_);
-          std::this_thread::sleep_for(backoff);
-          // Mirror the wait onto the shard's virtual timeline so
-          // device-side timers (delivery reports, polling) progress
-          // during the backoff.
-          device_->scheduler().AdvanceBy(
-              sim::SimTime::Micros(backoff.count()));
-        }
-        const auto grown = static_cast<std::int64_t>(
-            static_cast<double>(backoff.count()) * policy.multiplier);
-        backoff = std::min(std::chrono::microseconds(std::max<std::int64_t>(
-                               grown, backoff.count() + 1)),
-                           policy.max_backoff);
-      } catch (const std::exception& e) {
+      ++round;
+      const SweepOutcome sweep = RunSweep(queued, response);
+      if (sweep.final) break;  // success, or a non-retryable failure booked
+      // The whole sweep failed transiently: spend a retry round on it.
+      if (round >= max_rounds) {
         stats_.OnFailed();
-        response.error = core::ErrorCode::kUnknown;
-        response.message = e.what();
+        if (sweep.all_backends) {
+          // Failover actually swept the shard's platforms (or breakers
+          // sidelined them) and none could serve: the caller's platform
+          // choice is not the story, the shard-wide outage is.
+          response.error = core::ErrorCode::kAllBackendsFailed;
+          response.message =
+              std::string("all backends failed; last error: ") +
+              sweep.last_message;
+        } else {
+          response.error = sweep.last_code;
+          response.message = sweep.last_message;
+        }
         break;
       }
+      if (Clock::now() + backoff >= queued.deadline) {
+        // Transient and rounds remain, but the deadline cannot absorb
+        // the next backoff: the request ran out of time, not attempts.
+        // That is a deadline outcome, not a failure of the last error's
+        // kind — misclassifying it as the transient error both lies to
+        // the caller and double-books stats (failed vs timed_out).
+        stats_.OnTimedOut();
+        response.error = core::ErrorCode::kDeadlineExceeded;
+        response.message =
+            std::string("deadline exhausted during retry; last error: ") +
+            sweep.last_message;
+        break;
+      }
+      stats_.OnRetry();
+      {
+        support::trace::Span backoff_span("gateway.backoff");
+        backoff_span.Tag("backoff_us", backoff.count());
+        backoff_span.Tag("shard", index_);
+        std::this_thread::sleep_for(backoff);
+        // Mirror the wait onto the shard's virtual timeline so
+        // device-side timers (delivery reports, polling) progress
+        // during the backoff — and open circuit breakers cool down.
+        device_->scheduler().AdvanceBy(
+            sim::SimTime::Micros(backoff.count()));
+      }
+      const auto grown = static_cast<std::int64_t>(
+          static_cast<double>(backoff.count()) * policy.multiplier);
+      backoff = std::min(std::chrono::microseconds(std::max<std::int64_t>(
+                             grown, backoff.count() + 1)),
+                         policy.max_backoff);
     }
     // Drain device-side follow-ups (delivery intents, polling ticks)
     // before the next request so per-request virtual work stays bounded.
@@ -343,17 +368,175 @@ class Gateway::Shard {
     InvokeCompletion(queued.request, response);
   }
 
-  /// One attempt on the real proxy surface. Throws ProxyError on failure.
-  std::string ExecuteOnce(const Request& request) {
-    core::MProxy& proxy = ProxyFor(request.platform, request.op);
+  /// What one failover sweep (one retry round) left behind when it did
+  /// not fully book the response.
+  struct SweepOutcome {
+    bool final = false;  ///< response booked (success or terminal failure)
+    /// The sweep genuinely exhausted the shard's platforms (>= 2
+    /// platforms dispatched-and-failed, or breakers sidelined some):
+    /// label exhaustion kAllBackendsFailed instead of the last error.
+    bool all_backends = false;
+    core::ErrorCode last_code = core::ErrorCode::kUnknown;
+    std::string last_message;
+  };
+
+  /// One retry round. Without M-Failover: exactly one dispatch on the
+  /// request's platform. With it: a sweep over the shard's platforms —
+  /// primary first, then the rest in enum order — skipping open
+  /// breakers, re-dispatching transient failures (failover) and hanging
+  /// dispatches (hedge), first success wins.
+  SweepOutcome RunSweep(QueuedRequest& queued, Response& response) {
+    SweepOutcome out;
+    const Platform primary = queued.request.platform;
+    const bool multi =
+        failover_ != nullptr &&
+        (failover_->config().failover || failover_->config().hedging);
+    Platform candidates[3];
+    std::size_t candidate_count = 0;
+    candidates[candidate_count++] = primary;
+    if (multi) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        const auto platform = static_cast<Platform>(i);
+        if (platform != primary) candidates[candidate_count++] = platform;
+      }
+    }
+
+    std::size_t breaker_skipped = 0;
+    std::size_t dispatched = 0;
+    bool next_is_hedge = false;
+    for (std::size_t i = 0; i < candidate_count; ++i) {
+      const Platform platform = candidates[i];
+      const std::size_t platform_index = PlatformIndex(platform);
+      if (failover_ != nullptr &&
+          !failover_->BreakerAllows(platform_index, VirtualNowUs())) {
+        ++breaker_skipped;
+        support::trace::Instant("gateway.breaker_skip", "platform",
+                                static_cast<std::int64_t>(platform_index));
+        continue;
+      }
+      const bool is_redispatch = dispatched > 0;
+      const bool is_hedge = is_redispatch && next_is_hedge;
+      std::optional<support::trace::Span> redispatch_span;
+      if (is_redispatch) {
+        if (is_hedge) {
+          stats_.OnHedgeFired();
+        } else {
+          stats_.OnFailover();
+        }
+        redispatch_span.emplace(is_hedge ? "gateway.hedge"
+                                         : "gateway.failover");
+        redispatch_span->Tag("shard", index_);
+        redispatch_span->Tag("to_platform",
+                             static_cast<std::int64_t>(platform_index));
+      }
+      if (failover_ != nullptr) {
+        // Patience budget for a hanging dispatch: the hedge threshold
+        // when another candidate could take over, otherwise the hang cap
+        // bounded by whatever wall-clock deadline remains.
+        std::uint64_t budget;
+        if (failover_->config().hedging && i + 1 < candidate_count) {
+          budget = failover_->HedgeThresholdUs(platform_index);
+        } else {
+          budget = failover_->config().hang_cap_us;
+          if (queued.deadline != kNoDeadline) {
+            const auto remaining =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    queued.deadline - Clock::now())
+                    .count();
+            budget = static_cast<std::uint64_t>(std::clamp<std::int64_t>(
+                remaining, 1, static_cast<std::int64_t>(budget)));
+          }
+        }
+        failover_->set_hang_budget_us(budget);
+      }
+      ++dispatched;
+      ++response.attempts;
+      const std::uint64_t virt_start = VirtualNowUs();
+      try {
+        support::trace::Span attempt_span("gateway.attempt");
+        attempt_span.Tag("n", response.attempts);
+        attempt_span.Tag("shard", index_);
+        response.payload = ExecuteOnce(queued.request, platform);
+        response.ok = true;
+        response.served_platform = platform;
+        stats_.OnOk();
+        if (is_hedge) stats_.OnHedgeWon();
+        if (failover_ != nullptr) {
+          failover_->OnDispatchSuccess(platform_index,
+                                       VirtualNowUs() - virt_start);
+        }
+        out.final = true;
+        return out;
+      } catch (const core::ProxyError& error) {
+        if (is_redispatch && error.native_type() == "gateway.setProperty") {
+          // The request's properties don't port to this platform (e.g. an
+          // s60-only property on android) — that makes the candidate
+          // ineligible for THIS request, not unhealthy: skip it without
+          // charging its breaker. On the primary the same throw is the
+          // caller's own error and stays terminal (below).
+          continue;
+        }
+        const bool hung = error.native_type() == "fault.hang";
+        const bool transient = IsTransient(error.code());
+        if (failover_ != nullptr && transient) {
+          failover_->OnDispatchFailure(platform_index, VirtualNowUs());
+        }
+        if (!transient) {
+          stats_.OnFailed();
+          response.error = error.code();
+          response.message = error.what();
+          out.final = true;
+          return out;
+        }
+        out.last_code = error.code();
+        out.last_message = error.what();
+        // A hang can be hedged even when plain failover is off; any
+        // other transient failure moves on only under failover.
+        next_is_hedge = hung && multi && failover_->config().hedging;
+        const bool sweep_on =
+            multi && (failover_->config().failover || next_is_hedge);
+        if (!sweep_on) break;  // retry rounds take it from here
+      } catch (const std::exception& e) {
+        stats_.OnFailed();
+        response.error = core::ErrorCode::kUnknown;
+        response.message = e.what();
+        out.final = true;
+        return out;
+      }
+    }
+    if (dispatched == 0) {
+      // Every candidate sat behind an open breaker. Retry rounds still
+      // apply: the backoff advances the virtual clock, which is exactly
+      // what lets a breaker reach half-open.
+      out.last_code = core::ErrorCode::kAllBackendsFailed;
+      out.last_message = "all circuit breakers open";
+      out.all_backends = true;
+      return out;
+    }
+    out.all_backends = multi && (dispatched >= 2 || breaker_skipped > 0);
+    return out;
+  }
+
+  /// One dispatch on the real proxy surface of `platform`. Throws
+  /// ProxyError on failure.
+  std::string ExecuteOnce(const Request& request, Platform platform) {
+    core::MProxy& proxy = ProxyFor(platform, request.op);
     // Request-scoped properties are applied to a shard-shared, long-lived
     // proxy; without save/restore they would leak into every later
     // request served on it (including on throw, e.g. a property-driven
     // LocationException). Snapshot only when there is something to apply.
     std::optional<core::ScopedPropertyRestore> restore;
     if (!request.properties.empty()) restore.emplace(proxy);
-    for (const auto& [name, value] : request.properties) {
-      proxy.setProperty(name, value);
+    try {
+      for (const auto& [name, value] : request.properties) {
+        proxy.setProperty(name, value);
+      }
+    } catch (const core::ProxyError& error) {
+      // Tag property-application failures so the failover sweep can tell
+      // "this candidate can't take these properties" from a dispatch
+      // failure of the op itself.
+      throw core::ProxyError(error.code(), error.what(), error.platform(),
+                             "gateway.setProperty");
     }
     switch (request.op) {
       case Op::kGetLocation: {
@@ -402,6 +585,9 @@ class Gateway::Shard {
   const std::size_t shed_watermark_;
   const RetryPolicy default_retry_;
   ShardStats stats_;
+  /// Null unless GatewayConfig::failover.enabled(); worker-thread-only
+  /// after construction (its ShardStats writes are the shared part).
+  std::unique_ptr<FailoverEngine> failover_;
 
   // The shard-private single-threaded MobiVine world.
   std::unique_ptr<device::MobileDevice> device_;
@@ -522,6 +708,11 @@ support::MetricsRegistry::Registration Gateway::RegisterMetrics(
         sink.Counter("failed", totals.failed);
         sink.Counter("timed_out", totals.timed_out);
         sink.Counter("retries", totals.retries);
+        sink.Counter("failovers", totals.failovers);
+        sink.Counter("hedges_fired", totals.hedges_fired);
+        sink.Counter("hedges_won", totals.hedges_won);
+        sink.Counter("breaker_opens", totals.breaker_opens);
+        sink.Counter("faults_injected", totals.faults_injected);
         sink.Counter("queue_depth", totals.queue_depth);
         sink.Counter("max_queue_depth", totals.max_queue_depth);
         sink.Gauge("latency_p50_us",
@@ -539,6 +730,11 @@ support::MetricsRegistry::Registration Gateway::RegisterMetrics(
           sink.Counter(base + "failed", s.failed);
           sink.Counter(base + "timed_out", s.timed_out);
           sink.Counter(base + "retries", s.retries);
+          sink.Counter(base + "failovers", s.failovers);
+          sink.Counter(base + "hedges_fired", s.hedges_fired);
+          sink.Counter(base + "hedges_won", s.hedges_won);
+          sink.Counter(base + "breaker_opens", s.breaker_opens);
+          sink.Counter(base + "faults_injected", s.faults_injected);
           sink.Counter(base + "queue_depth", s.queue_depth);
           sink.Counter(base + "max_queue_depth", s.max_queue_depth);
         }

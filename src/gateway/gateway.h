@@ -28,6 +28,13 @@
 //  * Property isolation — a request's properties are applied to the
 //    shard's long-lived proxies under save/restore, so per-request
 //    overrides never leak into later requests on the same shard.
+//  * M-Failover (gateway/failover.h) — when enabled, a transient or
+//    injected dispatch failure is re-dispatched to the next healthy
+//    platform on the same shard before a retry round is spent;
+//    per-platform circuit breakers sideline failing platforms, hanging
+//    dispatches can be hedged onto another platform, and exhausting
+//    every platform surfaces kAllBackendsFailed. See DESIGN.md §9 and
+//    docs/failure-semantics.md.
 #pragma once
 
 #include <chrono>
@@ -38,6 +45,7 @@
 
 #include "core/descriptor/proxy_descriptor.h"
 #include "device/mobile_device.h"
+#include "gateway/failover.h"
 #include "gateway/request.h"
 #include "gateway/stats.h"
 #include "support/metrics.h"
@@ -68,6 +76,9 @@ struct GatewayConfig {
   /// Shared read-only descriptor store (may be null: proxies are then
   /// created without descriptor validation).
   const core::DescriptorStore* store = nullptr;
+  /// M-Failover policy: cross-platform failover, circuit breakers,
+  /// hedging and fault injection. Default-constructed = all off.
+  FailoverConfig failover;
 };
 
 class Gateway {

@@ -55,8 +55,14 @@ struct Response {
   core::ErrorCode error = core::ErrorCode::kUnknown;
   std::string message;  ///< error detail; empty on success
   std::string payload;  ///< op result (body, message id, "lat,lon", ...)
-  int attempts = 0;     ///< executions performed (0 when shed/expired)
+  int attempts = 0;     ///< dispatches performed (0 when shed/expired);
+                        ///< with failover/hedging one retry round may
+                        ///< issue several dispatches
   std::uint32_t shard = 0;
+  /// Which platform actually produced the successful payload. Equals the
+  /// request's platform unless M-Failover re-dispatched (failover/hedge)
+  /// — the caller never had to know, but M-Scope does.
+  Platform served_platform = Platform::kAndroid;
   std::chrono::microseconds latency{0};  ///< submit -> completion, wall clock
 };
 

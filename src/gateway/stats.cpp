@@ -14,6 +14,11 @@ GatewaySnapshot Aggregate(std::vector<ShardSnapshot> shards) {
     snap.totals.failed += shard.failed;
     snap.totals.timed_out += shard.timed_out;
     snap.totals.retries += shard.retries;
+    snap.totals.failovers += shard.failovers;
+    snap.totals.hedges_fired += shard.hedges_fired;
+    snap.totals.hedges_won += shard.hedges_won;
+    snap.totals.breaker_opens += shard.breaker_opens;
+    snap.totals.faults_injected += shard.faults_injected;
     snap.totals.queue_depth += shard.queue_depth;
     if (shard.max_queue_depth > snap.totals.max_queue_depth) {
       snap.totals.max_queue_depth = shard.max_queue_depth;

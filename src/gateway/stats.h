@@ -24,7 +24,12 @@ struct ShardSnapshot {
   std::uint64_t ok = 0;         ///< served successfully
   std::uint64_t failed = 0;     ///< served, ended in a ProxyError
   std::uint64_t timed_out = 0;  ///< deadline expired before service
-  std::uint64_t retries = 0;    ///< extra attempts beyond the first
+  std::uint64_t retries = 0;    ///< extra retry rounds beyond the first
+  std::uint64_t failovers = 0;  ///< dispatches moved to another platform
+  std::uint64_t hedges_fired = 0;  ///< hedge dispatches launched
+  std::uint64_t hedges_won = 0;    ///< hedge dispatches that produced the win
+  std::uint64_t breaker_opens = 0;  ///< closed/half-open -> open transitions
+  std::uint64_t faults_injected = 0;  ///< FaultPlan decisions that fired
   std::uint64_t queue_depth = 0;      ///< at snapshot time
   std::uint64_t max_queue_depth = 0;  ///< high-water mark since start
   HistogramSnapshot latency;          ///< completions (ok + failed + timed_out)
@@ -60,6 +65,17 @@ class ShardStats {
   void OnFailed() { failed_.fetch_add(1, std::memory_order_relaxed); }
   void OnTimedOut() { timed_out_.fetch_add(1, std::memory_order_relaxed); }
   void OnRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void OnFailover() { failovers_.fetch_add(1, std::memory_order_relaxed); }
+  void OnHedgeFired() {
+    hedges_fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnHedgeWon() { hedges_won_.fetch_add(1, std::memory_order_relaxed); }
+  void OnBreakerOpen() {
+    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnFaultInjected() {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   void RecordLatency(std::uint64_t micros) { latency_.Record(micros); }
 
@@ -80,6 +96,11 @@ class ShardStats {
     snap.failed = failed_.load(std::memory_order_relaxed);
     snap.timed_out = timed_out_.load(std::memory_order_relaxed);
     snap.retries = retries_.load(std::memory_order_relaxed);
+    snap.failovers = failovers_.load(std::memory_order_relaxed);
+    snap.hedges_fired = hedges_fired_.load(std::memory_order_relaxed);
+    snap.hedges_won = hedges_won_.load(std::memory_order_relaxed);
+    snap.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
+    snap.faults_injected = faults_injected_.load(std::memory_order_relaxed);
     snap.queue_depth = queue_depth;
     snap.max_queue_depth = max_depth_.load(std::memory_order_relaxed);
     snap.latency = latency_.Snapshot();
@@ -93,6 +114,11 @@ class ShardStats {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> hedges_fired_{0};
+  std::atomic<std::uint64_t> hedges_won_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
   std::atomic<std::uint64_t> max_depth_{0};
   LatencyHistogram latency_;
 };

@@ -125,6 +125,17 @@ Request BuildRequest(SplitMix64& rng, const TrafficConfig& config,
       request.payload = "how many GSM segments does this sentence need?";
       break;
     case Op::kGetLocation:
+      if (request.platform == Platform::kS60 &&
+          config.location_property_values > 0) {
+        // Bounded value pool under a fixed, descriptor-declared name —
+        // see the field comment in traffic.h. Values stay >= 25 so the
+        // simulated provider can always satisfy the criteria.
+        const std::uint64_t pool =
+            std::min<std::uint64_t>(config.location_property_values, 64);
+        request.properties.emplace_back(
+            "horizontalAccuracy",
+            static_cast<long long>(25 + rng.Below(pool)));
+      }
       break;
   }
   return request;

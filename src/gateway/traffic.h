@@ -43,6 +43,14 @@ struct TrafficConfig {
   std::chrono::microseconds timeout{0};  ///< per-request; 0 = gateway default
   RetryPolicy retry;                     ///< max_attempts 0 = gateway default
   TrafficMix mix;
+  /// When > 0, S60 getLocation requests carry a per-request
+  /// "horizontalAccuracy" property whose value cycles through this many
+  /// distinct settings (capped at 64). Deliberately a bounded pool of
+  /// VALUES under one fixed property NAME: property names are what the
+  /// never-evicting global interner keys on, so a soak minting distinct
+  /// names would grow resident memory linearly with runtime (the
+  /// unbounded-growth contract in docs/failure-semantics.md).
+  std::uint64_t location_property_values = 0;
 };
 
 struct TrafficReport {

@@ -1,0 +1,714 @@
+// M-Failover: the fault-injection plane and the gateway's failover,
+// circuit-breaker and hedging behavior built on it.
+//
+// What must hold:
+//  * FaultPlan's text form parses, round-trips, and rejects malformed
+//    input with a diagnostic; FaultInjector streams are deterministic
+//    for a (plan, seed, salt) triple and decorrelated across salts;
+//  * an injected fault surfaces through the ordinary binding dispatch
+//    path as the same typed ProxyError a real failure would produce;
+//  * injected latency is charged on the shard's virtual clock only —
+//    wall-clock service time is unaffected;
+//  * with failover on, a transient primary failure is served by the next
+//    healthy platform inside the same retry round;
+//  * circuit breakers open after the consecutive-failure threshold,
+//    sideline the platform while open, and recover through a half-open
+//    probe on the virtual clock;
+//  * a hedged dispatch books exactly one completion — the hung loser
+//    never double-counts in ShardStats;
+//  * request-scoped properties applied during a failover sweep never
+//    leak into later requests (ScopedPropertyRestore on every
+//    candidate), and a candidate that cannot accept the properties is
+//    skipped rather than failing the request;
+//  * exhausting every platform (dispatched or breaker-skipped) surfaces
+//    kAllBackendsFailed and the stats reconcile;
+//  * the ISSUE acceptance bar: 30% injected transient faults on one
+//    platform keep availability >= 99% with failover on, and measurably
+//    degrade it with failover off;
+//  * the global interner stays size-stable under a property-carrying
+//    gateway soak (the never-evicts contract in
+//    docs/failure-semantics.md).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/descriptor/proxy_descriptor.h"
+#include "core/errors.h"
+#include "gateway/failover.h"
+#include "gateway/gateway.h"
+#include "gateway/traffic.h"
+#include "support/fault.h"
+#include "support/interner.h"
+
+namespace mobivine {
+namespace {
+
+using core::ErrorCode;
+using gateway::CircuitBreaker;
+using gateway::Gateway;
+using gateway::GatewayConfig;
+using gateway::GatewaySnapshot;
+using gateway::Op;
+using gateway::Platform;
+using gateway::Request;
+using gateway::Response;
+using support::FaultAction;
+using support::FaultDecision;
+using support::FaultInjector;
+using support::FaultPlan;
+
+const core::DescriptorStore& Store() {
+  static const core::DescriptorStore store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+GatewayConfig BaseConfig(int shards) {
+  GatewayConfig config;
+  config.shards = shards;
+  config.store = &Store();
+  return config;
+}
+
+FaultPlan MustParse(const std::string& text) {
+  std::string error;
+  auto plan = FaultPlan::Parse(text, &error);
+  EXPECT_TRUE(plan.has_value()) << text << ": " << error;
+  return plan.value_or(FaultPlan{});
+}
+
+Request HttpGetRequest(std::uint64_t client_id,
+                       Platform platform = Platform::kAndroid) {
+  Request request;
+  request.client_id = client_id;
+  request.platform = platform;
+  request.op = Op::kHttpGet;
+  request.target =
+      std::string("http://") + gateway::kGatewayHttpHost + "/ping";
+  return request;
+}
+
+Request SegmentCountRequest(std::uint64_t client_id,
+                            Platform platform = Platform::kAndroid) {
+  Request request;
+  request.client_id = client_id;
+  request.platform = platform;
+  request.op = Op::kSegmentCount;
+  request.payload = "short enough for one segment";
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan text form
+// ---------------------------------------------------------------------------
+
+TEST(Failover, FaultPlanParsesEveryEffectAndOption) {
+  const FaultPlan plan = MustParse(
+      "seed=7;android:*:error=timeout:p=0.3;"
+      "s60:getLocation:latency=5000;*:*:hang:p=0.25:max=100");
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.rules.size(), 3u);
+
+  EXPECT_EQ(plan.rules[0].platform, "android");
+  EXPECT_EQ(plan.rules[0].op, "*");
+  EXPECT_EQ(plan.rules[0].action, FaultAction::kError);
+  EXPECT_EQ(plan.rules[0].error, "timeout");
+  EXPECT_NEAR(plan.rules[0].probability, 0.3, 1e-9);
+  EXPECT_EQ(plan.rules[0].max_fires, 0u);
+
+  EXPECT_EQ(plan.rules[1].action, FaultAction::kLatency);
+  EXPECT_EQ(plan.rules[1].latency_us, 5000u);
+  EXPECT_EQ(plan.rules[1].probability, 1.0);
+
+  EXPECT_EQ(plan.rules[2].action, FaultAction::kHang);
+  EXPECT_EQ(plan.rules[2].max_fires, 100u);
+  EXPECT_TRUE(plan.rules[2].Matches("iphone", "httpPost"));
+  EXPECT_TRUE(plan.rules[0].Matches("android", "sendTextMessage"));
+  EXPECT_FALSE(plan.rules[0].Matches("s60", "sendTextMessage"));
+}
+
+TEST(Failover, FaultPlanRoundTripsThroughToString) {
+  const char* specs[] = {
+      "android:*:error=timeout:p=0.3",
+      "seed=42;s60:getLocation:latency=5000;*:*:hang:p=0.125:max=9",
+      "iphone:httpGet:error=network",
+  };
+  for (const char* spec : specs) {
+    const FaultPlan plan = MustParse(spec);
+    const std::string text = plan.ToString();
+    const FaultPlan reparsed = MustParse(text);
+    EXPECT_EQ(reparsed.ToString(), text) << spec;
+    EXPECT_EQ(reparsed.seed, plan.seed) << spec;
+    ASSERT_EQ(reparsed.rules.size(), plan.rules.size()) << spec;
+    for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+      EXPECT_EQ(reparsed.rules[i].action, plan.rules[i].action) << spec;
+      EXPECT_EQ(reparsed.rules[i].error, plan.rules[i].error) << spec;
+      EXPECT_EQ(reparsed.rules[i].latency_us, plan.rules[i].latency_us)
+          << spec;
+      EXPECT_NEAR(reparsed.rules[i].probability, plan.rules[i].probability,
+                  1e-6)
+          << spec;
+      EXPECT_EQ(reparsed.rules[i].max_fires, plan.rules[i].max_fires) << spec;
+    }
+  }
+}
+
+TEST(Failover, FaultPlanRejectsMalformedInputWithDiagnostic) {
+  const char* bad[] = {
+      "",                             // no rules at all
+      "android:*",                    // missing effect
+      "android:*:explode",            // unknown effect
+      "android:*:error=",             // error= without a code name
+      "android:*:latency=0",          // latency must be positive
+      "android:*:latency=abc",        // not a number
+      "android:*:error=timeout:p=1.5",  // probability out of range
+      "android:*:error=timeout:p=x",    // unparseable probability
+      "android:*:error=timeout:max=x",  // unparseable max
+      "android:*:error=timeout:q=1",    // unknown option
+      "seed=abc;android:*:hang",        // bad seed
+  };
+  for (const char* spec : bad) {
+    std::string error;
+    EXPECT_FALSE(FaultPlan::Parse(spec, &error).has_value()) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector determinism
+// ---------------------------------------------------------------------------
+
+TEST(Failover, FaultInjectorStreamsAreDeterministicPerSalt) {
+  const FaultPlan plan =
+      MustParse("seed=42;android:*:error=timeout:p=0.5;s60:*:hang:p=0.5");
+  FaultInjector a(plan, /*salt=*/3);
+  FaultInjector b(plan, /*salt=*/3);
+  FaultInjector c(plan, /*salt=*/4);
+
+  int divergences = 0;
+  for (int i = 0; i < 256; ++i) {
+    const char* platform = (i % 2 == 0) ? "android" : "s60";
+    const FaultDecision da = a.Decide(platform, "httpGet");
+    const FaultDecision db = b.Decide(platform, "httpGet");
+    const FaultDecision dc = c.Decide(platform, "httpGet");
+    EXPECT_EQ(da.action, db.action) << "same salt must replay identically";
+    if (da.action != dc.action) ++divergences;
+  }
+  EXPECT_EQ(a.fired(), b.fired());
+  // p=0.5 over 256 draws: salts 3 and 4 drawing identical streams would
+  // mean the decorrelation mix is broken.
+  EXPECT_GT(divergences, 0);
+  // Roughly half the draws should fire; exact counts are pinned by the
+  // seed, the band only guards against p= being ignored entirely.
+  EXPECT_GT(a.fired(), 64u);
+  EXPECT_LT(a.fired(), 192u);
+}
+
+TEST(Failover, FaultInjectorHonorsProbabilityZeroAndMaxFires) {
+  FaultInjector never(MustParse("android:*:error=timeout:p=0"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(never.Decide("android", "httpGet").action, FaultAction::kNone);
+  }
+  EXPECT_EQ(never.fired(), 0u);
+
+  FaultInjector capped(MustParse("android:*:error=timeout:max=3"));
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (capped.Decide("android", "httpGet").action == FaultAction::kError) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(capped.fired(), 3u);
+  EXPECT_EQ(capped.rule_fires(0), 3u);
+  EXPECT_EQ(capped.fired(FaultAction::kError), 3u);
+  // Non-matching dispatches never consume the rule.
+  EXPECT_EQ(capped.Decide("s60", "httpGet").action, FaultAction::kNone);
+}
+
+TEST(Failover, ErrorCodeNamesRoundTripThroughCoreMapping) {
+  const ErrorCode codes[] = {
+      ErrorCode::kSecurity,         ErrorCode::kTimeout,
+      ErrorCode::kUnsupported,      ErrorCode::kIllegalArgument,
+      ErrorCode::kUnreachable,      ErrorCode::kRadioFailure,
+      ErrorCode::kInvalidState,     ErrorCode::kLocationUnavailable,
+      ErrorCode::kNetwork,          ErrorCode::kOverloaded,
+      ErrorCode::kDeadlineExceeded, ErrorCode::kAllBackendsFailed,
+      ErrorCode::kUnknown,
+  };
+  for (ErrorCode code : codes) {
+    EXPECT_EQ(core::ErrorCodeFromName(core::ToString(code)), code)
+        << core::ToString(code);
+  }
+  EXPECT_EQ(core::ErrorCodeFromName("no-such-error"), ErrorCode::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker state machine
+// ---------------------------------------------------------------------------
+
+TEST(Failover, CircuitBreakerOpensProbesAndRecovers) {
+  CircuitBreaker breaker(/*threshold=*/3, /*cooldown_us=*/1000);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  EXPECT_FALSE(breaker.OnFailure(10));
+  EXPECT_FALSE(breaker.OnFailure(20));
+  EXPECT_TRUE(breaker.Allow(25));  // still closed below the threshold
+  EXPECT_TRUE(breaker.OnFailure(30));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  EXPECT_FALSE(breaker.Allow(500));   // cooldown not elapsed
+  EXPECT_TRUE(breaker.Allow(1030));   // half-open: one probe admitted
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow(1031));  // probe in flight, nobody else
+
+  // Failed probe: straight back to open, cooldown restarts from now.
+  EXPECT_TRUE(breaker.OnFailure(1040));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(1500));
+  EXPECT_TRUE(breaker.Allow(2040 + 1));
+
+  breaker.OnSuccess();  // successful probe closes it
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_TRUE(breaker.Allow(2100));
+}
+
+TEST(Failover, CircuitBreakerDisabledByZeroThreshold) {
+  CircuitBreaker breaker(/*threshold=*/0, /*cooldown_us=*/1000);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(breaker.OnFailure(static_cast<std::uint64_t>(i)));
+    EXPECT_TRUE(breaker.Allow(static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Injection through the gateway dispatch path
+// ---------------------------------------------------------------------------
+
+TEST(Failover, InjectedErrorSurfacesAsTypedFailure) {
+  GatewayConfig config = BaseConfig(1);
+  config.failover.fault_plan = MustParse("android:*:error=timeout:p=1");
+  Gateway gw(config);
+
+  Request request = HttpGetRequest(1);
+  request.retry.max_attempts = 1;
+  const Response response = gw.Call(std::move(request));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, ErrorCode::kTimeout);
+  EXPECT_NE(response.message.find("injected fault"), std::string::npos);
+  EXPECT_EQ(response.attempts, 1);
+
+  // The plan is android-scoped: other platforms are untouched.
+  const Response s60 = gw.Call(HttpGetRequest(1, Platform::kS60));
+  EXPECT_TRUE(s60.ok) << s60.message;
+
+  const GatewaySnapshot stats = gw.Stats();
+  EXPECT_EQ(stats.totals.faults_injected, 1u);
+  EXPECT_EQ(stats.totals.failed, 1u);
+  EXPECT_EQ(stats.totals.ok, 1u);
+  EXPECT_EQ(stats.totals.failovers, 0u);  // failover is off
+}
+
+TEST(Failover, LatencyFaultChargesVirtualClockNotWallClock) {
+  GatewayConfig config = BaseConfig(1);
+  // Half a virtual second per httpGet — far beyond anything the test
+  // could absorb on the wall clock.
+  config.failover.fault_plan = MustParse("android:httpGet:latency=500000");
+  Gateway gw(config);
+
+  const auto start = std::chrono::steady_clock::now();
+  const Response response = gw.Call(HttpGetRequest(1));
+  const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(response.ok) << response.message;
+  EXPECT_EQ(response.payload, "pong");
+  EXPECT_LT(wall.count(), 400) << "injected latency must be virtual-only";
+  EXPECT_EQ(gw.Stats().totals.faults_injected, 1u);
+}
+
+TEST(Failover, HangWithoutHedgingSurfacesTimeout) {
+  GatewayConfig config = BaseConfig(1);
+  config.failover.fault_plan = MustParse("android:httpGet:hang:p=1");
+  Gateway gw(config);
+
+  Request request = HttpGetRequest(1);
+  request.retry.max_attempts = 1;
+  const Response response = gw.Call(std::move(request));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, ErrorCode::kTimeout);
+  EXPECT_NE(response.message.find("hang"), std::string::npos);
+  EXPECT_EQ(response.attempts, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Failover
+// ---------------------------------------------------------------------------
+
+TEST(Failover, TransientFaultFailsOverToNextPlatform) {
+  GatewayConfig config = BaseConfig(1);
+  config.failover.failover = true;
+  config.failover.fault_plan = MustParse("android:*:error=timeout:p=1");
+  Gateway gw(config);
+
+  Request request = HttpGetRequest(1);
+  request.retry.max_attempts = 1;  // no retry rounds: failover is the story
+  const Response response = gw.Call(std::move(request));
+  EXPECT_TRUE(response.ok) << response.message;
+  EXPECT_EQ(response.payload, "pong");
+  EXPECT_NE(response.served_platform, Platform::kAndroid);
+  EXPECT_EQ(response.attempts, 2);  // primary + one failover dispatch
+
+  const GatewaySnapshot stats = gw.Stats();
+  EXPECT_EQ(stats.totals.ok, 1u);
+  EXPECT_EQ(stats.totals.failed, 0u);
+  EXPECT_EQ(stats.totals.retries, 0u);
+  EXPECT_EQ(stats.totals.failovers, 1u);
+  EXPECT_EQ(stats.totals.faults_injected, 1u);
+}
+
+TEST(Failover, NonTransientFaultIsNotFailedOver) {
+  GatewayConfig config = BaseConfig(1);
+  config.failover.failover = true;
+  config.failover.fault_plan = MustParse("android:*:error=security:p=1");
+  Gateway gw(config);
+
+  Request request = HttpGetRequest(1);
+  request.retry.max_attempts = 3;
+  const Response response = gw.Call(std::move(request));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, ErrorCode::kSecurity);
+  EXPECT_EQ(response.attempts, 1);  // terminal on the primary, no sweep
+
+  const GatewaySnapshot stats = gw.Stats();
+  EXPECT_EQ(stats.totals.failovers, 0u);
+  EXPECT_EQ(stats.totals.retries, 0u);
+}
+
+TEST(Failover, AllBackendsDownSurfacesAllBackendsFailed) {
+  GatewayConfig config = BaseConfig(1);
+  config.failover.failover = true;
+  config.failover.fault_plan = MustParse("*:*:error=timeout:p=1");
+  Gateway gw(config);
+
+  Request request = HttpGetRequest(1);
+  request.retry.max_attempts = 1;
+  const Response response = gw.Call(std::move(request));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, ErrorCode::kAllBackendsFailed);
+  EXPECT_NE(response.message.find("all backends failed"), std::string::npos);
+  EXPECT_NE(response.message.find("injected fault"), std::string::npos);
+  EXPECT_EQ(response.attempts, 3);  // every platform dispatched once
+
+  const GatewaySnapshot stats = gw.Stats();
+  EXPECT_EQ(stats.totals.failed, 1u);
+  EXPECT_EQ(stats.totals.ok, 0u);
+  EXPECT_EQ(stats.totals.failovers, 2u);
+  EXPECT_EQ(stats.totals.faults_injected, 3u);
+  // accepted == completed: one request, one completion, no double books.
+  EXPECT_EQ(stats.totals.accepted, 1u);
+  EXPECT_EQ(stats.totals.completed(), 1u);
+}
+
+TEST(Failover, AllBreakersOpenFailsFastWithoutDispatching) {
+  GatewayConfig config = BaseConfig(1);
+  config.failover.failover = true;
+  config.failover.breaker_threshold = 1;
+  config.failover.breaker_cooldown_us = 60'000'000;  // hold open for the test
+  config.failover.fault_plan = MustParse("*:*:error=timeout:p=1:max=3");
+  Gateway gw(config);
+
+  // First request trips all three breakers (threshold 1, every platform
+  // faulted once).
+  Request first = SegmentCountRequest(1);
+  first.retry.max_attempts = 1;
+  const Response opened = gw.Call(std::move(first));
+  EXPECT_FALSE(opened.ok);
+  EXPECT_EQ(opened.error, ErrorCode::kAllBackendsFailed);
+  EXPECT_EQ(opened.attempts, 3);
+
+  // Second request finds every candidate sidelined: nothing dispatches.
+  Request second = SegmentCountRequest(1);
+  second.retry.max_attempts = 1;
+  const Response skipped = gw.Call(std::move(second));
+  EXPECT_FALSE(skipped.ok);
+  EXPECT_EQ(skipped.error, ErrorCode::kAllBackendsFailed);
+  EXPECT_NE(skipped.message.find("all circuit breakers open"),
+            std::string::npos);
+  EXPECT_EQ(skipped.attempts, 0);
+
+  const GatewaySnapshot stats = gw.Stats();
+  EXPECT_EQ(stats.totals.breaker_opens, 3u);
+  EXPECT_EQ(stats.totals.failed, 2u);
+  EXPECT_EQ(stats.totals.accepted, 2u);
+  EXPECT_EQ(stats.totals.completed(), 2u);
+}
+
+TEST(Failover, BreakerSidelinesPlatformAndHalfOpenProbeRecovers) {
+  GatewayConfig config = BaseConfig(1);
+  config.failover.failover = true;
+  config.failover.breaker_threshold = 2;
+  // segmentCount is pure (no device I/O): each dispatch charges well
+  // under 5ms virtual, so 50ms of cooldown reliably spans several
+  // requests before the half-open probe — and recovery stays quick.
+  config.failover.breaker_cooldown_us = 50'000;
+  config.failover.fault_plan =
+      MustParse("android:segmentCount:error=timeout:p=1:max=2");
+  Gateway gw(config);
+
+  auto call = [&gw] {
+    Request request = SegmentCountRequest(1);
+    request.retry.max_attempts = 1;
+    return gw.Call(std::move(request));
+  };
+
+  // Two faulted dispatches: both fail over to s60, the second opens the
+  // android breaker.
+  for (int i = 0; i < 2; ++i) {
+    const Response response = call();
+    ASSERT_TRUE(response.ok) << response.message;
+    EXPECT_EQ(response.served_platform, Platform::kS60);
+    EXPECT_EQ(response.attempts, 2);
+  }
+  EXPECT_EQ(gw.Stats().totals.breaker_opens, 1u);
+  EXPECT_EQ(gw.Stats().totals.failovers, 2u);
+
+  // While open, the primary is skipped without a dispatch: the fault
+  // rule is exhausted (max=2), so only the breaker explains why this
+  // lands on s60 in a single attempt.
+  const Response sidelined = call();
+  ASSERT_TRUE(sidelined.ok) << sidelined.message;
+  EXPECT_EQ(sidelined.served_platform, Platform::kS60);
+  EXPECT_EQ(sidelined.attempts, 1);
+  EXPECT_EQ(gw.Stats().totals.failovers, 2u);  // a skip is not a failover
+
+  // Keep serving; the virtual clock advances with every dispatch until
+  // the cooldown elapses, the half-open probe hits android (healthy now),
+  // and the breaker closes.
+  bool recovered = false;
+  for (int i = 0; i < 500 && !recovered; ++i) {
+    const Response response = call();
+    ASSERT_TRUE(response.ok) << response.message;
+    recovered = response.served_platform == Platform::kAndroid;
+  }
+  EXPECT_TRUE(recovered) << "half-open probe never closed the breaker";
+
+  const GatewaySnapshot stats = gw.Stats();
+  EXPECT_EQ(stats.totals.breaker_opens, 1u);  // probe succeeded: no reopen
+  EXPECT_EQ(stats.totals.failed, 0u);
+  EXPECT_EQ(stats.totals.ok, stats.totals.accepted);
+
+  // Closed again: the primary serves directly.
+  const Response after = call();
+  ASSERT_TRUE(after.ok) << after.message;
+  EXPECT_EQ(after.served_platform, Platform::kAndroid);
+  EXPECT_EQ(after.attempts, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Hedging
+// ---------------------------------------------------------------------------
+
+TEST(Failover, HedgedRequestWinsAndBooksExactlyOneCompletion) {
+  GatewayConfig config = BaseConfig(1);
+  config.failover.hedging = true;  // hedging alone, no plain failover
+  config.failover.fault_plan = MustParse("android:httpGet:hang:p=1:max=1");
+  Gateway gw(config);
+
+  Request request = HttpGetRequest(1);
+  request.retry.max_attempts = 1;
+  const Response response = gw.Call(std::move(request));
+  EXPECT_TRUE(response.ok) << response.message;
+  EXPECT_EQ(response.payload, "pong");
+  EXPECT_NE(response.served_platform, Platform::kAndroid);
+  EXPECT_EQ(response.attempts, 2);  // hung primary + winning hedge
+
+  GatewaySnapshot stats = gw.Stats();
+  EXPECT_EQ(stats.totals.hedges_fired, 1u);
+  EXPECT_EQ(stats.totals.hedges_won, 1u);
+  EXPECT_EQ(stats.totals.failovers, 0u);  // a hedge is not a failover
+  // Exactly one completion booked: the abandoned primary contributes no
+  // ok/failed/timed_out of its own.
+  EXPECT_EQ(stats.totals.ok, 1u);
+  EXPECT_EQ(stats.totals.failed, 0u);
+  EXPECT_EQ(stats.totals.timed_out, 0u);
+  EXPECT_EQ(stats.totals.completed(), 1u);
+  EXPECT_EQ(stats.totals.accepted, 1u);
+
+  // The hang rule is exhausted (max=1): the primary now serves directly
+  // and no further hedges fire.
+  Request again = HttpGetRequest(1);
+  again.retry.max_attempts = 1;
+  const Response direct = gw.Call(std::move(again));
+  EXPECT_TRUE(direct.ok) << direct.message;
+  EXPECT_EQ(direct.served_platform, Platform::kAndroid);
+  EXPECT_EQ(direct.attempts, 1);
+  EXPECT_EQ(gw.Stats().totals.hedges_fired, 1u);
+}
+
+TEST(Failover, OtherTransientsDoNotHedgeWhenOnlyHedgingIsOn) {
+  GatewayConfig config = BaseConfig(1);
+  config.failover.hedging = true;  // failover stays off
+  config.failover.fault_plan = MustParse("android:httpGet:error=timeout:p=1");
+  Gateway gw(config);
+
+  Request request = HttpGetRequest(1);
+  request.retry.max_attempts = 1;
+  const Response response = gw.Call(std::move(request));
+  // A plain transient error is not a hang: with failover off it falls
+  // back to the retry plane, which is out of rounds here.
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, ErrorCode::kTimeout);
+  EXPECT_EQ(response.attempts, 1);
+  EXPECT_EQ(gw.Stats().totals.hedges_fired, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Properties across the sweep
+// ---------------------------------------------------------------------------
+
+TEST(Failover, SweepPreservesPerRequestPropertiesAndSkipsIncompatible) {
+  GatewayConfig config = BaseConfig(1);
+  config.failover.failover = true;
+  Gateway gw(config);
+
+  // Strict s60-only criteria the simulated provider cannot satisfy in
+  // low-power mode: the primary fails with a genuine transient
+  // kLocationUnavailable, and the sweep then discovers neither android
+  // nor iphone understands these properties (skip, not a failure).
+  Request strict;
+  strict.client_id = 1;
+  strict.platform = Platform::kS60;
+  strict.op = Op::kGetLocation;
+  strict.properties.emplace_back("horizontalAccuracy", 10LL);
+  strict.properties.emplace_back("powerConsumption", "low");
+  strict.retry.max_attempts = 1;
+  const Response response = gw.Call(std::move(strict));
+  EXPECT_FALSE(response.ok);
+  // The property-incompatible candidates were swept over, so this is a
+  // shard-wide exhaustion — but the underlying error is preserved in the
+  // message, and no candidate surfaced its kIllegalArgument.
+  EXPECT_EQ(response.error, ErrorCode::kAllBackendsFailed);
+  EXPECT_NE(response.message.find("all backends failed"), std::string::npos);
+
+  // ScopedPropertyRestore must have unwound every candidate the sweep
+  // touched: the same proxies now serve property-less requests cleanly.
+  const Platform platforms[] = {Platform::kS60, Platform::kAndroid,
+                                Platform::kIphone};
+  for (Platform platform : platforms) {
+    Request plain;
+    plain.client_id = 1;
+    plain.platform = platform;
+    plain.op = Op::kGetLocation;
+    const Response ok = gw.Call(std::move(plain));
+    EXPECT_TRUE(ok.ok) << gateway::ToString(platform) << ": " << ok.message;
+  }
+}
+
+TEST(Failover, PrimaryPropertyErrorStaysTerminal) {
+  GatewayConfig config = BaseConfig(1);
+  config.failover.failover = true;
+  Gateway gw(config);
+
+  // An unknown property on the PRIMARY is the caller's bug, not a reason
+  // to shop the request around other platforms.
+  Request request = HttpGetRequest(1);
+  request.properties.emplace_back("definitelyNotAProperty", 1LL);
+  const Response response = gw.Call(std::move(request));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, ErrorCode::kIllegalArgument);
+  EXPECT_EQ(response.attempts, 1);
+  EXPECT_EQ(gw.Stats().totals.failovers, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance bar: availability under 30% injected faults
+// ---------------------------------------------------------------------------
+
+TEST(Failover, ThirtyPercentFaultsAvailabilityRecoversWithFailover) {
+  gateway::TrafficConfig traffic;
+  traffic.producers = 2;
+  traffic.requests_per_producer = 300;
+  traffic.seed = 99;
+  traffic.retry.max_attempts = 1;  // failover, not retries, is on trial
+  traffic.mix.android = 1;         // all primaries on the faulted platform
+  traffic.mix.s60 = 0;
+  traffic.mix.iphone = 0;
+
+  const char* kPlan = "seed=5;android:*:error=timeout:p=0.3";
+
+  double availability_without = 0;
+  {
+    GatewayConfig config = BaseConfig(2);
+    config.failover.fault_plan = MustParse(kPlan);
+    Gateway gw(config);
+    const gateway::TrafficReport report = RunTraffic(gw, traffic);
+    ASSERT_EQ(report.ok + report.failed + report.shed + report.timed_out,
+              report.submitted);
+    availability_without =
+        static_cast<double>(report.ok) / static_cast<double>(report.submitted);
+    EXPECT_GT(gw.Stats().totals.faults_injected, 0u);
+  }
+
+  double availability_with = 0;
+  {
+    GatewayConfig config = BaseConfig(2);
+    config.failover.failover = true;
+    config.failover.fault_plan = MustParse(kPlan);
+    Gateway gw(config);
+    const gateway::TrafficReport report = RunTraffic(gw, traffic);
+    ASSERT_EQ(report.ok + report.failed + report.shed + report.timed_out,
+              report.submitted);
+    availability_with =
+        static_cast<double>(report.ok) / static_cast<double>(report.submitted);
+    const GatewaySnapshot stats = gw.Stats();
+    EXPECT_GT(stats.totals.failovers, 0u);
+    EXPECT_EQ(stats.totals.accepted, stats.totals.completed());
+  }
+
+  // ~30% of dispatches fault: without failover availability collapses to
+  // roughly the fault rate's complement; with it the sweep absorbs every
+  // injected fault.
+  EXPECT_LT(availability_without, 0.9);
+  EXPECT_GE(availability_with, 0.99)
+      << "failover failed the ISSUE acceptance bar";
+}
+
+// ---------------------------------------------------------------------------
+// Interner growth under soak (never-evicts contract)
+// ---------------------------------------------------------------------------
+
+TEST(Interner, GlobalInternerStaysBoundedUnderGatewaySoak) {
+  GatewayConfig config = BaseConfig(2);
+  Gateway gw(config);
+
+  gateway::TrafficConfig warmup;
+  warmup.producers = 1;
+  warmup.requests_per_producer = 200;
+  warmup.seed = 7;
+  warmup.location_property_values = 8;  // bounded by design (traffic.h)
+  (void)RunTraffic(gw, warmup);
+
+  // Everything the traffic shape can intern has been interned above; a
+  // 10x longer soak over fresh seeds must not add a single symbol — the
+  // global interner never evicts, so any growth here is a leak that
+  // compounds for a process's lifetime (docs/failure-semantics.md).
+  const std::size_t after_warmup = support::Interner::Global().size();
+  gateway::TrafficConfig soak = warmup;
+  soak.producers = 2;
+  soak.requests_per_producer = 1000;
+  soak.seed = 8675309;
+  const gateway::TrafficReport report = RunTraffic(gw, soak);
+  EXPECT_EQ(report.ok + report.failed + report.shed + report.timed_out,
+            report.submitted);
+
+  EXPECT_EQ(support::Interner::Global().size(), after_warmup)
+      << "global interner grew during a steady-state soak";
+}
+
+}  // namespace
+}  // namespace mobivine

@@ -26,6 +26,7 @@
 #include "gateway/gateway.h"
 #include "gateway/histogram.h"
 #include "gateway/traffic.h"
+#include "support/fault.h"
 
 namespace mobivine {
 namespace {
@@ -456,6 +457,44 @@ TEST(Gateway, StatsSnapshotWhileServingAndCountersReconcile) {
   std::uint64_t per_shard_ok = 0;
   for (const auto& shard : stats.shards) per_shard_ok += shard.ok;
   EXPECT_EQ(per_shard_ok, stats.totals.ok);
+}
+
+TEST(Gateway, FailoverStatsReconcileUnderConcurrentTraffic) {
+  // Multi-shard, multi-producer traffic with 30% of android dispatches
+  // failing transiently and failover recovering them — the exactly-once
+  // completion contract and counter reconciliation must survive the
+  // sweep machinery (this is the tsan-leg integration test; the
+  // mechanism-level coverage lives in failover_test.cpp).
+  GatewayConfig config = BaseConfig(2);
+  config.failover.failover = true;
+  config.failover.fault_plan =
+      support::FaultPlan::Parse("seed=7;android:*:error=timeout:p=0.3")
+          .value();
+  Gateway gw(config);
+
+  TrafficConfig traffic;
+  traffic.producers = 2;
+  traffic.requests_per_producer = 200;
+  traffic.clients = 32;
+  traffic.window = 8;
+  traffic.retry.max_attempts = 1;  // recovery must come from failover
+  const TrafficReport report = gateway::RunTraffic(gw, traffic);
+
+  // Only android is faulted and its transient failures sweep to healthy
+  // platforms, so every request recovers.
+  EXPECT_EQ(report.submitted, 400u);
+  EXPECT_EQ(report.ok, 400u);
+
+  const GatewaySnapshot stats = gw.Stats();
+  EXPECT_GT(stats.totals.faults_injected, 0u);
+  EXPECT_GT(stats.totals.failovers, 0u);
+  EXPECT_EQ(stats.totals.ok + stats.totals.failed + stats.totals.timed_out,
+            stats.totals.completed());
+  EXPECT_EQ(stats.totals.completed(), stats.totals.accepted);
+  EXPECT_EQ(stats.totals.latency.total(), stats.totals.completed());
+  std::uint64_t per_shard_failovers = 0;
+  for (const auto& shard : stats.shards) per_shard_failovers += shard.failovers;
+  EXPECT_EQ(per_shard_failovers, stats.totals.failovers);
 }
 
 TEST(GatewayHistogram, BucketsAndPercentiles) {
