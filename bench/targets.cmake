@@ -23,6 +23,9 @@ mobivine_bench(bench_wallclock_throughput)
 mobivine_bench(bench_gateway_throughput)
 target_link_libraries(bench_gateway_throughput PRIVATE mobivine_gateway)
 
+mobivine_bench(bench_wire_throughput)
+target_link_libraries(bench_wire_throughput PRIVATE mobivine_wire)
+
 mobivine_bench(bench_a2_descriptor)
 target_link_libraries(bench_a2_descriptor PRIVATE benchmark::benchmark)
 mobivine_bench(bench_a3_bridge)

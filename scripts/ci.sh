@@ -5,12 +5,15 @@
 #   asan     Debug + AddressSanitizer
 #   ubsan    Debug + UndefinedBehaviorSanitizer
 #
-# The tsan preset (gateway/failover/interner concurrency checking) is not
-# in the default matrix because a full-suite TSan run is slow; opt in with
+# The tsan preset (gateway/failover/interner/wire concurrency checking)
+# is not in the default matrix because a full-suite TSan run is slow; the
+# wire leg below runs a *filtered* TSan pass (-R 'Wire|Gateway') instead.
+# Opt in to the full suite with
 #   MOBIVINE_CI_PRESETS="default asan ubsan tsan" scripts/ci.sh
 # or run it directly:
 #   cmake --preset tsan && cmake --build build-tsan -j && \
-#     ctest --test-dir build-tsan -R 'Gateway|Failover|Interner' --output-on-failure
+#     ctest --test-dir build-tsan -R 'Gateway|Failover|Interner|Wire' \
+#       --output-on-failure
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,4 +52,26 @@ python3 scripts/validate_mscope.py \
   "$MSCOPE_DIR/trace.json" "$MSCOPE_DIR/metrics.json" \
   scripts/mscope_schema.json
 
-echo "==== all presets green: $PRESETS (+ docs, mscope) ===="
+# M-Wire leg: the socket front-end's traced scenario must export wire.*
+# spans on labeled wire-loop threads plus wire.* counters that reconcile
+# with the gateway's (every submission in that run crossed a real socket),
+# and the epoll reactor + client must be race-clean under TSan. The TSan
+# pass is filtered to the wire/gateway suites so it stays fast; skip it
+# with MOBIVINE_CI_WIRE_TSAN=0 (e.g. when the full tsan preset already ran).
+echo "==== [wire] traced wire bench + export validation ===="
+./build/bench/bench_wire_throughput "$MSCOPE_DIR/wire_bench.json" \
+  --trace-only --trace "$MSCOPE_DIR/wire_trace.json" \
+  --metrics "$MSCOPE_DIR/wire_metrics.json"
+python3 scripts/validate_mscope.py \
+  "$MSCOPE_DIR/wire_trace.json" "$MSCOPE_DIR/wire_metrics.json" \
+  scripts/mscope_schema.json --require-wire
+
+if [[ "${MOBIVINE_CI_WIRE_TSAN:-1}" != "0" ]]; then
+  echo "==== [wire] tsan: Wire|Gateway suites ===="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS"
+  ctest --test-dir build-tsan -R 'Wire|Gateway' -j "$JOBS" \
+    --output-on-failure
+fi
+
+echo "==== all presets green: $PRESETS (+ docs, mscope, wire) ===="

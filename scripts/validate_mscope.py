@@ -2,7 +2,8 @@
 """Validate M-Scope exporter output against scripts/mscope_schema.json.
 
 Usage:
-    python3 scripts/validate_mscope.py TRACE.json METRICS.json [SCHEMA.json]
+    python3 scripts/validate_mscope.py TRACE.json METRICS.json \
+        [SCHEMA.json] [--require-wire]
 
 Stdlib-only (CI must not install packages). Two validation layers:
 
@@ -17,6 +18,12 @@ Stdlib-only (CI must not install packages). Two validation layers:
         containment the trace exists to show;
       * op instants carry virtual-cost attribution args;
       * metrics counters reconcile (completions == accepted).
+
+With --require-wire (the wire bench's CI leg) the export must also show
+the M-Wire front-end: the schema's "wire" section lists the required
+wire.* spans and metric series plus the event-loop thread-name prefix,
+and wire.requests_dispatched must reconcile with the gateway's
+accepted+shed — every gateway submission in that run came over a socket.
 
 Exit code 0 on success, 1 with a message on any failure — an empty or
 malformed export fails the build.
@@ -85,7 +92,7 @@ def check_schema(value, schema, path="$"):
 # ---------------------------------------------------------------------------
 
 
-def check_trace_semantics(trace):
+def check_trace_semantics(trace, wire=None):
     events = trace["traceEvents"]
     spans = [e for e in events if e["ph"] == "X"]
     instants = [e for e in events if e["ph"] == "i"]
@@ -145,14 +152,44 @@ def check_trace_semantics(trace):
     if not any(label.startswith("shard-") for label in labels):
         fail("no shard-N thread_name metadata")
 
+    wire_note = ""
+    if wire is not None:
+        for required in wire["required_spans"]:
+            if required not in names:
+                fail(
+                    f"required wire span {required!r} missing — "
+                    "front-end not instrumented"
+                )
+        prefix = wire.get("thread_prefix", "wire-loop-")
+        wire_tids = {
+            e["tid"]
+            for e in events
+            if e["ph"] == "M"
+            and e["name"] == "thread_name"
+            and e["args"].get("name", "").startswith(prefix)
+        }
+        if not wire_tids:
+            fail(f"no {prefix}N thread_name metadata — event loops unlabeled")
+        # The read/decode side must actually run on those loop threads.
+        loop_side = [
+            e
+            for e in spans
+            if e["name"] in ("wire.read", "wire.decode")
+            and e["tid"] in wire_tids
+        ]
+        if not loop_side:
+            fail("no wire.read/wire.decode span on a wire-loop thread")
+        wire_note = f", {len(wire_tids)} wire loop threads"
+
     print(
         f"validate_mscope: trace ok — {len(events)} events, "
         f"{len(gateway_spans)} gateway span names, "
         f"{len(core_spans)} core span names, {nested} nested core events"
+        f"{wire_note}"
     )
 
 
-def check_metrics_semantics(metrics_doc):
+def check_metrics_semantics(metrics_doc, wire=None):
     metrics = metrics_doc["metrics"]
     for name, value in metrics.items():
         if not isinstance(value, (int, float)) and value is not None:
@@ -170,23 +207,51 @@ def check_metrics_semantics(metrics_doc):
         )
     if metrics["gateway.op.dispatch"] <= 0:
         fail("gateway.op.dispatch is zero — meter plane not flowing")
+
+    wire_note = ""
+    if wire is not None:
+        for name in wire["required_metrics"]:
+            if name not in metrics:
+                fail(f"required wire metric {name!r} missing")
+        if metrics["wire.frames_in"] <= 0 or metrics["wire.frames_out"] <= 0:
+            fail("wire.frames_in/out are zero — no traffic crossed the wire")
+        dispatched = metrics["wire.requests_dispatched"]
+        gateway_seen = metrics["gateway.accepted"] + metrics["gateway.shed"]
+        if dispatched != gateway_seen:
+            fail(
+                f"wire.requests_dispatched={dispatched} != "
+                f"gateway accepted+shed={gateway_seen} — some gateway "
+                "traffic bypassed the wire (or frames were lost)"
+            )
+        wire_note = f", {dispatched} wire dispatches reconciled"
+
     print(
         f"validate_mscope: metrics ok — {len(metrics)} series, "
-        f"{accepted} accepted reconciled"
+        f"{accepted} accepted reconciled{wire_note}"
     )
 
 
 def main(argv):
-    if len(argv) < 3:
-        fail(f"usage: {argv[0]} TRACE.json METRICS.json [SCHEMA.json]")
-    trace_path, metrics_path = argv[1], argv[2]
+    args = list(argv[1:])
+    require_wire = "--require-wire" in args
+    if require_wire:
+        args.remove("--require-wire")
+    if len(args) < 2:
+        fail(
+            f"usage: {argv[0]} TRACE.json METRICS.json [SCHEMA.json] "
+            "[--require-wire]"
+        )
+    trace_path, metrics_path = args[0], args[1]
     schema_path = (
-        argv[3]
-        if len(argv) > 3
+        args[2]
+        if len(args) > 2
         else str(pathlib.Path(__file__).with_name("mscope_schema.json"))
     )
     with open(schema_path) as f:
         schema = json.load(f)
+    wire = schema.get("wire") if require_wire else None
+    if require_wire and wire is None:
+        fail(f"--require-wire set but {schema_path} has no \"wire\" section")
 
     for label, path, key, semantic in (
         ("trace", trace_path, "trace", check_trace_semantics),
@@ -198,7 +263,7 @@ def main(argv):
         except (OSError, json.JSONDecodeError) as e:
             fail(f"{label} file {path}: {e}")
         check_schema(document, schema[key], f"$({label})")
-        semantic(document)
+        semantic(document, wire)
     print("validate_mscope: PASS")
 
 

@@ -1,109 +1,16 @@
-// Lock-free latency histogram for the gateway stats plane.
-//
-// HDR-style bucketing: values (microseconds) land in log2 octaves split
-// into 8 linear sub-buckets, so relative error is bounded at ~12.5%
-// across the full range (1 µs .. ~5 hours) with a fixed 512-slot table.
-// Record() is one relaxed fetch_add — workers never contend with each
-// other (one histogram per shard) or with snapshot readers.
+// The gateway's latency histogram now lives in support/histogram.h so the
+// wire layer's client-side latency shares the same buckets (and percentile
+// error bounds). This alias keeps the historical gateway:: spellings —
+// gateway code and tests predating the extraction compile unchanged.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <bit>
-#include <cstddef>
-#include <cstdint>
-#include <vector>
+#include "support/histogram.h"
 
 namespace mobivine::gateway {
 
-namespace histogram_detail {
-inline constexpr int kSubBucketBits = 3;  // 8 sub-buckets per octave
-inline constexpr std::size_t kBucketCount = 512;
+namespace histogram_detail = support::histogram_detail;
 
-/// Bucket index for a microsecond value. Values 0..7 get exact buckets;
-/// octave o >= 3 keeps the top 3 bits below the leading bit.
-[[nodiscard]] inline std::size_t BucketFor(std::uint64_t micros) {
-  const std::uint64_t v = micros | 1;
-  const int octave = std::bit_width(v) - 1;  // floor(log2(v)), 0..63
-  if (octave < kSubBucketBits) return micros;
-  const std::uint64_t sub = (v >> (octave - kSubBucketBits)) & 7u;
-  return (static_cast<std::size_t>(octave - 2) << kSubBucketBits) | sub;
-}
-
-/// Inclusive upper bound (µs) of a bucket — what percentiles report.
-[[nodiscard]] inline std::uint64_t BucketUpperBound(std::size_t index) {
-  if (index < (1u << kSubBucketBits)) return index;
-  const int octave = static_cast<int>(index >> kSubBucketBits) + 2;
-  const std::uint64_t sub = index & 7u;
-  const std::uint64_t base = 1ull << octave;
-  const std::uint64_t width = 1ull << (octave - kSubBucketBits);
-  return base + (sub + 1) * width - 1;
-}
-}  // namespace histogram_detail
-
-/// A point-in-time copy of a histogram; merged and queried off-thread.
-class HistogramSnapshot {
- public:
-  HistogramSnapshot() : counts_(histogram_detail::kBucketCount, 0) {}
-
-  void Merge(const HistogramSnapshot& other) {
-    for (std::size_t i = 0; i < counts_.size(); ++i) {
-      counts_[i] += other.counts_[i];
-    }
-    total_ += other.total_;
-  }
-
-  [[nodiscard]] std::uint64_t total() const { return total_; }
-
-  /// Value (µs) at quantile q in [0, 1]: the upper bound of the bucket
-  /// holding the ceil(q * total)-th sample. 0 when empty.
-  [[nodiscard]] std::uint64_t Percentile(double q) const {
-    if (total_ == 0) return 0;
-    if (q < 0) q = 0;
-    if (q > 1) q = 1;
-    const auto rank =
-        static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < counts_.size(); ++i) {
-      seen += counts_[i];
-      if (seen >= rank) return histogram_detail::BucketUpperBound(i);
-    }
-    return histogram_detail::BucketUpperBound(counts_.size() - 1);
-  }
-
-  std::vector<std::uint64_t>& counts() { return counts_; }
-  void set_total(std::uint64_t total) { total_ = total; }
-
- private:
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t total_ = 0;
-};
-
-class LatencyHistogram {
- public:
-  void Record(std::uint64_t micros) {
-    buckets_[histogram_detail::BucketFor(micros)].fetch_add(
-        1, std::memory_order_relaxed);
-  }
-
-  /// Consistent-enough copy without stopping writers: counts are summed
-  /// after copying, so a concurrent Record() is either in or out — never
-  /// torn across total and buckets.
-  [[nodiscard]] HistogramSnapshot Snapshot() const {
-    HistogramSnapshot snap;
-    std::uint64_t total = 0;
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
-      const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
-      snap.counts()[i] = n;
-      total += n;
-    }
-    snap.set_total(total);
-    return snap;
-  }
-
- private:
-  std::array<std::atomic<std::uint64_t>, histogram_detail::kBucketCount>
-      buckets_{};
-};
+using support::HistogramSnapshot;
+using support::LatencyHistogram;
 
 }  // namespace mobivine::gateway

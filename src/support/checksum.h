@@ -1,0 +1,20 @@
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the wire
+// protocol's payload integrity check.
+//
+// Not cryptographic: it catches bit flips, truncation and reordering from
+// a buggy peer or a corrupted stream, which is exactly the failure class a
+// framing layer must detect before trusting a length or dispatching a
+// request. Table-driven, one 1 KiB table, byte-at-a-time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mobivine::support {
+
+/// CRC32 of [data, data+size). Chainable: feed the previous return value
+/// as `seed` to extend a running checksum (Crc32(a+b) == chained calls).
+[[nodiscard]] std::uint32_t Crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+}  // namespace mobivine::support

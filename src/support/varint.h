@@ -1,0 +1,67 @@
+// LEB128-style variable-length integers for the wire layer.
+//
+// Unsigned values are emitted base-128, low group first, high bit of each
+// byte marking continuation — 1 byte up to 127, 10 bytes for the full
+// 64-bit range. Signed values ride the same encoding via zigzag mapping
+// so small magnitudes of either sign stay short.
+//
+// Decoding distinguishes "buffer ended mid-varint" (kTruncated — the
+// framing layer turns this into need-more-bytes) from "encoding can never
+// be valid" (kMalformed — more than 10 groups, or bits beyond the 64th):
+// a streaming decoder must not treat garbage as a short read and wait
+// forever for bytes that cannot help.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mobivine::support {
+
+enum class VarintStatus : std::uint8_t { kOk, kTruncated, kMalformed };
+
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+inline void PutVarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Decode one varint from [data, data+size). On kOk, *value holds the
+/// result and *consumed the encoded length; both are untouched otherwise.
+[[nodiscard]] inline VarintStatus GetVarint(const std::uint8_t* data,
+                                            std::size_t size,
+                                            std::uint64_t* value,
+                                            std::size_t* consumed) {
+  std::uint64_t result = 0;
+  for (std::size_t i = 0; i < size && i < kMaxVarintBytes; ++i) {
+    const std::uint8_t byte = data[i];
+    // Group 10 carries bits 63.. — only its lowest bit fits in 64.
+    if (i == kMaxVarintBytes - 1 && byte > 0x01) return VarintStatus::kMalformed;
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      *consumed = i + 1;
+      return VarintStatus::kOk;
+    }
+  }
+  return size >= kMaxVarintBytes ? VarintStatus::kMalformed
+                                 : VarintStatus::kTruncated;
+}
+
+/// Zigzag: signed -> unsigned with small magnitudes mapping to small codes
+/// (0 -> 0, -1 -> 1, 1 -> 2, ...). Exact inverse pair for all of int64.
+[[nodiscard]] inline std::uint64_t ZigzagEncode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+[[nodiscard]] inline std::int64_t ZigzagDecode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+}  // namespace mobivine::support

@@ -1,0 +1,268 @@
+#include "wire/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mobivine::wire {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Write the whole buffer to a blocking socket. False on any error.
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+WireClient::~WireClient() { Close(); }
+
+bool WireClient::Connect(std::uint16_t port, std::string* error) {
+  if (connected_.load(std::memory_order_acquire) || fd_ >= 0) {
+    if (error != nullptr) *error = "already connected";
+    return false;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "socket() failed";
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr) {
+      *error = std::string("connect failed: ") + std::strerror(errno);
+    }
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  connected_.store(true, std::memory_order_release);
+  reader_ = std::thread([this] { ReaderLoop(); });
+  return true;
+}
+
+bool WireClient::Submit(WireRequest request, Callback callback) {
+  if (!connected_.load(std::memory_order_acquire)) {
+    WireResponse dead;
+    dead.request_id = request.request_id;
+    dead.status = WireStatus::kTransportError;
+    callback(dead);
+    return false;
+  }
+  const std::uint64_t id =
+      next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.request_id = id;
+  std::vector<std::uint8_t> bytes;
+  EncodeRequest(request, bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.emplace(id, std::move(callback));
+  }
+  bool sent = false;
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    sent = connected_.load(std::memory_order_acquire) &&
+           WriteAll(fd_, bytes.data(), bytes.size());
+  }
+  if (sent) return true;
+  // Send failed: complete this request with a transport error — unless
+  // the reader noticed the dead socket first and already failed it.
+  Callback mine;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      mine = std::move(it->second);
+      pending_.erase(it);
+    }
+  }
+  if (mine) {
+    WireResponse dead;
+    dead.request_id = id;
+    dead.status = WireStatus::kTransportError;
+    mine(dead);
+  }
+  return false;
+}
+
+std::size_t WireClient::SubmitBatch(std::vector<WireRequest> requests,
+                                    const Callback& callback) {
+  if (requests.empty()) return 0;
+  if (!connected_.load(std::memory_order_acquire)) {
+    for (const WireRequest& request : requests) {
+      WireResponse dead;
+      dead.request_id = request.request_id;
+      dead.status = WireStatus::kTransportError;
+      callback(dead);
+    }
+    return 0;
+  }
+  std::vector<std::uint64_t> ids;
+  ids.reserve(requests.size());
+  std::vector<std::uint8_t> bytes;
+  for (WireRequest& request : requests) {
+    request.request_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    ids.push_back(request.request_id);
+    EncodeRequest(request, bytes);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint64_t id : ids) pending_.emplace(id, callback);
+  }
+  bool sent = false;
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    sent = connected_.load(std::memory_order_acquire) &&
+           WriteAll(fd_, bytes.data(), bytes.size());
+  }
+  if (sent) return ids.size();
+  // A failed batch write leaves an unknown prefix delivered; responses
+  // that do arrive match their pending entries, the rest fail here.
+  std::vector<Callback> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint64_t id : ids) {
+      const auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        orphans.push_back(std::move(it->second));
+        pending_.erase(it);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < orphans.size(); ++i) {
+    WireResponse dead;
+    dead.status = WireStatus::kTransportError;
+    orphans[i](dead);
+  }
+  return ids.size() - orphans.size();
+}
+
+bool WireClient::Call(WireRequest request, WireResponse* response) {
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  Submit(std::move(request), [&](const WireResponse& completed) {
+    *response = completed;
+    // Notify under the lock: these are stack objects, and the waiter
+    // destroys them the moment it observes done — an unlocked notify
+    // could still be touching the cv then.
+    std::lock_guard<std::mutex> lock(done_mutex);
+    done = true;
+    done_cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+  return response->status != WireStatus::kTransportError;
+}
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    // Shut down rather than close: the reader thread wakes with EOF and
+    // fails outstanding callbacks; the fd stays valid until the join.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+  connected_.store(false, std::memory_order_release);
+  if (reader_.joinable()) reader_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  FailAllOutstanding();  // e.g. Close() racing sends; normally a no-op
+}
+
+std::size_t WireClient::outstanding() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void WireClient::ReaderLoop() {
+  std::vector<std::uint8_t> buf;
+  std::size_t start = 0;  // decoded-up-to offset into buf
+  std::uint8_t chunk[kReadChunk];
+  while (true) {
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: fail everything below
+    buf.insert(buf.end(), chunk, chunk + n);
+    bool dead = false;
+    while (true) {
+      FrameView frame;
+      std::size_t consumed = 0;
+      const DecodeStatus status =
+          DecodeFrame(buf.data() + start, buf.size() - start, &frame,
+                      &consumed, nullptr);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status == DecodeStatus::kMalformed ||
+          frame.type != FrameType::kResponse) {
+        dead = true;  // server broke protocol; kill the connection
+        break;
+      }
+      WireResponse response;
+      if (!DecodeResponse(frame.payload, frame.payload_size, &response,
+                          nullptr)) {
+        dead = true;
+        break;
+      }
+      start += consumed;
+      Callback callback;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = pending_.find(response.request_id);
+        if (it != pending_.end()) {
+          callback = std::move(it->second);
+          pending_.erase(it);
+        }
+      }
+      // Unmatched ids (already failed, or a server bug) are dropped.
+      if (callback) callback(response);
+    }
+    if (dead) break;
+    if (start == buf.size()) {
+      buf.clear();
+      start = 0;
+    } else if (start > kReadChunk) {
+      buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(start));
+      start = 0;
+    }
+  }
+  connected_.store(false, std::memory_order_release);
+  FailAllOutstanding();
+}
+
+void WireClient::FailAllOutstanding() {
+  std::unordered_map<std::uint64_t, Callback> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    orphans.swap(pending_);
+  }
+  for (auto& [id, callback] : orphans) {
+    WireResponse dead;
+    dead.request_id = id;
+    dead.status = WireStatus::kTransportError;
+    callback(dead);
+  }
+}
+
+}  // namespace mobivine::wire

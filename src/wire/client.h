@@ -1,0 +1,98 @@
+// M-Wire client: a blocking-socket library for talking to a WireServer.
+//
+// Two modes share one connection:
+//   - Call()   — synchronous request/response, for tests and simple tools.
+//   - Submit() — pipelined async: assigns a request id, sends without
+//     waiting, and fires the callback from the client's reader thread
+//     when the matching response frame arrives. Many requests can be in
+//     flight at once (the server pipelines freely), which is what the
+//     bench_wire_throughput closed-loop windows are built on.
+//
+// Request ids are client-side correlation tokens, assigned monotonically
+// here; any id already present in `request.request_id` is overwritten.
+//
+// Failure semantics: when the connection dies (peer close, socket error,
+// undecodable response frame) every outstanding callback fires exactly
+// once with WireStatus::kTransportError and an empty body, and later
+// Submit/Call attempts fail fast. Callbacks run on the reader thread —
+// keep them short; a callback must not call Close() (deadlock: Close
+// joins the reader).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "wire/protocol.h"
+
+namespace mobivine::wire {
+
+class WireClient {
+ public:
+  using Callback = std::function<void(const WireResponse&)>;
+
+  WireClient() = default;
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connect to 127.0.0.1:port and start the reader thread. False on
+  /// failure (`error` says why). One connection per client; not
+  /// reusable after Close().
+  [[nodiscard]] bool Connect(std::uint16_t port, std::string* error = nullptr);
+
+  /// Pipelined async send. Returns false (callback fired with
+  /// kTransportError) if the connection is down or the send fails.
+  bool Submit(WireRequest request, Callback callback);
+
+  /// Pipelined batch: encode every request into one buffer and push it
+  /// with a single write — the syscall-per-request cost is what
+  /// dominates small-frame loopback throughput. `callback` fires once
+  /// per response (any order). Returns the number of requests actually
+  /// sent; on a transport failure the unsent remainder's callbacks fire
+  /// with kTransportError.
+  std::size_t SubmitBatch(std::vector<WireRequest> requests,
+                          const Callback& callback);
+
+  /// Synchronous round trip: Submit + wait. Returns false only on
+  /// transport failure; protocol-level errors come back as `response`
+  /// statuses with the connection intact.
+  bool Call(WireRequest request, WireResponse* response);
+
+  /// Shut the socket down and join the reader thread (which fails all
+  /// outstanding callbacks with kTransportError). Idempotent.
+  void Close();
+
+  [[nodiscard]] bool connected() const {
+    return connected_.load(std::memory_order_acquire);
+  }
+
+  /// Responses whose callbacks have not yet fired.
+  [[nodiscard]] std::size_t outstanding() const;
+
+ private:
+  void ReaderLoop();
+  void FailAllOutstanding();
+
+  int fd_ = -1;
+  std::thread reader_;
+  std::atomic<bool> connected_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+
+  /// Two locks, never held together with send_mutex_ inner: the send
+  /// path can block on a full socket buffer (server backpressure), and
+  /// the reader thread must still be able to take mutex_ to complete
+  /// responses — that drain is what un-sticks the server.
+  mutable std::mutex mutex_;  ///< guards pending_
+  std::mutex send_mutex_;     ///< serializes whole-frame writes
+  std::unordered_map<std::uint64_t, Callback> pending_;
+};
+
+}  // namespace mobivine::wire

@@ -1,0 +1,58 @@
+#include "wire/connection.h"
+
+#include <cstring>
+
+namespace mobivine::wire {
+
+namespace {
+
+[[nodiscard]] std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ByteRing::ByteRing(std::size_t capacity_hint)
+    : buf_(RoundUpPow2(capacity_hint == 0 ? 1 : capacity_hint)) {}
+
+void ByteRing::Append(const std::uint8_t* data, std::size_t n) {
+  if (size_ + n > buf_.size()) Grow(size_ + n);
+  const std::size_t mask = buf_.size() - 1;
+  const std::size_t tail = (head_ + size_) & mask;
+  const std::size_t first = std::min(n, buf_.size() - tail);
+  std::memcpy(buf_.data() + tail, data, first);
+  if (n > first) std::memcpy(buf_.data(), data + first, n - first);
+  size_ += n;
+}
+
+void ByteRing::Consume(std::size_t n) {
+  head_ = (head_ + n) & (buf_.size() - 1);
+  size_ -= n;
+  if (size_ == 0) head_ = 0;
+}
+
+const std::uint8_t* ByteRing::Contiguous() {
+  if (head_ + size_ <= buf_.size()) return buf_.data() + head_;
+  // Wrapped: rotate so the readable run starts at offset 0. Rare (only
+  // when a frame straddles the wrap point) and bounded by ring size.
+  std::vector<std::uint8_t> linear(buf_.size());
+  const std::size_t first = buf_.size() - head_;
+  std::memcpy(linear.data(), buf_.data() + head_, first);
+  std::memcpy(linear.data() + first, buf_.data(), size_ - first);
+  buf_ = std::move(linear);
+  head_ = 0;
+  return buf_.data();
+}
+
+void ByteRing::Grow(std::size_t needed) {
+  std::vector<std::uint8_t> bigger(RoundUpPow2(needed));
+  const std::size_t first = std::min(size_, buf_.size() - head_);
+  std::memcpy(bigger.data(), buf_.data() + head_, first);
+  std::memcpy(bigger.data() + first, buf_.data(), size_ - first);
+  buf_ = std::move(bigger);
+  head_ = 0;
+}
+
+}  // namespace mobivine::wire

@@ -1,0 +1,136 @@
+// One accepted TCP connection inside a WireServer event loop.
+//
+// Threading model: the owning event loop is the only thread that touches
+// the socket, the input ring and epoll state. Gateway shard workers touch
+// exactly one thing — the bounded output queue (QueueOutput, under its
+// own mutex) — and then poke the loop's eventfd; the loop drains the
+// queue into the socket. A connection is held by shared_ptr: the loop's
+// fd map keeps one reference, and every in-flight gateway completion
+// callback keeps another, so a completion arriving after the socket
+// closed lands on a live object, sees `closed()`, and drops the bytes.
+//
+// Backpressure: when queued-but-unsent output crosses the high
+// watermark, the loop stops reading this socket (the kernel receive
+// buffer then fills and TCP closes the peer's window — real transport
+// backpressure, composing with the gateway's shed/deadline admission
+// which bounds what the server itself will buy into). Reading resumes
+// once the backlog drains below the low watermark.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mobivine::wire {
+
+/// Power-of-two byte ring for the read side. The decoder needs frames
+/// contiguous, so Contiguous() linearizes wrapped data once per read
+/// pass (cheap: frames are small relative to the ring and the common
+/// case — head before tail — is a no-op returning an interior pointer).
+class ByteRing {
+ public:
+  explicit ByteRing(std::size_t capacity_hint = 16 * 1024);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Append bytes, growing (doubling) as needed.
+  void Append(const std::uint8_t* data, std::size_t n);
+
+  /// Drop n bytes from the front (n <= size()).
+  void Consume(std::size_t n);
+
+  /// Pointer to size() contiguous readable bytes, linearizing if the
+  /// data wraps. Valid until the next Append/Consume.
+  [[nodiscard]] const std::uint8_t* Contiguous();
+
+ private:
+  void Grow(std::size_t needed);
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;  ///< read position
+  std::size_t size_ = 0;  ///< bytes stored
+};
+
+class Connection {
+ public:
+  Connection(int fd, std::uint64_t id) : fd_(fd), id_(id) {}
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+  void MarkClosed() { closed_.store(true, std::memory_order_release); }
+
+  ByteRing& input() { return input_; }
+
+  /// Append an encoded frame to the output queue (any thread). Returns
+  /// the queued byte total so the caller can decide to notify the loop;
+  /// returns 0 when the connection is already closed (bytes dropped).
+  std::size_t QueueOutput(std::vector<std::uint8_t>&& frame) {
+    if (closed()) return 0;
+    std::lock_guard<std::mutex> lock(out_mutex_);
+    if (out_queue_.empty()) {
+      out_queue_ = std::move(frame);
+    } else {
+      out_queue_.insert(out_queue_.end(), frame.begin(), frame.end());
+    }
+    const std::size_t total = out_queue_.size() + unsent_write_bytes_;
+    pending_out_.store(total, std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Loop thread: move queued bytes into the loop-side write buffer
+  /// (coalescing all pending frames into one writev-sized run).
+  void TakeQueued(std::vector<std::uint8_t>& write_buf) {
+    std::lock_guard<std::mutex> lock(out_mutex_);
+    if (out_queue_.empty()) return;
+    if (write_buf.empty()) {
+      write_buf = std::move(out_queue_);
+      out_queue_.clear();
+    } else {
+      write_buf.insert(write_buf.end(), out_queue_.begin(), out_queue_.end());
+      out_queue_.clear();
+    }
+  }
+
+  /// Loop thread: record how much of the write buffer remains unsent, so
+  /// QueueOutput's watermark total counts bytes the kernel refused too.
+  void SetUnsentWriteBytes(std::size_t n) {
+    std::lock_guard<std::mutex> lock(out_mutex_);
+    unsent_write_bytes_ = n;
+    pending_out_.store(out_queue_.size() + n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t pending_output_bytes() const {
+    return pending_out_.load(std::memory_order_relaxed);
+  }
+
+  /// Dedupe loop notifications: first caller since the last drain wins.
+  [[nodiscard]] bool ClaimNotify() {
+    return !notify_pending_.exchange(true, std::memory_order_acq_rel);
+  }
+  void ClearNotify() { notify_pending_.store(false, std::memory_order_release); }
+
+  // Loop-thread-only state (no synchronization needed).
+  std::vector<std::uint8_t> write_buf;  ///< being drained into the socket
+  std::size_t write_offset = 0;
+  bool paused = false;      ///< reading stopped by the output watermark
+  bool want_close = false;  ///< close after the output queue drains
+
+ private:
+  const int fd_;
+  const std::uint64_t id_;
+  std::atomic<bool> closed_{false};
+  ByteRing input_;
+
+  std::mutex out_mutex_;
+  std::vector<std::uint8_t> out_queue_;  ///< written by any thread
+  std::size_t unsent_write_bytes_ = 0;
+  std::atomic<std::size_t> pending_out_{0};
+  std::atomic<bool> notify_pending_{false};
+};
+
+}  // namespace mobivine::wire

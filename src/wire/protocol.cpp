@@ -1,0 +1,452 @@
+#include "wire/protocol.h"
+
+#include <cstring>
+
+#include "support/checksum.h"
+#include "support/varint.h"
+
+namespace mobivine::wire {
+
+namespace {
+
+using support::GetVarint;
+using support::PutVarint;
+using support::VarintStatus;
+
+/// Property value tags. The four descriptor-declared scalar lanes; a
+/// request carrying any other tag is malformed (native handles — the
+/// std::any lane — deliberately have no wire form).
+enum class ValueTag : std::uint8_t {
+  kString = 0,
+  kInt = 1,
+  kDouble = 2,
+  kBool = 3,
+};
+
+void PutString(std::vector<std::uint8_t>& out, const std::string& s) {
+  PutVarint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void PutFixed32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutFixed64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Sequential reader over a frame payload. Every getter returns false on
+/// violation (truncation or a cap breach) and records why.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool Varint(std::uint64_t* value, const char* what) {
+    std::size_t consumed = 0;
+    if (GetVarint(data_ + pos_, size_ - pos_, value, &consumed) !=
+        VarintStatus::kOk) {
+      return Fail(what, "bad varint");
+    }
+    pos_ += consumed;
+    return true;
+  }
+
+  bool Byte(std::uint8_t* value, const char* what) {
+    if (pos_ >= size_) return Fail(what, "truncated");
+    *value = data_[pos_++];
+    return true;
+  }
+
+  bool String(std::string* value, const char* what) {
+    std::uint64_t len = 0;
+    if (!Varint(&len, what)) return false;
+    if (len > kMaxStringBytes) return Fail(what, "over string cap");
+    if (len > size_ - pos_) return Fail(what, "truncated");
+    value->assign(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return true;
+  }
+
+  bool Fixed64(std::uint64_t* value, const char* what) {
+    if (size_ - pos_ < 8) return Fail(what, "truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    *value = v;
+    pos_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool AtEnd() const { return pos_ == size_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const char* what, const char* why) {
+    error_ = std::string(what) + ": " + why;
+    return false;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Wrap an encoded payload in the frame header + CRC trailer. The payload
+/// was appended to `out` starting at `payload_start` by the caller; this
+/// retrofits the header in front (single memmove on the tail).
+void FinishFrame(std::vector<std::uint8_t>& out, std::size_t frame_start,
+                 FrameType type) {
+  const std::size_t payload_size = out.size() - frame_start;
+  std::vector<std::uint8_t> header;
+  header.reserve(4 + support::kMaxVarintBytes);
+  header.push_back(kMagic0);
+  header.push_back(kMagic1);
+  header.push_back(kWireVersion);
+  header.push_back(static_cast<std::uint8_t>(type));
+  PutVarint(header, payload_size);
+  const std::uint32_t crc =
+      support::Crc32(out.data() + frame_start, payload_size);
+  out.insert(out.begin() + static_cast<std::ptrdiff_t>(frame_start),
+             header.begin(), header.end());
+  PutFixed32(out, crc);
+}
+
+}  // namespace
+
+const char* ToString(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "ok";
+    case WireStatus::kMalformedRequest:
+      return "malformed-request";
+    case WireStatus::kTransportError:
+      return "transport-error";
+    default:
+      return core::ToString(ToErrorCode(status));
+  }
+}
+
+WireStatus FromErrorCode(core::ErrorCode code) {
+  switch (code) {
+    case core::ErrorCode::kSecurity:
+      return WireStatus::kSecurity;
+    case core::ErrorCode::kIllegalArgument:
+      return WireStatus::kIllegalArgument;
+    case core::ErrorCode::kLocationUnavailable:
+      return WireStatus::kLocationUnavailable;
+    case core::ErrorCode::kTimeout:
+      return WireStatus::kTimeout;
+    case core::ErrorCode::kUnreachable:
+      return WireStatus::kUnreachable;
+    case core::ErrorCode::kRadioFailure:
+      return WireStatus::kRadioFailure;
+    case core::ErrorCode::kUnsupported:
+      return WireStatus::kUnsupported;
+    case core::ErrorCode::kInvalidState:
+      return WireStatus::kInvalidState;
+    case core::ErrorCode::kNetwork:
+      return WireStatus::kNetwork;
+    case core::ErrorCode::kOverloaded:
+      return WireStatus::kOverloaded;
+    case core::ErrorCode::kDeadlineExceeded:
+      return WireStatus::kDeadlineExceeded;
+    case core::ErrorCode::kAllBackendsFailed:
+      return WireStatus::kAllBackendsFailed;
+    case core::ErrorCode::kUnknown:
+      return WireStatus::kUnknown;
+  }
+  return WireStatus::kUnknown;
+}
+
+core::ErrorCode ToErrorCode(WireStatus status) {
+  switch (status) {
+    case WireStatus::kSecurity:
+      return core::ErrorCode::kSecurity;
+    case WireStatus::kIllegalArgument:
+      return core::ErrorCode::kIllegalArgument;
+    case WireStatus::kLocationUnavailable:
+      return core::ErrorCode::kLocationUnavailable;
+    case WireStatus::kTimeout:
+      return core::ErrorCode::kTimeout;
+    case WireStatus::kUnreachable:
+      return core::ErrorCode::kUnreachable;
+    case WireStatus::kRadioFailure:
+      return core::ErrorCode::kRadioFailure;
+    case WireStatus::kUnsupported:
+      return core::ErrorCode::kUnsupported;
+    case WireStatus::kInvalidState:
+      return core::ErrorCode::kInvalidState;
+    case WireStatus::kNetwork:
+      return core::ErrorCode::kNetwork;
+    case WireStatus::kOverloaded:
+      return core::ErrorCode::kOverloaded;
+    case WireStatus::kDeadlineExceeded:
+      return core::ErrorCode::kDeadlineExceeded;
+    case WireStatus::kAllBackendsFailed:
+      return core::ErrorCode::kAllBackendsFailed;
+    default:
+      return core::ErrorCode::kUnknown;
+  }
+}
+
+void EncodeRequest(const WireRequest& request,
+                   std::vector<std::uint8_t>& out) {
+  const std::size_t frame_start = out.size();
+  PutVarint(out, request.request_id);
+  PutVarint(out, request.client_id);
+  out.push_back(static_cast<std::uint8_t>(request.platform));
+  out.push_back(static_cast<std::uint8_t>(request.op));
+  PutVarint(out, request.timeout_micros);
+  PutVarint(out, request.max_attempts);
+  PutString(out, request.target);
+  PutString(out, request.payload);
+  PutString(out, request.content_type);
+  PutVarint(out, request.properties.size());
+  for (const auto& [name, value] : request.properties) {
+    PutString(out, name);
+    if (const std::string* s = value.AsString()) {
+      out.push_back(static_cast<std::uint8_t>(ValueTag::kString));
+      PutString(out, *s);
+    } else if (const long long* i = value.AsInt()) {
+      out.push_back(static_cast<std::uint8_t>(ValueTag::kInt));
+      PutVarint(out, support::ZigzagEncode(*i));
+    } else if (const double* d = std::get_if<double>(&value.stored())) {
+      out.push_back(static_cast<std::uint8_t>(ValueTag::kDouble));
+      std::uint64_t bits = 0;
+      static_assert(sizeof bits == sizeof *d);
+      std::memcpy(&bits, d, sizeof bits);
+      PutFixed64(out, bits);
+    } else if (const bool* b = std::get_if<bool>(&value.stored())) {
+      out.push_back(static_cast<std::uint8_t>(ValueTag::kBool));
+      out.push_back(*b ? 1 : 0);
+    } else {
+      // Native-handle (std::any) properties have no wire form; encode a
+      // false bool so the frame stays well-formed — the server-side
+      // descriptor validation will reject it if the name is scalar-typed.
+      out.push_back(static_cast<std::uint8_t>(ValueTag::kBool));
+      out.push_back(0);
+    }
+  }
+  FinishFrame(out, frame_start, FrameType::kRequest);
+}
+
+void EncodeResponse(const WireResponse& response,
+                    std::vector<std::uint8_t>& out) {
+  const std::size_t frame_start = out.size();
+  PutVarint(out, response.request_id);
+  out.push_back(static_cast<std::uint8_t>(response.status));
+  out.push_back(static_cast<std::uint8_t>(response.served_platform));
+  PutVarint(out, response.attempts);
+  PutVarint(out, response.latency_micros);
+  PutString(out, response.body);
+  FinishFrame(out, frame_start, FrameType::kResponse);
+}
+
+DecodeStatus DecodeFrame(const std::uint8_t* data, std::size_t size,
+                         FrameView* frame, std::size_t* consumed,
+                         std::string* error) {
+  if (size < 4) return DecodeStatus::kNeedMore;
+  if (data[0] != kMagic0 || data[1] != kMagic1) {
+    if (error != nullptr) *error = "bad magic";
+    return DecodeStatus::kMalformed;
+  }
+  if (data[2] != kWireVersion) {
+    if (error != nullptr) *error = "unsupported version";
+    return DecodeStatus::kMalformed;
+  }
+  const std::uint8_t type = data[3];
+  if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+    if (error != nullptr) *error = "unknown frame type";
+    return DecodeStatus::kMalformed;
+  }
+  std::uint64_t payload_size = 0;
+  std::size_t len_bytes = 0;
+  switch (GetVarint(data + 4, size - 4, &payload_size, &len_bytes)) {
+    case VarintStatus::kTruncated:
+      return DecodeStatus::kNeedMore;
+    case VarintStatus::kMalformed:
+      if (error != nullptr) *error = "malformed length varint";
+      return DecodeStatus::kMalformed;
+    case VarintStatus::kOk:
+      break;
+  }
+  // Cap check BEFORE waiting for (or allocating) the declared bytes: an
+  // absurd length must kill the connection now, not stall it.
+  if (payload_size > kMaxFramePayload) {
+    if (error != nullptr) *error = "payload length over cap";
+    return DecodeStatus::kMalformed;
+  }
+  const std::size_t header = 4 + len_bytes;
+  const std::size_t total =
+      header + static_cast<std::size_t>(payload_size) + 4;  // + CRC
+  if (size < total) return DecodeStatus::kNeedMore;
+  const std::uint8_t* payload = data + header;
+  const std::uint8_t* trailer = payload + payload_size;
+  const std::uint32_t stated =
+      static_cast<std::uint32_t>(trailer[0]) |
+      (static_cast<std::uint32_t>(trailer[1]) << 8) |
+      (static_cast<std::uint32_t>(trailer[2]) << 16) |
+      (static_cast<std::uint32_t>(trailer[3]) << 24);
+  const std::uint32_t actual =
+      support::Crc32(payload, static_cast<std::size_t>(payload_size));
+  if (stated != actual) {
+    if (error != nullptr) *error = "payload crc mismatch";
+    return DecodeStatus::kMalformed;
+  }
+  frame->type = static_cast<FrameType>(type);
+  frame->payload = payload;
+  frame->payload_size = static_cast<std::size_t>(payload_size);
+  *consumed = total;
+  return DecodeStatus::kOk;
+}
+
+BodyStatus DecodeRequest(const std::uint8_t* payload, std::size_t size,
+                         WireRequest* request, std::string* error) {
+  Reader reader(payload, size);
+  const auto fail = [&](BodyStatus status) {
+    if (error != nullptr) *error = reader.error();
+    return status;
+  };
+  if (!reader.Varint(&request->request_id, "request_id")) {
+    return fail(BodyStatus::kBadId);
+  }
+  if (!reader.Varint(&request->client_id, "client_id")) {
+    return fail(BodyStatus::kBadBody);
+  }
+  std::uint8_t platform = 0;
+  std::uint8_t op = 0;
+  if (!reader.Byte(&platform, "platform") || !reader.Byte(&op, "op")) {
+    return fail(BodyStatus::kBadBody);
+  }
+  if (platform > static_cast<std::uint8_t>(gateway::Platform::kIphone)) {
+    if (error != nullptr) *error = "platform: unknown code";
+    return BodyStatus::kBadBody;
+  }
+  if (op > static_cast<std::uint8_t>(gateway::Op::kSegmentCount)) {
+    if (error != nullptr) *error = "op: unknown code";
+    return BodyStatus::kBadBody;
+  }
+  request->platform = static_cast<gateway::Platform>(platform);
+  request->op = static_cast<gateway::Op>(op);
+  std::uint64_t max_attempts = 0;
+  if (!reader.Varint(&request->timeout_micros, "timeout") ||
+      !reader.Varint(&max_attempts, "max_attempts")) {
+    return fail(BodyStatus::kBadBody);
+  }
+  if (max_attempts > 1000) {
+    if (error != nullptr) *error = "max_attempts: over cap";
+    return BodyStatus::kBadBody;
+  }
+  request->max_attempts = static_cast<std::uint32_t>(max_attempts);
+  if (!reader.String(&request->target, "target") ||
+      !reader.String(&request->payload, "payload") ||
+      !reader.String(&request->content_type, "content_type")) {
+    return fail(BodyStatus::kBadBody);
+  }
+  std::uint64_t property_count = 0;
+  if (!reader.Varint(&property_count, "property_count")) {
+    return fail(BodyStatus::kBadBody);
+  }
+  if (property_count > kMaxProperties) {
+    if (error != nullptr) *error = "property_count: over cap";
+    return BodyStatus::kBadBody;
+  }
+  request->properties.clear();
+  request->properties.reserve(static_cast<std::size_t>(property_count));
+  for (std::uint64_t i = 0; i < property_count; ++i) {
+    std::string name;
+    std::uint8_t tag = 0;
+    if (!reader.String(&name, "property name") ||
+        !reader.Byte(&tag, "property tag")) {
+      return fail(BodyStatus::kBadBody);
+    }
+    switch (static_cast<ValueTag>(tag)) {
+      case ValueTag::kString: {
+        std::string value;
+        if (!reader.String(&value, "property string")) {
+          return fail(BodyStatus::kBadBody);
+        }
+        request->properties.emplace_back(std::move(name), std::move(value));
+        break;
+      }
+      case ValueTag::kInt: {
+        std::uint64_t zz = 0;
+        if (!reader.Varint(&zz, "property int")) {
+          return fail(BodyStatus::kBadBody);
+        }
+        request->properties.emplace_back(
+            std::move(name),
+            static_cast<long long>(support::ZigzagDecode(zz)));
+        break;
+      }
+      case ValueTag::kDouble: {
+        std::uint64_t bits = 0;
+        if (!reader.Fixed64(&bits, "property double")) {
+          return fail(BodyStatus::kBadBody);
+        }
+        double value = 0;
+        std::memcpy(&value, &bits, sizeof value);
+        request->properties.emplace_back(std::move(name), value);
+        break;
+      }
+      case ValueTag::kBool: {
+        std::uint8_t value = 0;
+        if (!reader.Byte(&value, "property bool")) {
+          return fail(BodyStatus::kBadBody);
+        }
+        request->properties.emplace_back(std::move(name), value != 0);
+        break;
+      }
+      default:
+        if (error != nullptr) *error = "property tag: unknown";
+        return BodyStatus::kBadBody;
+    }
+  }
+  if (!reader.AtEnd()) {
+    if (error != nullptr) *error = "trailing bytes after request body";
+    return BodyStatus::kBadBody;
+  }
+  return BodyStatus::kOk;
+}
+
+bool DecodeResponse(const std::uint8_t* payload, std::size_t size,
+                    WireResponse* response, std::string* error) {
+  Reader reader(payload, size);
+  std::uint8_t status = 0;
+  std::uint8_t served = 0;
+  std::uint64_t attempts = 0;
+  if (!reader.Varint(&response->request_id, "request_id") ||
+      !reader.Byte(&status, "status") ||
+      !reader.Byte(&served, "served_platform") ||
+      !reader.Varint(&attempts, "attempts") ||
+      !reader.Varint(&response->latency_micros, "latency") ||
+      !reader.String(&response->body, "body") || !reader.AtEnd()) {
+    if (error != nullptr) {
+      *error = reader.error().empty() ? "trailing bytes after response body"
+                                      : reader.error();
+    }
+    return false;
+  }
+  if (served > static_cast<std::uint8_t>(gateway::Platform::kIphone)) {
+    if (error != nullptr) *error = "served_platform: unknown code";
+    return false;
+  }
+  response->status = static_cast<WireStatus>(status);
+  response->served_platform = static_cast<gateway::Platform>(served);
+  response->attempts = static_cast<std::uint32_t>(attempts);
+  return true;
+}
+
+}  // namespace mobivine::wire

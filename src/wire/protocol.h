@@ -1,0 +1,168 @@
+// M-Wire binary protocol: the gateway's request/response envelope as
+// compact, versioned, length-prefixed frames.
+//
+// The M-Proxy semantic plane (platform-neutral method name, typed
+// parameter list, return object) is already a de-facto RPC schema; this
+// header pins its on-the-wire form. Proxy and method symbols travel as
+// single-byte enum codes (the wire-level analogue of the in-process
+// interner: one agreed small integer per distinct symbol), parameters as
+// tagged scalars, and per-request properties as (name, tagged value)
+// pairs the server re-interns on arrival.
+//
+// Frame layout (all integers little-endian, lengths varint — see
+// support/varint.h):
+//
+//     u8   magic0 = 'M'      u8  magic1 = 'V'
+//     u8   version (kWireVersion)
+//     u8   type    (FrameType)
+//     var  payload_length    (<= kMaxFramePayload)
+//     u8[] payload
+//     u32  crc32(payload)    (fixed 4 bytes; support/checksum.h)
+//
+// Hard caps — a malformed or hostile peer must not be able to OOM the
+// server: payload length, string field length and property count are all
+// bounded, and every bound is checked BEFORE allocating. A frame whose
+// declared length exceeds the cap is a framing error (the connection
+// closes); a well-framed payload that violates a body rule gets a typed
+// kMalformedRequest response when its request id was recoverable.
+//
+// Request ids are client-chosen correlation tokens echoed verbatim in
+// the response. The server does not dedupe them: two in-flight frames
+// with the same id get two responses with that id (the client library
+// never does this; the fuzz suite does it on purpose).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/errors.h"
+#include "gateway/request.h"
+
+namespace mobivine::wire {
+
+inline constexpr std::uint8_t kMagic0 = 'M';
+inline constexpr std::uint8_t kMagic1 = 'V';
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Caps checked before any allocation sized from peer input.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;  // 1 MiB
+inline constexpr std::size_t kMaxStringBytes = 64u << 10;  // per field
+inline constexpr std::size_t kMaxProperties = 64;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+/// Wire status codes. 0 is success; 1..13 mirror core::ErrorCode one to
+/// one (docs/failure-semantics.md holds the table); the >= 64 band is
+/// wire-layer-only: protocol violations and client-side transport
+/// failures that never had a gateway outcome.
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kSecurity = 1,
+  kIllegalArgument = 2,
+  kLocationUnavailable = 3,
+  kTimeout = 4,
+  kUnreachable = 5,
+  kRadioFailure = 6,
+  kUnsupported = 7,
+  kInvalidState = 8,
+  kNetwork = 9,
+  kOverloaded = 10,
+  kDeadlineExceeded = 11,
+  kAllBackendsFailed = 12,
+  kUnknown = 13,
+  kMalformedRequest = 64,  ///< well-framed payload violated a body rule
+  kTransportError = 65,    ///< client-side: connection died mid-flight
+};
+
+[[nodiscard]] const char* ToString(WireStatus status);
+[[nodiscard]] WireStatus FromErrorCode(core::ErrorCode code);
+/// Inverse for the mirrored band; the wire-only band maps to kUnknown.
+[[nodiscard]] core::ErrorCode ToErrorCode(WireStatus status);
+
+/// A request as it travels: the gateway::Request envelope minus the
+/// completion callback, plus the correlation id.
+struct WireRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t client_id = 0;  ///< shard affinity key, forwarded as-is
+  gateway::Platform platform = gateway::Platform::kAndroid;
+  gateway::Op op = gateway::Op::kGetLocation;
+  std::uint64_t timeout_micros = 0;  ///< 0: server default
+  std::uint32_t max_attempts = 0;    ///< retry rounds; 0: server default
+  std::string target;
+  std::string payload;
+  std::string content_type;
+  /// Tagged scalar properties (string / int64 / double / bool) — the four
+  /// descriptor-declared lanes. Native-handle properties do not travel.
+  std::vector<std::pair<std::string, core::PropertyValue>> properties;
+};
+
+/// A response as it travels: outcome, the M-Failover summary (attempts,
+/// which platform actually served), and the return value or error detail.
+struct WireResponse {
+  std::uint64_t request_id = 0;
+  WireStatus status = WireStatus::kUnknown;
+  gateway::Platform served_platform = gateway::Platform::kAndroid;
+  std::uint32_t attempts = 0;
+  std::uint64_t latency_micros = 0;  ///< server-side submit -> completion
+  std::string body;  ///< op result when kOk; error detail otherwise
+};
+
+// ---------------------------------------------------------------------------
+// Encoding (append-to-buffer; callers reuse buffers across frames)
+// ---------------------------------------------------------------------------
+
+void EncodeRequest(const WireRequest& request, std::vector<std::uint8_t>& out);
+void EncodeResponse(const WireResponse& response,
+                    std::vector<std::uint8_t>& out);
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+enum class DecodeStatus : std::uint8_t {
+  kOk,
+  kNeedMore,   ///< valid so far, frame incomplete — wait for bytes
+  kMalformed,  ///< can never become valid — framing error, close the peer
+};
+
+/// A decoded frame boundary: `payload` points into the caller's buffer
+/// (valid until the buffer is consumed/moved).
+struct FrameView {
+  FrameType type = FrameType::kRequest;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
+};
+
+/// Scan one frame from [data, data+size). kOk sets `frame` and `consumed`
+/// (total frame bytes including header and CRC trailer); kNeedMore means
+/// feed more bytes and retry from the same offset; kMalformed fills
+/// `error` (bad magic/version/type, length over cap, CRC mismatch,
+/// malformed length varint).
+[[nodiscard]] DecodeStatus DecodeFrame(const std::uint8_t* data,
+                                       std::size_t size, FrameView* frame,
+                                       std::size_t* consumed,
+                                       std::string* error);
+
+enum class BodyStatus : std::uint8_t {
+  kOk,
+  kBadId,    ///< request id itself unreadable — treat as a framing error
+  kBadBody,  ///< id recovered; answer it with kMalformedRequest
+};
+
+/// Decode a kRequest frame payload. On kBadBody, request_id is valid and
+/// `error` says what was wrong; on kBadId nothing is usable.
+[[nodiscard]] BodyStatus DecodeRequest(const std::uint8_t* payload,
+                                       std::size_t size, WireRequest* request,
+                                       std::string* error);
+
+/// Decode a kResponse frame payload (client side). True on success.
+[[nodiscard]] bool DecodeResponse(const std::uint8_t* payload,
+                                  std::size_t size, WireResponse* response,
+                                  std::string* error);
+
+}  // namespace mobivine::wire

@@ -1,0 +1,593 @@
+#include "wire/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "support/logging.h"
+#include "support/trace.h"
+#include "wire/connection.h"
+#include "wire/protocol.h"
+
+namespace mobivine::wire {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+void AddU64(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+struct WireServer::Counters {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> decode_errors{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> backpressure_stalls{0};
+  std::atomic<std::uint64_t> requests_dispatched{0};
+};
+
+// ---------------------------------------------------------------------------
+// EventLoop
+// ---------------------------------------------------------------------------
+
+class WireServer::EventLoop
+    : public std::enable_shared_from_this<WireServer::EventLoop> {
+ public:
+  EventLoop(WireServer& server, int index)
+      : server_(server), index_(index) {}
+
+  ~EventLoop() {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+  }
+
+  bool Start(std::string* error) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      if (error != nullptr) *error = "epoll_create1 failed";
+      return false;
+    }
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+      if (error != nullptr) *error = "eventfd failed";
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+      if (error != nullptr) *error = "epoll_ctl(eventfd) failed";
+      return false;
+    }
+    thread_ = std::thread([this] { Run(); });
+    return true;
+  }
+
+  /// Acceptor thread: hand a freshly accepted (nonblocking) socket to
+  /// this loop. Closed immediately if the loop is already stopping.
+  void Adopt(int fd) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!stopping_) {
+        pending_fds_.push_back(fd);
+        Wake();
+        return;
+      }
+    }
+    ::close(fd);
+  }
+
+  /// Any thread (gateway workers): this connection has output queued.
+  void NotifyWritable(std::shared_ptr<Connection> conn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      conn->ClearNotify();
+      return;
+    }
+    notified_.push_back(std::move(conn));
+    Wake();
+  }
+
+  void RequestStop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    Wake();
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Wake() const {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+
+  void Run() {
+    support::trace::SetCurrentThreadName("wire-loop-" +
+                                         std::to_string(index_));
+    epoll_event events[64];
+    bool stopping = false;
+    while (!stopping) {
+      const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        MOBIVINE_LOG_ERROR << "wire: epoll_wait failed: "
+                           << std::strerror(errno);
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        const epoll_event& ev = events[i];
+        if (ev.data.fd == wake_fd_) {
+          std::uint64_t drained = 0;
+          [[maybe_unused]] const ssize_t r =
+              ::read(wake_fd_, &drained, sizeof drained);
+          continue;
+        }
+        const auto it = conns_.find(ev.data.fd);
+        if (it == conns_.end()) continue;  // closed earlier this batch
+        std::shared_ptr<Connection> conn = it->second;
+        if ((ev.events & (EPOLLERR | EPOLLHUP)) != 0) {
+          Close(conn);
+          continue;
+        }
+        if ((ev.events & EPOLLOUT) != 0) Flush(conn);
+        if ((ev.events & (EPOLLIN | EPOLLRDHUP)) != 0 && !conn->paused &&
+            !conn->closed()) {
+          ReadPass(conn);
+        }
+      }
+      // Drain cross-thread work: new connections and write notifications.
+      std::vector<int> pending_fds;
+      std::vector<std::shared_ptr<Connection>> notified;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_fds.swap(pending_fds_);
+        notified.swap(notified_);
+        stopping = stopping_;
+      }
+      for (int fd : pending_fds) {
+        if (stopping) {
+          ::close(fd);
+          continue;
+        }
+        Register(fd);
+      }
+      for (auto& conn : notified) {
+        if (!conn->closed()) Flush(conn);
+      }
+    }
+    // Close everything still open; in-flight gateway completions hold
+    // their own shared_ptrs and will see closed().
+    std::vector<std::shared_ptr<Connection>> remaining;
+    remaining.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) remaining.push_back(conn);
+    for (auto& conn : remaining) Close(conn);
+  }
+
+  void Register(int fd) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Connection>(fd, server_.stats_->
+        connections_accepted.fetch_add(1, std::memory_order_relaxed));
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      MOBIVINE_LOG_ERROR << "wire: epoll_ctl(add) failed: "
+                         << std::strerror(errno);
+      conn->MarkClosed();
+      ::close(fd);
+      AddU64(server_.stats_->connections_closed, 1);
+      return;
+    }
+    conns_.emplace(fd, std::move(conn));
+  }
+
+  void Close(const std::shared_ptr<Connection>& conn) {
+    if (conn->closed()) return;
+    conn->MarkClosed();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd(), nullptr);
+    ::close(conn->fd());
+    conns_.erase(conn->fd());
+    AddU64(server_.stats_->connections_closed, 1);
+  }
+
+  /// Edge-triggered read pass: drain the socket, then decode/dispatch.
+  void ReadPass(const std::shared_ptr<Connection>& conn) {
+    support::trace::Span span("wire.read");
+    std::uint8_t chunk[kReadChunk];
+    std::size_t total = 0;
+    bool peer_closed = false;
+    while (true) {
+      const ssize_t n = ::read(conn->fd(), chunk, sizeof chunk);
+      if (n > 0) {
+        conn->input().Append(chunk, static_cast<std::size_t>(n));
+        total += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      peer_closed = true;  // hard socket error
+      break;
+    }
+    span.Tag("bytes", static_cast<std::int64_t>(total));
+    AddU64(server_.stats_->bytes_in, total);
+    if (total > 0) DecodePass(conn);
+    if (peer_closed && !conn->closed()) Close(conn);
+  }
+
+  /// Decode every complete frame in the ring and dispatch it. Pipelining
+  /// is free here: each request becomes an independent gateway::Submit.
+  void DecodePass(const std::shared_ptr<Connection>& conn) {
+    support::trace::Span span("wire.decode");
+    std::int64_t frames = 0;
+    ByteRing& ring = conn->input();
+    std::size_t offset = 0;
+    bool fatal = false;
+    while (!fatal) {
+      const std::uint8_t* base = ring.Contiguous();
+      FrameView frame;
+      std::size_t consumed = 0;
+      std::string error;
+      const DecodeStatus status = DecodeFrame(
+          base + offset, ring.size() - offset, &frame, &consumed, &error);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status == DecodeStatus::kMalformed) {
+        AddU64(server_.stats_->protocol_errors, 1);
+        support::trace::Instant("wire.protocol_error");
+        MOBIVINE_LOG_DEBUG << "wire: closing connection " << conn->id()
+                           << ": " << error;
+        fatal = true;
+        break;
+      }
+      AddU64(server_.stats_->frames_in, 1);
+      ++frames;
+      if (frame.type != FrameType::kRequest) {
+        // A client must never send response frames; direction violation.
+        AddU64(server_.stats_->protocol_errors, 1);
+        support::trace::Instant("wire.protocol_error");
+        fatal = true;
+        break;
+      }
+      HandleRequest(conn, frame, &fatal);
+      offset += consumed;
+    }
+    ring.Consume(offset);
+    span.Tag("frames", frames);
+    if (fatal) {
+      Close(conn);
+      return;
+    }
+    MaybePause(conn);
+    Flush(conn);
+  }
+
+  void HandleRequest(const std::shared_ptr<Connection>& conn,
+                     const FrameView& frame, bool* fatal) {
+    WireRequest request;
+    std::string error;
+    switch (DecodeRequest(frame.payload, frame.payload_size, &request,
+                          &error)) {
+      case BodyStatus::kBadId:
+        AddU64(server_.stats_->protocol_errors, 1);
+        support::trace::Instant("wire.protocol_error");
+        *fatal = true;
+        return;
+      case BodyStatus::kBadBody: {
+        AddU64(server_.stats_->decode_errors, 1);
+        WireResponse response;
+        response.request_id = request.request_id;
+        response.status = WireStatus::kMalformedRequest;
+        response.body = error;
+        SendResponse(conn, response);
+        return;
+      }
+      case BodyStatus::kOk:
+        break;
+    }
+    support::trace::Span span("wire.dispatch");
+    span.Tag("op", static_cast<std::int64_t>(request.op));
+    gateway::Request gw;
+    gw.client_id = request.client_id;
+    gw.platform = request.platform;
+    gw.op = request.op;
+    gw.target = std::move(request.target);
+    gw.payload = std::move(request.payload);
+    gw.content_type = std::move(request.content_type);
+    gw.properties = std::move(request.properties);
+    gw.timeout = std::chrono::microseconds(request.timeout_micros);
+    gw.retry.max_attempts = static_cast<int>(request.max_attempts);
+    const std::uint64_t request_id = request.request_id;
+    // The callback may run here (shed: synchronously on this loop
+    // thread) or later on a shard worker — possibly after the server
+    // object is gone (the contract only requires the *gateway* to be
+    // stopped before the server's own destruction, not vice versa). So
+    // it captures shared stats and a weak loop, never `this` raw.
+    std::shared_ptr<WireServer::Counters> stats = server_.stats_;
+    std::weak_ptr<EventLoop> weak_loop = weak_from_this();
+    gw.on_complete = [stats = std::move(stats), weak_loop, conn,
+                      request_id](const gateway::Response& completed) {
+      if (conn->closed()) return;
+      WireResponse response;
+      response.request_id = request_id;
+      response.status = completed.ok ? WireStatus::kOk
+                                     : FromErrorCode(completed.error);
+      response.served_platform = completed.served_platform;
+      response.attempts = static_cast<std::uint32_t>(
+          completed.attempts < 0 ? 0 : completed.attempts);
+      response.latency_micros =
+          static_cast<std::uint64_t>(completed.latency.count());
+      response.body = completed.ok ? completed.payload : completed.message;
+      std::vector<std::uint8_t> bytes;
+      EncodeResponse(response, bytes);
+      if (conn->QueueOutput(std::move(bytes)) == 0) return;  // closed
+      AddU64(stats->frames_out, 1);
+      if (conn->ClaimNotify()) {
+        if (const std::shared_ptr<EventLoop> loop = weak_loop.lock()) {
+          loop->NotifyWritable(conn);
+        } else {
+          conn->ClearNotify();  // loop gone: connection already closed
+        }
+      }
+    };
+    AddU64(server_.stats_->requests_dispatched, 1);
+    (void)server_.gateway_.Submit(std::move(gw));
+  }
+
+  /// Encode + enqueue one response; wakes the loop unless it is already
+  /// scheduled to flush this connection. Safe from any thread.
+  void SendResponse(const std::shared_ptr<Connection>& conn,
+                    const WireResponse& response) {
+    if (conn->closed()) return;
+    std::vector<std::uint8_t> bytes;
+    EncodeResponse(response, bytes);
+    if (conn->QueueOutput(std::move(bytes)) == 0) return;  // closed: dropped
+    AddU64(server_.stats_->frames_out, 1);
+    if (conn->ClaimNotify()) NotifyWritable(conn);
+  }
+
+  void MaybePause(const std::shared_ptr<Connection>& conn) {
+    if (!conn->paused &&
+        conn->pending_output_bytes() >= server_.config_.output_high_watermark) {
+      conn->paused = true;
+      AddU64(server_.stats_->backpressure_stalls, 1);
+      support::trace::Instant(
+          "wire.backpressure_pause", "pending",
+          static_cast<std::int64_t>(conn->pending_output_bytes()));
+    }
+  }
+
+  /// Loop thread: move queued frames into the write buffer and push as
+  /// much as the kernel takes (coalesced — one write run per wakeup, not
+  /// one per response).
+  void Flush(const std::shared_ptr<Connection>& conn) {
+    if (conn->closed()) return;
+    conn->ClearNotify();  // before TakeQueued: later appends must re-wake
+    conn->TakeQueued(conn->write_buf);
+    if (conn->write_buf.empty()) return;
+    support::trace::Span span("wire.write");
+    std::size_t written = 0;
+    while (conn->write_offset < conn->write_buf.size()) {
+      const ssize_t n =
+          ::write(conn->fd(), conn->write_buf.data() + conn->write_offset,
+                  conn->write_buf.size() - conn->write_offset);
+      if (n > 0) {
+        conn->write_offset += static_cast<std::size_t>(n);
+        written += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      span.Tag("bytes", static_cast<std::int64_t>(written));
+      AddU64(server_.stats_->bytes_out, written);
+      Close(conn);  // broken pipe etc.
+      return;
+    }
+    if (conn->write_offset == conn->write_buf.size()) {
+      conn->write_buf.clear();
+      conn->write_offset = 0;
+    }
+    span.Tag("bytes", static_cast<std::int64_t>(written));
+    AddU64(server_.stats_->bytes_out, written);
+    conn->SetUnsentWriteBytes(conn->write_buf.size() - conn->write_offset);
+    // Watermark check on the post-flush backlog. The pause side matters
+    // here too (not just in DecodePass): async completions can pile up
+    // output on a connection that is not currently sending us anything.
+    MaybePause(conn);
+    if (conn->paused &&
+        conn->pending_output_bytes() <= server_.config_.output_low_watermark) {
+      conn->paused = false;
+      support::trace::Instant("wire.backpressure_resume");
+      // Bytes may have piled up in the kernel while paused; under
+      // edge-triggered epoll nobody will re-announce them.
+      ReadPass(conn);
+    }
+  }
+
+  WireServer& server_;
+  const int index_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  std::mutex mutex_;
+  bool stopping_ = false;
+  std::vector<int> pending_fds_;
+  std::vector<std::shared_ptr<Connection>> notified_;
+};
+
+// ---------------------------------------------------------------------------
+// WireServer
+// ---------------------------------------------------------------------------
+
+WireServer::WireServer(gateway::Gateway& gateway, WireServerConfig config)
+    : gateway_(gateway),
+      config_(std::move(config)),
+      stats_(std::make_shared<Counters>()) {}
+
+WireServer::~WireServer() { Stop(); }
+
+bool WireServer::Start(std::string* error) {
+  if (started_.exchange(true)) {
+    if (error != nullptr) *error = "already started";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = "socket() failed";
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (error != nullptr) {
+      *error = std::string("bind failed: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  if (::listen(listen_fd_, config_.listen_backlog) != 0) {
+    if (error != nullptr) *error = "listen failed";
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  stop_eventfd_ = ::eventfd(0, EFD_CLOEXEC);
+  if (stop_eventfd_ < 0) {
+    if (error != nullptr) *error = "eventfd failed";
+    return false;
+  }
+  const int loops = std::max(config_.event_loops, 1);
+  for (int i = 0; i < loops; ++i) {
+    loops_.push_back(std::make_shared<EventLoop>(*this, i));
+    if (!loops_.back()->Start(error)) return false;
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void WireServer::AcceptLoop() {
+  support::trace::SetCurrentThreadName("wire-acceptor");
+  pollfd fds[2];
+  fds[0] = {listen_fd_, POLLIN, 0};
+  fds[1] = {stop_eventfd_, POLLIN, 0};
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    while (true) {
+      const int fd =
+          ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) break;  // EAGAIN: back to poll
+      const std::uint64_t turn =
+          next_loop_.fetch_add(1, std::memory_order_relaxed);
+      loops_[turn % loops_.size()]->Adopt(fd);
+    }
+  }
+}
+
+void WireServer::Stop() {
+  if (!started_.load(std::memory_order_relaxed)) return;
+  if (stopping_.exchange(true)) {
+    // Second caller (e.g. the destructor after an explicit Stop): the
+    // first one already joined everything.
+    return;
+  }
+  if (stop_eventfd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(stop_eventfd_, &one, sizeof one);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& loop : loops_) loop->RequestStop();
+  for (auto& loop : loops_) loop->Join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (stop_eventfd_ >= 0) {
+    ::close(stop_eventfd_);
+    stop_eventfd_ = -1;
+  }
+}
+
+WireStatsSnapshot WireServer::Stats() const {
+  WireStatsSnapshot snap;
+  snap.connections_accepted =
+      stats_->connections_accepted.load(std::memory_order_relaxed);
+  snap.connections_closed =
+      stats_->connections_closed.load(std::memory_order_relaxed);
+  snap.frames_in = stats_->frames_in.load(std::memory_order_relaxed);
+  snap.frames_out = stats_->frames_out.load(std::memory_order_relaxed);
+  snap.bytes_in = stats_->bytes_in.load(std::memory_order_relaxed);
+  snap.bytes_out = stats_->bytes_out.load(std::memory_order_relaxed);
+  snap.decode_errors = stats_->decode_errors.load(std::memory_order_relaxed);
+  snap.protocol_errors =
+      stats_->protocol_errors.load(std::memory_order_relaxed);
+  snap.backpressure_stalls =
+      stats_->backpressure_stalls.load(std::memory_order_relaxed);
+  snap.requests_dispatched =
+      stats_->requests_dispatched.load(std::memory_order_relaxed);
+  return snap;
+}
+
+support::MetricsRegistry::Registration WireServer::RegisterMetrics(
+    support::MetricsRegistry& registry, std::string prefix) const {
+  return registry.Register(
+      std::move(prefix), [this](support::MetricsSink& sink) {
+        const WireStatsSnapshot snap = Stats();
+        sink.Counter("connections_accepted", snap.connections_accepted);
+        sink.Counter("connections_closed", snap.connections_closed);
+        sink.Counter("connections_active", snap.connections_active());
+        sink.Counter("frames_in", snap.frames_in);
+        sink.Counter("frames_out", snap.frames_out);
+        sink.Counter("bytes_in", snap.bytes_in);
+        sink.Counter("bytes_out", snap.bytes_out);
+        sink.Counter("decode_errors", snap.decode_errors);
+        sink.Counter("protocol_errors", snap.protocol_errors);
+        sink.Counter("backpressure_stalls", snap.backpressure_stalls);
+        sink.Counter("requests_dispatched", snap.requests_dispatched);
+      });
+}
+
+}  // namespace mobivine::wire

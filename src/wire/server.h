@@ -1,0 +1,132 @@
+// M-Wire server: a non-blocking epoll reactor front-end that serves the
+// M-Gateway over real TCP sockets.
+//
+// Architecture — one acceptor, N event loops:
+//
+//     acceptor thread ── accept4 ──▶ round-robin ──▶ event loop 0..N-1
+//     event loop: epoll_wait → edge-triggered reads into per-connection
+//       rings → DecodeFrame/DecodeRequest → gateway::Submit (requests
+//       pipeline freely) … completion fires on a gateway shard worker,
+//       which encodes the response, appends it to the connection's
+//       bounded output queue and pokes the loop's eventfd; the loop
+//       coalesces queued frames into one write run.
+//
+// Failure containment: framing violations (bad magic/version, oversized
+// length prefix, CRC mismatch, undecodable request id) close the
+// connection; a well-framed request whose body breaks a rule is answered
+// with a typed kMalformedRequest response and the connection lives on.
+// Either way the server never crashes or leaks on hostile input — the
+// frame-mutation fuzz suite in tests/wire_test.cpp runs under ASan.
+//
+// Backpressure: per-connection output above the high watermark stops
+// reading that socket until it drains below the low watermark (TCP's
+// receive window then pushes back on the peer). What the server does
+// admit still faces the gateway's shed/deadline admission — the two
+// compose; neither buffers unboundedly.
+//
+// Observability: wire.read / wire.decode / wire.dispatch / wire.write
+// M-Scope spans on the loop threads (named "wire-loop-N"), plus a
+// "wire." MetricsRegistry source (connections, frames, bytes, decode
+// errors, backpressure stalls).
+//
+// Shutdown contract: Stop() (or the destructor) closes every socket and
+// joins the threads, but gateway completions for already-dispatched
+// requests may still arrive afterwards — they hold the connection alive
+// via shared_ptr and drop their bytes. The WireServer object itself must
+// therefore outlive the Gateway's in-flight work: stop order is
+// server.Stop() then gateway.Stop() then destruction of either.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gateway/gateway.h"
+#include "support/metrics.h"
+
+namespace mobivine::wire {
+
+struct WireServerConfig {
+  /// Loopback only: this is a front-end for benches/tests on one host,
+  /// not an internet-facing listener.
+  std::uint16_t port = 0;  ///< 0: kernel-assigned; read back via port()
+  int event_loops = 2;
+  int listen_backlog = 128;
+  /// Stop reading a connection when its queued-but-unsent output reaches
+  /// this; resume below `output_low_watermark`.
+  std::size_t output_high_watermark = 256 * 1024;
+  std::size_t output_low_watermark = 64 * 1024;
+};
+
+/// Relaxed-atomic counters, snapshotable while serving (same contract as
+/// gateway::ShardStats).
+struct WireStatsSnapshot {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_in = 0;   ///< well-formed frames decoded
+  std::uint64_t frames_out = 0;  ///< response frames queued
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t decode_errors = 0;    ///< kMalformedRequest responses
+  std::uint64_t protocol_errors = 0;  ///< framing errors (connection closed)
+  std::uint64_t backpressure_stalls = 0;  ///< read pauses at the watermark
+  std::uint64_t requests_dispatched = 0;  ///< handed to gateway::Submit
+
+  [[nodiscard]] std::uint64_t connections_active() const {
+    return connections_accepted - connections_closed;
+  }
+};
+
+class WireServer {
+ public:
+  /// The gateway must outlive this server's Stop() (requests dispatch
+  /// into it from loop threads until every connection is closed).
+  explicit WireServer(gateway::Gateway& gateway, WireServerConfig config = {});
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  /// Bind 127.0.0.1, listen, start the acceptor and event loops. False
+  /// on socket-layer failure (`error` says why). Not restartable.
+  [[nodiscard]] bool Start(std::string* error = nullptr);
+
+  /// Close the listener and every connection, join all threads.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  /// The bound port (valid after Start succeeds).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] WireStatsSnapshot Stats() const;
+
+  /// Register as one M-Scope metrics source under `prefix`. Drop the
+  /// registration before destroying the server.
+  [[nodiscard]] support::MetricsRegistry::Registration RegisterMetrics(
+      support::MetricsRegistry& registry, std::string prefix = "wire.") const;
+
+ private:
+  class EventLoop;
+  struct Counters;
+
+  void AcceptLoop();
+
+  gateway::Gateway& gateway_;
+  const WireServerConfig config_;
+  /// Shared (not unique) so in-flight completion callbacks can keep the
+  /// counters alive past the server object (see shutdown contract).
+  std::shared_ptr<Counters> stats_;
+  std::vector<std::shared_ptr<EventLoop>> loops_;
+  std::thread acceptor_;
+  int listen_fd_ = -1;
+  int stop_eventfd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_loop_{0};
+};
+
+}  // namespace mobivine::wire

@@ -24,7 +24,6 @@
 
 #include "core/descriptor/proxy_descriptor.h"
 #include "gateway/gateway.h"
-#include "gateway/histogram.h"
 #include "gateway/traffic.h"
 #include "support/fault.h"
 
@@ -495,87 +494,6 @@ TEST(Gateway, FailoverStatsReconcileUnderConcurrentTraffic) {
   std::uint64_t per_shard_failovers = 0;
   for (const auto& shard : stats.shards) per_shard_failovers += shard.failovers;
   EXPECT_EQ(per_shard_failovers, stats.totals.failovers);
-}
-
-TEST(GatewayHistogram, BucketsAndPercentiles) {
-  gateway::LatencyHistogram histogram;
-  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
-  const gateway::HistogramSnapshot snap = histogram.Snapshot();
-  EXPECT_EQ(snap.total(), 1000u);
-  // ~12.5% relative bucket error at the reported quantile values.
-  const std::uint64_t p50 = snap.Percentile(0.50);
-  const std::uint64_t p99 = snap.Percentile(0.99);
-  EXPECT_GE(p50, 450u);
-  EXPECT_LE(p50, 600u);
-  EXPECT_GE(p99, 900u);
-  EXPECT_LE(p99, 1200u);
-  EXPECT_LE(snap.Percentile(0.0), snap.Percentile(1.0));
-}
-
-TEST(GatewayHistogram, BucketBoundsAreExactBelowEightMicros) {
-  // Values 0..7 get exact buckets: zero bucketing error.
-  for (std::uint64_t v = 0; v < 8; ++v) {
-    const std::size_t index = gateway::histogram_detail::BucketFor(v);
-    EXPECT_EQ(index, v);
-    EXPECT_EQ(gateway::histogram_detail::BucketUpperBound(index), v);
-  }
-}
-
-TEST(GatewayHistogram, RelativeErrorBoundedAcrossAllOctaves) {
-  // For every representable value the reported upper bound over-estimates
-  // by at most one sub-bucket width: ub - v <= v / 8 (~12.5%). Probe each
-  // octave at its boundaries and mid-band, where the bound is tightest
-  // and loosest respectively.
-  const auto check = [](std::uint64_t v) {
-    const std::size_t index = gateway::histogram_detail::BucketFor(v);
-    ASSERT_LT(index, gateway::histogram_detail::kBucketCount);
-    const std::uint64_t ub =
-        gateway::histogram_detail::BucketUpperBound(index);
-    EXPECT_GE(ub, v) << "value " << v << " reported below itself";
-    EXPECT_LE(ub - v, v / 8)
-        << "value " << v << " bucket ub " << ub << " exceeds 12.5% error";
-  };
-  for (int octave = 3; octave < 64; ++octave) {
-    const std::uint64_t base = 1ull << octave;
-    check(base);          // octave entry
-    check(base + 1);      // just inside
-    check(base + base / 2);  // mid-band
-    check(base + base - 1);  // last value of the octave (no overflow:
-                             // 2*base - 1 <= UINT64_MAX for octave 63)
-  }
-}
-
-TEST(GatewayHistogram, TopOctaveUpperBoundSaturatesAtMax) {
-  using gateway::histogram_detail::BucketFor;
-  using gateway::histogram_detail::BucketUpperBound;
-  // The last occupied slot is octave 63, sub-bucket 7: (63-2)*8 + 7.
-  constexpr std::size_t kTopIndex = 495;
-  EXPECT_EQ(BucketFor(UINT64_MAX), kTopIndex);
-  // base + 8*width - 1 = 2^63 + 2^63 - 1 saturates exactly at UINT64_MAX;
-  // a naive "base * 2" would have overflowed to 0.
-  EXPECT_EQ(BucketUpperBound(kTopIndex), UINT64_MAX);
-
-  gateway::LatencyHistogram histogram;
-  histogram.Record(UINT64_MAX);
-  const gateway::HistogramSnapshot snap = histogram.Snapshot();
-  EXPECT_EQ(snap.total(), 1u);
-  EXPECT_EQ(snap.Percentile(1.0), UINT64_MAX);
-}
-
-TEST(GatewayHistogram, PercentileRanksTrackExactValuesWithinErrorBound) {
-  // 1..1000 recorded once each: the exact q-quantile is rank
-  // floor(q * 999) + 1, and the histogram's answer must sit within one
-  // sub-bucket width above it.
-  gateway::LatencyHistogram histogram;
-  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
-  const gateway::HistogramSnapshot snap = histogram.Snapshot();
-  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
-    const std::uint64_t exact =
-        static_cast<std::uint64_t>(q * 999.0) + 1;
-    const std::uint64_t reported = snap.Percentile(q);
-    EXPECT_GE(reported, exact) << "q=" << q;
-    EXPECT_LE(reported - exact, exact / 8 + 1) << "q=" << q;
-  }
 }
 
 }  // namespace

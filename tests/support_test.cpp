@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "support/checksum.h"
 #include "support/geo_units.h"
+#include "support/histogram.h"
 #include "support/strings.h"
+#include "support/varint.h"
 
 namespace mobivine::support {
 namespace {
@@ -147,6 +153,237 @@ TEST(Geo, NormalizeLatLonWrapsLongitude) {
   auto q = NormalizeLatLon(-95.0, -181.0);
   EXPECT_DOUBLE_EQ(q.latitude_deg, -90.0);
   EXPECT_NEAR(q.longitude_deg, 179.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// varint (support/varint.h)
+// ---------------------------------------------------------------------------
+
+TEST(Varint, RoundTripsEveryEncodedLengthBoundary) {
+  // Probe both sides of every 7-bit group boundary plus the extremes:
+  // each value must round-trip exactly and use the minimal byte count.
+  struct Case {
+    std::uint64_t value;
+    std::size_t bytes;
+  };
+  const Case cases[] = {
+      {0, 1},          {1, 1},          {127, 1},
+      {128, 2},        {16383, 2},      {16384, 3},
+      {2097151, 3},    {2097152, 4},    {268435455, 4},
+      {268435456, 5},  {(1ull << 35) - 1, 5}, {1ull << 35, 6},
+      {(1ull << 42) - 1, 6}, {1ull << 42, 7},
+      {(1ull << 49) - 1, 7}, {1ull << 49, 8},
+      {(1ull << 56) - 1, 8}, {1ull << 56, 9},
+      {(1ull << 63) - 1, 9}, {1ull << 63, 10},
+      {UINT64_MAX, 10},
+  };
+  for (const Case& c : cases) {
+    std::vector<std::uint8_t> buf;
+    PutVarint(buf, c.value);
+    EXPECT_EQ(buf.size(), c.bytes) << c.value;
+    std::uint64_t decoded = 0;
+    std::size_t consumed = 0;
+    EXPECT_EQ(GetVarint(buf.data(), buf.size(), &decoded, &consumed),
+              VarintStatus::kOk);
+    EXPECT_EQ(decoded, c.value);
+    EXPECT_EQ(consumed, c.bytes);
+  }
+}
+
+TEST(Varint, RoundTripsDenseSweepAndBitPatterns) {
+  // Dense low range plus every single-bit and all-ones-below-bit pattern:
+  // exhaustive over the encodings' structure, cheap to run.
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 0; v < 4096; ++v) values.push_back(v);
+  for (int bit = 0; bit < 64; ++bit) {
+    values.push_back(1ull << bit);
+    values.push_back((1ull << bit) - 1);
+    values.push_back((1ull << bit) | 1u);
+  }
+  for (std::uint64_t v : values) {
+    std::vector<std::uint8_t> buf;
+    PutVarint(buf, v);
+    ASSERT_LE(buf.size(), kMaxVarintBytes);
+    std::uint64_t decoded = 0;
+    std::size_t consumed = 0;
+    ASSERT_EQ(GetVarint(buf.data(), buf.size(), &decoded, &consumed),
+              VarintStatus::kOk) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(consumed, buf.size());
+  }
+}
+
+TEST(Varint, EveryStrictPrefixIsTruncatedNotMalformed) {
+  // A streaming decoder must report a short buffer as kTruncated (wait
+  // for more bytes), never kOk with a wrong value or kMalformed.
+  for (std::uint64_t v :
+       {std::uint64_t{128}, std::uint64_t{16384}, (std::uint64_t{1} << 35),
+        (std::uint64_t{1} << 56), UINT64_MAX}) {
+    std::vector<std::uint8_t> buf;
+    PutVarint(buf, v);
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      std::uint64_t decoded = 0;
+      std::size_t consumed = 0;
+      EXPECT_EQ(GetVarint(buf.data(), len, &decoded, &consumed),
+                VarintStatus::kTruncated)
+          << "value " << v << " prefix " << len;
+    }
+  }
+}
+
+TEST(Varint, OverlongAndOverflowingEncodingsAreMalformed) {
+  // 10 continuation bytes: an 11th group can never exist.
+  std::vector<std::uint8_t> overlong(kMaxVarintBytes, 0xff);
+  std::uint64_t decoded = 0;
+  std::size_t consumed = 0;
+  EXPECT_EQ(GetVarint(overlong.data(), overlong.size(), &decoded, &consumed),
+            VarintStatus::kMalformed);
+  // Group 10 carrying bits beyond the 64th (anything over 0x01).
+  std::vector<std::uint8_t> overflow(kMaxVarintBytes - 1, 0x80);
+  overflow.push_back(0x02);
+  EXPECT_EQ(GetVarint(overflow.data(), overflow.size(), &decoded, &consumed),
+            VarintStatus::kMalformed);
+  // The maximal valid 10-byte encoding still decodes.
+  std::vector<std::uint8_t> max_enc(kMaxVarintBytes - 1, 0xff);
+  max_enc.push_back(0x01);
+  EXPECT_EQ(GetVarint(max_enc.data(), max_enc.size(), &decoded, &consumed),
+            VarintStatus::kOk);
+  EXPECT_EQ(decoded, UINT64_MAX);
+}
+
+TEST(Varint, ZigzagIsAnExactInvolutionOnProbes) {
+  const std::int64_t probes[] = {0,  -1, 1,  -2, 2,  63,  -64,
+                                 64, INT64_MAX, INT64_MIN, -123456789};
+  for (std::int64_t v : probes) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+  // Small magnitudes map to small codes: |v| <= 63 fits one byte.
+  EXPECT_LT(ZigzagEncode(-64), 128u);
+  EXPECT_LT(ZigzagEncode(63), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// crc32 (support/checksum.h)
+// ---------------------------------------------------------------------------
+
+TEST(Checksum, MatchesKnownIeeeVectors) {
+  // The classic check value for the IEEE 802.3 reflected polynomial.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc", 3), 0x352441C2u);
+}
+
+TEST(Checksum, ChainingEqualsOneShot) {
+  const char data[] = "the quick brown fox jumps over the lazy dog";
+  const std::size_t n = sizeof(data) - 1;
+  const std::uint32_t whole = Crc32(data, n);
+  for (std::size_t split = 0; split <= n; ++split) {
+    const std::uint32_t first = Crc32(data, split);
+    EXPECT_EQ(Crc32(data + split, n - split, first), whole) << split;
+  }
+}
+
+TEST(Checksum, DetectsEverySingleBitFlipInShortPayload) {
+  std::vector<std::uint8_t> payload = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+  const std::uint32_t good = Crc32(payload.data(), payload.size());
+  for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      payload[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(Crc32(payload.data(), payload.size()), good)
+          << "byte " << byte << " bit " << bit;
+      payload[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+  // And truncation by any amount.
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_NE(Crc32(payload.data(), len), good) << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HDR histogram (support/histogram.h) — extracted from the gateway so the
+// wire client's latency shares its buckets; the bound tests moved here.
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketsAndPercentiles) {
+  LatencyHistogram histogram;
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.total(), 1000u);
+  // ~12.5% relative bucket error at the reported quantile values.
+  const std::uint64_t p50 = snap.Percentile(0.50);
+  const std::uint64_t p99 = snap.Percentile(0.99);
+  EXPECT_GE(p50, 450u);
+  EXPECT_LE(p50, 600u);
+  EXPECT_GE(p99, 900u);
+  EXPECT_LE(p99, 1200u);
+  EXPECT_LE(snap.Percentile(0.0), snap.Percentile(1.0));
+}
+
+TEST(Histogram, BucketBoundsAreExactBelowEightMicros) {
+  // Values 0..7 get exact buckets: zero bucketing error.
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    const std::size_t index = histogram_detail::BucketFor(v);
+    EXPECT_EQ(index, v);
+    EXPECT_EQ(histogram_detail::BucketUpperBound(index), v);
+  }
+}
+
+TEST(Histogram, RelativeErrorBoundedAcrossAllOctaves) {
+  // For every representable value the reported upper bound over-estimates
+  // by at most one sub-bucket width: ub - v <= v / 8 (~12.5%). Probe each
+  // octave at its boundaries and mid-band, where the bound is tightest
+  // and loosest respectively.
+  const auto check = [](std::uint64_t v) {
+    const std::size_t index = histogram_detail::BucketFor(v);
+    ASSERT_LT(index, histogram_detail::kBucketCount);
+    const std::uint64_t ub = histogram_detail::BucketUpperBound(index);
+    EXPECT_GE(ub, v) << "value " << v << " reported below itself";
+    EXPECT_LE(ub - v, v / 8)
+        << "value " << v << " bucket ub " << ub << " exceeds 12.5% error";
+  };
+  for (int octave = 3; octave < 64; ++octave) {
+    const std::uint64_t base = 1ull << octave;
+    check(base);          // octave entry
+    check(base + 1);      // just inside
+    check(base + base / 2);  // mid-band
+    check(base + base - 1);  // last value of the octave (no overflow:
+                             // 2*base - 1 <= UINT64_MAX for octave 63)
+  }
+}
+
+TEST(Histogram, TopOctaveUpperBoundSaturatesAtMax) {
+  using histogram_detail::BucketFor;
+  using histogram_detail::BucketUpperBound;
+  // The last occupied slot is octave 63, sub-bucket 7: (63-2)*8 + 7.
+  constexpr std::size_t kTopIndex = 495;
+  EXPECT_EQ(BucketFor(UINT64_MAX), kTopIndex);
+  // base + 8*width - 1 = 2^63 + 2^63 - 1 saturates exactly at UINT64_MAX;
+  // a naive "base * 2" would have overflowed to 0.
+  EXPECT_EQ(BucketUpperBound(kTopIndex), UINT64_MAX);
+
+  LatencyHistogram histogram;
+  histogram.Record(UINT64_MAX);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.total(), 1u);
+  EXPECT_EQ(snap.Percentile(1.0), UINT64_MAX);
+}
+
+TEST(Histogram, PercentileRanksTrackExactValuesWithinErrorBound) {
+  // 1..1000 recorded once each: the exact q-quantile is rank
+  // floor(q * 999) + 1, and the histogram's answer must sit within one
+  // sub-bucket width above it.
+  LatencyHistogram histogram;
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::uint64_t exact =
+        static_cast<std::uint64_t>(q * 999.0) + 1;
+    const std::uint64_t reported = snap.Percentile(q);
+    EXPECT_GE(reported, exact) << "q=" << q;
+    EXPECT_LE(reported - exact, exact / 8 + 1) << "q=" << q;
+  }
 }
 
 }  // namespace
