@@ -27,8 +27,13 @@
 // "gateway." and "wire." sources. --trace-only skips the throughput
 // matrix (the CI validation leg uses this).
 //
+// --smoke runs a shortened single-scenario matrix (the CI perf-smoke
+// leg): in-process baseline plus one pipelined wire scenario, same JSON
+// shape, a fraction of the wall clock.
+//
 //   ./build/bench/bench_wire_throughput [output.json]
 //       [--trace trace.json] [--metrics metrics.json] [--trace-only]
+//       [--smoke]
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -42,6 +47,7 @@
 #include "gateway/gateway.h"
 #include "gateway/traffic.h"
 #include "sim/clock.h"
+#include "support/buffer_pool.h"
 #include "support/histogram.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -154,7 +160,7 @@ void ClientWorker(std::uint16_t port, std::uint64_t requests, int window,
     }
     const auto start = std::chrono::steady_clock::now();
     client.SubmitBatch(
-        std::move(batch), [&, start](const wire::WireResponse& r) {
+        batch, [&, start](const wire::WireResponse& r) {
           const auto micros =
               std::chrono::duration_cast<std::chrono::microseconds>(
                   std::chrono::steady_clock::now() - start);
@@ -187,6 +193,11 @@ struct WireRunResult {
   double wall_seconds = 0;
   double requests_per_sec = 0;
   std::uint64_t p50 = 0, p95 = 0, p99 = 0;
+  /// Fresh frame-buffer heap allocations (pool misses, client + server,
+  /// measured run only) per completed request. The tentpole claim is
+  /// that this is 0 at steady state: the warm-up run populates the pool.
+  std::uint64_t pool_miss_delta = 0;
+  double allocs_per_req = 0;
   wire::WireStatsSnapshot stats;
 };
 
@@ -228,6 +239,12 @@ WireRunResult RunWireScenario(int event_loops, int window, int client_threads,
   result.window = window;
   result.client_threads = client_threads;
 
+  // Pool misses after warm-up are real steady-state allocations. Warm-up
+  // client threads flushed their thread caches into the global tier on
+  // exit, so the fresh measured-run threads inherit those buffers.
+  const std::uint64_t misses_before =
+      support::BufferPool::WirePool().Stats().misses;
+
   std::vector<std::thread> threads;
   std::vector<std::uint64_t> oks(client_threads, 0);
   std::vector<std::uint64_t> totals(client_threads, 0);
@@ -254,9 +271,15 @@ WireRunResult RunWireScenario(int event_loops, int window, int client_threads,
       result.wall_seconds > 0
           ? static_cast<double>(result.completed) / result.wall_seconds
           : 0;
-  result.p50 = merged.Percentile(50.0);
-  result.p95 = merged.Percentile(95.0);
-  result.p99 = merged.Percentile(99.0);
+  result.p50 = merged.PercentileRank(50.0);
+  result.p95 = merged.PercentileRank(95.0);
+  result.p99 = merged.PercentileRank(99.0);
+  result.pool_miss_delta =
+      support::BufferPool::WirePool().Stats().misses - misses_before;
+  result.allocs_per_req =
+      result.completed > 0 ? static_cast<double>(result.pool_miss_delta) /
+                                 static_cast<double>(result.completed)
+                           : 0;
   result.stats = server.Stats();
 
   server.Stop();
@@ -384,6 +407,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   bool trace_only = false;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
@@ -392,6 +416,8 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--trace-only") {
       trace_only = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
     } else {
       output = arg;
     }
@@ -405,53 +431,63 @@ int main(int argc, char** argv) {
 
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("M-Wire loopback serving benchmark (host: %u hardware "
-              "threads, gateway: 8 shards)\n\n",
-              cores);
+              "threads, gateway: 8 shards%s)\n\n",
+              cores, smoke ? ", smoke" : "");
 
-  constexpr std::uint64_t kTotalRequests = 20000;
+  const std::uint64_t kTotalRequests = smoke ? 8000 : 20000;
   const gateway::TrafficReport in_process =
       RunInProcessBaseline(kTotalRequests);
   std::printf("in-process baseline: %llu served, %.0f req/s\n\n",
               static_cast<unsigned long long>(in_process.ok),
               in_process.completed_per_sec);
 
-  std::printf("%-8s %-10s %12s %12s %10s %10s %10s %8s\n", "loops",
+  std::printf("%-8s %-10s %12s %12s %10s %10s %10s %8s %11s\n", "loops",
               "pipeline", "served", "req/s", "p50(us)", "p95(us)", "p99(us)",
-              "stalls");
-  std::printf("%s\n", std::string(88, '-').c_str());
+              "stalls", "allocs/req");
+  std::printf("%s\n", std::string(100, '-').c_str());
 
   constexpr int kClientThreads = 2;
+  // Smoke: one pipelined scenario is enough to price the wire path; the
+  // full matrix exists to show the loop-count/window trends.
+  const std::vector<int> loop_counts = smoke ? std::vector<int>{4}
+                                             : std::vector<int>{1, 4, 8};
+  const std::vector<int> windows = smoke ? std::vector<int>{64}
+                                         : std::vector<int>{64, 1};
   std::vector<WireRunResult> scenarios;
-  for (int event_loops : {1, 4, 8}) {
-    for (int window : {64, 1}) {
+  for (int event_loops : loop_counts) {
+    for (int window : windows) {
       WireRunResult result = RunWireScenario(
           event_loops, window, kClientThreads, kTotalRequests / kClientThreads);
-      std::printf("%-8d %-10s %12llu %12.0f %10llu %10llu %10llu %8llu\n",
-                  result.event_loops, window > 1 ? "on" : "off",
-                  static_cast<unsigned long long>(result.ok),
-                  result.requests_per_sec,
-                  static_cast<unsigned long long>(result.p50),
-                  static_cast<unsigned long long>(result.p95),
-                  static_cast<unsigned long long>(result.p99),
-                  static_cast<unsigned long long>(
-                      result.stats.backpressure_stalls));
+      std::printf(
+          "%-8d %-10s %12llu %12.0f %10llu %10llu %10llu %8llu %11.4f\n",
+          result.event_loops, window > 1 ? "on" : "off",
+          static_cast<unsigned long long>(result.ok),
+          result.requests_per_sec,
+          static_cast<unsigned long long>(result.p50),
+          static_cast<unsigned long long>(result.p95),
+          static_cast<unsigned long long>(result.p99),
+          static_cast<unsigned long long>(result.stats.backpressure_stalls),
+          result.allocs_per_req);
       scenarios.push_back(std::move(result));
     }
   }
 
   // The acceptance ratio: best pipelined wire scenario vs in-process.
   double best_wire_rps = 0;
+  double best_allocs_per_req = 0;
   for (const WireRunResult& r : scenarios) {
     if (r.window > 1 && r.requests_per_sec > best_wire_rps) {
       best_wire_rps = r.requests_per_sec;
+      best_allocs_per_req = r.allocs_per_req;
     }
   }
   const double ratio = in_process.completed_per_sec > 0
                            ? best_wire_rps / in_process.completed_per_sec
                            : 0;
   std::printf("\nloopback overhead: best pipelined wire %.0f req/s = %.1f%% "
-              "of in-process %.0f req/s\n",
-              best_wire_rps, ratio * 100.0, in_process.completed_per_sec);
+              "of in-process %.0f req/s (%.4f frame-buffer allocs/req)\n",
+              best_wire_rps, ratio * 100.0, in_process.completed_per_sec,
+              best_allocs_per_req);
 
   std::ofstream json(output);
   json << "{\n  \"bench\": \"wire_throughput\",\n"
@@ -475,13 +511,17 @@ int main(int argc, char** argv) {
          << ", \"bytes_in\": " << r.stats.bytes_in
          << ", \"bytes_out\": " << r.stats.bytes_out
          << ", \"backpressure_stalls\": " << r.stats.backpressure_stalls
+         << ", \"pool_miss_delta\": " << r.pool_miss_delta
+         << ", \"frame_buffer_allocs_per_req\": " << r.allocs_per_req
          << "}" << (i + 1 < scenarios.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"overhead\": {\"best_pipelined_wire_rps\": "
        << static_cast<std::uint64_t>(best_wire_rps)
        << ", \"in_process_rps\": "
        << static_cast<std::uint64_t>(in_process.completed_per_sec)
-       << ", \"wire_over_in_process\": " << ratio << "}\n}\n";
+       << ", \"wire_over_in_process\": " << ratio
+       << ", \"frame_buffer_allocs_per_req\": " << best_allocs_per_req
+       << "}\n}\n";
   json.close();
   std::printf("wrote %s\n", output.c_str());
 

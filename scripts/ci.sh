@@ -66,6 +66,18 @@ python3 scripts/validate_mscope.py \
   "$MSCOPE_DIR/wire_trace.json" "$MSCOPE_DIR/wire_metrics.json" \
   scripts/mscope_schema.json --require-wire
 
+# Wire perf smoke: a shortened bench run whose wire/in-process ratio
+# (measured by the same binary in the same run, so host speed cancels)
+# must clear the checked-in floor — scripts/wire_perf_floor.json
+# documents the tolerance. Skip with MOBIVINE_CI_WIRE_PERF=0 on hosts
+# too noisy to bench (the floor assumes a mostly-idle machine).
+if [[ "${MOBIVINE_CI_WIRE_PERF:-1}" != "0" ]]; then
+  echo "==== [wire] perf smoke vs checked-in floor ===="
+  ./build/bench/bench_wire_throughput "$MSCOPE_DIR/wire_perf.json" --smoke
+  python3 scripts/check_wire_perf.py "$MSCOPE_DIR/wire_perf.json" \
+    scripts/wire_perf_floor.json
+fi
+
 if [[ "${MOBIVINE_CI_WIRE_TSAN:-1}" != "0" ]]; then
   echo "==== [wire] tsan: Wire|Gateway suites ===="
   cmake --preset tsan

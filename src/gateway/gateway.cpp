@@ -60,14 +60,19 @@ struct QueuedRequest {
   Clock::time_point deadline = kNoDeadline;
 };
 
-void InvokeCompletion(Request& request, const Response& response) {
-  if (!request.on_complete) return;
+void InvokeCompletionFn(const std::function<void(const Response&)>& fn,
+                        const Response& response) {
+  if (!fn) return;
   try {
-    request.on_complete(response);
+    fn(response);
   } catch (const std::exception& e) {
     // A throwing completion callback must not take down the worker.
     MOBIVINE_LOG_ERROR << "gateway: completion callback threw: " << e.what();
   }
+}
+
+void InvokeCompletion(Request& request, const Response& response) {
+  InvokeCompletionFn(request.on_complete, response);
 }
 
 }  // namespace
@@ -199,6 +204,14 @@ class Gateway::Shard {
     }
     stats_.OnAccepted();
     return true;
+  }
+
+  /// The admission check alone, for the borrowed-request path: lets the
+  /// caller decide to shed before paying for string materialization.
+  /// Advisory — the queue can still fill between this and TrySubmit, so
+  /// the push itself remains the authoritative admission.
+  [[nodiscard]] bool AboveShedWatermark() const {
+    return queue_.size() >= shed_watermark_;
   }
 
   void Close() { queue_.Close(); }
@@ -658,6 +671,70 @@ bool Gateway::Submit(Request request) {
                          : "shard queue above shed watermark";
   response.shard = index;
   InvokeCompletion(queued.request, response);
+  return false;
+}
+
+bool Gateway::Submit(const BorrowedRequest& request,
+                     std::function<void(const Response&)> on_complete) {
+  support::trace::Span span("gateway.submit");
+  const std::uint32_t index = ShardFor(request.client_id);
+  span.Tag("shard", index);
+  Shard& shard = *shards_[index];
+
+  // Admission first, materialization second: a shed decision must not
+  // cost a string copy — the wire layer hands views into its input ring
+  // precisely so the overload path stays allocation-free.
+  if (!stopping_.load(std::memory_order_relaxed) &&
+      !shard.AboveShedWatermark()) {
+    QueuedRequest queued;
+    queued.submitted_at = Clock::now();
+    const std::chrono::microseconds timeout = request.timeout.count() > 0
+                                                  ? request.timeout
+                                                  : config_.default_timeout;
+    if (timeout.count() > 0) queued.deadline = queued.submitted_at + timeout;
+    Request& owned = queued.request;
+    owned.client_id = request.client_id;
+    owned.platform = request.platform;
+    owned.op = request.op;
+    owned.target.assign(request.target.data(), request.target.size());
+    owned.payload.assign(request.payload.data(), request.payload.size());
+    owned.content_type.assign(request.content_type.data(),
+                              request.content_type.size());
+    owned.properties.reserve(request.property_count);
+    for (std::size_t i = 0; i < request.property_count; ++i) {
+      const BorrowedProperty& property = request.properties[i];
+      std::string name(property.name);
+      if (const auto* s = std::get_if<std::string_view>(&property.value)) {
+        owned.properties.emplace_back(std::move(name), std::string(*s));
+      } else if (const auto* n = std::get_if<long long>(&property.value)) {
+        owned.properties.emplace_back(std::move(name), *n);
+      } else if (const auto* d = std::get_if<double>(&property.value)) {
+        owned.properties.emplace_back(std::move(name), *d);
+      } else {
+        owned.properties.emplace_back(std::move(name),
+                                      std::get<bool>(property.value));
+      }
+    }
+    owned.timeout = request.timeout;
+    owned.retry = request.retry;
+    owned.on_complete = std::move(on_complete);
+    if (shard.TrySubmit(queued)) {
+      span.Tag("admitted", 1);
+      return true;
+    }
+    // Lost the race for the last queue slot; shed the materialized copy.
+    on_complete = std::move(queued.request.on_complete);
+  }
+  span.Tag("admitted", 0);
+  support::trace::Instant("gateway.shed", "shard", index);
+  shard.stats().OnShed();
+  Response response;
+  response.error = core::ErrorCode::kOverloaded;
+  response.message = stopping_.load(std::memory_order_relaxed)
+                         ? "gateway is stopping"
+                         : "shard queue above shed watermark";
+  response.shard = index;
+  InvokeCompletionFn(on_complete, response);
   return false;
 }
 

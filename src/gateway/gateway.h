@@ -95,6 +95,16 @@ class Gateway {
   /// fires exactly once.
   bool Submit(Request request);
 
+  /// Borrowed-request overload for callers whose operands are views into
+  /// transient buffers (the wire layer's input rings). The admission
+  /// decision runs first: only a request actually bound for a shard queue
+  /// has its strings materialized into an owning Request; the shed path
+  /// completes with kOverloaded without copying anything. Views must stay
+  /// valid until this returns — they are not retained. Same exactly-once
+  /// completion contract as Submit(Request).
+  bool Submit(const BorrowedRequest& request,
+              std::function<void(const Response&)> on_complete);
+
   /// Blocking convenience: submit and wait for the response (the
   /// request's own on_complete, if any, is ignored).
   Response Call(Request request);

@@ -13,7 +13,9 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "core/errors.h"
@@ -83,6 +85,34 @@ struct Request {
   /// Invoked exactly once: on the owning shard's worker thread after
   /// service, or on the submitting thread when the request is shed.
   std::function<void(const Response&)> on_complete;
+};
+
+/// One borrowed property: the name and any string value are views into
+/// caller-owned memory, valid only for the duration of the Submit call.
+/// The value lanes mirror the four wire-encodable PropertyValue scalars.
+struct BorrowedProperty {
+  std::string_view name;
+  std::variant<std::string_view, long long, double, bool> value;
+};
+
+/// A Request whose string operands are borrowed views — the zero-copy
+/// envelope the wire layer decodes straight out of a connection's input
+/// ring. Gateway::Submit(const BorrowedRequest&, ...) materializes owning
+/// copies only when the request is actually queued; a shed decision
+/// (overload, stopping) is taken first and never copies a byte, so the
+/// overload path costs nothing beyond the completion callback itself.
+/// Every view must stay valid until Submit returns; nothing retains them.
+struct BorrowedRequest {
+  std::uint64_t client_id = 0;
+  Platform platform = Platform::kAndroid;
+  Op op = Op::kGetLocation;
+  std::string_view target;
+  std::string_view payload;
+  std::string_view content_type;
+  const BorrowedProperty* properties = nullptr;
+  std::size_t property_count = 0;
+  std::chrono::microseconds timeout{0};
+  RetryPolicy retry;
 };
 
 }  // namespace mobivine::gateway

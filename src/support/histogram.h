@@ -76,6 +76,15 @@ class HistogramSnapshot {
     return histogram_detail::BucketUpperBound(counts_.size() - 1);
   }
 
+  /// Value (µs) at a percentile rank in [0, 100]: PercentileRank(99)
+  /// == Percentile(0.99). Exists because Percentile()'s silent clamp
+  /// turned the q-vs-percent mixup into degenerate p50==p95==p99
+  /// reports (every rank > 1 collapsed onto the max occupied bucket);
+  /// callers thinking in percent should use this form.
+  [[nodiscard]] std::uint64_t PercentileRank(double percent) const {
+    return Percentile(percent / 100.0);
+  }
+
   std::vector<std::uint64_t>& counts() { return counts_; }
   void set_total(std::uint64_t total) { total_ = total; }
 

@@ -30,6 +30,19 @@ inline void PutVarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
   out.push_back(static_cast<std::uint8_t>(value));
 }
 
+/// Encode into a raw buffer with at least kMaxVarintBytes of room.
+/// Returns the encoded length. Lets frame headers build on the stack
+/// instead of paying a heap-backed vector per frame.
+inline std::size_t PutVarint(std::uint8_t* out, std::uint64_t value) {
+  std::size_t n = 0;
+  while (value >= 0x80) {
+    out[n++] = static_cast<std::uint8_t>(value) | 0x80;
+    value >>= 7;
+  }
+  out[n++] = static_cast<std::uint8_t>(value);
+  return n;
+}
+
 /// Decode one varint from [data, data+size). On kOk, *value holds the
 /// result and *consumed the encoded length; both are untouched otherwise.
 [[nodiscard]] inline VarintStatus GetVarint(const std::uint8_t* data,

@@ -9,11 +9,23 @@
 #include <cstring>
 #include <utility>
 
+#include "support/buffer_pool.h"
+
 namespace mobivine::wire {
 
 namespace {
 
 constexpr std::size_t kReadChunk = 64 * 1024;
+/// Encoded-request bytes beyond the string fields (header, CRC, varints).
+constexpr std::size_t kRequestOverhead = 64;
+/// Recycled pending_-map nodes kept around; bounds the idle footprint
+/// while covering any realistic in-flight window.
+constexpr std::size_t kMaxFreeNodes = 512;
+
+[[nodiscard]] std::size_t EncodedSizeHint(const WireRequest& request) {
+  return kRequestOverhead + request.target.size() + request.payload.size() +
+         request.content_type.size();
+}
 
 /// Write the whole buffer to a blocking socket. False on any error.
 bool WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
@@ -33,6 +45,32 @@ bool WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
 }  // namespace
 
 WireClient::~WireClient() { Close(); }
+
+void WireClient::EmplacePendingLocked(std::uint64_t id, Callback&& callback) {
+  if (!free_nodes_.empty()) {
+    PendingMap::node_type node = std::move(free_nodes_.back());
+    free_nodes_.pop_back();
+    node.key() = id;
+    node.mapped() = std::move(callback);
+    pending_.insert(std::move(node));
+    return;
+  }
+  pending_.emplace(id, std::move(callback));
+}
+
+WireClient::Callback WireClient::TakePending(std::uint64_t id) {
+  Callback callback;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return callback;
+  PendingMap::node_type node = pending_.extract(it);
+  callback = std::move(node.mapped());
+  // Drop captured state now (a batch callback holds shared state alive);
+  // the node shell alone is what gets recycled.
+  node.mapped() = nullptr;
+  if (free_nodes_.size() < kMaxFreeNodes) free_nodes_.push_back(std::move(node));
+  return callback;
+}
 
 bool WireClient::Connect(std::uint16_t port, std::string* error) {
   if (connected_.load(std::memory_order_acquire) || fd_ >= 0) {
@@ -63,7 +101,7 @@ bool WireClient::Connect(std::uint16_t port, std::string* error) {
   return true;
 }
 
-bool WireClient::Submit(WireRequest request, Callback callback) {
+bool WireClient::Submit(const WireRequest& request, Callback callback) {
   if (!connected_.load(std::memory_order_acquire)) {
     WireResponse dead;
     dead.request_id = request.request_id;
@@ -73,12 +111,16 @@ bool WireClient::Submit(WireRequest request, Callback callback) {
   }
   const std::uint64_t id =
       next_id_.fetch_add(1, std::memory_order_relaxed);
-  request.request_id = id;
-  std::vector<std::uint8_t> bytes;
-  EncodeRequest(request, bytes);
+  // Encode straight from the caller's struct into a pooled frame buffer,
+  // stamping the id into the frame only — no request copy, no fresh
+  // allocation at steady state.
+  support::PooledBuffer buffer =
+      support::BufferPool::WirePool().Acquire(EncodedSizeHint(request));
+  std::vector<std::uint8_t>& bytes = buffer.bytes();
+  EncodeRequest(request, id, bytes);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    pending_.emplace(id, std::move(callback));
+    EmplacePendingLocked(id, std::move(callback));
   }
   bool sent = false;
   {
@@ -89,15 +131,7 @@ bool WireClient::Submit(WireRequest request, Callback callback) {
   if (sent) return true;
   // Send failed: complete this request with a transport error — unless
   // the reader noticed the dead socket first and already failed it.
-  Callback mine;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = pending_.find(id);
-    if (it != pending_.end()) {
-      mine = std::move(it->second);
-      pending_.erase(it);
-    }
-  }
+  Callback mine = TakePending(id);
   if (mine) {
     WireResponse dead;
     dead.request_id = id;
@@ -107,7 +141,7 @@ bool WireClient::Submit(WireRequest request, Callback callback) {
   return false;
 }
 
-std::size_t WireClient::SubmitBatch(std::vector<WireRequest> requests,
+std::size_t WireClient::SubmitBatch(const std::vector<WireRequest>& requests,
                                     const Callback& callback) {
   if (requests.empty()) return 0;
   if (!connected_.load(std::memory_order_acquire)) {
@@ -119,17 +153,34 @@ std::size_t WireClient::SubmitBatch(std::vector<WireRequest> requests,
     }
     return 0;
   }
+  std::size_t size_hint = 0;
+  for (const WireRequest& request : requests) {
+    size_hint += EncodedSizeHint(request);
+  }
   std::vector<std::uint64_t> ids;
   ids.reserve(requests.size());
-  std::vector<std::uint8_t> bytes;
-  for (WireRequest& request : requests) {
-    request.request_id = next_id_.fetch_add(1, std::memory_order_relaxed);
-    ids.push_back(request.request_id);
-    EncodeRequest(request, bytes);
+  // One pooled buffer holds the whole batch; requests are encoded in
+  // place from the caller's structs (no per-request copy), ids stamped
+  // into the frames only.
+  support::PooledBuffer buffer =
+      support::BufferPool::WirePool().Acquire(size_hint);
+  std::vector<std::uint8_t>& bytes = buffer.bytes();
+  for (const WireRequest& request : requests) {
+    const std::uint64_t id =
+        next_id_.fetch_add(1, std::memory_order_relaxed);
+    ids.push_back(id);
+    EncodeRequest(request, id, bytes);
   }
+  // One shared copy of the callback for the whole batch: each pending
+  // entry is a 16-byte shared_ptr wrapper (inside std::function's small
+  // buffer), not a fresh copy of the caller's callable.
+  const auto shared = std::make_shared<const Callback>(callback);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::uint64_t id : ids) pending_.emplace(id, callback);
+    for (std::uint64_t id : ids) {
+      EmplacePendingLocked(
+          id, [shared](const WireResponse& response) { (*shared)(response); });
+    }
   }
   bool sent = false;
   {
@@ -141,15 +192,9 @@ std::size_t WireClient::SubmitBatch(std::vector<WireRequest> requests,
   // A failed batch write leaves an unknown prefix delivered; responses
   // that do arrive match their pending entries, the rest fail here.
   std::vector<Callback> orphans;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::uint64_t id : ids) {
-      const auto it = pending_.find(id);
-      if (it != pending_.end()) {
-        orphans.push_back(std::move(it->second));
-        pending_.erase(it);
-      }
-    }
+  for (std::uint64_t id : ids) {
+    Callback orphan = TakePending(id);
+    if (orphan) orphans.push_back(std::move(orphan));
   }
   for (std::size_t i = 0; i < orphans.size(); ++i) {
     WireResponse dead;
@@ -163,7 +208,7 @@ bool WireClient::Call(WireRequest request, WireResponse* response) {
   std::mutex done_mutex;
   std::condition_variable done_cv;
   bool done = false;
-  Submit(std::move(request), [&](const WireResponse& completed) {
+  Submit(request, [&](const WireResponse& completed) {
     *response = completed;
     // Notify under the lock: these are stack objects, and the waiter
     // destroys them the moment it observes done — an unlocked notify
@@ -198,53 +243,58 @@ std::size_t WireClient::outstanding() const {
 }
 
 void WireClient::ReaderLoop() {
-  std::vector<std::uint8_t> buf;
-  std::size_t start = 0;  // decoded-up-to offset into buf
+  std::vector<std::uint8_t> carry;  // partial-frame bytes between reads
   std::uint8_t chunk[kReadChunk];
-  while (true) {
-    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or error: fail everything below
-    buf.insert(buf.end(), chunk, chunk + n);
-    bool dead = false;
+  bool dead = false;
+
+  // Decode every complete frame in [data, data+size); returns the bytes
+  // consumed. Sets `dead` when the server broke protocol.
+  const auto drain = [&](const std::uint8_t* data,
+                         std::size_t size) -> std::size_t {
+    std::size_t off = 0;
     while (true) {
       FrameView frame;
       std::size_t consumed = 0;
       const DecodeStatus status =
-          DecodeFrame(buf.data() + start, buf.size() - start, &frame,
-                      &consumed, nullptr);
-      if (status == DecodeStatus::kNeedMore) break;
+          DecodeFrame(data + off, size - off, &frame, &consumed, nullptr);
+      if (status == DecodeStatus::kNeedMore) return off;
       if (status == DecodeStatus::kMalformed ||
           frame.type != FrameType::kResponse) {
-        dead = true;  // server broke protocol; kill the connection
-        break;
+        dead = true;
+        return off;
       }
       WireResponse response;
       if (!DecodeResponse(frame.payload, frame.payload_size, &response,
                           nullptr)) {
         dead = true;
-        break;
+        return off;
       }
-      start += consumed;
-      Callback callback;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = pending_.find(response.request_id);
-        if (it != pending_.end()) {
-          callback = std::move(it->second);
-          pending_.erase(it);
-        }
-      }
+      off += consumed;
       // Unmatched ids (already failed, or a server bug) are dropped.
+      Callback callback = TakePending(response.request_id);
       if (callback) callback(response);
     }
-    if (dead) break;
-    if (start == buf.size()) {
-      buf.clear();
-      start = 0;
-    } else if (start > kReadChunk) {
-      buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(start));
-      start = 0;
+  };
+
+  while (!dead) {
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: fail everything below
+    const std::size_t got = static_cast<std::size_t>(n);
+    if (carry.empty()) {
+      // Fast path: decode straight out of the read chunk; only a
+      // trailing partial frame is copied into the carry-over buffer.
+      const std::size_t used = drain(chunk, got);
+      if (!dead && used < got) carry.assign(chunk + used, chunk + got);
+    } else {
+      carry.insert(carry.end(), chunk, chunk + got);
+      const std::size_t used = drain(carry.data(), carry.size());
+      if (used == carry.size()) {
+        carry.clear();
+      } else if (used > 0) {
+        carry.erase(carry.begin(), carry.begin() +
+                                       static_cast<std::ptrdiff_t>(used));
+      }
     }
   }
   connected_.store(false, std::memory_order_release);

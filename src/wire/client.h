@@ -9,7 +9,14 @@
 //     bench_wire_throughput closed-loop windows are built on.
 //
 // Request ids are client-side correlation tokens, assigned monotonically
-// here; any id already present in `request.request_id` is overwritten.
+// here; any id already present in `request.request_id` is ignored (the
+// caller's struct is never mutated — the id the server echoes is the one
+// this client stamped into the encoded frame).
+//
+// Encoding goes through the shared wire buffer pool
+// (support::BufferPool::WirePool()): requests are encoded once, straight
+// from the caller's struct into a pooled frame buffer — no per-request
+// WireRequest copy, no per-frame heap allocation at steady state.
 //
 // Failure semantics: when the connection dies (peer close, socket error,
 // undecodable response frame) every outstanding callback fires exactly
@@ -50,15 +57,15 @@ class WireClient {
 
   /// Pipelined async send. Returns false (callback fired with
   /// kTransportError) if the connection is down or the send fails.
-  bool Submit(WireRequest request, Callback callback);
+  bool Submit(const WireRequest& request, Callback callback);
 
-  /// Pipelined batch: encode every request into one buffer and push it
-  /// with a single write — the syscall-per-request cost is what
+  /// Pipelined batch: encode every request into one pooled buffer and
+  /// push it with a single write — the syscall-per-request cost is what
   /// dominates small-frame loopback throughput. `callback` fires once
   /// per response (any order). Returns the number of requests actually
   /// sent; on a transport failure the unsent remainder's callbacks fire
   /// with kTransportError.
-  std::size_t SubmitBatch(std::vector<WireRequest> requests,
+  std::size_t SubmitBatch(const std::vector<WireRequest>& requests,
                           const Callback& callback);
 
   /// Synchronous round trip: Submit + wait. Returns false only on
@@ -80,19 +87,31 @@ class WireClient {
  private:
   void ReaderLoop();
   void FailAllOutstanding();
+  /// Under mutex_: park `callback` under `id`, reusing a recycled map
+  /// node when one is available.
+  void EmplacePendingLocked(std::uint64_t id, Callback&& callback);
+  /// Take (and un-map) the callback for `id`; empty if already gone. The
+  /// freed node is recycled.
+  [[nodiscard]] Callback TakePending(std::uint64_t id);
 
   int fd_ = -1;
   std::thread reader_;
   std::atomic<bool> connected_{false};
   std::atomic<std::uint64_t> next_id_{1};
 
+  using PendingMap = std::unordered_map<std::uint64_t, Callback>;
+
   /// Two locks, never held together with send_mutex_ inner: the send
   /// path can block on a full socket buffer (server backpressure), and
   /// the reader thread must still be able to take mutex_ to complete
   /// responses — that drain is what un-sticks the server.
-  mutable std::mutex mutex_;  ///< guards pending_
+  mutable std::mutex mutex_;  ///< guards pending_ and free_nodes_
   std::mutex send_mutex_;     ///< serializes whole-frame writes
-  std::unordered_map<std::uint64_t, Callback> pending_;
+  PendingMap pending_;
+  /// Recycled pending_ nodes: completing a response extracts its node
+  /// here instead of freeing it, and the next Submit reuses it — no map
+  /// node allocation per request at steady state.
+  std::vector<PendingMap::node_type> free_nodes_;
 };
 
 }  // namespace mobivine::wire

@@ -1,5 +1,6 @@
 #include "wire/connection.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace mobivine::wire {
@@ -28,22 +29,36 @@ void ByteRing::Append(const std::uint8_t* data, std::size_t n) {
 }
 
 void ByteRing::Consume(std::size_t n) {
+  if (n == 0) return;
   head_ = (head_ + n) & (buf_.size() - 1);
   size_ -= n;
   if (size_ == 0) head_ = 0;
+  ++generation_;  // the dropped bytes are past the recycle horizon
 }
 
 const std::uint8_t* ByteRing::Contiguous() {
   if (head_ + size_ <= buf_.size()) return buf_.data() + head_;
-  // Wrapped: rotate so the readable run starts at offset 0. Rare (only
-  // when a frame straddles the wrap point) and bounded by ring size.
-  std::vector<std::uint8_t> linear(buf_.size());
-  const std::size_t first = buf_.size() - head_;
-  std::memcpy(linear.data(), buf_.data() + head_, first);
-  std::memcpy(linear.data() + first, buf_.data(), size_ - first);
-  buf_ = std::move(linear);
+  // Wrapped: rotate in place so the readable run starts at offset 0.
+  // Rare (only when a frame straddles the wrap point), bounded by ring
+  // size, and allocation-free — the hot path must not pay a fresh
+  // vector for a wrap.
+  std::rotate(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_),
+              buf_.end());
   head_ = 0;
+  ++generation_;  // readable bytes moved
   return buf_.data();
+}
+
+std::uint8_t* ByteRing::WriteWindow(std::size_t min_free,
+                                    std::size_t* available) {
+  if (buf_.size() - size_ < min_free) Grow(size_ + min_free);
+  const std::size_t mask = buf_.size() - 1;
+  const std::size_t tail = (head_ + size_) & mask;
+  // Wrapped tail (tail behind head): the writable run is [tail, head).
+  // Straight: [tail, end) — the run before head comes on the next call.
+  *available = head_ + size_ >= buf_.size() ? head_ - tail
+                                            : buf_.size() - tail;
+  return buf_.data() + tail;
 }
 
 void ByteRing::Grow(std::size_t needed) {
@@ -53,6 +68,7 @@ void ByteRing::Grow(std::size_t needed) {
   std::memcpy(bigger.data() + first, buf_.data(), size_ - first);
   buf_ = std::move(bigger);
   head_ = 0;
+  ++generation_;  // storage moved
 }
 
 }  // namespace mobivine::wire

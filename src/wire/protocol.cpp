@@ -23,7 +23,7 @@ enum class ValueTag : std::uint8_t {
   kBool = 3,
 };
 
-void PutString(std::vector<std::uint8_t>& out, const std::string& s) {
+void PutString(std::vector<std::uint8_t>& out, std::string_view s) {
   PutVarint(out, s.size());
   out.insert(out.end(), s.begin(), s.end());
 }
@@ -64,13 +64,13 @@ class Reader {
     return true;
   }
 
-  bool String(std::string* value, const char* what) {
+  bool String(std::string_view* value, const char* what) {
     std::uint64_t len = 0;
     if (!Varint(&len, what)) return false;
     if (len > kMaxStringBytes) return Fail(what, "over string cap");
     if (len > size_ - pos_) return Fail(what, "truncated");
-    value->assign(reinterpret_cast<const char*>(data_ + pos_),
-                  static_cast<std::size_t>(len));
+    *value = std::string_view(reinterpret_cast<const char*>(data_ + pos_),
+                              static_cast<std::size_t>(len));
     pos_ += static_cast<std::size_t>(len);
     return true;
   }
@@ -104,21 +104,21 @@ class Reader {
 
 /// Wrap an encoded payload in the frame header + CRC trailer. The payload
 /// was appended to `out` starting at `payload_start` by the caller; this
-/// retrofits the header in front (single memmove on the tail).
+/// retrofits the header in front (single memmove on the tail). The header
+/// builds on the stack: this runs once per frame and must not allocate.
 void FinishFrame(std::vector<std::uint8_t>& out, std::size_t frame_start,
                  FrameType type) {
   const std::size_t payload_size = out.size() - frame_start;
-  std::vector<std::uint8_t> header;
-  header.reserve(4 + support::kMaxVarintBytes);
-  header.push_back(kMagic0);
-  header.push_back(kMagic1);
-  header.push_back(kWireVersion);
-  header.push_back(static_cast<std::uint8_t>(type));
-  PutVarint(header, payload_size);
+  std::uint8_t header[4 + support::kMaxVarintBytes];
+  header[0] = kMagic0;
+  header[1] = kMagic1;
+  header[2] = kWireVersion;
+  header[3] = static_cast<std::uint8_t>(type);
+  const std::size_t header_len = 4 + PutVarint(header + 4, payload_size);
   const std::uint32_t crc =
       support::Crc32(out.data() + frame_start, payload_size);
-  out.insert(out.begin() + static_cast<std::ptrdiff_t>(frame_start),
-             header.begin(), header.end());
+  out.insert(out.begin() + static_cast<std::ptrdiff_t>(frame_start), header,
+             header + header_len);
   PutFixed32(out, crc);
 }
 
@@ -202,8 +202,13 @@ core::ErrorCode ToErrorCode(WireStatus status) {
 
 void EncodeRequest(const WireRequest& request,
                    std::vector<std::uint8_t>& out) {
+  EncodeRequest(request, request.request_id, out);
+}
+
+void EncodeRequest(const WireRequest& request, std::uint64_t request_id,
+                   std::vector<std::uint8_t>& out) {
   const std::size_t frame_start = out.size();
-  PutVarint(out, request.request_id);
+  PutVarint(out, request_id);
   PutVarint(out, request.client_id);
   out.push_back(static_cast<std::uint8_t>(request.platform));
   out.push_back(static_cast<std::uint8_t>(request.op));
@@ -243,13 +248,18 @@ void EncodeRequest(const WireRequest& request,
 
 void EncodeResponse(const WireResponse& response,
                     std::vector<std::uint8_t>& out) {
+  EncodeResponse(response, response.body, out);
+}
+
+void EncodeResponse(const WireResponse& response, std::string_view body,
+                    std::vector<std::uint8_t>& out) {
   const std::size_t frame_start = out.size();
   PutVarint(out, response.request_id);
   out.push_back(static_cast<std::uint8_t>(response.status));
   out.push_back(static_cast<std::uint8_t>(response.served_platform));
   PutVarint(out, response.attempts);
   PutVarint(out, response.latency_micros);
-  PutString(out, response.body);
+  PutString(out, body);
   FinishFrame(out, frame_start, FrameType::kResponse);
 }
 
@@ -312,17 +322,18 @@ DecodeStatus DecodeFrame(const std::uint8_t* data, std::size_t size,
   return DecodeStatus::kOk;
 }
 
-BodyStatus DecodeRequest(const std::uint8_t* payload, std::size_t size,
-                         WireRequest* request, std::string* error) {
+BodyStatus DecodeRequestView(const std::uint8_t* payload, std::size_t size,
+                             WireRequestView* view, std::string* error) {
+  view->properties.clear();  // reusable scratch: capacity is retained
   Reader reader(payload, size);
   const auto fail = [&](BodyStatus status) {
     if (error != nullptr) *error = reader.error();
     return status;
   };
-  if (!reader.Varint(&request->request_id, "request_id")) {
+  if (!reader.Varint(&view->request_id, "request_id")) {
     return fail(BodyStatus::kBadId);
   }
-  if (!reader.Varint(&request->client_id, "client_id")) {
+  if (!reader.Varint(&view->client_id, "client_id")) {
     return fail(BodyStatus::kBadBody);
   }
   std::uint8_t platform = 0;
@@ -338,10 +349,10 @@ BodyStatus DecodeRequest(const std::uint8_t* payload, std::size_t size,
     if (error != nullptr) *error = "op: unknown code";
     return BodyStatus::kBadBody;
   }
-  request->platform = static_cast<gateway::Platform>(platform);
-  request->op = static_cast<gateway::Op>(op);
+  view->platform = static_cast<gateway::Platform>(platform);
+  view->op = static_cast<gateway::Op>(op);
   std::uint64_t max_attempts = 0;
-  if (!reader.Varint(&request->timeout_micros, "timeout") ||
+  if (!reader.Varint(&view->timeout_micros, "timeout") ||
       !reader.Varint(&max_attempts, "max_attempts")) {
     return fail(BodyStatus::kBadBody);
   }
@@ -349,10 +360,10 @@ BodyStatus DecodeRequest(const std::uint8_t* payload, std::size_t size,
     if (error != nullptr) *error = "max_attempts: over cap";
     return BodyStatus::kBadBody;
   }
-  request->max_attempts = static_cast<std::uint32_t>(max_attempts);
-  if (!reader.String(&request->target, "target") ||
-      !reader.String(&request->payload, "payload") ||
-      !reader.String(&request->content_type, "content_type")) {
+  view->max_attempts = static_cast<std::uint32_t>(max_attempts);
+  if (!reader.String(&view->target, "target") ||
+      !reader.String(&view->payload, "payload") ||
+      !reader.String(&view->content_type, "content_type")) {
     return fail(BodyStatus::kBadBody);
   }
   std::uint64_t property_count = 0;
@@ -363,22 +374,21 @@ BodyStatus DecodeRequest(const std::uint8_t* payload, std::size_t size,
     if (error != nullptr) *error = "property_count: over cap";
     return BodyStatus::kBadBody;
   }
-  request->properties.clear();
-  request->properties.reserve(static_cast<std::size_t>(property_count));
+  view->properties.reserve(static_cast<std::size_t>(property_count));
   for (std::uint64_t i = 0; i < property_count; ++i) {
-    std::string name;
+    gateway::BorrowedProperty property;
     std::uint8_t tag = 0;
-    if (!reader.String(&name, "property name") ||
+    if (!reader.String(&property.name, "property name") ||
         !reader.Byte(&tag, "property tag")) {
       return fail(BodyStatus::kBadBody);
     }
     switch (static_cast<ValueTag>(tag)) {
       case ValueTag::kString: {
-        std::string value;
+        std::string_view value;
         if (!reader.String(&value, "property string")) {
           return fail(BodyStatus::kBadBody);
         }
-        request->properties.emplace_back(std::move(name), std::move(value));
+        property.value = value;
         break;
       }
       case ValueTag::kInt: {
@@ -386,9 +396,7 @@ BodyStatus DecodeRequest(const std::uint8_t* payload, std::size_t size,
         if (!reader.Varint(&zz, "property int")) {
           return fail(BodyStatus::kBadBody);
         }
-        request->properties.emplace_back(
-            std::move(name),
-            static_cast<long long>(support::ZigzagDecode(zz)));
+        property.value = static_cast<long long>(support::ZigzagDecode(zz));
         break;
       }
       case ValueTag::kDouble: {
@@ -398,7 +406,7 @@ BodyStatus DecodeRequest(const std::uint8_t* payload, std::size_t size,
         }
         double value = 0;
         std::memcpy(&value, &bits, sizeof value);
-        request->properties.emplace_back(std::move(name), value);
+        property.value = value;
         break;
       }
       case ValueTag::kBool: {
@@ -406,17 +414,51 @@ BodyStatus DecodeRequest(const std::uint8_t* payload, std::size_t size,
         if (!reader.Byte(&value, "property bool")) {
           return fail(BodyStatus::kBadBody);
         }
-        request->properties.emplace_back(std::move(name), value != 0);
+        property.value = (value != 0);
         break;
       }
       default:
         if (error != nullptr) *error = "property tag: unknown";
         return BodyStatus::kBadBody;
     }
+    view->properties.push_back(property);
   }
   if (!reader.AtEnd()) {
     if (error != nullptr) *error = "trailing bytes after request body";
     return BodyStatus::kBadBody;
+  }
+  return BodyStatus::kOk;
+}
+
+BodyStatus DecodeRequest(const std::uint8_t* payload, std::size_t size,
+                         WireRequest* request, std::string* error) {
+  WireRequestView view;
+  const BodyStatus status = DecodeRequestView(payload, size, &view, error);
+  request->request_id = view.request_id;  // recovered even on kBadBody
+  if (status != BodyStatus::kOk) return status;
+  request->client_id = view.client_id;
+  request->platform = view.platform;
+  request->op = view.op;
+  request->timeout_micros = view.timeout_micros;
+  request->max_attempts = view.max_attempts;
+  request->target.assign(view.target.data(), view.target.size());
+  request->payload.assign(view.payload.data(), view.payload.size());
+  request->content_type.assign(view.content_type.data(),
+                               view.content_type.size());
+  request->properties.clear();
+  request->properties.reserve(view.properties.size());
+  for (const gateway::BorrowedProperty& property : view.properties) {
+    std::string name(property.name);
+    if (const auto* s = std::get_if<std::string_view>(&property.value)) {
+      request->properties.emplace_back(std::move(name), std::string(*s));
+    } else if (const auto* n = std::get_if<long long>(&property.value)) {
+      request->properties.emplace_back(std::move(name), *n);
+    } else if (const auto* d = std::get_if<double>(&property.value)) {
+      request->properties.emplace_back(std::move(name), *d);
+    } else {
+      request->properties.emplace_back(std::move(name),
+                                       std::get<bool>(property.value));
+    }
   }
   return BodyStatus::kOk;
 }
@@ -427,12 +469,13 @@ bool DecodeResponse(const std::uint8_t* payload, std::size_t size,
   std::uint8_t status = 0;
   std::uint8_t served = 0;
   std::uint64_t attempts = 0;
+  std::string_view body;
   if (!reader.Varint(&response->request_id, "request_id") ||
       !reader.Byte(&status, "status") ||
       !reader.Byte(&served, "served_platform") ||
       !reader.Varint(&attempts, "attempts") ||
       !reader.Varint(&response->latency_micros, "latency") ||
-      !reader.String(&response->body, "body") || !reader.AtEnd()) {
+      !reader.String(&body, "body") || !reader.AtEnd()) {
     if (error != nullptr) {
       *error = reader.error().empty() ? "trailing bytes after response body"
                                       : reader.error();
@@ -446,6 +489,7 @@ bool DecodeResponse(const std::uint8_t* payload, std::size_t size,
   response->status = static_cast<WireStatus>(status);
   response->served_platform = static_cast<gateway::Platform>(served);
   response->attempts = static_cast<std::uint32_t>(attempts);
+  response->body.assign(body.data(), body.size());
   return true;
 }
 

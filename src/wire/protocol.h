@@ -35,10 +35,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/errors.h"
 #include "gateway/request.h"
+#include "support/small_vector.h"
 
 namespace mobivine::wire {
 
@@ -112,12 +114,42 @@ struct WireResponse {
   std::string body;  ///< op result when kOk; error detail otherwise
 };
 
+/// A request decoded without copying: every string field is a view into
+/// the frame payload the decoder was handed (a connection's input ring).
+/// Valid only until that buffer is consumed, grown or linearized — the
+/// ring's generation counter is the caller's staleness guard. Reusable:
+/// a long-lived view retains its property capacity across decodes.
+struct WireRequestView {
+  std::uint64_t request_id = 0;
+  std::uint64_t client_id = 0;
+  gateway::Platform platform = gateway::Platform::kAndroid;
+  gateway::Op op = gateway::Op::kGetLocation;
+  std::uint64_t timeout_micros = 0;
+  std::uint32_t max_attempts = 0;
+  std::string_view target;
+  std::string_view payload;
+  std::string_view content_type;
+  /// Borrowed (name, tagged scalar) pairs — the exact shape
+  /// gateway::Submit's borrowed-request overload consumes.
+  support::SmallVector<gateway::BorrowedProperty, 8> properties;
+};
+
 // ---------------------------------------------------------------------------
 // Encoding (append-to-buffer; callers reuse buffers across frames)
 // ---------------------------------------------------------------------------
 
 void EncodeRequest(const WireRequest& request, std::vector<std::uint8_t>& out);
+/// Encode with the correlation id supplied separately, so a client can
+/// stamp ids without mutating (or copying) the caller's request.
+void EncodeRequest(const WireRequest& request, std::uint64_t request_id,
+                   std::vector<std::uint8_t>& out);
 void EncodeResponse(const WireResponse& response,
+                    std::vector<std::uint8_t>& out);
+/// Encode with the body supplied separately as a borrowed view — the
+/// server's completion path hands the gateway payload straight through
+/// without copying it into a WireResponse first. `response.body` is
+/// ignored.
+void EncodeResponse(const WireResponse& response, std::string_view body,
                     std::vector<std::uint8_t>& out);
 
 // ---------------------------------------------------------------------------
@@ -159,6 +191,15 @@ enum class BodyStatus : std::uint8_t {
 [[nodiscard]] BodyStatus DecodeRequest(const std::uint8_t* payload,
                                        std::size_t size, WireRequest* request,
                                        std::string* error);
+
+/// Zero-copy variant: identical validation and semantics (DecodeRequest
+/// is implemented on top of it), but string fields come back as views
+/// into `payload` — nothing is allocated on success. The view is cleared
+/// first; on kBadBody its request_id is valid, like DecodeRequest.
+[[nodiscard]] BodyStatus DecodeRequestView(const std::uint8_t* payload,
+                                           std::size_t size,
+                                           WireRequestView* view,
+                                           std::string* error);
 
 /// Decode a kResponse frame payload (client side). True on success.
 [[nodiscard]] bool DecodeResponse(const std::uint8_t* payload,

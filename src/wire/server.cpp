@@ -6,15 +6,18 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cassert>
 #include <cerrno>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <utility>
 
+#include "support/buffer_pool.h"
 #include "support/logging.h"
 #include "support/trace.h"
 #include "wire/connection.h"
@@ -24,7 +27,18 @@ namespace mobivine::wire {
 
 namespace {
 
-constexpr std::size_t kReadChunk = 64 * 1024;
+/// Free-space floor a read pass keeps in the input ring: each read()
+/// lands directly in the ring's writable tail, so this is also the
+/// per-syscall read granularity.
+constexpr std::size_t kReadReserve = 16 * 1024;
+/// Encoded-response bytes beyond the body (header, CRC, varint fields).
+constexpr std::size_t kResponseOverhead = 64;
+/// iovec entries per writev. Linux caps at IOV_MAX (1024); 64 covers a
+/// flush run comfortably — longer runs just loop.
+constexpr int kMaxIov = 64;
+/// Compact the loop-side write run when this many released front slots
+/// accumulate behind a long-lived partial write.
+constexpr std::size_t kWriteRunCompactAt = 64;
 
 void AddU64(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
   counter.fetch_add(n, std::memory_order_relaxed);
@@ -47,6 +61,8 @@ struct WireServer::Counters {
   std::atomic<std::uint64_t> protocol_errors{0};
   std::atomic<std::uint64_t> backpressure_stalls{0};
   std::atomic<std::uint64_t> requests_dispatched{0};
+  std::atomic<std::uint64_t> writev_calls{0};
+  std::atomic<std::uint64_t> epollout_arms{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -195,7 +211,10 @@ class WireServer::EventLoop
     auto conn = std::make_shared<Connection>(fd, server_.stats_->
         connections_accepted.fetch_add(1, std::memory_order_relaxed));
     epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    // No EPOLLOUT at rest: write interest is armed only when the kernel
+    // refuses bytes (see SetWriteInterest), so an idle or keeping-up
+    // connection never generates writability events.
+    ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
     ev.data.fd = fd;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
       MOBIVINE_LOG_ERROR << "wire: epoll_ctl(add) failed: "
@@ -217,16 +236,20 @@ class WireServer::EventLoop
     AddU64(server_.stats_->connections_closed, 1);
   }
 
-  /// Edge-triggered read pass: drain the socket, then decode/dispatch.
+  /// Edge-triggered read pass: drain the socket to EAGAIN, then decode
+  /// and dispatch. Each read() lands directly in the ring's writable
+  /// tail window — no intermediate stack chunk, no second memcpy.
   void ReadPass(const std::shared_ptr<Connection>& conn) {
     support::trace::Span span("wire.read");
-    std::uint8_t chunk[kReadChunk];
+    ByteRing& ring = conn->input();
     std::size_t total = 0;
     bool peer_closed = false;
     while (true) {
-      const ssize_t n = ::read(conn->fd(), chunk, sizeof chunk);
+      std::size_t available = 0;
+      std::uint8_t* window = ring.WriteWindow(kReadReserve, &available);
+      const ssize_t n = ::read(conn->fd(), window, available);
       if (n > 0) {
-        conn->input().Append(chunk, static_cast<std::size_t>(n));
+        ring.CommitWrite(static_cast<std::size_t>(n));
         total += static_cast<std::size_t>(n);
         continue;
       }
@@ -247,14 +270,20 @@ class WireServer::EventLoop
 
   /// Decode every complete frame in the ring and dispatch it. Pipelining
   /// is free here: each request becomes an independent gateway::Submit.
+  ///
+  /// Linearization is hoisted out of the loop: nothing inside it touches
+  /// the ring (dispatch borrows views and materializes before returning),
+  /// so `base` stays valid across frames. The generation stamp makes that
+  /// contract checkable — HandleRequest asserts it after every Submit.
   void DecodePass(const std::shared_ptr<Connection>& conn) {
     support::trace::Span span("wire.decode");
     std::int64_t frames = 0;
     ByteRing& ring = conn->input();
+    const std::uint8_t* base = ring.Contiguous();
+    const std::uint64_t generation = ring.generation();
     std::size_t offset = 0;
     bool fatal = false;
     while (!fatal) {
-      const std::uint8_t* base = ring.Contiguous();
       FrameView frame;
       std::size_t consumed = 0;
       std::string error;
@@ -278,7 +307,7 @@ class WireServer::EventLoop
         fatal = true;
         break;
       }
-      HandleRequest(conn, frame, &fatal);
+      HandleRequest(conn, frame, generation, &fatal);
       offset += consumed;
     }
     ring.Consume(offset);
@@ -292,11 +321,15 @@ class WireServer::EventLoop
   }
 
   void HandleRequest(const std::shared_ptr<Connection>& conn,
-                     const FrameView& frame, bool* fatal) {
-    WireRequest request;
+                     const FrameView& frame, std::uint64_t ring_generation,
+                     bool* fatal) {
+    // Zero-copy decode: string fields stay views into the input ring.
+    // The scratch view is a loop member so its property array's capacity
+    // survives across requests — steady state decodes allocation-free.
+    WireRequestView& view = decode_scratch_;
     std::string error;
-    switch (DecodeRequest(frame.payload, frame.payload_size, &request,
-                          &error)) {
+    switch (DecodeRequestView(frame.payload, frame.payload_size, &view,
+                              &error)) {
       case BodyStatus::kBadId:
         AddU64(server_.stats_->protocol_errors, 1);
         support::trace::Instant("wire.protocol_error");
@@ -305,7 +338,7 @@ class WireServer::EventLoop
       case BodyStatus::kBadBody: {
         AddU64(server_.stats_->decode_errors, 1);
         WireResponse response;
-        response.request_id = request.request_id;
+        response.request_id = view.request_id;
         response.status = WireStatus::kMalformedRequest;
         response.body = error;
         SendResponse(conn, response);
@@ -315,18 +348,19 @@ class WireServer::EventLoop
         break;
     }
     support::trace::Span span("wire.dispatch");
-    span.Tag("op", static_cast<std::int64_t>(request.op));
-    gateway::Request gw;
-    gw.client_id = request.client_id;
-    gw.platform = request.platform;
-    gw.op = request.op;
-    gw.target = std::move(request.target);
-    gw.payload = std::move(request.payload);
-    gw.content_type = std::move(request.content_type);
-    gw.properties = std::move(request.properties);
-    gw.timeout = std::chrono::microseconds(request.timeout_micros);
-    gw.retry.max_attempts = static_cast<int>(request.max_attempts);
-    const std::uint64_t request_id = request.request_id;
+    span.Tag("op", static_cast<std::int64_t>(view.op));
+    gateway::BorrowedRequest gw;
+    gw.client_id = view.client_id;
+    gw.platform = view.platform;
+    gw.op = view.op;
+    gw.target = view.target;
+    gw.payload = view.payload;
+    gw.content_type = view.content_type;
+    gw.properties = view.properties.data();
+    gw.property_count = view.properties.size();
+    gw.timeout = std::chrono::microseconds(view.timeout_micros);
+    gw.retry.max_attempts = static_cast<int>(view.max_attempts);
+    const std::uint64_t request_id = view.request_id;
     // The callback may run here (shed: synchronously on this loop
     // thread) or later on a shard worker — possibly after the server
     // object is gone (the contract only requires the *gateway* to be
@@ -334,8 +368,8 @@ class WireServer::EventLoop
     // it captures shared stats and a weak loop, never `this` raw.
     std::shared_ptr<WireServer::Counters> stats = server_.stats_;
     std::weak_ptr<EventLoop> weak_loop = weak_from_this();
-    gw.on_complete = [stats = std::move(stats), weak_loop, conn,
-                      request_id](const gateway::Response& completed) {
+    auto on_complete = [stats = std::move(stats), weak_loop, conn,
+                        request_id](const gateway::Response& completed) {
       if (conn->closed()) return;
       WireResponse response;
       response.request_id = request_id;
@@ -346,10 +380,15 @@ class WireServer::EventLoop
           completed.attempts < 0 ? 0 : completed.attempts);
       response.latency_micros =
           static_cast<std::uint64_t>(completed.latency.count());
-      response.body = completed.ok ? completed.payload : completed.message;
-      std::vector<std::uint8_t> bytes;
-      EncodeResponse(response, bytes);
-      if (conn->QueueOutput(std::move(bytes)) == 0) return;  // closed
+      // Encode straight into a pooled buffer, borrowing the gateway
+      // payload as the body — no WireResponse::body copy, no per-frame
+      // heap allocation at steady state.
+      const std::string& body =
+          completed.ok ? completed.payload : completed.message;
+      support::PooledBuffer buffer = support::BufferPool::WirePool().Acquire(
+          kResponseOverhead + body.size());
+      EncodeResponse(response, body, buffer.bytes());
+      if (conn->QueueOutput(std::move(buffer)) == 0) return;  // closed
       AddU64(stats->frames_out, 1);
       if (conn->ClaimNotify()) {
         if (const std::shared_ptr<EventLoop> loop = weak_loop.lock()) {
@@ -360,7 +399,14 @@ class WireServer::EventLoop
       }
     };
     AddU64(server_.stats_->requests_dispatched, 1);
-    (void)server_.gateway_.Submit(std::move(gw));
+    // Submit materializes (admitted) or sheds (callback fires inline)
+    // before returning; either way the borrowed views are done. The
+    // assert pins the lifetime contract: nothing in dispatch may have
+    // appended to, consumed from or grown the ring while views into it
+    // were live.
+    (void)server_.gateway_.Submit(gw, std::move(on_complete));
+    assert(conn->input().generation() == ring_generation);
+    (void)ring_generation;
   }
 
   /// Encode + enqueue one response; wakes the loop unless it is already
@@ -368,9 +414,10 @@ class WireServer::EventLoop
   void SendResponse(const std::shared_ptr<Connection>& conn,
                     const WireResponse& response) {
     if (conn->closed()) return;
-    std::vector<std::uint8_t> bytes;
-    EncodeResponse(response, bytes);
-    if (conn->QueueOutput(std::move(bytes)) == 0) return;  // closed: dropped
+    support::PooledBuffer buffer = support::BufferPool::WirePool().Acquire(
+        kResponseOverhead + response.body.size());
+    EncodeResponse(response, buffer.bytes());
+    if (conn->QueueOutput(std::move(buffer)) == 0) return;  // closed: dropped
     AddU64(server_.stats_->frames_out, 1);
     if (conn->ClaimNotify()) NotifyWritable(conn);
   }
@@ -386,39 +433,95 @@ class WireServer::EventLoop
     }
   }
 
-  /// Loop thread: move queued frames into the write buffer and push as
-  /// much as the kernel takes (coalesced — one write run per wakeup, not
-  /// one per response).
+  /// Loop thread: arm or disarm EPOLLOUT for this fd, eliding the
+  /// epoll_ctl when the interest set is already right. The common case —
+  /// every flush drains in one writev run — performs zero epoll_ctl
+  /// calls for the connection's whole lifetime.
+  void SetWriteInterest(const std::shared_ptr<Connection>& conn, bool want) {
+    if (conn->out_armed == want) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP | (want ? EPOLLOUT : 0u);
+    ev.data.fd = conn->fd();
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev) == 0) {
+      conn->out_armed = want;
+      if (want) AddU64(server_.stats_->epollout_arms, 1);
+    }
+  }
+
+  /// Loop thread: take queued frames onto the write run and push the
+  /// whole run with writev — one syscall covers every pipelined response
+  /// queued since the last flush, and each fully written buffer goes
+  /// back to the pool on the spot.
   void Flush(const std::shared_ptr<Connection>& conn) {
     if (conn->closed()) return;
     conn->ClearNotify();  // before TakeQueued: later appends must re-wake
-    conn->TakeQueued(conn->write_buf);
-    if (conn->write_buf.empty()) return;
+    conn->write_bytes += conn->TakeQueued(conn->write_bufs);
+    if (conn->write_bytes == 0) return;
     support::trace::Span span("wire.write");
     std::size_t written = 0;
-    while (conn->write_offset < conn->write_buf.size()) {
-      const ssize_t n =
-          ::write(conn->fd(), conn->write_buf.data() + conn->write_offset,
-                  conn->write_buf.size() - conn->write_offset);
+    bool blocked = false;
+    while (conn->write_bytes > 0) {
+      iovec iov[kMaxIov];
+      int iov_count = 0;
+      for (std::size_t i = conn->write_start;
+           i < conn->write_bufs.size() && iov_count < kMaxIov; ++i) {
+        const std::vector<std::uint8_t>& bytes = conn->write_bufs[i].bytes();
+        const std::size_t skip = i == conn->write_start ? conn->write_offset : 0;
+        iov[iov_count].iov_base =
+            const_cast<std::uint8_t*>(bytes.data() + skip);
+        iov[iov_count].iov_len = bytes.size() - skip;
+        ++iov_count;
+      }
+      const ssize_t n = ::writev(conn->fd(), iov, iov_count);
+      AddU64(server_.stats_->writev_calls, 1);
       if (n > 0) {
-        conn->write_offset += static_cast<std::size_t>(n);
-        written += static_cast<std::size_t>(n);
+        std::size_t left = static_cast<std::size_t>(n);
+        written += left;
+        conn->write_bytes -= left;
+        while (left > 0) {
+          support::PooledBuffer& front = conn->write_bufs[conn->write_start];
+          const std::size_t remaining =
+              front.bytes().size() - conn->write_offset;
+          if (left >= remaining) {
+            left -= remaining;
+            front.Release();  // fully written: back to the pool now
+            ++conn->write_start;
+            conn->write_offset = 0;
+          } else {
+            conn->write_offset += left;
+            left = 0;
+          }
+        }
         continue;
       }
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        blocked = true;
+        break;
+      }
       span.Tag("bytes", static_cast<std::int64_t>(written));
       AddU64(server_.stats_->bytes_out, written);
       Close(conn);  // broken pipe etc.
       return;
     }
-    if (conn->write_offset == conn->write_buf.size()) {
-      conn->write_buf.clear();
+    if (conn->write_bytes == 0) {
+      conn->write_bufs.clear();  // all handles released; keep capacity
+      conn->write_start = 0;
       conn->write_offset = 0;
+    } else if (conn->write_start >= kWriteRunCompactAt) {
+      conn->write_bufs.erase(
+          conn->write_bufs.begin(),
+          conn->write_bufs.begin() +
+              static_cast<std::ptrdiff_t>(conn->write_start));
+      conn->write_start = 0;
     }
+    // Writability interest tracks the kernel, not the queue: armed only
+    // when writev hit EAGAIN with bytes pending, dropped again the
+    // moment the run empties.
+    SetWriteInterest(conn, blocked && conn->write_bytes > 0);
     span.Tag("bytes", static_cast<std::int64_t>(written));
     AddU64(server_.stats_->bytes_out, written);
-    conn->SetUnsentWriteBytes(conn->write_buf.size() - conn->write_offset);
+    conn->SetUnsentWriteBytes(conn->write_bytes);
     // Watermark check on the post-flush backlog. The pause side matters
     // here too (not just in DecodePass): async completions can pile up
     // output on a connection that is not currently sending us anything.
@@ -439,6 +542,9 @@ class WireServer::EventLoop
   int wake_fd_ = -1;
   std::thread thread_;
   std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+  /// Reusable zero-copy decode target (loop thread only): its property
+  /// array keeps its capacity across requests.
+  WireRequestView decode_scratch_;
 
   std::mutex mutex_;
   bool stopping_ = false;
@@ -568,6 +674,13 @@ WireStatsSnapshot WireServer::Stats() const {
       stats_->backpressure_stalls.load(std::memory_order_relaxed);
   snap.requests_dispatched =
       stats_->requests_dispatched.load(std::memory_order_relaxed);
+  snap.writev_calls = stats_->writev_calls.load(std::memory_order_relaxed);
+  snap.epollout_arms = stats_->epollout_arms.load(std::memory_order_relaxed);
+  const support::BufferPoolStats pool = support::BufferPool::WirePool().Stats();
+  snap.pool_hits = pool.hits;
+  snap.pool_misses = pool.misses;
+  snap.pool_returns = pool.returns;
+  snap.pool_trims = pool.trims;
   return snap;
 }
 
@@ -587,6 +700,21 @@ support::MetricsRegistry::Registration WireServer::RegisterMetrics(
         sink.Counter("protocol_errors", snap.protocol_errors);
         sink.Counter("backpressure_stalls", snap.backpressure_stalls);
         sink.Counter("requests_dispatched", snap.requests_dispatched);
+        sink.Counter("writev_calls", snap.writev_calls);
+        sink.Counter("epollout_arms", snap.epollout_arms);
+        sink.Counter("pool_hits", snap.pool_hits);
+        sink.Counter("pool_misses", snap.pool_misses);
+        sink.Counter("pool_returns", snap.pool_returns);
+        sink.Counter("pool_trims", snap.pool_trims);
+        // Frame-buffer allocations per dispatched request: pool misses
+        // are the only fresh heap buffers on the frame path, so at
+        // steady state this reads 0.0 (the tentpole's no-alloc claim,
+        // live and assertable).
+        sink.Gauge("allocs_per_req",
+                   snap.requests_dispatched == 0
+                       ? 0.0
+                       : static_cast<double>(snap.pool_misses) /
+                             static_cast<double>(snap.requests_dispatched));
       });
 }
 

@@ -4,12 +4,18 @@
 // Architecture — one acceptor, N event loops:
 //
 //     acceptor thread ── accept4 ──▶ round-robin ──▶ event loop 0..N-1
-//     event loop: epoll_wait → edge-triggered reads into per-connection
-//       rings → DecodeFrame/DecodeRequest → gateway::Submit (requests
-//       pipeline freely) … completion fires on a gateway shard worker,
-//       which encodes the response, appends it to the connection's
+//     event loop: epoll_wait → edge-triggered reads landing directly in
+//       per-connection rings → DecodeFrame/DecodeRequestView (string
+//       fields are views into the ring — zero copy) → the gateway's
+//       borrowed-request Submit, which materializes only if the request
+//       is admitted (shed responses cost no string allocation)…
+//       completion fires on a gateway shard worker, which encodes the
+//       response into a pooled buffer, moves it onto the connection's
 //       bounded output queue and pokes the loop's eventfd; the loop
-//       coalesces queued frames into one write run.
+//       drains the whole run with one writev, returning each buffer to
+//       the pool as it completes. EPOLLOUT is armed only when the kernel
+//       refuses bytes and dropped as soon as the run empties, so a
+//       keeping-up connection performs no epoll_ctl at all.
 //
 // Failure containment: framing violations (bad magic/version, oversized
 // length prefix, CRC mismatch, undecodable request id) close the
@@ -74,6 +80,15 @@ struct WireStatsSnapshot {
   std::uint64_t protocol_errors = 0;  ///< framing errors (connection closed)
   std::uint64_t backpressure_stalls = 0;  ///< read pauses at the watermark
   std::uint64_t requests_dispatched = 0;  ///< handed to gateway::Submit
+  std::uint64_t writev_calls = 0;         ///< scatter-gather flush syscalls
+  std::uint64_t epollout_arms = 0;  ///< EPOLLOUT registrations (EAGAIN only)
+  // Frame-buffer pool (support::BufferPool::WirePool()), shared with the
+  // wire client in-process. `pool_misses / requests_dispatched` is the
+  // allocs-per-request figure — 0 at steady state.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;  ///< fresh heap allocations
+  std::uint64_t pool_returns = 0;
+  std::uint64_t pool_trims = 0;  ///< dropped: class full or oversized
 
   [[nodiscard]] std::uint64_t connections_active() const {
     return connections_accepted - connections_closed;

@@ -16,9 +16,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -31,6 +34,8 @@ namespace mobivine {
 namespace {
 
 using core::ErrorCode;
+using gateway::BorrowedProperty;
+using gateway::BorrowedRequest;
 using gateway::Gateway;
 using gateway::GatewayConfig;
 using gateway::GatewaySnapshot;
@@ -251,6 +256,117 @@ TEST(Gateway, SubmitAfterStopShedsImmediately) {
   };
   EXPECT_FALSE(gw.Submit(std::move(request)));
   EXPECT_TRUE(called);  // synchronously, on this thread
+}
+
+// ---------------------------------------------------------------------------
+// Borrowed submit (the wire layer's zero-copy entry point)
+// ---------------------------------------------------------------------------
+
+TEST(Gateway, BorrowedSubmitMaterializesBeforeReturning) {
+  Gateway gw(BaseConfig(1));
+  // Source buffers the views alias — heap-length strings so scribbling
+  // over them after Submit returns would corrupt any view still held.
+  std::string target =
+      std::string("http://") + gateway::kGatewayHttpHost + "/ping";
+  std::string payload = "borrowed payload, long enough to defeat SSO......";
+  std::string content_type = "text/plain; charset=utf-8";
+
+  BorrowedRequest request;
+  request.client_id = 9;
+  request.platform = Platform::kAndroid;
+  request.op = Op::kHttpGet;
+  request.target = target;
+  request.payload = payload;
+  request.content_type = content_type;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Response completed;
+  ASSERT_TRUE(gw.Submit(request, [&](const Response& response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    completed = response;
+    done = true;
+    cv.notify_one();
+  }));
+
+  // Submit has returned but the request may still be queued: the
+  // contract is that nothing retains the views past this point.
+  target.assign(target.size(), 'X');
+  payload.assign(payload.size(), 'X');
+  content_type.assign(content_type.size(), 'X');
+
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_TRUE(completed.ok) << completed.message;
+  // The scribbled buffers must not have reached the device: /ping still
+  // resolved and answered.
+  EXPECT_EQ(completed.payload, "pong");
+}
+
+TEST(Gateway, BorrowedSubmitShedsSynchronouslyAfterStop) {
+  Gateway gw(BaseConfig(1));
+  gw.Stop();
+  BorrowedRequest request;
+  request.client_id = 3;
+  request.platform = Platform::kAndroid;
+  request.op = Op::kHttpGet;
+  request.target = "http://unused.example/";
+  bool called = false;
+  EXPECT_FALSE(gw.Submit(request, [&called](const Response& response) {
+    called = true;
+    EXPECT_FALSE(response.ok);
+    EXPECT_EQ(response.error, ErrorCode::kOverloaded);
+  }));
+  EXPECT_TRUE(called);  // synchronously, on this thread — no queueing
+}
+
+TEST(Gateway, BorrowedSubmitAppliesProperties) {
+  Gateway gw(BaseConfig(1));
+  const BorrowedProperty properties[] = {
+      {"horizontalAccuracy", 25LL},
+      {"powerConsumption", std::string_view("low")},
+  };
+  BorrowedRequest request;
+  request.client_id = 1;
+  request.platform = Platform::kS60;
+  request.op = Op::kGetLocation;
+  request.properties = properties;
+  request.property_count = 2;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Response completed;
+  ASSERT_TRUE(gw.Submit(request, [&](const Response& response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    completed = response;
+    done = true;
+    cv.notify_one();
+  }));
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return done; });
+  }
+  EXPECT_TRUE(completed.ok) << completed.message;
+
+  // An unknown borrowed property hits the same descriptor validation as
+  // the owning path: uniform kIllegalArgument, one attempt.
+  const BorrowedProperty bad_properties[] = {{"noSuchProperty", 1LL}};
+  request.properties = bad_properties;
+  request.property_count = 1;
+  done = false;
+  ASSERT_TRUE(gw.Submit(request, [&](const Response& response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    completed = response;
+    done = true;
+    cv.notify_one();
+  }));
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_FALSE(completed.ok);
+  EXPECT_EQ(completed.error, ErrorCode::kIllegalArgument);
+  EXPECT_EQ(completed.attempts, 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "support/buffer_pool.h"
 #include "support/checksum.h"
 #include "support/geo_units.h"
 #include "support/histogram.h"
@@ -368,6 +371,112 @@ TEST(Histogram, TopOctaveUpperBoundSaturatesAtMax) {
   const HistogramSnapshot snap = histogram.Snapshot();
   EXPECT_EQ(snap.total(), 1u);
   EXPECT_EQ(snap.Percentile(1.0), UINT64_MAX);
+}
+
+TEST(Histogram, PercentileRankTakesPercentNotQuantile) {
+  // Regression: the wire bench passed 50.0/95.0/99.0 into Percentile(),
+  // whose argument is a quantile in [0, 1]. Everything above 1 clamps to
+  // the max, so p50 == p95 == p99 == max — the degenerate flat
+  // percentiles in early BENCH_wire.json runs. PercentileRank takes the
+  // human-facing percent form and must agree with the quantile form.
+  LatencyHistogram histogram;
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.PercentileRank(50.0), snap.Percentile(0.50));
+  EXPECT_EQ(snap.PercentileRank(95.0), snap.Percentile(0.95));
+  EXPECT_EQ(snap.PercentileRank(99.0), snap.Percentile(0.99));
+  // The spread distribution must report spread percentiles: the old bug
+  // made these all equal.
+  EXPECT_LT(snap.PercentileRank(50.0), snap.PercentileRank(95.0));
+  EXPECT_LT(snap.PercentileRank(95.0), snap.PercentileRank(99.0));
+  // And the misuse mode stays what it was: out-of-range quantiles clamp.
+  EXPECT_EQ(snap.Percentile(50.0), snap.Percentile(1.0));
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool (support/buffer_pool.h) — the wire frame-buffer pool
+// ---------------------------------------------------------------------------
+
+TEST(BufferPool, AcquireReturnsClearedBufferWithClassCapacity) {
+  BufferPool pool;
+  PooledBuffer buf = pool.Acquire(100);
+  EXPECT_TRUE(buf.bytes().empty());
+  EXPECT_GE(buf.bytes().capacity(), 512u);  // smallest class >= 100
+  EXPECT_EQ(pool.Stats().misses, 1u);
+  EXPECT_EQ(pool.Stats().hits, 0u);
+}
+
+TEST(BufferPool, ReleasedBufferIsReusedAsAHit) {
+  BufferPool pool;
+  {
+    PooledBuffer buf = pool.Acquire(1000);
+    buf.bytes().assign(1000, 0xab);
+  }  // destructor returns it
+  EXPECT_EQ(pool.PooledCount(), 1u);
+  PooledBuffer again = pool.Acquire(1000);
+  EXPECT_TRUE(again.bytes().empty());  // cleared on reuse
+  EXPECT_GE(again.bytes().capacity(), 1000u);
+  const BufferPoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.returns, 1u);
+}
+
+TEST(BufferPool, ExplicitReleaseIsIdempotentAndMoveSafe) {
+  BufferPool pool;
+  PooledBuffer buf = pool.Acquire(64);
+  PooledBuffer moved = std::move(buf);
+  buf.Release();  // moved-from: no-op
+  EXPECT_EQ(pool.PooledCount(), 0u);
+  moved.Release();
+  moved.Release();  // second release: no-op
+  EXPECT_EQ(pool.PooledCount(), 1u);
+  EXPECT_EQ(pool.Stats().returns, 1u);
+}
+
+TEST(BufferPool, GrownBufferReturnsToTheLargerClass) {
+  BufferPool pool;
+  {
+    PooledBuffer buf = pool.Acquire(512);
+    buf.bytes().resize(5000);  // grew past its class
+  }
+  EXPECT_EQ(pool.PooledCount(), 1u);
+  // The grown capacity now serves the larger class without a fresh alloc.
+  PooledBuffer big = pool.Acquire(4096);
+  EXPECT_EQ(pool.Stats().hits, 1u);
+}
+
+TEST(BufferPool, OversizeRequestsBypassThePool) {
+  BufferPool pool;
+  { PooledBuffer jumbo = pool.Acquire(4u << 20); }  // above largest class
+  EXPECT_EQ(pool.PooledCount(), 0u);  // trimmed, not pooled
+  const BufferPoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.trims, 1u);
+}
+
+TEST(BufferPool, ShelfCapBoundsPooledBuffers) {
+  BufferPool pool;
+  std::vector<PooledBuffer> held;
+  const int over_cap = static_cast<int>(BufferPool::kMaxGlobalPerClass) + 40;
+  for (int i = 0; i < over_cap; ++i) held.push_back(pool.Acquire(256));
+  held.clear();  // returns overflow the bounded global shelf
+  EXPECT_LE(pool.PooledCount(), BufferPool::kMaxGlobalPerClass);
+  EXPECT_GT(pool.Stats().trims, 0u);
+}
+
+TEST(BufferPool, ThreadCacheFlushesToGlobalTierOnThreadExit) {
+  // A thread-cache-enabled pool must make buffers released by a dying
+  // thread visible to other threads — the wire bench depends on this
+  // (warm-up client threads exit before the measured run starts).
+  BufferPool& pool = BufferPool::WirePool();
+  const std::uint64_t returns_before = pool.Stats().returns;
+  std::thread worker([&pool] {
+    PooledBuffer buf = pool.Acquire(2048);
+    buf.bytes().resize(2048);
+  });
+  worker.join();
+  EXPECT_GT(pool.Stats().returns, returns_before);
 }
 
 TEST(Histogram, PercentileRanksTrackExactValuesWithinErrorBound) {

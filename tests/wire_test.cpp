@@ -35,6 +35,7 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "core/descriptor/proxy_descriptor.h"
@@ -43,6 +44,7 @@
 #include "support/metrics.h"
 #include "support/varint.h"
 #include "wire/client.h"
+#include "wire/connection.h"
 #include "wire/protocol.h"
 #include "wire/server.h"
 
@@ -55,8 +57,10 @@ using gateway::GatewayConfig;
 using gateway::Op;
 using gateway::Platform;
 using wire::BodyStatus;
+using wire::ByteRing;
 using wire::DecodeFrame;
 using wire::DecodeRequest;
+using wire::DecodeRequestView;
 using wire::DecodeStatus;
 using wire::EncodeRequest;
 using wire::EncodeResponse;
@@ -64,6 +68,7 @@ using wire::FrameType;
 using wire::FrameView;
 using wire::WireClient;
 using wire::WireRequest;
+using wire::WireRequestView;
 using wire::WireResponse;
 using wire::WireServer;
 using wire::WireServerConfig;
@@ -405,8 +410,151 @@ TEST(WireFuzz, MutatedFramesNeverCrashTheDecoder) {
     if (status != DecodeStatus::kOk) continue;
     // A frame that still decodes must parse or fail typed — never crash.
     WireRequest decoded;
-    (void)DecodeRequest(frame.payload, frame.payload_size, &decoded, &error);
+    const BodyStatus owning =
+        DecodeRequest(frame.payload, frame.payload_size, &decoded, &error);
+    // Differential check: the zero-copy decoder must agree with the
+    // owning one, verdict for verdict, on every mutation — and, when
+    // both accept, field for field (views compared against the owned
+    // copies while the frame bytes are still alive).
+    WireRequestView view;
+    const BodyStatus borrowed =
+        DecodeRequestView(frame.payload, frame.payload_size, &view, &error);
+    ASSERT_EQ(borrowed, owning) << "iteration " << iteration;
+    if (owning != BodyStatus::kOk) {
+      if (owning == BodyStatus::kBadBody) {
+        ASSERT_EQ(view.request_id, decoded.request_id);
+      }
+      continue;
+    }
+    ASSERT_EQ(view.request_id, decoded.request_id);
+    ASSERT_EQ(view.client_id, decoded.client_id);
+    ASSERT_EQ(view.platform, decoded.platform);
+    ASSERT_EQ(view.op, decoded.op);
+    ASSERT_EQ(view.timeout_micros, decoded.timeout_micros);
+    ASSERT_EQ(view.max_attempts, decoded.max_attempts);
+    ASSERT_EQ(view.target, decoded.target);
+    ASSERT_EQ(view.payload, decoded.payload);
+    ASSERT_EQ(view.content_type, decoded.content_type);
+    ASSERT_EQ(view.properties.size(), decoded.properties.size());
+    for (std::size_t i = 0; i < view.properties.size(); ++i) {
+      const gateway::BorrowedProperty& bp = view.properties[i];
+      const auto& [name, value] = decoded.properties[i];
+      ASSERT_EQ(bp.name, name);
+      if (const auto* s = std::get_if<std::string_view>(&bp.value)) {
+        ASSERT_NE(value.AsString(), nullptr);
+        ASSERT_EQ(*s, *value.AsString());
+      } else if (const auto* n = std::get_if<long long>(&bp.value)) {
+        ASSERT_NE(value.AsInt(), nullptr);
+        ASSERT_EQ(*n, *value.AsInt());
+      } else if (const auto* d = std::get_if<double>(&bp.value)) {
+        const auto* owned = std::get_if<double>(&value.stored());
+        ASSERT_NE(owned, nullptr);
+        ASSERT_EQ(*d, *owned);
+      } else {
+        const auto* owned = std::get_if<bool>(&value.stored());
+        ASSERT_NE(owned, nullptr);
+        ASSERT_EQ(std::get<bool>(bp.value), *owned);
+      }
+    }
   }
+}
+
+// ---------------------------------------------------------------------------
+// ByteRing: the zero-copy staleness contract
+// ---------------------------------------------------------------------------
+
+TEST(WireRing, WriteWindowCommitAndConsumeMoveBytesThrough) {
+  ByteRing ring(64);
+  std::size_t available = 0;
+  std::uint8_t* window = ring.WriteWindow(16, &available);
+  ASSERT_NE(window, nullptr);
+  ASSERT_GE(available, 16u);
+  const char payload[] = "direct-read bytes";
+  std::memcpy(window, payload, sizeof payload - 1);
+  ring.CommitWrite(sizeof payload - 1);
+  ASSERT_EQ(ring.size(), sizeof payload - 1);
+  const std::uint8_t* data = ring.Contiguous();
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(data), ring.size()),
+            payload);
+  ring.Consume(7);  // "direct-"
+  data = ring.Contiguous();
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(data), ring.size()),
+            "read bytes");
+  ring.Consume(ring.size());
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(WireRing, GenerationBumpsOnConsumeGrowAndRotation) {
+  ByteRing ring(64);
+  const std::uint8_t bytes[32] = {};
+  ring.Append(bytes, sizeof bytes);
+  const std::uint64_t at_rest = ring.generation();
+  // Contiguous on unwrapped data moves nothing: views stay valid.
+  (void)ring.Contiguous();
+  EXPECT_EQ(ring.generation(), at_rest);
+
+  // Consume marks the recycle horizon — generation must advance.
+  ring.Consume(16);
+  const std::uint64_t after_consume = ring.generation();
+  EXPECT_GT(after_consume, at_rest);
+
+  // Wrap the ring (append past the end with a consumed head), then
+  // linearize: the storage rotates in place, so views move.
+  std::size_t available = 0;
+  (void)ring.WriteWindow(1, &available);
+  const std::uint8_t tail[40] = {};
+  ring.Append(tail, sizeof tail);
+  (void)ring.Contiguous();
+  const std::uint64_t after_rotate = ring.generation();
+  EXPECT_GT(after_rotate, after_consume);
+
+  // Growing reallocates the backing store — generation must advance.
+  std::vector<std::uint8_t> big(4096, 0xab);
+  ring.Append(big.data(), big.size());
+  EXPECT_GT(ring.generation(), after_rotate);
+}
+
+// The use-after-recycle canary: decode a zero-copy view out of a ring,
+// recycle the frame's bytes, and show the generation guard is exactly
+// what separates the valid window from the stale one. This is the
+// contract WireServer::HandleRequest asserts after every borrowed
+// Submit.
+TEST(WireRing, RequestViewsAreGuardedByTheGenerationCounter) {
+  WireRequest request = HttpGet(42);
+  request.payload = "canary payload that exceeds SSO length for certain";
+  std::vector<std::uint8_t> frame_bytes;
+  EncodeRequest(request, frame_bytes);
+
+  ByteRing ring(frame_bytes.size() * 2);
+  ring.Append(frame_bytes.data(), frame_bytes.size());
+
+  FrameView frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(ring.Contiguous(), ring.size(), &frame, &consumed,
+                        nullptr),
+            DecodeStatus::kOk);
+  WireRequestView view;
+  ASSERT_EQ(DecodeRequestView(frame.payload, frame.payload_size, &view,
+                              nullptr),
+            BodyStatus::kOk);
+  const std::uint64_t generation = ring.generation();
+
+  // Within the generation window the views alias live frame bytes:
+  // materializing now must observe the encoded strings.
+  ASSERT_EQ(ring.generation(), generation);
+  const std::string materialized_payload(view.payload);
+  EXPECT_EQ(materialized_payload, request.payload);
+
+  // Recycle the frame (the server does this once dispatch returns) and
+  // land fresh bytes over the old range. The guard trips: any view still
+  // held is now past the recycle horizon and must not be read.
+  ring.Consume(consumed);
+  std::vector<std::uint8_t> overwrite(frame_bytes.size(), 0x5a);
+  ring.Append(overwrite.data(), overwrite.size());
+  EXPECT_NE(ring.generation(), generation);
+
+  // The copy taken inside the window is untouched by the recycle.
+  EXPECT_EQ(materialized_payload, request.payload);
 }
 
 // ---------------------------------------------------------------------------
