@@ -5,14 +5,14 @@
 #   asan     Debug + AddressSanitizer
 #   ubsan    Debug + UndefinedBehaviorSanitizer
 #
-# The tsan preset (gateway/failover/interner/wire concurrency checking)
-# is not in the default matrix because a full-suite TSan run is slow; the
-# wire leg below runs a *filtered* TSan pass (-R 'Wire|Gateway') instead.
-# Opt in to the full suite with
+# The tsan preset (gateway/failover/interner/wire/cluster concurrency
+# checking) is not in the default matrix because a full-suite TSan run is
+# slow; the wire leg below runs a *filtered* TSan pass
+# (-R 'Cluster|Wire|Gateway') instead. Opt in to the full suite with
 #   MOBIVINE_CI_PRESETS="default asan ubsan tsan" scripts/ci.sh
 # or run it directly:
 #   cmake --preset tsan && cmake --build build-tsan -j && \
-#     ctest --test-dir build-tsan -R 'Gateway|Failover|Interner|Wire' \
+#     ctest --test-dir build-tsan -R 'Gateway|Failover|Interner|Wire|Cluster' \
 #       --output-on-failure
 set -euo pipefail
 
@@ -78,12 +78,25 @@ if [[ "${MOBIVINE_CI_WIRE_PERF:-1}" != "0" ]]; then
     scripts/wire_perf_floor.json
 fi
 
+# M-Cluster leg: the distributed topology's traced scenario (controller
+# + worker + plan-routing client, all over real loopback TCP) must
+# export cluster.* control-plane events and counters — a published plan
+# (epoch >= 1), live heartbeats, labeled cluster-ctrl/cluster-agent
+# threads — alongside the usual gateway.* and wire.* planes.
+echo "==== [cluster] traced cluster bench + export validation ===="
+./build/bench/bench_cluster_throughput "$MSCOPE_DIR/cluster_bench.json" \
+  --trace-only --trace "$MSCOPE_DIR/cluster_trace.json" \
+  --metrics "$MSCOPE_DIR/cluster_metrics.json"
+python3 scripts/validate_mscope.py \
+  "$MSCOPE_DIR/cluster_trace.json" "$MSCOPE_DIR/cluster_metrics.json" \
+  scripts/mscope_schema.json --require-wire --require-cluster
+
 if [[ "${MOBIVINE_CI_WIRE_TSAN:-1}" != "0" ]]; then
-  echo "==== [wire] tsan: Wire|Gateway suites ===="
+  echo "==== [wire] tsan: Cluster|Wire|Gateway suites ===="
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS"
-  ctest --test-dir build-tsan -R 'Wire|Gateway' -j "$JOBS" \
+  ctest --test-dir build-tsan -R 'Cluster|Wire|Gateway' -j "$JOBS" \
     --output-on-failure
 fi
 
-echo "==== all presets green: $PRESETS (+ docs, mscope, wire) ===="
+echo "==== all presets green: $PRESETS (+ docs, mscope, wire, cluster) ===="

@@ -3,7 +3,7 @@
 
 Usage:
     python3 scripts/validate_mscope.py TRACE.json METRICS.json \
-        [SCHEMA.json] [--require-wire]
+        [SCHEMA.json] [--require-wire] [--require-cluster]
 
 Stdlib-only (CI must not install packages). Two validation layers:
 
@@ -24,6 +24,12 @@ the M-Wire front-end: the schema's "wire" section lists the required
 wire.* spans and metric series plus the event-loop thread-name prefix,
 and wire.requests_dispatched must reconcile with the gateway's
 accepted+shed — every gateway submission in that run came over a socket.
+
+With --require-cluster (the cluster bench's CI leg) the export must also
+show the M-Cluster control plane: the schema's "cluster" section lists
+the required cluster.* trace events and metric series plus the
+controller/agent thread names, cluster.epoch must be >= 1 (a plan was
+published) and cluster.heartbeats > 0 (membership was live).
 
 Exit code 0 on success, 1 with a message on any failure — an empty or
 malformed export fails the build.
@@ -92,7 +98,7 @@ def check_schema(value, schema, path="$"):
 # ---------------------------------------------------------------------------
 
 
-def check_trace_semantics(trace, wire=None):
+def check_trace_semantics(trace, wire=None, cluster=None):
     events = trace["traceEvents"]
     spans = [e for e in events if e["ph"] == "X"]
     instants = [e for e in events if e["ph"] == "i"]
@@ -181,15 +187,34 @@ def check_trace_semantics(trace, wire=None):
             fail("no wire.read/wire.decode span on a wire-loop thread")
         wire_note = f", {len(wire_tids)} wire loop threads"
 
+    cluster_note = ""
+    if cluster is not None:
+        for required in cluster["required_events"]:
+            if required not in names:
+                fail(
+                    f"required cluster event {required!r} missing — "
+                    "control plane not instrumented"
+                )
+        for thread in cluster.get("thread_names", []):
+            if thread not in labels:
+                fail(
+                    f"no {thread!r} thread_name metadata — "
+                    "control-plane threads unlabeled"
+                )
+        cluster_events = sum(
+            1 for e in events if e["name"].startswith("cluster.")
+        )
+        cluster_note = f", {cluster_events} cluster events"
+
     print(
         f"validate_mscope: trace ok — {len(events)} events, "
         f"{len(gateway_spans)} gateway span names, "
         f"{len(core_spans)} core span names, {nested} nested core events"
-        f"{wire_note}"
+        f"{wire_note}{cluster_note}"
     )
 
 
-def check_metrics_semantics(metrics_doc, wire=None):
+def check_metrics_semantics(metrics_doc, wire=None, cluster=None):
     metrics = metrics_doc["metrics"]
     for name, value in metrics.items():
         if not isinstance(value, (int, float)) and value is not None:
@@ -225,9 +250,23 @@ def check_metrics_semantics(metrics_doc, wire=None):
             )
         wire_note = f", {dispatched} wire dispatches reconciled"
 
+    cluster_note = ""
+    if cluster is not None:
+        for name in cluster["required_metrics"]:
+            if name not in metrics:
+                fail(f"required cluster metric {name!r} missing")
+        if metrics["cluster.epoch"] < 1:
+            fail("cluster.epoch < 1 — no partition plan was ever published")
+        if metrics["cluster.heartbeats"] <= 0:
+            fail("cluster.heartbeats is zero — membership never went live")
+        cluster_note = (
+            f", epoch {int(metrics['cluster.epoch'])} with "
+            f"{int(metrics['cluster.heartbeats'])} heartbeats"
+        )
+
     print(
         f"validate_mscope: metrics ok — {len(metrics)} series, "
-        f"{accepted} accepted reconciled{wire_note}"
+        f"{accepted} accepted reconciled{wire_note}{cluster_note}"
     )
 
 
@@ -236,10 +275,13 @@ def main(argv):
     require_wire = "--require-wire" in args
     if require_wire:
         args.remove("--require-wire")
+    require_cluster = "--require-cluster" in args
+    if require_cluster:
+        args.remove("--require-cluster")
     if len(args) < 2:
         fail(
             f"usage: {argv[0]} TRACE.json METRICS.json [SCHEMA.json] "
-            "[--require-wire]"
+            "[--require-wire] [--require-cluster]"
         )
     trace_path, metrics_path = args[0], args[1]
     schema_path = (
@@ -252,6 +294,12 @@ def main(argv):
     wire = schema.get("wire") if require_wire else None
     if require_wire and wire is None:
         fail(f"--require-wire set but {schema_path} has no \"wire\" section")
+    cluster = schema.get("cluster") if require_cluster else None
+    if require_cluster and cluster is None:
+        fail(
+            f"--require-cluster set but {schema_path} has no "
+            '"cluster" section'
+        )
 
     for label, path, key, semantic in (
         ("trace", trace_path, "trace", check_trace_semantics),
@@ -263,7 +311,7 @@ def main(argv):
         except (OSError, json.JSONDecodeError) as e:
             fail(f"{label} file {path}: {e}")
         check_schema(document, schema[key], f"$({label})")
-        semantic(document, wire)
+        semantic(document, wire, cluster)
     print("validate_mscope: PASS")
 
 

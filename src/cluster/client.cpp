@@ -1,0 +1,392 @@
+#include "cluster/client.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "support/trace.h"
+
+namespace mobivine::cluster {
+
+namespace {
+
+/// kWrongWorker bodies carry the worker's plan epoch as a decimal string
+/// (wire/protocol.h). 0 when the body is missing or malformed — which
+/// still forces a refresh-to-anything-newer.
+std::uint64_t ParseEpochBody(const std::string& body) {
+  if (body.empty()) return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(body.c_str(), &end, 10);
+  if (end == body.c_str()) return 0;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+Client::Client(ClientConfig config) : config_(config) {}
+
+Client::~Client() { Stop(); }
+
+bool Client::Start(std::string* error) {
+  if (started_.load(std::memory_order_acquire)) {
+    if (error) *error = "cluster client already started";
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    if (!control_.Connect(config_.controller_port, config_.connect, error)) {
+      return false;
+    }
+  }
+  if (!RefreshPlanAtLeast(1)) {
+    if (error) *error = "controller has no partition plan (no workers yet)";
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    control_.Close();
+    return false;
+  }
+  closing_.store(false, std::memory_order_release);
+  started_.store(true, std::memory_order_release);
+  return true;
+}
+
+void Client::Stop() {
+  closing_.store(true, std::memory_order_release);
+  started_.store(false, std::memory_order_release);
+  std::unordered_map<std::uint64_t, std::shared_ptr<wire::WireClient>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns.swap(conns_);
+  }
+  for (auto& [worker_id, conn] : conns) conn->Close();
+  DrainGraveyard();
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  control_.Close();
+}
+
+ClientStats Client::Stats() const {
+  ClientStats stats;
+  stats.calls = calls_.load(std::memory_order_relaxed);
+  stats.wrong_worker_retries =
+      wrong_worker_retries_.load(std::memory_order_relaxed);
+  stats.transport_retries = transport_retries_.load(std::memory_order_relaxed);
+  stats.plan_refreshes = plan_refreshes_.load(std::memory_order_relaxed);
+  stats.exhausted = exhausted_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::uint64_t Client::OwnerOf(std::uint64_t client_id) const {
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  if (plan_.members.empty()) return 0;
+  return ring_.OwnerFor(client_id);
+}
+
+bool Client::Resolve(std::uint64_t client_id, Route* route) {
+  std::uint64_t worker_id = 0;
+  std::uint16_t data_port = 0;
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    if (plan_.epoch == 0 || ring_.empty()) return false;
+    worker_id = ring_.OwnerFor(client_id);
+    for (const PlanMember& member : plan_.members) {
+      if (member.worker_id == worker_id) {
+        data_port = member.data_port;
+        break;
+      }
+    }
+    route->epoch = plan_.epoch;
+  }
+  if (data_port == 0) return false;
+  route->worker_id = worker_id;
+
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    const auto it = conns_.find(worker_id);
+    if (it != conns_.end()) {
+      if (it->second->connected()) {
+        route->conn = it->second;
+        return true;
+      }
+      graveyard_.push_back(std::move(it->second));
+      conns_.erase(it);
+    }
+  }
+
+  // Dial outside conns_mutex_ (a connect can take the full timeout).
+  auto conn = std::make_shared<wire::WireClient>();
+  std::string error;
+  if (!conn->Connect(data_port, config_.connect, &error)) return false;
+
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  auto [it, inserted] = conns_.emplace(worker_id, conn);
+  if (!inserted) {
+    // Another thread dialed the same worker first; keep theirs.
+    conn->Close();
+    route->conn = it->second;
+    return true;
+  }
+  route->conn = std::move(conn);
+  return true;
+}
+
+bool Client::RefreshPlanAtLeast(std::uint64_t min_epoch) {
+  if (min_epoch != 0 &&
+      plan_epoch_.load(std::memory_order_acquire) >= min_epoch) {
+    return true;  // another thread already refreshed past the target
+  }
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  if (min_epoch != 0 &&
+      plan_epoch_.load(std::memory_order_acquire) >= min_epoch) {
+    return true;
+  }
+  if (!control_.connected()) {
+    std::string error;
+    if (!control_.Connect(config_.controller_port, config_.connect, &error)) {
+      return false;
+    }
+  }
+  ControlMessage request;
+  request.op = ControlOp::kPlanGet;
+  ControlMessage reply;
+  std::string error;
+  const bool ok = control_.Roundtrip(
+      std::move(request), &reply, config_.control_timeout_us, &error,
+      [this](const ControlMessage& push) {
+        if (push.op == ControlOp::kPlanPush) ApplyPlan(push.plan);
+      });
+  if (!ok) {
+    control_.Close();  // dead control link; next refresh re-dials
+    return false;
+  }
+  if (reply.op != ControlOp::kPlanPush) return false;
+  ApplyPlan(reply.plan);
+  plan_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  support::trace::Instant("cluster.client_plan_refresh", "epoch",
+                          static_cast<std::int64_t>(reply.plan.epoch));
+  return plan_epoch_.load(std::memory_order_acquire) >= min_epoch;
+}
+
+void Client::ApplyPlan(const PartitionPlan& plan) {
+  std::vector<std::uint64_t> stale;
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    if (plan.epoch <= plan_.epoch) return;
+    plan_ = plan;
+    ring_.Rebuild(plan_);
+    plan_epoch_.store(plan_.epoch, std::memory_order_release);
+  }
+  // Prune cached connections to workers that left the plan — their
+  // sockets may linger half-dead (a drained worker exits eventually);
+  // better to drop them now than discover it with a failed call.
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    bool planned = false;
+    for (const PlanMember& member : plan.members) {
+      if (member.worker_id == it->first) {
+        planned = true;
+        break;
+      }
+    }
+    if (planned) {
+      ++it;
+    } else {
+      graveyard_.push_back(std::move(it->second));
+      it = conns_.erase(it);
+    }
+  }
+}
+
+void Client::DropConn(std::uint64_t worker_id,
+                      const std::shared_ptr<wire::WireClient>& conn) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  const auto it = conns_.find(worker_id);
+  if (it != conns_.end() && it->second == conn) {
+    graveyard_.push_back(std::move(it->second));
+    conns_.erase(it);
+  }
+}
+
+void Client::DrainGraveyard() {
+  std::vector<std::shared_ptr<wire::WireClient>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    dead.swap(graveyard_);
+  }
+  for (auto& conn : dead) conn->Close();  // joins reader threads
+}
+
+bool Client::Call(const wire::WireRequest& request,
+                  wire::WireResponse* response) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  DrainGraveyard();
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (closing_.load(std::memory_order_acquire)) break;
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.retry_backoff_us));
+    }
+    Route route;
+    if (!Resolve(request.client_id, &route)) {
+      transport_retries_.fetch_add(1, std::memory_order_relaxed);
+      (void)RefreshPlanAtLeast(0);
+      continue;
+    }
+    wire::WireResponse reply;
+    if (!route.conn->Call(request, &reply)) {
+      // Transport death: drop the conn, refresh (the controller may
+      // already know), try again.
+      transport_retries_.fetch_add(1, std::memory_order_relaxed);
+      support::trace::Instant("cluster.client_transport_retry");
+      DropConn(route.worker_id, route.conn);
+      DrainGraveyard();
+      (void)RefreshPlanAtLeast(0);
+      continue;
+    }
+    if (reply.status == wire::WireStatus::kWrongWorker) {
+      // Refresh past the epoch the worker stamped; when we already hold
+      // it (a fenced worker whose leave the controller has not processed
+      // yet), force a real fetch for the NEXT epoch — retrying the same
+      // plan would just bounce off the same fence.
+      wrong_worker_retries_.fetch_add(1, std::memory_order_relaxed);
+      support::trace::Instant("cluster.client_wrong_worker");
+      std::uint64_t want = ParseEpochBody(reply.body);
+      const std::uint64_t held = plan_epoch_.load(std::memory_order_acquire);
+      if (want <= held) want = held + 1;
+      (void)RefreshPlanAtLeast(want);
+      continue;
+    }
+    *response = std::move(reply);
+    return true;
+  }
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  if (response != nullptr) {
+    response->status = wire::WireStatus::kTransportError;
+    response->body = "cluster route attempts exhausted";
+  }
+  return false;
+}
+
+bool Client::Submit(const wire::WireRequest& request, Callback callback) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  DrainGraveyard();
+  SubmitAttempt(request, 0, std::move(callback));
+  return true;
+}
+
+void Client::SubmitAttempt(const wire::WireRequest& request, int attempt,
+                           Callback callback) {
+  if (attempt >= config_.max_attempts ||
+      closing_.load(std::memory_order_acquire)) {
+    if (attempt >= config_.max_attempts) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    wire::WireResponse failure;
+    failure.request_id = request.request_id;
+    failure.status = wire::WireStatus::kTransportError;
+    failure.body = "cluster route attempts exhausted";
+    callback(failure);
+    return;
+  }
+  if (attempt > 0) {
+    // Same pacing as Call(). This can run on a reader thread, delaying
+    // that connection's other callbacks by one backoff — acceptable:
+    // retries only happen mid-plan-change, when that connection's
+    // responses are stalled anyway.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.retry_backoff_us));
+  }
+  Route route;
+  if (!Resolve(request.client_id, &route)) {
+    transport_retries_.fetch_add(1, std::memory_order_relaxed);
+    (void)RefreshPlanAtLeast(0);
+    SubmitAttempt(request, attempt + 1, std::move(callback));
+    return;
+  }
+  auto conn = route.conn;
+  const bool sent =
+      conn->Submit(request, RetryCallback(request, attempt, std::move(callback),
+                                          route.worker_id, conn));
+  if (!sent) {
+    // Submit already fired the callback (with kTransportError), which
+    // re-routed above; nothing more to do here.
+  }
+}
+
+Client::Callback Client::RetryCallback(const wire::WireRequest& request,
+                                       int attempt, Callback callback,
+                                       std::uint64_t worker_id,
+                                       std::shared_ptr<wire::WireClient> conn) {
+  // This wrapper runs on conn's reader thread. Re-routing from there is
+  // allowed — RefreshPlanAtLeast and Resolve touch the control channel
+  // and OTHER connections; the one thing forbidden is Close()ing conn
+  // itself, which is why failures park it in the graveyard instead
+  // (drained later from user threads).
+  return [this, request, attempt, worker_id, conn = std::move(conn),
+          callback =
+              std::move(callback)](const wire::WireResponse& reply) mutable {
+    if (reply.status == wire::WireStatus::kWrongWorker &&
+        !closing_.load(std::memory_order_acquire)) {
+      wrong_worker_retries_.fetch_add(1, std::memory_order_relaxed);
+      support::trace::Instant("cluster.client_wrong_worker");
+      std::uint64_t want = ParseEpochBody(reply.body);
+      const std::uint64_t held = plan_epoch_.load(std::memory_order_acquire);
+      if (want <= held) want = held + 1;
+      (void)RefreshPlanAtLeast(want);
+      SubmitAttempt(request, attempt + 1, std::move(callback));
+      return;
+    }
+    if (reply.status == wire::WireStatus::kTransportError &&
+        !closing_.load(std::memory_order_acquire)) {
+      transport_retries_.fetch_add(1, std::memory_order_relaxed);
+      support::trace::Instant("cluster.client_transport_retry");
+      DropConn(worker_id, conn);
+      (void)RefreshPlanAtLeast(0);
+      SubmitAttempt(request, attempt + 1, std::move(callback));
+      return;
+    }
+    callback(reply);
+  };
+}
+
+std::size_t Client::SubmitBatch(const std::vector<wire::WireRequest>& requests,
+                                const Callback& callback) {
+  calls_.fetch_add(requests.size(), std::memory_order_relaxed);
+  DrainGraveyard();
+  // Group by owning worker so each connection gets one contiguous
+  // write. Requests whose owner cannot be resolved right now skip the
+  // batch and enter the normal retry path (attempt 1: the failed
+  // resolve was their first).
+  struct Group {
+    std::shared_ptr<wire::WireClient> conn;
+    std::vector<wire::WireRequest> requests;
+    std::vector<Callback> callbacks;
+  };
+  std::unordered_map<std::uint64_t, Group> groups;
+  const auto shared = std::make_shared<const Callback>(callback);
+  for (const wire::WireRequest& request : requests) {
+    Callback once = [shared](const wire::WireResponse& reply) {
+      (*shared)(reply);
+    };
+    Route route;
+    if (!Resolve(request.client_id, &route)) {
+      transport_retries_.fetch_add(1, std::memory_order_relaxed);
+      (void)RefreshPlanAtLeast(0);
+      SubmitAttempt(request, 1, std::move(once));
+      continue;
+    }
+    Group& group = groups[route.worker_id];
+    if (!group.conn) group.conn = route.conn;
+    group.callbacks.push_back(RetryCallback(request, 0, std::move(once),
+                                            route.worker_id, route.conn));
+    group.requests.push_back(request);
+  }
+  for (auto& [worker_id, group] : groups) {
+    // A failed write fires the parked RetryCallbacks with
+    // kTransportError, which re-route — every request's callback still
+    // fires exactly once.
+    (void)group.conn->SubmitBatch(group.requests, std::move(group.callbacks));
+  }
+  return requests.size();
+}
+
+}  // namespace mobivine::cluster

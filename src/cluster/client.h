@@ -1,0 +1,173 @@
+// M-Cluster client: plan-aware routing on top of wire::WireClient.
+//
+// The client fetches the partition plan from the controller once
+// (kPlanGet), then routes every request DIRECTLY to the owning worker —
+// the controller is never on the data path. Routing is the same
+// consistent-hash lookup the workers run (cluster/plan.h), keyed on
+// WireRequest::client_id, so in steady state a request hits the right
+// worker on the first try and costs exactly what a plain WireClient
+// call costs plus one binary search.
+//
+// Staleness is repaired in-band, not by polling: a worker that no longer
+// owns the key answers WireStatus::kWrongWorker with ITS plan epoch as
+// the body, and the client refreshes until it holds at least that epoch,
+// re-routes, and retries — a bounded loop (RouteOptions::max_attempts),
+// with a small backoff once the plan stops changing (covers the window
+// where a worker has fenced but the controller has not yet republished).
+// A dead worker surfaces as kTransportError; same loop, plus the
+// connection is dropped so the next attempt re-dials.
+//
+// Connections are cached per worker id and shared (WireClient pipelines
+// freely). A dropped connection is never Close()d from a reader-thread
+// callback (WireClient forbids it — Close joins the reader); it moves to
+// a graveyard that user threads drain on their next call. Submit() is
+// fully pipelined and performs the same bounded re-route from the
+// callback path, so a closed-loop bench window keeps its depth across a
+// plan change.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/control.h"
+#include "cluster/plan.h"
+#include "wire/client.h"
+#include "wire/protocol.h"
+
+namespace mobivine::cluster {
+
+struct ClientConfig {
+  std::uint16_t controller_port = 0;
+  /// Dialing the controller and workers.
+  wire::ConnectOptions connect{.connect_timeout =
+                                   std::chrono::microseconds(2'000'000),
+                               .max_attempts = 3,
+                               .initial_backoff =
+                                   std::chrono::microseconds(25'000)};
+  /// Route attempts per request before giving up (first try included).
+  int max_attempts = 8;
+  /// Backoff between attempts when the plan has not advanced.
+  std::uint64_t retry_backoff_us = 25'000;
+  /// Deadline for each control-plane roundtrip (plan fetches).
+  std::uint64_t control_timeout_us = 2'000'000;
+};
+
+struct ClientStats {
+  std::uint64_t calls = 0;
+  std::uint64_t wrong_worker_retries = 0;
+  std::uint64_t transport_retries = 0;
+  std::uint64_t plan_refreshes = 0;
+  std::uint64_t exhausted = 0;  ///< requests that ran out of attempts
+};
+
+class Client {
+ public:
+  using Callback = wire::WireClient::Callback;
+
+  explicit Client(ClientConfig config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the controller and fetch the initial plan. False (with
+  /// `error`) when the controller is unreachable or has no members yet.
+  [[nodiscard]] bool Start(std::string* error = nullptr);
+
+  /// Close every worker connection and the control channel. Idempotent.
+  /// In-flight Submit callbacks fire with kTransportError.
+  void Stop();
+
+  /// Synchronous routed call. False only when every attempt failed;
+  /// protocol-level errors (kInvalidRequest etc.) come back as response
+  /// statuses on the first try — only kWrongWorker and kTransportError
+  /// are retried.
+  bool Call(const wire::WireRequest& request, wire::WireResponse* response);
+
+  /// Pipelined routed send: the callback fires exactly once, from a
+  /// worker connection's reader thread, after internal re-routing. Keep
+  /// callbacks short (same contract as WireClient::Submit).
+  bool Submit(const wire::WireRequest& request, Callback callback);
+
+  /// Routed batch: resolve every request's owner, then issue ONE
+  /// coalesced write per worker connection
+  /// (WireClient::SubmitBatch) — without this, fanning a request
+  /// stream out over N workers trades away the write batching that
+  /// dominates loopback throughput. `callback` fires exactly once per
+  /// request (any order, reader threads), and each request keeps the
+  /// same bounded re-route as Submit(). Returns requests.size().
+  std::size_t SubmitBatch(const std::vector<wire::WireRequest>& requests,
+                          const Callback& callback);
+
+  [[nodiscard]] std::uint64_t plan_epoch() const {
+    return plan_epoch_.load(std::memory_order_acquire);
+  }
+  /// The worker id `client_id` routes to under the currently held plan
+  /// (0 when no plan). Locality introspection: callers that batch work
+  /// per backend — or pin per-connection pipelining windows — group by
+  /// this without a round trip.
+  [[nodiscard]] std::uint64_t OwnerOf(std::uint64_t client_id) const;
+  [[nodiscard]] ClientStats Stats() const;
+
+ private:
+  struct Route {
+    std::shared_ptr<wire::WireClient> conn;
+    std::uint64_t worker_id = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Resolve client_id -> (worker, live connection) under the current
+  /// plan, dialing if needed. False when the owner is unreachable (the
+  /// caller refreshes and retries).
+  bool Resolve(std::uint64_t client_id, Route* route);
+  /// Fetch plans from the controller until epoch >= min_epoch or the
+  /// control deadline passes. min_epoch 0 = any newer plan is fine.
+  bool RefreshPlanAtLeast(std::uint64_t min_epoch);
+  void ApplyPlan(const PartitionPlan& plan);
+  /// Drop a (presumed dead) connection: unmap it and park it in the
+  /// graveyard. Safe from reader-thread callbacks.
+  void DropConn(std::uint64_t worker_id,
+                const std::shared_ptr<wire::WireClient>& conn);
+  /// Close + destroy parked connections. User threads only.
+  void DrainGraveyard();
+  /// One asynchronous attempt; re-routes from the callback on
+  /// kWrongWorker / kTransportError until attempts run out.
+  void SubmitAttempt(const wire::WireRequest& request, int attempt,
+                     Callback callback);
+  /// The completion wrapper SubmitAttempt parks on a connection: passes
+  /// terminal replies through to `callback`, re-routes kWrongWorker /
+  /// kTransportError via SubmitAttempt(attempt + 1).
+  Callback RetryCallback(const wire::WireRequest& request, int attempt,
+                         Callback callback, std::uint64_t worker_id,
+                         std::shared_ptr<wire::WireClient> conn);
+
+  const ClientConfig config_;
+
+  std::mutex control_mutex_;  ///< serializes the ControlChannel
+  ControlChannel control_;
+
+  mutable std::mutex plan_mutex_;
+  PartitionPlan plan_;
+  HashRing ring_;
+  std::atomic<std::uint64_t> plan_epoch_{0};
+
+  std::mutex conns_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<wire::WireClient>> conns_;
+  std::vector<std::shared_ptr<wire::WireClient>> graveyard_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> closing_{false};
+
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> wrong_worker_retries_{0};
+  std::atomic<std::uint64_t> transport_retries_{0};
+  std::atomic<std::uint64_t> plan_refreshes_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
+};
+
+}  // namespace mobivine::cluster

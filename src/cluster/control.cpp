@@ -1,0 +1,309 @@
+#include "cluster/control.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "support/varint.h"
+
+namespace mobivine::cluster {
+
+namespace {
+
+using support::GetVarint;
+using support::PutVarint;
+using support::VarintStatus;
+
+/// Plans are small (a handful of workers), but the decoder still bounds
+/// the count before reserving — same discipline as the data plane's caps.
+constexpr std::uint64_t kMaxPlanMembers = 4096;
+
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+void PutString(std::vector<std::uint8_t>& out, const std::string& s) {
+  PutVarint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Minimal sequential payload reader (the data-plane Reader is file-local
+/// to protocol.cpp; control frames need only these three getters).
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool Varint(std::uint64_t* value) {
+    std::size_t consumed = 0;
+    if (GetVarint(data + pos, size - pos, value, &consumed) !=
+        VarintStatus::kOk) {
+      return false;
+    }
+    pos += consumed;
+    return true;
+  }
+
+  bool Byte(std::uint8_t* value) {
+    if (pos >= size) return false;
+    *value = data[pos++];
+    return true;
+  }
+
+  bool String(std::string* value) {
+    std::uint64_t len = 0;
+    if (!Varint(&len)) return false;
+    if (len > wire::kMaxStringBytes || len > size - pos) return false;
+    value->assign(reinterpret_cast<const char*>(data + pos),
+                  static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+    return true;
+  }
+};
+
+[[nodiscard]] bool Fail(std::string* error, const char* why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+const char* ToString(ControlOp op) {
+  switch (op) {
+    case ControlOp::kRegister:
+      return "register";
+    case ControlOp::kRegisterAck:
+      return "register-ack";
+    case ControlOp::kHeartbeat:
+      return "heartbeat";
+    case ControlOp::kHeartbeatAck:
+      return "heartbeat-ack";
+    case ControlOp::kPlanGet:
+      return "plan-get";
+    case ControlOp::kPlanPush:
+      return "plan-push";
+    case ControlOp::kLeave:
+      return "leave";
+    case ControlOp::kLeaveAck:
+      return "leave-ack";
+    case ControlOp::kDrain:
+      return "drain";
+    case ControlOp::kDrainAck:
+      return "drain-ack";
+    case ControlOp::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void EncodeControl(const ControlMessage& message,
+                   std::vector<std::uint8_t>& out) {
+  const std::size_t frame_start = out.size();
+  PutVarint(out, message.correlation_id);
+  out.push_back(static_cast<std::uint8_t>(message.op));
+  PutVarint(out, message.worker_id);
+  PutVarint(out, message.data_port);
+  PutVarint(out, message.epoch);
+  out.push_back(static_cast<std::uint8_t>(message.status));
+  PutVarint(out, message.plan.epoch);
+  PutVarint(out, message.plan.members.size());
+  for (const PlanMember& member : message.plan.members) {
+    PutVarint(out, member.worker_id);
+    PutVarint(out, member.data_port);
+  }
+  PutString(out, message.message);
+  wire::FinishFrame(out, frame_start, wire::FrameType::kControl);
+}
+
+bool DecodeControl(const std::uint8_t* payload, std::size_t size,
+                   ControlMessage* message, std::string* error) {
+  Reader reader{payload, size};
+  std::uint8_t op = 0;
+  std::uint8_t status = 0;
+  std::uint64_t member_count = 0;
+  if (!reader.Varint(&message->correlation_id) || !reader.Byte(&op)) {
+    return Fail(error, "control: truncated header");
+  }
+  if (op < static_cast<std::uint8_t>(ControlOp::kRegister) ||
+      op > static_cast<std::uint8_t>(ControlOp::kError)) {
+    return Fail(error, "control: unknown op");
+  }
+  message->op = static_cast<ControlOp>(op);
+  if (!reader.Varint(&message->worker_id) ||
+      !reader.Varint(&message->data_port) || !reader.Varint(&message->epoch) ||
+      !reader.Byte(&status)) {
+    return Fail(error, "control: truncated fields");
+  }
+  if (status > static_cast<std::uint8_t>(AckStatus::kRejected)) {
+    return Fail(error, "control: unknown ack status");
+  }
+  if (message->data_port > 0xffff) {
+    return Fail(error, "control: data_port out of range");
+  }
+  message->status = static_cast<AckStatus>(status);
+  if (!reader.Varint(&message->plan.epoch) || !reader.Varint(&member_count)) {
+    return Fail(error, "control: truncated plan");
+  }
+  if (member_count > kMaxPlanMembers) {
+    return Fail(error, "control: plan member count over cap");
+  }
+  message->plan.members.clear();
+  message->plan.members.reserve(static_cast<std::size_t>(member_count));
+  for (std::uint64_t i = 0; i < member_count; ++i) {
+    PlanMember member;
+    std::uint64_t port = 0;
+    if (!reader.Varint(&member.worker_id) || !reader.Varint(&port)) {
+      return Fail(error, "control: truncated plan member");
+    }
+    if (port > 0xffff) return Fail(error, "control: member port out of range");
+    member.data_port = static_cast<std::uint16_t>(port);
+    message->plan.members.push_back(member);
+  }
+  if (!reader.String(&message->message)) {
+    return Fail(error, "control: bad message string");
+  }
+  if (reader.pos != reader.size) {
+    return Fail(error, "control: trailing bytes");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ControlChannel
+// ---------------------------------------------------------------------------
+
+ControlChannel::~ControlChannel() { Close(); }
+
+bool ControlChannel::Connect(std::uint16_t port,
+                             const wire::ConnectOptions& options,
+                             std::string* error) {
+  Close();
+  fd_ = wire::ConnectLoopback(port, options, error);
+  carry_.clear();
+  return fd_ >= 0;
+}
+
+void ControlChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  carry_.clear();
+}
+
+bool ControlChannel::Send(const ControlMessage& message, std::string* error) {
+  if (fd_ < 0) return Fail(error, "control channel not connected");
+  scratch_.clear();
+  EncodeControl(message, scratch_);
+  std::size_t off = 0;
+  while (off < scratch_.size()) {
+    const ssize_t w = ::write(fd_, scratch_.data() + off, scratch_.size() - off);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    Close();
+    return Fail(error, "control send failed");
+  }
+  return true;
+}
+
+bool ControlChannel::Receive(ControlMessage* message, std::uint64_t timeout_us,
+                             std::string* error, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  if (fd_ < 0) return Fail(error, "control channel not connected");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us);
+  while (true) {
+    // Decode first: a complete frame may already sit in the carry.
+    wire::FrameView frame;
+    std::size_t consumed = 0;
+    std::string frame_error;
+    const wire::DecodeStatus status = wire::DecodeFrame(
+        carry_.data(), carry_.size(), &frame, &consumed, &frame_error);
+    if (status == wire::DecodeStatus::kMalformed) {
+      Close();
+      return Fail(error, "control: malformed frame");
+    }
+    if (status == wire::DecodeStatus::kOk) {
+      bool ok = false;
+      if (frame.type == wire::FrameType::kControl) {
+        ok = DecodeControl(frame.payload, frame.payload_size, message, error);
+      } else if (frame.type == wire::FrameType::kResponse) {
+        // A data-plane peer that answered our control frame in-band:
+        // surface it as a typed failure, not a hang.
+        wire::WireResponse response;
+        if (DecodeResponse(frame.payload, frame.payload_size, &response,
+                           nullptr) &&
+            response.status == wire::WireStatus::kUnsupportedFrame) {
+          (void)Fail(error, "peer does not speak the control plane");
+        } else {
+          (void)Fail(error, "control: unexpected response frame");
+        }
+      } else {
+        // Unknown or data frame on the control channel: skip it — the
+        // same forward-compatibility stance as the data-plane client.
+        carry_.erase(carry_.begin(),
+                     carry_.begin() + static_cast<std::ptrdiff_t>(consumed));
+        continue;
+      }
+      carry_.erase(carry_.begin(),
+                   carry_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      return ok;
+    }
+    // kNeedMore: wait for bytes within the deadline.
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      if (timed_out != nullptr) *timed_out = true;
+      return Fail(error, "control receive timed out");
+    }
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc =
+        ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Fail(error, "control poll failed");
+    }
+    if (rc == 0) {
+      if (timed_out != nullptr) *timed_out = true;
+      return Fail(error, "control receive timed out");
+    }
+    std::uint8_t chunk[kReadChunk];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      return Fail(error, "control connection closed");
+    }
+    carry_.insert(carry_.end(), chunk, chunk + n);
+  }
+}
+
+bool ControlChannel::Roundtrip(
+    ControlMessage request, ControlMessage* reply, std::uint64_t timeout_us,
+    std::string* error,
+    const std::function<void(const ControlMessage&)>& on_push) {
+  request.correlation_id = next_correlation_++;
+  if (!Send(request, error)) return false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us);
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return Fail(error, "control roundtrip timed out");
+    const auto left =
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
+    if (!Receive(reply, static_cast<std::uint64_t>(left.count()), error)) {
+      return false;
+    }
+    if (reply->correlation_id == request.correlation_id) return true;
+    if (on_push) on_push(*reply);
+  }
+}
+
+}  // namespace mobivine::cluster

@@ -1,0 +1,75 @@
+// M-Cluster controller process.
+//
+//   cluster_controller [--port=P]
+//
+// Starts the membership/plan authority, prints
+//
+//     PORT=<control port>
+//     READY
+//
+// on stdout (the harness parses exactly these lines), and runs until
+// SIGTERM/SIGINT. On exit it prints a one-line stats summary to stderr —
+// handy when a harness run leaves a log behind.
+#include <signal.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "cluster/controller.h"
+
+namespace {
+
+volatile sig_atomic_t g_terminate = 0;
+
+void OnSignal(int) { g_terminate = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mobivine;
+
+  std::uint16_t port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = static_cast<std::uint16_t>(std::strtoul(argv[i] + 7, nullptr, 10));
+    }
+  }
+
+  struct sigaction action {};
+  action.sa_handler = OnSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  cluster::ControllerConfig config;
+  config.port = port;
+  cluster::Controller controller(config);
+  std::string error;
+  if (!controller.Start(&error)) {
+    std::fprintf(stderr, "controller start failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("PORT=%u\nREADY\n", controller.port());
+  std::fflush(stdout);
+
+  while (!g_terminate) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  const cluster::ControllerStatsSnapshot stats = controller.Stats();
+  controller.Stop();
+  std::fprintf(stderr,
+               "controller: epoch=%llu registers=%llu heartbeats=%llu "
+               "pushes=%llu leaves=%llu deaths=%llu\n",
+               static_cast<unsigned long long>(stats.epoch),
+               static_cast<unsigned long long>(stats.registers),
+               static_cast<unsigned long long>(stats.heartbeats),
+               static_cast<unsigned long long>(stats.plan_pushes),
+               static_cast<unsigned long long>(stats.leaves),
+               static_cast<unsigned long long>(stats.deaths));
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+
+namespace mobivine::cluster {
+
+const char* ToString(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kAlive:
+      return "alive";
+    case WorkerHealth::kSuspect:
+      return "suspect";
+    case WorkerHealth::kDead:
+      return "dead";
+    case WorkerHealth::kLeft:
+      return "left";
+  }
+  return "unknown";
+}
+
+Membership::Membership(MembershipConfig config) : config_(config) {}
+
+RegisterOutcome Membership::Register(std::uint64_t worker_id,
+                                     std::uint16_t data_port,
+                                     std::uint64_t now_us) {
+  if (worker_id == 0) return RegisterOutcome::kRejected;
+  const auto it = workers_.find(worker_id);
+  RegisterOutcome outcome = RegisterOutcome::kJoined;
+  if (it != workers_.end()) {
+    const bool was_planned = it->second.health == WorkerHealth::kAlive ||
+                             it->second.health == WorkerHealth::kSuspect;
+    // A live id re-registering is a restart that beat our failure
+    // detector: latest wins (the old endpoint is gone), and the epoch
+    // must bump even if the port happens to match — routers cache
+    // connections per plan epoch and need the nudge to re-dial.
+    outcome = was_planned ? RegisterOutcome::kReplaced
+                          : RegisterOutcome::kRejoined;
+  }
+  workers_[worker_id] =
+      WorkerState{data_port, WorkerHealth::kAlive, now_us};
+  RebuildPlan();
+  return outcome;
+}
+
+bool Membership::Heartbeat(std::uint64_t worker_id, std::uint64_t now_us) {
+  const auto it = workers_.find(worker_id);
+  if (it == workers_.end()) return false;
+  WorkerState& worker = it->second;
+  if (worker.health == WorkerHealth::kDead ||
+      worker.health == WorkerHealth::kLeft) {
+    return false;  // already removed from the plan: must re-register
+  }
+  // Suspect -> alive without touching the plan: the member never left it
+  // (the half-open probe succeeded, in breaker terms).
+  worker.health = WorkerHealth::kAlive;
+  worker.last_heartbeat_us = now_us;
+  return true;
+}
+
+bool Membership::Remove(std::uint64_t worker_id, WorkerHealth terminal) {
+  const auto it = workers_.find(worker_id);
+  if (it == workers_.end()) return false;
+  WorkerState& worker = it->second;
+  const bool planned = worker.health == WorkerHealth::kAlive ||
+                       worker.health == WorkerHealth::kSuspect;
+  worker.health = terminal == WorkerHealth::kLeft ? WorkerHealth::kLeft
+                                                  : WorkerHealth::kDead;
+  if (!planned) return false;
+  RebuildPlan();
+  return true;
+}
+
+bool Membership::Tick(std::uint64_t now_us) {
+  const std::uint64_t suspect_after =
+      config_.heartbeat_interval_us *
+      static_cast<std::uint64_t>(config_.suspect_after_misses);
+  const std::uint64_t dead_after =
+      config_.heartbeat_interval_us *
+      static_cast<std::uint64_t>(config_.dead_after_misses);
+  bool plan_changed = false;
+  for (auto& [worker_id, worker] : workers_) {
+    if (worker.health == WorkerHealth::kDead ||
+        worker.health == WorkerHealth::kLeft) {
+      continue;
+    }
+    const std::uint64_t silent =
+        now_us > worker.last_heartbeat_us ? now_us - worker.last_heartbeat_us
+                                          : 0;
+    if (silent >= dead_after) {
+      worker.health = WorkerHealth::kDead;
+      plan_changed = true;
+    } else if (silent >= suspect_after) {
+      worker.health = WorkerHealth::kSuspect;  // planned; no epoch change
+    }
+  }
+  if (plan_changed) RebuildPlan();
+  return plan_changed;
+}
+
+WorkerHealth Membership::health(std::uint64_t worker_id) const {
+  const auto it = workers_.find(worker_id);
+  return it == workers_.end() ? WorkerHealth::kLeft : it->second.health;
+}
+
+std::size_t Membership::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, worker] : workers_) {
+    if (worker.health == WorkerHealth::kAlive) ++n;
+  }
+  return n;
+}
+
+std::size_t Membership::suspect_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, worker] : workers_) {
+    if (worker.health == WorkerHealth::kSuspect) ++n;
+  }
+  return n;
+}
+
+void Membership::RebuildPlan() {
+  plan_.members.clear();
+  for (const auto& [worker_id, worker] : workers_) {
+    if (worker.health == WorkerHealth::kAlive ||
+        worker.health == WorkerHealth::kSuspect) {
+      plan_.members.push_back(PlanMember{worker_id, worker.data_port});
+    }
+  }
+  std::sort(plan_.members.begin(), plan_.members.end(),
+            [](const PlanMember& a, const PlanMember& b) {
+              return a.worker_id < b.worker_id;
+            });
+  ++plan_.epoch;
+}
+
+}  // namespace mobivine::cluster

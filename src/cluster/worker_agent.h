@@ -1,0 +1,133 @@
+// M-Cluster worker agent: the piece that turns a standalone gateway +
+// wire server process into a cluster member.
+//
+// One background thread owns the control connection to the controller:
+// it registers (blocking, inside Start), heartbeats on a fixed cadence,
+// applies kPlanPush frames to an atomic plan snapshot, and — when the
+// controller link dies — reconnects with backoff and re-registers under
+// the same worker id (the controller books that as a rejoin/replace and
+// bumps the epoch, which is exactly what re-routes clients back here).
+//
+// The data plane never blocks on any of this: the wire server's
+// ownership filter calls Owns(client_id) on its loop threads, which is a
+// mutex-guarded consistent-hash lookup against the last applied plan
+// (control traffic is rare; the lock is uncontended in steady state).
+//
+// Graceful exit (SIGTERM path in cluster_worker): LeaveAndDrain() asks
+// the agent thread to send kLeave; the controller drops us from the plan
+// (clients re-route away), answers kLeaveAck then kDrain; the agent
+// fences new traffic (Owns -> false, stale routers get kWrongWorker),
+// waits for the gateway to go quiescent (Gateway::Drain), kDrainAcks and
+// stops. In-flight work finishes; nothing is dropped on the floor.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cluster/control.h"
+#include "cluster/plan.h"
+#include "gateway/gateway.h"
+
+namespace mobivine::cluster {
+
+struct WorkerAgentConfig {
+  std::uint16_t controller_port = 0;
+  std::uint64_t worker_id = 0;  ///< stable, >= 1
+  std::uint64_t heartbeat_interval_us = 25'000;
+  /// Bound on Gateway::Drain during the handover.
+  std::uint64_t drain_timeout_us = 2'000'000;
+  /// Dialing the controller (registration and reconnects).
+  wire::ConnectOptions connect{.connect_timeout =
+                                   std::chrono::microseconds(1'000'000),
+                               .max_attempts = 40,
+                               .initial_backoff =
+                                   std::chrono::microseconds(25'000)};
+};
+
+struct WorkerAgentStats {
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t plan_updates = 0;
+  std::uint64_t reconnects = 0;
+};
+
+class WorkerAgent {
+ public:
+  /// The gateway must outlive Stop() (the drain path polls its stats).
+  WorkerAgent(gateway::Gateway& gateway, WorkerAgentConfig config);
+  ~WorkerAgent();
+
+  WorkerAgent(const WorkerAgent&) = delete;
+  WorkerAgent& operator=(const WorkerAgent&) = delete;
+
+  /// Connect to the controller, register (worker_id, data_port), apply
+  /// the plan from the ack, start the heartbeat thread. Blocking; false
+  /// with `error` when the controller is unreachable or rejected us.
+  [[nodiscard]] bool Start(std::uint16_t data_port,
+                           std::string* error = nullptr);
+
+  /// Stop the agent thread and close the control connection. No leave is
+  /// sent — the controller sees a connection close (== death). Use
+  /// LeaveAndDrain() first for a graceful exit. Idempotent.
+  void Stop();
+
+  /// Graceful handover: kLeave -> fence -> Gateway::Drain -> kDrainAck.
+  /// Blocks until the drain completes (or its timeout passes); returns
+  /// whether the gateway actually went quiescent. The agent stops
+  /// heartbeating; call Stop() afterwards as usual.
+  bool LeaveAndDrain();
+
+  /// The wire server's ownership filter (WireServerConfig::ownership):
+  /// does this worker own `client_id` under the current plan? Always
+  /// writes the current epoch to `*plan_epoch`. Thread-safe, called on
+  /// wire loop threads. A worker with no plan yet (epoch 0) owns
+  /// everything — a cluster worker before its first plan is just a
+  /// standalone server. A draining worker owns nothing.
+  [[nodiscard]] bool Owns(std::uint64_t client_id,
+                          std::uint64_t* plan_epoch) const;
+
+  [[nodiscard]] std::uint64_t plan_epoch() const {
+    return plan_epoch_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] WorkerAgentStats Stats() const;
+
+ private:
+  void Run();
+  void ApplyPlan(const PartitionPlan& plan);
+  /// Register over the (connected) channel; applies the acked plan.
+  bool RegisterWithController(std::string* error);
+  /// Executed on the agent thread when a leave was requested or a kDrain
+  /// arrived: fence, drain the gateway, ack.
+  void DrainNow();
+
+  gateway::Gateway& gateway_;
+  const WorkerAgentConfig config_;
+  std::uint16_t data_port_ = 0;
+  ControlChannel channel_;  ///< agent thread only (after Start returns)
+  std::thread thread_;
+
+  mutable std::mutex plan_mutex_;
+  PartitionPlan plan_;
+  HashRing ring_;
+  std::atomic<std::uint64_t> plan_epoch_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> leave_requested_{false};
+
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  bool drain_done_ = false;
+  bool drain_ok_ = false;
+
+  std::atomic<std::uint64_t> heartbeats_sent_{0};
+  std::atomic<std::uint64_t> plan_updates_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+};
+
+}  // namespace mobivine::cluster

@@ -1,0 +1,118 @@
+// M-Cluster worker process: gateway + wire server + worker agent.
+//
+//   cluster_worker --controller-port=P --worker-id=N [--shards=K] [--port=Q]
+//
+// Starts the usual standalone stack (an M-Gateway behind a WireServer),
+// wires the server's ownership filter to a WorkerAgent, registers with
+// the controller, then prints
+//
+//     PORT=<data port>
+//     READY
+//
+// on stdout (the harness parses exactly these lines) and serves until
+// SIGTERM. SIGTERM triggers the graceful path: leave the plan, fence,
+// drain the gateway, ack, exit 0. SIGKILL (the harness's crash case)
+// obviously skips all of that — the controller sees the control
+// connection drop and declares the worker dead.
+#include <signal.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "cluster/worker_agent.h"
+#include "core/descriptor/proxy_descriptor.h"
+#include "gateway/gateway.h"
+#include "wire/server.h"
+
+namespace {
+
+volatile sig_atomic_t g_terminate = 0;
+
+void OnSignal(int) { g_terminate = 1; }
+
+std::uint64_t ParseFlag(int argc, char** argv, const char* name,
+                        std::uint64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mobivine;
+
+  const auto controller_port = static_cast<std::uint16_t>(
+      ParseFlag(argc, argv, "controller-port", 0));
+  const std::uint64_t worker_id = ParseFlag(argc, argv, "worker-id", 0);
+  const int shards = static_cast<int>(ParseFlag(argc, argv, "shards", 4));
+  const auto data_port =
+      static_cast<std::uint16_t>(ParseFlag(argc, argv, "port", 0));
+  if (controller_port == 0 || worker_id == 0) {
+    std::fprintf(stderr,
+                 "usage: cluster_worker --controller-port=P --worker-id=N "
+                 "[--shards=K] [--port=Q]\n");
+    return 2;
+  }
+
+  struct sigaction action {};
+  action.sa_handler = OnSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  static const core::DescriptorStore store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+
+  gateway::GatewayConfig gateway_config;
+  gateway_config.shards = shards;
+  gateway_config.store = &store;
+  gateway::Gateway gateway(gateway_config);
+
+  cluster::WorkerAgentConfig agent_config;
+  agent_config.controller_port = controller_port;
+  agent_config.worker_id = worker_id;
+  cluster::WorkerAgent agent(gateway, agent_config);
+
+  wire::WireServerConfig server_config;
+  server_config.port = data_port;
+  server_config.event_loops = 1;  // workers multiply; loops need not
+  server_config.ownership = [&agent](std::uint64_t client_id,
+                                     std::uint64_t* plan_epoch) {
+    return agent.Owns(client_id, plan_epoch);
+  };
+  wire::WireServer server(gateway, server_config);
+
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "wire server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (!agent.Start(server.port(), &error)) {
+    std::fprintf(stderr, "worker agent start failed: %s\n", error.c_str());
+    server.Stop();
+    gateway.Stop();
+    return 1;
+  }
+
+  std::printf("PORT=%u\nREADY\n", server.port());
+  std::fflush(stdout);
+
+  while (!g_terminate) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Graceful rotation: hand our key ranges back before going quiet.
+  const bool drained = agent.LeaveAndDrain();
+  agent.Stop();
+  server.Stop();  // before gateway.Stop(): the wire shutdown contract
+  gateway.Stop();
+  return drained ? 0 : 3;
+}

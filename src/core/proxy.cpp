@@ -2,7 +2,9 @@
 
 #include <any>
 #include <charconv>
+#include <chrono>
 #include <string_view>
+#include <thread>
 
 #include "support/fingerprint.h"
 #include "support/strings.h"
@@ -111,10 +113,18 @@ void MProxy::ApplyFault(const char* op) {
     case support::FaultAction::kNone:
       return;
     case support::FaultAction::kLatency:
-      // Slow backend: charge the injected cost on the shard's virtual
-      // clock, then let the real dispatch proceed.
+      // Slow backend: charge the injected cost, then let the real
+      // dispatch proceed. Wall rules really block the shard thread —
+      // virtual charging is invisible to wire/cluster peers across a
+      // socket, so cross-process capacity modelling needs the stall to
+      // be real; the virtual clock is still advanced in both modes so
+      // in-process metering stays comparable.
       support::trace::Instant("core.faultInject", "virt_cost_us",
                               static_cast<std::int64_t>(decision.latency_us));
+      if (decision.wall) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(decision.latency_us));
+      }
       meter_.scheduler().AdvanceBy(
           sim::SimTime::Micros(static_cast<std::int64_t>(decision.latency_us)));
       return;

@@ -773,6 +773,20 @@ GatewaySnapshot Gateway::Stats() const {
   return Aggregate(std::move(snapshots));
 }
 
+bool Gateway::Drain(std::chrono::microseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const GatewaySnapshot snapshot = Stats();
+    // completed (ok + failed + timed_out) catches up to accepted exactly
+    // when no admitted request is queued or in flight. The caller must
+    // have fenced new admissions; otherwise this races fresh traffic and
+    // simply keeps waiting.
+    if (snapshot.totals.completed() >= snapshot.totals.accepted) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
 support::MetricsRegistry::Registration Gateway::RegisterMetrics(
     support::MetricsRegistry& registry, std::string prefix) const {
   return registry.Register(

@@ -113,6 +113,14 @@ class Gateway {
   /// Subsequent Submits shed. Idempotent; the destructor calls it.
   void Stop();
 
+  /// M-Cluster handover hook: wait (bounded) until every request admitted
+  /// so far has completed — quiescence is `totals.completed() ==
+  /// totals.accepted`. The gateway keeps serving throughout; the caller
+  /// fences *new* traffic first (the cluster worker flips its wire-server
+  /// ownership filter to reject-everything before draining). True when
+  /// quiescent within `timeout`, false when work was still in flight.
+  bool Drain(std::chrono::microseconds timeout);
+
   /// Lock-free-readable view of all counters; safe while serving.
   [[nodiscard]] GatewaySnapshot Stats() const;
 

@@ -157,8 +157,15 @@ std::optional<FaultPlan> FaultPlan::Parse(std::string_view text,
           SetError(error, "bad max=: " + std::string(segment));
           return std::nullopt;
         }
+      } else if (option == "wall") {
+        if (rule.action != FaultAction::kLatency) {
+          SetError(error, "wall only applies to latency=: " +
+                              std::string(segment));
+          return std::nullopt;
+        }
+        rule.wall = true;
       } else {
-        SetError(error, "unknown option (want p=/max=): " +
+        SetError(error, "unknown option (want p=/max=/wall): " +
                             std::string(segment));
         return std::nullopt;
       }
@@ -192,6 +199,7 @@ std::string FaultPlan::ToString() const {
         out += "hang";
         break;
     }
+    if (rule.wall) out += ":wall";
     if (rule.probability < 1.0) {
       // Emit with fixed 1e-6 precision so the form round-trips through
       // ParseProbability without locale surprises.
@@ -236,6 +244,7 @@ FaultDecision FaultInjector::Decide(std::string_view platform_tag,
     decision.action = rule.action;
     decision.error = rule.error;
     decision.latency_us = rule.latency_us;
+    decision.wall = rule.wall;
     return decision;
   }
   return FaultDecision{};

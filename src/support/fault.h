@@ -45,9 +45,16 @@ struct FaultRule {
   std::string op;        ///< binding method ("getLocation", ...); "*" = any
   FaultAction action = FaultAction::kError;
   std::string error = "timeout";  ///< error-code name (consumer domain)
-  std::uint64_t latency_us = 0;   ///< added virtual latency (kLatency only)
-  double probability = 1.0;       ///< per-dispatch fire probability
-  std::uint64_t max_fires = 0;    ///< stop firing after this many; 0 = never
+  std::uint64_t latency_us = 0;   ///< added latency (kLatency only)
+  /// kLatency only: charge the delay on the WALL clock (the dispatching
+  /// thread really blocks) instead of the consumer's virtual clock.
+  /// Virtual charging is invisible outside the process — a wire or
+  /// cluster peer on the far side of a TCP connection only feels a slow
+  /// backend when the worker actually stalls — so cross-process chaos
+  /// and capacity modelling need wall=true.
+  bool wall = false;
+  double probability = 1.0;      ///< per-dispatch fire probability
+  std::uint64_t max_fires = 0;   ///< stop firing after this many; 0 = never
 
   [[nodiscard]] bool Matches(std::string_view platform_tag,
                              std::string_view op_name) const;
@@ -61,11 +68,12 @@ struct FaultRule {
 ///   segment := "seed=" N | rule
 ///   rule  := platform ':' op ':' effect (':' option)*
 ///   effect := "error=" code-name | "latency=" micros | "hang"
-///   option := "p=" probability | "max=" fires
+///   option := "p=" probability | "max=" fires | "wall"
 ///
 /// Examples:
 ///   "android:*:error=timeout:p=0.3"
 ///   "s60:getLocation:latency=5000"
+///   "*:*:latency=1000:wall"
 ///   "seed=7;*:*:hang:p=0.1:max=100"
 struct FaultPlan {
   std::vector<FaultRule> rules;
@@ -86,7 +94,8 @@ struct FaultPlan {
 struct FaultDecision {
   FaultAction action = FaultAction::kNone;
   std::string_view error;      ///< error-code name (kError; view into the plan)
-  std::uint64_t latency_us = 0;  ///< virtual cost to charge (kLatency/kHang)
+  std::uint64_t latency_us = 0;  ///< cost to charge (kLatency/kHang)
+  bool wall = false;  ///< kLatency: block the wall clock, not the virtual one
 };
 
 /// What the core dispatch path consults before a binding method runs.

@@ -1,12 +1,16 @@
 #include "wire/client.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "support/buffer_pool.h"
@@ -42,7 +46,78 @@ bool WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
   return true;
 }
 
+/// One bounded connect attempt: non-blocking connect, poll for
+/// writability up to `timeout`, read the outcome from SO_ERROR, restore
+/// blocking mode. Returns the fd or -1 (errno-style reason in `error`).
+int ConnectOnce(std::uint16_t port, std::chrono::microseconds timeout,
+                std::string* error) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "socket() failed";
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    if (error != nullptr) {
+      *error = std::string("connect failed: ") + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(
+        std::max<std::int64_t>(1, timeout.count() / 1000));
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) {
+      if (error != nullptr) *error = "connect timed out";
+      ::close(fd);
+      return -1;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      if (error != nullptr) {
+        *error = std::string("connect failed: ") + std::strerror(so_error);
+      }
+      ::close(fd);
+      return -1;
+    }
+  }
+  // Back to blocking: the client library's write/read paths assume it.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
 }  // namespace
+
+int ConnectLoopback(std::uint16_t port, const ConnectOptions& options,
+                    std::string* error) {
+  std::chrono::microseconds backoff = options.initial_backoff;
+  const int attempts = std::max(options.max_attempts, 1);
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ConnectOnce(port, options.connect_timeout, error);
+    if (fd >= 0) return fd;
+    if (attempt + 1 >= attempts) return -1;
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(
+        options.max_backoff,
+        std::chrono::microseconds(static_cast<std::int64_t>(
+            static_cast<double>(backoff.count()) *
+            std::max(1.0, options.backoff_multiplier))));
+  }
+}
 
 WireClient::~WireClient() { Close(); }
 
@@ -73,32 +148,35 @@ WireClient::Callback WireClient::TakePending(std::uint64_t id) {
 }
 
 bool WireClient::Connect(std::uint16_t port, std::string* error) {
-  if (connected_.load(std::memory_order_acquire) || fd_ >= 0) {
+  return Connect(port, ConnectOptions{}, error);
+}
+
+bool WireClient::Connect(std::uint16_t port, const ConnectOptions& options,
+                         std::string* error) {
+  if (connected_.load(std::memory_order_acquire)) {
     if (error != nullptr) *error = "already connected";
     return false;
   }
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    if (error != nullptr) *error = "socket() failed";
-    return false;
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    if (error != nullptr) {
-      *error = std::string("connect failed: ") + std::strerror(errno);
-    }
-    ::close(fd_);
-    fd_ = -1;
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  // A dead (or closed) previous connection is reclaimed here so one
+  // client object can dial again — the cluster client leans on this to
+  // survive worker restarts.
+  ReclaimDeadConnection();
+  const int fd = ConnectLoopback(port, options, error);
+  if (fd < 0) return false;
+  fd_ = fd;
   connected_.store(true, std::memory_order_release);
   reader_ = std::thread([this] { ReaderLoop(); });
   return true;
+}
+
+void WireClient::ReclaimDeadConnection() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  FailAllOutstanding();
 }
 
 bool WireClient::Submit(const WireRequest& request, Callback callback) {
@@ -143,13 +221,42 @@ bool WireClient::Submit(const WireRequest& request, Callback callback) {
 
 std::size_t WireClient::SubmitBatch(const std::vector<WireRequest>& requests,
                                     const Callback& callback) {
+  // One shared copy of the callback for the whole batch: each pending
+  // entry is a 16-byte shared_ptr wrapper (inside std::function's small
+  // buffer), not a fresh copy of the caller's callable.
+  const auto shared = std::make_shared<const Callback>(callback);
+  return SubmitBatchImpl(requests, [&shared](std::size_t) {
+    return Callback(
+        [shared](const WireResponse& response) { (*shared)(response); });
+  });
+}
+
+std::size_t WireClient::SubmitBatch(const std::vector<WireRequest>& requests,
+                                    std::vector<Callback> callbacks) {
+  if (callbacks.size() != requests.size()) {
+    for (Callback& callback : callbacks) {
+      WireResponse dead;
+      dead.status = WireStatus::kTransportError;
+      dead.body = "batch callbacks/requests length mismatch";
+      if (callback) callback(dead);
+    }
+    return 0;
+  }
+  return SubmitBatchImpl(requests, [&callbacks](std::size_t i) {
+    return std::move(callbacks[i]);
+  });
+}
+
+std::size_t WireClient::SubmitBatchImpl(
+    const std::vector<WireRequest>& requests,
+    const std::function<Callback(std::size_t)>& callback_at) {
   if (requests.empty()) return 0;
   if (!connected_.load(std::memory_order_acquire)) {
-    for (const WireRequest& request : requests) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
       WireResponse dead;
-      dead.request_id = request.request_id;
+      dead.request_id = requests[i].request_id;
       dead.status = WireStatus::kTransportError;
-      callback(dead);
+      callback_at(i)(dead);
     }
     return 0;
   }
@@ -171,15 +278,10 @@ std::size_t WireClient::SubmitBatch(const std::vector<WireRequest>& requests,
     ids.push_back(id);
     EncodeRequest(request, id, bytes);
   }
-  // One shared copy of the callback for the whole batch: each pending
-  // entry is a 16-byte shared_ptr wrapper (inside std::function's small
-  // buffer), not a fresh copy of the caller's callable.
-  const auto shared = std::make_shared<const Callback>(callback);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::uint64_t id : ids) {
-      EmplacePendingLocked(
-          id, [shared](const WireResponse& response) { (*shared)(response); });
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EmplacePendingLocked(ids[i], callback_at(i));
     }
   }
   bool sent = false;
@@ -258,10 +360,17 @@ void WireClient::ReaderLoop() {
       const DecodeStatus status =
           DecodeFrame(data + off, size - off, &frame, &consumed, nullptr);
       if (status == DecodeStatus::kNeedMore) return off;
-      if (status == DecodeStatus::kMalformed ||
-          frame.type != FrameType::kResponse) {
+      if (status == DecodeStatus::kMalformed) {
         dead = true;
         return off;
+      }
+      if (frame.type != FrameType::kResponse) {
+        // Not ours (a control frame, or a type from a newer protocol
+        // revision): skip it and keep the connection — forward
+        // compatibility with servers that push additional frame
+        // families.
+        off += consumed;
+        continue;
       }
       WireResponse response;
       if (!DecodeResponse(frame.payload, frame.payload_size, &response,

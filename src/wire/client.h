@@ -27,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -40,6 +41,26 @@
 
 namespace mobivine::wire {
 
+/// Bounded connect behavior: a hard per-attempt timeout plus optional
+/// retries under exponential backoff. The zero-argument default keeps
+/// the old feel (one attempt) but bounded at 2 s instead of the kernel's
+/// minutes-long SYN patience.
+struct ConnectOptions {
+  std::chrono::microseconds connect_timeout{2'000'000};
+  int max_attempts = 1;  ///< total attempts (>= 1)
+  std::chrono::microseconds initial_backoff{25'000};
+  double backoff_multiplier = 2.0;
+  std::chrono::microseconds max_backoff{1'000'000};
+};
+
+/// Open a blocking TCP_NODELAY socket to 127.0.0.1:port under `options`
+/// (non-blocking connect + poll per attempt, backoff between attempts).
+/// Returns the fd, or -1 with `error` filled. Shared by WireClient and
+/// the cluster control channel.
+[[nodiscard]] int ConnectLoopback(std::uint16_t port,
+                                  const ConnectOptions& options,
+                                  std::string* error);
+
 class WireClient {
  public:
   using Callback = std::function<void(const WireResponse&)>;
@@ -51,9 +72,17 @@ class WireClient {
   WireClient& operator=(const WireClient&) = delete;
 
   /// Connect to 127.0.0.1:port and start the reader thread. False on
-  /// failure (`error` says why). One connection per client; not
-  /// reusable after Close().
+  /// failure (`error` says why). Reusable: after Close() — or after the
+  /// connection died under us — calling Connect again first reclaims the
+  /// old reader/fd (failing any still-outstanding callbacks with
+  /// kTransportError) and then dials fresh. Callers serialize Connect
+  /// against their own Submit/Call use; an *already connected* client
+  /// refuses with "already connected".
   [[nodiscard]] bool Connect(std::uint16_t port, std::string* error = nullptr);
+
+  /// Connect with explicit timeout/retry/backoff behavior.
+  [[nodiscard]] bool Connect(std::uint16_t port, const ConnectOptions& options,
+                             std::string* error = nullptr);
 
   /// Pipelined async send. Returns false (callback fired with
   /// kTransportError) if the connection is down or the send fails.
@@ -67,6 +96,14 @@ class WireClient {
   /// with kTransportError.
   std::size_t SubmitBatch(const std::vector<WireRequest>& requests,
                           const Callback& callback);
+
+  /// Per-request-callback variant of the batch: same single coalesced
+  /// write, but `callbacks[i]` completes `requests[i]` (the two vectors
+  /// must be the same length). This is what a routing layer needs —
+  /// batch the wire write per destination while every request keeps its
+  /// own retry wrapper.
+  std::size_t SubmitBatch(const std::vector<WireRequest>& requests,
+                          std::vector<Callback> callbacks);
 
   /// Synchronous round trip: Submit + wait. Returns false only on
   /// transport failure; protocol-level errors come back as `response`
@@ -87,9 +124,18 @@ class WireClient {
  private:
   void ReaderLoop();
   void FailAllOutstanding();
+  /// Reclaim a previous (dead or closed) connection so Connect can dial
+  /// fresh: join the exited reader, close the fd, fail anything still
+  /// pending. No-op on a never-connected client.
+  void ReclaimDeadConnection();
   /// Under mutex_: park `callback` under `id`, reusing a recycled map
   /// node when one is available.
   void EmplacePendingLocked(std::uint64_t id, Callback&& callback);
+  /// Shared body of both SubmitBatch overloads: `callback_at(i)` yields
+  /// the (already wrapped) callback to park for requests[i].
+  std::size_t SubmitBatchImpl(
+      const std::vector<WireRequest>& requests,
+      const std::function<Callback(std::size_t)>& callback_at);
   /// Take (and un-map) the callback for `id`; empty if already gone. The
   /// freed node is recycled.
   [[nodiscard]] Callback TakePending(std::uint64_t id);

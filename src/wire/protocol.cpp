@@ -102,6 +102,8 @@ class Reader {
   std::string error_;
 };
 
+}  // namespace
+
 /// Wrap an encoded payload in the frame header + CRC trailer. The payload
 /// was appended to `out` starting at `payload_start` by the caller; this
 /// retrofits the header in front (single memmove on the tail). The header
@@ -122,8 +124,6 @@ void FinishFrame(std::vector<std::uint8_t>& out, std::size_t frame_start,
   PutFixed32(out, crc);
 }
 
-}  // namespace
-
 const char* ToString(WireStatus status) {
   switch (status) {
     case WireStatus::kOk:
@@ -132,6 +132,10 @@ const char* ToString(WireStatus status) {
       return "malformed-request";
     case WireStatus::kTransportError:
       return "transport-error";
+    case WireStatus::kWrongWorker:
+      return "wrong-worker";
+    case WireStatus::kUnsupportedFrame:
+      return "unsupported-frame";
     default:
       return core::ToString(ToErrorCode(status));
   }
@@ -275,12 +279,10 @@ DecodeStatus DecodeFrame(const std::uint8_t* data, std::size_t size,
     if (error != nullptr) *error = "unsupported version";
     return DecodeStatus::kMalformed;
   }
+  // The type byte is NOT validated here: an unknown-but-well-framed type
+  // must survive decoding so the receiver can answer kUnsupportedFrame
+  // in-band instead of killing the connection (mixed-version fleets).
   const std::uint8_t type = data[3];
-  if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
-      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
-    if (error != nullptr) *error = "unknown frame type";
-    return DecodeStatus::kMalformed;
-  }
   std::uint64_t payload_size = 0;
   std::size_t len_bytes = 0;
   switch (GetVarint(data + 4, size - 4, &payload_size, &len_bytes)) {
@@ -491,6 +493,12 @@ bool DecodeResponse(const std::uint8_t* payload, std::size_t size,
   response->attempts = static_cast<std::uint32_t>(attempts);
   response->body.assign(body.data(), body.size());
   return true;
+}
+
+bool PeekPayloadId(const std::uint8_t* payload, std::size_t size,
+                   std::uint64_t* id) {
+  std::size_t consumed = 0;
+  return GetVarint(payload, size, id, &consumed) == VarintStatus::kOk;
 }
 
 }  // namespace mobivine::wire

@@ -56,7 +56,20 @@ inline constexpr std::size_t kMaxProperties = 64;
 enum class FrameType : std::uint8_t {
   kRequest = 1,
   kResponse = 2,
+  /// M-Cluster control plane (register/heartbeat/plan/drain — see
+  /// src/cluster/control.h). Same frame envelope, different payload
+  /// schema; data-plane peers that predate it answer kUnsupportedFrame.
+  kControl = 3,
 };
+
+/// Is this a frame type this build knows how to handle? Unknown types
+/// still *frame* correctly (DecodeFrame validates the envelope only), so
+/// a newer peer's frames can be answered in-band instead of killing the
+/// connection — mixed-version fleets degrade gracefully.
+[[nodiscard]] constexpr bool IsKnownFrameType(FrameType type) {
+  return type == FrameType::kRequest || type == FrameType::kResponse ||
+         type == FrameType::kControl;
+}
 
 /// Wire status codes. 0 is success; 1..13 mirror core::ErrorCode one to
 /// one (docs/failure-semantics.md holds the table); the >= 64 band is
@@ -79,6 +92,15 @@ enum class WireStatus : std::uint8_t {
   kUnknown = 13,
   kMalformedRequest = 64,  ///< well-framed payload violated a body rule
   kTransportError = 65,    ///< client-side: connection died mid-flight
+  /// M-Cluster: this worker does not own the request's client id under
+  /// its current partition plan. The response body carries the worker's
+  /// plan epoch as a decimal string — the cluster client refreshes to at
+  /// least that epoch and re-routes.
+  kWrongWorker = 66,
+  /// The frame was well-formed but its type byte is not one this peer
+  /// implements (a newer protocol revision, or a control frame sent to a
+  /// plain data server). Answered in-band; the connection lives on.
+  kUnsupportedFrame = 67,
 };
 
 [[nodiscard]] const char* ToString(WireStatus status);
@@ -152,6 +174,13 @@ void EncodeResponse(const WireResponse& response,
 void EncodeResponse(const WireResponse& response, std::string_view body,
                     std::vector<std::uint8_t>& out);
 
+/// Wrap payload bytes the caller appended at out[payload_start..) in the
+/// frame header + CRC trailer (the payload is moved right by the header
+/// length — one insert). Building block for additional frame families
+/// (the cluster control codec); EncodeRequest/EncodeResponse use it too.
+void FinishFrame(std::vector<std::uint8_t>& out, std::size_t payload_start,
+                 FrameType type);
+
 // ---------------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------------
@@ -173,8 +202,10 @@ struct FrameView {
 /// Scan one frame from [data, data+size). kOk sets `frame` and `consumed`
 /// (total frame bytes including header and CRC trailer); kNeedMore means
 /// feed more bytes and retry from the same offset; kMalformed fills
-/// `error` (bad magic/version/type, length over cap, CRC mismatch,
-/// malformed length varint).
+/// `error` (bad magic/version, length over cap, CRC mismatch, malformed
+/// length varint). An *unknown type byte* is NOT a framing error: the
+/// envelope is validated and the frame returned with its raw type, so
+/// the caller can answer kUnsupportedFrame in-band (IsKnownFrameType).
 [[nodiscard]] DecodeStatus DecodeFrame(const std::uint8_t* data,
                                        std::size_t size, FrameView* frame,
                                        std::size_t* consumed,
@@ -205,5 +236,12 @@ enum class BodyStatus : std::uint8_t {
 [[nodiscard]] bool DecodeResponse(const std::uint8_t* payload,
                                   std::size_t size, WireResponse* response,
                                   std::string* error);
+
+/// Best-effort correlation id for a frame whose type this peer does not
+/// implement: every frame family in this protocol leads its payload with
+/// a varint id, so an unsupported frame can still be answered with the
+/// id its sender will recognize. False when no clean leading varint.
+[[nodiscard]] bool PeekPayloadId(const std::uint8_t* payload,
+                                 std::size_t size, std::uint64_t* id);
 
 }  // namespace mobivine::wire

@@ -59,6 +59,8 @@ struct WireServer::Counters {
   std::atomic<std::uint64_t> bytes_out{0};
   std::atomic<std::uint64_t> decode_errors{0};
   std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> wrong_worker{0};
+  std::atomic<std::uint64_t> unsupported_frames{0};
   std::atomic<std::uint64_t> backpressure_stalls{0};
   std::atomic<std::uint64_t> requests_dispatched{0};
   std::atomic<std::uint64_t> writev_calls{0};
@@ -300,12 +302,28 @@ class WireServer::EventLoop
       }
       AddU64(server_.stats_->frames_in, 1);
       ++frames;
-      if (frame.type != FrameType::kRequest) {
+      if (frame.type == FrameType::kResponse) {
         // A client must never send response frames; direction violation.
         AddU64(server_.stats_->protocol_errors, 1);
         support::trace::Instant("wire.protocol_error");
         fatal = true;
         break;
+      }
+      if (frame.type != FrameType::kRequest) {
+        // Well-framed but not a type this server implements (kControl on
+        // a plain data server, or a newer revision's frame): answer
+        // in-band and keep the connection — a mixed-version fleet must
+        // degrade to typed errors, not dropped links.
+        AddU64(server_.stats_->unsupported_frames, 1);
+        support::trace::Instant("wire.unsupported_frame");
+        WireResponse response;
+        (void)PeekPayloadId(frame.payload, frame.payload_size,
+                            &response.request_id);
+        response.status = WireStatus::kUnsupportedFrame;
+        response.body = "unsupported frame type";
+        SendResponse(conn, response);
+        offset += consumed;
+        continue;
       }
       HandleRequest(conn, frame, generation, &fatal);
       offset += consumed;
@@ -346,6 +364,22 @@ class WireServer::EventLoop
       }
       case BodyStatus::kOk:
         break;
+    }
+    // M-Cluster routing fence: before any gateway work, check that this
+    // process owns the client id under the current partition plan. A
+    // stale router gets the worker's epoch back in-band and re-routes.
+    if (server_.config_.ownership) {
+      std::uint64_t plan_epoch = 0;
+      if (!server_.config_.ownership(view.client_id, &plan_epoch)) {
+        AddU64(server_.stats_->wrong_worker, 1);
+        support::trace::Instant("wire.wrong_worker");
+        WireResponse response;
+        response.request_id = view.request_id;
+        response.status = WireStatus::kWrongWorker;
+        response.body = std::to_string(plan_epoch);
+        SendResponse(conn, response);
+        return;
+      }
     }
     support::trace::Span span("wire.dispatch");
     span.Tag("op", static_cast<std::int64_t>(view.op));
@@ -670,6 +704,9 @@ WireStatsSnapshot WireServer::Stats() const {
   snap.decode_errors = stats_->decode_errors.load(std::memory_order_relaxed);
   snap.protocol_errors =
       stats_->protocol_errors.load(std::memory_order_relaxed);
+  snap.wrong_worker = stats_->wrong_worker.load(std::memory_order_relaxed);
+  snap.unsupported_frames =
+      stats_->unsupported_frames.load(std::memory_order_relaxed);
   snap.backpressure_stalls =
       stats_->backpressure_stalls.load(std::memory_order_relaxed);
   snap.requests_dispatched =
@@ -698,6 +735,8 @@ support::MetricsRegistry::Registration WireServer::RegisterMetrics(
         sink.Counter("bytes_out", snap.bytes_out);
         sink.Counter("decode_errors", snap.decode_errors);
         sink.Counter("protocol_errors", snap.protocol_errors);
+        sink.Counter("wrong_worker", snap.wrong_worker);
+        sink.Counter("unsupported_frames", snap.unsupported_frames);
         sink.Counter("backpressure_stalls", snap.backpressure_stalls);
         sink.Counter("requests_dispatched", snap.requests_dispatched);
         sink.Counter("writev_calls", snap.writev_calls);

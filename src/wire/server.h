@@ -45,6 +45,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -65,6 +66,16 @@ struct WireServerConfig {
   /// this; resume below `output_low_watermark`.
   std::size_t output_high_watermark = 256 * 1024;
   std::size_t output_low_watermark = 64 * 1024;
+  /// M-Cluster routing fence. When set, every decoded request's client id
+  /// is checked before dispatch: a false return means this process does
+  /// not own that id under the current partition plan, and the request is
+  /// answered in-band with kWrongWorker carrying `*plan_epoch` (decimal,
+  /// in the body) so the client can refresh its plan and re-route. Called
+  /// from loop threads — must be cheap and thread-safe (the cluster
+  /// worker agent backs it with an atomic plan snapshot). Null = own
+  /// everything (standalone server).
+  std::function<bool(std::uint64_t client_id, std::uint64_t* plan_epoch)>
+      ownership;
 };
 
 /// Relaxed-atomic counters, snapshotable while serving (same contract as
@@ -78,6 +89,8 @@ struct WireStatsSnapshot {
   std::uint64_t bytes_out = 0;
   std::uint64_t decode_errors = 0;    ///< kMalformedRequest responses
   std::uint64_t protocol_errors = 0;  ///< framing errors (connection closed)
+  std::uint64_t wrong_worker = 0;  ///< requests fenced by the ownership filter
+  std::uint64_t unsupported_frames = 0;  ///< unknown frame types answered
   std::uint64_t backpressure_stalls = 0;  ///< read pauses at the watermark
   std::uint64_t requests_dispatched = 0;  ///< handed to gateway::Submit
   std::uint64_t writev_calls = 0;         ///< scatter-gather flush syscalls

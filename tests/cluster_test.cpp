@@ -1,0 +1,282 @@
+// M-Cluster end-to-end: a real controller process and real worker
+// processes (fork/exec, loopback TCP), driven deterministically — every
+// wait is on observable state (plan membership, epochs, exit codes),
+// never on bare sleeps.
+//
+// What these pin down:
+//  * direct routing: a cluster::Client resolves owners from the plan and
+//    talks straight to workers — zero wrong-worker bounces in steady
+//    state, controller never on the data path;
+//  * crash rebalance: SIGKILL a worker -> the controller detects death,
+//    bumps the epoch, survivors absorb the keyspace, and EVERY
+//    subsequent request still succeeds (the client re-routes in-band);
+//  * rejoin: the same worker id comes back -> epoch bumps again, the
+//    rejoiner reacquires key ranges and serves them;
+//  * graceful leave: SIGTERM -> leave + fence + drain -> exit 0.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/client.h"
+#include "cluster/plan.h"
+#include "gateway/gateway.h"
+#include "tests/cluster_harness.h"
+#include "wire/protocol.h"
+
+namespace mobivine {
+namespace {
+
+using cluster::HashRing;
+using cluster::PartitionPlan;
+using cluster_testing::Process;
+
+class ClusterEndToEnd : public ::testing::Test {
+ protected:
+  void StartController() {
+    std::string error;
+    controller_.name = "controller";
+    ASSERT_TRUE(cluster_testing::SpawnAndAwaitReady(
+        MOBIVINE_CLUSTER_CONTROLLER_BIN, {}, &controller_, &error))
+        << error;
+  }
+
+  void StartWorker(std::uint64_t worker_id) {
+    Process worker;
+    worker.name = "worker-" + std::to_string(worker_id);
+    std::string error;
+    ASSERT_TRUE(cluster_testing::SpawnAndAwaitReady(
+        MOBIVINE_CLUSTER_WORKER_BIN,
+        {"--controller-port=" + std::to_string(controller_.port),
+         "--worker-id=" + std::to_string(worker_id), "--shards=2"},
+        &worker, &error))
+        << error;
+    workers_.push_back(worker);
+  }
+
+  void TearDown() override {
+    for (Process& worker : workers_) cluster_testing::Kill(worker);
+    cluster_testing::Kill(controller_);
+  }
+
+  static wire::WireRequest Ping(std::uint64_t client_id) {
+    wire::WireRequest request;
+    request.client_id = client_id;
+    request.platform = gateway::Platform::kAndroid;
+    request.op = gateway::Op::kHttpGet;
+    request.target =
+        std::string("http://") + gateway::kGatewayHttpHost + "/ping";
+    return request;
+  }
+
+  Process controller_;
+  std::vector<Process> workers_;
+};
+
+TEST_F(ClusterEndToEnd, ThreeWorkersServeDirectRoutes) {
+  StartController();
+  StartWorker(1);
+  StartWorker(2);
+  StartWorker(3);
+  PartitionPlan plan;
+  ASSERT_TRUE(cluster_testing::WaitForMembers(controller_.port, 3, &plan));
+
+  cluster::ClientConfig config;
+  config.controller_port = controller_.port;
+  cluster::Client client(config);
+  std::string error;
+  ASSERT_TRUE(client.Start(&error)) << error;
+  EXPECT_EQ(client.plan_epoch(), plan.epoch);
+
+  // 120 ids spanning the keyspace: the ring sends them to all three
+  // workers (proved against the plan), and every call succeeds.
+  const HashRing ring(plan);
+  std::unordered_set<std::uint64_t> owners;
+  for (std::uint64_t id = 0; id < 120; ++id) {
+    owners.insert(ring.OwnerFor(id));
+    wire::WireResponse response;
+    ASSERT_TRUE(client.Call(Ping(id), &response)) << "id " << id;
+    EXPECT_EQ(response.status, wire::WireStatus::kOk)
+        << "id " << id << ": " << response.body;
+    EXPECT_EQ(response.body, "pong");
+  }
+  EXPECT_EQ(owners.size(), 3u) << "keyspace not spread over all workers";
+
+  // Steady state is DIRECT: nothing bounced, nothing re-fetched beyond
+  // the initial plan, the controller stayed off the data path.
+  const cluster::ClientStats stats = client.Stats();
+  EXPECT_EQ(stats.wrong_worker_retries, 0u);
+  EXPECT_EQ(stats.transport_retries, 0u);
+  EXPECT_EQ(stats.exhausted, 0u);
+  EXPECT_EQ(stats.plan_refreshes, 1u);
+  client.Stop();
+}
+
+TEST_F(ClusterEndToEnd, BatchSubmitCoalescesPerOwnerAndCompletesEach) {
+  StartController();
+  StartWorker(1);
+  StartWorker(2);
+  StartWorker(3);
+  PartitionPlan plan;
+  ASSERT_TRUE(cluster_testing::WaitForMembers(controller_.port, 3, &plan));
+
+  cluster::ClientConfig config;
+  config.controller_port = controller_.port;
+  cluster::Client client(config);
+  std::string error;
+  ASSERT_TRUE(client.Start(&error)) << error;
+
+  // One batch spanning all three owners (OwnerOf agrees with the plan's
+  // ring), submitted as a single call: each request completes exactly
+  // once, all kOk, and nothing bounced — the batch split along the same
+  // routes Call() would have taken.
+  const HashRing ring(plan);
+  constexpr std::uint64_t kBatch = 120;
+  std::vector<wire::WireRequest> requests;
+  std::unordered_set<std::uint64_t> owners;
+  for (std::uint64_t id = 0; id < kBatch; ++id) {
+    EXPECT_EQ(client.OwnerOf(id), ring.OwnerFor(id)) << "id " << id;
+    owners.insert(ring.OwnerFor(id));
+    requests.push_back(Ping(id));
+  }
+  EXPECT_EQ(owners.size(), 3u) << "keyspace not spread over all workers";
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::uint64_t completions = 0, ok = 0;
+  EXPECT_EQ(client.SubmitBatch(requests,
+                               [&](const wire::WireResponse& response) {
+                                 std::lock_guard<std::mutex> lock(mutex);
+                                 ++completions;
+                                 if (response.status == wire::WireStatus::kOk &&
+                                     response.body == "pong") {
+                                   ++ok;
+                                 }
+                                 cv.notify_one();
+                               }),
+            kBatch);
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return completions == kBatch; }));
+  }
+  EXPECT_EQ(ok, kBatch);
+
+  const cluster::ClientStats stats = client.Stats();
+  EXPECT_EQ(stats.calls, kBatch);
+  EXPECT_EQ(stats.wrong_worker_retries, 0u);
+  EXPECT_EQ(stats.transport_retries, 0u);
+  EXPECT_EQ(stats.exhausted, 0u);
+  client.Stop();
+}
+
+TEST_F(ClusterEndToEnd, KillWorkerRebalancesThenRejoinReacquires) {
+  StartController();
+  StartWorker(1);
+  StartWorker(2);
+  StartWorker(3);
+  PartitionPlan plan3;
+  ASSERT_TRUE(cluster_testing::WaitForMembers(controller_.port, 3, &plan3));
+
+  cluster::ClientConfig config;
+  config.controller_port = controller_.port;
+  cluster::Client client(config);
+  std::string error;
+  ASSERT_TRUE(client.Start(&error)) << error;
+
+  // Warm every route (connections to all three workers).
+  for (std::uint64_t id = 0; id < 30; ++id) {
+    wire::WireResponse response;
+    ASSERT_TRUE(client.Call(Ping(id), &response));
+    ASSERT_EQ(response.status, wire::WireStatus::kOk);
+  }
+
+  // Crash worker 2 — SIGKILL, no goodbye. The controller sees the
+  // control connection drop and removes it: epoch bumps, two remain.
+  cluster_testing::Kill(workers_[1]);
+  PartitionPlan plan2;
+  ASSERT_TRUE(cluster_testing::WaitForMembers(controller_.port, 2, &plan2));
+  EXPECT_GT(plan2.epoch, plan3.epoch);
+  for (const auto& member : plan2.members) {
+    EXPECT_NE(member.worker_id, 2u);
+  }
+
+  // 100% of subsequent requests succeed — including the ids the dead
+  // worker owned, which the client re-routes to survivors (transport
+  // error or kWrongWorker in-band, then plan refresh, then retry).
+  for (std::uint64_t id = 0; id < 120; ++id) {
+    wire::WireResponse response;
+    ASSERT_TRUE(client.Call(Ping(id), &response)) << "id " << id;
+    EXPECT_EQ(response.status, wire::WireStatus::kOk)
+        << "id " << id << ": " << response.body;
+  }
+  EXPECT_GE(client.plan_epoch(), plan2.epoch);
+
+  // The same worker id rejoins: epoch bumps again and the rejoiner
+  // reacquires (and serves) its key ranges.
+  StartWorker(2);
+  PartitionPlan plan3b;
+  ASSERT_TRUE(cluster_testing::WaitForMembers(controller_.port, 3, &plan3b));
+  EXPECT_GT(plan3b.epoch, plan2.epoch);
+
+  const HashRing ring(plan3b);
+  std::size_t served_by_rejoiner = 0;
+  for (std::uint64_t id = 0; id < 120; ++id) {
+    if (ring.OwnerFor(id) == 2) ++served_by_rejoiner;
+    wire::WireResponse response;
+    ASSERT_TRUE(client.Call(Ping(id), &response)) << "id " << id;
+    EXPECT_EQ(response.status, wire::WireStatus::kOk)
+        << "id " << id << ": " << response.body;
+  }
+  EXPECT_GT(served_by_rejoiner, 0u)
+      << "rejoined worker owns no sampled keys — rebalance didn't return "
+         "ranges";
+  const cluster::ClientStats stats = client.Stats();
+  EXPECT_EQ(stats.exhausted, 0u);
+  client.Stop();
+}
+
+TEST_F(ClusterEndToEnd, SigtermLeavesDrainsAndExitsZero) {
+  StartController();
+  StartWorker(1);
+  StartWorker(2);
+  PartitionPlan plan;
+  ASSERT_TRUE(cluster_testing::WaitForMembers(controller_.port, 2, &plan));
+
+  cluster::ClientConfig config;
+  config.controller_port = controller_.port;
+  cluster::Client client(config);
+  std::string error;
+  ASSERT_TRUE(client.Start(&error)) << error;
+  for (std::uint64_t id = 0; id < 20; ++id) {
+    wire::WireResponse response;
+    ASSERT_TRUE(client.Call(Ping(id), &response));
+    ASSERT_EQ(response.status, wire::WireStatus::kOk);
+  }
+
+  // Graceful rotation: exit code 0 certifies leave + fence + full drain
+  // (the worker exits 3 when the gateway failed to go quiescent).
+  EXPECT_EQ(cluster_testing::Terminate(workers_[0]), 0);
+  PartitionPlan plan1;
+  ASSERT_TRUE(cluster_testing::WaitForMembers(controller_.port, 1, &plan1));
+  EXPECT_GT(plan1.epoch, plan.epoch);
+  EXPECT_EQ(plan1.members[0].worker_id, 2u);
+
+  // The survivor owns everything; traffic keeps flowing.
+  for (std::uint64_t id = 0; id < 40; ++id) {
+    wire::WireResponse response;
+    ASSERT_TRUE(client.Call(Ping(id), &response)) << "id " << id;
+    EXPECT_EQ(response.status, wire::WireStatus::kOk);
+  }
+  const cluster::ClientStats stats = client.Stats();
+  EXPECT_EQ(stats.exhausted, 0u);
+  client.Stop();
+}
+
+}  // namespace
+}  // namespace mobivine

@@ -108,9 +108,10 @@ Request SegmentCountRequest(std::uint64_t client_id,
 TEST(Failover, FaultPlanParsesEveryEffectAndOption) {
   const FaultPlan plan = MustParse(
       "seed=7;android:*:error=timeout:p=0.3;"
-      "s60:getLocation:latency=5000;*:*:hang:p=0.25:max=100");
+      "s60:getLocation:latency=5000;*:*:hang:p=0.25:max=100;"
+      "*:*:latency=1000:wall");
   EXPECT_EQ(plan.seed, 7u);
-  ASSERT_EQ(plan.rules.size(), 3u);
+  ASSERT_EQ(plan.rules.size(), 4u);
 
   EXPECT_EQ(plan.rules[0].platform, "android");
   EXPECT_EQ(plan.rules[0].op, "*");
@@ -122,6 +123,11 @@ TEST(Failover, FaultPlanParsesEveryEffectAndOption) {
   EXPECT_EQ(plan.rules[1].action, FaultAction::kLatency);
   EXPECT_EQ(plan.rules[1].latency_us, 5000u);
   EXPECT_EQ(plan.rules[1].probability, 1.0);
+  EXPECT_FALSE(plan.rules[1].wall);
+
+  EXPECT_EQ(plan.rules[3].action, FaultAction::kLatency);
+  EXPECT_EQ(plan.rules[3].latency_us, 1000u);
+  EXPECT_TRUE(plan.rules[3].wall);
 
   EXPECT_EQ(plan.rules[2].action, FaultAction::kHang);
   EXPECT_EQ(plan.rules[2].max_fires, 100u);
@@ -135,6 +141,7 @@ TEST(Failover, FaultPlanRoundTripsThroughToString) {
       "android:*:error=timeout:p=0.3",
       "seed=42;s60:getLocation:latency=5000;*:*:hang:p=0.125:max=9",
       "iphone:httpGet:error=network",
+      "*:*:latency=1000:wall:p=0.5",
   };
   for (const char* spec : specs) {
     const FaultPlan plan = MustParse(spec);
@@ -152,6 +159,7 @@ TEST(Failover, FaultPlanRoundTripsThroughToString) {
                   1e-6)
           << spec;
       EXPECT_EQ(reparsed.rules[i].max_fires, plan.rules[i].max_fires) << spec;
+      EXPECT_EQ(reparsed.rules[i].wall, plan.rules[i].wall) << spec;
     }
   }
 }
@@ -168,6 +176,7 @@ TEST(Failover, FaultPlanRejectsMalformedInputWithDiagnostic) {
       "android:*:error=timeout:p=x",    // unparseable probability
       "android:*:error=timeout:max=x",  // unparseable max
       "android:*:error=timeout:q=1",    // unknown option
+      "android:*:hang:wall",            // wall only applies to latency=
       "seed=abc;android:*:hang",        // bad seed
   };
   for (const char* spec : bad) {
@@ -328,6 +337,24 @@ TEST(Failover, LatencyFaultChargesVirtualClockNotWallClock) {
   EXPECT_TRUE(response.ok) << response.message;
   EXPECT_EQ(response.payload, "pong");
   EXPECT_LT(wall.count(), 400) << "injected latency must be virtual-only";
+  EXPECT_EQ(gw.Stats().totals.faults_injected, 1u);
+}
+
+TEST(Failover, WallLatencyFaultBlocksTheWallClock) {
+  GatewayConfig config = BaseConfig(1);
+  // The :wall option makes the shard thread really stall — this is what
+  // wire/cluster capacity modelling relies on, since a peer across a
+  // socket cannot observe the virtual clock.
+  config.failover.fault_plan = MustParse("android:httpGet:latency=30000:wall");
+  Gateway gw(config);
+
+  const auto start = std::chrono::steady_clock::now();
+  const Response response = gw.Call(HttpGetRequest(1));
+  const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(response.ok) << response.message;
+  EXPECT_EQ(response.payload, "pong");
+  EXPECT_GE(wall.count(), 30) << "wall latency must really block";
   EXPECT_EQ(gw.Stats().totals.faults_injected, 1u);
 }
 

@@ -254,7 +254,7 @@ TEST(WireProtocol, CrcMismatchIsMalformed) {
   EXPECT_NE(error.find("crc"), std::string::npos) << error;
 }
 
-TEST(WireProtocol, BadMagicVersionAndTypeAreMalformed) {
+TEST(WireProtocol, BadMagicAndVersionAreMalformed) {
   std::vector<std::uint8_t> good;
   EncodeRequest(HttpGet(5), good);
   FrameView frame;
@@ -269,11 +269,33 @@ TEST(WireProtocol, BadMagicVersionAndTypeAreMalformed) {
   bad[2] = wire::kWireVersion + 1;
   EXPECT_EQ(DecodeFrame(bad.data(), bad.size(), &frame, &consumed, nullptr),
             DecodeStatus::kMalformed);
+}
 
-  bad = good;
-  bad[3] = 0x7f;  // no such frame type
-  EXPECT_EQ(DecodeFrame(bad.data(), bad.size(), &frame, &consumed, nullptr),
-            DecodeStatus::kMalformed);
+TEST(WireProtocol, UnknownFrameTypeDecodesForInBandRejection) {
+  // An unknown type byte is NOT a framing violation: the envelope still
+  // parses (the CRC covers the payload, not the type), so a server can
+  // answer kUnsupportedFrame in-band instead of hard-closing — that is
+  // how an old server tells a newer peer "I don't speak that" without
+  // killing every other request pipelined on the connection.
+  std::vector<std::uint8_t> bytes;
+  EncodeRequest(HttpGet(5), bytes);
+  bytes[3] = 0x7f;  // type from the future
+  FrameView frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed,
+                        nullptr),
+            DecodeStatus::kOk);
+  EXPECT_EQ(static_cast<std::uint8_t>(frame.type), 0x7f);
+  EXPECT_FALSE(IsKnownFrameType(frame.type));
+  EXPECT_EQ(consumed, bytes.size());
+
+  // The request id survives (the payload still leads with a varint id),
+  // so the rejection can be correlated.
+  std::uint64_t id = 0;
+  EXPECT_TRUE(wire::PeekPayloadId(frame.payload, frame.payload_size, &id));
+  // HttpGet(5) stamps no id; EncodeRequest without an explicit id writes
+  // the struct's request_id verbatim.
+  EXPECT_EQ(id, 0u);
 }
 
 TEST(WireProtocol, OversizedLengthPrefixIsMalformedBeforePayloadArrives) {
@@ -762,6 +784,62 @@ TEST_F(WireServerTest, PipelinedRequestsAllCompleteOnce) {
   EXPECT_EQ(stats.frames_out, static_cast<std::uint64_t>(kInFlight));
 }
 
+TEST_F(WireServerTest, BatchWithPerRequestCallbacksFiresEachExactlyOnce) {
+  StartAll(BaseConfig(2), {});
+  WireClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+
+  // Distinct segment counts per request prove each callback got ITS
+  // response, not just any response from the batch.
+  constexpr int kBatch = 8;
+  std::vector<WireRequest> requests;
+  std::vector<WireClient::Callback> callbacks;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<int> fires(kBatch, 0);
+  std::vector<std::string> bodies(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    WireRequest request;
+    request.client_id = static_cast<std::uint64_t>(i);
+    request.platform = Platform::kAndroid;
+    request.op = Op::kSegmentCount;
+    request.payload = std::string(static_cast<std::size_t>(i) * 160 + 10, 'x');
+    requests.push_back(std::move(request));
+    callbacks.emplace_back([&, i](const WireResponse& response) {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++fires[static_cast<std::size_t>(i)];
+      bodies[static_cast<std::size_t>(i)] = response.body;
+      cv.notify_one();
+    });
+  }
+  EXPECT_EQ(client.SubmitBatch(requests, std::move(callbacks)),
+            static_cast<std::size_t>(kBatch));
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30), [&] {
+      int total = 0;
+      for (int f : fires) total += f;
+      return total == kBatch;
+    }));
+  }
+  for (int i = 0; i < kBatch; ++i) {
+    EXPECT_EQ(fires[static_cast<std::size_t>(i)], 1) << i;
+    EXPECT_EQ(bodies[static_cast<std::size_t>(i)], std::to_string(i + 1)) << i;
+  }
+
+  // Length mismatch never reaches the socket: every callback fails
+  // in-line with kTransportError.
+  std::vector<WireClient::Callback> short_callbacks;
+  int mismatch_fires = 0;
+  short_callbacks.emplace_back([&](const WireResponse& response) {
+    EXPECT_EQ(response.status, WireStatus::kTransportError);
+    ++mismatch_fires;
+  });
+  EXPECT_EQ(client.SubmitBatch(requests, std::move(short_callbacks)), 0u);
+  EXPECT_EQ(mismatch_fires, 1);
+  client.Close();
+}
+
 TEST_F(WireServerTest, PropertiesApplyPerRequestOverTheWire) {
   StartAll(BaseConfig(1), {});
   WireClient client;
@@ -1134,6 +1212,139 @@ TEST_F(WireServerTest, MetricsSourceExportsWireCounters) {
   EXPECT_EQ(snapshot.Find("wire.requests_dispatched")->count, 1u);
   EXPECT_GT(snapshot.Find("wire.bytes_in")->count, 0u);
   EXPECT_GT(snapshot.Find("wire.bytes_out")->count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Server: forward compatibility and cluster routing fence
+// ---------------------------------------------------------------------------
+
+TEST_F(WireServerTest, UnknownFrameTypeAnsweredInBandConnectionSurvives) {
+  StartAll(BaseConfig(1), {});
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+
+  // A frame with a type byte from the future, its payload leading with a
+  // varint id (the cross-family convention) so the rejection correlates.
+  std::vector<std::uint8_t> frame;
+  EncodeRequest(HttpGet(3), 77, frame);
+  frame[3] = 0x2a;  // no such frame family here
+  ASSERT_TRUE(conn.Send(frame));
+
+  WireResponse response;
+  ASSERT_TRUE(conn.RecvResponse(&response));
+  EXPECT_EQ(response.status, WireStatus::kUnsupportedFrame);
+  EXPECT_EQ(response.request_id, 77u);
+
+  // Not a hard close: the same connection still serves real requests.
+  std::vector<std::uint8_t> good;
+  EncodeRequest(HttpGet(3), 78, good);
+  ASSERT_TRUE(conn.Send(good));
+  ASSERT_TRUE(conn.RecvResponse(&response));
+  EXPECT_EQ(response.status, WireStatus::kOk);
+  EXPECT_EQ(response.request_id, 78u);
+
+  const wire::WireStatsSnapshot stats = server_->Stats();
+  EXPECT_EQ(stats.unsupported_frames, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST_F(WireServerTest, OwnershipFilterAnswersWrongWorkerWithEpoch) {
+  // Fence odd client ids behind a plan at epoch 42 — the shape the
+  // cluster worker agent backs this callback with.
+  WireServerConfig config;
+  config.ownership = [](std::uint64_t client_id, std::uint64_t* epoch) {
+    *epoch = 42;
+    return client_id % 2 == 0;
+  };
+  StartAll(BaseConfig(1), config);
+  WireClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+
+  WireResponse response;
+  ASSERT_TRUE(client.Call(HttpGet(2), &response));
+  EXPECT_EQ(response.status, WireStatus::kOk);
+
+  ASSERT_TRUE(client.Call(HttpGet(3), &response));
+  EXPECT_EQ(response.status, WireStatus::kWrongWorker);
+  EXPECT_EQ(response.body, "42");  // the epoch travels as the body
+
+  // The fence answers before dispatch: the gateway never saw request 3.
+  client.Close();
+  const wire::WireStatsSnapshot stats = server_->Stats();
+  EXPECT_EQ(stats.wrong_worker, 1u);
+  EXPECT_EQ(stats.requests_dispatched, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Client: bounded connects and reconnection
+// ---------------------------------------------------------------------------
+
+TEST(WireClientConnect, RefusedPortFailsFastNotAfterKernelPatience) {
+  // Grab a port with no listener behind it: bind, learn the number,
+  // close — connects then get ECONNREFUSED immediately.
+  const int probe = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  wire::ConnectOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff = std::chrono::microseconds(2'000);
+  options.backoff_multiplier = 2.0;
+  const auto start = std::chrono::steady_clock::now();
+  WireClient client;
+  std::string error;
+  EXPECT_FALSE(client.Connect(dead_port, options, &error));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(error.empty());
+  // 3 refused attempts + 2ms and 4ms backoffs: well under a second, and
+  // provably more than the backoff floor (the retries really slept).
+  EXPECT_GE(elapsed, std::chrono::microseconds(6'000));
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST_F(WireServerTest, ClientReconnectsAfterServerRestart) {
+  StartAll(BaseConfig(1), {});
+  const std::uint16_t port = server_->port();
+
+  WireClient client;
+  ASSERT_TRUE(client.Connect(port));
+  WireResponse response;
+  ASSERT_TRUE(client.Call(HttpGet(1), &response));
+  EXPECT_EQ(response.status, WireStatus::kOk);
+
+  // Kill the server under the client. In-flight and future submits fail
+  // with kTransportError (the exactly-once contract)…
+  server_->Stop();
+  for (int i = 0; i < 2000 && client.connected(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(client.connected());
+  EXPECT_FALSE(client.Call(HttpGet(1), &response));
+
+  // …and a fresh server on the same port is reachable through the SAME
+  // client object: Connect reclaims the dead reader and dials again.
+  WireServerConfig config;
+  config.port = port;
+  server_ = std::make_unique<WireServer>(*gateway_, config);
+  std::string error;
+  ASSERT_TRUE(server_->Start(&error)) << error;
+
+  wire::ConnectOptions retry;
+  retry.max_attempts = 20;
+  retry.initial_backoff = std::chrono::microseconds(10'000);
+  retry.backoff_multiplier = 1.0;
+  ASSERT_TRUE(client.Connect(port, retry, &error)) << error;
+  ASSERT_TRUE(client.Call(HttpGet(1), &response));
+  EXPECT_EQ(response.status, WireStatus::kOk);
+  EXPECT_EQ(client.outstanding(), 0u);
+  client.Close();
 }
 
 }  // namespace
