@@ -29,6 +29,9 @@ target_link_libraries(bench_wire_throughput PRIVATE mobivine_wire)
 mobivine_bench(bench_cluster_throughput)
 target_link_libraries(bench_cluster_throughput PRIVATE mobivine_cluster)
 
+mobivine_bench(bench_push_throughput)
+target_link_libraries(bench_push_throughput PRIVATE mobivine_wire)
+
 mobivine_bench(bench_a2_descriptor)
 target_link_libraries(bench_a2_descriptor PRIVATE benchmark::benchmark)
 mobivine_bench(bench_a3_bridge)

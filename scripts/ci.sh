@@ -5,14 +5,16 @@
 #   asan     Debug + AddressSanitizer
 #   ubsan    Debug + UndefinedBehaviorSanitizer
 #
-# The tsan preset (gateway/failover/interner/wire/cluster concurrency
-# checking) is not in the default matrix because a full-suite TSan run is
-# slow; the wire leg below runs a *filtered* TSan pass
-# (-R 'Cluster|Wire|Gateway') instead. Opt in to the full suite with
+# The tsan preset (gateway/failover/interner/wire/cluster/push
+# concurrency checking) is not in the default matrix because a
+# full-suite TSan run is slow; the wire leg below runs a *filtered* TSan
+# pass (-R 'Push|Cluster|Wire|Gateway') instead. Opt in to the full
+# suite with
 #   MOBIVINE_CI_PRESETS="default asan ubsan tsan" scripts/ci.sh
 # or run it directly:
 #   cmake --preset tsan && cmake --build build-tsan -j && \
-#     ctest --test-dir build-tsan -R 'Gateway|Failover|Interner|Wire|Cluster' \
+#     ctest --test-dir build-tsan \
+#       -R 'Gateway|Failover|Interner|Wire|Cluster|Push' \
 #       --output-on-failure
 set -euo pipefail
 
@@ -91,12 +93,25 @@ python3 scripts/validate_mscope.py \
   "$MSCOPE_DIR/cluster_trace.json" "$MSCOPE_DIR/cluster_metrics.json" \
   scripts/mscope_schema.json --require-wire --require-cluster
 
+# M-Push leg: the subscription plane's traced scenario (a live
+# subscription with cursor replay plus mixed request traffic on the
+# same connection) must export push.* events and the PushFeed/wire
+# subscription counters — at least one subscription opened, events
+# published, and events delivered — alongside the request plane.
+echo "==== [push] traced push bench + export validation ===="
+./build/bench/bench_push_throughput "$MSCOPE_DIR/push_bench.json" \
+  --trace-only --trace "$MSCOPE_DIR/push_trace.json" \
+  --metrics "$MSCOPE_DIR/push_metrics.json"
+python3 scripts/validate_mscope.py \
+  "$MSCOPE_DIR/push_trace.json" "$MSCOPE_DIR/push_metrics.json" \
+  scripts/mscope_schema.json --require-wire --require-push
+
 if [[ "${MOBIVINE_CI_WIRE_TSAN:-1}" != "0" ]]; then
-  echo "==== [wire] tsan: Cluster|Wire|Gateway suites ===="
+  echo "==== [wire] tsan: Push|Cluster|Wire|Gateway suites ===="
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS"
-  ctest --test-dir build-tsan -R 'Cluster|Wire|Gateway' -j "$JOBS" \
+  ctest --test-dir build-tsan -R 'Push|Cluster|Wire|Gateway' -j "$JOBS" \
     --output-on-failure
 fi
 
-echo "==== all presets green: $PRESETS (+ docs, mscope, wire, cluster) ===="
+echo "==== all presets green: $PRESETS (+ docs, mscope, wire, cluster, push) ===="

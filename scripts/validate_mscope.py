@@ -3,7 +3,7 @@
 
 Usage:
     python3 scripts/validate_mscope.py TRACE.json METRICS.json \
-        [SCHEMA.json] [--require-wire] [--require-cluster]
+        [SCHEMA.json] [--require-wire] [--require-cluster] [--require-push]
 
 Stdlib-only (CI must not install packages). Two validation layers:
 
@@ -30,6 +30,14 @@ show the M-Cluster control plane: the schema's "cluster" section lists
 the required cluster.* trace events and metric series plus the
 controller/agent thread names, cluster.epoch must be >= 1 (a plan was
 published) and cluster.heartbeats > 0 (membership was live).
+
+With --require-push (the push bench's CI leg) the export must also show
+the M-Push subscription plane: the schema's "push" section lists the
+required push.* trace events (subscribe/publish instants and the replay
+span) and the metric series from both halves of the plane (the
+gateway's PushFeed counters and the wire server's subscription/event
+counters), with at least one subscription opened, events published, and
+events delivered over the wire.
 
 Exit code 0 on success, 1 with a message on any failure — an empty or
 malformed export fails the build.
@@ -98,7 +106,7 @@ def check_schema(value, schema, path="$"):
 # ---------------------------------------------------------------------------
 
 
-def check_trace_semantics(trace, wire=None, cluster=None):
+def check_trace_semantics(trace, wire=None, cluster=None, push=None):
     events = trace["traceEvents"]
     spans = [e for e in events if e["ph"] == "X"]
     instants = [e for e in events if e["ph"] == "i"]
@@ -187,6 +195,17 @@ def check_trace_semantics(trace, wire=None, cluster=None):
             fail("no wire.read/wire.decode span on a wire-loop thread")
         wire_note = f", {len(wire_tids)} wire loop threads"
 
+    push_note = ""
+    if push is not None:
+        for required in push["required_events"]:
+            if required not in names:
+                fail(
+                    f"required push event {required!r} missing — "
+                    "subscription plane not instrumented"
+                )
+        push_events = sum(1 for e in events if e["name"].startswith("push."))
+        push_note = f", {push_events} push events"
+
     cluster_note = ""
     if cluster is not None:
         for required in cluster["required_events"]:
@@ -210,11 +229,11 @@ def check_trace_semantics(trace, wire=None, cluster=None):
         f"validate_mscope: trace ok — {len(events)} events, "
         f"{len(gateway_spans)} gateway span names, "
         f"{len(core_spans)} core span names, {nested} nested core events"
-        f"{wire_note}{cluster_note}"
+        f"{wire_note}{push_note}{cluster_note}"
     )
 
 
-def check_metrics_semantics(metrics_doc, wire=None, cluster=None):
+def check_metrics_semantics(metrics_doc, wire=None, cluster=None, push=None):
     metrics = metrics_doc["metrics"]
     for name, value in metrics.items():
         if not isinstance(value, (int, float)) and value is not None:
@@ -250,6 +269,21 @@ def check_metrics_semantics(metrics_doc, wire=None, cluster=None):
             )
         wire_note = f", {dispatched} wire dispatches reconciled"
 
+    push_note = ""
+    if push is not None:
+        for name in push["required_metrics"]:
+            if name not in metrics:
+                fail(f"required push metric {name!r} missing")
+        if metrics["wire.push_subscriptions_opened"] < 1:
+            fail("wire.push_subscriptions_opened is zero — nobody subscribed")
+        if metrics["gateway.push.published"] <= 0:
+            fail("gateway.push.published is zero — the feed never saw events")
+        if metrics["wire.push_events_out"] <= 0:
+            fail("wire.push_events_out is zero — no event crossed the wire")
+        push_note = (
+            f", {int(metrics['wire.push_events_out'])} push events delivered"
+        )
+
     cluster_note = ""
     if cluster is not None:
         for name in cluster["required_metrics"]:
@@ -266,7 +300,7 @@ def check_metrics_semantics(metrics_doc, wire=None, cluster=None):
 
     print(
         f"validate_mscope: metrics ok — {len(metrics)} series, "
-        f"{accepted} accepted reconciled{wire_note}{cluster_note}"
+        f"{accepted} accepted reconciled{wire_note}{push_note}{cluster_note}"
     )
 
 
@@ -278,10 +312,13 @@ def main(argv):
     require_cluster = "--require-cluster" in args
     if require_cluster:
         args.remove("--require-cluster")
+    require_push = "--require-push" in args
+    if require_push:
+        args.remove("--require-push")
     if len(args) < 2:
         fail(
             f"usage: {argv[0]} TRACE.json METRICS.json [SCHEMA.json] "
-            "[--require-wire] [--require-cluster]"
+            "[--require-wire] [--require-cluster] [--require-push]"
         )
     trace_path, metrics_path = args[0], args[1]
     schema_path = (
@@ -300,6 +337,9 @@ def main(argv):
             f"--require-cluster set but {schema_path} has no "
             '"cluster" section'
         )
+    push = schema.get("push") if require_push else None
+    if require_push and push is None:
+        fail(f"--require-push set but {schema_path} has no \"push\" section")
 
     for label, path, key, semantic in (
         ("trace", trace_path, "trace", check_trace_semantics),
@@ -311,7 +351,7 @@ def main(argv):
         except (OSError, json.JSONDecodeError) as e:
             fail(f"{label} file {path}: {e}")
         check_schema(document, schema[key], f"$({label})")
-        semantic(document, wire, cluster)
+        semantic(document, wire, cluster, push)
     print("validate_mscope: PASS")
 
 

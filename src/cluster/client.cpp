@@ -1,7 +1,7 @@
 #include "cluster/client.h"
 
 #include <chrono>
-#include <cstdlib>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -9,20 +9,23 @@
 
 namespace mobivine::cluster {
 
-namespace {
-
-/// kWrongWorker bodies carry the worker's plan epoch as a decimal string
-/// (wire/protocol.h). 0 when the body is missing or malformed — which
-/// still forces a refresh-to-anything-newer.
-std::uint64_t ParseEpochBody(const std::string& body) {
+std::uint64_t ParseWrongWorkerEpoch(const std::string& body) {
+  // Strict by construction (the strtoull predecessor accepted trailing
+  // garbage and — worse — saturated overflow to ULLONG_MAX, turning one
+  // hostile byte string into a refresh target no controller will ever
+  // publish): non-empty, all digits, overflow-checked, or 0.
   if (body.empty()) return 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(body.c_str(), &end, 10);
-  if (end == body.c_str()) return 0;
-  return static_cast<std::uint64_t>(value);
+  std::uint64_t value = 0;
+  for (const char c : body) {
+    if (c < '0' || c > '9') return 0;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return 0;
+    }
+    value = value * 10 + digit;
+  }
+  return value;
 }
-
-}  // namespace
 
 Client::Client(ClientConfig config) : config_(config) {}
 
@@ -72,6 +75,9 @@ ClientStats Client::Stats() const {
   stats.transport_retries = transport_retries_.load(std::memory_order_relaxed);
   stats.plan_refreshes = plan_refreshes_.load(std::memory_order_relaxed);
   stats.exhausted = exhausted_.load(std::memory_order_relaxed);
+  stats.push_subscribes = push_subscribes_.load(std::memory_order_relaxed);
+  stats.push_resubscribes =
+      push_resubscribes_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -249,7 +255,7 @@ bool Client::Call(const wire::WireRequest& request,
       // plan would just bounce off the same fence.
       wrong_worker_retries_.fetch_add(1, std::memory_order_relaxed);
       support::trace::Instant("cluster.client_wrong_worker");
-      std::uint64_t want = ParseEpochBody(reply.body);
+      std::uint64_t want = ParseWrongWorkerEpoch(reply.body);
       const std::uint64_t held = plan_epoch_.load(std::memory_order_acquire);
       if (want <= held) want = held + 1;
       (void)RefreshPlanAtLeast(want);
@@ -328,7 +334,7 @@ Client::Callback Client::RetryCallback(const wire::WireRequest& request,
         !closing_.load(std::memory_order_acquire)) {
       wrong_worker_retries_.fetch_add(1, std::memory_order_relaxed);
       support::trace::Instant("cluster.client_wrong_worker");
-      std::uint64_t want = ParseEpochBody(reply.body);
+      std::uint64_t want = ParseWrongWorkerEpoch(reply.body);
       const std::uint64_t held = plan_epoch_.load(std::memory_order_acquire);
       if (want <= held) want = held + 1;
       (void)RefreshPlanAtLeast(want);
@@ -346,6 +352,163 @@ Client::Callback Client::RetryCallback(const wire::WireRequest& request,
     }
     callback(reply);
   };
+}
+
+/// Everything one routed subscription needs to survive repairs: the
+/// filter, the user callbacks, the exactly-once ack latch, and — the
+/// load-bearing part — the last cursor the stream delivered, which every
+/// re-subscribe carries so the new owner's replay ring covers the
+/// failover window.
+struct Client::PushSub {
+  std::uint64_t client_id = 0;
+  wire::PushTopic topic = wire::PushTopic::kAll;
+  std::atomic<std::uint64_t> last_cursor{0};
+  std::atomic<bool> acked{false};  ///< user's on_ack already fired
+  wire::WireClient::EventHandler on_event;
+  wire::WireClient::AckCallback on_ack;
+};
+
+bool Client::Subscribe(std::uint64_t client_id, wire::PushTopic topic,
+                       std::uint64_t cursor,
+                       wire::WireClient::EventHandler on_event,
+                       wire::WireClient::AckCallback on_ack) {
+  push_subscribes_.fetch_add(1, std::memory_order_relaxed);
+  DrainGraveyard();
+  auto sub = std::make_shared<PushSub>();
+  sub->client_id = client_id;
+  sub->topic = topic;
+  sub->last_cursor.store(cursor, std::memory_order_relaxed);
+  sub->on_event = std::move(on_event);
+  sub->on_ack = std::move(on_ack);
+  SubscribeAttempt(std::move(sub), 0);
+  return true;
+}
+
+void Client::FailSubscription(const std::shared_ptr<PushSub>& sub,
+                              wire::WireStatus status) {
+  if (!sub->acked.exchange(true, std::memory_order_acq_rel)) {
+    if (sub->on_ack) {
+      wire::WireSubscribeAck dead;
+      dead.status = status;
+      sub->on_ack(dead);
+    }
+    return;
+  }
+  // The stream was already live: the user hears about its death the same
+  // way the wire client signals it — one synthetic cursor-0 gap marker.
+  if (sub->on_event) {
+    wire::WireEvent dead;
+    dead.kind = wire::EventKind::kEventsDropped;
+    sub->on_event(dead);
+  }
+}
+
+void Client::SubscribeAttempt(std::shared_ptr<PushSub> sub, int attempt) {
+  if (attempt >= config_.max_attempts ||
+      closing_.load(std::memory_order_acquire)) {
+    if (attempt >= config_.max_attempts) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    FailSubscription(sub, wire::WireStatus::kTransportError);
+    return;
+  }
+  if (attempt > 0) {
+    // Same pacing rationale as SubmitAttempt: this may run on a reader
+    // thread, and mid-plan-change that connection is stalled anyway.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.retry_backoff_us));
+  }
+  Route route;
+  if (!Resolve(sub->client_id, &route)) {
+    transport_retries_.fetch_add(1, std::memory_order_relaxed);
+    (void)RefreshPlanAtLeast(0);
+    SubscribeAttempt(std::move(sub), attempt + 1);
+    return;
+  }
+  wire::WireSubscribe request;
+  request.client_id = sub->client_id;
+  request.topic = sub->topic;
+  request.mode = wire::SubscribeMode::kFromCursor;
+  request.cursor = sub->last_cursor.load(std::memory_order_acquire);
+  auto conn = route.conn;
+  const std::uint64_t worker_id = route.worker_id;
+  (void)conn->Subscribe(
+      request,
+      // Event path (reader thread). Tracks the resume cursor and spots
+      // the wire client's synthetic death marker (kEventsDropped with
+      // cursor 0 — real shed ranges always carry cursors >= 1).
+      [this, sub](const wire::WireEvent& event) {
+        if (event.kind == wire::EventKind::kEventsDropped &&
+            event.cursor == 0) {
+          if (closing_.load(std::memory_order_acquire)) return;
+          transport_retries_.fetch_add(1, std::memory_order_relaxed);
+          push_resubscribes_.fetch_add(1, std::memory_order_relaxed);
+          support::trace::Instant("cluster.push_resubscribe", "cursor",
+                                  static_cast<std::int64_t>(
+                                      sub->last_cursor.load(
+                                          std::memory_order_relaxed)));
+          (void)RefreshPlanAtLeast(0);
+          // The dead stream was this repair round's first failure.
+          SubscribeAttempt(sub, 1);
+          return;
+        }
+        if (event.cursor >
+            sub->last_cursor.load(std::memory_order_relaxed)) {
+          sub->last_cursor.store(event.cursor, std::memory_order_release);
+        }
+        sub->on_event(event);
+      },
+      // Ack path (reader thread): kOk settles the user's latch; the two
+      // retriable statuses re-route exactly like request traffic.
+      [this, sub, attempt, worker_id,
+       conn](const wire::WireSubscribeAck& ack) {
+        if (ack.status == wire::WireStatus::kOk) {
+          if (ack.start_cursor >
+              sub->last_cursor.load(std::memory_order_relaxed)) {
+            // The owner's replay already covered past our cursor:
+            // adopt its resume point so the NEXT repair doesn't ask
+            // for that span again.
+            sub->last_cursor.store(ack.start_cursor,
+                                   std::memory_order_release);
+          }
+          if (!sub->acked.exchange(true, std::memory_order_acq_rel) &&
+              sub->on_ack) {
+            sub->on_ack(ack);
+          }
+          return;
+        }
+        if (closing_.load(std::memory_order_acquire)) {
+          FailSubscription(sub, ack.status);
+          return;
+        }
+        if (ack.status == wire::WireStatus::kWrongWorker) {
+          wrong_worker_retries_.fetch_add(1, std::memory_order_relaxed);
+          push_resubscribes_.fetch_add(1, std::memory_order_relaxed);
+          support::trace::Instant("cluster.client_wrong_worker");
+          // The epoch rides the ack's start_cursor varint — unlike
+          // request traffic there is no decimal body to parse.
+          std::uint64_t want = ack.start_cursor;
+          const std::uint64_t held =
+              plan_epoch_.load(std::memory_order_acquire);
+          if (want <= held) want = held + 1;
+          (void)RefreshPlanAtLeast(want);
+          SubscribeAttempt(sub, attempt + 1);
+          return;
+        }
+        if (ack.status == wire::WireStatus::kTransportError) {
+          transport_retries_.fetch_add(1, std::memory_order_relaxed);
+          push_resubscribes_.fetch_add(1, std::memory_order_relaxed);
+          support::trace::Instant("cluster.client_transport_retry");
+          DropConn(worker_id, conn);
+          (void)RefreshPlanAtLeast(0);
+          SubscribeAttempt(sub, attempt + 1);
+          return;
+        }
+        // Typed rejection (malformed subscribe etc.): terminal.
+        FailSubscription(sub, ack.status);
+      });
+  // A failed send already fired the ack callback with kTransportError,
+  // which re-routed above; nothing more to do.
 }
 
 std::size_t Client::SubmitBatch(const std::vector<wire::WireRequest>& requests,

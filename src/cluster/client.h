@@ -63,7 +63,18 @@ struct ClientStats {
   std::uint64_t transport_retries = 0;
   std::uint64_t plan_refreshes = 0;
   std::uint64_t exhausted = 0;  ///< requests that ran out of attempts
+  std::uint64_t push_subscribes = 0;    ///< Subscribe() calls
+  std::uint64_t push_resubscribes = 0;  ///< repairs: wrong worker / death
 };
+
+/// Parse a kWrongWorker response body (the worker's plan epoch as a
+/// decimal string). STRICT: returns 0 — "unknown; refresh to anything
+/// newer" — unless the body is non-empty, entirely ASCII digits, and
+/// fits in 64 bits. Empty, garbage, trailing bytes and overflow all map
+/// to 0: an overflow lazily parsed as ULLONG_MAX would demand an epoch
+/// no controller will ever publish and burn the whole retry budget on
+/// futile refreshes. Exposed for tests and the malformed-body fuzzer.
+[[nodiscard]] std::uint64_t ParseWrongWorkerEpoch(const std::string& body);
 
 class Client {
  public:
@@ -93,6 +104,28 @@ class Client {
   /// worker connection's reader thread, after internal re-routing. Keep
   /// callbacks short (same contract as WireClient::Submit).
   bool Submit(const wire::WireRequest& request, Callback callback);
+
+  /// M-Push: open a routed subscription for `client_id`, starting after
+  /// `cursor` (0 = from the beginning of what the owner's shard feed
+  /// still retains). The stream follows the partition plan: a
+  /// kWrongWorker ack (epoch carried in the ack's start_cursor varint —
+  /// no body parsing) refreshes the plan and re-subscribes against the
+  /// new owner; a dead worker (transport ack, or the wire client's
+  /// synthetic cursor-0 gap marker) drops the connection and
+  /// re-subscribes the same way. Every repair re-subscribes
+  /// kFromCursor with the LAST cursor the stream delivered, so the new
+  /// owner's replay ring covers the failover window — anything it no
+  /// longer retains arrives as a typed kEventsDropped gap marker, never
+  /// silent loss. `on_event` runs on worker-connection reader threads.
+  /// `on_ack` fires exactly once, with the first kOk ack or with the
+  /// error that exhausted the route attempts; if the stream dies later
+  /// and repair exhausts its attempts, `on_event` receives one final
+  /// synthetic kEventsDropped event with cursor == 0. Returns true when
+  /// the subscription entered the routed-retry machinery (the eventual
+  /// outcome arrives via the callbacks).
+  bool Subscribe(std::uint64_t client_id, wire::PushTopic topic,
+                 std::uint64_t cursor, wire::WireClient::EventHandler on_event,
+                 wire::WireClient::AckCallback on_ack);
 
   /// Routed batch: resolve every request's owner, then issue ONE
   /// coalesced write per worker connection
@@ -146,6 +179,17 @@ class Client {
                          Callback callback, std::uint64_t worker_id,
                          std::shared_ptr<wire::WireClient> conn);
 
+  /// One routed subscription's cross-repair state.
+  struct PushSub;
+  /// One subscribe attempt; kWrongWorker / transport failures re-enter
+  /// with attempt + 1 (bounded by max_attempts), always carrying the
+  /// last cursor the stream delivered.
+  void SubscribeAttempt(std::shared_ptr<PushSub> sub, int attempt);
+  /// Terminal failure: fire the user's ack exactly once, or — when the
+  /// stream was already live — one synthetic cursor-0 gap marker.
+  void FailSubscription(const std::shared_ptr<PushSub>& sub,
+                        wire::WireStatus status);
+
   const ClientConfig config_;
 
   std::mutex control_mutex_;  ///< serializes the ControlChannel
@@ -168,6 +212,8 @@ class Client {
   std::atomic<std::uint64_t> transport_retries_{0};
   std::atomic<std::uint64_t> plan_refreshes_{0};
   std::atomic<std::uint64_t> exhausted_{0};
+  std::atomic<std::uint64_t> push_subscribes_{0};
+  std::atomic<std::uint64_t> push_resubscribes_{0};
 };
 
 }  // namespace mobivine::cluster

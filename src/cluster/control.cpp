@@ -199,7 +199,10 @@ bool ControlChannel::Send(const ControlMessage& message, std::string* error) {
   EncodeControl(message, scratch_);
   std::size_t off = 0;
   while (off < scratch_.size()) {
-    const ssize_t w = ::write(fd_, scratch_.data() + off, scratch_.size() - off);
+    // MSG_NOSIGNAL: a peer death mid-send is this channel's error, not a
+    // process-wide SIGPIPE.
+    const ssize_t w = ::send(fd_, scratch_.data() + off,
+                             scratch_.size() - off, MSG_NOSIGNAL);
     if (w > 0) {
       off += static_cast<std::size_t>(w);
       continue;

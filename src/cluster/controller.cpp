@@ -235,8 +235,10 @@ void Controller::CloseConn(Conn& conn) {
 
 bool Controller::FlushConn(Conn& conn) {
   while (conn.out_off < conn.out.size()) {
-    const ssize_t w = ::write(conn.fd, conn.out.data() + conn.out_off,
-                              conn.out.size() - conn.out_off);
+    // MSG_NOSIGNAL: an agent that died mid-push must read as EPIPE on
+    // this connection, not SIGPIPE for the controller.
+    const ssize_t w = ::send(conn.fd, conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
     if (w > 0) {
       conn.out_off += static_cast<std::size_t>(w);
       continue;

@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "android/android_platform.h"
@@ -119,6 +120,8 @@ class Gateway::Shard {
                                      : config.shed_watermark,
                                  config.queue_capacity)),
         default_retry_(config.default_retry),
+        feed_(config.push_replay_capacity),
+        sms_bridge_(*this),
         registry_(config.store) {
     device::DeviceConfig device_config = config.device_template;
     device_config.seed += index;  // decorrelate shards, stay deterministic
@@ -228,6 +231,8 @@ class Gateway::Shard {
 
   ShardStats& stats() { return stats_; }
 
+  PushFeed& feed() { return feed_; }
+
   /// Sum this shard's nine proxy meters into the caller's accumulators
   /// (M-Scope metrics source). Meter counters are relaxed atomics, so
   /// reading them while the worker serves is safe.
@@ -247,6 +252,47 @@ class Gateway::Shard {
   }
 
  private:
+  /// Routes the uniform SmsListener callback surface into the shard's
+  /// push feed. One long-lived instance per shard, handed to every
+  /// sendTextMessage dispatch — the bindings retain it for the delivery
+  /// broadcasts that fire later (during RunAll or a later serve), so it
+  /// must outlive every in-flight message, which shard ownership gives.
+  class SmsDeliveryBridge : public core::SmsListener {
+   public:
+    explicit SmsDeliveryBridge(Shard& shard) : shard_(shard) {}
+    void smsStatusChanged(long long message_id,
+                          core::SmsDeliveryStatus status) override {
+      shard_.PublishSmsStatus(message_id, status);
+    }
+
+   private:
+    Shard& shard_;
+  };
+
+  /// Worker-thread only (bindings fire callbacks on the serving thread).
+  /// The kSubmitted callback fires inside sendTextMessage, while the
+  /// originating request is still the one being served — that is when a
+  /// message id gets bound to its client; later delivery broadcasts for
+  /// the same id (which fire while a DIFFERENT request is current) look
+  /// the owner up instead of trusting serving_client_id_.
+  void PublishSmsStatus(long long message_id,
+                        core::SmsDeliveryStatus status) {
+    std::uint64_t client = serving_client_id_;
+    const auto it = sms_owners_.find(message_id);
+    if (it != sms_owners_.end()) {
+      client = it->second;
+    } else {
+      sms_owners_.emplace(message_id, client);
+    }
+    // Delivered/failed are terminal — drop the binding so the map stays
+    // bounded by in-flight messages.
+    if (status != core::SmsDeliveryStatus::kSubmitted) {
+      sms_owners_.erase(message_id);
+    }
+    feed_.Publish(PushTopic::kSmsDelivery, client,
+                  std::to_string(message_id) + ":" + core::ToString(status));
+  }
+
   static constexpr std::size_t PlatformIndex(Platform platform) {
     return static_cast<std::size_t>(platform);
   }
@@ -275,6 +321,7 @@ class Gateway::Shard {
   void Serve(QueuedRequest& queued) {
     support::trace::Span serve_span("gateway.serve");
     serve_span.Tag("shard", index_);
+    serving_client_id_ = queued.request.client_id;
     Response response;
     response.shard = index_;
     const Clock::time_point dequeued_at = Clock::now();
@@ -559,9 +606,11 @@ class Gateway::Shard {
                std::to_string(location.longitude);
       }
       case Op::kSendSms:
+        // The bridge listener turns submit/delivery broadcasts into
+        // kSmsDelivery push events on this shard's feed.
         return std::to_string(
             static_cast<core::SmsProxy&>(proxy).sendTextMessage(
-                request.target, request.payload, nullptr));
+                request.target, request.payload, &sms_bridge_));
       case Op::kHttpGet:
         return static_cast<core::HttpProxy&>(proxy).get(request.target).body;
       case Op::kHttpPost:
@@ -598,6 +647,13 @@ class Gateway::Shard {
   const std::size_t shed_watermark_;
   const RetryPolicy default_retry_;
   ShardStats stats_;
+  PushFeed feed_;
+  SmsDeliveryBridge sms_bridge_;
+  /// Client id of the request currently being served; worker-only.
+  std::uint64_t serving_client_id_ = 0;
+  /// In-flight message id -> originating client; worker-only, entries
+  /// dropped on terminal delivery status.
+  std::unordered_map<long long, std::uint64_t> sms_owners_;
   /// Null unless GatewayConfig::failover.enabled(); worker-thread-only
   /// after construction (its ShardStats writes are the shared part).
   std::unique_ptr<FailoverEngine> failover_;
@@ -632,6 +688,19 @@ Gateway::~Gateway() { Stop(); }
 
 std::uint32_t Gateway::ShardFor(std::uint64_t client_id) const {
   return static_cast<std::uint32_t>(Mix64(client_id) % shards_.size());
+}
+
+PushFeed& Gateway::FeedForShard(std::uint32_t shard) {
+  return shards_[shard]->feed();
+}
+
+PushFeed& Gateway::FeedFor(std::uint64_t client_id) {
+  return FeedForShard(ShardFor(client_id));
+}
+
+std::uint64_t Gateway::PublishEvent(std::uint64_t client_id, PushTopic topic,
+                                    std::string body) {
+  return FeedFor(client_id).Publish(topic, client_id, std::move(body));
 }
 
 int Gateway::shard_count() const { return static_cast<int>(shards_.size()); }
@@ -829,6 +898,23 @@ support::MetricsRegistry::Registration Gateway::RegisterMetrics(
           sink.Counter(base + "queue_depth", s.queue_depth);
           sink.Counter(base + "max_queue_depth", s.max_queue_depth);
         }
+        // M-Push feed totals across shards — the notifier/feeder plane's
+        // health: how much was published, how much the replay rings have
+        // already forgotten, how many live listeners are attached.
+        PushFeed::Counters push;
+        for (const auto& shard : shards_) {
+          const PushFeed::Counters c = shard->feed().GetCounters();
+          push.published += c.published;
+          push.evicted += c.evicted;
+          push.listeners += c.listeners;
+          push.replays += c.replays;
+          push.replay_gaps += c.replay_gaps;
+        }
+        sink.Counter("push.published", push.published);
+        sink.Counter("push.evicted", push.evicted);
+        sink.Counter("push.listeners", push.listeners);
+        sink.Counter("push.replays", push.replays);
+        sink.Counter("push.replay_gaps", push.replay_gaps);
         // Per-proxy OverheadMeter counts summed across every shard's nine
         // proxies: the paper's de-fragmentation-overhead attribution, as a
         // live metric.

@@ -46,6 +46,7 @@
 #include "core/descriptor/proxy_descriptor.h"
 #include "device/mobile_device.h"
 #include "gateway/failover.h"
+#include "gateway/push.h"
 #include "gateway/request.h"
 #include "gateway/stats.h"
 #include "support/metrics.h"
@@ -79,6 +80,10 @@ struct GatewayConfig {
   /// M-Failover policy: cross-platform failover, circuit breakers,
   /// hedging and fault injection. Default-constructed = all off.
   FailoverConfig failover;
+  /// Events each shard's push feed retains for reconnect catch-up
+  /// (see gateway/push.h). 0 disables replay: every cursor-based
+  /// subscribe starts with a gap marker.
+  std::size_t push_replay_capacity = 1024;
 };
 
 class Gateway {
@@ -134,6 +139,25 @@ class Gateway {
 
   /// Which shard serves a client (stable for the gateway's lifetime).
   [[nodiscard]] std::uint32_t ShardFor(std::uint64_t client_id) const;
+
+  // ---- M-Push: the per-shard notifier/feeder plane (gateway/push.h) ----
+
+  /// The shard's push feed: platform callbacks served on that shard
+  /// (SMS delivery reports today; see Shard's SmsListener bridge) are
+  /// published into it, and the wire server's subscriptions listen on
+  /// it. Valid for the gateway's lifetime; thread-safe.
+  [[nodiscard]] PushFeed& FeedForShard(std::uint32_t shard);
+  /// The feed serving `client_id` (== FeedForShard(ShardFor(id))).
+  [[nodiscard]] PushFeed& FeedFor(std::uint64_t client_id);
+
+  /// Publish an event into the client's shard feed from any thread —
+  /// the entry point for the WebView bridge (notification posts) and
+  /// for external event sources (proximity/call-state simulators,
+  /// benches). A client_id of 0 broadcasts — but only within shard 0's
+  /// feed; shard-targeted broadcast is FeedForShard(s).Publish(t, 0, b).
+  /// Returns the assigned cursor.
+  std::uint64_t PublishEvent(std::uint64_t client_id, PushTopic topic,
+                             std::string body);
 
   [[nodiscard]] int shard_count() const;
   /// Total queued across shards right now (approximate).

@@ -19,8 +19,24 @@ std::int64_t NotificationTable::NewChannel() {
 }
 
 void NotificationTable::Post(std::int64_t channel, minijs::Value notification) {
-  if (channel <= 0 || channel >= next_channel_) return;  // never allocated
-  BufferOf(channel).push_back(std::move(notification));
+  if (channel <= 0 || channel >= next_channel_) {
+    // Never allocated: still dropped (the watermark bound stands), but
+    // counted — silent loss was the bug.
+    ++dropped_;
+    return;
+  }
+  // The push bridge sees the value BEFORE the cap can evict anything:
+  // a subscribed wire client receives every accepted post even when the
+  // polling side has stopped draining.
+  if (post_listener_) post_listener_(channel, notification);
+  std::vector<minijs::Value>& buffer = BufferOf(channel);
+  if (buffer.size() >= pending_cap_) {
+    // Drop-oldest: a never-polled channel keeps the newest burst (what a
+    // poller arriving late actually wants) at a bounded footprint.
+    buffer.erase(buffer.begin());
+    ++dropped_;
+  }
+  buffer.push_back(std::move(notification));
 }
 
 std::vector<minijs::Value> NotificationTable::Drain(std::int64_t channel) {

@@ -17,9 +17,21 @@
 // next_channel_), but posts to ids never handed out by NewChannel() are
 // dropped — a misbehaving wrapper can no longer grow the table without
 // bound.
+//
+// Loss is bounded AND counted: a channel's pending buffer is capped
+// (drop-oldest past `pending_cap`, so a channel nobody polls cannot grow
+// without bound while a prompt poller still sees the newest burst), and
+// every dropped value — cap eviction or a post to a never-allocated id —
+// bumps dropped() instead of vanishing silently. The post listener hook
+// is the M-Push bridge: the owner routes accepted posts into a
+// gateway::PushFeed so subscribed wire clients get them pushed instead
+// of polled (the hook fires before the cap can evict the value — push
+// delivery never loses what polling would have).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -29,7 +41,13 @@ namespace mobivine::webview {
 
 class NotificationTable {
  public:
-  NotificationTable() = default;
+  /// Per-channel pending bound: one burst's worth with slack. A JS side
+  /// that polls at all stays far below it; one that never polls loses
+  /// oldest-first, counted.
+  static constexpr std::size_t kDefaultPendingCap = 256;
+
+  explicit NotificationTable(std::size_t pending_cap = kDefaultPendingCap)
+      : pending_cap_(pending_cap == 0 ? 1 : pending_cap) {}
   // The cache pointer aliases a map node, so copying would leave the
   // copy's cache pointing into the original. Moves transfer the nodes,
   // keeping the pointer valid.
@@ -38,13 +56,23 @@ class NotificationTable {
   NotificationTable(NotificationTable&&) = default;
   NotificationTable& operator=(NotificationTable&&) = default;
 
+  /// Observes every accepted Post (channel id + value) before it is
+  /// buffered. The M-Push bridge point: WebView's owner forwards these
+  /// into its shard's push feed.
+  using PostListener =
+      std::function<void(std::int64_t channel, const minijs::Value& value)>;
+  void SetPostListener(PostListener listener) {
+    post_listener_ = std::move(listener);
+  }
+
   /// Allocate a fresh notification channel id (> 0).
   std::int64_t NewChannel();
 
   /// Append a notification object to a channel. Channels below the
   /// NewChannel() watermark are (re)created implicitly — a wrapper may
   /// post before the JS side polls, or after a drain dropped the entry.
-  /// Posts to ids never allocated are dropped.
+  /// Posts to ids never allocated are dropped AND counted; a channel at
+  /// its pending cap evicts its oldest value, also counted.
   void Post(std::int64_t channel, minijs::Value notification);
 
   /// Remove and return every pending notification for the channel
@@ -59,17 +87,26 @@ class NotificationTable {
 
   std::size_t channel_count() const { return channels_.size(); }
 
+  /// Values lost since construction: cap evictions + posts to ids never
+  /// allocated. The `notifications_dropped` metric reads this.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  [[nodiscard]] std::size_t pending_cap() const { return pending_cap_; }
+
  private:
   /// The channel's pending vector, via the one-entry cache when it hits.
   /// Creates the entry if missing. Refreshes the cache.
   std::vector<minijs::Value>& BufferOf(std::int64_t channel);
 
+  std::size_t pending_cap_;
   std::int64_t next_channel_ = 1;
   std::unordered_map<std::int64_t, std::vector<minijs::Value>> channels_;
   // Last channel touched; node addresses are stable, so only
   // CloseChannel() invalidates this.
   std::int64_t cached_channel_ = 0;
   std::vector<minijs::Value>* cached_buffer_ = nullptr;
+  std::uint64_t dropped_ = 0;
+  PostListener post_listener_;
 };
 
 }  // namespace mobivine::webview

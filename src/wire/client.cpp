@@ -32,10 +32,12 @@ constexpr std::size_t kMaxFreeNodes = 512;
 }
 
 /// Write the whole buffer to a blocking socket. False on any error.
+/// MSG_NOSIGNAL: a Submit racing Close() must see EPIPE on the shut-down
+/// socket, not die on SIGPIPE.
 bool WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
   std::size_t off = 0;
   while (off < n) {
-    const ssize_t w = ::write(fd, data + off, n - off);
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
     if (w > 0) {
       off += static_cast<std::size_t>(w);
       continue;
@@ -163,18 +165,27 @@ bool WireClient::Connect(std::uint16_t port, const ConnectOptions& options,
   ReclaimDeadConnection();
   const int fd = ConnectLoopback(port, options, error);
   if (fd < 0) return false;
-  fd_ = fd;
+  fd_.store(fd, std::memory_order_release);
   connected_.store(true, std::memory_order_release);
   reader_ = std::thread([this] { ReaderLoop(); });
   return true;
 }
 
 void WireClient::ReclaimDeadConnection() {
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   if (reader_.joinable()) reader_.join();
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  {
+    // close() only under send_mutex_ (see fd_'s comment): a Submit that
+    // raced past the connected_ check and is inside WriteAll right now
+    // holds it, so its write hits the shut-down-but-still-valid fd — a
+    // clean EPIPE, never a recycled descriptor.
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    const int cur = fd_.load(std::memory_order_relaxed);
+    if (cur >= 0) {
+      ::close(cur);
+      fd_.store(-1, std::memory_order_release);
+    }
   }
   FailAllOutstanding();
 }
@@ -203,8 +214,9 @@ bool WireClient::Submit(const WireRequest& request, Callback callback) {
   bool sent = false;
   {
     std::lock_guard<std::mutex> lock(send_mutex_);
-    sent = connected_.load(std::memory_order_acquire) &&
-           WriteAll(fd_, bytes.data(), bytes.size());
+    const int fd = fd_.load(std::memory_order_relaxed);
+    sent = fd >= 0 && connected_.load(std::memory_order_acquire) &&
+           WriteAll(fd, bytes.data(), bytes.size());
   }
   if (sent) return true;
   // Send failed: complete this request with a transport error — unless
@@ -287,8 +299,9 @@ std::size_t WireClient::SubmitBatchImpl(
   bool sent = false;
   {
     std::lock_guard<std::mutex> lock(send_mutex_);
-    sent = connected_.load(std::memory_order_acquire) &&
-           WriteAll(fd_, bytes.data(), bytes.size());
+    const int fd = fd_.load(std::memory_order_relaxed);
+    sent = fd >= 0 && connected_.load(std::memory_order_acquire) &&
+           WriteAll(fd, bytes.data(), bytes.size());
   }
   if (sent) return ids.size();
   // A failed batch write leaves an unknown prefix delivered; responses
@@ -304,6 +317,149 @@ std::size_t WireClient::SubmitBatchImpl(
     orphans[i](dead);
   }
   return ids.size() - orphans.size();
+}
+
+bool WireClient::Subscribe(const WireSubscribe& subscribe,
+                           EventHandler on_event, AckCallback on_ack) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (!connected_.load(std::memory_order_acquire)) {
+    WireSubscribeAck dead;
+    dead.request_id = id;
+    dead.status = WireStatus::kTransportError;
+    if (on_ack) on_ack(dead);
+    return false;
+  }
+  WireSubscribe stamped = subscribe;
+  stamped.request_id = id;
+  support::PooledBuffer buffer =
+      support::BufferPool::WirePool().Acquire(kRequestOverhead);
+  std::vector<std::uint8_t>& bytes = buffer.bytes();
+  EncodeSubscribe(stamped, bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PendingSub pending;
+    pending.ack = std::move(on_ack);
+    pending.handler =
+        std::make_shared<const EventHandler>(std::move(on_event));
+    pending.is_subscribe = true;
+    pending_subs_.emplace(id, std::move(pending));
+  }
+  bool sent = false;
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    const int fd = fd_.load(std::memory_order_relaxed);
+    sent = fd >= 0 && connected_.load(std::memory_order_acquire) &&
+           WriteAll(fd, bytes.data(), bytes.size());
+  }
+  if (sent) return true;
+  AckCallback mine;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pending_subs_.find(id);
+    if (it != pending_subs_.end()) {
+      mine = std::move(it->second.ack);
+      pending_subs_.erase(it);
+    }
+  }
+  if (mine) {
+    WireSubscribeAck dead;
+    dead.request_id = id;
+    dead.status = WireStatus::kTransportError;
+    mine(dead);
+  }
+  return false;
+}
+
+bool WireClient::Unsubscribe(std::uint64_t subscription_id,
+                             AckCallback on_ack) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (!connected_.load(std::memory_order_acquire)) {
+    WireSubscribeAck dead;
+    dead.request_id = id;
+    dead.subscription_id = subscription_id;
+    dead.status = WireStatus::kTransportError;
+    if (on_ack) on_ack(dead);
+    return false;
+  }
+  WireUnsubscribe request;
+  request.request_id = id;
+  request.subscription_id = subscription_id;
+  support::PooledBuffer buffer =
+      support::BufferPool::WirePool().Acquire(kRequestOverhead);
+  std::vector<std::uint8_t>& bytes = buffer.bytes();
+  EncodeUnsubscribe(request, bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PendingSub pending;
+    pending.ack = std::move(on_ack);
+    pending.is_subscribe = false;
+    pending.subscription_id = subscription_id;
+    pending_subs_.emplace(id, std::move(pending));
+  }
+  bool sent = false;
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    const int fd = fd_.load(std::memory_order_relaxed);
+    sent = fd >= 0 && connected_.load(std::memory_order_acquire) &&
+           WriteAll(fd, bytes.data(), bytes.size());
+  }
+  if (sent) return true;
+  AckCallback mine;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pending_subs_.find(id);
+    if (it != pending_subs_.end()) {
+      mine = std::move(it->second.ack);
+      pending_subs_.erase(it);
+    }
+  }
+  if (mine) {
+    WireSubscribeAck dead;
+    dead.request_id = id;
+    dead.subscription_id = subscription_id;
+    dead.status = WireStatus::kTransportError;
+    mine(dead);
+  }
+  return false;
+}
+
+void WireClient::HandleSubscribeAck(const WireSubscribeAck& ack) {
+  AckCallback callback;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pending_subs_.find(ack.request_id);
+    if (it == pending_subs_.end()) return;  // already failed elsewhere
+    PendingSub pending = std::move(it->second);
+    pending_subs_.erase(it);
+    callback = std::move(pending.ack);
+    if (pending.is_subscribe) {
+      // Install before the ack callback runs: the server queued this
+      // ack ahead of the subscription's first event, and the reader
+      // processes frames in order, so no event can beat the handler.
+      if (ack.status == WireStatus::kOk && pending.handler) {
+        event_handlers_.emplace(ack.subscription_id,
+                                std::move(pending.handler));
+      }
+    } else if (ack.status == WireStatus::kOk) {
+      event_handlers_.erase(pending.subscription_id);
+    }
+  }
+  if (callback) callback(ack);
+}
+
+void WireClient::HandleEvent(WireEvent&& event) {
+  std::shared_ptr<const EventHandler> handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = event_handlers_.find(event.subscription_id);
+    if (it == event_handlers_.end()) return;  // unsubscribed or unknown
+    handler = it->second;
+    // kDrainOnce streams end themselves; drop the handler with the
+    // marker still to be delivered below.
+    if (event.kind == EventKind::kEndOfDrain) event_handlers_.erase(it);
+  }
+  // Outside mutex_: the handler may re-enter Submit/Subscribe.
+  (*handler)(event);
 }
 
 bool WireClient::Call(WireRequest request, WireResponse* response) {
@@ -325,16 +481,24 @@ bool WireClient::Call(WireRequest request, WireResponse* response) {
 }
 
 void WireClient::Close() {
-  if (fd_ >= 0) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
     // Shut down rather than close: the reader thread wakes with EOF and
     // fails outstanding callbacks; the fd stays valid until the join.
-    ::shutdown(fd_, SHUT_RDWR);
+    ::shutdown(fd, SHUT_RDWR);
   }
   connected_.store(false, std::memory_order_release);
   if (reader_.joinable()) reader_.join();
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  {
+    // Same close-under-send_mutex_ discipline as ReclaimDeadConnection:
+    // a Submit mid-WriteAll sees EPIPE on the shut-down fd, never a
+    // write into a descriptor number the kernel has already re-issued.
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    const int cur = fd_.load(std::memory_order_relaxed);
+    if (cur >= 0) {
+      ::close(cur);
+      fd_.store(-1, std::memory_order_release);
+    }
   }
   FailAllOutstanding();  // e.g. Close() racing sends; normally a no-op
 }
@@ -345,6 +509,9 @@ std::size_t WireClient::outstanding() const {
 }
 
 void WireClient::ReaderLoop() {
+  // One load for the thread's lifetime: the fd is set before the reader
+  // starts and closed only after it is joined.
+  const int fd = fd_.load(std::memory_order_acquire);
   std::vector<std::uint8_t> carry;  // partial-frame bytes between reads
   std::uint8_t chunk[kReadChunk];
   bool dead = false;
@@ -363,6 +530,28 @@ void WireClient::ReaderLoop() {
       if (status == DecodeStatus::kMalformed) {
         dead = true;
         return off;
+      }
+      if (frame.type == FrameType::kSubscribeAck) {
+        WireSubscribeAck ack;
+        if (!DecodeSubscribeAck(frame.payload, frame.payload_size, &ack,
+                                nullptr)) {
+          dead = true;
+          return off;
+        }
+        off += consumed;
+        HandleSubscribeAck(ack);
+        continue;
+      }
+      if (frame.type == FrameType::kEvent) {
+        WireEvent event;
+        if (!DecodeEvent(frame.payload, frame.payload_size, &event,
+                         nullptr)) {
+          dead = true;
+          return off;
+        }
+        off += consumed;
+        HandleEvent(std::move(event));
+        continue;
       }
       if (frame.type != FrameType::kResponse) {
         // Not ours (a control frame, or a type from a newer protocol
@@ -386,7 +575,7 @@ void WireClient::ReaderLoop() {
   };
 
   while (!dead) {
-    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // EOF or error: fail everything below
     const std::size_t got = static_cast<std::size_t>(n);
@@ -412,15 +601,38 @@ void WireClient::ReaderLoop() {
 
 void WireClient::FailAllOutstanding() {
   std::unordered_map<std::uint64_t, Callback> orphans;
+  std::unordered_map<std::uint64_t, PendingSub> sub_orphans;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const EventHandler>>
+      handlers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     orphans.swap(pending_);
+    sub_orphans.swap(pending_subs_);
+    handlers.swap(event_handlers_);
   }
   for (auto& [id, callback] : orphans) {
     WireResponse dead;
     dead.request_id = id;
     dead.status = WireStatus::kTransportError;
     callback(dead);
+  }
+  for (auto& [id, pending] : sub_orphans) {
+    if (!pending.ack) continue;
+    WireSubscribeAck dead;
+    dead.request_id = id;
+    dead.subscription_id = pending.subscription_id;
+    dead.status = WireStatus::kTransportError;
+    pending.ack(dead);
+  }
+  // Each live subscription gets one final synthetic gap marker with
+  // cursor 0: "the stream is gone — re-subscribe with your last cursor".
+  // Real shed ranges always carry cursors >= 1, so the two are
+  // distinguishable (the cluster client's repair path keys off this).
+  for (auto& [id, handler] : handlers) {
+    WireEvent dead;
+    dead.subscription_id = id;
+    dead.kind = EventKind::kEventsDropped;
+    (*handler)(dead);
   }
 }
 

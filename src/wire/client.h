@@ -24,6 +24,17 @@
 // Submit/Call attempts fail fast. Callbacks run on the reader thread —
 // keep them short; a callback must not call Close() (deadlock: Close
 // joins the reader).
+//
+// M-Push: Subscribe() opens a server-initiated event stream on the same
+// connection. The ack callback fires exactly once (the server's typed
+// kSubscribeAck, or kTransportError); after a kOk ack the event handler
+// receives every kEvent frame for that subscription — data, typed
+// kEventsDropped gap markers, kEndOfDrain — in arrival order on the
+// reader thread. When the connection dies each live subscription's
+// handler receives one final synthetic kEventsDropped event with
+// cursor == 0 ("the stream is gone — re-subscribe with your last
+// cursor"), distinguishable from real shed ranges, whose cursors are
+// always >= 1.
 #pragma once
 
 #include <atomic>
@@ -31,6 +42,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -110,6 +122,26 @@ class WireClient {
   /// statuses with the connection intact.
   bool Call(WireRequest request, WireResponse* response);
 
+  // ---- M-Push subscriptions ----
+
+  using EventHandler = std::function<void(const WireEvent&)>;
+  using AckCallback = std::function<void(const WireSubscribeAck&)>;
+
+  /// Open a subscription (`subscribe.request_id` is ignored — this
+  /// client stamps its own correlation id). `on_ack` fires exactly once:
+  /// the server's kSubscribeAck, or kTransportError. On a kOk ack the
+  /// handler is installed under the server-assigned subscription id
+  /// before any of that subscription's events are dispatched (the server
+  /// queues the ack ahead of the first event). Returns false when the
+  /// send failed — `on_ack` has then already fired.
+  bool Subscribe(const WireSubscribe& subscribe, EventHandler on_event,
+                 AckCallback on_ack);
+
+  /// Close a subscription by its server-assigned id. The handler stays
+  /// installed until the kOk ack arrives, so events already in flight
+  /// are still delivered, in order, before it.
+  bool Unsubscribe(std::uint64_t subscription_id, AckCallback on_ack);
+
   /// Shut the socket down and join the reader thread (which fails all
   /// outstanding callbacks with kTransportError). Idempotent.
   void Close();
@@ -122,8 +154,20 @@ class WireClient {
   [[nodiscard]] std::size_t outstanding() const;
 
  private:
+  /// A Subscribe/Unsubscribe whose ack has not arrived yet.
+  struct PendingSub {
+    AckCallback ack;
+    /// shared_ptr so event dispatch can copy the handle out of the map
+    /// and invoke it outside mutex_ (a handler may re-enter Submit).
+    std::shared_ptr<const EventHandler> handler;
+    bool is_subscribe = true;
+    std::uint64_t subscription_id = 0;  ///< unsubscribe: the target
+  };
+
   void ReaderLoop();
   void FailAllOutstanding();
+  void HandleSubscribeAck(const WireSubscribeAck& ack);
+  void HandleEvent(WireEvent&& event);
   /// Reclaim a previous (dead or closed) connection so Connect can dial
   /// fresh: join the exited reader, close the fd, fail anything still
   /// pending. No-op on a never-connected client.
@@ -140,7 +184,11 @@ class WireClient {
   /// freed node is recycled.
   [[nodiscard]] Callback TakePending(std::uint64_t id);
 
-  int fd_ = -1;
+  /// Atomic, and closed/reset ONLY under send_mutex_: a sender inside
+  /// WriteAll holds that mutex, so teardown can race the shutdown()
+  /// (harmless — the write fails with EPIPE) but never the close() —
+  /// a concurrent Submit can never write into a recycled descriptor.
+  std::atomic<int> fd_{-1};
   std::thread reader_;
   std::atomic<bool> connected_{false};
   std::atomic<std::uint64_t> next_id_{1};
@@ -154,6 +202,11 @@ class WireClient {
   mutable std::mutex mutex_;  ///< guards pending_ and free_nodes_
   std::mutex send_mutex_;     ///< serializes whole-frame writes
   PendingMap pending_;
+  /// M-Push state, also under mutex_: un-acked subscribe/unsubscribe
+  /// requests, and the live handler per server-assigned subscription id.
+  std::unordered_map<std::uint64_t, PendingSub> pending_subs_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const EventHandler>>
+      event_handlers_;
   /// Recycled pending_ nodes: completing a response extracts its node
   /// here instead of freeing it, and the next Submit reuses it — no map
   /// node allocation per request at steady state.

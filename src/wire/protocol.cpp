@@ -267,6 +267,157 @@ void EncodeResponse(const WireResponse& response, std::string_view body,
   FinishFrame(out, frame_start, FrameType::kResponse);
 }
 
+void EncodeSubscribe(const WireSubscribe& subscribe,
+                     std::vector<std::uint8_t>& out) {
+  const std::size_t frame_start = out.size();
+  PutVarint(out, subscribe.request_id);
+  PutVarint(out, subscribe.client_id);
+  out.push_back(static_cast<std::uint8_t>(subscribe.topic));
+  out.push_back(static_cast<std::uint8_t>(subscribe.mode));
+  PutVarint(out, subscribe.cursor);
+  FinishFrame(out, frame_start, FrameType::kSubscribe);
+}
+
+void EncodeUnsubscribe(const WireUnsubscribe& unsubscribe,
+                       std::vector<std::uint8_t>& out) {
+  const std::size_t frame_start = out.size();
+  PutVarint(out, unsubscribe.request_id);
+  PutVarint(out, unsubscribe.subscription_id);
+  FinishFrame(out, frame_start, FrameType::kUnsubscribe);
+}
+
+void EncodeSubscribeAck(const WireSubscribeAck& ack,
+                        std::vector<std::uint8_t>& out) {
+  const std::size_t frame_start = out.size();
+  PutVarint(out, ack.request_id);
+  out.push_back(static_cast<std::uint8_t>(ack.status));
+  PutVarint(out, ack.subscription_id);
+  PutVarint(out, ack.start_cursor);
+  FinishFrame(out, frame_start, FrameType::kSubscribeAck);
+}
+
+void EncodeEvent(const WireEvent& event, std::vector<std::uint8_t>& out) {
+  EncodeEvent(event, event.body, out);
+}
+
+void EncodeEvent(const WireEvent& event, std::string_view body,
+                 std::vector<std::uint8_t>& out) {
+  const std::size_t frame_start = out.size();
+  PutVarint(out, event.subscription_id);
+  out.push_back(static_cast<std::uint8_t>(event.kind));
+  out.push_back(static_cast<std::uint8_t>(event.topic));
+  PutVarint(out, event.cursor);
+  PutVarint(out, event.aux);
+  PutString(out, body);
+  FinishFrame(out, frame_start, FrameType::kEvent);
+}
+
+BodyStatus DecodeSubscribe(const std::uint8_t* payload, std::size_t size,
+                           WireSubscribe* subscribe, std::string* error) {
+  Reader reader(payload, size);
+  const auto fail = [&](BodyStatus status) {
+    if (error != nullptr) *error = reader.error();
+    return status;
+  };
+  if (!reader.Varint(&subscribe->request_id, "request_id")) {
+    return fail(BodyStatus::kBadId);
+  }
+  std::uint8_t topic = 0;
+  std::uint8_t mode = 0;
+  if (!reader.Varint(&subscribe->client_id, "client_id") ||
+      !reader.Byte(&topic, "topic") || !reader.Byte(&mode, "mode")) {
+    return fail(BodyStatus::kBadBody);
+  }
+  if (!IsKnownPushTopic(topic)) {
+    if (error != nullptr) *error = "topic: unknown code";
+    return BodyStatus::kBadBody;
+  }
+  if (mode > static_cast<std::uint8_t>(SubscribeMode::kDrainOnce)) {
+    if (error != nullptr) *error = "mode: unknown code";
+    return BodyStatus::kBadBody;
+  }
+  subscribe->topic = static_cast<PushTopic>(topic);
+  subscribe->mode = static_cast<SubscribeMode>(mode);
+  if (!reader.Varint(&subscribe->cursor, "cursor")) {
+    return fail(BodyStatus::kBadBody);
+  }
+  if (!reader.AtEnd()) {
+    if (error != nullptr) *error = "trailing bytes after subscribe body";
+    return BodyStatus::kBadBody;
+  }
+  return BodyStatus::kOk;
+}
+
+BodyStatus DecodeUnsubscribe(const std::uint8_t* payload, std::size_t size,
+                             WireUnsubscribe* unsubscribe,
+                             std::string* error) {
+  Reader reader(payload, size);
+  const auto fail = [&](BodyStatus status) {
+    if (error != nullptr) *error = reader.error();
+    return status;
+  };
+  if (!reader.Varint(&unsubscribe->request_id, "request_id")) {
+    return fail(BodyStatus::kBadId);
+  }
+  if (!reader.Varint(&unsubscribe->subscription_id, "subscription_id")) {
+    return fail(BodyStatus::kBadBody);
+  }
+  if (!reader.AtEnd()) {
+    if (error != nullptr) *error = "trailing bytes after unsubscribe body";
+    return BodyStatus::kBadBody;
+  }
+  return BodyStatus::kOk;
+}
+
+bool DecodeSubscribeAck(const std::uint8_t* payload, std::size_t size,
+                        WireSubscribeAck* ack, std::string* error) {
+  Reader reader(payload, size);
+  std::uint8_t status = 0;
+  if (!reader.Varint(&ack->request_id, "request_id") ||
+      !reader.Byte(&status, "status") ||
+      !reader.Varint(&ack->subscription_id, "subscription_id") ||
+      !reader.Varint(&ack->start_cursor, "start_cursor") || !reader.AtEnd()) {
+    if (error != nullptr) {
+      *error = reader.error().empty() ? "trailing bytes after ack body"
+                                      : reader.error();
+    }
+    return false;
+  }
+  ack->status = static_cast<WireStatus>(status);
+  return true;
+}
+
+bool DecodeEvent(const std::uint8_t* payload, std::size_t size,
+                 WireEvent* event, std::string* error) {
+  Reader reader(payload, size);
+  std::uint8_t kind = 0;
+  std::uint8_t topic = 0;
+  std::string_view body;
+  if (!reader.Varint(&event->subscription_id, "subscription_id") ||
+      !reader.Byte(&kind, "kind") || !reader.Byte(&topic, "topic") ||
+      !reader.Varint(&event->cursor, "cursor") ||
+      !reader.Varint(&event->aux, "aux") || !reader.String(&body, "body") ||
+      !reader.AtEnd()) {
+    if (error != nullptr) {
+      *error = reader.error().empty() ? "trailing bytes after event body"
+                                      : reader.error();
+    }
+    return false;
+  }
+  if (kind > static_cast<std::uint8_t>(EventKind::kEndOfDrain)) {
+    if (error != nullptr) *error = "kind: unknown code";
+    return false;
+  }
+  if (!IsKnownPushTopic(topic)) {
+    if (error != nullptr) *error = "topic: unknown code";
+    return false;
+  }
+  event->kind = static_cast<EventKind>(kind);
+  event->topic = static_cast<PushTopic>(topic);
+  event->body.assign(body.data(), body.size());
+  return true;
+}
+
 DecodeStatus DecodeFrame(const std::uint8_t* data, std::size_t size,
                          FrameView* frame, std::size_t* consumed,
                          std::string* error) {

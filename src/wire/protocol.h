@@ -60,6 +60,21 @@ enum class FrameType : std::uint8_t {
   /// src/cluster/control.h). Same frame envelope, different payload
   /// schema; data-plane peers that predate it answer kUnsupportedFrame.
   kControl = 3,
+  /// M-Push subscription plane (client -> server): open a topic
+  /// subscription, optionally replaying from a cursor. Answered with a
+  /// kSubscribeAck, then zero or more server-initiated kEvent frames.
+  kSubscribe = 4,
+  /// M-Push event (server -> client): a pushed platform callback, a
+  /// kEventsDropped gap marker, or an end-of-drain marker. Never
+  /// acknowledged — the server sheds instead of waiting.
+  kEvent = 5,
+  /// M-Push teardown (client -> server): stop a subscription by id.
+  /// Answered with a kSubscribeAck echoing the request id.
+  kUnsubscribe = 6,
+  /// M-Push ack (server -> client): typed outcome of a kSubscribe or
+  /// kUnsubscribe, carrying the assigned subscription id and the cursor
+  /// the event stream actually starts from.
+  kSubscribeAck = 7,
 };
 
 /// Is this a frame type this build knows how to handle? Unknown types
@@ -68,7 +83,9 @@ enum class FrameType : std::uint8_t {
 /// connection — mixed-version fleets degrade gracefully.
 [[nodiscard]] constexpr bool IsKnownFrameType(FrameType type) {
   return type == FrameType::kRequest || type == FrameType::kResponse ||
-         type == FrameType::kControl;
+         type == FrameType::kControl || type == FrameType::kSubscribe ||
+         type == FrameType::kEvent || type == FrameType::kUnsubscribe ||
+         type == FrameType::kSubscribeAck;
 }
 
 /// Wire status codes. 0 is success; 1..13 mirror core::ErrorCode one to
@@ -136,6 +153,87 @@ struct WireResponse {
   std::string body;  ///< op result when kOk; error detail otherwise
 };
 
+// ---------------------------------------------------------------------------
+// M-Push frame bodies (kSubscribe / kSubscribeAck / kEvent / kUnsubscribe)
+// ---------------------------------------------------------------------------
+
+/// What a subscription listens to. Topics are small enum codes like the
+/// proxy/method symbols: one agreed byte per distinct callback family.
+enum class PushTopic : std::uint8_t {
+  kAll = 0,          ///< wildcard: every topic on the owning shard
+  kProximity = 1,    ///< ProximityListener::proximityEvent
+  kSmsDelivery = 2,  ///< SmsListener::smsStatusChanged delivery reports
+  kCallState = 3,    ///< CallListener::callStateChanged
+  kNotification = 4, ///< WebView NotificationTable posts (paper Fig 6)
+};
+
+[[nodiscard]] constexpr bool IsKnownPushTopic(std::uint8_t raw) {
+  return raw <= static_cast<std::uint8_t>(PushTopic::kNotification);
+}
+
+/// How the subscription starts relative to the shard's replay ring.
+enum class SubscribeMode : std::uint8_t {
+  kLiveOnly = 0,    ///< events from now on; `cursor` ignored
+  kFromCursor = 1,  ///< replay retained events after `cursor`, then live
+  /// Replay retained events after `cursor`, emit an end-of-drain marker,
+  /// and auto-close — the poll primitive (bench baseline and migration
+  /// path for NotificationTable-style clients).
+  kDrainOnce = 2,
+};
+
+/// kSubscribe payload: varint request_id, varint client_id (shard/plan
+/// routing key, same as requests), u8 topic, u8 mode, varint cursor.
+struct WireSubscribe {
+  std::uint64_t request_id = 0;
+  std::uint64_t client_id = 0;
+  PushTopic topic = PushTopic::kAll;
+  SubscribeMode mode = SubscribeMode::kLiveOnly;
+  std::uint64_t cursor = 0;  ///< last cursor already seen (kFromCursor)
+};
+
+/// kUnsubscribe payload: varint request_id, varint subscription_id.
+struct WireUnsubscribe {
+  std::uint64_t request_id = 0;
+  std::uint64_t subscription_id = 0;
+};
+
+/// kSubscribeAck payload: varint request_id, u8 status, varint
+/// subscription_id, varint start_cursor. Acks both subscribe (the
+/// assigned id + the cursor the stream starts after — a clamped
+/// start_cursor < the requested cursor means the ring no longer retained
+/// the gap) and unsubscribe (ids echo back).
+struct WireSubscribeAck {
+  std::uint64_t request_id = 0;
+  WireStatus status = WireStatus::kUnknown;
+  std::uint64_t subscription_id = 0;
+  std::uint64_t start_cursor = 0;
+};
+
+/// What a kEvent frame carries.
+enum class EventKind : std::uint8_t {
+  kData = 0,          ///< a pushed platform callback; body is the payload
+  /// The per-connection queue overflowed and events [aux_cursor, cursor]
+  /// were shed — re-sync from `cursor` instead of silently missing them.
+  kEventsDropped = 1,
+  kEndOfDrain = 2,    ///< kDrainOnce replay finished; subscription closed
+};
+
+/// kEvent payload: varint subscription_id, u8 kind, u8 topic, varint
+/// cursor, varint aux, string body.
+///  * kData:          cursor = the event's ring cursor; aux = origin
+///                    client id (0 = device-wide broadcast).
+///  * kEventsDropped: [aux, cursor] is the shed cursor range; body empty.
+///  * kEndOfDrain:    cursor = last cursor replayed (resume point for the
+///                    next kDrainOnce); aux 0; body empty.
+struct WireEvent {
+  std::uint64_t subscription_id = 0;
+  EventKind kind = EventKind::kData;
+  PushTopic topic = PushTopic::kAll;
+  std::uint64_t cursor = 0;
+  std::uint64_t aux = 0;
+  std::string body;
+};
+
 /// A request decoded without copying: every string field is a view into
 /// the frame payload the decoder was handed (a connection's input ring).
 /// Valid only until that buffer is consumed, grown or linearized — the
@@ -173,6 +271,19 @@ void EncodeResponse(const WireResponse& response,
 /// ignored.
 void EncodeResponse(const WireResponse& response, std::string_view body,
                     std::vector<std::uint8_t>& out);
+
+void EncodeSubscribe(const WireSubscribe& subscribe,
+                     std::vector<std::uint8_t>& out);
+void EncodeUnsubscribe(const WireUnsubscribe& unsubscribe,
+                       std::vector<std::uint8_t>& out);
+void EncodeSubscribeAck(const WireSubscribeAck& ack,
+                        std::vector<std::uint8_t>& out);
+void EncodeEvent(const WireEvent& event, std::vector<std::uint8_t>& out);
+/// Encode with the body supplied separately as a borrowed view — the
+/// server's push pump hands the feed's payload straight through without
+/// copying it into a WireEvent first. `event.body` is ignored.
+void EncodeEvent(const WireEvent& event, std::string_view body,
+                 std::vector<std::uint8_t>& out);
 
 /// Wrap payload bytes the caller appended at out[payload_start..) in the
 /// frame header + CRC trailer (the payload is moved right by the header
@@ -236,6 +347,29 @@ enum class BodyStatus : std::uint8_t {
 [[nodiscard]] bool DecodeResponse(const std::uint8_t* payload,
                                   std::size_t size, WireResponse* response,
                                   std::string* error);
+
+/// Decode a kSubscribe frame payload. Same contract as DecodeRequest:
+/// on kBadBody the request_id is valid and can be answered with a typed
+/// kMalformedRequest ack; on kBadId nothing is usable.
+[[nodiscard]] BodyStatus DecodeSubscribe(const std::uint8_t* payload,
+                                         std::size_t size,
+                                         WireSubscribe* subscribe,
+                                         std::string* error);
+
+/// Decode a kUnsubscribe frame payload (same kBadId/kBadBody contract).
+[[nodiscard]] BodyStatus DecodeUnsubscribe(const std::uint8_t* payload,
+                                           std::size_t size,
+                                           WireUnsubscribe* unsubscribe,
+                                           std::string* error);
+
+/// Decode a kSubscribeAck frame payload (client side). True on success.
+[[nodiscard]] bool DecodeSubscribeAck(const std::uint8_t* payload,
+                                      std::size_t size, WireSubscribeAck* ack,
+                                      std::string* error);
+
+/// Decode a kEvent frame payload (client side). True on success.
+[[nodiscard]] bool DecodeEvent(const std::uint8_t* payload, std::size_t size,
+                               WireEvent* event, std::string* error);
 
 /// Best-effort correlation id for a frame whose type this peer does not
 /// implement: every frame family in this protocol leads its payload with

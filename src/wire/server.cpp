@@ -13,6 +13,8 @@
 #include <cassert>
 #include <cerrno>
 #include <cstring>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -65,6 +67,11 @@ struct WireServer::Counters {
   std::atomic<std::uint64_t> requests_dispatched{0};
   std::atomic<std::uint64_t> writev_calls{0};
   std::atomic<std::uint64_t> epollout_arms{0};
+  std::atomic<std::uint64_t> subscriptions_opened{0};
+  std::atomic<std::uint64_t> subscriptions_closed{0};
+  std::atomic<std::uint64_t> events_out{0};
+  std::atomic<std::uint64_t> events_dropped{0};
+  std::atomic<std::uint64_t> gap_markers{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -232,6 +239,14 @@ class WireServer::EventLoop
   void Close(const std::shared_ptr<Connection>& conn) {
     if (conn->closed()) return;
     conn->MarkClosed();
+    // Tear down this connection's subscriptions before the fd: each
+    // CloseSubscription fences its feed listener, so no publisher is
+    // left poking a dead connection.
+    const auto sit = subs_by_fd_.find(conn->fd());
+    if (sit != subs_by_fd_.end()) {
+      const std::vector<std::shared_ptr<Sub>> subs = sit->second;
+      for (const std::shared_ptr<Sub>& sub : subs) CloseSubscription(sub);
+    }
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd(), nullptr);
     ::close(conn->fd());
     conns_.erase(conn->fd());
@@ -302,12 +317,25 @@ class WireServer::EventLoop
       }
       AddU64(server_.stats_->frames_in, 1);
       ++frames;
-      if (frame.type == FrameType::kResponse) {
-        // A client must never send response frames; direction violation.
+      if (frame.type == FrameType::kResponse ||
+          frame.type == FrameType::kEvent ||
+          frame.type == FrameType::kSubscribeAck) {
+        // Server-to-client frame types arriving here are a direction
+        // violation (not version skew — we know these types); close.
         AddU64(server_.stats_->protocol_errors, 1);
         support::trace::Instant("wire.protocol_error");
         fatal = true;
         break;
+      }
+      if (frame.type == FrameType::kSubscribe) {
+        HandleSubscribe(conn, frame, &fatal);
+        offset += consumed;
+        continue;
+      }
+      if (frame.type == FrameType::kUnsubscribe) {
+        HandleUnsubscribe(conn, frame, &fatal);
+        offset += consumed;
+        continue;
       }
       if (frame.type != FrameType::kRequest) {
         // Well-framed but not a type this server implements (kControl on
@@ -456,6 +484,319 @@ class WireServer::EventLoop
     if (conn->ClaimNotify()) NotifyWritable(conn);
   }
 
+  // ---- M-Push: the server side of the subscription plane ----
+
+  /// One live subscription. Shared between this loop (which owns the
+  /// id/fd maps and the pump) and its shard feed's listener callback
+  /// (publisher threads), which touches only the mutex-guarded queue and
+  /// the loop-wake path. `pending` holds kData entries — gap markers are
+  /// synthesized at pump time from the merged gap range, so shedding is
+  /// O(1) and a burst of sheds costs one marker, not one frame each —
+  /// plus a trailing kEndOfDrain for kDrainOnce subscriptions.
+  struct Sub {
+    std::uint64_t id = 0;
+    std::shared_ptr<Connection> conn;
+    gateway::PushFeed* feed = nullptr;
+    std::uint64_t listener_id = 0;  ///< 0: none (kDrainOnce never listens)
+    PushTopic topic = PushTopic::kAll;
+    std::uint64_t client_filter = 0;
+
+    std::mutex mutex;
+    std::deque<WireEvent> pending;
+    bool gap = false;
+    std::uint64_t gap_first = 0;
+    std::uint64_t gap_last = 0;
+    bool closed = false;  ///< torn down; publishers must stop enqueuing
+
+    void MergeGapLocked(std::uint64_t first, std::uint64_t last) {
+      if (!gap) {
+        gap = true;
+        gap_first = first;
+        gap_last = last;
+        return;
+      }
+      gap_first = std::min(gap_first, first);
+      gap_last = std::max(gap_last, last);
+    }
+  };
+
+  /// Append one data event to `sub.pending` (mutex held by the caller),
+  /// shedding the oldest at capacity — merged into the gap range and
+  /// counted, never silent.
+  static void EnqueueData(Sub& sub, const gateway::PushEvent& event,
+                          std::size_t capacity, WireServer::Counters& stats) {
+    if (sub.pending.size() >= capacity &&
+        sub.pending.front().kind == EventKind::kData) {
+      sub.MergeGapLocked(sub.pending.front().cursor,
+                         sub.pending.front().cursor);
+      sub.pending.pop_front();
+      AddU64(stats.events_dropped, 1);
+      support::trace::Instant("push.shed", "sub",
+                              static_cast<std::int64_t>(sub.id));
+    }
+    WireEvent out;
+    out.subscription_id = sub.id;
+    out.kind = EventKind::kData;
+    out.topic = static_cast<PushTopic>(event.topic);
+    out.cursor = event.cursor;
+    out.aux = event.client_id;
+    out.body = event.body;
+    sub.pending.push_back(std::move(out));
+  }
+
+  void HandleSubscribe(const std::shared_ptr<Connection>& conn,
+                       const FrameView& frame, bool* fatal) {
+    WireSubscribe req;
+    std::string error;
+    switch (DecodeSubscribe(frame.payload, frame.payload_size, &req, &error)) {
+      case BodyStatus::kBadId:
+        AddU64(server_.stats_->protocol_errors, 1);
+        support::trace::Instant("wire.protocol_error");
+        *fatal = true;
+        return;
+      case BodyStatus::kBadBody:
+        AddU64(server_.stats_->decode_errors, 1);
+        SendAck(conn, req.request_id, WireStatus::kMalformedRequest, 0, 0);
+        return;
+      case BodyStatus::kOk:
+        break;
+    }
+    // Same routing fence as requests: a subscription pins a shard feed,
+    // so a worker that does not own the client bounces it BEFORE it can
+    // accumulate events. The epoch travels in start_cursor — a varint,
+    // not the decimal body requests use, so the cluster client never
+    // parses text on this path.
+    if (server_.config_.ownership) {
+      std::uint64_t plan_epoch = 0;
+      if (!server_.config_.ownership(req.client_id, &plan_epoch)) {
+        AddU64(server_.stats_->wrong_worker, 1);
+        support::trace::Instant("wire.wrong_worker");
+        SendAck(conn, req.request_id, WireStatus::kWrongWorker, 0, plan_epoch);
+        return;
+      }
+    }
+    gateway::PushFeed& feed = server_.gateway_.FeedFor(req.client_id);
+    auto sub = std::make_shared<Sub>();
+    sub->id =
+        server_.next_subscription_id_.fetch_add(1, std::memory_order_relaxed);
+    sub->conn = conn;
+    sub->feed = &feed;
+    sub->topic = req.topic;
+    sub->client_filter = req.client_id;
+    const std::size_t capacity =
+        std::max<std::size_t>(server_.config_.push_queue_capacity, 1);
+    const auto topic_g = static_cast<gateway::PushTopic>(req.topic);
+    // kLiveOnly replays after "the far future": under the feed's clamp
+    // the single-lock seam degenerates to a plain listener registration —
+    // no replayed events, no gap.
+    const std::uint64_t after =
+        req.mode == SubscribeMode::kLiveOnly
+            ? std::numeric_limits<std::uint64_t>::max()
+            : req.cursor;
+    std::shared_ptr<WireServer::Counters> stats = server_.stats_;
+    const auto replay_into_pending =
+        [&sub, capacity, &stats](const gateway::PushEvent& event) {
+          // Feed lock held; nobody else can see `sub` yet, but keep the
+          // "pending is touched under sub->mutex" invariant uniform.
+          std::lock_guard<std::mutex> lock(sub->mutex);
+          EnqueueData(*sub, event, capacity, *stats);
+        };
+    gateway::PushFeed::ReplayResult covered;
+    if (req.mode == SubscribeMode::kDrainOnce) {
+      // The poll primitive: catch up, mark the end, auto-close at pump
+      // time. No listener is ever registered.
+      covered =
+          feed.ReplayAfter(after, topic_g, req.client_id, replay_into_pending);
+    } else {
+      std::weak_ptr<EventLoop> weak_loop = weak_from_this();
+      sub->listener_id = feed.AddListenerAndReplay(
+          after, topic_g, req.client_id, replay_into_pending,
+          [sub, capacity, stats, weak_loop,
+           topic_g](const gateway::PushEvent& event) {
+            // Publisher thread, feed lock held: filter, enqueue, wake the
+            // loop. Everything heavier (encode, socket) is the loop's.
+            if (!gateway::MatchesSubscription(event, topic_g,
+                                              sub->client_filter)) {
+              return;
+            }
+            {
+              std::lock_guard<std::mutex> lock(sub->mutex);
+              if (sub->closed) return;
+              EnqueueData(*sub, event, capacity, *stats);
+            }
+            if (sub->conn->ClaimNotify()) {
+              if (const std::shared_ptr<EventLoop> loop = weak_loop.lock()) {
+                loop->NotifyWritable(sub->conn);
+              } else {
+                sub->conn->ClearNotify();  // loop gone: connection closing
+              }
+            }
+          },
+          &covered);
+    }
+    {
+      std::lock_guard<std::mutex> lock(sub->mutex);
+      if (covered.gap) sub->MergeGapLocked(covered.gap_first, covered.gap_last);
+      if (req.mode == SubscribeMode::kDrainOnce) {
+        WireEvent end;
+        end.subscription_id = sub->id;
+        end.kind = EventKind::kEndOfDrain;
+        end.cursor = covered.resume_cursor;
+        sub->pending.push_back(std::move(end));
+      }
+    }
+    subs_by_id_.emplace(sub->id, sub);
+    subs_by_fd_[conn->fd()].push_back(sub);
+    AddU64(server_.stats_->subscriptions_opened, 1);
+    support::trace::Instant("push.subscribe", "sub",
+                            static_cast<std::int64_t>(sub->id), "topic",
+                            static_cast<std::int64_t>(req.topic));
+    // Queue the ack NOW: subscribe handling and the event pump share this
+    // loop thread, so the ack always precedes the first kEvent frame.
+    SendAck(conn, req.request_id, WireStatus::kOk, sub->id,
+            covered.resume_cursor);
+  }
+
+  void HandleUnsubscribe(const std::shared_ptr<Connection>& conn,
+                         const FrameView& frame, bool* fatal) {
+    WireUnsubscribe req;
+    std::string error;
+    switch (
+        DecodeUnsubscribe(frame.payload, frame.payload_size, &req, &error)) {
+      case BodyStatus::kBadId:
+        AddU64(server_.stats_->protocol_errors, 1);
+        support::trace::Instant("wire.protocol_error");
+        *fatal = true;
+        return;
+      case BodyStatus::kBadBody:
+        AddU64(server_.stats_->decode_errors, 1);
+        SendAck(conn, req.request_id, WireStatus::kMalformedRequest, 0, 0);
+        return;
+      case BodyStatus::kOk:
+        break;
+    }
+    const auto it = subs_by_id_.find(req.subscription_id);
+    if (it == subs_by_id_.end() || it->second->conn != conn) {
+      // Unknown id, or an id owned by another connection — either way
+      // nothing this connection may tear down.
+      SendAck(conn, req.request_id, WireStatus::kMalformedRequest,
+              req.subscription_id, 0);
+      return;
+    }
+    const std::shared_ptr<Sub> sub = it->second;
+    CloseSubscription(sub);
+    support::trace::Instant("push.unsubscribe", "sub",
+                            static_cast<std::int64_t>(sub->id));
+    SendAck(conn, req.request_id, WireStatus::kOk, sub->id, 0);
+  }
+
+  /// Loop thread. RemoveListener returning is the fence: after it no
+  /// publisher callback for this sub is running or will ever run, so
+  /// marking closed + clearing pending under the mutex leaves nothing
+  /// in flight.
+  void CloseSubscription(const std::shared_ptr<Sub>& sub) {
+    if (sub->listener_id != 0) sub->feed->RemoveListener(sub->listener_id);
+    {
+      std::lock_guard<std::mutex> lock(sub->mutex);
+      sub->closed = true;
+      sub->pending.clear();
+      sub->gap = false;
+    }
+    subs_by_id_.erase(sub->id);
+    const auto it = subs_by_fd_.find(sub->conn->fd());
+    if (it != subs_by_fd_.end()) {
+      auto& list = it->second;
+      list.erase(std::remove(list.begin(), list.end(), sub), list.end());
+      if (list.empty()) subs_by_fd_.erase(it);
+    }
+    AddU64(server_.stats_->subscriptions_closed, 1);
+  }
+
+  /// Encode + enqueue one subscribe/unsubscribe ack. Loop thread.
+  void SendAck(const std::shared_ptr<Connection>& conn,
+               std::uint64_t request_id, WireStatus status,
+               std::uint64_t subscription_id, std::uint64_t start_cursor) {
+    if (conn->closed()) return;
+    WireSubscribeAck ack;
+    ack.request_id = request_id;
+    ack.status = status;
+    ack.subscription_id = subscription_id;
+    ack.start_cursor = start_cursor;
+    support::PooledBuffer buffer =
+        support::BufferPool::WirePool().Acquire(kResponseOverhead);
+    EncodeSubscribeAck(ack, buffer.bytes());
+    if (conn->QueueOutput(std::move(buffer)) == 0) return;
+    AddU64(server_.stats_->frames_out, 1);
+    if (conn->ClaimNotify()) NotifyWritable(conn);
+  }
+
+  /// Loop thread, from Flush: encode queued subscription events into the
+  /// connection's output — but only while the backlog sits below the LOW
+  /// watermark. Request/response traffic owns the band between the
+  /// watermarks, so the push plane can never drive a connection into the
+  /// read-pause band: a slow subscriber sheds from its bounded queue
+  /// (typed gap markers) instead of stalling its own responses. Returns
+  /// true when any frame was queued.
+  bool PumpPush(const std::shared_ptr<Connection>& conn) {
+    const auto it = subs_by_fd_.find(conn->fd());
+    if (it == subs_by_fd_.end()) return false;
+    bool queued = false;
+    std::vector<std::shared_ptr<Sub>> finished;
+    for (const std::shared_ptr<Sub>& sub : it->second) {
+      bool drained_end = false;
+      while (!drained_end && conn->pending_output_bytes() <
+                                 server_.config_.output_low_watermark) {
+        WireEvent event;
+        bool have = false;
+        {
+          std::lock_guard<std::mutex> lock(sub->mutex);
+          if (sub->gap) {
+            // The gap marker goes out BEFORE the retained events behind
+            // it — its range only ever covers cursors older than
+            // anything still pending.
+            event.subscription_id = sub->id;
+            event.kind = EventKind::kEventsDropped;
+            event.topic = sub->topic;
+            event.aux = sub->gap_first;
+            event.cursor = sub->gap_last;
+            sub->gap = false;
+            have = true;
+          } else if (!sub->pending.empty()) {
+            event = std::move(sub->pending.front());
+            sub->pending.pop_front();
+            have = true;
+          }
+        }
+        if (!have) break;
+        support::PooledBuffer buffer = support::BufferPool::WirePool().Acquire(
+            kResponseOverhead + event.body.size());
+        EncodeEvent(event, event.body, buffer.bytes());
+        if (conn->QueueOutput(std::move(buffer)) == 0) return queued;
+        AddU64(server_.stats_->frames_out, 1);
+        queued = true;
+        switch (event.kind) {
+          case EventKind::kData:
+            AddU64(server_.stats_->events_out, 1);
+            break;
+          case EventKind::kEventsDropped:
+            AddU64(server_.stats_->gap_markers, 1);
+            support::trace::Instant(
+                "push.gap_marker", "first",
+                static_cast<std::int64_t>(event.aux), "last",
+                static_cast<std::int64_t>(event.cursor));
+            break;
+          case EventKind::kEndOfDrain:
+            // kDrainOnce: the marker is the last frame; auto-close.
+            finished.push_back(sub);
+            drained_end = true;
+            break;
+        }
+      }
+    }
+    for (const std::shared_ptr<Sub>& sub : finished) CloseSubscription(sub);
+    return queued;
+  }
+
   void MaybePause(const std::shared_ptr<Connection>& conn) {
     if (!conn->paused &&
         conn->pending_output_bytes() >= server_.config_.output_high_watermark) {
@@ -489,6 +830,7 @@ class WireServer::EventLoop
   void Flush(const std::shared_ptr<Connection>& conn) {
     if (conn->closed()) return;
     conn->ClearNotify();  // before TakeQueued: later appends must re-wake
+    (void)PumpPush(conn);
     conn->write_bytes += conn->TakeQueued(conn->write_bufs);
     if (conn->write_bytes == 0) return;
     support::trace::Span span("wire.write");
@@ -506,7 +848,13 @@ class WireServer::EventLoop
         iov[iov_count].iov_len = bytes.size() - skip;
         ++iov_count;
       }
-      const ssize_t n = ::writev(conn->fd(), iov, iov_count);
+      // sendmsg == writev + MSG_NOSIGNAL: a peer that closed mid-stream
+      // (a vanished subscriber, say) must surface as EPIPE on this
+      // connection, not SIGPIPE for the whole process.
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<std::size_t>(iov_count);
+      const ssize_t n = ::sendmsg(conn->fd(), &msg, MSG_NOSIGNAL);
       AddU64(server_.stats_->writev_calls, 1);
       if (n > 0) {
         std::size_t left = static_cast<std::size_t>(n);
@@ -524,6 +872,15 @@ class WireServer::EventLoop
           } else {
             conn->write_offset += left;
             left = 0;
+          }
+        }
+        if (conn->write_bytes == 0) {
+          // The run just drained, reopening the pump gate — refill from
+          // any event-gated subscriptions and keep writing. The stale
+          // pending total must be published first or the gate stays shut.
+          conn->SetUnsentWriteBytes(0);
+          if (PumpPush(conn)) {
+            conn->write_bytes += conn->TakeQueued(conn->write_bufs);
           }
         }
         continue;
@@ -579,6 +936,10 @@ class WireServer::EventLoop
   /// Reusable zero-copy decode target (loop thread only): its property
   /// array keeps its capacity across requests.
   WireRequestView decode_scratch_;
+  // M-Push subscription maps (loop thread only; the Subs themselves are
+  // shared with feed listeners and carry their own mutexes).
+  std::unordered_map<std::uint64_t, std::shared_ptr<Sub>> subs_by_id_;
+  std::unordered_map<int, std::vector<std::shared_ptr<Sub>>> subs_by_fd_;
 
   std::mutex mutex_;
   bool stopping_ = false;
@@ -713,6 +1074,13 @@ WireStatsSnapshot WireServer::Stats() const {
       stats_->requests_dispatched.load(std::memory_order_relaxed);
   snap.writev_calls = stats_->writev_calls.load(std::memory_order_relaxed);
   snap.epollout_arms = stats_->epollout_arms.load(std::memory_order_relaxed);
+  snap.subscriptions_opened =
+      stats_->subscriptions_opened.load(std::memory_order_relaxed);
+  snap.subscriptions_closed =
+      stats_->subscriptions_closed.load(std::memory_order_relaxed);
+  snap.events_out = stats_->events_out.load(std::memory_order_relaxed);
+  snap.events_dropped = stats_->events_dropped.load(std::memory_order_relaxed);
+  snap.gap_markers = stats_->gap_markers.load(std::memory_order_relaxed);
   const support::BufferPoolStats pool = support::BufferPool::WirePool().Stats();
   snap.pool_hits = pool.hits;
   snap.pool_misses = pool.misses;
@@ -741,6 +1109,13 @@ support::MetricsRegistry::Registration WireServer::RegisterMetrics(
         sink.Counter("requests_dispatched", snap.requests_dispatched);
         sink.Counter("writev_calls", snap.writev_calls);
         sink.Counter("epollout_arms", snap.epollout_arms);
+        sink.Counter("push_subscriptions_opened", snap.subscriptions_opened);
+        sink.Counter("push_subscriptions_closed", snap.subscriptions_closed);
+        sink.Counter("push_subscriptions_active",
+                     snap.subscriptions_active());
+        sink.Counter("push_events_out", snap.events_out);
+        sink.Counter("push_events_dropped", snap.events_dropped);
+        sink.Counter("push_gap_markers", snap.gap_markers);
         sink.Counter("pool_hits", snap.pool_hits);
         sink.Counter("pool_misses", snap.pool_misses);
         sink.Counter("pool_returns", snap.pool_returns);

@@ -76,6 +76,11 @@ struct WireServerConfig {
   /// everything (standalone server).
   std::function<bool(std::uint64_t client_id, std::uint64_t* plan_epoch)>
       ownership;
+  /// M-Push: events queued per subscription awaiting the loop's pump.
+  /// A subscriber that cannot drain this fast sheds oldest-first and
+  /// receives a typed kEventsDropped gap marker instead of stalling the
+  /// shard's publish path or the connection's request/response traffic.
+  std::size_t push_queue_capacity = 256;
 };
 
 /// Relaxed-atomic counters, snapshotable while serving (same contract as
@@ -102,6 +107,16 @@ struct WireStatsSnapshot {
   std::uint64_t pool_misses = 0;  ///< fresh heap allocations
   std::uint64_t pool_returns = 0;
   std::uint64_t pool_trims = 0;  ///< dropped: class full or oversized
+  // M-Push subscription plane.
+  std::uint64_t subscriptions_opened = 0;
+  std::uint64_t subscriptions_closed = 0;
+  std::uint64_t events_out = 0;      ///< kEvent data frames queued
+  std::uint64_t events_dropped = 0;  ///< shed from per-subscription queues
+  std::uint64_t gap_markers = 0;     ///< kEventsDropped frames emitted
+
+  [[nodiscard]] std::uint64_t subscriptions_active() const {
+    return subscriptions_opened - subscriptions_closed;
+  }
 
   [[nodiscard]] std::uint64_t connections_active() const {
     return connections_accepted - connections_closed;
@@ -155,6 +170,9 @@ class WireServer {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> next_loop_{0};
+  /// Subscription ids are server-wide unique (loops allocate from one
+  /// counter) so a client can demux event frames across connections.
+  std::atomic<std::uint64_t> next_subscription_id_{1};
 };
 
 }  // namespace mobivine::wire

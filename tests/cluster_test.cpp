@@ -12,7 +12,10 @@
 //    subsequent request still succeeds (the client re-routes in-band);
 //  * rejoin: the same worker id comes back -> epoch bumps again, the
 //    rejoiner reacquires key ranges and serves them;
-//  * graceful leave: SIGTERM -> leave + fence + drain -> exit 0.
+//  * graceful leave: SIGTERM -> leave + fence + drain -> exit 0;
+//  * M-Push: subscriptions follow the plan — a stale route is fenced
+//    with kWrongWorker (epoch in the ack's start_cursor varint) and the
+//    client re-subscribes against the real owner, carrying its cursor.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -27,6 +30,7 @@
 #include "cluster/plan.h"
 #include "gateway/gateway.h"
 #include "tests/cluster_harness.h"
+#include "wire/client.h"
 #include "wire/protocol.h"
 
 namespace mobivine {
@@ -275,6 +279,192 @@ TEST_F(ClusterEndToEnd, SigtermLeavesDrainsAndExitsZero) {
   }
   const cluster::ClientStats stats = client.Stats();
   EXPECT_EQ(stats.exhausted, 0u);
+  client.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// M-Push across the cluster: subscriptions follow the partition plan
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Collects one routed subscription's callbacks behind a condition
+/// variable (same shape as the wire-level Subscriber helper).
+struct PushSink {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<wire::WireSubscribeAck> acks;
+  std::vector<wire::WireEvent> events;
+
+  wire::WireClient::AckCallback OnAck() {
+    return [this](const wire::WireSubscribeAck& ack) {
+      std::lock_guard<std::mutex> lock(mutex);
+      acks.push_back(ack);
+      cv.notify_all();
+    };
+  }
+  wire::WireClient::EventHandler OnEvent() {
+    return [this](const wire::WireEvent& event) {
+      std::lock_guard<std::mutex> lock(mutex);
+      events.push_back(event);
+      cv.notify_all();
+    };
+  }
+  bool WaitForAck(int timeout_ms = 10'000) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return !acks.empty(); });
+  }
+  bool WaitForEvents(std::size_t n, int timeout_ms = 10'000) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return events.size() >= n; });
+  }
+};
+
+wire::WireRequest SendSms(std::uint64_t client_id) {
+  wire::WireRequest request;
+  request.client_id = client_id;
+  request.platform = gateway::Platform::kAndroid;
+  request.op = gateway::Op::kSendSms;
+  request.target = gateway::kGatewaySmsPeer;
+  request.payload = "push me";
+  return request;
+}
+}  // namespace
+
+TEST_F(ClusterEndToEnd, SubscribeFencedByOwnershipAnswersWrongWorkerWithEpoch) {
+  StartController();
+  StartWorker(1);
+  StartWorker(2);
+  PartitionPlan plan;
+  ASSERT_TRUE(cluster_testing::WaitForMembers(controller_.port, 2, &plan));
+
+  // Pick a client id and the member that does NOT own it.
+  const HashRing ring(plan);
+  const std::uint64_t client_id = 123;
+  const std::uint64_t owner = ring.OwnerFor(client_id);
+  const cluster::PlanMember* wrong = nullptr;
+  for (const auto& member : plan.members) {
+    if (member.worker_id != owner) wrong = &member;
+  }
+  ASSERT_NE(wrong, nullptr);
+
+  wire::WireClient direct;
+  ASSERT_TRUE(direct.Connect(wrong->data_port));
+
+  // The controller has published the 2-member plan, but the worker
+  // applies it asynchronously — probe with requests until this worker
+  // fences the id, so the subscribe below observes the fence
+  // deterministically rather than racing the plan push.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (true) {
+    wire::WireResponse probe;
+    ASSERT_TRUE(direct.Call(SendSms(client_id), &probe));
+    if (probe.status == wire::WireStatus::kWrongWorker) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "worker never applied the 2-member plan";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  wire::WireSubscribe subscribe;
+  subscribe.client_id = client_id;
+  subscribe.topic = wire::PushTopic::kAll;
+  PushSink sink;
+  ASSERT_TRUE(direct.Subscribe(subscribe, sink.OnEvent(), sink.OnAck()));
+  ASSERT_TRUE(sink.WaitForAck());
+  // The fence answers in-band, with the worker's plan epoch riding the
+  // ack's start_cursor varint (no body parsing on the push path).
+  EXPECT_EQ(sink.acks[0].status, wire::WireStatus::kWrongWorker);
+  EXPECT_GE(sink.acks[0].start_cursor, plan.epoch);
+  direct.Close();
+}
+
+TEST_F(ClusterEndToEnd, PushSubscriptionFollowsPlanAcrossStaleRoutes) {
+  StartController();
+  StartWorker(1);
+  PartitionPlan plan1;
+  ASSERT_TRUE(cluster_testing::WaitForMembers(controller_.port, 1, &plan1));
+
+  // Start the client against the one-member plan, THEN grow the cluster:
+  // the client's held plan is now stale by construction.
+  cluster::ClientConfig config;
+  config.controller_port = controller_.port;
+  cluster::Client client(config);
+  std::string error;
+  ASSERT_TRUE(client.Start(&error)) << error;
+
+  StartWorker(2);
+  PartitionPlan plan2;
+  ASSERT_TRUE(cluster_testing::WaitForMembers(controller_.port, 2, &plan2));
+  ASSERT_GT(plan2.epoch, plan1.epoch);
+
+  // A client id the NEW worker owns: the first subscribe attempt routes
+  // to worker 1 (stale plan), gets fenced with kWrongWorker + epoch,
+  // refreshes, and re-subscribes against worker 2 — all inside
+  // Subscribe()'s bounded repair loop.
+  const HashRing ring(plan2);
+  std::uint64_t moved_id = 0;
+  for (std::uint64_t id = 1; id < 10'000; ++id) {
+    if (ring.OwnerFor(id) == 2) {
+      moved_id = id;
+      break;
+    }
+  }
+  ASSERT_NE(moved_id, 0u) << "no sampled id owned by the new worker";
+
+  // Make the staleness observable before subscribing: worker 1 applies
+  // plan 2 asynchronously, and until it does it still owns everything
+  // and would accept the subscription with no repair to exercise. Probe
+  // it directly (NOT through `client`, whose plan must stay stale) until
+  // it fences the moved id.
+  {
+    const cluster::PlanMember* old_worker = nullptr;
+    for (const auto& member : plan2.members) {
+      if (member.worker_id == 1) old_worker = &member;
+    }
+    ASSERT_NE(old_worker, nullptr);
+    wire::WireClient probe_conn;
+    ASSERT_TRUE(probe_conn.Connect(old_worker->data_port));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (true) {
+      wire::WireResponse probe;
+      ASSERT_TRUE(probe_conn.Call(SendSms(moved_id), &probe));
+      if (probe.status == wire::WireStatus::kWrongWorker) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "worker 1 never applied the 2-member plan";
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    probe_conn.Close();
+  }
+
+  PushSink sink;
+  ASSERT_TRUE(client.Subscribe(moved_id, wire::PushTopic::kSmsDelivery,
+                               /*cursor=*/0, sink.OnEvent(), sink.OnAck()));
+  ASSERT_TRUE(sink.WaitForAck());
+  ASSERT_EQ(sink.acks[0].status, wire::WireStatus::kOk);
+
+  const cluster::ClientStats repaired = client.Stats();
+  EXPECT_GE(repaired.wrong_worker_retries, 1u);
+  EXPECT_GE(repaired.push_resubscribes, 1u);
+  EXPECT_GE(client.plan_epoch(), plan2.epoch);
+
+  // The stream is live on the right worker: an SMS routed to the same
+  // client publishes delivery reports into that worker's shard feed, and
+  // they arrive as pushed events — no polling anywhere.
+  wire::WireResponse response;
+  ASSERT_TRUE(client.Call(SendSms(moved_id), &response));
+  ASSERT_EQ(response.status, wire::WireStatus::kOk) << response.body;
+  ASSERT_TRUE(sink.WaitForEvents(1));
+  {
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    EXPECT_EQ(sink.events[0].kind, wire::EventKind::kData);
+    EXPECT_EQ(sink.events[0].topic, wire::PushTopic::kSmsDelivery);
+    EXPECT_EQ(sink.events[0].aux, moved_id);
+    EXPECT_GE(sink.events[0].cursor, 1u);
+  }
+  EXPECT_EQ(client.Stats().exhausted, 0u);
   client.Stop();
 }
 

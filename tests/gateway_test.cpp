@@ -496,13 +496,17 @@ TEST(Gateway, RetryDeadlineExhaustionClassifiedAsDeadlineExceeded) {
   config.device_template.network.loss_probability = 1.0;  // always transient
   config.device_template.network.timeout = sim::SimTime::Seconds(2);
   config.default_retry.max_attempts = 1000;
-  config.default_retry.initial_backoff = std::chrono::milliseconds(20);
+  config.default_retry.initial_backoff = std::chrono::milliseconds(200);
   config.default_retry.multiplier = 1.0;
-  config.default_retry.max_backoff = std::chrono::milliseconds(20);
+  config.default_retry.max_backoff = std::chrono::milliseconds(200);
   Gateway gw(config);
 
   Request request = HttpGetRequest(3);
-  request.timeout = std::chrono::milliseconds(100);
+  // Generous deadline-to-queue-wait margin: under a loaded sanitizer run
+  // a tight deadline can expire while the request is still queued (zero
+  // attempts), which is the OTHER deadline path — this test needs the
+  // between-rounds one, so at least one attempt must get to run.
+  request.timeout = std::chrono::milliseconds(1000);
   const Response response = gw.Call(std::move(request));
   ASSERT_FALSE(response.ok);
   EXPECT_EQ(response.error, ErrorCode::kDeadlineExceeded);

@@ -481,6 +481,109 @@ TEST(WireFuzz, MutatedFramesNeverCrashTheDecoder) {
   }
 }
 
+TEST(WireFuzz, MutatedPushFramesNeverCrashTheDecoders) {
+  // Same mutation engine as the request sweep, over all four M-Push
+  // frame families: whatever survives framing must decode or fail typed.
+  SplitMix64 rng{0x9057f7a3e5ull};
+  std::vector<std::vector<std::uint8_t>> pristine;
+
+  wire::WireSubscribe subscribe;
+  subscribe.request_id = 31;
+  subscribe.client_id = 9;
+  subscribe.topic = wire::PushTopic::kSmsDelivery;
+  subscribe.mode = wire::SubscribeMode::kFromCursor;
+  subscribe.cursor = 777;
+  pristine.emplace_back();
+  wire::EncodeSubscribe(subscribe, pristine.back());
+
+  wire::WireUnsubscribe unsubscribe;
+  unsubscribe.request_id = 32;
+  unsubscribe.subscription_id = 4;
+  pristine.emplace_back();
+  wire::EncodeUnsubscribe(unsubscribe, pristine.back());
+
+  wire::WireSubscribeAck ack;
+  ack.request_id = 33;
+  ack.status = WireStatus::kOk;
+  ack.subscription_id = 4;
+  ack.start_cursor = 777;
+  pristine.emplace_back();
+  wire::EncodeSubscribeAck(ack, pristine.back());
+
+  wire::WireEvent event;
+  event.subscription_id = 4;
+  event.kind = wire::EventKind::kData;
+  event.topic = wire::PushTopic::kSmsDelivery;
+  event.cursor = 778;
+  event.aux = 9;
+  event.body = "314159:submitted";
+  pristine.emplace_back();
+  wire::EncodeEvent(event, pristine.back());
+
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::vector<std::uint8_t> bytes = pristine[iteration % pristine.size()];
+    switch (rng.Next() % 4) {
+      case 0:
+        bytes[rng.Next() % bytes.size()] ^=
+            static_cast<std::uint8_t>(1u << (rng.Next() % 8));
+        break;
+      case 1:
+        bytes.resize(rng.Next() % bytes.size());
+        break;
+      case 2:
+        bytes[rng.Next() % bytes.size()] =
+            static_cast<std::uint8_t>(rng.Next());
+        bytes[rng.Next() % bytes.size()] =
+            static_cast<std::uint8_t>(rng.Next());
+        break;
+      default:
+        bytes.assign(rng.Next() % 64, 0);
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.Next());
+        break;
+    }
+    FrameView frame;
+    std::size_t consumed = 0;
+    std::string error;
+    if (DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed, &error) !=
+        DecodeStatus::kOk) {
+      continue;
+    }
+    switch (frame.type) {
+      case FrameType::kSubscribe: {
+        wire::WireSubscribe out;
+        (void)wire::DecodeSubscribe(frame.payload, frame.payload_size, &out,
+                                    &error);
+        break;
+      }
+      case FrameType::kUnsubscribe: {
+        wire::WireUnsubscribe out;
+        (void)wire::DecodeUnsubscribe(frame.payload, frame.payload_size, &out,
+                                      &error);
+        break;
+      }
+      case FrameType::kSubscribeAck: {
+        wire::WireSubscribeAck out;
+        (void)wire::DecodeSubscribeAck(frame.payload, frame.payload_size, &out,
+                                       &error);
+        break;
+      }
+      case FrameType::kEvent: {
+        wire::WireEvent out;
+        (void)wire::DecodeEvent(frame.payload, frame.payload_size, &out,
+                                &error);
+        break;
+      }
+      default: {
+        // Mutation flipped the type byte into another family (or an
+        // unknown one): the unsupported-frame answer path peeks the id.
+        std::uint64_t id = 0;
+        (void)wire::PeekPayloadId(frame.payload, frame.payload_size, &id);
+        break;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // ByteRing: the zero-copy staleness contract
 // ---------------------------------------------------------------------------
