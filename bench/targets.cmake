@@ -32,6 +32,9 @@ target_link_libraries(bench_cluster_throughput PRIVATE mobivine_cluster)
 mobivine_bench(bench_push_throughput)
 target_link_libraries(bench_push_throughput PRIVATE mobivine_wire)
 
+mobivine_bench(bench_script_throughput)
+target_link_libraries(bench_script_throughput PRIVATE mobivine_wire)
+
 mobivine_bench(bench_a2_descriptor)
 target_link_libraries(bench_a2_descriptor PRIVATE benchmark::benchmark)
 mobivine_bench(bench_a3_bridge)

@@ -1,0 +1,148 @@
+// M-Script demo: server-side composite invocations over one kScript frame.
+//
+// One process, both ends of the wire: an 8-shard gateway behind a
+// WireServer, and a WireClient that ships small MiniJS programs to the
+// serving shard instead of pipelining dependent requests. The demo runs
+// the worked example from docs/scripting.md — a location -> upload -> SMS
+// composite — then shows typed host errors being caught *inside* the
+// script, per-script property scoping, and a hostile infinite loop dying
+// on its step budget without hurting the connection.
+//
+//   ./build/examples/script_demo
+#include <cstdio>
+#include <string>
+
+#include "core/descriptor/proxy_descriptor.h"
+#include "gateway/gateway.h"
+#include "wire/client.h"
+#include "wire/protocol.h"
+#include "wire/server.h"
+
+using namespace mobivine;
+
+namespace {
+
+void Show(const char* label, const wire::WireResponse& response) {
+  std::printf("%-28s -> %-12s \"%s\"\n", label,
+              wire::ToString(response.status), response.body.c_str());
+}
+
+}  // namespace
+
+int main() {
+  static const core::DescriptorStore store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+
+  gateway::GatewayConfig config;
+  config.shards = 8;
+  config.store = &store;
+  gateway::Gateway gw(config);
+
+  wire::WireServerConfig wire_config;
+  wire_config.event_loops = 2;
+  wire::WireServer server(gw, wire_config);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wire server listening on 127.0.0.1:%u\n\n", server.port());
+
+  wire::WireClient client;
+  if (!client.Connect(server.port())) {
+    std::fprintf(stderr, "client connect failed\n");
+    return 1;
+  }
+
+  // The worked example: three dependent invocations — read the GPS fix,
+  // upload it, text the upload receipt — as ONE round trip. Written as
+  // three pipelined kRequest frames this costs three dependent wire
+  // latencies because each leg needs the previous leg's body.
+  wire::WireScriptRequest composite;
+  composite.client_id = 7;
+  composite.source = R"JS(
+    var fix = mobile.invoke(args.platform, 'getLocation');
+    var receipt = mobile.invoke(args.platform, 'httpPost',
+                                args.ingest, fix, 'text/plain');
+    var sms = mobile.invoke(args.platform, 'sendSms', args.peer, receipt);
+    'fix=' + fix + ' sms=' + sms;
+  )JS";
+  composite.args.emplace_back("platform", "android");
+  composite.args.emplace_back(
+      "ingest", std::string("http://") + gateway::kGatewayHttpHost + "/ingest");
+  composite.args.emplace_back("peer", gateway::kGatewaySmsPeer);
+  wire::WireResponse response;
+  client.CallScript(composite, &response);
+  Show("composite (3 invocations)", response);
+  std::printf("  one wire round trip; server-side latency %llu us\n\n",
+              static_cast<unsigned long long>(response.latency_micros));
+
+  // Host failures surface as catchable script throws with the same typed
+  // fields the wire would report (name / message / code / platform), so a
+  // script can fall back without another round trip.
+  wire::WireScriptRequest fallback;
+  fallback.client_id = 7;
+  fallback.source = R"JS(
+    var out;
+    try {
+      out = mobile.invoke('palmos', 'getLocation');
+    } catch (e) {
+      out = 'fell back after ' + e.name + ': ' + e.message;
+    }
+    out;
+  )JS";
+  client.CallScript(fallback, &response);
+  Show("catchable host error", response);
+
+  // Property writes are scoped to the script: the shard snapshots each
+  // first-touched property and restores it afterwards, so the tuning
+  // below never leaks into other clients' invocations.
+  wire::WireScriptRequest tuned;
+  tuned.client_id = 7;
+  tuned.source = R"JS(
+    mobile.setProperty('s60', 'getLocation', 'powerConsumption', 'low');
+    mobile.invoke('s60', 'getLocation');
+  )JS";
+  client.CallScript(tuned, &response);
+  Show("scoped property tuning", response);
+
+  // An uncaught script throw is a typed kScriptError on a healthy
+  // connection, never a dead socket.
+  wire::WireScriptRequest thrower;
+  thrower.client_id = 7;
+  thrower.source = "throw 'deliberate failure';";
+  client.CallScript(thrower, &response);
+  Show("uncaught script throw", response);
+
+  // Hostile script: an infinite loop burns its (clamped) step budget and
+  // dies with an uncatchable RangeError; the next call still works.
+  wire::WireScriptRequest hostile;
+  hostile.client_id = 7;
+  hostile.step_budget = 10'000;
+  hostile.source = "while (true) {}";
+  client.CallScript(hostile, &response);
+  Show("infinite loop vs budget", response);
+
+  wire::WireScriptRequest probe;
+  probe.client_id = 7;
+  probe.source = "'connection still alive';";
+  client.CallScript(probe, &response);
+  Show("post-kill liveness probe", response);
+
+  client.Close();
+  server.Stop();
+  gw.Stop();
+
+  const gateway::ShardSnapshot totals = gw.Stats().totals;
+  const wire::WireStatsSnapshot wire_stats = server.Stats();
+  std::printf(
+      "\nscript counters: %llu dispatched, %llu executed, %llu errors, "
+      "%llu budget kills, %llu steps, %llu host invocations\n",
+      static_cast<unsigned long long>(wire_stats.scripts_dispatched),
+      static_cast<unsigned long long>(totals.scripts),
+      static_cast<unsigned long long>(totals.script_errors),
+      static_cast<unsigned long long>(totals.script_budget_kills),
+      static_cast<unsigned long long>(totals.script_steps),
+      static_cast<unsigned long long>(totals.script_invocations));
+  return 0;
+}

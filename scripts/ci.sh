@@ -5,16 +5,16 @@
 #   asan     Debug + AddressSanitizer
 #   ubsan    Debug + UndefinedBehaviorSanitizer
 #
-# The tsan preset (gateway/failover/interner/wire/cluster/push
+# The tsan preset (gateway/failover/interner/wire/cluster/push/script
 # concurrency checking) is not in the default matrix because a
 # full-suite TSan run is slow; the wire leg below runs a *filtered* TSan
-# pass (-R 'Push|Cluster|Wire|Gateway') instead. Opt in to the full
-# suite with
+# pass (-R 'Script|Push|Cluster|Wire|Gateway') instead. Opt in to the
+# full suite with
 #   MOBIVINE_CI_PRESETS="default asan ubsan tsan" scripts/ci.sh
 # or run it directly:
 #   cmake --preset tsan && cmake --build build-tsan -j && \
 #     ctest --test-dir build-tsan \
-#       -R 'Gateway|Failover|Interner|Wire|Cluster|Push' \
+#       -R 'Gateway|Failover|Interner|Wire|Cluster|Push|Script' \
 #       --output-on-failure
 set -euo pipefail
 
@@ -106,12 +106,26 @@ python3 scripts/validate_mscope.py \
   "$MSCOPE_DIR/push_trace.json" "$MSCOPE_DIR/push_metrics.json" \
   scripts/mscope_schema.json --require-wire --require-push
 
+# M-Script leg: the composite-invocation plane's traced scenario (a mix
+# of composite scripts, deliberately hostile scripts that must die on
+# budget, and ordinary request traffic) must export the script.run
+# execution span and the script.* counters — scripts executed, at least
+# one budget kill proving the sandbox fires — and the wire dispatch
+# reconcile must still balance with scripts in the mix.
+echo "==== [script] traced script bench + export validation ===="
+./build/bench/bench_script_throughput "$MSCOPE_DIR/script_bench.json" \
+  --trace-only --trace "$MSCOPE_DIR/script_trace.json" \
+  --metrics "$MSCOPE_DIR/script_metrics.json"
+python3 scripts/validate_mscope.py \
+  "$MSCOPE_DIR/script_trace.json" "$MSCOPE_DIR/script_metrics.json" \
+  scripts/mscope_schema.json --require-wire --require-script
+
 if [[ "${MOBIVINE_CI_WIRE_TSAN:-1}" != "0" ]]; then
-  echo "==== [wire] tsan: Push|Cluster|Wire|Gateway suites ===="
+  echo "==== [wire] tsan: Script|Push|Cluster|Wire|Gateway suites ===="
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS"
-  ctest --test-dir build-tsan -R 'Push|Cluster|Wire|Gateway' -j "$JOBS" \
+  ctest --test-dir build-tsan -R 'Script|Push|Cluster|Wire|Gateway' -j "$JOBS" \
     --output-on-failure
 fi
 
-echo "==== all presets green: $PRESETS (+ docs, mscope, wire, cluster, push) ===="
+echo "==== all presets green: $PRESETS (+ docs, mscope, wire, cluster, push, script) ===="

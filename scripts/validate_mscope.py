@@ -3,7 +3,8 @@
 
 Usage:
     python3 scripts/validate_mscope.py TRACE.json METRICS.json \
-        [SCHEMA.json] [--require-wire] [--require-cluster] [--require-push]
+        [SCHEMA.json] [--require-wire] [--require-cluster] \
+        [--require-push] [--require-script]
 
 Stdlib-only (CI must not install packages). Two validation layers:
 
@@ -30,6 +31,14 @@ show the M-Cluster control plane: the schema's "cluster" section lists
 the required cluster.* trace events and metric series plus the
 controller/agent thread names, cluster.epoch must be >= 1 (a plan was
 published) and cluster.heartbeats > 0 (membership was live).
+
+With --require-script (the script bench's CI leg) the export must also
+show the M-Script execution plane: the schema's "script" section lists
+the required script.run execution span and the script.* metric series
+from both halves (wire dispatch and shard execution), with at least one
+script executed. The wire dispatch reconcile widens to
+requests_dispatched + scripts_dispatched == accepted + shed, which
+stays backward-safe for exports with no script traffic.
 
 With --require-push (the push bench's CI leg) the export must also show
 the M-Push subscription plane: the schema's "push" section lists the
@@ -106,7 +115,8 @@ def check_schema(value, schema, path="$"):
 # ---------------------------------------------------------------------------
 
 
-def check_trace_semantics(trace, wire=None, cluster=None, push=None):
+def check_trace_semantics(trace, wire=None, cluster=None, push=None,
+                          script=None):
     events = trace["traceEvents"]
     spans = [e for e in events if e["ph"] == "X"]
     instants = [e for e in events if e["ph"] == "i"]
@@ -195,6 +205,17 @@ def check_trace_semantics(trace, wire=None, cluster=None, push=None):
             fail("no wire.read/wire.decode span on a wire-loop thread")
         wire_note = f", {len(wire_tids)} wire loop threads"
 
+    script_note = ""
+    if script is not None:
+        for required in script["required_events"]:
+            if required not in names:
+                fail(
+                    f"required script event {required!r} missing — "
+                    "execution plane not instrumented"
+                )
+        script_runs = sum(1 for e in spans if e["name"] == "script.run")
+        script_note = f", {script_runs} script runs"
+
     push_note = ""
     if push is not None:
         for required in push["required_events"]:
@@ -229,11 +250,12 @@ def check_trace_semantics(trace, wire=None, cluster=None, push=None):
         f"validate_mscope: trace ok — {len(events)} events, "
         f"{len(gateway_spans)} gateway span names, "
         f"{len(core_spans)} core span names, {nested} nested core events"
-        f"{wire_note}{push_note}{cluster_note}"
+        f"{wire_note}{script_note}{push_note}{cluster_note}"
     )
 
 
-def check_metrics_semantics(metrics_doc, wire=None, cluster=None, push=None):
+def check_metrics_semantics(metrics_doc, wire=None, cluster=None,
+                            push=None, script=None):
     metrics = metrics_doc["metrics"]
     for name, value in metrics.items():
         if not isinstance(value, (int, float)) and value is not None:
@@ -259,15 +281,38 @@ def check_metrics_semantics(metrics_doc, wire=None, cluster=None, push=None):
                 fail(f"required wire metric {name!r} missing")
         if metrics["wire.frames_in"] <= 0 or metrics["wire.frames_out"] <= 0:
             fail("wire.frames_in/out are zero — no traffic crossed the wire")
-        dispatched = metrics["wire.requests_dispatched"]
+        dispatched = metrics["wire.requests_dispatched"] + metrics.get(
+            "wire.scripts_dispatched", 0
+        )
         gateway_seen = metrics["gateway.accepted"] + metrics["gateway.shed"]
         if dispatched != gateway_seen:
             fail(
-                f"wire.requests_dispatched={dispatched} != "
+                f"wire requests+scripts dispatched={dispatched} != "
                 f"gateway accepted+shed={gateway_seen} — some gateway "
                 "traffic bypassed the wire (or frames were lost)"
             )
         wire_note = f", {dispatched} wire dispatches reconciled"
+
+    script_note = ""
+    if script is not None:
+        for name in script["required_metrics"]:
+            if name not in metrics:
+                fail(f"required script metric {name!r} missing")
+        executed = metrics["gateway.script.executed"]
+        if executed <= 0:
+            fail("gateway.script.executed is zero — no script ever ran")
+        if metrics["wire.scripts_dispatched"] < executed:
+            fail(
+                f"wire.scripts_dispatched={metrics['wire.scripts_dispatched']}"
+                f" < gateway.script.executed={executed} — scripts ran that "
+                "never crossed the wire"
+            )
+        if metrics["gateway.script.budget_kills"] <= 0:
+            fail(
+                "gateway.script.budget_kills is zero — the traced scenario "
+                "must prove the sandbox fires"
+            )
+        script_note = f", {int(executed)} scripts executed"
 
     push_note = ""
     if push is not None:
@@ -300,7 +345,8 @@ def check_metrics_semantics(metrics_doc, wire=None, cluster=None, push=None):
 
     print(
         f"validate_mscope: metrics ok — {len(metrics)} series, "
-        f"{accepted} accepted reconciled{wire_note}{push_note}{cluster_note}"
+        f"{accepted} accepted reconciled{wire_note}{script_note}"
+        f"{push_note}{cluster_note}"
     )
 
 
@@ -315,10 +361,14 @@ def main(argv):
     require_push = "--require-push" in args
     if require_push:
         args.remove("--require-push")
+    require_script = "--require-script" in args
+    if require_script:
+        args.remove("--require-script")
     if len(args) < 2:
         fail(
             f"usage: {argv[0]} TRACE.json METRICS.json [SCHEMA.json] "
-            "[--require-wire] [--require-cluster] [--require-push]"
+            "[--require-wire] [--require-cluster] [--require-push] "
+            "[--require-script]"
         )
     trace_path, metrics_path = args[0], args[1]
     schema_path = (
@@ -340,6 +390,12 @@ def main(argv):
     push = schema.get("push") if require_push else None
     if require_push and push is None:
         fail(f"--require-push set but {schema_path} has no \"push\" section")
+    script = schema.get("script") if require_script else None
+    if require_script and script is None:
+        fail(
+            f"--require-script set but {schema_path} has no "
+            '"script" section'
+        )
 
     for label, path, key, semantic in (
         ("trace", trace_path, "trace", check_trace_semantics),
@@ -351,7 +407,7 @@ def main(argv):
         except (OSError, json.JSONDecodeError) as e:
             fail(f"{label} file {path}: {e}")
         check_schema(document, schema[key], f"$({label})")
-        semantic(document, wire, cluster, push)
+        semantic(document, wire, cluster, push, script)
     print("validate_mscope: PASS")
 
 

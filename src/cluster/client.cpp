@@ -354,6 +354,123 @@ Client::Callback Client::RetryCallback(const wire::WireRequest& request,
   };
 }
 
+bool Client::CallScript(const wire::WireScriptRequest& script,
+                        wire::WireResponse* response) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  DrainGraveyard();
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (closing_.load(std::memory_order_acquire)) break;
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.retry_backoff_us));
+    }
+    Route route;
+    if (!Resolve(script.client_id, &route)) {
+      transport_retries_.fetch_add(1, std::memory_order_relaxed);
+      (void)RefreshPlanAtLeast(0);
+      continue;
+    }
+    wire::WireResponse reply;
+    if (!route.conn->CallScript(script, &reply)) {
+      transport_retries_.fetch_add(1, std::memory_order_relaxed);
+      support::trace::Instant("cluster.client_transport_retry");
+      DropConn(route.worker_id, route.conn);
+      DrainGraveyard();
+      (void)RefreshPlanAtLeast(0);
+      continue;
+    }
+    if (reply.status == wire::WireStatus::kWrongWorker) {
+      wrong_worker_retries_.fetch_add(1, std::memory_order_relaxed);
+      support::trace::Instant("cluster.client_wrong_worker");
+      std::uint64_t want = ParseWrongWorkerEpoch(reply.body);
+      const std::uint64_t held = plan_epoch_.load(std::memory_order_acquire);
+      if (want <= held) want = held + 1;
+      (void)RefreshPlanAtLeast(want);
+      continue;
+    }
+    *response = std::move(reply);
+    return true;
+  }
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  if (response != nullptr) {
+    response->status = wire::WireStatus::kTransportError;
+    response->body = "cluster route attempts exhausted";
+  }
+  return false;
+}
+
+bool Client::SubmitScript(const wire::WireScriptRequest& script,
+                          Callback callback) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  DrainGraveyard();
+  SubmitScriptAttempt(script, 0, std::move(callback));
+  return true;
+}
+
+void Client::SubmitScriptAttempt(const wire::WireScriptRequest& script,
+                                 int attempt, Callback callback) {
+  if (attempt >= config_.max_attempts ||
+      closing_.load(std::memory_order_acquire)) {
+    if (attempt >= config_.max_attempts) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    wire::WireResponse failure;
+    failure.request_id = script.request_id;
+    failure.status = wire::WireStatus::kTransportError;
+    failure.body = "cluster route attempts exhausted";
+    callback(failure);
+    return;
+  }
+  if (attempt > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.retry_backoff_us));
+  }
+  Route route;
+  if (!Resolve(script.client_id, &route)) {
+    transport_retries_.fetch_add(1, std::memory_order_relaxed);
+    (void)RefreshPlanAtLeast(0);
+    SubmitScriptAttempt(script, attempt + 1, std::move(callback));
+    return;
+  }
+  auto conn = route.conn;
+  (void)conn->SubmitScript(
+      script, ScriptRetryCallback(script, attempt, std::move(callback),
+                                  route.worker_id, conn));
+}
+
+Client::Callback Client::ScriptRetryCallback(
+    const wire::WireScriptRequest& script, int attempt, Callback callback,
+    std::uint64_t worker_id, std::shared_ptr<wire::WireClient> conn) {
+  // Same reader-thread contract as RetryCallback. kScriptError is a
+  // terminal, typed outcome (the sandbox spoke) — only routing and
+  // transport failures repair.
+  return [this, script, attempt, worker_id, conn = std::move(conn),
+          callback =
+              std::move(callback)](const wire::WireResponse& reply) mutable {
+    if (reply.status == wire::WireStatus::kWrongWorker &&
+        !closing_.load(std::memory_order_acquire)) {
+      wrong_worker_retries_.fetch_add(1, std::memory_order_relaxed);
+      support::trace::Instant("cluster.client_wrong_worker");
+      std::uint64_t want = ParseWrongWorkerEpoch(reply.body);
+      const std::uint64_t held = plan_epoch_.load(std::memory_order_acquire);
+      if (want <= held) want = held + 1;
+      (void)RefreshPlanAtLeast(want);
+      SubmitScriptAttempt(script, attempt + 1, std::move(callback));
+      return;
+    }
+    if (reply.status == wire::WireStatus::kTransportError &&
+        !closing_.load(std::memory_order_acquire)) {
+      transport_retries_.fetch_add(1, std::memory_order_relaxed);
+      support::trace::Instant("cluster.client_transport_retry");
+      DropConn(worker_id, conn);
+      (void)RefreshPlanAtLeast(0);
+      SubmitScriptAttempt(script, attempt + 1, std::move(callback));
+      return;
+    }
+    callback(reply);
+  };
+}
+
 /// Everything one routed subscription needs to survive repairs: the
 /// filter, the user callbacks, the exactly-once ack latch, and — the
 /// load-bearing part — the last cursor the stream delivered, which every

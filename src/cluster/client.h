@@ -105,6 +105,22 @@ class Client {
   /// callbacks short (same contract as WireClient::Submit).
   bool Submit(const wire::WireRequest& request, Callback callback);
 
+  /// M-Script: synchronous routed composite invocation. The script is
+  /// plan-routed by its client id (it executes against the owning
+  /// shard's state) with the same bounded kWrongWorker / transport
+  /// repair as Call(). NOTE the re-route caveat: a worker that
+  /// *executed* the script and then died before answering looks like a
+  /// transport failure, and the retry re-executes it — scripts are
+  /// exactly-once per worker, at-least-once across repairs. Composites
+  /// with side effects should be written idempotently (or submitted with
+  /// a client-side dedup key in args) when that matters.
+  bool CallScript(const wire::WireScriptRequest& script,
+                  wire::WireResponse* response);
+
+  /// Pipelined routed script send; same contract (and the same re-route
+  /// caveat) as CallScript, callback-shaped like Submit().
+  bool SubmitScript(const wire::WireScriptRequest& script, Callback callback);
+
   /// M-Push: open a routed subscription for `client_id`, starting after
   /// `cursor` (0 = from the beginning of what the owner's shard feed
   /// still retains). The stream follows the partition plan: a
@@ -178,6 +194,14 @@ class Client {
   Callback RetryCallback(const wire::WireRequest& request, int attempt,
                          Callback callback, std::uint64_t worker_id,
                          std::shared_ptr<wire::WireClient> conn);
+  /// Script twins of SubmitAttempt/RetryCallback (scripts route and
+  /// repair identically; only the frame type and send entry differ).
+  void SubmitScriptAttempt(const wire::WireScriptRequest& script, int attempt,
+                           Callback callback);
+  Callback ScriptRetryCallback(const wire::WireScriptRequest& script,
+                               int attempt, Callback callback,
+                               std::uint64_t worker_id,
+                               std::shared_ptr<wire::WireClient> conn);
 
   /// One routed subscription's cross-repair state.
   struct PushSub;

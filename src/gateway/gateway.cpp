@@ -57,6 +57,10 @@ constexpr int kOpCount = static_cast<int>(core::Op::kCount_);
 /// A request as it sits in a shard queue: envelope + admission stamps.
 struct QueuedRequest {
   Request request;
+  /// Non-null for an M-Script execution: it rides the same bounded queue
+  /// and admission/deadline stamps, but Serve branches to the script
+  /// plane at dequeue (and never retries it).
+  std::unique_ptr<ScriptRequest> script;
   Clock::time_point submitted_at{};
   Clock::time_point deadline = kNoDeadline;
 };
@@ -74,6 +78,18 @@ void InvokeCompletionFn(const std::function<void(const Response&)>& fn,
 
 void InvokeCompletion(Request& request, const Response& response) {
   InvokeCompletionFn(request.on_complete, response);
+}
+
+void InvokeScriptCompletionFn(
+    const std::function<void(const ScriptResponse&)>& fn,
+    const ScriptResponse& response) {
+  if (!fn) return;
+  try {
+    fn(response);
+  } catch (const std::exception& e) {
+    MOBIVINE_LOG_ERROR << "gateway: script completion callback threw: "
+                       << e.what();
+  }
 }
 
 }  // namespace
@@ -184,6 +200,57 @@ class Gateway::Shard {
         http_[i]->installFaultGate(failover_.get(), tag);
       }
     }
+
+    // M-Script: the engine's host ops close over this shard's proxies, so
+    // a script's invocations hit the exact metered, fault-gated,
+    // descriptor-validated surface kRequest traffic does. All callbacks
+    // run on the worker thread only.
+    ScriptHostOps host_ops;
+    host_ops.invoke = [this](Platform platform, Op op,
+                             const std::string& target,
+                             const std::string& payload,
+                             const std::string& content_type) {
+      Request request;
+      request.op = op;
+      request.target = target;
+      request.payload = payload;
+      request.content_type = content_type;
+      return ExecuteOnce(request, platform);
+    };
+    host_ops.set_property = [this](Platform platform, Op op,
+                                   const std::string& name,
+                                   const std::string& value) {
+      core::MProxy& proxy = ProxyFor(platform, op);
+      // Snapshot each proxy once per script, on first touch; ServeScript
+      // restores every touched proxy after the run, so script property
+      // writes never leak into later traffic on this shard.
+      const bool seen = std::any_of(
+          script_touched_.begin(), script_touched_.end(),
+          [&proxy](const auto& entry) { return entry.first == &proxy; });
+      if (!seen) {
+        script_touched_.emplace_back(&proxy, proxy.snapshotProperties());
+      }
+      proxy.setProperty(name, core::PropertyValue(value));
+    };
+    host_ops.get_property = [this](Platform platform, Op op,
+                                   const std::string& name) -> std::string {
+      core::MProxy& proxy = ProxyFor(platform, op);
+      if (auto s = proxy.getProperty<std::string>(name)) return *s;
+      if (auto i = proxy.getProperty<long long>(name)) {
+        return std::to_string(*i);
+      }
+      if (auto d = proxy.getProperty<double>(name)) return std::to_string(*d);
+      if (auto b = proxy.getProperty<bool>(name)) return *b ? "true" : "false";
+      return std::string();
+    };
+    const std::uint64_t per_step = config.script.virtual_us_per_step;
+    host_ops.charge_steps = [this, per_step](std::uint64_t steps) {
+      device_->scheduler().AdvanceBy(sim::SimTime::Micros(
+          static_cast<std::int64_t>(steps * per_step)));
+    };
+    host_ops.virtual_now_us = [this] { return VirtualNowUs(); };
+    script_engine_ =
+        std::make_unique<ScriptEngine>(std::move(host_ops), config.script);
 
     // Everything above happened on the constructing thread; the thread
     // start below is the handoff point (happens-before), after which the
@@ -319,6 +386,10 @@ class Gateway::Shard {
   }
 
   void Serve(QueuedRequest& queued) {
+    if (queued.script != nullptr) {
+      ServeScript(queued);
+      return;
+    }
     support::trace::Span serve_span("gateway.serve");
     serve_span.Tag("shard", index_);
     serving_client_id_ = queued.request.client_id;
@@ -426,6 +497,69 @@ class Gateway::Shard {
     complete_span.Tag("shard", index_);
     complete_span.Tag("attempts", response.attempts);
     InvokeCompletion(queued.request, response);
+  }
+
+  /// M-Script service: deadline check at dequeue, one sandboxed
+  /// execution, one completion. No retry rounds — a composite may have
+  /// performed side effects (an SMS send) before failing, and retry is
+  /// expressible in-language since host errors are catchable.
+  void ServeScript(QueuedRequest& queued) {
+    ScriptRequest& script = *queued.script;
+    support::trace::Span run_span("script.run");
+    run_span.Tag("shard", index_);
+    serving_client_id_ = script.client_id;
+    ScriptResponse response;
+    response.shard = index_;
+    const Clock::time_point dequeued_at = Clock::now();
+    support::trace::CompleteEvent("gateway.queue_wait", queued.submitted_at,
+                                  dequeued_at, "shard", index_);
+    if (dequeued_at >= queued.deadline) {
+      support::trace::Instant("gateway.deadline_expired", "shard", index_);
+      stats_.OnTimedOut();
+      response.error = core::ErrorCode::kDeadlineExceeded;
+      response.message = "deadline expired in queue";
+      FinishScript(queued, response);
+      return;
+    }
+    stats_.OnScript();
+    response = script_engine_->Execute(script);
+    response.shard = index_;
+    run_span.Tag("steps", static_cast<std::int64_t>(response.steps));
+    run_span.Tag("invocations",
+                 static_cast<std::int64_t>(response.invocations));
+    // Undo the script's property writes (reverse order, mirroring nested
+    // ScopedPropertyRestore) whatever the outcome — including throws the
+    // script caught and recovered from.
+    for (auto it = script_touched_.rbegin(); it != script_touched_.rend();
+         ++it) {
+      it->first->restoreProperties(std::move(it->second));
+    }
+    script_touched_.clear();
+    stats_.OnScriptSteps(response.steps);
+    stats_.OnScriptInvocations(response.invocations);
+    if (response.ok) {
+      stats_.OnOk();
+    } else if (response.error == core::ErrorCode::kDeadlineExceeded) {
+      stats_.OnTimedOut();
+    } else {
+      stats_.OnFailed();
+    }
+    if (response.script_error) stats_.OnScriptError();
+    if (response.budget_kill) stats_.OnScriptBudgetKill();
+    // Drain device-side follow-ups (delivery intents, polling ticks)
+    // scheduled by the script's invocations, as Serve does.
+    device_->RunAll();
+    FinishScript(queued, response);
+  }
+
+  void FinishScript(QueuedRequest& queued, ScriptResponse& response) {
+    response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - queued.submitted_at);
+    stats_.RecordLatency(
+        static_cast<std::uint64_t>(response.latency.count()));
+    support::trace::Span complete_span("gateway.complete");
+    complete_span.Tag("shard", index_);
+    InvokeScriptCompletionFn(queued.script->on_complete, response);
   }
 
   /// What one failover sweep (one retry round) left behind when it did
@@ -657,6 +791,11 @@ class Gateway::Shard {
   /// Null unless GatewayConfig::failover.enabled(); worker-thread-only
   /// after construction (its ShardStats writes are the shared part).
   std::unique_ptr<FailoverEngine> failover_;
+  /// M-Script engine; worker-thread-only after construction.
+  std::unique_ptr<ScriptEngine> script_engine_;
+  /// Proxies the current script touched via setProperty, with their
+  /// pre-script bags; worker-only, emptied after every script.
+  std::vector<std::pair<core::MProxy*, core::PropertyBag>> script_touched_;
 
   // The shard-private single-threaded MobiVine world.
   std::unique_ptr<device::MobileDevice> device_;
@@ -829,6 +968,57 @@ Response Gateway::Call(Request request) {
   return rendezvous.response;
 }
 
+bool Gateway::SubmitScript(ScriptRequest request) {
+  support::trace::Span span("gateway.submit_script");
+  const std::uint32_t index = ShardFor(request.client_id);
+  span.Tag("shard", index);
+  Shard& shard = *shards_[index];
+
+  QueuedRequest queued;
+  queued.submitted_at = Clock::now();
+  const std::chrono::microseconds timeout =
+      request.timeout.count() > 0 ? request.timeout : config_.default_timeout;
+  if (timeout.count() > 0) queued.deadline = queued.submitted_at + timeout;
+  queued.script = std::make_unique<ScriptRequest>(std::move(request));
+
+  if (!stopping_.load(std::memory_order_relaxed) && shard.TrySubmit(queued)) {
+    span.Tag("admitted", 1);
+    return true;
+  }
+  // Shed on the submitting thread, exactly like Submit(Request).
+  span.Tag("admitted", 0);
+  support::trace::Instant("gateway.shed", "shard", index);
+  shard.stats().OnShed();
+  ScriptResponse response;
+  response.error = core::ErrorCode::kOverloaded;
+  response.message = stopping_.load(std::memory_order_relaxed)
+                         ? "gateway is stopping"
+                         : "shard queue above shed watermark";
+  response.shard = index;
+  InvokeScriptCompletionFn(queued.script->on_complete, response);
+  return false;
+}
+
+ScriptResponse Gateway::CallScript(ScriptRequest request) {
+  struct Rendezvous {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    ScriptResponse response;
+  } rendezvous;
+  request.on_complete = [&rendezvous](const ScriptResponse& response) {
+    // Notify under the lock for the same lifetime reason as Call().
+    std::lock_guard<std::mutex> lock(rendezvous.mutex);
+    rendezvous.response = response;
+    rendezvous.done = true;
+    rendezvous.cv.notify_one();
+  };
+  SubmitScript(std::move(request));
+  std::unique_lock<std::mutex> lock(rendezvous.mutex);
+  rendezvous.cv.wait(lock, [&rendezvous] { return rendezvous.done; });
+  return rendezvous.response;
+}
+
 void Gateway::Stop() {
   stopping_.store(true, std::memory_order_relaxed);
   for (auto& shard : shards_) shard->Close();
@@ -873,6 +1063,14 @@ support::MetricsRegistry::Registration Gateway::RegisterMetrics(
         sink.Counter("hedges_won", totals.hedges_won);
         sink.Counter("breaker_opens", totals.breaker_opens);
         sink.Counter("faults_injected", totals.faults_injected);
+        // M-Script: executed is in-sandbox runs (subset of accepted);
+        // budget_kills is the subset of errors/timeouts caused by a
+        // sandbox ceiling — every one a typed status, never a fault.
+        sink.Counter("script.executed", totals.scripts);
+        sink.Counter("script.errors", totals.script_errors);
+        sink.Counter("script.budget_kills", totals.script_budget_kills);
+        sink.Counter("script.steps", totals.script_steps);
+        sink.Counter("script.invocations", totals.script_invocations);
         sink.Counter("queue_depth", totals.queue_depth);
         sink.Counter("max_queue_depth", totals.max_queue_depth);
         sink.Gauge("latency_p50_us",
@@ -895,6 +1093,9 @@ support::MetricsRegistry::Registration Gateway::RegisterMetrics(
           sink.Counter(base + "hedges_won", s.hedges_won);
           sink.Counter(base + "breaker_opens", s.breaker_opens);
           sink.Counter(base + "faults_injected", s.faults_injected);
+          sink.Counter(base + "script.executed", s.scripts);
+          sink.Counter(base + "script.errors", s.script_errors);
+          sink.Counter(base + "script.budget_kills", s.script_budget_kills);
           sink.Counter(base + "queue_depth", s.queue_depth);
           sink.Counter(base + "max_queue_depth", s.max_queue_depth);
         }

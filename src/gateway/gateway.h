@@ -48,6 +48,7 @@
 #include "gateway/failover.h"
 #include "gateway/push.h"
 #include "gateway/request.h"
+#include "gateway/script.h"
 #include "gateway/stats.h"
 #include "support/metrics.h"
 
@@ -84,6 +85,9 @@ struct GatewayConfig {
   /// (see gateway/push.h). 0 disables replay: every cursor-based
   /// subscribe starts with a gap marker.
   std::size_t push_replay_capacity = 1024;
+  /// M-Script sandbox ceilings (gateway/script.h). Client-supplied
+  /// budgets are clamped to these.
+  ScriptLimits script;
 };
 
 class Gateway {
@@ -113,6 +117,20 @@ class Gateway {
   /// Blocking convenience: submit and wait for the response (the
   /// request's own on_complete, if any, is ignored).
   Response Call(Request request);
+
+  // ---- M-Script: server-side composite invocations (gateway/script.h) --
+
+  /// Route a script to its client's shard, where it executes inside the
+  /// sandbox against that shard's proxies. Rides the same queue/
+  /// admission/deadline machinery as Submit(Request) — true when
+  /// admitted, false when shed (on_complete already ran with
+  /// kOverloaded) — but is never retried by the gateway: a composite may
+  /// have performed side effects before failing.
+  bool SubmitScript(ScriptRequest request);
+
+  /// Blocking convenience: submit and wait for the script response (the
+  /// request's own on_complete, if any, is ignored).
+  ScriptResponse CallScript(ScriptRequest request);
 
   /// Stop admitting, drain every queued request, join the workers.
   /// Subsequent Submits shed. Idempotent; the destructor calls it.

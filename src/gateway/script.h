@@ -1,0 +1,158 @@
+// M-Script: server-side composite invocations on a gateway shard.
+//
+// One wire round trip per invocation is the wrong shape for real
+// scenarios — "get location, HTTP-POST it, SMS on failure" is three
+// dependent round trips. M-Script extends the paper's M-Plugin idea
+// (generated client stubs) to uploaded server procedures: a kScript
+// frame carries a small MiniJS program that executes *inside* the
+// owning shard, with that shard's proxy registry exposed as host
+// objects, and returns one aggregated response.
+//
+// Sandbox contract (docs/scripting.md has the full reference):
+//  * No ambient authority — a script sees exactly the installed host
+//    objects (`mobile`, `args`) plus the MiniJS builtins. There is no
+//    I/O, no clock, no require().
+//  * Step budget — interpreter steps are hard-capped; exhaustion
+//    surfaces as a kScriptError ("step limit exceeded") and is not
+//    catchable in-script.
+//  * Call-depth ceiling — script recursion recurses the AST-walking
+//    interpreter on the C++ stack, so `function f(){f()}` would be a
+//    stack smash without one; past the interpreter's depth limit the
+//    call throws a catchable RangeError (JS "maximum call stack"
+//    semantics).
+//  * Virtual-time budget — every interpreter step and every host
+//    invocation is charged to the shard's virtual clock (the same
+//    OverheadMeter plane the proxies charge); exceeding the budget
+//    surfaces as kDeadlineExceeded. Because `:wall` fault rules stall
+//    the worker *and* advance the virtual clock, a slow backend burns
+//    the script's budget exactly like it burns a request deadline.
+//  * Result cap — the result's display string is size-capped
+//    (kScriptError when exceeded), so a script cannot amplify one
+//    frame into an arbitrarily large response.
+//  * Exactly-once execution — scripts ride the shard queue's
+//    admission/deadline/shed machinery but are never retried by the
+//    gateway: a composite may have already performed side effects
+//    (an SMS send) before failing, and retry policy is expressible
+//    in-language anyway (the host errors are catchable).
+//
+// Clients may lower any budget per script; the server clamps every
+// request to the operator ceilings below, so a hostile client cannot
+// buy itself a bigger sandbox.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/errors.h"
+#include "gateway/request.h"
+
+namespace mobivine::gateway {
+
+/// Operator ceilings, applied when a request's budget field is 0 and as
+/// clamps when it is not. Virtual-clock cost per interpreter step matches
+/// the WebView bridge's 2009-handset calibration (webview::BridgeCost).
+struct ScriptLimits {
+  std::uint64_t max_steps = 200'000;
+  std::uint64_t max_virtual_us = 10'000'000;  // 10 virtual seconds
+  std::uint64_t max_result_bytes = 64u << 10;  // == wire kMaxStringBytes
+  std::uint64_t virtual_us_per_step = 30;
+};
+
+struct ScriptResponse {
+  bool ok = false;
+  /// kOk on success; kUnknown with script_error for thrown values and
+  /// step/result violations; kDeadlineExceeded for time-budget kills and
+  /// queue-deadline expiry; kOverloaded when shed at admission.
+  core::ErrorCode error = core::ErrorCode::kUnknown;
+  /// True when the failure is a *script* outcome (uncaught throw, step
+  /// budget, oversized result) — the wire layer maps this to
+  /// WireStatus::kScriptError, everything else through the normal bands.
+  bool script_error = false;
+  /// True when a sandbox budget fired: step limit, virtual-time budget,
+  /// or result cap. Always paired with a typed status above — a budget
+  /// kill is never a process fault.
+  bool budget_kill = false;
+  std::string message;  ///< thrown value's display string / error detail
+  std::string result;   ///< final expression's display string on success
+  std::uint64_t steps = 0;        ///< interpreter steps executed
+  std::uint64_t invocations = 0;  ///< host binding calls performed
+  std::uint32_t shard = 0;
+  std::chrono::microseconds latency{0};  ///< submit -> completion, wall
+};
+
+struct ScriptRequest {
+  std::uint64_t client_id = 0;  ///< shard affinity key
+  std::string source;           ///< MiniJS program
+  /// Named string arguments, exposed to the script as the `args` object.
+  std::vector<std::pair<std::string, std::string>> args;
+  /// Wall-clock budget from submission (queue wait + execution); zero
+  /// defers to the gateway default. Checked at dequeue like a request.
+  std::chrono::microseconds timeout{0};
+  std::uint64_t step_budget = 0;        ///< 0: ScriptLimits default
+  std::uint64_t virtual_us_budget = 0;  ///< 0: ScriptLimits default
+  std::uint64_t max_result_bytes = 0;   ///< 0: ScriptLimits default
+  /// Invoked exactly once: on the owning shard's worker thread after
+  /// execution, or on the submitting thread when the script is shed.
+  std::function<void(const ScriptResponse&)> on_complete;
+};
+
+/// The bridge a shard hands the engine. Every callback runs on the
+/// shard's worker thread; invoke/get/set route through the shard's
+/// long-lived proxies, so fault gates, meters and descriptor validation
+/// all apply exactly as they do to kRequest traffic.
+struct ScriptHostOps {
+  /// Dispatch one binding call. Throws core::ProxyError on failure —
+  /// the engine re-enters it into the script as a catchable Error object
+  /// {name, message, code, platform}.
+  std::function<std::string(Platform, Op, const std::string& target,
+                            const std::string& payload,
+                            const std::string& content_type)>
+      invoke;
+  /// setProperty on the proxy serving (platform, op); descriptor-
+  /// validated, ProxyError on rejection. The shard snapshots and
+  /// restores every touched proxy around the script, so properties
+  /// never leak into later traffic.
+  std::function<void(Platform, Op, const std::string& name,
+                     const std::string& value)>
+      set_property;
+  /// getProperty display string ("" when unset).
+  std::function<std::string(Platform, Op, const std::string& name)>
+      get_property;
+  /// Charge `steps` interpreter steps onto the shard's virtual clock.
+  std::function<void(std::uint64_t steps)> charge_steps;
+  /// The shard's virtual clock, in micros (budget accounting).
+  std::function<std::uint64_t()> virtual_now_us;
+};
+
+/// One engine per shard, single-threaded like everything the shard owns.
+/// Each Execute() builds a fresh interpreter: the MiniJS interpreter
+/// retains every loaded AST for its lifetime and its globals are mutable,
+/// so reuse across scripts would both grow without bound and leak state
+/// between clients — exactly what a sandbox must not do.
+class ScriptEngine {
+ public:
+  explicit ScriptEngine(ScriptHostOps ops, ScriptLimits limits = {});
+
+  /// Execute on the calling (worker) thread. Fills everything except
+  /// shard/latency, which the shard stamps in its completion path.
+  [[nodiscard]] ScriptResponse Execute(const ScriptRequest& request);
+
+  const ScriptLimits& limits() const { return limits_; }
+
+ private:
+  ScriptHostOps ops_;
+  ScriptLimits limits_;
+};
+
+/// Parse "android" / "s60" / "iphone" (as ToString(Platform) emits).
+/// Throws core::ProxyError(kIllegalArgument) on anything else.
+[[nodiscard]] Platform ParsePlatformName(const std::string& name);
+/// Parse "getLocation" / "sendSms" / "httpGet" / "httpPost" /
+/// "segmentCount" (as ToString(Op) emits). Same error contract.
+[[nodiscard]] Op ParseOpName(const std::string& name);
+
+}  // namespace mobivine::gateway

@@ -19,6 +19,11 @@ GatewaySnapshot Aggregate(std::vector<ShardSnapshot> shards) {
     snap.totals.hedges_won += shard.hedges_won;
     snap.totals.breaker_opens += shard.breaker_opens;
     snap.totals.faults_injected += shard.faults_injected;
+    snap.totals.scripts += shard.scripts;
+    snap.totals.script_errors += shard.script_errors;
+    snap.totals.script_budget_kills += shard.script_budget_kills;
+    snap.totals.script_steps += shard.script_steps;
+    snap.totals.script_invocations += shard.script_invocations;
     snap.totals.queue_depth += shard.queue_depth;
     if (shard.max_queue_depth > snap.totals.max_queue_depth) {
       snap.totals.max_queue_depth = shard.max_queue_depth;

@@ -30,6 +30,16 @@ struct ShardSnapshot {
   std::uint64_t hedges_won = 0;    ///< hedge dispatches that produced the win
   std::uint64_t breaker_opens = 0;  ///< closed/half-open -> open transitions
   std::uint64_t faults_injected = 0;  ///< FaultPlan decisions that fired
+  /// M-Script: executions dequeued and run (also counted in accepted +
+  /// ok/failed/timed_out — scripts ride the same serving machinery).
+  std::uint64_t scripts = 0;
+  std::uint64_t script_errors = 0;  ///< kScriptError outcomes (throw/budget)
+  /// Sandbox budget kills within script_errors/timed_out: step-limit,
+  /// virtual-time and result-cap violations — each surfaced as a typed
+  /// status, never a process fault.
+  std::uint64_t script_budget_kills = 0;
+  std::uint64_t script_steps = 0;        ///< interpreter steps executed
+  std::uint64_t script_invocations = 0;  ///< host binding calls from scripts
   std::uint64_t queue_depth = 0;      ///< at snapshot time
   std::uint64_t max_queue_depth = 0;  ///< high-water mark since start
   HistogramSnapshot latency;          ///< completions (ok + failed + timed_out)
@@ -76,6 +86,19 @@ class ShardStats {
   void OnFaultInjected() {
     faults_injected_.fetch_add(1, std::memory_order_relaxed);
   }
+  void OnScript() { scripts_.fetch_add(1, std::memory_order_relaxed); }
+  void OnScriptError() {
+    script_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnScriptBudgetKill() {
+    script_budget_kills_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnScriptSteps(std::uint64_t steps) {
+    script_steps_.fetch_add(steps, std::memory_order_relaxed);
+  }
+  void OnScriptInvocations(std::uint64_t count) {
+    script_invocations_.fetch_add(count, std::memory_order_relaxed);
+  }
 
   void RecordLatency(std::uint64_t micros) { latency_.Record(micros); }
 
@@ -101,6 +124,13 @@ class ShardStats {
     snap.hedges_won = hedges_won_.load(std::memory_order_relaxed);
     snap.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
     snap.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+    snap.scripts = scripts_.load(std::memory_order_relaxed);
+    snap.script_errors = script_errors_.load(std::memory_order_relaxed);
+    snap.script_budget_kills =
+        script_budget_kills_.load(std::memory_order_relaxed);
+    snap.script_steps = script_steps_.load(std::memory_order_relaxed);
+    snap.script_invocations =
+        script_invocations_.load(std::memory_order_relaxed);
     snap.queue_depth = queue_depth;
     snap.max_queue_depth = max_depth_.load(std::memory_order_relaxed);
     snap.latency = latency_.Snapshot();
@@ -119,6 +149,11 @@ class ShardStats {
   std::atomic<std::uint64_t> hedges_won_{0};
   std::atomic<std::uint64_t> breaker_opens_{0};
   std::atomic<std::uint64_t> faults_injected_{0};
+  std::atomic<std::uint64_t> scripts_{0};
+  std::atomic<std::uint64_t> script_errors_{0};
+  std::atomic<std::uint64_t> script_budget_kills_{0};
+  std::atomic<std::uint64_t> script_steps_{0};
+  std::atomic<std::uint64_t> script_invocations_{0};
   std::atomic<std::uint64_t> max_depth_{0};
   LatencyHistogram latency_;
 };

@@ -48,6 +48,29 @@ void Interpreter::Step(int line) {
     throw ScriptError(
         Value::Obj(MakeErrorObject("RangeError", "step limit exceeded")));
   }
+  if (step_observer_ && ++steps_since_observe_ >= observer_interval_) {
+    const std::uint64_t delta = steps_since_observe_;
+    steps_since_observe_ = 0;
+    step_observer_(delta);
+  }
+}
+
+void Interpreter::ChargeAllocation(std::size_t bytes) {
+  const std::uint64_t extra = bytes / 64;
+  if (extra == 0) return;
+  steps_ += extra;
+  if (steps_ > step_limit_) {
+    throw ScriptError(
+        Value::Obj(MakeErrorObject("RangeError", "step limit exceeded")));
+  }
+  if (step_observer_) {
+    steps_since_observe_ += extra;
+    if (steps_since_observe_ >= observer_interval_) {
+      const std::uint64_t delta = steps_since_observe_;
+      steps_since_observe_ = 0;
+      step_observer_(delta);
+    }
+  }
 }
 
 Value Interpreter::Run(std::string_view source) {
@@ -114,6 +137,18 @@ Value Interpreter::CallFunction(const std::shared_ptr<Function>& function,
       throw ThrowSignal{error.thrown()};
     }
   }
+  if (call_depth_ >= call_depth_limit_) {
+    // Script recursion recurses THIS function on the C++ stack; without
+    // a ceiling a hostile `function f(){f()}` is a stack smash, not an
+    // error. Catchable by design (see set_call_depth_limit).
+    throw ThrowSignal{Value::Obj(
+        MakeErrorObject("RangeError", "maximum call depth exceeded"))};
+  }
+  ++call_depth_;
+  struct DepthGuard {
+    std::uint64_t& depth;
+    ~DepthGuard() { --depth; }
+  } depth_guard{call_depth_};
   auto env = std::make_shared<Environment>(function->closure);
   const FunctionExpr& decl = *function->decl;
   for (size_t i = 0; i < decl.params.size(); ++i) {
@@ -548,7 +583,10 @@ Value Interpreter::EvaluateBinary(const BinaryExpr& expr, Value left,
   switch (expr.op) {
     case BinaryOp::kAdd:
       if (left.is_string() || right.is_string()) {
-        return Value::String(left.ToDisplayString() + right.ToDisplayString());
+        std::string joined =
+            left.ToDisplayString() + right.ToDisplayString();
+        ChargeAllocation(joined.size());
+        return Value::String(std::move(joined));
       }
       return Value::Number(left.ToNumber() + right.ToNumber());
     case BinaryOp::kSubtract:

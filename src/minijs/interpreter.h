@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -49,6 +51,9 @@ class Environment {
   bool Assign(const std::string& name, Value value);
 
  private:
+  // std::map (not unordered_map) on purpose: ordered iteration makes
+  // global dumps and scope walks deterministic, which the golden-output
+  // tests and trace comparisons rely on.
   std::map<std::string, Value> variables_;
   std::shared_ptr<Environment> parent_;
 };
@@ -77,6 +82,40 @@ class Interpreter {
   void ResetSteps() { steps_ = 0; }
   /// Abort with ScriptError after this many steps (runaway guard).
   void set_step_limit(std::uint64_t limit) { step_limit_ = limit; }
+  /// Nested script-function call ceiling. The interpreter walks the AST
+  /// on the C++ stack, so unbounded script recursion is a real stack
+  /// smash, not just a slow loop; past the limit the call throws a
+  /// catchable RangeError (JS "maximum call stack" semantics — catching
+  /// it is safe because the stack has already unwound to the catch).
+  void set_call_depth_limit(std::uint64_t limit) {
+    call_depth_limit_ = limit == 0 ? 1 : limit;
+  }
+
+  /// Periodic execution observer: invoked from Step() every `interval`
+  /// steps with the number of steps executed since the previous
+  /// invocation. Hosts use it to charge script execution onto an
+  /// external clock (the WebView bridge, a gateway shard's virtual
+  /// scheduler) and to enforce time budgets — an observer may throw,
+  /// and whatever it throws propagates out of Run()/Call() *without*
+  /// being catchable by script-level try/catch (only ThrowSignal is),
+  /// so a budget kill cannot be swallowed by a hostile script. Pass a
+  /// null observer to detach.
+  using StepObserver = std::function<void(std::uint64_t steps_delta)>;
+  void set_step_observer(StepObserver observer, std::uint64_t interval = 256) {
+    step_observer_ = std::move(observer);
+    observer_interval_ = interval == 0 ? 1 : interval;
+    steps_since_observe_ = 0;
+  }
+  /// Deliver any steps accumulated since the last periodic callback to
+  /// the observer. Hosts call this after Run()/Call() returns so the
+  /// final partial interval is still charged.
+  void FlushStepObserver() {
+    if (step_observer_ && steps_since_observe_ > 0) {
+      const std::uint64_t delta = steps_since_observe_;
+      steps_since_observe_ = 0;
+      step_observer_(delta);
+    }
+  }
 
   /// Lines printed by the built-in print()/log() functions.
   const std::vector<std::string>& output() const { return output_; }
@@ -98,6 +137,12 @@ class Interpreter {
   };
 
   void Step(int line);
+  /// Charge allocated bytes as extra steps (1 per 64 bytes), with the
+  /// same limit check and observer delivery as Step(). String building
+  /// happens inside single AST nodes, so without this a sandboxed
+  /// `s = s + s` doubling loop would reach gigabytes in ~30 "steps" —
+  /// memory growth must burn the step budget at the rate it allocates.
+  void ChargeAllocation(std::size_t bytes);
   void ExecuteBlock(const std::vector<StmtPtr>& statements,
                     const std::shared_ptr<Environment>& env,
                     const Value& this_value);
@@ -118,6 +163,11 @@ class Interpreter {
   std::vector<std::unique_ptr<Program>> loaded_programs_;
   std::uint64_t steps_ = 0;
   std::uint64_t step_limit_ = 50'000'000;
+  std::uint64_t call_depth_ = 0;
+  std::uint64_t call_depth_limit_ = 256;
+  StepObserver step_observer_;
+  std::uint64_t observer_interval_ = 256;
+  std::uint64_t steps_since_observe_ = 0;
   std::vector<std::string> output_;
 };
 

@@ -480,6 +480,62 @@ bool WireClient::Call(WireRequest request, WireResponse* response) {
   return response->status != WireStatus::kTransportError;
 }
 
+bool WireClient::SubmitScript(const WireScriptRequest& script,
+                              Callback callback) {
+  if (!connected_.load(std::memory_order_acquire)) {
+    WireResponse dead;
+    dead.request_id = script.request_id;
+    dead.status = WireStatus::kTransportError;
+    callback(dead);
+    return false;
+  }
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t size_hint = 64 + script.source.size();
+  for (const auto& [name, value] : script.args) {
+    size_hint += name.size() + value.size() + 16;
+  }
+  support::PooledBuffer buffer =
+      support::BufferPool::WirePool().Acquire(size_hint);
+  std::vector<std::uint8_t>& bytes = buffer.bytes();
+  EncodeScript(script, id, bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EmplacePendingLocked(id, std::move(callback));
+  }
+  bool sent = false;
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    const int fd = fd_.load(std::memory_order_relaxed);
+    sent = fd >= 0 && connected_.load(std::memory_order_acquire) &&
+           WriteAll(fd, bytes.data(), bytes.size());
+  }
+  if (sent) return true;
+  Callback mine = TakePending(id);
+  if (mine) {
+    WireResponse dead;
+    dead.request_id = id;
+    dead.status = WireStatus::kTransportError;
+    mine(dead);
+  }
+  return false;
+}
+
+bool WireClient::CallScript(const WireScriptRequest& script,
+                            WireResponse* response) {
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  SubmitScript(script, [&](const WireResponse& completed) {
+    *response = completed;
+    std::lock_guard<std::mutex> lock(done_mutex);
+    done = true;
+    done_cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+  return response->status != WireStatus::kTransportError;
+}
+
 void WireClient::Close() {
   const int fd = fd_.load(std::memory_order_acquire);
   if (fd >= 0) {

@@ -122,6 +122,19 @@ class WireClient {
   /// statuses with the connection intact.
   bool Call(WireRequest request, WireResponse* response);
 
+  // ---- M-Script composite invocations ----
+
+  /// Pipelined async script send (one kScript frame; any id in
+  /// `script.request_id` is ignored — this client stamps its own). The
+  /// answer arrives as an ordinary kResponse frame: kOk with the result
+  /// display string as the body, kScriptError with the thrown value's
+  /// display string, or a normal status band (deadline, overload,
+  /// malformed). Same transport-failure contract as Submit.
+  bool SubmitScript(const WireScriptRequest& script, Callback callback);
+
+  /// Synchronous script round trip, mirroring Call().
+  bool CallScript(const WireScriptRequest& script, WireResponse* response);
+
   // ---- M-Push subscriptions ----
 
   using EventHandler = std::function<void(const WireEvent&)>;

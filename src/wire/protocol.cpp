@@ -136,6 +136,8 @@ const char* ToString(WireStatus status) {
       return "wrong-worker";
     case WireStatus::kUnsupportedFrame:
       return "unsupported-frame";
+    case WireStatus::kScriptError:
+      return "script-error";
     default:
       return core::ToString(ToErrorCode(status));
   }
@@ -267,6 +269,29 @@ void EncodeResponse(const WireResponse& response, std::string_view body,
   FinishFrame(out, frame_start, FrameType::kResponse);
 }
 
+void EncodeScript(const WireScriptRequest& script,
+                  std::vector<std::uint8_t>& out) {
+  EncodeScript(script, script.request_id, out);
+}
+
+void EncodeScript(const WireScriptRequest& script, std::uint64_t request_id,
+                  std::vector<std::uint8_t>& out) {
+  const std::size_t frame_start = out.size();
+  PutVarint(out, request_id);
+  PutVarint(out, script.client_id);
+  PutVarint(out, script.timeout_micros);
+  PutVarint(out, script.step_budget);
+  PutVarint(out, script.virtual_us_budget);
+  PutVarint(out, script.max_result_bytes);
+  PutString(out, script.source);
+  PutVarint(out, script.args.size());
+  for (const auto& [name, value] : script.args) {
+    PutString(out, name);
+    PutString(out, value);
+  }
+  FinishFrame(out, frame_start, FrameType::kScript);
+}
+
 void EncodeSubscribe(const WireSubscribe& subscribe,
                      std::vector<std::uint8_t>& out) {
   const std::size_t frame_start = out.size();
@@ -310,6 +335,56 @@ void EncodeEvent(const WireEvent& event, std::string_view body,
   PutVarint(out, event.aux);
   PutString(out, body);
   FinishFrame(out, frame_start, FrameType::kEvent);
+}
+
+BodyStatus DecodeScript(const std::uint8_t* payload, std::size_t size,
+                        WireScriptRequest* script, std::string* error) {
+  Reader reader(payload, size);
+  const auto fail = [&](BodyStatus status) {
+    if (error != nullptr) *error = reader.error();
+    return status;
+  };
+  if (!reader.Varint(&script->request_id, "request_id")) {
+    return fail(BodyStatus::kBadId);
+  }
+  std::string_view source;
+  if (!reader.Varint(&script->client_id, "client_id") ||
+      !reader.Varint(&script->timeout_micros, "timeout") ||
+      !reader.Varint(&script->step_budget, "step_budget") ||
+      !reader.Varint(&script->virtual_us_budget, "virtual_us_budget") ||
+      !reader.Varint(&script->max_result_bytes, "max_result_bytes") ||
+      !reader.String(&source, "source")) {
+    return fail(BodyStatus::kBadBody);
+  }
+  if (source.empty()) {
+    if (error != nullptr) *error = "source: empty";
+    return BodyStatus::kBadBody;
+  }
+  std::uint64_t arg_count = 0;
+  if (!reader.Varint(&arg_count, "arg_count")) {
+    return fail(BodyStatus::kBadBody);
+  }
+  if (arg_count > kMaxProperties) {
+    if (error != nullptr) *error = "arg_count: over cap";
+    return BodyStatus::kBadBody;
+  }
+  script->source.assign(source.data(), source.size());
+  script->args.clear();
+  script->args.reserve(static_cast<std::size_t>(arg_count));
+  for (std::uint64_t i = 0; i < arg_count; ++i) {
+    std::string_view name;
+    std::string_view value;
+    if (!reader.String(&name, "arg name") ||
+        !reader.String(&value, "arg value")) {
+      return fail(BodyStatus::kBadBody);
+    }
+    script->args.emplace_back(std::string(name), std::string(value));
+  }
+  if (!reader.AtEnd()) {
+    if (error != nullptr) *error = "trailing bytes after script body";
+    return BodyStatus::kBadBody;
+  }
+  return BodyStatus::kOk;
 }
 
 BodyStatus DecodeSubscribe(const std::uint8_t* payload, std::size_t size,

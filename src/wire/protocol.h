@@ -75,6 +75,13 @@ enum class FrameType : std::uint8_t {
   /// kUnsubscribe, carrying the assigned subscription id and the cursor
   /// the event stream actually starts from.
   kSubscribeAck = 7,
+  /// M-Script composite invocation (client -> server): a MiniJS program
+  /// plus named string arguments, executed inside the owning shard with
+  /// the proxy registry exposed as host objects. Answered with one
+  /// ordinary kResponse frame carrying the aggregated result (kOk), the
+  /// thrown value's display string (kScriptError), or a budget/queue
+  /// outcome (kDeadlineExceeded / kOverloaded).
+  kScript = 8,
 };
 
 /// Is this a frame type this build knows how to handle? Unknown types
@@ -85,7 +92,7 @@ enum class FrameType : std::uint8_t {
   return type == FrameType::kRequest || type == FrameType::kResponse ||
          type == FrameType::kControl || type == FrameType::kSubscribe ||
          type == FrameType::kEvent || type == FrameType::kUnsubscribe ||
-         type == FrameType::kSubscribeAck;
+         type == FrameType::kSubscribeAck || type == FrameType::kScript;
 }
 
 /// Wire status codes. 0 is success; 1..13 mirror core::ErrorCode one to
@@ -118,6 +125,12 @@ enum class WireStatus : std::uint8_t {
   /// implements (a newer protocol revision, or a control frame sent to a
   /// plain data server). Answered in-band; the connection lives on.
   kUnsupportedFrame = 67,
+  /// M-Script: the script was well-formed and admitted but its execution
+  /// threw (an uncaught script `throw`, a sandbox budget kill, or an
+  /// oversized result). The response body carries the thrown value's
+  /// display string. Time-budget exhaustion maps to kDeadlineExceeded
+  /// instead — it is a deadline outcome, not a script bug.
+  kScriptError = 68,
 };
 
 [[nodiscard]] const char* ToString(WireStatus status);
@@ -151,6 +164,30 @@ struct WireResponse {
   std::uint32_t attempts = 0;
   std::uint64_t latency_micros = 0;  ///< server-side submit -> completion
   std::string body;  ///< op result when kOk; error detail otherwise
+};
+
+// ---------------------------------------------------------------------------
+// M-Script frame body (kScript)
+// ---------------------------------------------------------------------------
+
+/// kScript payload: varint request_id, varint client_id, varint
+/// timeout_micros, varint step_budget, varint virtual_us_budget, varint
+/// max_result_bytes, string source, varint arg_count, then arg_count
+/// (string name, string value) pairs. Budget fields of 0 mean "server
+/// default" — the server clamps everything to its own ceilings anyway, so
+/// a client cannot buy itself a bigger sandbox than the operator allows.
+/// Answered with an ordinary kResponse frame (same correlation id).
+struct WireScriptRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t client_id = 0;       ///< shard/plan routing key
+  std::uint64_t timeout_micros = 0;  ///< queue+execution deadline; 0: default
+  std::uint64_t step_budget = 0;       ///< interpreter steps; 0: default
+  std::uint64_t virtual_us_budget = 0; ///< virtual-clock budget; 0: default
+  std::uint64_t max_result_bytes = 0;  ///< result display cap; 0: default
+  std::string source;  ///< MiniJS program (<= kMaxStringBytes)
+  /// Named string arguments, exposed to the script as the `args` host
+  /// object (<= kMaxProperties entries, each side <= kMaxStringBytes).
+  std::vector<std::pair<std::string, std::string>> args;
 };
 
 // ---------------------------------------------------------------------------
@@ -272,6 +309,13 @@ void EncodeResponse(const WireResponse& response,
 void EncodeResponse(const WireResponse& response, std::string_view body,
                     std::vector<std::uint8_t>& out);
 
+void EncodeScript(const WireScriptRequest& script,
+                  std::vector<std::uint8_t>& out);
+/// Encode with the correlation id supplied separately (client id-stamping,
+/// mirroring the EncodeRequest overload).
+void EncodeScript(const WireScriptRequest& script, std::uint64_t request_id,
+                  std::vector<std::uint8_t>& out);
+
 void EncodeSubscribe(const WireSubscribe& subscribe,
                      std::vector<std::uint8_t>& out);
 void EncodeUnsubscribe(const WireUnsubscribe& unsubscribe,
@@ -342,6 +386,14 @@ enum class BodyStatus : std::uint8_t {
                                            std::size_t size,
                                            WireRequestView* view,
                                            std::string* error);
+
+/// Decode a kScript frame payload. Same contract as DecodeRequest: on
+/// kBadBody the request_id is valid and can be answered with a typed
+/// kMalformedRequest response; on kBadId nothing is usable.
+[[nodiscard]] BodyStatus DecodeScript(const std::uint8_t* payload,
+                                      std::size_t size,
+                                      WireScriptRequest* script,
+                                      std::string* error);
 
 /// Decode a kResponse frame payload (client side). True on success.
 [[nodiscard]] bool DecodeResponse(const std::uint8_t* payload,

@@ -65,6 +65,7 @@ struct WireServer::Counters {
   std::atomic<std::uint64_t> unsupported_frames{0};
   std::atomic<std::uint64_t> backpressure_stalls{0};
   std::atomic<std::uint64_t> requests_dispatched{0};
+  std::atomic<std::uint64_t> scripts_dispatched{0};
   std::atomic<std::uint64_t> writev_calls{0};
   std::atomic<std::uint64_t> epollout_arms{0};
   std::atomic<std::uint64_t> subscriptions_opened{0};
@@ -337,6 +338,11 @@ class WireServer::EventLoop
         offset += consumed;
         continue;
       }
+      if (frame.type == FrameType::kScript) {
+        HandleScript(conn, frame, &fatal);
+        offset += consumed;
+        continue;
+      }
       if (frame.type != FrameType::kRequest) {
         // Well-framed but not a type this server implements (kControl on
         // a plain data server, or a newer revision's frame): answer
@@ -469,6 +475,98 @@ class WireServer::EventLoop
     (void)server_.gateway_.Submit(gw, std::move(on_complete));
     assert(conn->input().generation() == ring_generation);
     (void)ring_generation;
+  }
+
+  /// M-Script: one kScript frame becomes one gateway::SubmitScript; the
+  /// shard answers with an ordinary kResponse frame under the same
+  /// request id. Unlike HandleRequest there is no borrowed-view path —
+  /// DecodeScript copies the source out of the ring (scripts are rare
+  /// and large relative to requests; the zero-copy machinery buys
+  /// nothing here).
+  void HandleScript(const std::shared_ptr<Connection>& conn,
+                    const FrameView& frame, bool* fatal) {
+    WireScriptRequest script;
+    std::string error;
+    switch (DecodeScript(frame.payload, frame.payload_size, &script, &error)) {
+      case BodyStatus::kBadId:
+        AddU64(server_.stats_->protocol_errors, 1);
+        support::trace::Instant("wire.protocol_error");
+        *fatal = true;
+        return;
+      case BodyStatus::kBadBody: {
+        AddU64(server_.stats_->decode_errors, 1);
+        WireResponse response;
+        response.request_id = script.request_id;
+        response.status = WireStatus::kMalformedRequest;
+        response.body = error;
+        SendResponse(conn, response);
+        return;
+      }
+      case BodyStatus::kOk:
+        break;
+    }
+    // Same M-Cluster routing fence as requests: scripts execute against
+    // the client's shard state, so a worker that does not own the client
+    // bounces them before any sandbox work.
+    if (server_.config_.ownership) {
+      std::uint64_t plan_epoch = 0;
+      if (!server_.config_.ownership(script.client_id, &plan_epoch)) {
+        AddU64(server_.stats_->wrong_worker, 1);
+        support::trace::Instant("wire.wrong_worker");
+        WireResponse response;
+        response.request_id = script.request_id;
+        response.status = WireStatus::kWrongWorker;
+        response.body = std::to_string(plan_epoch);
+        SendResponse(conn, response);
+        return;
+      }
+    }
+    support::trace::Span span("wire.dispatch");
+    span.Tag("script", 1);
+    gateway::ScriptRequest gw;
+    gw.client_id = script.client_id;
+    gw.source = std::move(script.source);
+    gw.args = std::move(script.args);
+    gw.timeout = std::chrono::microseconds(script.timeout_micros);
+    gw.step_budget = script.step_budget;
+    gw.virtual_us_budget = script.virtual_us_budget;
+    gw.max_result_bytes = script.max_result_bytes;
+    const std::uint64_t request_id = script.request_id;
+    // Same lifetime discipline as HandleRequest's completion: shared
+    // stats, weak loop, never `this` raw.
+    std::shared_ptr<WireServer::Counters> stats = server_.stats_;
+    std::weak_ptr<EventLoop> weak_loop = weak_from_this();
+    gw.on_complete = [stats = std::move(stats), weak_loop, conn, request_id](
+                         const gateway::ScriptResponse& completed) {
+      if (conn->closed()) return;
+      WireResponse response;
+      response.request_id = request_id;
+      // Script outcomes (uncaught throw, step-limit kill, result cap)
+      // map to the dedicated kScriptError band; everything else —
+      // deadline, overload — travels through the normal status bands.
+      response.status = completed.ok ? WireStatus::kOk
+                        : completed.script_error
+                            ? WireStatus::kScriptError
+                            : FromErrorCode(completed.error);
+      response.latency_micros =
+          static_cast<std::uint64_t>(completed.latency.count());
+      const std::string& body =
+          completed.ok ? completed.result : completed.message;
+      support::PooledBuffer buffer = support::BufferPool::WirePool().Acquire(
+          kResponseOverhead + body.size());
+      EncodeResponse(response, body, buffer.bytes());
+      if (conn->QueueOutput(std::move(buffer)) == 0) return;  // closed
+      AddU64(stats->frames_out, 1);
+      if (conn->ClaimNotify()) {
+        if (const std::shared_ptr<EventLoop> loop = weak_loop.lock()) {
+          loop->NotifyWritable(conn);
+        } else {
+          conn->ClearNotify();  // loop gone: connection already closed
+        }
+      }
+    };
+    AddU64(server_.stats_->scripts_dispatched, 1);
+    (void)server_.gateway_.SubmitScript(std::move(gw));
   }
 
   /// Encode + enqueue one response; wakes the loop unless it is already
@@ -1072,6 +1170,8 @@ WireStatsSnapshot WireServer::Stats() const {
       stats_->backpressure_stalls.load(std::memory_order_relaxed);
   snap.requests_dispatched =
       stats_->requests_dispatched.load(std::memory_order_relaxed);
+  snap.scripts_dispatched =
+      stats_->scripts_dispatched.load(std::memory_order_relaxed);
   snap.writev_calls = stats_->writev_calls.load(std::memory_order_relaxed);
   snap.epollout_arms = stats_->epollout_arms.load(std::memory_order_relaxed);
   snap.subscriptions_opened =
@@ -1107,6 +1207,7 @@ support::MetricsRegistry::Registration WireServer::RegisterMetrics(
         sink.Counter("unsupported_frames", snap.unsupported_frames);
         sink.Counter("backpressure_stalls", snap.backpressure_stalls);
         sink.Counter("requests_dispatched", snap.requests_dispatched);
+        sink.Counter("scripts_dispatched", snap.scripts_dispatched);
         sink.Counter("writev_calls", snap.writev_calls);
         sink.Counter("epollout_arms", snap.epollout_arms);
         sink.Counter("push_subscriptions_opened", snap.subscriptions_opened);

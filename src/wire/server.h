@@ -98,6 +98,8 @@ struct WireStatsSnapshot {
   std::uint64_t unsupported_frames = 0;  ///< unknown frame types answered
   std::uint64_t backpressure_stalls = 0;  ///< read pauses at the watermark
   std::uint64_t requests_dispatched = 0;  ///< handed to gateway::Submit
+  std::uint64_t scripts_dispatched = 0;  ///< kScript frames handed to
+                                         ///< gateway::SubmitScript
   std::uint64_t writev_calls = 0;         ///< scatter-gather flush syscalls
   std::uint64_t epollout_arms = 0;  ///< EPOLLOUT registrations (EAGAIN only)
   // Frame-buffer pool (support::BufferPool::WirePool()), shared with the

@@ -584,6 +584,64 @@ TEST(WireFuzz, MutatedPushFramesNeverCrashTheDecoders) {
   }
 }
 
+TEST(WireFuzz, MutatedScriptFramesNeverCrashTheDecoder) {
+  // kScript carries the largest, most structured body on the wire (a
+  // whole program plus an argument table), so it gets the same
+  // deterministic mutation sweep as requests and push frames.
+  SplitMix64 rng{0x5c21b7d00dull};
+  wire::WireScriptRequest base;
+  base.request_id = 41;
+  base.client_id = 6;
+  base.timeout_micros = 250'000;
+  base.step_budget = 10'000;
+  base.virtual_us_budget = 500'000;
+  base.max_result_bytes = 2048;
+  base.source = "var loc = mobile.invoke('android', 'getLocation'); loc";
+  base.args.emplace_back("url", "http://gw.example/ingest");
+  base.args.emplace_back("note", std::string(120, 'n'));
+  std::vector<std::uint8_t> pristine;
+  wire::EncodeScript(base, pristine);
+
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::vector<std::uint8_t> bytes = pristine;
+    switch (rng.Next() % 4) {
+      case 0:
+        bytes[rng.Next() % bytes.size()] ^=
+            static_cast<std::uint8_t>(1u << (rng.Next() % 8));
+        break;
+      case 1:
+        bytes.resize(rng.Next() % bytes.size());
+        break;
+      case 2:
+        bytes[rng.Next() % bytes.size()] =
+            static_cast<std::uint8_t>(rng.Next());
+        bytes[rng.Next() % bytes.size()] =
+            static_cast<std::uint8_t>(rng.Next());
+        break;
+      default:
+        bytes.assign(rng.Next() % 64, 0);
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.Next());
+        break;
+    }
+    FrameView frame;
+    std::size_t consumed = 0;
+    std::string error;
+    if (DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed, &error) !=
+        DecodeStatus::kOk) {
+      continue;
+    }
+    // Whatever survived framing must decode or fail typed — never crash.
+    // A kBadBody verdict must still recover the request id so the server
+    // can answer kMalformedRequest in-band.
+    wire::WireScriptRequest out;
+    const BodyStatus status =
+        wire::DecodeScript(frame.payload, frame.payload_size, &out, &error);
+    if (status == BodyStatus::kBadBody) {
+      ASSERT_FALSE(error.empty()) << "iteration " << iteration;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // ByteRing: the zero-copy staleness contract
 // ---------------------------------------------------------------------------
@@ -1130,13 +1188,24 @@ TEST_F(WireServerTest, DuplicateRequestIdsBothGetAnswered) {
 TEST_F(WireServerTest, SocketFuzzNeverKillsTheServer) {
   StartAll(BaseConfig(1), {});
   SplitMix64 rng{0xfeedbeefull};
-  std::vector<std::uint8_t> pristine;
+  // Alternate between the two client-originated frame families so the
+  // server's kScript dispatch path faces the same hostile bytes as
+  // kRequest.
+  std::vector<std::vector<std::uint8_t>> corpus(2);
   WireRequest base = HttpGet(1);
   base.request_id = 1;
   base.properties.emplace_back("powerConsumption", std::string("low"));
-  EncodeRequest(base, pristine);
+  EncodeRequest(base, corpus[0]);
+  wire::WireScriptRequest script;
+  script.request_id = 2;
+  script.client_id = 1;
+  script.step_budget = 1000;
+  script.source = "mobile.invoke('android', 'getLocation')";
+  script.args.emplace_back("k", "v");
+  wire::EncodeScript(script, corpus[1]);
 
   for (int round = 0; round < 48; ++round) {
+    const std::vector<std::uint8_t>& pristine = corpus[round % corpus.size()];
     RawConn conn;
     // Short read timeout: a mutation that leaves the connection idle
     // (e.g. a truncated frame the server is still waiting on) must not
