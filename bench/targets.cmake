@@ -26,6 +26,9 @@ target_link_libraries(bench_gateway_throughput PRIVATE mobivine_gateway)
 mobivine_bench(bench_wire_throughput)
 target_link_libraries(bench_wire_throughput PRIVATE mobivine_wire)
 
+mobivine_bench(bench_fleet_throughput)
+target_link_libraries(bench_fleet_throughput PRIVATE mobivine_fleet)
+
 mobivine_bench(bench_cluster_throughput)
 target_link_libraries(bench_cluster_throughput PRIVATE mobivine_cluster)
 

@@ -5,11 +5,11 @@
 #   asan     Debug + AddressSanitizer
 #   ubsan    Debug + UndefinedBehaviorSanitizer
 #
-# The tsan preset (gateway/failover/interner/wire/cluster/push/script
-# concurrency checking) is not in the default matrix because a
+# The tsan preset (gateway/failover/interner/wire/cluster/push/script/
+# fleet concurrency checking) is not in the default matrix because a
 # full-suite TSan run is slow; the wire leg below runs a *filtered* TSan
-# pass (-R 'Script|Push|Cluster|Wire|Gateway') instead. Opt in to the
-# full suite with
+# pass (-R 'Script|Push|Cluster|Wire|Gateway|Tenant|Fleet') instead.
+# Opt in to the full suite with
 #   MOBIVINE_CI_PRESETS="default asan ubsan tsan" scripts/ci.sh
 # or run it directly:
 #   cmake --preset tsan && cmake --build build-tsan -j && \
@@ -120,12 +120,26 @@ python3 scripts/validate_mscope.py \
   "$MSCOPE_DIR/script_trace.json" "$MSCOPE_DIR/script_metrics.json" \
   scripts/mscope_schema.json --require-wire --require-script
 
+# M-Fleet leg: the device-fleet simulator's traced scenario (two tenants
+# of flyweight devices driving the gateway open-loop) must export the
+# fleet.run span on labeled fleet-gen-N producer threads, the fleet.*
+# counters (quiescent: completed == submitted), and per-tenant
+# gateway.tenant.<name>.* rows that each reconcile exactly.
+echo "==== [fleet] traced fleet bench + export validation ===="
+./build/bench/bench_fleet_throughput "$MSCOPE_DIR/fleet_bench.json" \
+  --trace-only --trace "$MSCOPE_DIR/fleet_trace.json" \
+  --metrics "$MSCOPE_DIR/fleet_metrics.json"
+python3 scripts/validate_mscope.py \
+  "$MSCOPE_DIR/fleet_trace.json" "$MSCOPE_DIR/fleet_metrics.json" \
+  scripts/mscope_schema.json --require-fleet
+
 if [[ "${MOBIVINE_CI_WIRE_TSAN:-1}" != "0" ]]; then
-  echo "==== [wire] tsan: Script|Push|Cluster|Wire|Gateway suites ===="
+  echo "==== [wire] tsan: Script|Push|Cluster|Wire|Gateway|Tenant|Fleet suites ===="
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS"
-  ctest --test-dir build-tsan -R 'Script|Push|Cluster|Wire|Gateway' -j "$JOBS" \
+  ctest --test-dir build-tsan \
+    -R 'Script|Push|Cluster|Wire|Gateway|Tenant|Fleet' -j "$JOBS" \
     --output-on-failure
 fi
 
-echo "==== all presets green: $PRESETS (+ docs, mscope, wire, cluster, push, script) ===="
+echo "==== all presets green: $PRESETS (+ docs, mscope, wire, cluster, push, script, fleet) ===="

@@ -4,7 +4,7 @@
 Usage:
     python3 scripts/validate_mscope.py TRACE.json METRICS.json \
         [SCHEMA.json] [--require-wire] [--require-cluster] \
-        [--require-push] [--require-script]
+        [--require-push] [--require-script] [--require-fleet]
 
 Stdlib-only (CI must not install packages). Two validation layers:
 
@@ -39,6 +39,15 @@ from both halves (wire dispatch and shard execution), with at least one
 script executed. The wire dispatch reconcile widens to
 requests_dispatched + scripts_dispatched == accepted + shed, which
 stays backward-safe for exports with no script traffic.
+
+With --require-fleet (the fleet bench's CI leg) the export must also
+show the M-Fleet simulator and the gateway tenancy plane: the schema's
+"fleet" section lists the required fleet.run span, the fleet.* metric
+series, and the producer thread-name prefix. Tenant rows are discovered
+dynamically by parsing gateway.tenant.<name>.<counter> metric names —
+at least min_tenants rows must exist, every row must carry the full
+counter set, and each must reconcile exactly (ok + failed + timed_out +
+shed == submitted; the export happens after the fleet run drained).
 
 With --require-push (the push bench's CI leg) the export must also show
 the M-Push subscription plane: the schema's "push" section lists the
@@ -116,7 +125,7 @@ def check_schema(value, schema, path="$"):
 
 
 def check_trace_semantics(trace, wire=None, cluster=None, push=None,
-                          script=None):
+                          script=None, fleet=None):
     events = trace["traceEvents"]
     spans = [e for e in events if e["ph"] == "X"]
     instants = [e for e in events if e["ph"] == "i"]
@@ -216,6 +225,22 @@ def check_trace_semantics(trace, wire=None, cluster=None, push=None,
         script_runs = sum(1 for e in spans if e["name"] == "script.run")
         script_note = f", {script_runs} script runs"
 
+    fleet_note = ""
+    if fleet is not None:
+        for required in fleet["required_events"]:
+            if required not in names:
+                fail(
+                    f"required fleet event {required!r} missing — "
+                    "simulator not instrumented"
+                )
+        prefix = fleet.get("thread_prefix", "fleet-gen-")
+        producer_labels = [
+            label for label in labels if label.startswith(prefix)
+        ]
+        if not producer_labels:
+            fail(f"no {prefix}N thread_name metadata — producers unlabeled")
+        fleet_note = f", {len(producer_labels)} fleet producer threads"
+
     push_note = ""
     if push is not None:
         for required in push["required_events"]:
@@ -250,12 +275,12 @@ def check_trace_semantics(trace, wire=None, cluster=None, push=None,
         f"validate_mscope: trace ok — {len(events)} events, "
         f"{len(gateway_spans)} gateway span names, "
         f"{len(core_spans)} core span names, {nested} nested core events"
-        f"{wire_note}{script_note}{push_note}{cluster_note}"
+        f"{wire_note}{script_note}{fleet_note}{push_note}{cluster_note}"
     )
 
 
 def check_metrics_semantics(metrics_doc, wire=None, cluster=None,
-                            push=None, script=None):
+                            push=None, script=None, fleet=None):
     metrics = metrics_doc["metrics"]
     for name, value in metrics.items():
         if not isinstance(value, (int, float)) and value is not None:
@@ -314,6 +339,63 @@ def check_metrics_semantics(metrics_doc, wire=None, cluster=None,
             )
         script_note = f", {int(executed)} scripts executed"
 
+    fleet_note = ""
+    if fleet is not None:
+        for name in fleet["required_metrics"]:
+            if name not in metrics:
+                fail(f"required fleet metric {name!r} missing")
+        if metrics["fleet.devices"] <= 0:
+            fail("fleet.devices is zero — no fleet was simulated")
+        if metrics["fleet.submitted"] <= 0:
+            fail("fleet.submitted is zero — the fleet never drove traffic")
+        if metrics["fleet.completed"] != metrics["fleet.submitted"]:
+            fail(
+                f"fleet.completed={metrics['fleet.completed']} != "
+                f"fleet.submitted={metrics['fleet.submitted']} — the fleet "
+                "was not quiescent at export"
+            )
+        # Discover tenant rows from the metric namespace itself: every
+        # gateway.tenant.<name>.<counter> series names one row.
+        prefix = fleet.get("tenant_metric_prefix", "gateway.tenant.")
+        counters = fleet.get("tenant_counters", [])
+        tenants = {}
+        for name in metrics:
+            if not name.startswith(prefix):
+                continue
+            tenant, _, counter = name[len(prefix):].rpartition(".")
+            if tenant:
+                tenants.setdefault(tenant, {})[counter] = metrics[name]
+        min_tenants = fleet.get("min_tenants", 2)
+        if len(tenants) < min_tenants:
+            fail(
+                f"only {len(tenants)} tenant rows in metrics "
+                f"({sorted(tenants)}) — need at least {min_tenants} "
+                "(the default tenant plus every configured one)"
+            )
+        for tenant, row in sorted(tenants.items()):
+            for counter in counters:
+                if counter not in row:
+                    fail(
+                        f"tenant {tenant!r} lacks counter {counter!r} — "
+                        "row export incomplete"
+                    )
+            served = row["ok"] + row["failed"] + row["timed_out"]
+            if served + row["shed"] != row["submitted"]:
+                fail(
+                    f"tenant {tenant!r} does not reconcile: "
+                    f"ok+failed+timed_out+shed={served + row['shed']} != "
+                    f"submitted={row['submitted']}"
+                )
+            if row["quota_shed"] > row["shed"]:
+                fail(
+                    f"tenant {tenant!r}: quota_shed={row['quota_shed']} > "
+                    f"shed={row['shed']} — quota sheds must be a subset"
+                )
+        fleet_note = (
+            f", {int(metrics['fleet.devices'])} devices across "
+            f"{len(tenants)} tenant rows reconciled"
+        )
+
     push_note = ""
     if push is not None:
         for name in push["required_metrics"]:
@@ -346,7 +428,7 @@ def check_metrics_semantics(metrics_doc, wire=None, cluster=None,
     print(
         f"validate_mscope: metrics ok — {len(metrics)} series, "
         f"{accepted} accepted reconciled{wire_note}{script_note}"
-        f"{push_note}{cluster_note}"
+        f"{fleet_note}{push_note}{cluster_note}"
     )
 
 
@@ -364,11 +446,14 @@ def main(argv):
     require_script = "--require-script" in args
     if require_script:
         args.remove("--require-script")
+    require_fleet = "--require-fleet" in args
+    if require_fleet:
+        args.remove("--require-fleet")
     if len(args) < 2:
         fail(
             f"usage: {argv[0]} TRACE.json METRICS.json [SCHEMA.json] "
             "[--require-wire] [--require-cluster] [--require-push] "
-            "[--require-script]"
+            "[--require-script] [--require-fleet]"
         )
     trace_path, metrics_path = args[0], args[1]
     schema_path = (
@@ -396,6 +481,9 @@ def main(argv):
             f"--require-script set but {schema_path} has no "
             '"script" section'
         )
+    fleet = schema.get("fleet") if require_fleet else None
+    if require_fleet and fleet is None:
+        fail(f"--require-fleet set but {schema_path} has no \"fleet\" section")
 
     for label, path, key, semantic in (
         ("trace", trace_path, "trace", check_trace_semantics),
@@ -407,7 +495,7 @@ def main(argv):
         except (OSError, json.JSONDecodeError) as e:
             fail(f"{label} file {path}: {e}")
         check_schema(document, schema[key], f"$({label})")
-        semantic(document, wire, cluster, push, script)
+        semantic(document, wire, cluster, push, script, fleet)
     print("validate_mscope: PASS")
 
 

@@ -1,0 +1,85 @@
+#include "fleet/arrival.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mobivine::fleet {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+DiurnalCurve DiurnalCurve::Flat() {
+  std::array<double, 24> hourly;
+  hourly.fill(1.0);
+  return FromHourly(hourly);
+}
+
+DiurnalCurve DiurnalCurve::Commuter() {
+  // Relative activity per hour of day, midnight first. Normalization
+  // makes the exact scale irrelevant; only the shape matters.
+  return FromHourly({0.25, 0.18, 0.12, 0.10, 0.12, 0.25,
+                     0.60, 1.10, 1.55, 1.60, 1.40, 1.35,
+                     1.45, 1.35, 1.25, 1.30, 1.50, 1.80,
+                     2.00, 1.85, 1.45, 1.05, 0.65, 0.40});
+}
+
+DiurnalCurve DiurnalCurve::FromHourly(const std::array<double, 24>& hourly) {
+  double sum = 0.0;
+  for (double w : hourly) {
+    if (w < 0.0) {
+      throw std::invalid_argument("DiurnalCurve weights must be >= 0");
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    throw std::invalid_argument("DiurnalCurve needs a positive weight");
+  }
+  const double scale = 24.0 / sum;
+  DiurnalCurve curve;
+  for (std::size_t h = 0; h < hourly.size(); ++h) {
+    curve.hourly_[h] = hourly[h] * scale;
+  }
+  return curve;
+}
+
+double DiurnalCurve::RateAt(double day_fraction) const {
+  double f = day_fraction - std::floor(day_fraction);  // wrap into [0, 1)
+  // Hour *centers* carry the weights: hour h's weight applies at
+  // (h + 0.5) / 24, with linear interpolation between neighbors (and
+  // across midnight).
+  const double pos = f * 24.0 - 0.5;
+  const double base = std::floor(pos);
+  const double t = pos - base;
+  const int lo = (static_cast<int>(base) % 24 + 24) % 24;
+  const int hi = (lo + 1) % 24;
+  return hourly_[static_cast<std::size_t>(lo)] * (1.0 - t) +
+         hourly_[static_cast<std::size_t>(hi)] * t;
+}
+
+std::uint32_t PoissonDraw(support::SplitMix64& rng, double mean) {
+  if (!(mean > 0.0)) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    double product = 1.0;
+    std::uint32_t k = 0;
+    do {
+      ++k;
+      product *= rng.NextUnit();
+    } while (product > limit);
+    return k - 1;
+  }
+  // Large mean: Box-Muller normal approximation with continuity
+  // correction. NextUnit() is in [0, 1); 1 - u keeps the log argument
+  // strictly positive.
+  const double u1 = 1.0 - rng.NextUnit();
+  const double u2 = rng.NextUnit();
+  const double gauss =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  const double value = mean + std::sqrt(mean) * gauss + 0.5;
+  if (value <= 0.0) return 0;
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace mobivine::fleet

@@ -1,0 +1,61 @@
+// M-Fleet arrival model: diurnal rate curves and deterministic Poisson
+// draws.
+//
+// The fleet is an *open-loop* load source: devices decide to talk on
+// their own schedule, whether or not the gateway is keeping up. Arrivals
+// per (producer, tenant, tick) are Poisson with mean
+//
+//   devices_in_slice * mean_rps_per_device * curve.RateAt(day_fraction)
+//                    * tick_seconds
+//
+// drawn from a support::SplitMix64 stream forked per (tenant, producer),
+// so an identical seed reproduces the identical arrival schedule — the
+// property the determinism tests and EXPERIMENTS.md § Methodology rely
+// on. Draws use Knuth's product method for small means and a
+// Box-Muller normal approximation above that; both consume only the
+// given stream (no global RNG, no wall clock).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/seed.h"
+
+namespace mobivine::fleet {
+
+/// A 24-hour activity profile, one relative weight per hour, linearly
+/// interpolated between hour centers and normalized so the mean over the
+/// day is 1.0 (so `mean_rps_per_device` stays the *daily average* rate
+/// whatever the shape).
+class DiurnalCurve {
+ public:
+  /// Flat: every hour weight 1. The no-op curve for steady-rate tests.
+  static DiurnalCurve Flat();
+
+  /// A commuter-city profile: quiet night, morning ramp, lunch shoulder,
+  /// evening peak around 18:00-19:00.
+  static DiurnalCurve Commuter();
+
+  /// Build from arbitrary hourly weights (all must be >= 0, at least one
+  /// > 0); weights are normalized to mean 1 on construction.
+  static DiurnalCurve FromHourly(const std::array<double, 24>& hourly);
+
+  /// Rate multiplier at `day_fraction` in [0, 1) (0 = midnight). Values
+  /// outside [0, 1) are wrapped. Piecewise-linear between hour centers.
+  [[nodiscard]] double RateAt(double day_fraction) const;
+
+  [[nodiscard]] const std::array<double, 24>& hourly() const {
+    return hourly_;
+  }
+
+ private:
+  std::array<double, 24> hourly_{};  // normalized to mean 1
+};
+
+/// One Poisson(mean) draw from `rng`. Deterministic given the stream
+/// state; mean <= 0 returns 0. Knuth below mean 30, normal approximation
+/// (with continuity correction, clamped at 0) above.
+[[nodiscard]] std::uint32_t PoissonDraw(support::SplitMix64& rng,
+                                        double mean);
+
+}  // namespace mobivine::fleet

@@ -1,0 +1,43 @@
+// M-Fleet flyweight device state.
+//
+// A simulated fleet of a million devices cannot afford a MobileDevice
+// (platform substrates, proxies, interners) per handset — the gateway
+// already owns one complete MobiVine world per *shard* for exactly that
+// reason. A fleet device is therefore pure extrinsic state: which tenant
+// it bills against, where it is along a *shared* GeoTrack route, and a
+// few messaging counters. Everything heavyweight (routes, arrival
+// curves, RNG streams, platform objects) is shared flyweight context
+// owned by the Fleet; the per-device cost is this struct and nothing
+// else, which is what makes 1M devices ~16 MB instead of ~100 GB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mobivine::fleet {
+
+struct DeviceState {
+  /// Progress along the shared route, in virtual track seconds. Each
+  /// position report advances it, so consecutive reports from one device
+  /// walk its route instead of teleporting.
+  std::uint32_t track_offset_s = 0;
+  /// Index into the fleet's shared route table (sim::GeoTrack flyweights).
+  std::uint16_t route = 0;
+  /// Index of the owning FleetTenant in FleetConfig::tenants (not the
+  /// raw gateway tenant id — indices are dense, and the fleet resolves
+  /// ids once at construction).
+  std::uint16_t tenant_slot = 0;
+  /// Messaging counters: how many SMS this device has sent and how many
+  /// telemetry reports it has posted.
+  std::uint16_t sms_sent = 0;
+  std::uint16_t reports = 0;
+  /// Total operations issued by this device (all kinds).
+  std::uint32_t requests = 0;
+};
+
+/// The whole point: per-device cost must stay flyweight-sized. 1M devices
+/// at 16 bytes is one contiguous 16 MB vector.
+static_assert(sizeof(DeviceState) <= 32,
+              "DeviceState must stay flyweight-sized (<= 32 bytes)");
+
+}  // namespace mobivine::fleet

@@ -1,0 +1,381 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "support/histogram.h"
+#include "support/seed.h"
+#include "support/trace.h"
+
+namespace mobivine::fleet {
+
+namespace {
+
+using gateway::Op;
+using gateway::Platform;
+using support::SplitMix64;
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void Fold(std::uint64_t& digest, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    digest ^= (value >> (byte * 8)) & 0xffu;
+    digest *= kFnvPrime;
+  }
+}
+
+/// The shared flyweight route table: a handful of tracks a million
+/// devices walk at individual offsets. One stationary (parked/home
+/// devices) plus three constant-speed commutes on different continents.
+std::vector<sim::GeoTrack> BuildRoutes() {
+  using sim::SimTime;
+  std::vector<sim::GeoTrack> routes;
+  routes.push_back(sim::GeoTrack::Stationary(37.7749, -122.4194, 16.0));
+  routes.push_back(sim::GeoTrack::StraightLine(
+      37.7600, -122.4200, 45.0, 15.0, SimTime::Seconds(7200),
+      SimTime::Seconds(60)));
+  routes.push_back(sim::GeoTrack::StraightLine(
+      47.6062, -122.3321, 180.0, 30.0, SimTime::Seconds(7200),
+      SimTime::Seconds(60)));
+  routes.push_back(sim::GeoTrack::StraightLine(
+      51.5074, -0.1278, 270.0, 10.0, SimTime::Seconds(7200),
+      SimTime::Seconds(60)));
+  return routes;
+}
+
+/// Completion rendezvous: open-loop runs don't know the total up front,
+/// so `expected` is set (under the same mutex) after the producers join.
+struct Rendezvous {
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::uint64_t completed = 0;
+  std::uint64_t expected = ~0ull;
+
+  void OnComplete() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (++completed >= expected) all_done.notify_all();
+  }
+  void Wait(std::uint64_t total) {
+    std::unique_lock<std::mutex> lock(mutex);
+    expected = total;
+    all_done.wait(lock, [this] { return completed >= expected; });
+  }
+};
+
+/// Per-tenant client-side outcome counters (one writer set per tenant
+/// across all producers/workers, so everything is atomic).
+struct TenantTally {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> timed_out{0};
+  support::LatencyHistogram latency;
+};
+
+}  // namespace
+
+struct Fleet::Slice {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  [[nodiscard]] std::uint64_t count() const { return end - begin; }
+};
+
+Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
+  if (config_.tick_seconds <= 0) {
+    throw std::invalid_argument("FleetConfig::tick_seconds must be > 0");
+  }
+  if (config_.day_seconds <= 0) {
+    throw std::invalid_argument("FleetConfig::day_seconds must be > 0");
+  }
+  config_.producers = std::max(config_.producers, 1);
+
+  routes_ = BuildRoutes();
+
+  auto add_op = [this](Op op, int weight) {
+    for (int i = 0; i < weight; ++i) op_table_.push_back(op);
+  };
+  add_op(Op::kHttpPost, config_.mix.report);
+  add_op(Op::kGetLocation, config_.mix.get_location);
+  add_op(Op::kSendSms, config_.mix.sms);
+  add_op(Op::kHttpGet, config_.mix.ping);
+  if (op_table_.empty()) op_table_.push_back(Op::kHttpGet);
+
+  std::uint64_t total = 0;
+  tenant_base_.reserve(config_.tenants.size() + 1);
+  for (const FleetTenant& tenant : config_.tenants) {
+    tenant_base_.push_back(total);
+    total += tenant.devices;
+  }
+  tenant_base_.push_back(total);
+
+  devices_.resize(total);
+  for (std::size_t t = 0; t < config_.tenants.size(); ++t) {
+    for (std::uint64_t g = tenant_base_[t]; g < tenant_base_[t + 1]; ++g) {
+      DeviceState& dev = devices_[g];
+      dev.tenant_slot = static_cast<std::uint16_t>(t);
+      dev.route = static_cast<std::uint16_t>(g % routes_.size());
+      // Stagger devices along their route so a million devices don't all
+      // report the same fix; Mix64 keeps the stagger seed-independent
+      // but well spread.
+      dev.track_offset_s =
+          static_cast<std::uint32_t>(support::Mix64(g) % 7200u);
+    }
+  }
+}
+
+std::vector<gateway::TenantConfig> Fleet::TenantConfigs() const {
+  std::vector<gateway::TenantConfig> configs;
+  configs.reserve(config_.tenants.size());
+  for (const FleetTenant& tenant : config_.tenants) {
+    configs.push_back(tenant.tenant);
+  }
+  return configs;
+}
+
+/// Drive one producer's deterministic schedule into `sink(tick, tenant,
+/// device, op)`. Everything the sink sees — arrival counts, device and
+/// op picks, their order — is a pure function of (config, producer), so
+/// Run() and Preview() emit identical schedules.
+template <typename Sink>
+void Fleet::GenerateProducer(int producer, Sink&& sink) const {
+  const int producers = config_.producers;
+  const std::size_t tenant_count = config_.tenants.size();
+
+  std::vector<Slice> slices(tenant_count);
+  std::vector<SplitMix64> streams;
+  streams.reserve(tenant_count);
+  for (std::size_t t = 0; t < tenant_count; ++t) {
+    const std::uint64_t base = tenant_base_[t];
+    const std::uint64_t n = tenant_base_[t + 1] - base;
+    const auto p = static_cast<std::uint64_t>(producer);
+    slices[t].begin = base + n * p / producers;
+    slices[t].end = base + n * (p + 1) / producers;
+    streams.push_back(support::SeedSequence(config_.seed)
+                          .Fork("fleet")
+                          .Fork(config_.tenants[t].tenant.id)
+                          .Fork(p)
+                          .stream());
+  }
+
+  const double dt = config_.tick_seconds;
+  const auto ticks = static_cast<std::uint64_t>(
+      std::ceil(config_.duration_seconds / dt));
+  for (std::uint64_t k = 0; k < ticks; ++k) {
+    const double day_fraction =
+        config_.start_day_fraction + (static_cast<double>(k) * dt) /
+                                         config_.day_seconds;
+    const double rate_multiplier = config_.curve.RateAt(day_fraction);
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      const std::uint64_t slice_devices = slices[t].count();
+      if (slice_devices == 0) continue;
+      const double mean = static_cast<double>(slice_devices) *
+                          config_.tenants[t].mean_rps_per_device *
+                          rate_multiplier * dt;
+      const std::uint32_t arrivals = PoissonDraw(streams[t], mean);
+      for (std::uint32_t i = 0; i < arrivals; ++i) {
+        const std::uint64_t device =
+            slices[t].begin + streams[t].NextBelow(slice_devices);
+        const Op op = op_table_[streams[t].NextBelow(op_table_.size())];
+        sink(k, t, device, op);
+      }
+    }
+  }
+}
+
+SchedulePreview Fleet::Preview() const {
+  SchedulePreview preview;
+  preview.per_tenant.assign(config_.tenants.size(), 0);
+  for (int p = 0; p < config_.producers; ++p) {
+    std::uint64_t digest = kFnvBasis;
+    GenerateProducer(p, [&](std::uint64_t tick, std::size_t tenant,
+                            std::uint64_t device, Op op) {
+      Fold(digest, tick);
+      Fold(digest, tenant);
+      Fold(digest, device);
+      Fold(digest, static_cast<std::uint64_t>(op));
+      ++preview.arrivals;
+      ++preview.per_tenant[tenant];
+    });
+    preview.digest ^= digest;
+  }
+  return preview;
+}
+
+FleetReport Fleet::Run(gateway::Gateway& gateway) {
+  support::trace::Span run_span("fleet.run");
+  scheduled_.store(0, std::memory_order_relaxed);
+  submitted_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+
+  const std::size_t tenant_count = config_.tenants.size();
+  std::vector<std::unique_ptr<TenantTally>> tallies;
+  tallies.reserve(tenant_count);
+  for (std::size_t t = 0; t < tenant_count; ++t) {
+    tallies.push_back(std::make_unique<TenantTally>());
+  }
+  Rendezvous rendezvous;
+
+  const auto start = gateway::Clock::now();
+  const auto tick_interval = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(config_.tick_seconds * 1e9));
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config_.producers));
+  for (int p = 0; p < config_.producers; ++p) {
+    threads.emplace_back([&, p] {
+      support::trace::SetCurrentThreadName("fleet-gen-" +
+                                           std::to_string(p));
+      std::uint64_t paced_through = ~0ull;
+      GenerateProducer(p, [&](std::uint64_t tick, std::size_t tenant,
+                              std::uint64_t device, Op op) {
+        if (config_.paced && tick != paced_through) {
+          std::this_thread::sleep_until(start + tick * tick_interval);
+          paced_through = tick;
+        }
+        DeviceState& dev = devices_[device];
+        gateway::Request request;
+        request.client_id = device;
+        request.tenant = config_.tenants[tenant].tenant.id;
+        request.op = op;
+        request.platform = static_cast<Platform>(device % 3);
+        request.timeout = config_.timeout;
+        request.retry = config_.retry;
+        switch (op) {
+          case Op::kHttpPost: {
+            // A telemetry report: advance the device along its shared
+            // route and post the resulting fix.
+            dev.track_offset_s += 30;
+            const sim::TrackFix fix = routes_[dev.route].PositionAt(
+                sim::SimTime::Seconds(dev.track_offset_s));
+            char body[96];
+            std::snprintf(body, sizeof(body), "fix=%.5f,%.5f spd=%.1f",
+                          fix.latitude_deg, fix.longitude_deg,
+                          fix.speed_mps);
+            request.target =
+                std::string("http://") + gateway::kGatewayHttpHost +
+                "/ingest";
+            request.payload = body;
+            ++dev.reports;
+            break;
+          }
+          case Op::kSendSms:
+            request.target = gateway::kGatewaySmsPeer;
+            request.payload =
+                "fleet msg #" + std::to_string(dev.sms_sent);
+            ++dev.sms_sent;
+            break;
+          case Op::kHttpGet:
+            request.target = std::string("http://") +
+                             gateway::kGatewayHttpHost + "/ping";
+            break;
+          default:
+            break;  // kGetLocation needs no operands
+        }
+        ++dev.requests;
+
+        TenantTally& tally = *tallies[tenant];
+        tally.submitted.fetch_add(1, std::memory_order_relaxed);
+        scheduled_.fetch_add(1, std::memory_order_relaxed);
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        const auto submit_time = gateway::Clock::now();
+        request.on_complete = [this, &tally, &rendezvous,
+                               submit_time](const gateway::Response& r) {
+          bool served = true;
+          if (r.ok) {
+            tally.ok.fetch_add(1, std::memory_order_relaxed);
+          } else if (r.error == core::ErrorCode::kOverloaded) {
+            tally.shed.fetch_add(1, std::memory_order_relaxed);
+            served = false;
+          } else if (r.error == core::ErrorCode::kDeadlineExceeded) {
+            tally.timed_out.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            tally.failed.fetch_add(1, std::memory_order_relaxed);
+          }
+          // Served requests only: a shed completes on the submitting
+          // thread in well under a microsecond, and folding those zeros
+          // in would drown the serving percentiles.
+          if (served) {
+            tally.latency.Record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    gateway::Clock::now() - submit_time)
+                    .count()));
+          }
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          rendezvous.OnComplete();
+        };
+        gateway.Submit(std::move(request));
+      });
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  rendezvous.Wait(submitted_.load(std::memory_order_relaxed));
+  const auto end = gateway::Clock::now();
+
+  FleetReport report;
+  report.devices = devices_.size();
+  report.wall_seconds = std::chrono::duration<double>(end - start).count();
+  support::HistogramSnapshot overall;
+  for (std::size_t t = 0; t < tenant_count; ++t) {
+    const TenantTally& tally = *tallies[t];
+    FleetTenantReport row;
+    row.id = config_.tenants[t].tenant.id;
+    row.name = config_.tenants[t].tenant.name.empty()
+                   ? "tenant" + std::to_string(row.id)
+                   : config_.tenants[t].tenant.name;
+    row.devices = tenant_base_[t + 1] - tenant_base_[t];
+    row.submitted = tally.submitted.load();
+    row.ok = tally.ok.load();
+    row.shed = tally.shed.load();
+    row.failed = tally.failed.load();
+    row.timed_out = tally.timed_out.load();
+    const support::HistogramSnapshot snapshot = tally.latency.Snapshot();
+    row.p50_us = snapshot.Percentile(0.50);
+    row.p95_us = snapshot.Percentile(0.95);
+    row.p99_us = snapshot.Percentile(0.99);
+    overall.Merge(snapshot);
+    report.submitted += row.submitted;
+    report.ok += row.ok;
+    report.shed += row.shed;
+    report.failed += row.failed;
+    report.timed_out += row.timed_out;
+    report.tenants.push_back(std::move(row));
+  }
+  report.p50_us = overall.Percentile(0.50);
+  report.p95_us = overall.Percentile(0.95);
+  report.p99_us = overall.Percentile(0.99);
+  const std::uint64_t served =
+      report.ok + report.failed + report.timed_out;
+  report.completed_per_sec =
+      report.wall_seconds > 0
+          ? static_cast<double>(served) / report.wall_seconds
+          : 0;
+  return report;
+}
+
+support::MetricsRegistry::Registration Fleet::RegisterMetrics(
+    support::MetricsRegistry& registry, std::string prefix) const {
+  return registry.Register(
+      std::move(prefix), [this](support::MetricsSink& sink) {
+        sink.Gauge("devices", static_cast<double>(devices_.size()));
+        sink.Gauge("tenants", static_cast<double>(config_.tenants.size()));
+        sink.Gauge("producers", static_cast<double>(config_.producers));
+        sink.Counter("scheduled",
+                     scheduled_.load(std::memory_order_relaxed));
+        sink.Counter("submitted",
+                     submitted_.load(std::memory_order_relaxed));
+        sink.Counter("completed",
+                     completed_.load(std::memory_order_relaxed));
+      });
+}
+
+}  // namespace mobivine::fleet

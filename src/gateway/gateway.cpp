@@ -61,6 +61,9 @@ struct QueuedRequest {
   /// and admission/deadline stamps, but Serve branches to the script
   /// plane at dequeue (and never retries it).
   std::unique_ptr<ScriptRequest> script;
+  /// Resolved TenantTable slot (stamped at submit so the worker and the
+  /// occupancy release never re-hash the tenant id).
+  std::uint32_t tenant_slot = 0;
   Clock::time_point submitted_at{};
   Clock::time_point deadline = kNoDeadline;
 };
@@ -128,7 +131,14 @@ const char* ToString(Op op) {
 
 class Gateway::Shard {
  public:
-  Shard(const GatewayConfig& config, std::uint32_t index)
+  /// Why an admission attempt did not queue the request. Quota and
+  /// queue-full both surface kOverloaded to the caller; they are kept
+  /// apart so stats and traces can tell "the shard is full" from "this
+  /// tenant exceeded its weighted share".
+  enum class Admission { kAdmitted, kQueueFull, kQuota };
+
+  Shard(const GatewayConfig& config, const TenantTable& tenants,
+        std::uint32_t index)
       : index_(index),
         queue_(config.queue_capacity),
         shed_watermark_(std::min(config.shed_watermark == 0
@@ -136,9 +146,16 @@ class Gateway::Shard {
                                      : config.shed_watermark,
                                  config.queue_capacity)),
         default_retry_(config.default_retry),
+        tenants_(tenants),
         feed_(config.push_replay_capacity),
         sms_bridge_(*this),
         registry_(config.store) {
+    tenant_caps_.reserve(tenants_.size());
+    for (std::size_t slot = 0; slot < tenants_.size(); ++slot) {
+      tenant_caps_.push_back(tenants_.QueueCap(slot, shed_watermark_));
+    }
+    tenant_occupancy_ =
+        std::make_unique<std::atomic<std::uint32_t>[]>(tenants_.size());
     device::DeviceConfig device_config = config.device_template;
     device_config.seed += index;  // decorrelate shards, stay deterministic
     device_ = std::make_unique<device::MobileDevice>(device_config);
@@ -263,25 +280,45 @@ class Gateway::Shard {
     Join();
   }
 
-  /// Admission control on the submitting thread. On false the request is
-  /// left intact in `queued` (TryPush only moves on success) so the
-  /// caller can shed it.
-  bool TrySubmit(QueuedRequest& queued) {
+  /// Admission control on the submitting thread: the global shed
+  /// watermark first, then the tenant's weighted slot cap. On anything
+  /// but kAdmitted the request is left intact in `queued` (TryPush only
+  /// moves on success) so the caller can shed it. The occupancy counter
+  /// is reserved *before* the push and released on failure, so
+  /// concurrent submitters can momentarily observe cap-full and shed,
+  /// but a tenant can never exceed its cap.
+  Admission TrySubmit(QueuedRequest& queued) {
     const std::size_t depth = queue_.size();
     stats_.ObserveDepth(depth);
-    if (depth >= shed_watermark_ || !queue_.TryPush(std::move(queued))) {
-      return false;
+    if (depth >= shed_watermark_) return Admission::kQueueFull;
+    const std::size_t slot = queued.tenant_slot;
+    const std::uint32_t prev =
+        tenant_occupancy_[slot].fetch_add(1, std::memory_order_relaxed);
+    if (prev >= tenant_caps_[slot]) {
+      tenant_occupancy_[slot].fetch_sub(1, std::memory_order_relaxed);
+      return Admission::kQuota;
+    }
+    if (!queue_.TryPush(std::move(queued))) {
+      tenant_occupancy_[slot].fetch_sub(1, std::memory_order_relaxed);
+      return Admission::kQueueFull;
     }
     stats_.OnAccepted();
-    return true;
+    tenants_.stats(slot).OnAccepted();
+    return Admission::kAdmitted;
   }
 
-  /// The admission check alone, for the borrowed-request path: lets the
+  /// The admission checks alone, for the borrowed-request path: lets the
   /// caller decide to shed before paying for string materialization.
-  /// Advisory — the queue can still fill between this and TrySubmit, so
-  /// the push itself remains the authoritative admission.
-  [[nodiscard]] bool AboveShedWatermark() const {
-    return queue_.size() >= shed_watermark_;
+  /// Advisory — the queue can still fill (or the tenant's slots free up)
+  /// between this and TrySubmit, so the push itself remains the
+  /// authoritative admission.
+  [[nodiscard]] Admission ProbeAdmission(std::size_t slot) const {
+    if (queue_.size() >= shed_watermark_) return Admission::kQueueFull;
+    if (tenant_occupancy_[slot].load(std::memory_order_relaxed) >=
+        tenant_caps_[slot]) {
+      return Admission::kQuota;
+    }
+    return Admission::kAdmitted;
   }
 
   void Close() { queue_.Close(); }
@@ -381,7 +418,19 @@ class Gateway::Shard {
     support::trace::SetCurrentThreadName("shard-" + std::to_string(index_));
     support::trace::SetThreadVirtualClock(&Shard::VirtualNow, this);
     QueuedRequest queued;
-    while (queue_.Pop(queued)) Serve(queued);
+    while (queue_.Pop(queued)) {
+      Serve(queued);
+      // The tenant's slot reservation ends at *completion*, not dequeue:
+      // the cap bounds outstanding (queued + in-service) work per
+      // tenant. Releasing at dequeue would let a flooding tenant with
+      // cap 1 keep one request queued while another is being served —
+      // effectively two pipeline slots — and interleave itself between
+      // every other tenant's requests. FIFO service then converts the
+      // outstanding-work bound into weight-proportional served
+      // throughput under backlog.
+      tenant_occupancy_[queued.tenant_slot].fetch_sub(
+          1, std::memory_order_relaxed);
+    }
     support::trace::SetThreadVirtualClock(nullptr, nullptr);
   }
 
@@ -465,6 +514,7 @@ class Gateway::Shard {
         break;
       }
       stats_.OnRetry();
+      tenants_.stats(queued.tenant_slot).OnRetry();
       {
         support::trace::Span backoff_span("gateway.backoff");
         backoff_span.Tag("backoff_us", backoff.count());
@@ -492,6 +542,19 @@ class Gateway::Shard {
     response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
         Clock::now() - queued.submitted_at);
     stats_.RecordLatency(
+        static_cast<std::uint64_t>(response.latency.count()));
+    // Per-tenant outcome, classified once from the final response so it
+    // mirrors the shard counters booked along the serve path exactly:
+    // ok / kDeadlineExceeded / everything-else == ok / timed_out / failed.
+    TenantStats& tenant = tenants_.stats(queued.tenant_slot);
+    if (response.ok) {
+      tenant.OnOk();
+    } else if (response.error == core::ErrorCode::kDeadlineExceeded) {
+      tenant.OnTimedOut();
+    } else {
+      tenant.OnFailed();
+    }
+    tenant.RecordLatency(
         static_cast<std::uint64_t>(response.latency.count()));
     support::trace::Span complete_span("gateway.complete");
     complete_span.Tag("shard", index_);
@@ -524,6 +587,11 @@ class Gateway::Shard {
     stats_.OnScript();
     response = script_engine_->Execute(script);
     response.shard = index_;
+    if (response.cache_hit) {
+      stats_.OnScriptCacheHit();
+    } else {
+      stats_.OnScriptCacheMiss();
+    }
     run_span.Tag("steps", static_cast<std::int64_t>(response.steps));
     run_span.Tag("invocations",
                  static_cast<std::int64_t>(response.invocations));
@@ -556,6 +624,18 @@ class Gateway::Shard {
     response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
         Clock::now() - queued.submitted_at);
     stats_.RecordLatency(
+        static_cast<std::uint64_t>(response.latency.count()));
+    // Same per-tenant classification as Finish(): scripts bill their
+    // tenant through the identical outcome bands.
+    TenantStats& tenant = tenants_.stats(queued.tenant_slot);
+    if (response.ok) {
+      tenant.OnOk();
+    } else if (response.error == core::ErrorCode::kDeadlineExceeded) {
+      tenant.OnTimedOut();
+    } else {
+      tenant.OnFailed();
+    }
+    tenant.RecordLatency(
         static_cast<std::uint64_t>(response.latency.count()));
     support::trace::Span complete_span("gateway.complete");
     complete_span.Tag("shard", index_);
@@ -780,6 +860,15 @@ class Gateway::Shard {
   BoundedMpscQueue<QueuedRequest> queue_;
   const std::size_t shed_watermark_;
   const RetryPolicy default_retry_;
+  /// The gateway-owned tenant directory (admission weights + the shared
+  /// per-tenant stats blocks; outlives every shard).
+  const TenantTable& tenants_;
+  /// Per-tenant queue-slot caps on THIS shard, derived from the weights
+  /// and this shard's watermark at construction.
+  std::vector<std::size_t> tenant_caps_;
+  /// Queue slots each tenant currently occupies here: ++ at admission,
+  /// -- at dequeue. Writers are submitting threads and the worker.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> tenant_occupancy_;
   ShardStats stats_;
   PushFeed feed_;
   SmsDeliveryBridge sms_bridge_;
@@ -814,12 +903,13 @@ class Gateway::Shard {
 // Gateway
 // ---------------------------------------------------------------------------
 
-Gateway::Gateway(GatewayConfig config) : config_(std::move(config)) {
+Gateway::Gateway(GatewayConfig config)
+    : config_(std::move(config)), tenant_table_(config_.tenants) {
   const int shard_count = std::max(config_.shards, 1);
   shards_.reserve(static_cast<std::size_t>(shard_count));
   for (int i = 0; i < shard_count; ++i) {
-    shards_.push_back(
-        std::make_unique<Shard>(config_, static_cast<std::uint32_t>(i)));
+    shards_.push_back(std::make_unique<Shard>(config_, tenant_table_,
+                                              static_cast<std::uint32_t>(i)));
   }
 }
 
@@ -855,28 +945,43 @@ bool Gateway::Submit(Request request) {
   const std::uint32_t index = ShardFor(request.client_id);
   span.Tag("shard", index);
   Shard& shard = *shards_[index];
+  const std::size_t slot = tenant_table_.SlotFor(request.tenant);
+  tenant_table_.stats(slot).OnSubmitted();
 
   QueuedRequest queued;
+  queued.tenant_slot = static_cast<std::uint32_t>(slot);
   queued.submitted_at = Clock::now();
   const std::chrono::microseconds timeout =
       request.timeout.count() > 0 ? request.timeout : config_.default_timeout;
   if (timeout.count() > 0) queued.deadline = queued.submitted_at + timeout;
   queued.request = std::move(request);
 
-  if (!stopping_.load(std::memory_order_relaxed) && shard.TrySubmit(queued)) {
-    span.Tag("admitted", 1);
-    return true;
+  Shard::Admission admission = Shard::Admission::kQueueFull;
+  if (!stopping_.load(std::memory_order_relaxed)) {
+    admission = shard.TrySubmit(queued);
+    if (admission == Shard::Admission::kAdmitted) {
+      span.Tag("admitted", 1);
+      return true;
+    }
   }
   // Shed on the submitting thread: typed overload error, no queueing.
   // (TrySubmit leaves `queued` intact on failure.)
   span.Tag("admitted", 0);
   support::trace::Instant("gateway.shed", "shard", index);
   shard.stats().OnShed();
+  const bool quota = admission == Shard::Admission::kQuota;
+  if (quota) {
+    support::trace::Instant("gateway.quota_shed", "shard", index);
+    tenant_table_.stats(slot).OnQuotaShed();
+  } else {
+    tenant_table_.stats(slot).OnShed();
+  }
   Response response;
   response.error = core::ErrorCode::kOverloaded;
   response.message = stopping_.load(std::memory_order_relaxed)
                          ? "gateway is stopping"
-                         : "shard queue above shed watermark";
+                         : (quota ? "tenant over admission quota"
+                                  : "shard queue above shed watermark");
   response.shard = index;
   InvokeCompletion(queued.request, response);
   return false;
@@ -889,12 +994,20 @@ bool Gateway::Submit(const BorrowedRequest& request,
   span.Tag("shard", index);
   Shard& shard = *shards_[index];
 
+  const std::size_t slot = tenant_table_.SlotFor(request.tenant);
+  tenant_table_.stats(slot).OnSubmitted();
+
   // Admission first, materialization second: a shed decision must not
   // cost a string copy — the wire layer hands views into its input ring
   // precisely so the overload path stays allocation-free.
+  Shard::Admission admission = Shard::Admission::kQueueFull;
+  if (!stopping_.load(std::memory_order_relaxed)) {
+    admission = shard.ProbeAdmission(slot);
+  }
   if (!stopping_.load(std::memory_order_relaxed) &&
-      !shard.AboveShedWatermark()) {
+      admission == Shard::Admission::kAdmitted) {
     QueuedRequest queued;
+    queued.tenant_slot = static_cast<std::uint32_t>(slot);
     queued.submitted_at = Clock::now();
     const std::chrono::microseconds timeout = request.timeout.count() > 0
                                                   ? request.timeout
@@ -902,6 +1015,7 @@ bool Gateway::Submit(const BorrowedRequest& request,
     if (timeout.count() > 0) queued.deadline = queued.submitted_at + timeout;
     Request& owned = queued.request;
     owned.client_id = request.client_id;
+    owned.tenant = request.tenant;
     owned.platform = request.platform;
     owned.op = request.op;
     owned.target.assign(request.target.data(), request.target.size());
@@ -926,7 +1040,8 @@ bool Gateway::Submit(const BorrowedRequest& request,
     owned.timeout = request.timeout;
     owned.retry = request.retry;
     owned.on_complete = std::move(on_complete);
-    if (shard.TrySubmit(queued)) {
+    admission = shard.TrySubmit(queued);
+    if (admission == Shard::Admission::kAdmitted) {
       span.Tag("admitted", 1);
       return true;
     }
@@ -936,11 +1051,19 @@ bool Gateway::Submit(const BorrowedRequest& request,
   span.Tag("admitted", 0);
   support::trace::Instant("gateway.shed", "shard", index);
   shard.stats().OnShed();
+  const bool quota = admission == Shard::Admission::kQuota;
+  if (quota) {
+    support::trace::Instant("gateway.quota_shed", "shard", index);
+    tenant_table_.stats(slot).OnQuotaShed();
+  } else {
+    tenant_table_.stats(slot).OnShed();
+  }
   Response response;
   response.error = core::ErrorCode::kOverloaded;
   response.message = stopping_.load(std::memory_order_relaxed)
                          ? "gateway is stopping"
-                         : "shard queue above shed watermark";
+                         : (quota ? "tenant over admission quota"
+                                  : "shard queue above shed watermark");
   response.shard = index;
   InvokeCompletionFn(on_complete, response);
   return false;
@@ -973,27 +1096,42 @@ bool Gateway::SubmitScript(ScriptRequest request) {
   const std::uint32_t index = ShardFor(request.client_id);
   span.Tag("shard", index);
   Shard& shard = *shards_[index];
+  const std::size_t slot = tenant_table_.SlotFor(request.tenant);
+  tenant_table_.stats(slot).OnSubmitted();
 
   QueuedRequest queued;
+  queued.tenant_slot = static_cast<std::uint32_t>(slot);
   queued.submitted_at = Clock::now();
   const std::chrono::microseconds timeout =
       request.timeout.count() > 0 ? request.timeout : config_.default_timeout;
   if (timeout.count() > 0) queued.deadline = queued.submitted_at + timeout;
   queued.script = std::make_unique<ScriptRequest>(std::move(request));
 
-  if (!stopping_.load(std::memory_order_relaxed) && shard.TrySubmit(queued)) {
-    span.Tag("admitted", 1);
-    return true;
+  Shard::Admission admission = Shard::Admission::kQueueFull;
+  if (!stopping_.load(std::memory_order_relaxed)) {
+    admission = shard.TrySubmit(queued);
+    if (admission == Shard::Admission::kAdmitted) {
+      span.Tag("admitted", 1);
+      return true;
+    }
   }
   // Shed on the submitting thread, exactly like Submit(Request).
   span.Tag("admitted", 0);
   support::trace::Instant("gateway.shed", "shard", index);
   shard.stats().OnShed();
+  const bool quota = admission == Shard::Admission::kQuota;
+  if (quota) {
+    support::trace::Instant("gateway.quota_shed", "shard", index);
+    tenant_table_.stats(slot).OnQuotaShed();
+  } else {
+    tenant_table_.stats(slot).OnShed();
+  }
   ScriptResponse response;
   response.error = core::ErrorCode::kOverloaded;
   response.message = stopping_.load(std::memory_order_relaxed)
                          ? "gateway is stopping"
-                         : "shard queue above shed watermark";
+                         : (quota ? "tenant over admission quota"
+                                  : "shard queue above shed watermark");
   response.shard = index;
   InvokeScriptCompletionFn(queued.script->on_complete, response);
   return false;
@@ -1030,6 +1168,10 @@ GatewaySnapshot Gateway::Stats() const {
   snapshots.reserve(shards_.size());
   for (const auto& shard : shards_) snapshots.push_back(shard->Snapshot());
   return Aggregate(std::move(snapshots));
+}
+
+std::vector<TenantSnapshot> Gateway::TenantStatsSnapshot() const {
+  return tenant_table_.Snapshot();
 }
 
 bool Gateway::Drain(std::chrono::microseconds timeout) {
@@ -1071,6 +1213,8 @@ support::MetricsRegistry::Registration Gateway::RegisterMetrics(
         sink.Counter("script.budget_kills", totals.script_budget_kills);
         sink.Counter("script.steps", totals.script_steps);
         sink.Counter("script.invocations", totals.script_invocations);
+        sink.Counter("script.cache_hits", totals.script_cache_hits);
+        sink.Counter("script.cache_misses", totals.script_cache_misses);
         sink.Counter("queue_depth", totals.queue_depth);
         sink.Counter("max_queue_depth", totals.max_queue_depth);
         sink.Gauge("latency_p50_us",
@@ -1098,6 +1242,25 @@ support::MetricsRegistry::Registration Gateway::RegisterMetrics(
           sink.Counter(base + "script.budget_kills", s.script_budget_kills);
           sink.Counter(base + "queue_depth", s.queue_depth);
           sink.Counter(base + "max_queue_depth", s.max_queue_depth);
+        }
+        // Per-tenant serving counters under tenant.<name>.* — the
+        // admission-isolation plane. Quiescent, every tenant reconciles
+        // exactly: ok + failed + timed_out + shed == submitted.
+        for (const TenantSnapshot& t : tenant_table_.Snapshot()) {
+          const std::string base = "tenant." + t.name + ".";
+          sink.Counter(base + "weight", t.weight);
+          sink.Counter(base + "submitted", t.submitted);
+          sink.Counter(base + "accepted", t.accepted);
+          sink.Counter(base + "shed", t.shed);
+          sink.Counter(base + "quota_shed", t.quota_shed);
+          sink.Counter(base + "ok", t.ok);
+          sink.Counter(base + "failed", t.failed);
+          sink.Counter(base + "timed_out", t.timed_out);
+          sink.Counter(base + "retries", t.retries);
+          sink.Gauge(base + "latency_p50_us",
+                     static_cast<double>(t.latency.Percentile(0.50)));
+          sink.Gauge(base + "latency_p95_us",
+                     static_cast<double>(t.latency.Percentile(0.95)));
         }
         // M-Push feed totals across shards — the notifier/feeder plane's
         // health: how much was published, how much the replay rings have

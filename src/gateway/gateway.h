@@ -50,6 +50,7 @@
 #include "gateway/request.h"
 #include "gateway/script.h"
 #include "gateway/stats.h"
+#include "gateway/tenant.h"
 #include "support/metrics.h"
 
 namespace mobivine::gateway {
@@ -88,6 +89,11 @@ struct GatewayConfig {
   /// M-Script sandbox ceilings (gateway/script.h). Client-supplied
   /// budgets are clamped to these.
   ScriptLimits script;
+  /// Tenancy (gateway/tenant.h): per-tenant admission weights and the
+  /// gateway.tenant.* accounting plane. Empty — the pre-tenancy default
+  /// — yields just the built-in "default" tenant, whose cap equals the
+  /// whole watermark, i.e. exactly the old tenant-blind behavior.
+  std::vector<TenantConfig> tenants;
 };
 
 class Gateway {
@@ -147,6 +153,14 @@ class Gateway {
   /// Lock-free-readable view of all counters; safe while serving.
   [[nodiscard]] GatewaySnapshot Stats() const;
 
+  /// Per-tenant counters (gateway/tenant.h); safe while serving. Once
+  /// quiescent every row reconciles exactly: ok + failed + timed_out +
+  /// shed == submitted.
+  [[nodiscard]] std::vector<TenantSnapshot> TenantStatsSnapshot() const;
+
+  /// The tenant directory this gateway admits against (immutable).
+  [[nodiscard]] const TenantTable& tenants() const { return tenant_table_; }
+
   /// Register this gateway as one M-Scope metrics source under `prefix`:
   /// totals and per-shard serving counters, latency percentiles, and the
   /// per-proxy OverheadMeter op counts summed across shards. The returned
@@ -185,6 +199,9 @@ class Gateway {
   class Shard;
 
   GatewayConfig config_;
+  /// Before shards_: every shard keeps a reference for admission caps
+  /// and service accounting, so the table must outlive them.
+  TenantTable tenant_table_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stopping_{false};
 };

@@ -70,6 +70,10 @@ struct Response {
 
 struct Request {
   std::uint64_t client_id = 0;  ///< shard affinity key
+  /// Tenant this request bills against (gateway/tenant.h). 0 — the
+  /// default for every pre-tenancy caller — is the built-in "default"
+  /// tenant; unknown ids also resolve there, never to a rejection.
+  std::uint32_t tenant = 0;
   Platform platform = Platform::kAndroid;
   Op op = Op::kGetLocation;
   std::string target;        ///< url / destination number
@@ -104,6 +108,7 @@ struct BorrowedProperty {
 /// Every view must stay valid until Submit returns; nothing retains them.
 struct BorrowedRequest {
   std::uint64_t client_id = 0;
+  std::uint32_t tenant = 0;  ///< same resolution rules as Request::tenant
   Platform platform = Platform::kAndroid;
   Op op = Op::kGetLocation;
   std::string_view target;

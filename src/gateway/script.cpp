@@ -1,10 +1,13 @@
 #include "gateway/script.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "minijs/interpreter.h"
+#include "minijs/parser.h"
 #include "minijs/value.h"
+#include "support/seed.h"
 #include "support/trace.h"
 
 namespace mobivine::gateway {
@@ -57,8 +60,20 @@ Op ParseOpName(const std::string& name) {
                          "unknown op '" + name + "'");
 }
 
+/// One cached parse: the source hash it is indexed under plus the
+/// immutable AST. The full source rides along so a hash collision can
+/// never execute the wrong program — on mismatch the entry is treated
+/// as a miss and replaced.
+struct ScriptEngine::CacheEntry {
+  std::uint64_t hash = 0;
+  std::string source;
+  std::shared_ptr<const minijs::Program> program;
+};
+
 ScriptEngine::ScriptEngine(ScriptHostOps ops, ScriptLimits limits)
     : ops_(std::move(ops)), limits_(limits) {}
+
+ScriptEngine::~ScriptEngine() = default;
 
 ScriptResponse ScriptEngine::Execute(const ScriptRequest& request) {
   ScriptResponse response;
@@ -69,6 +84,23 @@ ScriptResponse ScriptEngine::Execute(const ScriptRequest& request) {
       ClampBudget(request.virtual_us_budget, limits_.max_virtual_us);
   const std::uint64_t result_cap =
       ClampBudget(request.max_result_bytes, limits_.max_result_bytes);
+
+  // Parse-cache lookup. The hash narrows to one candidate; the stored
+  // source is compared byte-wise before reuse, so an FNV collision is a
+  // miss (and a replacement), never a wrong program.
+  const bool cache_enabled = limits_.parse_cache_entries > 0;
+  const std::uint64_t source_hash =
+      cache_enabled ? support::Fnv1a64(request.source) : 0;
+  std::shared_ptr<const minijs::Program> program;
+  if (cache_enabled) {
+    const auto it = cache_index_.find(source_hash);
+    if (it != cache_index_.end() && it->second->source == request.source) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      program = cache_lru_.front().program;
+      ++cache_hits_;
+      response.cache_hit = true;
+    }
+  }
 
   minijs::Interpreter interp;
   interp.set_step_limit(step_budget);
@@ -172,7 +204,30 @@ ScriptResponse ScriptEngine::Execute(const ScriptRequest& request) {
   };
 
   try {
-    const minijs::Value value = interp.Run(request.source);
+    if (program == nullptr) {
+      // A failed parse counts as a miss too; it is never cached (the
+      // throw below skips the insert), so a bad program re-parses — and
+      // re-fails — cheaply without occupying a slot.
+      ++cache_misses_;
+      program = std::make_shared<const minijs::Program>(
+          minijs::ParseProgram(request.source));
+      if (cache_enabled) {
+        cache_lru_.push_front(
+            CacheEntry{source_hash, request.source, program});
+        cache_index_[source_hash] = cache_lru_.begin();
+        if (cache_lru_.size() > limits_.parse_cache_entries) {
+          const CacheEntry& oldest = cache_lru_.back();
+          // A collision replacement redirects the index to the newer
+          // entry; only erase when the index still points at the victim.
+          const auto idx = cache_index_.find(oldest.hash);
+          if (idx != cache_index_.end() && &*idx->second == &oldest) {
+            cache_index_.erase(idx);
+          }
+          cache_lru_.pop_back();
+        }
+      }
+    }
+    const minijs::Value value = interp.Run(std::move(program));
     finish(/*flush=*/true);
     std::string result = value.ToDisplayString();
     if (result.size() > result_cap) {

@@ -43,7 +43,9 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -60,6 +62,10 @@ struct ScriptLimits {
   std::uint64_t max_virtual_us = 10'000'000;  // 10 virtual seconds
   std::uint64_t max_result_bytes = 64u << 10;  // == wire kMaxStringBytes
   std::uint64_t virtual_us_per_step = 30;
+  /// Parsed-program cache entries per shard engine (LRU, keyed by an
+  /// FNV-1a hash of the source). 0 disables caching: every execution
+  /// re-parses, the pre-cache behavior.
+  std::size_t parse_cache_entries = 128;
 };
 
 struct ScriptResponse {
@@ -80,12 +86,19 @@ struct ScriptResponse {
   std::string result;   ///< final expression's display string on success
   std::uint64_t steps = 0;        ///< interpreter steps executed
   std::uint64_t invocations = 0;  ///< host binding calls performed
+  /// True when the engine reused a cached parse of this source (the
+  /// execution itself — interpreter, globals, budgets — is fresh either
+  /// way). False on a parse miss or when caching is disabled.
+  bool cache_hit = false;
   std::uint32_t shard = 0;
   std::chrono::microseconds latency{0};  ///< submit -> completion, wall
 };
 
 struct ScriptRequest {
   std::uint64_t client_id = 0;  ///< shard affinity key
+  /// Tenant this script bills against — same resolution rules as
+  /// Request::tenant (0 / unknown => the built-in default tenant).
+  std::uint32_t tenant = 0;
   std::string source;           ///< MiniJS program
   /// Named string arguments, exposed to the script as the `args` object.
   std::vector<std::pair<std::string, std::string>> args;
@@ -133,9 +146,18 @@ struct ScriptHostOps {
 /// retains every loaded AST for its lifetime and its globals are mutable,
 /// so reuse across scripts would both grow without bound and leak state
 /// between clients — exactly what a sandbox must not do.
+///
+/// What IS shared across executions is the parse: an LRU cache keyed by
+/// an FNV-1a hash of the source maps to an immutable AST
+/// (shared_ptr<const Program>), so a repeat composite skips the lexer/
+/// parser entirely. Only the syntax tree is reused — budgets, args,
+/// globals and step accounting are rebuilt per execution, and programs
+/// that fail to parse are never cached. Single-threaded like the shard,
+/// so the cache needs no lock.
 class ScriptEngine {
  public:
   explicit ScriptEngine(ScriptHostOps ops, ScriptLimits limits = {});
+  ~ScriptEngine();
 
   /// Execute on the calling (worker) thread. Fills everything except
   /// shard/latency, which the shard stamps in its completion path.
@@ -143,9 +165,22 @@ class ScriptEngine {
 
   const ScriptLimits& limits() const { return limits_; }
 
+  /// Parse-cache counters since construction (worker-thread reads only;
+  /// the shard mirrors them into ShardStats for the metrics plane).
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
+
  private:
+  struct CacheEntry;
+
   ScriptHostOps ops_;
   ScriptLimits limits_;
+  /// LRU list, most-recent first, plus the hash index into it.
+  std::list<CacheEntry> cache_lru_;
+  std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator>
+      cache_index_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
 };
 
 /// Parse "android" / "s60" / "iphone" (as ToString(Platform) emits).

@@ -24,6 +24,8 @@ GatewaySnapshot Aggregate(std::vector<ShardSnapshot> shards) {
     snap.totals.script_budget_kills += shard.script_budget_kills;
     snap.totals.script_steps += shard.script_steps;
     snap.totals.script_invocations += shard.script_invocations;
+    snap.totals.script_cache_hits += shard.script_cache_hits;
+    snap.totals.script_cache_misses += shard.script_cache_misses;
     snap.totals.queue_depth += shard.queue_depth;
     if (shard.max_queue_depth > snap.totals.max_queue_depth) {
       snap.totals.max_queue_depth = shard.max_queue_depth;

@@ -40,6 +40,11 @@ struct ShardSnapshot {
   std::uint64_t script_budget_kills = 0;
   std::uint64_t script_steps = 0;        ///< interpreter steps executed
   std::uint64_t script_invocations = 0;  ///< host binding calls from scripts
+  /// Parse-cache outcomes: a hit reused a cached AST (fresh sandbox
+  /// either way), a miss paid the lexer/parser. hits + misses == scripts
+  /// once quiescent (every execution is one or the other).
+  std::uint64_t script_cache_hits = 0;
+  std::uint64_t script_cache_misses = 0;
   std::uint64_t queue_depth = 0;      ///< at snapshot time
   std::uint64_t max_queue_depth = 0;  ///< high-water mark since start
   HistogramSnapshot latency;          ///< completions (ok + failed + timed_out)
@@ -99,6 +104,12 @@ class ShardStats {
   void OnScriptInvocations(std::uint64_t count) {
     script_invocations_.fetch_add(count, std::memory_order_relaxed);
   }
+  void OnScriptCacheHit() {
+    script_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnScriptCacheMiss() {
+    script_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   void RecordLatency(std::uint64_t micros) { latency_.Record(micros); }
 
@@ -131,6 +142,10 @@ class ShardStats {
     snap.script_steps = script_steps_.load(std::memory_order_relaxed);
     snap.script_invocations =
         script_invocations_.load(std::memory_order_relaxed);
+    snap.script_cache_hits =
+        script_cache_hits_.load(std::memory_order_relaxed);
+    snap.script_cache_misses =
+        script_cache_misses_.load(std::memory_order_relaxed);
     snap.queue_depth = queue_depth;
     snap.max_queue_depth = max_depth_.load(std::memory_order_relaxed);
     snap.latency = latency_.Snapshot();
@@ -154,6 +169,8 @@ class ShardStats {
   std::atomic<std::uint64_t> script_budget_kills_{0};
   std::atomic<std::uint64_t> script_steps_{0};
   std::atomic<std::uint64_t> script_invocations_{0};
+  std::atomic<std::uint64_t> script_cache_hits_{0};
+  std::atomic<std::uint64_t> script_cache_misses_{0};
   std::atomic<std::uint64_t> max_depth_{0};
   LatencyHistogram latency_;
 };

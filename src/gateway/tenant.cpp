@@ -1,0 +1,50 @@
+#include "gateway/tenant.h"
+
+#include <utility>
+
+namespace mobivine::gateway {
+
+TenantTable::TenantTable(std::vector<TenantConfig> tenants) {
+  // Slot 0 is always the default tenant. An explicit id-0 config (first
+  // occurrence) overrides its name/weight; otherwise the built-in one is
+  // prepended so pre-tenancy callers (tenant id 0 everywhere) keep
+  // working with weight-1 entitlement.
+  configs_.reserve(tenants.size() + 1);
+  TenantConfig default_tenant{0, "default", 1};
+  for (auto& tenant : tenants) {
+    if (tenant.id == 0 && slots_.find(0) == slots_.end()) {
+      default_tenant = std::move(tenant);
+      if (default_tenant.name.empty()) default_tenant.name = "default";
+      slots_.emplace(0, 0);
+    }
+  }
+  configs_.push_back(std::move(default_tenant));
+  slots_[0] = 0;
+  for (auto& tenant : tenants) {
+    if (tenant.id == 0) continue;  // consumed above (or duplicate)
+    if (!slots_.emplace(tenant.id, configs_.size()).second) continue;
+    if (tenant.name.empty()) {
+      tenant.name = "tenant" + std::to_string(tenant.id);
+    }
+    configs_.push_back(std::move(tenant));
+  }
+  total_weight_ = 0;
+  for (const TenantConfig& config : configs_) total_weight_ += config.weight;
+  if (total_weight_ == 0) total_weight_ = 1;  // all-zero quotas: avoid /0
+  stats_ = std::make_unique<TenantStats[]>(configs_.size());
+}
+
+std::vector<TenantSnapshot> TenantTable::Snapshot() const {
+  std::vector<TenantSnapshot> snapshots;
+  snapshots.reserve(configs_.size());
+  for (std::size_t slot = 0; slot < configs_.size(); ++slot) {
+    TenantSnapshot snap = stats_[slot].Snapshot();
+    snap.id = configs_[slot].id;
+    snap.name = configs_[slot].name;
+    snap.weight = configs_[slot].weight;
+    snapshots.push_back(std::move(snap));
+  }
+  return snapshots;
+}
+
+}  // namespace mobivine::gateway

@@ -9,21 +9,13 @@
 #include <thread>
 #include <vector>
 
+#include "support/seed.h"
+
 namespace mobivine::gateway {
 
 namespace {
 
-struct SplitMix64 {
-  std::uint64_t state;
-  std::uint64_t Next() {
-    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-  }
-  /// Uniform pick in [0, bound); bound > 0.
-  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
-};
+using support::SplitMix64;
 
 /// Completion bookkeeping shared by all producers and worker callbacks.
 /// Tally lives on RunTraffic's stack, so Count must be safe against the
@@ -104,9 +96,10 @@ struct PickTables {
 Request BuildRequest(SplitMix64& rng, const TrafficConfig& config,
                      const PickTables& tables) {
   Request request;
-  request.client_id = rng.Below(config.clients > 0 ? config.clients : 1);
-  request.op = tables.ops[rng.Below(tables.ops.size())];
-  request.platform = tables.platforms[rng.Below(tables.platforms.size())];
+  request.client_id = rng.NextBelow(config.clients > 0 ? config.clients : 1);
+  request.tenant = config.tenant;
+  request.op = tables.ops[rng.NextBelow(tables.ops.size())];
+  request.platform = tables.platforms[rng.NextBelow(tables.platforms.size())];
   request.timeout = config.timeout;
   request.retry = config.retry;
   switch (request.op) {
@@ -134,7 +127,7 @@ Request BuildRequest(SplitMix64& rng, const TrafficConfig& config,
             std::min<std::uint64_t>(config.location_property_values, 64);
         request.properties.emplace_back(
             "horizontalAccuracy",
-            static_cast<long long>(25 + rng.Below(pool)));
+            static_cast<long long>(25 + rng.NextBelow(pool)));
       }
       break;
   }
@@ -161,8 +154,10 @@ TrafficReport RunTraffic(Gateway& gateway, const TrafficConfig& config) {
   threads.reserve(static_cast<std::size_t>(producers));
   for (int p = 0; p < producers; ++p) {
     threads.emplace_back([&, p] {
-      SplitMix64 rng{config.seed * 0x51d3c4fd9ull + 0x2545f491ull +
-                     static_cast<std::uint64_t>(p)};
+      SplitMix64 rng = support::SeedSequence(config.seed)
+                           .Fork("traffic")
+                           .Fork(static_cast<std::uint64_t>(p))
+                           .stream();
       Window* window = windows[static_cast<std::size_t>(p)].get();
       const bool closed_loop = config.window > 0;
       // Open loop: fixed inter-arrival per producer, paced on the wall

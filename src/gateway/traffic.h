@@ -10,7 +10,11 @@
 //    drives a serving system into overload and exercises shedding.
 //
 // Deterministic given a seed: client ids, op and platform picks come from
-// per-producer splitmix64 streams (wall-clock interleaving still varies).
+// per-producer streams derived with support::SeedSequence —
+// SeedSequence(seed).Fork("traffic").Fork(producer) — so identical seeds
+// reproduce identical request schedules across runs and subsystems never
+// collide on ad-hoc seed arithmetic (wall-clock interleaving still
+// varies). EXPERIMENTS.md § Methodology documents the convention.
 #pragma once
 
 #include <chrono>
@@ -38,6 +42,9 @@ struct TrafficConfig {
   std::uint64_t requests_per_producer = 1000;
   std::uint64_t clients = 256;  ///< client-id space (shard affinity spread)
   std::uint64_t seed = 1;
+  /// Tenant every generated request bills against (gateway/tenant.h);
+  /// 0 = the built-in default tenant.
+  std::uint32_t tenant = 0;
   int window = 32;           ///< closed-loop in-flight cap; 0 = open loop
   double open_loop_rps = 0;  ///< aggregate submit rate when window == 0
   std::chrono::microseconds timeout{0};  ///< per-request; 0 = gateway default

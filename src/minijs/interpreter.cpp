@@ -74,8 +74,14 @@ void Interpreter::ChargeAllocation(std::size_t bytes) {
 }
 
 Value Interpreter::Run(std::string_view source) {
-  auto program = std::make_unique<Program>(ParseProgram(source));
+  return Run(std::make_shared<const Program>(ParseProgram(source)));
+}
+
+Value Interpreter::Run(std::shared_ptr<const Program> program) {
   const Program& ref = *program;
+  // Retain the AST for this interpreter's lifetime: closures created by
+  // the run point into it. Shared ownership is what lets a host-side
+  // parse cache hand the same immutable Program to many interpreters.
   loaded_programs_.push_back(std::move(program));
 
   Value last;

@@ -68,6 +68,14 @@ class Interpreter {
   /// program ends with a non-expression statement).
   Value Run(std::string_view source);
 
+  /// Execute an already-parsed program. The interpreter retains a
+  /// reference for its lifetime (closures point into the AST) but never
+  /// mutates it, so one Program may be shared by any number of
+  /// interpreters — the seam the gateway's script parse cache uses to
+  /// skip re-parsing repeat composites while still giving every
+  /// execution a fresh sandbox.
+  Value Run(std::shared_ptr<const Program> program);
+
   /// Call a function value with an explicit `this` and arguments.
   Value Call(const Value& function, const Value& this_value,
              std::vector<Value> arguments);
@@ -160,7 +168,7 @@ class Interpreter {
   void InstallBuiltins();
 
   std::shared_ptr<Environment> globals_;
-  std::vector<std::unique_ptr<Program>> loaded_programs_;
+  std::vector<std::shared_ptr<const Program>> loaded_programs_;
   std::uint64_t steps_ = 0;
   std::uint64_t step_limit_ = 50'000'000;
   std::uint64_t call_depth_ = 0;

@@ -1,0 +1,116 @@
+// Reproducible RNG seeding for every load generator in the tree.
+//
+// Before this header each generator derived per-thread seeds ad hoc
+// (`config.seed * magic + thread`), which made streams collide across
+// subsystems that happened to pick the same magic and made it impossible
+// to state, in one place, how a run's randomness decomposes. A
+// SeedSequence is a single 64-bit state plus a pure derivation rule:
+//
+//   SeedSequence(seed).Fork("traffic").Fork(producer).stream()
+//   SeedSequence(seed).Fork("fleet").Fork(tenant_id).Fork(producer)
+//
+// Forks are value types — deriving a child never mutates the parent, so
+// the same parent can be forked repeatedly in any order and every path
+// through the fork tree names the same stream on every run. Labels are
+// folded in with FNV-1a, indices with the SplitMix64 finalizer, so
+// Fork("a").Fork(1) and Fork("a1") land in unrelated streams.
+//
+// SplitMix64 itself (the stream generator) lives here too so traffic,
+// fault injection, and the fleet arrival model all draw from the same
+// primitive. It is Steele et al.'s generator: one 64-bit add per draw
+// plus a 3-xorshift finalizer, statistically solid for simulation use
+// and trivially seedable from any 64-bit value (including 0).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mobivine::support {
+
+/// FNV-1a over arbitrary bytes. Used for SeedSequence labels and as the
+/// script-cache source hash (gateway::ScriptEngine): the cache wants a
+/// cheap, stable, well-distributed 64-bit digest, not cryptographic
+/// strength, and FNV-1a is one multiply + xor per byte.
+[[nodiscard]] constexpr std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// SplitMix64 finalizer: bijective 64-bit mix, the avalanche step of the
+/// generator below. Exposed so derived seeds can be whitened without
+/// constructing a generator.
+[[nodiscard]] constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The SplitMix64 stream generator.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t x = state_;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// Uniform double in [0, 1): top 53 bits of one draw.
+  constexpr double NextUnit() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound); bound == 0 returns 0. Multiply-shift
+  /// range reduction — the modulo bias is < 2^-32 for any bound that
+  /// fits simulation use, not worth a rejection loop here.
+  constexpr std::uint64_t NextBelow(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// A deterministic tree of named random streams rooted at one user seed.
+class SeedSequence {
+ public:
+  constexpr explicit SeedSequence(std::uint64_t root) : state_(Mix64(root)) {}
+
+  /// Child sequence for a named subsystem ("traffic", "fleet", ...).
+  [[nodiscard]] constexpr SeedSequence Fork(std::string_view label) const {
+    return SeedSequence(state_ ^ Fnv1a64(label), kDerived);
+  }
+
+  /// Child sequence for an indexed sibling (producer p, tenant t, ...).
+  [[nodiscard]] constexpr SeedSequence Fork(std::uint64_t index) const {
+    return SeedSequence(state_ ^ Mix64(index + 0x6a09e667f3bcc909ull),
+                        kDerived);
+  }
+
+  /// The derived 64-bit seed value for this node.
+  [[nodiscard]] constexpr std::uint64_t state() const { return state_; }
+
+  /// A SplitMix64 stream positioned at this node.
+  [[nodiscard]] constexpr SplitMix64 stream() const {
+    return SplitMix64(state_);
+  }
+
+ private:
+  struct Derived {};
+  static constexpr Derived kDerived{};
+  constexpr SeedSequence(std::uint64_t mixed, Derived) : state_(Mix64(mixed)) {}
+
+  std::uint64_t state_;
+};
+
+}  // namespace mobivine::support

@@ -1,0 +1,287 @@
+// M-Fleet: the device-fleet simulator's contract (src/fleet/).
+//
+// What must hold:
+//  * DeviceState stays flyweight-sized — the whole 1M-device story rests
+//    on per-device cost being a few bytes of extrinsic state;
+//  * the arrival schedule is a pure function of the config: same seed =>
+//    identical Preview digest, different seed => different schedule, and
+//    the diurnal curve actually shapes arrival counts;
+//  * PoissonDraw is mean-correct on both its branches (Knuth below 30,
+//    normal approximation above);
+//  * Run() drives a real gateway and the client-side per-tenant report
+//    reconciles exactly with the gateway's server-side tenant rows, while
+//    device state (GPS track progress, messaging counters) advances in
+//    lockstep with what was submitted;
+//  * RegisterMetrics exports the fleet.* counters M-Scope validates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/descriptor/proxy_descriptor.h"
+#include "fleet/arrival.h"
+#include "fleet/device_state.h"
+#include "fleet/fleet.h"
+#include "gateway/gateway.h"
+#include "support/metrics.h"
+#include "support/seed.h"
+
+namespace mobivine {
+namespace {
+
+using fleet::DeviceState;
+using fleet::DiurnalCurve;
+using fleet::Fleet;
+using fleet::FleetConfig;
+using fleet::FleetReport;
+using fleet::FleetTenant;
+using fleet::FleetTenantReport;
+using fleet::SchedulePreview;
+using gateway::Gateway;
+using gateway::GatewayConfig;
+using gateway::TenantConfig;
+using gateway::TenantSnapshot;
+
+const core::DescriptorStore& Store() {
+  static const core::DescriptorStore store =
+      core::DescriptorStore::LoadDirectory(MOBIVINE_DESCRIPTOR_DIR);
+  return store;
+}
+
+/// A small two-tenant fleet, unpaced so tests emit the schedule as fast
+/// as possible instead of sleeping through wall-clock pacing.
+FleetConfig SmallFleetConfig() {
+  FleetConfig config;
+  config.tenants = {
+      FleetTenant{TenantConfig{1, "alpha", 2}, /*devices=*/150,
+                  /*mean_rps_per_device=*/2.0},
+      FleetTenant{TenantConfig{2, "beta", 1}, /*devices=*/50,
+                  /*mean_rps_per_device=*/2.0},
+  };
+  config.duration_seconds = 0.5;
+  config.tick_seconds = 0.005;
+  config.seed = 7;
+  config.producers = 2;
+  config.paced = false;
+  config.curve = DiurnalCurve::Flat();
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Flyweight
+// ---------------------------------------------------------------------------
+
+TEST(FleetDeviceState, StaysFlyweightSized) {
+  // 1M devices must fit one small contiguous vector; the static_assert in
+  // device_state.h enforces <= 32, this pins the actual layout.
+  EXPECT_EQ(sizeof(DeviceState), 16u);
+  std::vector<DeviceState> million(1'000'000);
+  EXPECT_LE(million.size() * sizeof(DeviceState), 32u << 20);
+}
+
+TEST(FleetDeviceState, ConstructionPartitionsDevicesByTenant) {
+  Fleet fleet(SmallFleetConfig());
+  ASSERT_EQ(fleet.device_count(), 200u);
+  ASSERT_FALSE(fleet.routes().empty());
+  std::vector<std::uint64_t> per_slot(2, 0);
+  for (std::size_t i = 0; i < fleet.device_count(); ++i) {
+    const DeviceState& device = fleet.device(i);
+    ASSERT_LT(device.tenant_slot, 2u);  // fleet tenant index: alpha, beta
+    ASSERT_LT(device.route, fleet.routes().size());
+    ++per_slot[device.tenant_slot];
+  }
+  EXPECT_EQ(per_slot[0], 150u);  // alpha
+  EXPECT_EQ(per_slot[1], 50u);   // beta
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic schedule
+// ---------------------------------------------------------------------------
+
+TEST(FleetSchedule, SameSeedSameSchedule) {
+  const FleetConfig config = SmallFleetConfig();
+  const SchedulePreview first = Fleet(config).Preview();
+  const SchedulePreview second = Fleet(config).Preview();
+  EXPECT_GT(first.arrivals, 0u);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.arrivals, second.arrivals);
+  EXPECT_EQ(first.per_tenant, second.per_tenant);
+  // Both tenants actually contribute arrivals.
+  ASSERT_EQ(first.per_tenant.size(), 2u);
+  EXPECT_GT(first.per_tenant[0], 0u);
+  EXPECT_GT(first.per_tenant[1], 0u);
+}
+
+TEST(FleetSchedule, DifferentSeedDifferentSchedule) {
+  FleetConfig config = SmallFleetConfig();
+  const SchedulePreview first = Fleet(config).Preview();
+  config.seed = 8;
+  const SchedulePreview second = Fleet(config).Preview();
+  EXPECT_NE(first.digest, second.digest);
+}
+
+TEST(FleetSchedule, PreviewMatchesWhatRunSubmits) {
+  const FleetConfig config = SmallFleetConfig();
+  const SchedulePreview preview = Fleet(config).Preview();
+
+  GatewayConfig gw_config;
+  gw_config.shards = 2;
+  gw_config.store = &Store();
+  Fleet fleet(config);
+  gw_config.tenants = fleet.TenantConfigs();
+  Gateway gateway(gw_config);
+  const FleetReport report = fleet.Run(gateway);
+
+  EXPECT_EQ(report.submitted, preview.arrivals);
+  ASSERT_EQ(report.tenants.size(), preview.per_tenant.size());
+  for (std::size_t t = 0; t < report.tenants.size(); ++t) {
+    EXPECT_EQ(report.tenants[t].submitted, preview.per_tenant[t]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arrival model
+// ---------------------------------------------------------------------------
+
+TEST(FleetArrival, DiurnalCurveIsMeanOneAndShapesTheDay) {
+  const DiurnalCurve flat = DiurnalCurve::Flat();
+  EXPECT_DOUBLE_EQ(flat.RateAt(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(flat.RateAt(0.5), 1.0);
+
+  const DiurnalCurve commuter = DiurnalCurve::Commuter();
+  double mean = 0;
+  for (double w : commuter.hourly()) mean += w;
+  mean /= 24.0;
+  EXPECT_NEAR(mean, 1.0, 1e-9);
+  // Evening peak well above the overnight trough.
+  EXPECT_GT(commuter.RateAt(19.0 / 24.0), 1.5);
+  EXPECT_LT(commuter.RateAt(3.5 / 24.0), 0.5);
+  // Fractions outside [0, 1) wrap.
+  EXPECT_DOUBLE_EQ(commuter.RateAt(1.25), commuter.RateAt(0.25));
+}
+
+TEST(FleetArrival, PoissonDrawIsMeanCorrectOnBothBranches) {
+  // mean 5 exercises the Knuth branch, mean 200 the normal approximation.
+  for (const double mean : {5.0, 200.0}) {
+    support::SplitMix64 rng(123);
+    constexpr int kDraws = 20'000;
+    double sum = 0;
+    for (int i = 0; i < kDraws; ++i) sum += fleet::PoissonDraw(rng, mean);
+    const double sample_mean = sum / kDraws;
+    // 4-sigma band on the sample mean: 4 * sqrt(mean / kDraws).
+    EXPECT_NEAR(sample_mean, mean, 4.0 * std::sqrt(mean / kDraws))
+        << "mean=" << mean;
+  }
+  // Degenerate mean draws nothing.
+  support::SplitMix64 rng(9);
+  EXPECT_EQ(fleet::PoissonDraw(rng, 0.0), 0u);
+}
+
+TEST(FleetArrival, DiurnalCurveShapesArrivalCounts) {
+  FleetConfig config = SmallFleetConfig();
+  config.curve = DiurnalCurve::Commuter();
+  config.day_seconds = 60.0;
+  config.start_day_fraction = 19.0 / 24.0;  // evening peak
+  const SchedulePreview peak = Fleet(config).Preview();
+  config.start_day_fraction = 3.5 / 24.0;  // overnight trough
+  const SchedulePreview trough = Fleet(config).Preview();
+  // Peak rate is > 3x trough; even with Poisson noise the counts order.
+  EXPECT_GT(peak.arrivals, trough.arrivals * 2);
+}
+
+// ---------------------------------------------------------------------------
+// Driving a real gateway
+// ---------------------------------------------------------------------------
+
+TEST(FleetRun, ReconcilesWithGatewayTenantRowsAndAdvancesDevices) {
+  const FleetConfig config = SmallFleetConfig();
+  Fleet fleet(config);
+
+  std::vector<std::uint32_t> offsets_before(fleet.device_count());
+  for (std::size_t i = 0; i < fleet.device_count(); ++i) {
+    offsets_before[i] = fleet.device(i).track_offset_s;
+  }
+
+  GatewayConfig gw_config;
+  gw_config.shards = 2;
+  gw_config.store = &Store();
+  gw_config.tenants = fleet.TenantConfigs();
+  Gateway gateway(gw_config);
+  const FleetReport report = fleet.Run(gateway);
+
+  // Something ran, and the fleet-level totals add up.
+  ASSERT_GT(report.submitted, 0u);
+  EXPECT_EQ(report.devices, fleet.device_count());
+  EXPECT_EQ(report.ok + report.shed + report.failed + report.timed_out,
+            report.submitted);
+
+  // Client-side tenant rows reconcile with the gateway's server-side view.
+  ASSERT_EQ(report.tenants.size(), 2u);
+  std::uint64_t tenant_sum = 0;
+  for (const FleetTenantReport& client : report.tenants) {
+    tenant_sum += client.submitted;
+    bool found = false;
+    for (const TenantSnapshot& row : gateway.TenantStatsSnapshot()) {
+      if (row.id != client.id) continue;
+      found = true;
+      EXPECT_EQ(row.submitted, client.submitted) << client.name;
+      EXPECT_EQ(row.ok, client.ok) << client.name;
+      EXPECT_EQ(row.shed, client.shed) << client.name;
+      EXPECT_EQ(row.failed, client.failed) << client.name;
+      EXPECT_EQ(row.timed_out, client.timed_out) << client.name;
+    }
+    EXPECT_TRUE(found) << "no gateway row for tenant " << client.id;
+  }
+  EXPECT_EQ(tenant_sum, report.submitted);
+
+  // Device state advanced in lockstep with the schedule: every arrival
+  // bumped its device's request counter, every telemetry report walked
+  // the device 30 virtual seconds down its route.
+  std::uint64_t device_requests = 0;
+  std::uint64_t device_reports = 0;
+  std::uint64_t device_sms = 0;
+  for (std::size_t i = 0; i < fleet.device_count(); ++i) {
+    const DeviceState& device = fleet.device(i);
+    device_requests += device.requests;
+    device_reports += device.reports;
+    device_sms += device.sms_sent;
+    EXPECT_EQ(device.track_offset_s,
+              offsets_before[i] + 30u * device.reports);
+  }
+  EXPECT_EQ(device_requests, report.submitted);
+  EXPECT_GT(device_reports, 0u);  // mix weight 4/9: reports dominate
+  EXPECT_GT(device_sms, 0u);
+}
+
+TEST(FleetMetrics, ExportsFleetCountersAfterARun) {
+  const FleetConfig config = SmallFleetConfig();
+  Fleet fleet(config);
+  GatewayConfig gw_config;
+  gw_config.shards = 1;
+  gw_config.store = &Store();
+  gw_config.tenants = fleet.TenantConfigs();
+  Gateway gateway(gw_config);
+
+  support::MetricsRegistry registry;
+  const auto registration = fleet.RegisterMetrics(registry);
+  const FleetReport report = fleet.Run(gateway);
+
+  const support::MetricsSnapshot snap = registry.Snapshot();
+  const auto* devices = snap.Find("fleet.devices");
+  ASSERT_NE(devices, nullptr);
+  EXPECT_DOUBLE_EQ(devices->gauge, static_cast<double>(fleet.device_count()));
+  const auto* submitted = snap.Find("fleet.submitted");
+  ASSERT_NE(submitted, nullptr);
+  EXPECT_EQ(submitted->count, report.submitted);
+  const auto* completed = snap.Find("fleet.completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->count, report.submitted);  // quiescent after Run
+  ASSERT_NE(snap.Find("fleet.tenants"), nullptr);
+  ASSERT_NE(snap.Find("fleet.producers"), nullptr);
+  ASSERT_NE(snap.Find("fleet.scheduled"), nullptr);
+}
+
+}  // namespace
+}  // namespace mobivine

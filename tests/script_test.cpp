@@ -582,5 +582,102 @@ TEST(ScriptInterpreter, CallDepthCeilingIsCatchableRangeError) {
   EXPECT_EQ(value.ToDisplayString(), "RangeError");
 }
 
+// ---------------------------------------------------------------------------
+// Parse cache
+// ---------------------------------------------------------------------------
+
+TEST(ScriptCache, SecondExecutionOfSameSourceIsAHit) {
+  Gateway gateway(BaseConfig());
+  const char* source = "'cached ' + (1 + 2);";
+  const ScriptResponse first = gateway.CallScript(MakeScript(source));
+  ASSERT_TRUE(first.ok) << first.message;
+  EXPECT_FALSE(first.cache_hit);
+  const ScriptResponse second = gateway.CallScript(MakeScript(source));
+  ASSERT_TRUE(second.ok) << second.message;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.result, first.result);
+  const auto totals = gateway.Stats().totals;
+  EXPECT_EQ(totals.script_cache_hits, 1u);
+  EXPECT_EQ(totals.script_cache_misses, 1u);
+  EXPECT_EQ(totals.script_cache_hits + totals.script_cache_misses,
+            totals.scripts);
+}
+
+TEST(ScriptCache, CachedProgramGetsFreshArgsAndBudgets) {
+  Gateway gateway(BaseConfig());
+  // Same source, different args: the parse is reused, the sandbox state
+  // must not be. A cache that reused the interpreter (or captured the
+  // first run's args) would echo "one" twice.
+  auto with_arg = [](const char* value) {
+    ScriptRequest request = MakeScript("'v=' + args.x;");
+    request.args.emplace_back("x", value);
+    return request;
+  };
+  const ScriptResponse first = gateway.CallScript(with_arg("one"));
+  ASSERT_TRUE(first.ok) << first.message;
+  EXPECT_EQ(first.result, "v=one");
+  const ScriptResponse second = gateway.CallScript(with_arg("two"));
+  ASSERT_TRUE(second.ok) << second.message;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.result, "v=two");
+
+  // Budgets are per-execution too: the same (now cached) looping source
+  // must run under a generous step budget and die under a tight one.
+  const char* loop = "var i = 0; while (i < 2000) { i = i + 1; } 'done';";
+  ScriptRequest generous = MakeScript(loop);
+  const ScriptResponse ran = gateway.CallScript(std::move(generous));
+  ASSERT_TRUE(ran.ok) << ran.message;
+  ScriptRequest tight = MakeScript(loop);
+  tight.step_budget = 100;
+  const ScriptResponse killed = gateway.CallScript(std::move(tight));
+  EXPECT_FALSE(killed.ok);
+  EXPECT_TRUE(killed.cache_hit);
+  EXPECT_TRUE(killed.budget_kill);
+}
+
+TEST(ScriptCache, LruEvictsTheColdestProgram) {
+  GatewayConfig config = BaseConfig();
+  config.script.parse_cache_entries = 2;
+  Gateway gateway(config);
+  ASSERT_TRUE(gateway.CallScript(MakeScript("'a';")).ok);
+  ASSERT_TRUE(gateway.CallScript(MakeScript("'b';")).ok);
+  // Third distinct program evicts 'a' (the coldest).
+  ASSERT_TRUE(gateway.CallScript(MakeScript("'c';")).ok);
+  EXPECT_FALSE(gateway.CallScript(MakeScript("'a';")).cache_hit);
+  // 'c' stayed resident through the re-parse of 'a' ('b' was evicted).
+  EXPECT_TRUE(gateway.CallScript(MakeScript("'c';")).cache_hit);
+  const auto totals = gateway.Stats().totals;
+  EXPECT_EQ(totals.script_cache_hits, 1u);
+  EXPECT_EQ(totals.script_cache_misses, 4u);
+}
+
+TEST(ScriptCache, ZeroEntriesDisablesCaching) {
+  GatewayConfig config = BaseConfig();
+  config.script.parse_cache_entries = 0;
+  Gateway gateway(config);
+  const char* source = "'twice';";
+  EXPECT_FALSE(gateway.CallScript(MakeScript(source)).cache_hit);
+  EXPECT_FALSE(gateway.CallScript(MakeScript(source)).cache_hit);
+  const auto totals = gateway.Stats().totals;
+  EXPECT_EQ(totals.script_cache_hits, 0u);
+  EXPECT_EQ(totals.script_cache_misses, 2u);
+}
+
+TEST(ScriptCache, ParseFailuresAreNeverCached) {
+  Gateway gateway(BaseConfig());
+  const char* broken = "var (;";
+  const ScriptResponse first = gateway.CallScript(MakeScript(broken));
+  EXPECT_FALSE(first.ok);
+  EXPECT_FALSE(first.cache_hit);
+  // Still a parse (and a miss) the second time — an error cached as a
+  // program would replay the stale failure even after an engine fix.
+  const ScriptResponse second = gateway.CallScript(MakeScript(broken));
+  EXPECT_FALSE(second.ok);
+  EXPECT_FALSE(second.cache_hit);
+  const auto totals = gateway.Stats().totals;
+  EXPECT_EQ(totals.script_cache_hits, 0u);
+  EXPECT_EQ(totals.script_cache_misses, 2u);
+}
+
 }  // namespace
 }  // namespace mobivine

@@ -9,6 +9,7 @@
 #include "support/checksum.h"
 #include "support/geo_units.h"
 #include "support/histogram.h"
+#include "support/seed.h"
 #include "support/strings.h"
 #include "support/varint.h"
 
@@ -493,6 +494,62 @@ TEST(Histogram, PercentileRanksTrackExactValuesWithinErrorBound) {
     EXPECT_GE(reported, exact) << "q=" << q;
     EXPECT_LE(reported - exact, exact / 8 + 1) << "q=" << q;
   }
+}
+
+// ---------------------------------------------------------------------------
+// seed
+// ---------------------------------------------------------------------------
+
+TEST(Seed, SameRootSameForkPathSameStream) {
+  SplitMix64 a = SeedSequence(42).Fork("fleet").Fork(3).Fork(1).stream();
+  SplitMix64 b = SeedSequence(42).Fork("fleet").Fork(3).Fork(1).stream();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Seed, ForkingNeverMutatesTheParent) {
+  const SeedSequence parent = SeedSequence(7).Fork("traffic");
+  const std::uint64_t before = parent.state();
+  (void)parent.Fork("child");
+  (void)parent.Fork(9);
+  EXPECT_EQ(parent.state(), before);
+  // Re-deriving the same child after other forks names the same stream.
+  EXPECT_EQ(parent.Fork(9).state(), parent.Fork(9).state());
+}
+
+TEST(Seed, LabelsIndicesAndRootsAllSeparateStreams) {
+  const SeedSequence root(1);
+  // A label fork and an index fork that "spell the same thing" must not
+  // collide — labels go through FNV-1a, indices through Mix64.
+  EXPECT_NE(root.Fork("1").state(), root.Fork(1).state());
+  EXPECT_NE(root.Fork("a").Fork(1).state(), root.Fork("a1").state());
+  EXPECT_NE(root.Fork("traffic").state(), root.Fork("fleet").state());
+  EXPECT_NE(SeedSequence(1).state(), SeedSequence(2).state());
+  // Sibling indices are distinct, including 0 (seed 0 must be usable).
+  EXPECT_NE(root.Fork(0).state(), root.Fork(1).state());
+}
+
+TEST(Seed, SplitMixUnitDrawsAreInRangeAndRoughlyUniform) {
+  SplitMix64 rng(99);
+  double sum = 0;
+  constexpr int kDraws = 4096;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.NextUnit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+  // NextBelow stays in range and hits both halves of a small bound.
+  SplitMix64 rng2(7);
+  bool low = false, high = false;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t v = rng2.NextBelow(10);
+    ASSERT_LT(v, 10u);
+    (v < 5 ? low : high) = true;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+  EXPECT_EQ(rng2.NextBelow(0), 0u);
 }
 
 }  // namespace
